@@ -1,0 +1,449 @@
+//! The experiments of §IV of the paper, as runnable harness functions.
+//!
+//! Each `figN` function reproduces the data behind one figure:
+//!
+//! * [`fig5`] — Figure 5: for each of the four Table I platforms (Uniform
+//!   pattern), the normalized makespan of `A_DV*`, `A_DMV*`, `A_DMV` vs. the
+//!   number of tasks, plus the count panels of each algorithm;
+//! * [`fig6`] — Figure 6: the placement strips of `A_DMV` at `n = 50` on each
+//!   platform (Uniform pattern);
+//! * [`fig7`] — Figure 7: Hera and Coastal SSD with the **Decrease** pattern
+//!   (makespan panel, `A_DMV` count panel, placement strip at `n = 50`);
+//! * [`fig8`] — Figure 8: the same three panels with the **HighLow** pattern;
+//! * [`table1`] — Table I: the platform parameters (with the derived MTBFs
+//!   quoted in the paper's prose).
+//!
+//! The number of task counts evaluated is controlled by [`ExperimentConfig`]:
+//! `paper()` sweeps every `n` from 1 to 50 like the original plots, `quick()`
+//! uses a small subset so the harness stays fast in debug builds and CI.
+
+use crate::figures::{CountPoint, CountSeries, MakespanPoint, MakespanSeries, PlacementStrip};
+use crate::report::{fmt_f64, Table};
+use chain2l_core::{optimize, Algorithm, Solution};
+use chain2l_model::platform::scr;
+use chain2l_model::{Platform, Scenario, WeightPattern};
+use serde::{Deserialize, Serialize};
+
+/// Total computational weight used throughout §IV (seconds).
+pub const PAPER_TOTAL_WEIGHT: f64 = 25_000.0;
+/// Largest chain evaluated in the paper's figures.
+pub const PAPER_MAX_TASKS: usize = 50;
+
+/// Controls how much of the parameter space an experiment sweeps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Total computational weight distributed over the chain (seconds).
+    pub total_weight: f64,
+    /// Task counts to evaluate (the x-axis of the figures).
+    pub task_counts: Vec<usize>,
+    /// Algorithms to compare.
+    pub algorithms: Vec<Algorithm>,
+}
+
+impl ExperimentConfig {
+    /// The full sweep of the paper: every `n` from 1 to 50.
+    pub fn paper() -> Self {
+        Self {
+            total_weight: PAPER_TOTAL_WEIGHT,
+            task_counts: (1..=PAPER_MAX_TASKS).collect(),
+            algorithms: Algorithm::paper_algorithms().to_vec(),
+        }
+    }
+
+    /// A light sweep (a handful of task counts, capped at 30 tasks) that keeps
+    /// the `O(n⁶)` algorithm affordable in debug builds and CI.
+    pub fn quick() -> Self {
+        Self {
+            total_weight: PAPER_TOTAL_WEIGHT,
+            task_counts: vec![2, 5, 10, 15, 20, 25, 30],
+            algorithms: Algorithm::paper_algorithms().to_vec(),
+        }
+    }
+
+    /// A sweep at the paper's plot granularity but sub-sampled every 5 tasks.
+    pub fn coarse() -> Self {
+        Self {
+            total_weight: PAPER_TOTAL_WEIGHT,
+            task_counts: (1..=10).map(|i| i * 5).collect(),
+            algorithms: Algorithm::paper_algorithms().to_vec(),
+        }
+    }
+
+    /// Largest task count in the sweep.
+    pub fn max_tasks(&self) -> usize {
+        self.task_counts.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Runs one `(platform, pattern, n, algorithm)` cell of the evaluation.
+pub fn run_cell(
+    platform: &Platform,
+    pattern: &WeightPattern,
+    n: usize,
+    total_weight: f64,
+    algorithm: Algorithm,
+) -> Solution {
+    let scenario = Scenario::paper_setup(platform, pattern, n, total_weight)
+        .expect("paper setup parameters are valid");
+    optimize(&scenario, algorithm)
+}
+
+/// Builds the normalized-makespan panel for one platform and pattern.
+pub fn makespan_series(
+    platform: &Platform,
+    pattern: &WeightPattern,
+    config: &ExperimentConfig,
+) -> MakespanSeries {
+    let points = config
+        .task_counts
+        .iter()
+        .map(|&n| MakespanPoint {
+            n,
+            values: config
+                .algorithms
+                .iter()
+                .map(|&a| {
+                    (a, run_cell(platform, pattern, n, config.total_weight, a).normalized_makespan)
+                })
+                .collect(),
+        })
+        .collect();
+    MakespanSeries {
+        platform: platform.name.clone(),
+        pattern: pattern.name().to_string(),
+        points,
+    }
+}
+
+/// Builds the count panel of one algorithm for one platform and pattern.
+pub fn count_series(
+    platform: &Platform,
+    pattern: &WeightPattern,
+    algorithm: Algorithm,
+    config: &ExperimentConfig,
+) -> CountSeries {
+    let points = config
+        .task_counts
+        .iter()
+        .map(|&n| CountPoint {
+            n,
+            counts: run_cell(platform, pattern, n, config.total_weight, algorithm)
+                .schedule
+                .counts(),
+        })
+        .collect();
+    CountSeries {
+        platform: platform.name.clone(),
+        pattern: pattern.name().to_string(),
+        algorithm,
+        points,
+    }
+}
+
+/// Builds the placement strip of one algorithm at a fixed `n`.
+pub fn placement_strip(
+    platform: &Platform,
+    pattern: &WeightPattern,
+    algorithm: Algorithm,
+    n: usize,
+    total_weight: f64,
+) -> PlacementStrip {
+    let solution = run_cell(platform, pattern, n, total_weight, algorithm);
+    PlacementStrip {
+        platform: platform.name.clone(),
+        pattern: pattern.name().to_string(),
+        algorithm,
+        n,
+        schedule: solution.schedule,
+    }
+}
+
+/// One platform row of Figure 5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Row {
+    /// The platform of this row.
+    pub platform: String,
+    /// First column: normalized makespan of every algorithm.
+    pub makespan: MakespanSeries,
+    /// Remaining columns: the count panel of each algorithm, in the same
+    /// order as `ExperimentConfig::algorithms`.
+    pub counts: Vec<CountSeries>,
+}
+
+/// The full Figure 5 dataset (one row per platform, Uniform pattern).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5 {
+    /// Rows in the paper's order: Hera, Atlas, Coastal, Coastal SSD.
+    pub rows: Vec<Fig5Row>,
+}
+
+impl Fig5 {
+    /// Renders every panel as an aligned-text block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push_str(&row.makespan.to_table(&Algorithm::paper_algorithms()).to_aligned_text());
+            out.push('\n');
+            for counts in &row.counts {
+                out.push_str(&counts.to_table().to_aligned_text());
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// All panels as CSV tables (in rendering order).
+    pub fn to_tables(&self) -> Vec<Table> {
+        let mut tables = Vec::new();
+        for row in &self.rows {
+            tables.push(row.makespan.to_table(&Algorithm::paper_algorithms()));
+            for counts in &row.counts {
+                tables.push(counts.to_table());
+            }
+        }
+        tables
+    }
+}
+
+/// Runs the Figure 5 evaluation (all four platforms, Uniform pattern).
+pub fn fig5(config: &ExperimentConfig) -> Fig5 {
+    let pattern = WeightPattern::Uniform;
+    let rows = scr::all()
+        .into_iter()
+        .map(|platform| Fig5Row {
+            platform: platform.name.clone(),
+            makespan: makespan_series(&platform, &pattern, config),
+            counts: config
+                .algorithms
+                .iter()
+                .map(|&a| count_series(&platform, &pattern, a, config))
+                .collect(),
+        })
+        .collect();
+    Fig5 { rows }
+}
+
+/// Runs the Figure 6 evaluation: `A_DMV` placement strips at `n` tasks
+/// (the paper uses `n = 50`) on every platform with the Uniform pattern.
+pub fn fig6(n: usize, total_weight: f64) -> Vec<PlacementStrip> {
+    scr::all()
+        .into_iter()
+        .map(|platform| {
+            placement_strip(
+                &platform,
+                &WeightPattern::Uniform,
+                Algorithm::TwoLevelPartial,
+                n,
+                total_weight,
+            )
+        })
+        .collect()
+}
+
+/// The three panels of Figures 7 and 8 for one platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatternFigureRow {
+    /// The platform of this row.
+    pub platform: String,
+    /// Normalized makespan of every algorithm vs. `n`.
+    pub makespan: MakespanSeries,
+    /// Count panel of `A_DMV` vs. `n`.
+    pub admv_counts: CountSeries,
+    /// Placement strip of `A_DMV` at the largest `n` of the sweep.
+    pub strip: PlacementStrip,
+}
+
+/// Figure 7 (Decrease pattern) or Figure 8 (HighLow pattern) dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatternFigure {
+    /// Weight pattern used.
+    pub pattern: String,
+    /// One row per platform (the paper uses Hera and Coastal SSD).
+    pub rows: Vec<PatternFigureRow>,
+}
+
+impl PatternFigure {
+    /// Renders every panel (tables + strips) as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push_str(&row.makespan.to_table(&Algorithm::paper_algorithms()).to_aligned_text());
+            out.push('\n');
+            out.push_str(&row.admv_counts.to_table().to_aligned_text());
+            out.push('\n');
+            out.push_str(&row.strip.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn pattern_figure(pattern: WeightPattern, config: &ExperimentConfig) -> PatternFigure {
+    let platforms = [scr::hera(), scr::coastal_ssd()];
+    let strip_n = config.max_tasks();
+    let rows = platforms
+        .into_iter()
+        .map(|platform| PatternFigureRow {
+            platform: platform.name.clone(),
+            makespan: makespan_series(&platform, &pattern, config),
+            admv_counts: count_series(&platform, &pattern, Algorithm::TwoLevelPartial, config),
+            strip: placement_strip(
+                &platform,
+                &pattern,
+                Algorithm::TwoLevelPartial,
+                strip_n,
+                config.total_weight,
+            ),
+        })
+        .collect();
+    PatternFigure { pattern: pattern.name().to_string(), rows }
+}
+
+/// Runs the Figure 7 evaluation (Decrease pattern on Hera and Coastal SSD).
+pub fn fig7(config: &ExperimentConfig) -> PatternFigure {
+    pattern_figure(WeightPattern::Decrease, config)
+}
+
+/// Runs the Figure 8 evaluation (HighLow pattern on Hera and Coastal SSD).
+pub fn fig8(config: &ExperimentConfig) -> PatternFigure {
+    pattern_figure(WeightPattern::high_low_default(), config)
+}
+
+/// Renders Table I (platform parameters, plus the derived MTBFs in days that
+/// the paper quotes in its prose).
+pub fn table1() -> Table {
+    let mut table = Table::new(
+        "Table I — platform parameters",
+        &["platform", "#nodes", "lambda_f", "lambda_s", "C_D (s)", "C_M (s)", "MTBF_f (days)", "MTBF_s (days)"],
+    );
+    for p in scr::all() {
+        table.push_row(vec![
+            p.name.clone(),
+            p.nodes.to_string(),
+            format!("{:.2e}", p.lambda_fail_stop),
+            format!("{:.2e}", p.lambda_silent),
+            fmt_f64(p.disk_checkpoint_cost, 1),
+            fmt_f64(p.memory_checkpoint_cost, 1),
+            fmt_f64(p.fail_stop_mtbf_days(), 1),
+            fmt_f64(p.silent_mtbf_days(), 1),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            total_weight: PAPER_TOTAL_WEIGHT,
+            task_counts: vec![2, 6, 10],
+            algorithms: Algorithm::paper_algorithms().to_vec(),
+        }
+    }
+
+    #[test]
+    fn config_presets_have_expected_shapes() {
+        assert_eq!(ExperimentConfig::paper().task_counts.len(), 50);
+        assert_eq!(ExperimentConfig::paper().max_tasks(), 50);
+        assert!(ExperimentConfig::quick().max_tasks() <= 30);
+        assert_eq!(ExperimentConfig::coarse().task_counts.first(), Some(&5));
+        assert_eq!(ExperimentConfig::coarse().max_tasks(), 50);
+    }
+
+    #[test]
+    fn makespan_series_has_all_points_and_algorithms() {
+        let config = tiny_config();
+        let series = makespan_series(&scr::hera(), &WeightPattern::Uniform, &config);
+        assert_eq!(series.points.len(), 3);
+        for p in &series.points {
+            assert_eq!(p.values.len(), 3);
+            for (_, v) in &p.values {
+                assert!(*v >= 1.0, "normalized makespan {v} below 1");
+                assert!(*v < 1.5, "normalized makespan {v} implausibly high");
+            }
+        }
+    }
+
+    #[test]
+    fn two_level_dominates_single_level_in_every_cell() {
+        let config = tiny_config();
+        for platform in scr::all() {
+            let series = makespan_series(&platform, &WeightPattern::Uniform, &config);
+            for p in &series.points {
+                let single = p.value(Algorithm::SingleLevel).unwrap();
+                let two = p.value(Algorithm::TwoLevel).unwrap();
+                assert!(two <= single + 1e-9, "{} n={}: {two} > {single}", platform.name, p.n);
+            }
+        }
+    }
+
+    #[test]
+    fn count_series_matches_schedule_counts() {
+        let config = tiny_config();
+        let series =
+            count_series(&scr::hera(), &WeightPattern::Uniform, Algorithm::TwoLevel, &config);
+        assert_eq!(series.points.len(), 3);
+        for p in &series.points {
+            // Hierarchical counts: verifications ≥ memory ≥ disk ≥ 1 (terminal).
+            assert!(p.counts.guaranteed_verifications >= p.counts.memory_checkpoints);
+            assert!(p.counts.memory_checkpoints >= p.counts.disk_checkpoints);
+            assert!(p.counts.disk_checkpoints >= 1);
+            // A_DMV* never places partial verifications.
+            assert_eq!(p.counts.partial_verifications, 0);
+        }
+    }
+
+    #[test]
+    fn placement_strip_uses_requested_size() {
+        let strip = placement_strip(
+            &scr::hera(),
+            &WeightPattern::Uniform,
+            Algorithm::TwoLevel,
+            12,
+            PAPER_TOTAL_WEIGHT,
+        );
+        assert_eq!(strip.n, 12);
+        assert_eq!(strip.schedule.len(), 12);
+        assert!(strip.render().contains("Platform Hera"));
+    }
+
+    #[test]
+    fn fig6_produces_one_strip_per_platform() {
+        let strips = fig6(10, PAPER_TOTAL_WEIGHT);
+        assert_eq!(strips.len(), 4);
+        let names: Vec<&str> = strips.iter().map(|s| s.platform.as_str()).collect();
+        assert_eq!(names, vec!["Hera", "Atlas", "Coastal", "Coastal SSD"]);
+    }
+
+    #[test]
+    fn table1_matches_published_parameters() {
+        let t = table1();
+        assert_eq!(t.row_count(), 4);
+        let csv = t.to_csv();
+        assert!(csv.contains("Hera,256,9.46e-7,3.38e-6,300.0,15.4"));
+        assert!(csv.contains("Coastal SSD,1024,4.02e-7,2.01e-6,2500.0,180.0"));
+        // MTBFs quoted in the paper's prose: 12.2 and 3.4 days for Hera.
+        assert!(csv.contains("12.2"));
+        assert!(csv.contains("3.4"));
+    }
+
+    #[test]
+    fn fig7_and_fig8_cover_hera_and_coastal_ssd() {
+        let config = ExperimentConfig {
+            total_weight: PAPER_TOTAL_WEIGHT,
+            task_counts: vec![5, 10],
+            algorithms: Algorithm::paper_algorithms().to_vec(),
+        };
+        for figure in [fig7(&config), fig8(&config)] {
+            assert_eq!(figure.rows.len(), 2);
+            assert_eq!(figure.rows[0].platform, "Hera");
+            assert_eq!(figure.rows[1].platform, "Coastal SSD");
+            assert_eq!(figure.rows[0].strip.n, 10);
+            assert!(!figure.render().is_empty());
+        }
+        assert_eq!(fig7(&config).pattern, "decrease");
+        assert_eq!(fig8(&config).pattern, "highlow");
+    }
+}

@@ -1,0 +1,269 @@
+//! Data structures for the paper's figures.
+//!
+//! Every panel of Figures 5–8 reduces to one of three shapes:
+//!
+//! * a **makespan panel** — normalized expected makespan vs. number of tasks,
+//!   one curve per algorithm ([`MakespanSeries`]);
+//! * a **count panel** — number of disk checkpoints, memory checkpoints,
+//!   guaranteed verifications and partial verifications vs. number of tasks,
+//!   for one algorithm ([`CountSeries`]);
+//! * a **placement strip** — the positions of the actions along the chain for
+//!   one configuration ([`PlacementStrip`], Figure 6 and the last columns of
+//!   Figures 7–8).
+//!
+//! The structures are algorithm-agnostic containers; [`crate::experiments`]
+//! fills them and [`crate::report`] renders them.
+
+use crate::report::{fmt_f64, Table};
+use chain2l_core::Algorithm;
+use chain2l_model::{ActionCounts, Schedule};
+use serde::{Deserialize, Serialize};
+
+/// One point of a makespan panel: the normalized makespan of each algorithm
+/// for a given number of tasks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MakespanPoint {
+    /// Number of tasks.
+    pub n: usize,
+    /// `(algorithm, normalized makespan)` pairs, in the order they were run.
+    pub values: Vec<(Algorithm, f64)>,
+}
+
+impl MakespanPoint {
+    /// Normalized makespan of `algorithm` at this point, if present.
+    pub fn value(&self, algorithm: Algorithm) -> Option<f64> {
+        self.values.iter().find(|(a, _)| *a == algorithm).map(|(_, v)| *v)
+    }
+}
+
+/// A makespan panel (one per platform/pattern combination).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MakespanSeries {
+    /// Platform name.
+    pub platform: String,
+    /// Weight pattern name.
+    pub pattern: String,
+    /// Points, ordered by increasing `n`.
+    pub points: Vec<MakespanPoint>,
+}
+
+impl MakespanSeries {
+    /// Renders the panel as a table (one row per `n`, one column per algorithm).
+    pub fn to_table(&self, algorithms: &[Algorithm]) -> Table {
+        let mut columns = vec!["n".to_string()];
+        columns.extend(algorithms.iter().map(|a| a.label().to_string()));
+        let column_refs: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+        let mut table = Table::new(
+            format!("Normalized makespan — {} / {}", self.platform, self.pattern),
+            &column_refs,
+        );
+        for point in &self.points {
+            let mut row = vec![point.n.to_string()];
+            for a in algorithms {
+                row.push(point.value(*a).map(|v| fmt_f64(v, 5)).unwrap_or_else(|| "-".into()));
+            }
+            table.push_row(row);
+        }
+        table
+    }
+
+    /// The largest relative improvement of `better` over `worse` across all
+    /// points: `max_n (worse − better) / worse`.
+    pub fn max_gain(&self, better: Algorithm, worse: Algorithm) -> Option<f64> {
+        self.points
+            .iter()
+            .filter_map(|p| match (p.value(better), p.value(worse)) {
+                (Some(b), Some(w)) if w > 0.0 => Some((w - b) / w),
+                _ => None,
+            })
+            .fold(None, |acc: Option<f64>, g| Some(acc.map_or(g, |a| a.max(g))))
+    }
+}
+
+/// One point of a count panel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CountPoint {
+    /// Number of tasks.
+    pub n: usize,
+    /// Hierarchical action counts of the optimal schedule.
+    pub counts: ActionCounts,
+}
+
+/// A count panel: action counts vs. number of tasks for one algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountSeries {
+    /// Platform name.
+    pub platform: String,
+    /// Weight pattern name.
+    pub pattern: String,
+    /// Algorithm whose placements are counted.
+    pub algorithm: Algorithm,
+    /// Points, ordered by increasing `n`.
+    pub points: Vec<CountPoint>,
+}
+
+impl CountSeries {
+    /// Renders the panel as a table.
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            format!(
+                "Checkpoint / verification counts — {} on {} / {}",
+                self.algorithm.label(),
+                self.platform,
+                self.pattern
+            ),
+            &["n", "disk_ckpts", "memory_ckpts", "guaranteed_verifs", "partial_verifs"],
+        );
+        for p in &self.points {
+            table.push_row(vec![
+                p.n.to_string(),
+                p.counts.disk_checkpoints.to_string(),
+                p.counts.memory_checkpoints.to_string(),
+                p.counts.guaranteed_verifications.to_string(),
+                p.counts.partial_verifications.to_string(),
+            ]);
+        }
+        table
+    }
+
+    /// Counts at the largest `n` of the series.
+    pub fn final_counts(&self) -> Option<ActionCounts> {
+        self.points.last().map(|p| p.counts)
+    }
+}
+
+/// A placement strip: the Figure-6 style visualisation of one schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementStrip {
+    /// Platform name.
+    pub platform: String,
+    /// Weight pattern name.
+    pub pattern: String,
+    /// Algorithm that produced the placement.
+    pub algorithm: Algorithm,
+    /// Number of tasks.
+    pub n: usize,
+    /// The schedule itself.
+    pub schedule: Schedule,
+}
+
+impl PlacementStrip {
+    /// Renders the strip as ASCII rows (`x` marks a boundary carrying the action).
+    pub fn render(&self) -> String {
+        self.schedule.render_strips(&format!(
+            "Platform {} with {} and n={} ({} pattern)",
+            self.platform,
+            self.algorithm.label(),
+            self.n,
+            self.pattern
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chain2l_model::Action;
+
+    fn sample_series() -> MakespanSeries {
+        MakespanSeries {
+            platform: "Hera".into(),
+            pattern: "uniform".into(),
+            points: vec![
+                MakespanPoint {
+                    n: 10,
+                    values: vec![
+                        (Algorithm::SingleLevel, 1.06),
+                        (Algorithm::TwoLevel, 1.04),
+                        (Algorithm::TwoLevelPartial, 1.04),
+                    ],
+                },
+                MakespanPoint {
+                    n: 50,
+                    values: vec![
+                        (Algorithm::SingleLevel, 1.05),
+                        (Algorithm::TwoLevel, 1.03),
+                        (Algorithm::TwoLevelPartial, 1.029),
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn makespan_point_lookup() {
+        let s = sample_series();
+        assert_eq!(s.points[0].value(Algorithm::TwoLevel), Some(1.04));
+        assert_eq!(s.points[0].value(Algorithm::TwoLevelPartialRefined), None);
+    }
+
+    #[test]
+    fn makespan_table_has_one_row_per_n() {
+        let s = sample_series();
+        let t = s.to_table(&Algorithm::paper_algorithms());
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.columns().len(), 4);
+        let csv = t.to_csv();
+        assert!(csv.contains("ADV*"));
+        assert!(csv.contains("1.03000"));
+    }
+
+    #[test]
+    fn max_gain_finds_the_largest_improvement() {
+        let s = sample_series();
+        let gain = s.max_gain(Algorithm::TwoLevel, Algorithm::SingleLevel).unwrap();
+        // Gains are (1.06-1.04)/1.06 ≈ 0.0189 and (1.05-1.03)/1.05 ≈ 0.0190.
+        assert!((gain - 0.019).abs() < 1e-3);
+        assert!(s.max_gain(Algorithm::TwoLevelPartialRefined, Algorithm::SingleLevel).is_none());
+    }
+
+    #[test]
+    fn count_series_table_and_final_counts() {
+        let series = CountSeries {
+            platform: "Atlas".into(),
+            pattern: "uniform".into(),
+            algorithm: Algorithm::TwoLevelPartial,
+            points: vec![
+                CountPoint {
+                    n: 10,
+                    counts: ActionCounts {
+                        disk_checkpoints: 1,
+                        memory_checkpoints: 3,
+                        guaranteed_verifications: 5,
+                        partial_verifications: 0,
+                    },
+                },
+                CountPoint {
+                    n: 50,
+                    counts: ActionCounts {
+                        disk_checkpoints: 1,
+                        memory_checkpoints: 8,
+                        guaranteed_verifications: 20,
+                        partial_verifications: 6,
+                    },
+                },
+            ],
+        };
+        let t = series.to_table();
+        assert_eq!(t.row_count(), 2);
+        assert!(t.to_csv().contains("50,1,8,20,6"));
+        assert_eq!(series.final_counts().unwrap().partial_verifications, 6);
+    }
+
+    #[test]
+    fn placement_strip_renders_schedule_rows() {
+        let mut schedule = Schedule::terminal_only(10);
+        schedule.set_action(5, Action::MemoryCheckpoint);
+        let strip = PlacementStrip {
+            platform: "Hera".into(),
+            pattern: "uniform".into(),
+            algorithm: Algorithm::TwoLevelPartial,
+            n: 10,
+            schedule,
+        };
+        let text = strip.render();
+        assert!(text.contains("Platform Hera"));
+        assert!(text.contains("ADMV"));
+        assert_eq!(text.lines().count(), 5);
+    }
+}

@@ -1,0 +1,150 @@
+//! Cross-validation of the analytical optimizer against the Monte-Carlo
+//! simulator.
+//!
+//! The paper's evaluation is purely analytical (it evaluates the closed-form
+//! expectations); this module adds the missing sanity layer by re-simulating
+//! the optimal schedules under randomly injected errors and reporting how
+//! close the empirical mean makespan lands to the analytical prediction.
+
+use crate::report::{fmt_f64, Table};
+use chain2l_core::{optimize, Algorithm};
+use chain2l_model::Scenario;
+use chain2l_sim::runner::{run_monte_carlo, MonteCarloConfig};
+use serde::{Deserialize, Serialize};
+
+/// One validation measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidationRow {
+    /// Platform name.
+    pub platform: String,
+    /// Algorithm validated.
+    pub algorithm: Algorithm,
+    /// Number of tasks.
+    pub n: usize,
+    /// Analytical expected makespan (seconds).
+    pub analytical: f64,
+    /// Empirical mean makespan over the replications (seconds).
+    pub simulated_mean: f64,
+    /// Lower bound of the 95 % confidence interval.
+    pub ci_low: f64,
+    /// Upper bound of the 95 % confidence interval.
+    pub ci_high: f64,
+    /// `(simulated_mean − analytical) / analytical`.
+    pub relative_error: f64,
+    /// Number of replications.
+    pub replications: usize,
+}
+
+impl ValidationRow {
+    /// Whether the analytical value lies inside the (slack-widened) confidence
+    /// interval of the empirical mean.
+    pub fn agrees(&self, slack_standard_errors: f64) -> bool {
+        let se = if self.replications > 0 {
+            (self.ci_high - self.ci_low) / (2.0 * chain2l_sim::stats::Z_95)
+        } else {
+            0.0
+        };
+        let widen = slack_standard_errors * se;
+        self.analytical >= self.ci_low - widen && self.analytical <= self.ci_high + widen
+    }
+}
+
+/// Optimizes `scenario` with `algorithm`, then replays the optimal schedule
+/// `replications` times in the simulator.
+pub fn validate(
+    scenario: &Scenario,
+    algorithm: Algorithm,
+    replications: usize,
+    seed: u64,
+    threads: usize,
+) -> ValidationRow {
+    let solution = optimize(scenario, algorithm);
+    let report = run_monte_carlo(
+        scenario,
+        &solution.schedule,
+        MonteCarloConfig { replications, seed, threads },
+    )
+    .expect("optimal schedules are valid");
+    ValidationRow {
+        platform: scenario.platform.name.clone(),
+        algorithm,
+        n: scenario.task_count(),
+        analytical: solution.expected_makespan,
+        simulated_mean: report.makespan.mean,
+        ci_low: report.makespan.ci95_low,
+        ci_high: report.makespan.ci95_high,
+        relative_error: report.relative_error_vs(solution.expected_makespan),
+        replications,
+    }
+}
+
+/// Renders validation rows as a table.
+pub fn validation_table(rows: &[ValidationRow]) -> Table {
+    let mut table = Table::new(
+        "Analytical expectation vs Monte-Carlo simulation",
+        &["platform", "algorithm", "n", "analytical", "simulated", "ci95_low", "ci95_high", "rel_error_%"],
+    );
+    for r in rows {
+        table.push_row(vec![
+            r.platform.clone(),
+            r.algorithm.label().to_string(),
+            r.n.to_string(),
+            fmt_f64(r.analytical, 1),
+            fmt_f64(r.simulated_mean, 1),
+            fmt_f64(r.ci_low, 1),
+            fmt_f64(r.ci_high, 1),
+            fmt_f64(r.relative_error * 100.0, 3),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chain2l_model::platform::scr;
+    use chain2l_model::WeightPattern;
+
+    #[test]
+    fn validation_row_agreement_logic() {
+        let row = ValidationRow {
+            platform: "Hera".into(),
+            algorithm: Algorithm::TwoLevel,
+            n: 10,
+            analytical: 100.0,
+            simulated_mean: 100.5,
+            ci_low: 99.0,
+            ci_high: 102.0,
+            relative_error: 0.005,
+            replications: 1000,
+        };
+        assert!(row.agrees(0.0));
+        let far = ValidationRow { analytical: 200.0, ..row };
+        assert!(!far.agrees(0.0));
+    }
+
+    #[test]
+    fn two_level_prediction_agrees_with_simulation() {
+        let scenario =
+            Scenario::paper_setup(&scr::hera(), &WeightPattern::Uniform, 12, 25_000.0).unwrap();
+        let row = validate(&scenario, Algorithm::TwoLevel, 15_000, 7, 4);
+        assert!(
+            row.agrees(2.0),
+            "analytical {} outside CI [{}, {}]",
+            row.analytical,
+            row.ci_low,
+            row.ci_high
+        );
+        assert!(row.relative_error.abs() < 0.01, "{row:?}");
+    }
+
+    #[test]
+    fn validation_table_renders_rows() {
+        let scenario =
+            Scenario::paper_setup(&scr::atlas(), &WeightPattern::Uniform, 8, 25_000.0).unwrap();
+        let row = validate(&scenario, Algorithm::SingleLevel, 2_000, 3, 2);
+        let table = validation_table(&[row]);
+        assert_eq!(table.row_count(), 1);
+        assert!(table.to_csv().contains("Atlas,ADV*,8"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Ablation benchmarks: the cost of the design choices called out in
+//! DESIGN.md — single- vs two-level optimization, the §III-B tail-accounting
+//! variants, and the effect of the partial-verification machinery on DP
+//! runtime.
+
+use chain2l_core::{optimize, Algorithm};
+use chain2l_model::platform::scr;
+use chain2l_model::{Scenario, WeightPattern};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let n = 30usize;
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    // Algorithm ladder on every platform at a fixed size.
+    for platform in scr::all() {
+        let s = Scenario::paper_setup(&platform, &WeightPattern::Uniform, n, 25_000.0).unwrap();
+        let label = platform.name.replace(' ', "_");
+        group.bench_with_input(BenchmarkId::new("single_level", &label), &s, |b, s| {
+            b.iter(|| optimize(black_box(s), Algorithm::SingleLevel))
+        });
+        group.bench_with_input(BenchmarkId::new("two_level", &label), &s, |b, s| {
+            b.iter(|| optimize(black_box(s), Algorithm::TwoLevel))
+        });
+        group.bench_with_input(BenchmarkId::new("partial_paper", &label), &s, |b, s| {
+            b.iter(|| optimize(black_box(s), Algorithm::TwoLevelPartial))
+        });
+        group.bench_with_input(BenchmarkId::new("partial_refined", &label), &s, |b, s| {
+            b.iter(|| optimize(black_box(s), Algorithm::TwoLevelPartialRefined))
+        });
+    }
+
+    // Weight-pattern ablation on Hera.
+    for (name, pattern) in [
+        ("uniform", WeightPattern::Uniform),
+        ("decrease", WeightPattern::Decrease),
+        ("highlow", WeightPattern::high_low_default()),
+    ] {
+        let s = Scenario::paper_setup(&scr::hera(), &pattern, n, 25_000.0).unwrap();
+        group.bench_with_input(BenchmarkId::new("admv_pattern", name), &s, |b, s| {
+            b.iter(|| optimize(black_box(s), Algorithm::TwoLevelPartial))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

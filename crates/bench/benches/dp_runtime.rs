@@ -1,0 +1,42 @@
+//! Runtime of the three dynamic programs as a function of the chain length.
+//!
+//! This benchmark backs the paper's closing claim (§V) that the `O(n⁶)`
+//! algorithm "executes within a few seconds for n = 50 tasks": the `admv/50`
+//! measurement is that exact configuration.
+
+use chain2l_core::{optimize, Algorithm};
+use chain2l_model::platform::scr;
+use chain2l_model::{Scenario, WeightPattern};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn scenario(n: usize) -> Scenario {
+    Scenario::paper_setup(&scr::hera(), &WeightPattern::Uniform, n, 25_000.0).unwrap()
+}
+
+fn bench_dp_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_runtime");
+    group.sample_size(10);
+
+    for &n in &[10usize, 20, 30, 40, 50] {
+        let s = scenario(n);
+        group.bench_with_input(BenchmarkId::new("adv_star", n), &n, |b, _| {
+            b.iter(|| optimize(black_box(&s), Algorithm::SingleLevel))
+        });
+        group.bench_with_input(BenchmarkId::new("admv_star", n), &n, |b, _| {
+            b.iter(|| optimize(black_box(&s), Algorithm::TwoLevel))
+        });
+    }
+    // The O(n^6) algorithm is benchmarked on a smaller grid (it dominates the
+    // total bench time).
+    for &n in &[10usize, 25, 50] {
+        let s = scenario(n);
+        group.bench_with_input(BenchmarkId::new("admv", n), &n, |b, _| {
+            b.iter(|| optimize(black_box(&s), Algorithm::TwoLevelPartial))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp_runtime);
+criterion_main!(benches);

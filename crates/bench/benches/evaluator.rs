@@ -1,0 +1,67 @@
+//! Throughput of the analytical schedule evaluator and of the exhaustive
+//! brute-force optimizer (the ground truth used by the property tests).
+
+use chain2l_core::brute_force::{optimize_brute_force, BruteForceSpace};
+use chain2l_core::evaluator::expected_makespan;
+use chain2l_core::{optimize, Algorithm, PartialCostModel};
+use chain2l_model::platform::scr;
+use chain2l_model::{Action, Scenario, Schedule, WeightPattern};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_evaluator(c: &mut Criterion) {
+    let scenario =
+        Scenario::paper_setup(&scr::hera(), &WeightPattern::Uniform, 50, 25_000.0).unwrap();
+    let optimal = optimize(&scenario, Algorithm::TwoLevelPartial);
+    let periodic = Schedule::periodic(50, 5, Action::MemoryCheckpoint);
+
+    let mut group = c.benchmark_group("evaluator");
+    group.bench_function("optimal_admv_schedule_n50", |b| {
+        b.iter(|| {
+            expected_makespan(
+                black_box(&scenario),
+                black_box(&optimal.schedule),
+                PartialCostModel::PaperExact,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("periodic_schedule_n50", |b| {
+        b.iter(|| {
+            expected_makespan(
+                black_box(&scenario),
+                black_box(&periodic),
+                PartialCostModel::Refined,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+
+    let small =
+        Scenario::paper_setup(&scr::hera(), &WeightPattern::Uniform, 6, 25_000.0).unwrap();
+    let mut group = c.benchmark_group("brute_force");
+    group.sample_size(10);
+    group.bench_function("guaranteed_only_n6", |b| {
+        b.iter(|| {
+            optimize_brute_force(
+                black_box(&small),
+                BruteForceSpace::GuaranteedOnly,
+                PartialCostModel::Refined,
+            )
+        })
+    });
+    group.bench_function("with_partials_n6", |b| {
+        b.iter(|| {
+            optimize_brute_force(
+                black_box(&small),
+                BruteForceSpace::WithPartials,
+                PartialCostModel::PaperExact,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluator);
+criterion_main!(benches);

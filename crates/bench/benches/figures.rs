@@ -1,0 +1,41 @@
+//! End-to-end runtime of the figure harness cells: how long one
+//! `(platform, pattern, n, algorithm)` cell of the §IV evaluation takes,
+//! and the full quick Figure-5 sweep.
+
+use chain2l_analysis::experiments::{fig5, run_cell, ExperimentConfig, PAPER_TOTAL_WEIGHT};
+use chain2l_core::Algorithm;
+use chain2l_model::platform::scr;
+use chain2l_model::WeightPattern;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_cells");
+    group.sample_size(10);
+    for platform in scr::all() {
+        let label = platform.name.replace(' ', "_");
+        group.bench_with_input(BenchmarkId::new("admv_n30", &label), &platform, |b, p| {
+            b.iter(|| {
+                run_cell(
+                    black_box(p),
+                    &WeightPattern::Uniform,
+                    30,
+                    PAPER_TOTAL_WEIGHT,
+                    Algorithm::TwoLevelPartial,
+                )
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("figure_sweeps");
+    group.sample_size(10);
+    group.bench_function("fig5_quick", |b| {
+        let config = ExperimentConfig::quick();
+        b.iter(|| fig5(black_box(&config)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Throughput of the Monte-Carlo simulator: single runs and full replication
+//! campaigns (single-threaded and multi-threaded).
+
+use chain2l_core::{optimize, Algorithm};
+use chain2l_model::platform::scr;
+use chain2l_model::{Scenario, WeightPattern};
+use chain2l_sim::runner::{run_monte_carlo, MonteCarloConfig};
+use chain2l_sim::{simulate_run, RunConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let scenario =
+        Scenario::paper_setup(&scr::hera(), &WeightPattern::Uniform, 50, 25_000.0).unwrap();
+    let solution = optimize(&scenario, Algorithm::TwoLevel);
+
+    let mut group = c.benchmark_group("simulator");
+    group.bench_function("single_run_n50", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            simulate_run(black_box(&scenario), black_box(&solution.schedule), RunConfig::with_seed(seed))
+                .unwrap()
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("campaign_10k_single_thread", |b| {
+        b.iter(|| {
+            run_monte_carlo(
+                black_box(&scenario),
+                black_box(&solution.schedule),
+                MonteCarloConfig { replications: 10_000, seed: 7, threads: 1 },
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("campaign_10k_four_threads", |b| {
+        b.iter(|| {
+            run_monte_carlo(
+                black_box(&scenario),
+                black_box(&solution.schedule),
+                MonteCarloConfig { replications: 10_000, seed: 7, threads: 4 },
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

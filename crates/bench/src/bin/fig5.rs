@@ -1,0 +1,27 @@
+//! Regenerates Figure 5 of the paper: for each Table I platform (Uniform
+//! pattern), the normalized makespan of `A_DV*` / `A_DMV*` / `A_DMV` and the
+//! checkpoint/verification counts of each algorithm, as a function of the
+//! number of tasks.
+//!
+//! Usage: `cargo run --release -p chain2l-bench --bin fig5 [--quick|--coarse|--paper]`
+
+use chain2l_analysis::experiments::fig5;
+use chain2l_bench::{config_from_args, write_result_file};
+
+fn main() {
+    let config = config_from_args(std::env::args().skip(1));
+    eprintln!(
+        "fig5: sweeping n in {:?} on the four Table I platforms (Uniform pattern)…",
+        config.task_counts
+    );
+    let data = fig5(&config);
+    print!("{}", data.render());
+    let mut csv = String::new();
+    for table in data.to_tables() {
+        csv.push_str(&table.to_csv());
+        csv.push('\n');
+    }
+    if let Some(path) = write_result_file("fig5.csv", &csv) {
+        eprintln!("fig5: CSV written to {}", path.display());
+    }
+}

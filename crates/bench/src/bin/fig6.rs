@@ -1,0 +1,26 @@
+//! Regenerates Figure 6 of the paper: the positions of disk checkpoints,
+//! memory checkpoints, guaranteed verifications and partial verifications
+//! chosen by `A_DMV` for 50 uniform tasks on each Table I platform.
+//!
+//! Usage: `cargo run --release -p chain2l-bench --bin fig6 [n]`
+
+use chain2l_analysis::experiments::{fig6, PAPER_TOTAL_WEIGHT};
+use chain2l_bench::write_result_file;
+
+fn main() {
+    let n = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50usize);
+    eprintln!("fig6: computing ADMV placements for n = {n} uniform tasks…");
+    let strips = fig6(n, PAPER_TOTAL_WEIGHT);
+    let mut out = String::new();
+    for strip in &strips {
+        out.push_str(&strip.render());
+        out.push('\n');
+    }
+    print!("{out}");
+    if let Some(path) = write_result_file("fig6.txt", &out) {
+        eprintln!("fig6: strips written to {}", path.display());
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 7 of the paper: the Decrease weight pattern on Hera and
+//! Coastal SSD — normalized makespan of the three algorithms, `A_DMV` action
+//! counts, and the placement strip at the largest chain size.
+//!
+//! Usage: `cargo run --release -p chain2l-bench --bin fig7 [--quick|--coarse|--paper]`
+
+use chain2l_analysis::experiments::fig7;
+use chain2l_bench::{config_from_args, write_result_file};
+
+fn main() {
+    let config = config_from_args(std::env::args().skip(1));
+    eprintln!("fig7: Decrease pattern on Hera and Coastal SSD, n in {:?}…", config.task_counts);
+    let data = fig7(&config);
+    let out = data.render();
+    print!("{out}");
+    if let Some(path) = write_result_file("fig7.txt", &out) {
+        eprintln!("fig7: output written to {}", path.display());
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 8 of the paper: the HighLow weight pattern (10 % of the
+//! tasks hold 60 % of the weight) on Hera and Coastal SSD.
+//!
+//! Usage: `cargo run --release -p chain2l-bench --bin fig8 [--quick|--coarse|--paper]`
+
+use chain2l_analysis::experiments::fig8;
+use chain2l_bench::{config_from_args, write_result_file};
+
+fn main() {
+    let config = config_from_args(std::env::args().skip(1));
+    eprintln!("fig8: HighLow pattern on Hera and Coastal SSD, n in {:?}…", config.task_counts);
+    let data = fig8(&config);
+    let out = data.render();
+    print!("{out}");
+    if let Some(path) = write_result_file("fig8.txt", &out) {
+        eprintln!("fig8: output written to {}", path.display());
+    }
+}

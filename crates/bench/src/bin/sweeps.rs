@@ -1,0 +1,49 @@
+//! Runs the ablation sweeps that go beyond the paper's figures: detector
+//! recall, partial-verification cost ratio, error-rate scaling, the §III-B
+//! tail-accounting comparison and the heuristic baselines.
+//!
+//! Usage: `cargo run --release -p chain2l-bench --bin sweeps [--tasks N]`
+
+use chain2l_analysis::experiments::PAPER_TOTAL_WEIGHT;
+use chain2l_analysis::sweep;
+use chain2l_bench::write_result_file;
+use chain2l_model::platform::scr;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tasks = args
+        .iter()
+        .position(|a| a == "--tasks")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30usize);
+    eprintln!("sweeps: running ablations with n = {tasks} uniform tasks…");
+
+    let tables = vec![
+        sweep::recall_sweep(&scr::coastal_ssd(), tasks, PAPER_TOTAL_WEIGHT, &[0.2, 0.4, 0.6, 0.8, 1.0]),
+        sweep::partial_cost_sweep(
+            &scr::coastal_ssd(),
+            tasks,
+            PAPER_TOTAL_WEIGHT,
+            &[1.0, 10.0, 100.0, 1000.0],
+        ),
+        sweep::rate_scaling_sweep(&scr::hera(), tasks, PAPER_TOTAL_WEIGHT, &[1.0, 2.0, 5.0, 10.0, 50.0]),
+        sweep::tail_accounting_comparison(&scr::all(), tasks, PAPER_TOTAL_WEIGHT),
+        sweep::heuristic_comparison(&scr::hera(), tasks, PAPER_TOTAL_WEIGHT),
+    ];
+
+    let mut out = String::new();
+    for table in &tables {
+        out.push_str(&table.to_aligned_text());
+        out.push('\n');
+    }
+    print!("{out}");
+    let mut csv = String::new();
+    for table in &tables {
+        csv.push_str(&table.to_csv());
+        csv.push('\n');
+    }
+    if let Some(path) = write_result_file("sweeps.csv", &csv) {
+        eprintln!("sweeps: CSV written to {}", path.display());
+    }
+}

@@ -1,0 +1,16 @@
+//! Prints Table I of the paper: the four SCR-measured platforms and their
+//! error rates and checkpoint costs (plus the derived MTBFs quoted in the
+//! paper's prose).
+//!
+//! Usage: `cargo run -p chain2l-bench --bin table1`
+
+use chain2l_analysis::experiments::table1;
+use chain2l_bench::write_result_file;
+
+fn main() {
+    let table = table1();
+    print!("{}", table.to_aligned_text());
+    if let Some(path) = write_result_file("table1.csv", &table.to_csv()) {
+        eprintln!("table1: CSV written to {}", path.display());
+    }
+}

@@ -1,0 +1,90 @@
+//! Shared helpers for the figure-regeneration binaries and the Criterion
+//! benchmarks of the `chain2l` reproduction.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use chain2l_analysis::experiments::ExperimentConfig;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Where the figure binaries write their CSV output (`results/` at the
+/// workspace root, overridable with the `CHAIN2L_RESULTS_DIR` environment
+/// variable).
+pub fn results_dir() -> PathBuf {
+    match std::env::var_os("CHAIN2L_RESULTS_DIR") {
+        Some(dir) => PathBuf::from(dir),
+        None => PathBuf::from("results"),
+    }
+}
+
+/// Selects the sweep granularity from command-line flags:
+/// `--paper` (full 1..=50 sweep), `--quick` (tiny), default `--coarse`
+/// (every 5 tasks up to 50 — the granularity used in EXPERIMENTS.md).
+pub fn config_from_args<I: IntoIterator<Item = String>>(args: I) -> ExperimentConfig {
+    let args: Vec<String> = args.into_iter().collect();
+    if args.iter().any(|a| a == "--paper") {
+        ExperimentConfig::paper()
+    } else if args.iter().any(|a| a == "--quick") {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::coarse()
+    }
+}
+
+/// Writes `content` to `<results_dir>/<name>`, creating the directory if
+/// needed, and returns the path.  Errors are reported but not fatal (the
+/// binaries also print everything to stdout).
+pub fn write_result_file(name: &str, content: &str) -> Option<PathBuf> {
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(name);
+    match fs::write(&path, content) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Reads a previously written result file (used by tests).
+pub fn read_result_file(path: &Path) -> std::io::Result<String> {
+    fs::read_to_string(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_selection_from_flags() {
+        let paper = config_from_args(vec!["--paper".to_string()]);
+        assert_eq!(paper.task_counts.len(), 50);
+        let quick = config_from_args(vec!["--quick".to_string()]);
+        assert!(quick.max_tasks() <= 30);
+        let coarse = config_from_args(Vec::<String>::new());
+        assert_eq!(coarse.max_tasks(), 50);
+        assert_eq!(coarse.task_counts.len(), 10);
+    }
+
+    #[test]
+    fn result_files_round_trip() {
+        let dir = std::env::temp_dir().join(format!(
+            "chain2l-bench-test-{}-{:?}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::env::set_var("CHAIN2L_RESULTS_DIR", &dir);
+        let path = write_result_file("test.csv", "a,b\n1,2\n").expect("writable temp dir");
+        assert_eq!(read_result_file(&path).unwrap(), "a,b\n1,2\n");
+        std::env::remove_var("CHAIN2L_RESULTS_DIR");
+        let _ = fs::remove_dir_all(dir);
+    }
+}

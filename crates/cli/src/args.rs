@@ -1,0 +1,197 @@
+//! Hand-rolled command-line argument parsing.
+//!
+//! The CLI deliberately avoids an argument-parsing dependency; the grammar is
+//! small (`chain2l <command> [--key value]...`) and this module keeps it
+//! explicit and unit-testable.
+
+use std::collections::BTreeMap;
+
+/// A parsed command line: the sub-command name plus `--key value` options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// Sub-command (first positional argument).
+    pub command: String,
+    /// Additional positional arguments after the command.
+    pub positionals: Vec<String>,
+    /// `--key value` and `--flag` options (flags map to an empty string).
+    pub options: BTreeMap<String, String>,
+}
+
+/// Errors produced while parsing or interpreting the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No sub-command was given.
+    MissingCommand,
+    /// An option value could not be interpreted.
+    InvalidValue {
+        /// Option name (without the leading `--`).
+        option: String,
+        /// Offending value.
+        value: String,
+        /// What was expected.
+        expected: String,
+    },
+    /// A required option is absent.
+    MissingOption {
+        /// Option name (without the leading `--`).
+        option: String,
+    },
+    /// Unknown sub-command or sub-argument.
+    Unknown {
+        /// The unrecognised token.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no command given (try `chain2l help`)"),
+            ArgError::InvalidValue { option, value, expected } => {
+                write!(f, "invalid value `{value}` for --{option}: expected {expected}")
+            }
+            ArgError::MissingOption { option } => write!(f, "missing required option --{option}"),
+            ArgError::Unknown { what } => {
+                write!(f, "unknown command or argument `{what}` (try `chain2l help`)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl ParsedArgs {
+    /// Parses raw arguments (excluding the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
+        let mut iter = args.into_iter().peekable();
+        let command = iter.next().ok_or(ArgError::MissingCommand)?;
+        let mut positionals = Vec::new();
+        let mut options = BTreeMap::new();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                // A value follows unless the next token is another option or
+                // the argument list ends (then it is a boolean flag).
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().unwrap_or_default(),
+                    _ => String::new(),
+                };
+                options.insert(key.to_string(), value);
+            } else {
+                positionals.push(arg);
+            }
+        }
+        Ok(Self { command, positionals, options })
+    }
+
+    /// String option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(|s| s.as_str()).unwrap_or(default)
+    }
+
+    /// Whether a boolean flag was passed.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
+    /// Parses a `usize` option with a default.
+    pub fn usize_or(&self, key: &str, default: usize) -> Result<usize, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::InvalidValue {
+                option: key.to_string(),
+                value: v.clone(),
+                expected: "a non-negative integer".to_string(),
+            }),
+        }
+    }
+
+    /// Parses an `f64` option with a default.
+    pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::InvalidValue {
+                option: key.to_string(),
+                value: v.clone(),
+                expected: "a number".to_string(),
+            }),
+        }
+    }
+
+    /// Parses a `u64` option with a default.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::InvalidValue {
+                option: key.to_string(),
+                value: v.clone(),
+                expected: "a non-negative integer".to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<ParsedArgs, ArgError> {
+        ParsedArgs::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_positionals_and_options() {
+        let args = parse(&["experiment", "fig5", "--quick", "--tasks", "20"]).unwrap();
+        assert_eq!(args.command, "experiment");
+        assert_eq!(args.positionals, vec!["fig5"]);
+        assert!(args.flag("quick"));
+        assert_eq!(args.usize_or("tasks", 50).unwrap(), 20);
+    }
+
+    #[test]
+    fn missing_command_is_an_error() {
+        assert_eq!(parse(&[]), Err(ArgError::MissingCommand));
+    }
+
+    #[test]
+    fn defaults_apply_when_options_absent() {
+        let args = parse(&["optimize"]).unwrap();
+        assert_eq!(args.get_or("platform", "hera"), "hera");
+        assert_eq!(args.usize_or("tasks", 50).unwrap(), 50);
+        assert_eq!(args.f64_or("weight", 25_000.0).unwrap(), 25_000.0);
+        assert_eq!(args.u64_or("seed", 42).unwrap(), 42);
+        assert!(!args.flag("csv"));
+    }
+
+    #[test]
+    fn invalid_numbers_are_reported() {
+        let args = parse(&["optimize", "--tasks", "many"]).unwrap();
+        match args.usize_or("tasks", 50) {
+            Err(ArgError::InvalidValue { option, .. }) => assert_eq!(option, "tasks"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let args = parse(&["optimize", "--weight", "heavy"]).unwrap();
+        assert!(args.f64_or("weight", 1.0).is_err());
+    }
+
+    #[test]
+    fn flags_followed_by_options_do_not_steal_values() {
+        let args = parse(&["simulate", "--csv", "--replications", "100"]).unwrap();
+        assert!(args.flag("csv"));
+        assert_eq!(args.usize_or("replications", 1).unwrap(), 100);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(ArgError::MissingCommand.to_string().contains("help"));
+        let e = ArgError::InvalidValue {
+            option: "tasks".into(),
+            value: "x".into(),
+            expected: "an integer".into(),
+        };
+        assert!(e.to_string().contains("--tasks"));
+        assert!(ArgError::MissingOption { option: "platform".into() }
+            .to_string()
+            .contains("platform"));
+        assert!(ArgError::Unknown { what: "fig9".into() }.to_string().contains("fig9"));
+    }
+}

@@ -1,0 +1,510 @@
+//! Implementation of the CLI sub-commands.
+//!
+//! Every command returns the text it would print, so the unit tests can check
+//! outputs without capturing stdout.
+
+use crate::args::{ArgError, ParsedArgs};
+use chain2l_analysis::experiments::{self, ExperimentConfig};
+use chain2l_analysis::sweep;
+use chain2l_analysis::validation;
+use chain2l_core::evaluator::expected_makespan;
+use chain2l_core::{optimize, Algorithm, PartialCostModel};
+use chain2l_model::platform::scr;
+use chain2l_model::{Platform, Scenario, Schedule, WeightPattern};
+use chain2l_sim::runner::{run_monte_carlo, MonteCarloConfig};
+
+/// Text shown by `chain2l help` (and on any argument error).
+pub const HELP: &str = "\
+chain2l — two-level checkpointing and verifications for linear task graphs
+(reproduction of Benoit, Cavelan, Robert, Sun — IPDPSW/PDSEC 2016)
+
+USAGE:
+  chain2l <command> [options]
+
+COMMANDS:
+  platforms                       print the Table I platforms
+  optimize                        run one of the optimizers on one scenario
+  evaluate                        evaluate a hand-written schedule
+  simulate                        Monte-Carlo replay of the optimal schedule
+  validate                        analytical-vs-simulation agreement table
+  experiment fig5|fig6|fig7|fig8|table1
+                                  regenerate a paper figure or table
+  sweep recall|cost|rates|tail|heuristics
+                                  run an ablation sweep
+  sensitivity                     elasticity of the optimum w.r.t. every parameter
+  help                            show this message
+
+COMMON OPTIONS:
+  --platform <hera|atlas|coastal|coastal-ssd>   (default: hera)
+  --pattern  <uniform|decrease|highlow>         (default: uniform)
+  --tasks    <n>                                (default: 50)
+  --weight   <seconds>                          (default: 25000)
+  --algorithm <adv*|admv*|admv|admv-refined>    (default: admv)
+  --csv                                         print CSV instead of aligned text
+
+OPTIMIZE / EVALUATE:
+  --strips                        also print the Figure-6 style placement strips
+  --schedule <actions>            (evaluate) one character per task:
+                                  . none, p partial, v guaranteed, M memory, D disk
+
+SIMULATE / VALIDATE:
+  --replications <n>              (default: 10000)
+  --seed <n>                      (default: 42)
+  --threads <n>                   (default: 4)
+  --histogram                     (simulate) print the makespan distribution
+
+SENSITIVITY:
+  --step <fraction>               relative perturbation (default: 0.05)
+
+EXPERIMENT:
+  --quick | --coarse | --paper    sweep granularity (default: --coarse)
+  --tasks <n>                     strip size for fig6 (default: 50)
+";
+
+/// Runs the command described by `args` and returns the text to print.
+pub fn run(args: &ParsedArgs) -> Result<String, ArgError> {
+    match args.command.as_str() {
+        "help" | "--help" | "-h" => Ok(HELP.to_string()),
+        "platforms" => Ok(render_table(&experiments::table1(), args)),
+        "optimize" => cmd_optimize(args),
+        "evaluate" => cmd_evaluate(args),
+        "simulate" => cmd_simulate(args),
+        "validate" => cmd_validate(args),
+        "experiment" => cmd_experiment(args),
+        "sweep" => cmd_sweep(args),
+        "sensitivity" => cmd_sensitivity(args),
+        other => Err(ArgError::Unknown { what: other.to_string() }),
+    }
+}
+
+fn render_table(table: &chain2l_analysis::Table, args: &ParsedArgs) -> String {
+    if args.flag("csv") {
+        table.to_csv()
+    } else {
+        table.to_aligned_text()
+    }
+}
+
+fn parse_platform(args: &ParsedArgs) -> Result<Platform, ArgError> {
+    let name = args.get_or("platform", "hera");
+    scr::by_name(name).ok_or_else(|| ArgError::InvalidValue {
+        option: "platform".into(),
+        value: name.to_string(),
+        expected: "hera, atlas, coastal or coastal-ssd".into(),
+    })
+}
+
+fn parse_pattern(args: &ParsedArgs) -> Result<WeightPattern, ArgError> {
+    match args.get_or("pattern", "uniform") {
+        "uniform" => Ok(WeightPattern::Uniform),
+        "decrease" => Ok(WeightPattern::Decrease),
+        "increase" => Ok(WeightPattern::Increase),
+        "highlow" => Ok(WeightPattern::high_low_default()),
+        other => Err(ArgError::InvalidValue {
+            option: "pattern".into(),
+            value: other.to_string(),
+            expected: "uniform, decrease, increase or highlow".into(),
+        }),
+    }
+}
+
+fn parse_algorithm(args: &ParsedArgs) -> Result<Algorithm, ArgError> {
+    let label = args.get_or("algorithm", "admv");
+    Algorithm::parse(label).ok_or_else(|| ArgError::InvalidValue {
+        option: "algorithm".into(),
+        value: label.to_string(),
+        expected: "adv*, admv*, admv or admv-refined".into(),
+    })
+}
+
+fn parse_scenario(args: &ParsedArgs) -> Result<Scenario, ArgError> {
+    let platform = parse_platform(args)?;
+    let pattern = parse_pattern(args)?;
+    let tasks = args.usize_or("tasks", 50)?;
+    let weight = args.f64_or("weight", experiments::PAPER_TOTAL_WEIGHT)?;
+    Scenario::paper_setup(&platform, &pattern, tasks, weight).map_err(|e| ArgError::InvalidValue {
+        option: "tasks".into(),
+        value: format!("{tasks}"),
+        expected: leak(format!("a valid scenario ({e})")),
+    })
+}
+
+/// `ArgError` carries `&'static str` expectations only in `InvalidValue`'s
+/// `expected: String`; this helper keeps dynamic messages simple.
+fn leak(message: String) -> String {
+    message
+}
+
+fn cmd_optimize(args: &ParsedArgs) -> Result<String, ArgError> {
+    let scenario = parse_scenario(args)?;
+    let algorithm = parse_algorithm(args)?;
+    let solution = optimize(&scenario, algorithm);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} on {} ({} pattern, n = {}, W = {} s)\n",
+        algorithm.label(),
+        scenario.platform.name,
+        args.get_or("pattern", "uniform"),
+        scenario.task_count(),
+        scenario.chain.total_weight()
+    ));
+    out.push_str(&format!(
+        "expected makespan: {:.2} s (normalized {:.5}, overhead {:.2} %)\n",
+        solution.expected_makespan,
+        solution.normalized_makespan,
+        solution.overhead() * 100.0
+    ));
+    let c = solution.counts;
+    out.push_str(&format!(
+        "placements: {} disk ckpts, {} memory ckpts, {} guaranteed verifs, {} partial verifs\n",
+        c.disk_checkpoints,
+        c.memory_checkpoints,
+        c.guaranteed_verifications,
+        c.partial_verifications
+    ));
+    out.push_str(&format!("schedule: {}\n", solution.schedule));
+    if args.flag("strips") {
+        out.push_str(&solution.schedule.render_strips("placement strips"));
+    }
+    Ok(out)
+}
+
+/// Parses the compact schedule notation (one character per task boundary);
+/// thin wrapper over [`Schedule::parse_compact`] mapping errors to [`ArgError`].
+pub fn parse_schedule_string(spec: &str) -> Result<Schedule, ArgError> {
+    Schedule::parse_compact(spec).map_err(|e| ArgError::InvalidValue {
+        option: "schedule".into(),
+        value: spec.to_string(),
+        expected: leak(e.to_string()),
+    })
+}
+
+fn cmd_evaluate(args: &ParsedArgs) -> Result<String, ArgError> {
+    let scenario = parse_scenario(args)?;
+    let spec = args
+        .options
+        .get("schedule")
+        .ok_or(ArgError::MissingOption { option: "schedule".into() })?;
+    let schedule = parse_schedule_string(spec)?;
+    let value = expected_makespan(&scenario, &schedule, PartialCostModel::PaperExact).map_err(
+        |e| ArgError::InvalidValue {
+            option: "schedule".into(),
+            value: spec.clone(),
+            expected: leak(e.to_string()),
+        },
+    )?;
+    Ok(format!(
+        "schedule {} on {}: expected makespan {:.2} s (normalized {:.5})\n",
+        schedule,
+        scenario.platform.name,
+        value,
+        value / scenario.error_free_time()
+    ))
+}
+
+fn cmd_simulate(args: &ParsedArgs) -> Result<String, ArgError> {
+    let scenario = parse_scenario(args)?;
+    let algorithm = parse_algorithm(args)?;
+    let solution = optimize(&scenario, algorithm);
+    let config = MonteCarloConfig {
+        replications: args.usize_or("replications", 10_000)?,
+        seed: args.u64_or("seed", 42)?,
+        threads: args.usize_or("threads", 4)?,
+    };
+    let report = run_monte_carlo(&scenario, &solution.schedule, config).map_err(|e| {
+        ArgError::InvalidValue {
+            option: "replications".into(),
+            value: format!("{}", config.replications),
+            expected: leak(e.to_string()),
+        }
+    })?;
+    let mut out = format!(
+        "{} on {} (n = {}): analytical {:.2} s, simulated {:.2} s ± {:.2} \
+         (95 % CI over {} replications, relative error {:+.3} %)\n\
+         mean errors per run: {:.3} fail-stop, {:.3} silent; \
+         mean wasted work {:.1} s, mean overhead {:.1} s\n",
+        algorithm.label(),
+        scenario.platform.name,
+        scenario.task_count(),
+        solution.expected_makespan,
+        report.makespan.mean,
+        report.makespan.ci_half_width(),
+        report.replications,
+        report.relative_error_vs(solution.expected_makespan) * 100.0,
+        report.mean_fail_stop_errors,
+        report.mean_silent_errors,
+        report.mean_wasted_work,
+        report.mean_resilience_overhead,
+    );
+    if args.flag("histogram") {
+        let convergence = chain2l_sim::convergence::ConvergenceConfig {
+            target_relative_half_width: 1e-4,
+            batch_size: config.replications.max(1),
+            max_replications: config.replications.max(1),
+            min_replications: config.replications.max(1),
+            seed: config.seed,
+        };
+        let dist = chain2l_sim::convergence::run_until_converged(
+            &scenario,
+            &solution.schedule,
+            convergence,
+        )
+        .map_err(|e| ArgError::InvalidValue {
+            option: "histogram".into(),
+            value: String::new(),
+            expected: leak(e.to_string()),
+        })?
+        .distribution;
+        out.push_str(&format!(
+            "p50 {:.1} s, p95 {:.1} s, p99 {:.1} s, max {:.1} s\n",
+            dist.quantile(0.50).unwrap_or(f64::NAN),
+            dist.quantile(0.95).unwrap_or(f64::NAN),
+            dist.quantile(0.99).unwrap_or(f64::NAN),
+            dist.max().unwrap_or(f64::NAN),
+        ));
+        out.push_str(&dist.histogram(12));
+    }
+    Ok(out)
+}
+
+fn cmd_sensitivity(args: &ParsedArgs) -> Result<String, ArgError> {
+    let scenario = parse_scenario(args)?;
+    let algorithm = parse_algorithm(args)?;
+    let step = args.f64_or("step", 0.05)?;
+    if !(step > 0.0 && step < 1.0) {
+        return Err(ArgError::InvalidValue {
+            option: "step".into(),
+            value: step.to_string(),
+            expected: "a fraction strictly between 0 and 1".into(),
+        });
+    }
+    let report = chain2l_core::sensitivity::analyze(&scenario, algorithm, step);
+    Ok(chain2l_analysis::markdown::sensitivity_to_markdown(&report))
+}
+
+fn cmd_validate(args: &ParsedArgs) -> Result<String, ArgError> {
+    let replications = args.usize_or("replications", 10_000)?;
+    let seed = args.u64_or("seed", 42)?;
+    let threads = args.usize_or("threads", 4)?;
+    let tasks = args.usize_or("tasks", 20)?;
+    let weight = args.f64_or("weight", experiments::PAPER_TOTAL_WEIGHT)?;
+    let pattern = parse_pattern(args)?;
+    let mut rows = Vec::new();
+    for platform in scr::all() {
+        let scenario = Scenario::paper_setup(&platform, &pattern, tasks, weight)
+            .expect("valid paper setup");
+        for algorithm in [Algorithm::SingleLevel, Algorithm::TwoLevel, Algorithm::TwoLevelPartial]
+        {
+            rows.push(validation::validate(&scenario, algorithm, replications, seed, threads));
+        }
+    }
+    Ok(render_table(&validation::validation_table(&rows), args))
+}
+
+fn experiment_config(args: &ParsedArgs) -> ExperimentConfig {
+    if args.flag("paper") {
+        ExperimentConfig::paper()
+    } else if args.flag("quick") {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::coarse()
+    }
+}
+
+fn cmd_experiment(args: &ParsedArgs) -> Result<String, ArgError> {
+    let which = args
+        .positionals
+        .first()
+        .map(|s| s.as_str())
+        .ok_or(ArgError::MissingOption { option: "experiment name".into() })?;
+    let config = experiment_config(args);
+    match which {
+        "table1" => Ok(render_table(&experiments::table1(), args)),
+        "fig5" => {
+            let data = experiments::fig5(&config);
+            if args.flag("csv") {
+                Ok(data.to_tables().iter().map(|t| t.to_csv()).collect::<Vec<_>>().join("\n"))
+            } else {
+                Ok(data.render())
+            }
+        }
+        "fig6" => {
+            let n = args.usize_or("tasks", 50)?;
+            let weight = args.f64_or("weight", experiments::PAPER_TOTAL_WEIGHT)?;
+            let strips = experiments::fig6(n, weight);
+            Ok(strips.iter().map(|s| s.render()).collect::<Vec<_>>().join("\n"))
+        }
+        "fig7" => Ok(experiments::fig7(&config).render()),
+        "fig8" => Ok(experiments::fig8(&config).render()),
+        other => Err(ArgError::Unknown { what: other.to_string() }),
+    }
+}
+
+fn cmd_sweep(args: &ParsedArgs) -> Result<String, ArgError> {
+    let which = args
+        .positionals
+        .first()
+        .map(|s| s.as_str())
+        .ok_or(ArgError::MissingOption { option: "sweep name".into() })?;
+    let platform = parse_platform(args)?;
+    let tasks = args.usize_or("tasks", 20)?;
+    let weight = args.f64_or("weight", experiments::PAPER_TOTAL_WEIGHT)?;
+    let table = match which {
+        "recall" => sweep::recall_sweep(&platform, tasks, weight, &[0.2, 0.4, 0.6, 0.8, 1.0]),
+        "cost" => {
+            sweep::partial_cost_sweep(&platform, tasks, weight, &[1.0, 10.0, 100.0, 1000.0])
+        }
+        "rates" => sweep::rate_scaling_sweep(&platform, tasks, weight, &[1.0, 2.0, 5.0, 10.0, 50.0]),
+        "tail" => sweep::tail_accounting_comparison(&scr::all(), tasks, weight),
+        "heuristics" => sweep::heuristic_comparison(&platform, tasks, weight),
+        other => return Err(ArgError::Unknown { what: other.to_string() }),
+    };
+    Ok(render_table(&table, args))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_tokens(tokens: &[&str]) -> Result<String, ArgError> {
+        let args = ParsedArgs::parse(tokens.iter().map(|s| s.to_string()))?;
+        run(&args)
+    }
+
+    #[test]
+    fn help_lists_every_command() {
+        let out = run_tokens(&["help"]).unwrap();
+        for cmd in ["platforms", "optimize", "evaluate", "simulate", "experiment", "sweep"] {
+            assert!(out.contains(cmd), "help misses {cmd}");
+        }
+    }
+
+    #[test]
+    fn platforms_prints_table_one() {
+        let out = run_tokens(&["platforms"]).unwrap();
+        assert!(out.contains("Hera"));
+        assert!(out.contains("Coastal SSD"));
+        let csv = run_tokens(&["platforms", "--csv"]).unwrap();
+        assert!(csv.starts_with("platform,"));
+    }
+
+    #[test]
+    fn optimize_reports_makespan_and_counts() {
+        let out = run_tokens(&[
+            "optimize", "--platform", "hera", "--tasks", "10", "--algorithm", "admv*",
+        ])
+        .unwrap();
+        assert!(out.contains("ADMV* on Hera"));
+        assert!(out.contains("expected makespan"));
+        assert!(out.contains("disk ckpts"));
+    }
+
+    #[test]
+    fn optimize_with_strips_renders_rows() {
+        let out = run_tokens(&[
+            "optimize", "--tasks", "8", "--algorithm", "admv", "--strips",
+        ])
+        .unwrap();
+        assert!(out.contains("Partial verifs"));
+    }
+
+    #[test]
+    fn evaluate_parses_compact_schedules() {
+        let out = run_tokens(&[
+            "evaluate", "--tasks", "6", "--schedule", "..M..D",
+        ])
+        .unwrap();
+        assert!(out.contains("expected makespan"));
+        // Schedule must match the task count.
+        let err = run_tokens(&["evaluate", "--tasks", "5", "--schedule", "..M..D"]);
+        assert!(err.is_err());
+        // Unknown characters are rejected.
+        let err = run_tokens(&["evaluate", "--tasks", "3", "--schedule", "..X"]);
+        assert!(err.is_err());
+        // Missing option.
+        let err = run_tokens(&["evaluate", "--tasks", "3"]);
+        assert!(matches!(err, Err(ArgError::MissingOption { .. })));
+    }
+
+    #[test]
+    fn parse_schedule_string_accepts_decorations() {
+        let s = parse_schedule_string("|.pvMD|").unwrap();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.render_compact(), "|.pvMD|");
+    }
+
+    #[test]
+    fn simulate_reports_agreement() {
+        let out = run_tokens(&[
+            "simulate", "--tasks", "8", "--replications", "500", "--threads", "2",
+            "--algorithm", "admv*",
+        ])
+        .unwrap();
+        assert!(out.contains("analytical"));
+        assert!(out.contains("simulated"));
+        assert!(out.contains("relative error"));
+    }
+
+    #[test]
+    fn experiment_table1_and_fig6_run() {
+        let out = run_tokens(&["experiment", "table1"]).unwrap();
+        assert!(out.contains("Hera"));
+        let out = run_tokens(&["experiment", "fig6", "--tasks", "10"]).unwrap();
+        assert!(out.contains("Platform Hera with ADMV and n=10"));
+        assert!(out.contains("Platform Coastal SSD"));
+    }
+
+    #[test]
+    fn experiment_requires_a_known_name() {
+        assert!(matches!(
+            run_tokens(&["experiment"]),
+            Err(ArgError::MissingOption { .. })
+        ));
+        assert!(matches!(
+            run_tokens(&["experiment", "fig9"]),
+            Err(ArgError::Unknown { .. })
+        ));
+    }
+
+    #[test]
+    fn sweep_heuristics_runs() {
+        let out = run_tokens(&["sweep", "heuristics", "--tasks", "10"]).unwrap();
+        assert!(out.contains("optimal"));
+        assert!(out.contains("Young/Daly"));
+    }
+
+    #[test]
+    fn simulate_with_histogram_prints_percentiles() {
+        let out = run_tokens(&[
+            "simulate", "--tasks", "6", "--replications", "400", "--threads", "1",
+            "--algorithm", "admv*", "--histogram",
+        ])
+        .unwrap();
+        assert!(out.contains("p95"));
+        assert!(out.contains('#'));
+    }
+
+    #[test]
+    fn sensitivity_reports_every_parameter() {
+        let out = run_tokens(&[
+            "sensitivity", "--tasks", "8", "--algorithm", "admv*", "--step", "0.1",
+        ])
+        .unwrap();
+        for label in ["lambda_f", "lambda_s", "C_D", "C_M", "elasticity"] {
+            assert!(out.contains(label), "missing {label}:\n{out}");
+        }
+        assert!(run_tokens(&["sensitivity", "--step", "2.0", "--tasks", "5"]).is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(matches!(run_tokens(&["frobnicate"]), Err(ArgError::Unknown { .. })));
+    }
+
+    #[test]
+    fn bad_platform_and_algorithm_are_rejected() {
+        assert!(run_tokens(&["optimize", "--platform", "titan"]).is_err());
+        assert!(run_tokens(&["optimize", "--algorithm", "magic"]).is_err());
+        assert!(run_tokens(&["optimize", "--pattern", "random"]).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! `chain2l` — command-line interface of the two-level checkpointing library.
+//!
+//! Run `chain2l help` for the list of commands; each one maps onto the public
+//! APIs of `chain2l-core`, `chain2l-sim` and `chain2l-analysis`.
+
+mod args;
+mod commands;
+
+use args::ParsedArgs;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match ParsedArgs::parse(raw) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", commands::HELP);
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

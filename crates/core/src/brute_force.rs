@@ -1,0 +1,218 @@
+//! Exhaustive optimization for small chains.
+//!
+//! The brute-force optimizer enumerates *every* feasible placement of
+//! resilience actions on chains of a handful of tasks and evaluates each with
+//! the analytical evaluator of [`crate::evaluator`].  It exists for one
+//! purpose: certifying that the polynomial dynamic programs of
+//! [`crate::two_level`] and [`crate::partial`] really return the optimum of
+//! the model as implemented (property tests compare the two on randomly drawn
+//! scenarios).
+//!
+//! The search space is `4^(n−1)` placements without partial verifications and
+//! `5^(n−1)` with them (the final boundary is fixed to a disk checkpoint, as
+//! in the DPs), so keep `n ≤ 9` or so.
+
+use crate::evaluator::expected_makespan_with;
+use crate::segment::{PartialCostModel, SegmentCalculator};
+use crate::solution::{DpStatistics, Solution};
+use chain2l_model::{Action, Scenario, Schedule};
+
+/// Which action alphabet the exhaustive search enumerates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BruteForceSpace {
+    /// `{None, V*, V*+C_M, V*+C_M+C_D}` — the search space of `A_DMV*`.
+    GuaranteedOnly,
+    /// Adds partial verifications — the search space of `A_DMV`.
+    WithPartials,
+}
+
+impl BruteForceSpace {
+    fn alphabet(self) -> &'static [Action] {
+        match self {
+            BruteForceSpace::GuaranteedOnly => &[
+                Action::None,
+                Action::GuaranteedVerification,
+                Action::MemoryCheckpoint,
+                Action::DiskCheckpoint,
+            ],
+            BruteForceSpace::WithPartials => &[
+                Action::None,
+                Action::PartialVerification,
+                Action::GuaranteedVerification,
+                Action::MemoryCheckpoint,
+                Action::DiskCheckpoint,
+            ],
+        }
+    }
+}
+
+/// Hard cap on the chain length accepted by [`optimize_brute_force`]
+/// (the search is exponential).
+pub const MAX_BRUTE_FORCE_TASKS: usize = 12;
+
+/// Exhaustively searches every placement over `space` and returns the best
+/// one together with its exact expected makespan.
+///
+/// `model` is the evaluation convention passed to the analytical evaluator;
+/// use [`PartialCostModel::Refined`] when comparing against
+/// [`crate::two_level`] and either convention when comparing against
+/// [`crate::partial`] run with the same `model`.
+///
+/// # Panics
+/// Panics if the chain has more than [`MAX_BRUTE_FORCE_TASKS`] tasks.
+pub fn optimize_brute_force(
+    scenario: &Scenario,
+    space: BruteForceSpace,
+    model: PartialCostModel,
+) -> Solution {
+    let n = scenario.task_count();
+    assert!(
+        n <= MAX_BRUTE_FORCE_TASKS,
+        "brute force is exponential; refusing n = {n} > {MAX_BRUTE_FORCE_TASKS}"
+    );
+    let calc = SegmentCalculator::new(scenario);
+    let alphabet = space.alphabet();
+
+    let mut best_value = f64::INFINITY;
+    let mut best_schedule = Schedule::terminal_only(n);
+    let mut evaluated = 0u64;
+
+    // Enumerate all assignments of the first n−1 boundaries; the final
+    // boundary is fixed to a disk checkpoint (same convention as the DPs).
+    let free = n - 1;
+    let base = alphabet.len() as u64;
+    let total = base.pow(free as u32);
+    let mut actions = vec![Action::None; n];
+    actions[n - 1] = Action::DiskCheckpoint;
+    for code in 0..total {
+        let mut c = code;
+        for slot in actions.iter_mut().take(free) {
+            *slot = alphabet[(c % base) as usize];
+            c /= base;
+        }
+        let schedule = Schedule::from_actions(actions.clone()).expect("non-empty");
+        let value = expected_makespan_with(&calc, &schedule, model)
+            .expect("enumerated schedules are valid");
+        evaluated += 1;
+        if value < best_value {
+            best_value = value;
+            best_schedule = schedule;
+        }
+    }
+
+    let stats = DpStatistics { table_entries: 0, candidates_examined: evaluated };
+    Solution::new(best_value, best_schedule, scenario, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partial::{optimize_with_partials, PartialOptions};
+    use crate::two_level::{optimize_two_level, TwoLevelOptions};
+    use chain2l_model::math::approx_eq;
+    use chain2l_model::pattern::WeightPattern;
+    use chain2l_model::platform::{scr, Platform};
+    use chain2l_model::Scenario;
+
+    fn scenario(platform: &Platform, pattern: &WeightPattern, n: usize, total: f64) -> Scenario {
+        Scenario::paper_setup(platform, pattern, n, total).unwrap()
+    }
+
+    #[test]
+    fn brute_force_matches_two_level_dp_on_small_chains() {
+        // DP optimality certificate for the guaranteed-only search space.
+        for platform in scr::all() {
+            for n in [1usize, 2, 3, 5] {
+                let s = scenario(&platform, &WeightPattern::Uniform, n, 25_000.0);
+                let dp = optimize_two_level(&s, TwoLevelOptions::two_level());
+                let bf = optimize_brute_force(
+                    &s,
+                    BruteForceSpace::GuaranteedOnly,
+                    PartialCostModel::Refined,
+                );
+                assert!(
+                    approx_eq(dp.expected_makespan, bf.expected_makespan, 1e-9),
+                    "{} n={n}: DP={} brute={}",
+                    platform.name,
+                    dp.expected_makespan,
+                    bf.expected_makespan
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn brute_force_matches_two_level_dp_on_skewed_patterns() {
+        for pattern in [WeightPattern::Decrease, WeightPattern::high_low_default()] {
+            let s = scenario(&scr::hera(), &pattern, 6, 25_000.0);
+            let dp = optimize_two_level(&s, TwoLevelOptions::two_level());
+            let bf = optimize_brute_force(
+                &s,
+                BruteForceSpace::GuaranteedOnly,
+                PartialCostModel::Refined,
+            );
+            assert!(
+                approx_eq(dp.expected_makespan, bf.expected_makespan, 1e-9),
+                "{}: DP={} brute={}",
+                pattern.name(),
+                dp.expected_makespan,
+                bf.expected_makespan
+            );
+        }
+    }
+
+    #[test]
+    fn brute_force_matches_partial_dp_on_small_chains() {
+        // DP optimality certificate for the full search space, under both
+        // tail-accounting conventions.
+        let platform = Platform::new("sdc-heavy", 64, 2e-6, 4e-5, 200.0, 20.0).unwrap();
+        for (options, model) in [
+            (PartialOptions::paper_exact(), PartialCostModel::PaperExact),
+            (PartialOptions::refined(), PartialCostModel::Refined),
+        ] {
+            for n in [2usize, 4, 6] {
+                let s = scenario(&platform, &WeightPattern::Uniform, n, 25_000.0);
+                let dp = optimize_with_partials(&s, options);
+                let bf = optimize_brute_force(&s, BruteForceSpace::WithPartials, model);
+                assert!(
+                    approx_eq(dp.expected_makespan, bf.expected_makespan, 1e-9),
+                    "n={n} {model:?}: DP={} brute={}",
+                    dp.expected_makespan,
+                    bf.expected_makespan
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn brute_force_with_partials_never_worse_than_without() {
+        let s = scenario(&scr::hera(), &WeightPattern::Uniform, 5, 25_000.0);
+        let without = optimize_brute_force(
+            &s,
+            BruteForceSpace::GuaranteedOnly,
+            PartialCostModel::Refined,
+        );
+        let with = optimize_brute_force(&s, BruteForceSpace::WithPartials, PartialCostModel::Refined);
+        assert!(with.expected_makespan <= without.expected_makespan + 1e-9);
+    }
+
+    #[test]
+    fn brute_force_counts_all_candidates() {
+        let s = scenario(&scr::hera(), &WeightPattern::Uniform, 4, 25_000.0);
+        let bf = optimize_brute_force(
+            &s,
+            BruteForceSpace::GuaranteedOnly,
+            PartialCostModel::Refined,
+        );
+        assert_eq!(bf.stats.candidates_examined, 4u64.pow(3));
+        let bf = optimize_brute_force(&s, BruteForceSpace::WithPartials, PartialCostModel::Refined);
+        assert_eq!(bf.stats.candidates_examined, 5u64.pow(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing")]
+    fn brute_force_refuses_large_chains() {
+        let s = scenario(&scr::hera(), &WeightPattern::Uniform, 20, 25_000.0);
+        let _ = optimize_brute_force(&s, BruteForceSpace::GuaranteedOnly, PartialCostModel::Refined);
+    }
+}

@@ -1,0 +1,232 @@
+//! Baseline heuristic placements.
+//!
+//! These are *not* part of the paper's contribution — they are the obvious
+//! strategies a practitioner might use instead of the dynamic programs, and
+//! the ablation benchmarks use them to quantify what the optimal placement
+//! actually buys:
+//!
+//! * [`no_resilience`] — only the mandatory terminal verified checkpoint;
+//! * [`checkpoint_every_task`] — disk checkpoint after every task;
+//! * [`memory_checkpoint_every_task`] — memory checkpoint after every task
+//!   (plus the terminal disk checkpoint);
+//! * [`periodic`] — a fixed-period placement of a chosen action;
+//! * [`young_daly`] — periods derived from the classical Young/Daly first-order
+//!   formula `T_opt = √(2 C / λ)`, rounded to whole tasks: disk checkpoints
+//!   paced against fail-stop errors and memory checkpoints (with their
+//!   guaranteed verification) paced against silent errors;
+//! * [`best_periodic`] — exhaustively tries every period for a given action
+//!   and returns the best one under the analytical evaluator.
+
+use crate::evaluator::expected_makespan_with;
+use crate::segment::{PartialCostModel, SegmentCalculator};
+use chain2l_model::{Action, ModelError, Scenario, Schedule};
+
+/// Only the mandatory terminal verification + memory + disk checkpoint.
+pub fn no_resilience(scenario: &Scenario) -> Schedule {
+    Schedule::terminal_only(scenario.task_count())
+}
+
+/// A disk checkpoint (with its memory checkpoint and guaranteed verification)
+/// after every task.
+pub fn checkpoint_every_task(scenario: &Scenario) -> Schedule {
+    Schedule::every_task(scenario.task_count(), Action::DiskCheckpoint)
+}
+
+/// A memory checkpoint (with its guaranteed verification) after every task,
+/// and a disk checkpoint after the last one.
+pub fn memory_checkpoint_every_task(scenario: &Scenario) -> Schedule {
+    let n = scenario.task_count();
+    let mut s = Schedule::every_task(n, Action::MemoryCheckpoint);
+    s.set_action(n, Action::DiskCheckpoint);
+    s
+}
+
+/// `action` after every `period`-th task, with a terminal disk checkpoint.
+pub fn periodic(scenario: &Scenario, period: usize, action: Action) -> Schedule {
+    Schedule::periodic(scenario.task_count(), period, action)
+}
+
+/// A two-level Young/Daly-style placement.
+///
+/// The classical first-order result for divisible applications places a
+/// checkpoint of cost `C` every `√(2 C / λ)` seconds of work.  We apply it at
+/// both levels: disk checkpoints are paced against the fail-stop rate with cost
+/// `C_D`, memory checkpoints (each with its guaranteed verification) against
+/// the silent-error rate with cost `C_M + V*`.  Periods are converted to a
+/// whole number of tasks using the average task weight and clamped to `[1, n]`.
+///
+/// # Errors
+/// Returns an error when a rate is zero and the corresponding period is
+/// therefore infinite *and* the other one is too (nothing to place); in that
+/// case use [`no_resilience`] instead.
+pub fn young_daly(scenario: &Scenario) -> Result<Schedule, ModelError> {
+    let n = scenario.task_count();
+    let avg_task = scenario.chain.total_weight() / n as f64;
+    if avg_task <= 0.0 {
+        return Ok(no_resilience(scenario));
+    }
+    let lambda_f = scenario.platform.lambda_fail_stop;
+    let lambda_s = scenario.platform.lambda_silent;
+    if lambda_f == 0.0 && lambda_s == 0.0 {
+        return Ok(no_resilience(scenario));
+    }
+
+    let period_tasks = |cost: f64, lambda: f64| -> Option<usize> {
+        if lambda == 0.0 {
+            return None;
+        }
+        let seconds = (2.0 * cost / lambda).sqrt();
+        Some(((seconds / avg_task).round() as usize).clamp(1, n))
+    };
+
+    let disk_period = period_tasks(scenario.costs.disk_checkpoint, lambda_f);
+    let mem_period = period_tasks(
+        scenario.costs.memory_checkpoint + scenario.costs.guaranteed_verification,
+        lambda_s,
+    );
+
+    let mut schedule = Schedule::empty(n);
+    if let Some(p) = mem_period {
+        let mut i = p;
+        while i <= n {
+            schedule.set_action(i, Action::MemoryCheckpoint);
+            i += p;
+        }
+    }
+    if let Some(p) = disk_period {
+        let mut i = p;
+        while i <= n {
+            schedule.set_action(i, Action::DiskCheckpoint);
+            i += p;
+        }
+    }
+    schedule.set_action(n, Action::DiskCheckpoint);
+    Ok(schedule)
+}
+
+/// Evaluates every period `1..=n` for `action` and returns the best schedule
+/// together with its expected makespan.
+pub fn best_periodic(
+    scenario: &Scenario,
+    action: Action,
+    model: PartialCostModel,
+) -> (Schedule, f64) {
+    let n = scenario.task_count();
+    let calc = SegmentCalculator::new(scenario);
+    let mut best: Option<(Schedule, f64)> = None;
+    for period in 1..=n {
+        let schedule = Schedule::periodic(n, period, action);
+        let value = expected_makespan_with(&calc, &schedule, model)
+            .expect("periodic schedules are valid");
+        if best.as_ref().is_none_or(|(_, b)| value < *b) {
+            best = Some((schedule, value));
+        }
+    }
+    best.expect("n >= 1 yields at least one candidate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::expected_makespan;
+    use crate::two_level::{optimize_two_level, TwoLevelOptions};
+    use chain2l_model::pattern::WeightPattern;
+    use chain2l_model::platform::{scr, Platform};
+    use chain2l_model::{ResilienceCosts, Scenario};
+
+    fn hera(n: usize) -> Scenario {
+        Scenario::paper_setup(&scr::hera(), &WeightPattern::Uniform, n, 25_000.0).unwrap()
+    }
+
+    #[test]
+    fn all_heuristics_produce_valid_schedules() {
+        let s = hera(20);
+        for schedule in [
+            no_resilience(&s),
+            checkpoint_every_task(&s),
+            memory_checkpoint_every_task(&s),
+            periodic(&s, 4, Action::MemoryCheckpoint),
+            young_daly(&s).unwrap(),
+            best_periodic(&s, Action::MemoryCheckpoint, PartialCostModel::Refined).0,
+        ] {
+            schedule.validate(&s.chain).unwrap();
+        }
+    }
+
+    #[test]
+    fn optimal_dp_beats_every_heuristic() {
+        let s = hera(30);
+        let optimal = optimize_two_level(&s, TwoLevelOptions::two_level());
+        let candidates = vec![
+            no_resilience(&s),
+            checkpoint_every_task(&s),
+            memory_checkpoint_every_task(&s),
+            periodic(&s, 5, Action::MemoryCheckpoint),
+            young_daly(&s).unwrap(),
+            best_periodic(&s, Action::MemoryCheckpoint, PartialCostModel::Refined).0,
+        ];
+        for schedule in candidates {
+            let value = expected_makespan(&s, &schedule, PartialCostModel::Refined).unwrap();
+            assert!(
+                value >= optimal.expected_makespan - 1e-9,
+                "heuristic {schedule} beat the DP: {value} < {}",
+                optimal.expected_makespan
+            );
+        }
+    }
+
+    #[test]
+    fn young_daly_is_reasonable_on_hera() {
+        // Not optimal, but within a few percent of the DP on the paper setup.
+        let s = hera(50);
+        let optimal = optimize_two_level(&s, TwoLevelOptions::two_level());
+        let yd = young_daly(&s).unwrap();
+        let value = expected_makespan(&s, &yd, PartialCostModel::Refined).unwrap();
+        assert!(value >= optimal.expected_makespan);
+        assert!(
+            value <= 1.10 * optimal.expected_makespan,
+            "Young/Daly is {value}, optimum is {}",
+            optimal.expected_makespan
+        );
+    }
+
+    #[test]
+    fn young_daly_places_more_memory_than_disk_checkpoints_on_hera() {
+        let s = hera(50);
+        let yd = young_daly(&s).unwrap();
+        let c = yd.counts();
+        assert!(c.memory_checkpoints > c.disk_checkpoints, "{c:?}");
+    }
+
+    #[test]
+    fn young_daly_with_zero_rates_degenerates_to_no_resilience() {
+        let platform = Platform::new("ideal", 1, 0.0, 0.0, 100.0, 10.0).unwrap();
+        let chain = WeightPattern::Uniform.generate(10, 1_000.0).unwrap();
+        let costs = ResilienceCosts::paper_defaults(&platform);
+        let s = Scenario::new(chain, platform, costs).unwrap();
+        let yd = young_daly(&s).unwrap();
+        assert_eq!(yd, no_resilience(&s));
+    }
+
+    #[test]
+    fn best_periodic_is_at_least_as_good_as_any_fixed_period() {
+        let s = hera(20);
+        let (_, best) = best_periodic(&s, Action::MemoryCheckpoint, PartialCostModel::Refined);
+        for period in [1usize, 2, 5, 10, 20] {
+            let fixed = periodic(&s, period, Action::MemoryCheckpoint);
+            let value = expected_makespan(&s, &fixed, PartialCostModel::Refined).unwrap();
+            assert!(best <= value + 1e-9, "period {period}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_every_task_is_expensive() {
+        let s = hera(20);
+        let all = expected_makespan(&s, &checkpoint_every_task(&s), PartialCostModel::Refined)
+            .unwrap();
+        let none = expected_makespan(&s, &no_resilience(&s), PartialCostModel::Refined).unwrap();
+        // On Hera with only 20 tasks and moderate rates, checkpointing every
+        // task costs far more than it saves.
+        assert!(all > none);
+    }
+}

@@ -1,0 +1,183 @@
+//! # chain2l-core
+//!
+//! The dynamic-programming optimizers of *"Two-Level Checkpointing and
+//! Verifications for Linear Task Graphs"* (Benoit, Cavelan, Robert, Sun —
+//! IPDPSW/PDSEC 2016), plus the supporting machinery needed to validate them:
+//!
+//! * [`two_level`] — the §III-A dynamic program: `A_DMV*` (disk + memory
+//!   checkpoints + guaranteed verifications, `O(n⁴)`) and its single-level
+//!   restriction `A_DV*`;
+//! * [`partial`] — the §III-B dynamic program `A_DMV` that additionally places
+//!   partial verifications (`O(n⁶)`);
+//! * [`evaluator`] — exact expected-makespan evaluation of *arbitrary*
+//!   schedules (used by baselines, tests and the experiment harness);
+//! * [`brute_force`] — exhaustive search on small chains, certifying DP
+//!   optimality;
+//! * [`heuristics`] — baseline placements (periodic, Young/Daly, …);
+//! * [`sensitivity`] — elasticity of the optimum with respect to every model
+//!   parameter;
+//! * [`segment`] — the closed-form segment expectations (Eq. 2–4 and the
+//!   §III-B quantities) shared by all of the above.
+//!
+//! The unified entry point is [`optimize`], which dispatches on [`Algorithm`]:
+//!
+//! ```
+//! use chain2l_core::{optimize, Algorithm};
+//! use chain2l_model::platform::scr;
+//! use chain2l_model::pattern::WeightPattern;
+//! use chain2l_model::Scenario;
+//!
+//! let scenario =
+//!     Scenario::paper_setup(&scr::hera(), &WeightPattern::Uniform, 20, 25_000.0).unwrap();
+//! let single = optimize(&scenario, Algorithm::SingleLevel);
+//! let two = optimize(&scenario, Algorithm::TwoLevel);
+//! let full = optimize(&scenario, Algorithm::TwoLevelPartial);
+//! assert!(two.expected_makespan <= single.expected_makespan);
+//! assert!(full.schedule.validate(&scenario.chain).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod brute_force;
+pub mod evaluator;
+pub mod heuristics;
+pub mod partial;
+pub mod segment;
+pub mod sensitivity;
+pub mod solution;
+pub mod tables;
+pub mod two_level;
+
+pub use partial::{optimize_with_partials, PartialOptions};
+pub use segment::{PartialCostModel, SegmentCalculator};
+pub use solution::{DpStatistics, Solution};
+pub use two_level::{optimize_two_level, TwoLevelOptions};
+
+use chain2l_model::Scenario;
+use serde::{Deserialize, Serialize};
+
+/// The three algorithms evaluated in §IV of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// `A_DV*`: disk checkpoints (each with its memory copy) and guaranteed
+    /// verifications only.
+    SingleLevel,
+    /// `A_DMV*`: adds free-standing memory checkpoints (§III-A).
+    TwoLevel,
+    /// `A_DMV`: adds partial verifications (§III-B), equations as printed.
+    TwoLevelPartial,
+    /// `A_DMV` with the refined tail accounting (see `PartialCostModel`).
+    TwoLevelPartialRefined,
+}
+
+impl Algorithm {
+    /// The three algorithms of the paper, in the order of Figure 5.
+    pub fn paper_algorithms() -> [Algorithm; 3] {
+        [Algorithm::SingleLevel, Algorithm::TwoLevel, Algorithm::TwoLevelPartial]
+    }
+
+    /// Short label used in reports (matches the paper's notation).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::SingleLevel => "ADV*",
+            Algorithm::TwoLevel => "ADMV*",
+            Algorithm::TwoLevelPartial => "ADMV",
+            Algorithm::TwoLevelPartialRefined => "ADMV(refined)",
+        }
+    }
+
+    /// Parses the labels accepted by the CLI (`adv*`, `admv*`, `admv`,
+    /// `admv-refined`, case-insensitive).
+    pub fn parse(label: &str) -> Option<Algorithm> {
+        match label.to_ascii_lowercase().as_str() {
+            "adv*" | "adv" | "single" | "single-level" => Some(Algorithm::SingleLevel),
+            "admv*" | "two-level" | "twolevel" => Some(Algorithm::TwoLevel),
+            "admv" | "partial" => Some(Algorithm::TwoLevelPartial),
+            "admv(refined)" | "admv-refined" | "refined" => {
+                Some(Algorithm::TwoLevelPartialRefined)
+            }
+            _ => None,
+        }
+    }
+
+    /// The evaluation convention matching this algorithm's objective, for use
+    /// with [`evaluator::expected_makespan`].
+    pub fn cost_model(&self) -> PartialCostModel {
+        match self {
+            Algorithm::SingleLevel | Algorithm::TwoLevel => PartialCostModel::Refined,
+            Algorithm::TwoLevelPartial => PartialCostModel::PaperExact,
+            Algorithm::TwoLevelPartialRefined => PartialCostModel::Refined,
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Runs the selected algorithm on a scenario and returns the optimal expected
+/// makespan and schedule.
+pub fn optimize(scenario: &Scenario, algorithm: Algorithm) -> Solution {
+    match algorithm {
+        Algorithm::SingleLevel => {
+            two_level::optimize_two_level(scenario, TwoLevelOptions::single_level())
+        }
+        Algorithm::TwoLevel => {
+            two_level::optimize_two_level(scenario, TwoLevelOptions::two_level())
+        }
+        Algorithm::TwoLevelPartial => {
+            partial::optimize_with_partials(scenario, PartialOptions::paper_exact())
+        }
+        Algorithm::TwoLevelPartialRefined => {
+            partial::optimize_with_partials(scenario, PartialOptions::refined())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chain2l_model::pattern::WeightPattern;
+    use chain2l_model::platform::scr;
+
+    #[test]
+    fn algorithm_labels_and_parsing_round_trip() {
+        for a in [
+            Algorithm::SingleLevel,
+            Algorithm::TwoLevel,
+            Algorithm::TwoLevelPartial,
+            Algorithm::TwoLevelPartialRefined,
+        ] {
+            assert_eq!(Algorithm::parse(a.label()), Some(a), "{a}");
+        }
+        assert_eq!(Algorithm::parse("ADMV*"), Some(Algorithm::TwoLevel));
+        assert_eq!(Algorithm::parse("unknown"), None);
+    }
+
+    #[test]
+    fn paper_algorithms_are_in_figure_order() {
+        let labels: Vec<&str> =
+            Algorithm::paper_algorithms().iter().map(|a| a.label()).collect();
+        assert_eq!(labels, vec!["ADV*", "ADMV*", "ADMV"]);
+    }
+
+    #[test]
+    fn cost_models_match_algorithms() {
+        assert_eq!(Algorithm::TwoLevel.cost_model(), PartialCostModel::Refined);
+        assert_eq!(Algorithm::TwoLevelPartial.cost_model(), PartialCostModel::PaperExact);
+    }
+
+    #[test]
+    fn optimize_dispatches_and_preserves_dominance() {
+        let s = Scenario::paper_setup(&scr::hera(), &WeightPattern::Uniform, 15, 25_000.0)
+            .unwrap();
+        let single = optimize(&s, Algorithm::SingleLevel);
+        let two = optimize(&s, Algorithm::TwoLevel);
+        let refined = optimize(&s, Algorithm::TwoLevelPartialRefined);
+        assert!(two.expected_makespan <= single.expected_makespan + 1e-9);
+        assert!(refined.expected_makespan <= two.expected_makespan + 1e-9);
+    }
+}

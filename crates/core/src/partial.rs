@@ -1,0 +1,447 @@
+//! The full algorithm `A_DMV` of §III-B: two checkpoint levels, guaranteed
+//! verifications *and* partial verifications.
+//!
+//! The outer structure is the same three-level dynamic program as
+//! [`crate::two_level`] (disk checkpoints → memory checkpoints → guaranteed
+//! verifications), but the leaf value of a guaranteed-verification interval
+//! `(v1, v2]` is no longer the single closed form `E(d1, m1, v1, v2)`: it is
+//! `E_partial(d1, m1, v1, p1 = v1, v2)`, itself the result of an inner
+//! dynamic program that places partial verifications inside the interval.
+//!
+//! The inner DP works **right to left** (from `v2` towards `v1`) because the
+//! expected downstream loss of an *undetected* silent error, `E_right`,
+//! depends on the position of the *next* verification, which is exactly the
+//! argmin the DP is computing.  See DESIGN.md §3.3 for the full derivation
+//! and for the `PaperExact` / `Refined` tail-accounting discussion.
+//!
+//! Complexity: `O(n⁶)` time, `O(n³)` memory (the inner per-interval arrays are
+//! reused).
+
+use crate::segment::{PartialCostModel, SegmentCalculator};
+use crate::solution::{DpStatistics, Solution};
+use crate::tables::{Table2, Table3};
+use chain2l_model::{Action, Scenario, Schedule};
+
+/// Options controlling the partial-verification dynamic program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PartialOptions {
+    /// Tail-accounting convention (see [`PartialCostModel`]).
+    pub cost_model: PartialCostModel,
+}
+
+impl PartialOptions {
+    /// The equations exactly as printed in the paper (the default).
+    pub fn paper_exact() -> Self {
+        Self { cost_model: PartialCostModel::PaperExact }
+    }
+
+    /// The refined tail accounting (ablation variant).
+    pub fn refined() -> Self {
+        Self { cost_model: PartialCostModel::Refined }
+    }
+}
+
+/// Result of the inner `E_partial` dynamic program over one guaranteed
+/// verification interval `(v1, v2]`.
+struct InnerResult {
+    /// `E_partial(d1, m1, v1, p1 = v1, v2)`.
+    value: f64,
+    /// `next[p]`: optimal position of the verification following `p`
+    /// (only meaningful for `p ∈ [v1, v2)`).
+    next: Vec<usize>,
+    /// Number of `(p1, p2)` candidates examined (for statistics).
+    candidates: u64,
+}
+
+/// Runs the inner right-to-left DP for the interval `(v1, v2]`.
+///
+/// `emem` is `Emem(d1, m1)`, `everif_v1` is `Everif(d1, m1, v1)` — the
+/// re-execution costs of the segments to the left, already optimal.
+fn epartial_interval(
+    calc: &SegmentCalculator<'_>,
+    d1: usize,
+    m1: usize,
+    v1: usize,
+    v2: usize,
+    emem: f64,
+    everif_v1: f64,
+    model: PartialCostModel,
+) -> InnerResult {
+    debug_assert!(d1 <= m1 && m1 <= v1 && v1 < v2);
+    let mut epartial = vec![f64::INFINITY; v2 + 1];
+    let mut eright = vec![0.0; v2 + 1];
+    let mut next = vec![usize::MAX; v2 + 1];
+    let mut candidates = 0u64;
+
+    // Base case: at v2 the error (if any) is caught by the guaranteed
+    // verification immediately; only a memory recovery is paid.
+    eright[v2] = calc.eright_base(m1);
+
+    for p1 in (v1..v2).rev() {
+        let mut best = f64::INFINITY;
+        let mut best_p2 = v2;
+        for p2 in (p1 + 1)..=v2 {
+            candidates += 1;
+            let closes = p2 == v2;
+            let eminus = calc.e_minus(
+                d1, m1, p1, p2, emem, everif_v1, eright[p2], closes, model,
+            );
+            let cand = if closes {
+                // Last sub-interval: executed once (nothing to its right can
+                // trigger a re-execution of it within this interval), plus the
+                // guaranteed-verification cost correction.
+                eminus + calc.tail_verification_correction(p1, v2, model)
+            } else {
+                eminus * calc.reexecution_factor(p2, v2) + epartial[p2]
+            };
+            if cand < best {
+                best = cand;
+                best_p2 = p2;
+            }
+        }
+        epartial[p1] = best;
+        next[p1] = best_p2;
+        // E_right at p1 uses the *optimal* next verification position.
+        let p2 = next[p1];
+        eright[p1] =
+            calc.eright_step(d1, m1, p1, p2, emem, eright[p2], p2 == v2, model);
+    }
+
+    InnerResult { value: epartial[v1], next, candidates }
+}
+
+/// Internal DP state (outer levels).
+struct DpTables {
+    everif: Table3<f64>,
+    everif_choice: Table3<usize>,
+    emem: Table2<f64>,
+    emem_choice: Table2<usize>,
+    edisk: Vec<f64>,
+    edisk_choice: Vec<usize>,
+    candidates: u64,
+}
+
+/// Runs the §III-B dynamic program (`A_DMV`) on `scenario` and returns the
+/// optimal expected makespan together with the reconstructed schedule
+/// (including the partial-verification positions).
+pub fn optimize_with_partials(scenario: &Scenario, options: PartialOptions) -> Solution {
+    let n = scenario.task_count();
+    let calc = SegmentCalculator::new(scenario);
+    let tables = compute_tables(&calc, n, options.cost_model);
+    let schedule = reconstruct(&calc, &tables, n, options.cost_model);
+    let expected_makespan = tables.edisk[n];
+    let stats = DpStatistics {
+        table_entries: (n + 1) * (n + 1) * (n + 1) + (n + 1) * (n + 1) + (n + 1),
+        candidates_examined: tables.candidates,
+    };
+    Solution::new(expected_makespan, schedule, scenario, stats)
+}
+
+fn compute_tables(calc: &SegmentCalculator<'_>, n: usize, model: PartialCostModel) -> DpTables {
+    let mut t = DpTables {
+        everif: Table3::new(n, f64::INFINITY),
+        everif_choice: Table3::new(n, usize::MAX),
+        emem: Table2::new(n, f64::INFINITY),
+        emem_choice: Table2::new(n, usize::MAX),
+        edisk: vec![f64::INFINITY; n + 1],
+        edisk_choice: vec![usize::MAX; n + 1],
+        candidates: 0,
+    };
+
+    for d1 in 0..n {
+        t.emem.set(d1, d1, 0.0);
+        for m2 in (d1 + 1)..=n {
+            let mut best_mem = f64::INFINITY;
+            let mut best_m1 = usize::MAX;
+            for m1 in d1..m2 {
+                let emem_left = t.emem.get(d1, m1);
+                debug_assert!(emem_left.is_finite(), "Emem({d1},{m1}) not computed");
+                t.everif.set(d1, m1, m1, 0.0);
+
+                // Everif(d1, m1, m2): last guaranteed verification at v1, then
+                // the partial-verification interval (v1, m2].
+                let mut best_verif = f64::INFINITY;
+                let mut best_v1 = usize::MAX;
+                for v1 in m1..m2 {
+                    let left = t.everif.get(d1, m1, v1);
+                    debug_assert!(left.is_finite(), "Everif({d1},{m1},{v1}) not computed");
+                    let inner =
+                        epartial_interval(calc, d1, m1, v1, m2, emem_left, left, model);
+                    t.candidates += inner.candidates;
+                    let cand = left + inner.value;
+                    if cand < best_verif {
+                        best_verif = cand;
+                        best_v1 = v1;
+                    }
+                }
+                t.everif.set(d1, m1, m2, best_verif);
+                t.everif_choice.set(d1, m1, m2, best_v1);
+
+                let cand = emem_left + best_verif + calc.scenario().costs.memory_checkpoint;
+                if cand < best_mem {
+                    best_mem = cand;
+                    best_m1 = m1;
+                }
+            }
+            t.emem.set(d1, m2, best_mem);
+            t.emem_choice.set(d1, m2, best_m1);
+        }
+    }
+
+    t.edisk[0] = 0.0;
+    for d2 in 1..=n {
+        let mut best = f64::INFINITY;
+        let mut best_d1 = usize::MAX;
+        for d1 in 0..d2 {
+            let cand =
+                t.edisk[d1] + t.emem.get(d1, d2) + calc.scenario().costs.disk_checkpoint;
+            if cand < best {
+                best = cand;
+                best_d1 = d1;
+            }
+        }
+        t.edisk[d2] = best;
+        t.edisk_choice[d2] = best_d1;
+    }
+    t
+}
+
+/// Reconstructs the optimal schedule, re-running the inner DP on each leaf
+/// interval of the optimal path to recover the partial-verification chain.
+fn reconstruct(
+    calc: &SegmentCalculator<'_>,
+    t: &DpTables,
+    n: usize,
+    model: PartialCostModel,
+) -> Schedule {
+    let mut schedule = Schedule::empty(n);
+
+    let mut disk_positions = Vec::new();
+    let mut d2 = n;
+    while d2 > 0 {
+        disk_positions.push(d2);
+        d2 = t.edisk_choice[d2];
+        debug_assert!(d2 != usize::MAX, "missing Edisk choice");
+    }
+    disk_positions.reverse();
+
+    let mut prev_disk = 0usize;
+    for &disk in &disk_positions {
+        let d1 = prev_disk;
+        let mut mem_positions = Vec::new();
+        let mut m2 = disk;
+        while m2 > d1 {
+            mem_positions.push(m2);
+            m2 = t.emem_choice.get(d1, m2);
+            debug_assert!(m2 != usize::MAX, "missing Emem choice");
+        }
+        mem_positions.reverse();
+
+        let mut prev_mem = d1;
+        for &mem in &mem_positions {
+            let m1 = prev_mem;
+            // Guaranteed verification positions inside (m1, mem].
+            let mut verif_bounds = Vec::new();
+            let mut v2 = mem;
+            while v2 > m1 {
+                verif_bounds.push(v2);
+                v2 = t.everif_choice.get(d1, m1, v2);
+                debug_assert!(v2 != usize::MAX, "missing Everif choice");
+            }
+            verif_bounds.reverse();
+
+            // Partial verifications inside each (v1, v2] leaf interval.
+            let mut prev_verif = m1;
+            for &verif in &verif_bounds {
+                let v1 = prev_verif;
+                let emem_left = t.emem.get(d1, m1);
+                let everif_left = t.everif.get(d1, m1, v1);
+                let inner =
+                    epartial_interval(calc, d1, m1, v1, verif, emem_left, everif_left, model);
+                let mut p = v1;
+                loop {
+                    let nxt = inner.next[p];
+                    debug_assert!(nxt != usize::MAX, "missing partial chain at {p}");
+                    if nxt >= verif {
+                        break;
+                    }
+                    schedule.set_action(nxt, Action::PartialVerification);
+                    p = nxt;
+                }
+                schedule.set_action(verif, Action::GuaranteedVerification);
+                prev_verif = verif;
+            }
+            schedule.set_action(mem, Action::MemoryCheckpoint);
+            prev_mem = mem;
+        }
+        schedule.set_action(disk, Action::DiskCheckpoint);
+        prev_disk = disk;
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::two_level::{optimize_two_level, TwoLevelOptions};
+    use chain2l_model::math::approx_eq;
+    use chain2l_model::pattern::WeightPattern;
+    use chain2l_model::platform::{scr, Platform};
+    use chain2l_model::{ResilienceCosts, Scenario};
+
+    fn paper_scenario(platform: &Platform, pattern: &WeightPattern, n: usize) -> Scenario {
+        Scenario::paper_setup(platform, pattern, n, 25_000.0).unwrap()
+    }
+
+    #[test]
+    fn schedules_are_valid_for_all_platforms() {
+        for platform in scr::all() {
+            for n in [1usize, 3, 10, 25] {
+                let s = paper_scenario(&platform, &WeightPattern::Uniform, n);
+                let sol = optimize_with_partials(&s, PartialOptions::paper_exact());
+                sol.schedule.validate(&s.chain).unwrap();
+                assert_eq!(sol.schedule.action(n), Action::DiskCheckpoint);
+                assert!(sol.expected_makespan >= s.error_free_time());
+            }
+        }
+    }
+
+    #[test]
+    fn refined_model_with_no_partials_matches_two_level_exactly() {
+        // Force partial verifications to be useless by making them as
+        // expensive as guaranteed ones: the refined A_DMV must then return
+        // exactly the A_DMV* optimum.
+        for platform in scr::all() {
+            let mut s = paper_scenario(&platform, &WeightPattern::Uniform, 20);
+            s.costs.partial_verification = s.costs.guaranteed_verification;
+            s.costs.partial_recall = 1.0;
+            let admv = optimize_with_partials(&s, PartialOptions::refined());
+            let admv_star = optimize_two_level(&s, TwoLevelOptions::two_level());
+            assert!(
+                approx_eq(admv.expected_makespan, admv_star.expected_makespan, 1e-9),
+                "{}: {} vs {}",
+                platform.name,
+                admv.expected_makespan,
+                admv_star.expected_makespan
+            );
+        }
+    }
+
+    #[test]
+    fn refined_model_never_worse_than_two_level() {
+        for platform in scr::all() {
+            for n in [5usize, 15, 30] {
+                let s = paper_scenario(&platform, &WeightPattern::Uniform, n);
+                let admv = optimize_with_partials(&s, PartialOptions::refined());
+                let admv_star = optimize_two_level(&s, TwoLevelOptions::two_level());
+                assert!(
+                    admv.expected_makespan <= admv_star.expected_makespan + 1e-9,
+                    "{} n={n}: ADMV={} > ADMV*={}",
+                    platform.name,
+                    admv.expected_makespan,
+                    admv_star.expected_makespan
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_model_close_to_two_level_and_never_much_worse() {
+        // With the equations exactly as printed, the tail accounting may cost
+        // a fraction of a second compared to A_DMV* (see DESIGN.md §3.3), but
+        // never more than (V* − V) per guaranteed verification interval.
+        for platform in scr::all() {
+            let s = paper_scenario(&platform, &WeightPattern::Uniform, 30);
+            let admv = optimize_with_partials(&s, PartialOptions::paper_exact());
+            let admv_star = optimize_two_level(&s, TwoLevelOptions::two_level());
+            let slack = s.costs.guaranteed_verification * 0.01 * 30.0 + 1.0;
+            assert!(
+                admv.expected_makespan <= admv_star.expected_makespan + slack,
+                "{}: ADMV={} ADMV*={}",
+                platform.name,
+                admv.expected_makespan,
+                admv_star.expected_makespan
+            );
+        }
+    }
+
+    #[test]
+    fn cheap_partial_verifications_reduce_the_makespan_when_silent_errors_dominate() {
+        // Exaggerate the silent error rate so partial verifications clearly pay
+        // off, then check A_DMV (refined) strictly beats A_DMV*.
+        let platform = Platform::new("sdc-heavy", 64, 1e-7, 5e-5, 600.0, 30.0).unwrap();
+        let chain = WeightPattern::Uniform.generate(40, 25_000.0).unwrap();
+        let costs = ResilienceCosts::paper_defaults(&platform);
+        let s = Scenario::new(chain, platform, costs).unwrap();
+        let admv = optimize_with_partials(&s, PartialOptions::refined());
+        let admv_star = optimize_two_level(&s, TwoLevelOptions::two_level());
+        assert!(
+            admv.expected_makespan < admv_star.expected_makespan - 1.0,
+            "ADMV={} ADMV*={}",
+            admv.expected_makespan,
+            admv_star.expected_makespan
+        );
+        assert!(admv.counts.partial_verifications > 0, "{:?}", admv.counts);
+    }
+
+    #[test]
+    fn partial_positions_never_collide_with_guaranteed_ones() {
+        let s = paper_scenario(&scr::coastal_ssd(), &WeightPattern::Uniform, 30);
+        let sol = optimize_with_partials(&s, PartialOptions::paper_exact());
+        let partials = sol.schedule.partial_verification_positions();
+        let guaranteed = sol.schedule.guaranteed_verification_positions();
+        for p in &partials {
+            assert!(!guaranteed.contains(p), "boundary {p} has both kinds");
+        }
+    }
+
+    #[test]
+    fn coastal_ssd_prefers_partial_verifications() {
+        // Figure 5 row 4 / Figure 6: on Coastal SSD the guaranteed
+        // verification is expensive (V* = 180 s), so the optimizer relies on
+        // partial verifications instead.
+        let s = paper_scenario(&scr::coastal_ssd(), &WeightPattern::Uniform, 50);
+        let sol = optimize_with_partials(&s, PartialOptions::paper_exact());
+        assert!(
+            sol.counts.partial_verifications > 0,
+            "expected partial verifications on Coastal SSD: {:?}",
+            sol.counts
+        );
+        // And A_DMV improves on A_DMV* there (paper reports ≈1 % at n = 50).
+        let admv_star = optimize_two_level(&s, TwoLevelOptions::two_level());
+        assert!(sol.expected_makespan < admv_star.expected_makespan);
+    }
+
+    #[test]
+    fn no_silent_errors_means_no_verification_only_boundaries() {
+        // Without silent errors, verifications (of either kind) are useless;
+        // only disk checkpoints against fail-stop errors matter.
+        let platform = Platform::new("failstop-only", 16, 5e-5, 0.0, 60.0, 6.0).unwrap();
+        let chain = WeightPattern::Uniform.generate(20, 25_000.0).unwrap();
+        let costs = ResilienceCosts::paper_defaults(&platform);
+        let s = Scenario::new(chain, platform, costs).unwrap();
+        let sol = optimize_with_partials(&s, PartialOptions::refined());
+        assert_eq!(sol.counts.partial_verifications, 0, "{:?}", sol.counts);
+        // Every guaranteed verification should be attached to a checkpoint.
+        assert_eq!(
+            sol.schedule.guaranteed_verification_positions(),
+            sol.schedule.memory_checkpoint_positions()
+        );
+    }
+
+    #[test]
+    fn single_task_chain_works() {
+        let s = paper_scenario(&scr::hera(), &WeightPattern::Uniform, 1);
+        let sol = optimize_with_partials(&s, PartialOptions::paper_exact());
+        assert_eq!(sol.schedule.disk_checkpoint_positions(), vec![1]);
+        assert!(sol.expected_makespan > 25_000.0);
+    }
+
+    #[test]
+    fn statistics_report_candidate_counts() {
+        let s = paper_scenario(&scr::hera(), &WeightPattern::Uniform, 12);
+        let sol = optimize_with_partials(&s, PartialOptions::paper_exact());
+        assert!(sol.stats.candidates_examined > 0);
+        assert!(sol.stats.table_entries > 0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Sensitivity of the optimal expected makespan to the model parameters.
+//!
+//! Practitioners rarely know `λ_f`, `λ_s`, checkpoint costs or detector recall
+//! exactly; this module quantifies how much that uncertainty matters.  For a
+//! parameter `p` with optimal expected makespan `E(p)`, we report the
+//! **elasticity**
+//!
+//! ```text
+//! elasticity(p) = (dE / E) / (dp / p)  ≈  [E(p·(1+h)) − E(p·(1−h))] / (2 h E(p))
+//! ```
+//!
+//! estimated by central finite differences with re-optimization at each
+//! perturbed point (so the schedule is allowed to adapt, which is what an
+//! operator would actually do).  An elasticity of `0.1` means a 10 % error in
+//! the parameter moves the achievable makespan by about 1 %.
+
+use crate::{optimize, Algorithm, Solution};
+use chain2l_model::{Scenario, ModelError};
+use serde::{Deserialize, Serialize};
+
+/// The parameters whose influence can be probed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Parameter {
+    /// Fail-stop error rate `λ_f`.
+    LambdaFailStop,
+    /// Silent error rate `λ_s`.
+    LambdaSilent,
+    /// Disk checkpoint cost `C_D` (the recovery cost `R_D` is scaled with it,
+    /// preserving the paper's `R_D = C_D` convention).
+    DiskCheckpoint,
+    /// Memory checkpoint cost `C_M` (scales `R_M` too).
+    MemoryCheckpoint,
+    /// Guaranteed verification cost `V*`.
+    GuaranteedVerification,
+    /// Partial verification cost `V`.
+    PartialVerification,
+    /// Partial verification recall `r` (perturbations are clamped to `(0, 1]`).
+    PartialRecall,
+}
+
+impl Parameter {
+    /// All parameters, in reporting order.
+    pub fn all() -> [Parameter; 7] {
+        [
+            Parameter::LambdaFailStop,
+            Parameter::LambdaSilent,
+            Parameter::DiskCheckpoint,
+            Parameter::MemoryCheckpoint,
+            Parameter::GuaranteedVerification,
+            Parameter::PartialVerification,
+            Parameter::PartialRecall,
+        ]
+    }
+
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Parameter::LambdaFailStop => "lambda_f",
+            Parameter::LambdaSilent => "lambda_s",
+            Parameter::DiskCheckpoint => "C_D",
+            Parameter::MemoryCheckpoint => "C_M",
+            Parameter::GuaranteedVerification => "V*",
+            Parameter::PartialVerification => "V",
+            Parameter::PartialRecall => "recall",
+        }
+    }
+
+    /// Current value of the parameter in a scenario.
+    pub fn value(&self, scenario: &Scenario) -> f64 {
+        match self {
+            Parameter::LambdaFailStop => scenario.platform.lambda_fail_stop,
+            Parameter::LambdaSilent => scenario.platform.lambda_silent,
+            Parameter::DiskCheckpoint => scenario.costs.disk_checkpoint,
+            Parameter::MemoryCheckpoint => scenario.costs.memory_checkpoint,
+            Parameter::GuaranteedVerification => scenario.costs.guaranteed_verification,
+            Parameter::PartialVerification => scenario.costs.partial_verification,
+            Parameter::PartialRecall => scenario.costs.partial_recall,
+        }
+    }
+
+    /// Returns a copy of `scenario` with this parameter multiplied by `factor`
+    /// (recall is clamped to `(0, 1]`; recovery costs follow their checkpoint
+    /// costs to preserve the `R = C` convention).
+    pub fn scaled(&self, scenario: &Scenario, factor: f64) -> Result<Scenario, ModelError> {
+        let mut s = scenario.clone();
+        match self {
+            Parameter::LambdaFailStop => s.platform.lambda_fail_stop *= factor,
+            Parameter::LambdaSilent => s.platform.lambda_silent *= factor,
+            Parameter::DiskCheckpoint => {
+                s.costs.disk_checkpoint *= factor;
+                s.costs.disk_recovery *= factor;
+                s.platform.disk_checkpoint_cost *= factor;
+            }
+            Parameter::MemoryCheckpoint => {
+                s.costs.memory_checkpoint *= factor;
+                s.costs.memory_recovery *= factor;
+                s.platform.memory_checkpoint_cost *= factor;
+            }
+            Parameter::GuaranteedVerification => s.costs.guaranteed_verification *= factor,
+            Parameter::PartialVerification => s.costs.partial_verification *= factor,
+            Parameter::PartialRecall => {
+                s.costs.partial_recall = (s.costs.partial_recall * factor).clamp(1e-6, 1.0)
+            }
+        }
+        s.costs.validate()?;
+        Ok(s)
+    }
+}
+
+/// Sensitivity of the optimum with respect to one parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityEntry {
+    /// The probed parameter.
+    pub parameter: Parameter,
+    /// Its nominal value in the scenario.
+    pub nominal_value: f64,
+    /// Optimal expected makespan at the nominal value.
+    pub nominal_makespan: f64,
+    /// Optimal expected makespan with the parameter scaled by `1 − h`.
+    pub makespan_low: f64,
+    /// Optimal expected makespan with the parameter scaled by `1 + h`.
+    pub makespan_high: f64,
+    /// Estimated elasticity `(dE/E)/(dp/p)`.
+    pub elasticity: f64,
+}
+
+/// A full sensitivity report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityReport {
+    /// The algorithm used for every (re-)optimization.
+    pub algorithm: Algorithm,
+    /// Relative perturbation size `h`.
+    pub relative_step: f64,
+    /// One entry per probed parameter.
+    pub entries: Vec<SensitivityEntry>,
+}
+
+impl SensitivityReport {
+    /// Entry for a specific parameter, if it was probed.
+    pub fn entry(&self, parameter: Parameter) -> Option<&SensitivityEntry> {
+        self.entries.iter().find(|e| e.parameter == parameter)
+    }
+
+    /// Parameters sorted by decreasing absolute elasticity (most influential
+    /// first).
+    pub fn ranked(&self) -> Vec<&SensitivityEntry> {
+        let mut v: Vec<&SensitivityEntry> = self.entries.iter().collect();
+        v.sort_by(|a, b| {
+            b.elasticity
+                .abs()
+                .partial_cmp(&a.elasticity.abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        v
+    }
+}
+
+/// Probes every parameter of [`Parameter::all`] with relative step `h`
+/// (a good default is `0.05`), re-optimizing with `algorithm` at each
+/// perturbed point.
+///
+/// Parameters whose nominal value is zero (e.g. a zero silent-error rate) are
+/// reported with an elasticity of `0` since a relative perturbation is
+/// meaningless there.
+pub fn analyze(scenario: &Scenario, algorithm: Algorithm, h: f64) -> SensitivityReport {
+    assert!(h > 0.0 && h < 1.0, "relative step must be in (0, 1), got {h}");
+    let nominal: Solution = optimize(scenario, algorithm);
+    let entries = Parameter::all()
+        .into_iter()
+        .map(|parameter| {
+            let value = parameter.value(scenario);
+            if value == 0.0 {
+                return SensitivityEntry {
+                    parameter,
+                    nominal_value: 0.0,
+                    nominal_makespan: nominal.expected_makespan,
+                    makespan_low: nominal.expected_makespan,
+                    makespan_high: nominal.expected_makespan,
+                    elasticity: 0.0,
+                };
+            }
+            let low = parameter
+                .scaled(scenario, 1.0 - h)
+                .map(|s| optimize(&s, algorithm).expected_makespan)
+                .unwrap_or(nominal.expected_makespan);
+            let high = parameter
+                .scaled(scenario, 1.0 + h)
+                .map(|s| optimize(&s, algorithm).expected_makespan)
+                .unwrap_or(nominal.expected_makespan);
+            let elasticity = (high - low) / (2.0 * h * nominal.expected_makespan);
+            SensitivityEntry {
+                parameter,
+                nominal_value: value,
+                nominal_makespan: nominal.expected_makespan,
+                makespan_low: low,
+                makespan_high: high,
+                elasticity,
+            }
+        })
+        .collect();
+    SensitivityReport { algorithm, relative_step: h, entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chain2l_model::pattern::WeightPattern;
+    use chain2l_model::platform::scr;
+
+    fn hera(n: usize) -> Scenario {
+        Scenario::paper_setup(&scr::hera(), &WeightPattern::Uniform, n, 25_000.0).unwrap()
+    }
+
+    #[test]
+    fn parameter_value_and_scaling_round_trip() {
+        let s = hera(10);
+        for p in Parameter::all() {
+            let v = p.value(&s);
+            assert!(v > 0.0, "{p:?}");
+            let scaled = p.scaled(&s, 2.0).unwrap();
+            let expected = if p == Parameter::PartialRecall { 1.0 } else { 2.0 * v };
+            assert!(
+                (p.value(&scaled) - expected).abs() < 1e-12,
+                "{p:?}: {} vs {expected}",
+                p.value(&scaled)
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_checkpoints_also_scales_recoveries() {
+        let s = hera(10);
+        let scaled = Parameter::DiskCheckpoint.scaled(&s, 3.0).unwrap();
+        assert_eq!(scaled.costs.disk_recovery, 3.0 * s.costs.disk_recovery);
+        let scaled = Parameter::MemoryCheckpoint.scaled(&s, 0.5).unwrap();
+        assert_eq!(scaled.costs.memory_recovery, 0.5 * s.costs.memory_recovery);
+    }
+
+    #[test]
+    fn scaling_partial_cost_above_guaranteed_is_rejected() {
+        let s = hera(10);
+        // V = V*/100, so scaling by 1000 exceeds V* and must fail validation.
+        assert!(Parameter::PartialVerification.scaled(&s, 1_000.0).is_err());
+    }
+
+    #[test]
+    fn elasticities_have_physical_signs() {
+        let report = analyze(&hera(20), Algorithm::TwoLevel, 0.05);
+        assert_eq!(report.entries.len(), 7);
+        // More errors or more expensive mechanisms can only hurt.
+        for p in [
+            Parameter::LambdaFailStop,
+            Parameter::LambdaSilent,
+            Parameter::DiskCheckpoint,
+            Parameter::MemoryCheckpoint,
+            Parameter::GuaranteedVerification,
+        ] {
+            let e = report.entry(p).unwrap();
+            assert!(e.elasticity >= -1e-9, "{p:?}: elasticity {}", e.elasticity);
+            assert!(e.makespan_high >= e.makespan_low - 1e-9, "{p:?}");
+        }
+        // Everything is small compared to 1 on this mild platform.
+        for e in &report.entries {
+            assert!(e.elasticity.abs() < 0.2, "{:?}: {}", e.parameter, e.elasticity);
+        }
+    }
+
+    #[test]
+    fn better_recall_never_hurts() {
+        let report = analyze(&hera(25), Algorithm::TwoLevelPartialRefined, 0.05);
+        let recall = report.entry(Parameter::PartialRecall).unwrap();
+        assert!(recall.makespan_high <= recall.makespan_low + 1e-9);
+        assert!(recall.elasticity <= 1e-9);
+    }
+
+    #[test]
+    fn ranking_is_by_absolute_elasticity() {
+        let report = analyze(&hera(15), Algorithm::TwoLevel, 0.05);
+        let ranked = report.ranked();
+        for pair in ranked.windows(2) {
+            assert!(pair[0].elasticity.abs() >= pair[1].elasticity.abs() - 1e-15);
+        }
+    }
+
+    #[test]
+    fn silent_rate_matters_more_than_fail_stop_rate_on_atlas() {
+        // Atlas has the highest λ_s / λ_f ratio of Table I, so the optimum is
+        // more sensitive to the silent-error rate.
+        let s = Scenario::paper_setup(&scr::atlas(), &WeightPattern::Uniform, 20, 25_000.0)
+            .unwrap();
+        let report = analyze(&s, Algorithm::TwoLevel, 0.05);
+        let silent = report.entry(Parameter::LambdaSilent).unwrap().elasticity;
+        let fail = report.entry(Parameter::LambdaFailStop).unwrap().elasticity;
+        assert!(silent > fail, "silent {silent} <= fail-stop {fail}");
+    }
+
+    #[test]
+    #[should_panic(expected = "relative step")]
+    fn rejects_bad_step() {
+        let _ = analyze(&hera(5), Algorithm::TwoLevel, 1.5);
+    }
+}

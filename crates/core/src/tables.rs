@@ -1,0 +1,158 @@
+//! Dense dynamic-programming tables.
+//!
+//! The dynamic programs of the paper index their memoization tables by task
+//! boundaries `0..=n`.  For the chain sizes the paper targets (`n ≤ 50`, and
+//! comfortably up to a few hundred) dense storage is both the fastest and the
+//! simplest option, so [`Table2`] and [`Table3`] are flat `Vec`s with row-major
+//! indexing.  Entries start out as [`f64::INFINITY`] / [`usize::MAX`], which
+//! doubles as a cheap "not computed" marker during debugging.
+
+/// A dense 2-dimensional table indexed by `(i, j)` with `i, j ∈ 0..=n`.
+#[derive(Debug, Clone)]
+pub struct Table2<T> {
+    dim: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy> Table2<T> {
+    /// Creates a table for boundaries `0..=n` filled with `fill`.
+    pub fn new(n: usize, fill: T) -> Self {
+        let dim = n + 1;
+        Self { dim, data: vec![fill; dim * dim] }
+    }
+
+    /// Number of boundaries per dimension (`n + 1`).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.dim && j < self.dim, "({i},{j}) out of {0}x{0}", self.dim);
+        i * self.dim + j
+    }
+
+    /// Reads entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        self.data[self.idx(i, j)]
+    }
+
+    /// Writes entry `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: T) {
+        let idx = self.idx(i, j);
+        self.data[idx] = value;
+    }
+}
+
+/// A dense 3-dimensional table indexed by `(i, j, k)` with `i, j, k ∈ 0..=n`.
+#[derive(Debug, Clone)]
+pub struct Table3<T> {
+    dim: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy> Table3<T> {
+    /// Creates a table for boundaries `0..=n` filled with `fill`.
+    pub fn new(n: usize, fill: T) -> Self {
+        let dim = n + 1;
+        Self { dim, data: vec![fill; dim * dim * dim] }
+    }
+
+    /// Number of boundaries per dimension (`n + 1`).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(
+            i < self.dim && j < self.dim && k < self.dim,
+            "({i},{j},{k}) out of {0}^3",
+            self.dim
+        );
+        (i * self.dim + j) * self.dim + k
+    }
+
+    /// Reads entry `(i, j, k)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize, k: usize) -> T {
+        self.data[self.idx(i, j, k)]
+    }
+
+    /// Writes entry `(i, j, k)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, k: usize, value: T) {
+        let idx = self.idx(i, j, k);
+        self.data[idx] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_round_trip() {
+        let mut t = Table2::new(5, f64::INFINITY);
+        assert_eq!(t.dim(), 6);
+        assert!(t.get(0, 0).is_infinite());
+        t.set(3, 4, 1.5);
+        t.set(4, 3, 2.5);
+        assert_eq!(t.get(3, 4), 1.5);
+        assert_eq!(t.get(4, 3), 2.5);
+        assert!(t.get(3, 3).is_infinite());
+    }
+
+    #[test]
+    fn table2_corner_indices() {
+        let mut t = Table2::new(2, 0usize);
+        t.set(2, 2, 7);
+        t.set(0, 2, 9);
+        assert_eq!(t.get(2, 2), 7);
+        assert_eq!(t.get(0, 2), 9);
+        assert_eq!(t.get(2, 0), 0);
+    }
+
+    #[test]
+    fn table3_round_trip() {
+        let mut t = Table3::new(4, usize::MAX);
+        assert_eq!(t.dim(), 5);
+        t.set(1, 2, 3, 42);
+        t.set(3, 2, 1, 7);
+        assert_eq!(t.get(1, 2, 3), 42);
+        assert_eq!(t.get(3, 2, 1), 7);
+        assert_eq!(t.get(2, 2, 2), usize::MAX);
+    }
+
+    #[test]
+    fn table3_distinct_cells_do_not_alias() {
+        // Write a unique value in every cell and read them all back.
+        let n = 6;
+        let mut t = Table3::new(n, 0u32);
+        let dim = n + 1;
+        for i in 0..dim {
+            for j in 0..dim {
+                for k in 0..dim {
+                    t.set(i, j, k, (i * 100 + j * 10 + k) as u32);
+                }
+            }
+        }
+        for i in 0..dim {
+            for j in 0..dim {
+                for k in 0..dim {
+                    assert_eq!(t.get(i, j, k), (i * 100 + j * 10 + k) as u32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn table2_out_of_bounds_panics_in_debug() {
+        let t = Table2::new(3, 0.0f64);
+        let _ = t.get(4, 0);
+    }
+}

@@ -1,0 +1,406 @@
+//! The guaranteed-verification dynamic programs of §III-A:
+//! `A_DMV*` (two checkpoint levels) and its restriction `A_DV*` (single level).
+//!
+//! The algorithm stacks three dynamic-programming levels:
+//!
+//! 1. `Edisk(d2)`  — optimal placement of disk checkpoints;
+//! 2. `Emem(d1, m2)` — optimal placement of memory checkpoints between two
+//!    disk checkpoints;
+//! 3. `Everif(d1, m1, v2)` — optimal placement of guaranteed verifications
+//!    between two memory checkpoints;
+//!
+//! with the closed-form segment expectation `E(d1, m1, v1, v2)` (Eq. (4),
+//! [`crate::segment::SegmentCalculator::guaranteed_segment`]) at the leaves.
+//!
+//! `A_DV*` is obtained by forbidding free-standing memory checkpoints: the
+//! `Emem` minimisation is restricted to `m1 = d1`, so memory checkpoints exist
+//! only where disk checkpoints are taken (as the paper's single-level baseline
+//! does).
+//!
+//! Complexity: `O(n⁴)` time and `O(n³)` memory for `A_DMV*`; `O(n³)` time for
+//! `A_DV*` (the `Everif` table collapses to `m1 = d1`).
+
+use crate::segment::SegmentCalculator;
+use crate::solution::{DpStatistics, Solution};
+use crate::tables::{Table2, Table3};
+use chain2l_model::{Action, Scenario, Schedule};
+
+/// Options controlling the guaranteed-verification dynamic program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoLevelOptions {
+    /// When `false`, memory checkpoints may only coincide with disk
+    /// checkpoints: this yields the single-level algorithm `A_DV*`.
+    pub allow_interior_memory_checkpoints: bool,
+}
+
+impl Default for TwoLevelOptions {
+    fn default() -> Self {
+        Self { allow_interior_memory_checkpoints: true }
+    }
+}
+
+impl TwoLevelOptions {
+    /// Options for the two-level algorithm `A_DMV*` (the default).
+    pub fn two_level() -> Self {
+        Self { allow_interior_memory_checkpoints: true }
+    }
+
+    /// Options for the single-level algorithm `A_DV*`.
+    pub fn single_level() -> Self {
+        Self { allow_interior_memory_checkpoints: false }
+    }
+}
+
+/// Internal DP state: value and argmin tables for the three levels.
+struct DpTables {
+    /// `Everif(d1, m1, v2)`.
+    everif: Table3<f64>,
+    /// Argmin `v1` for `Everif(d1, m1, v2)`.
+    everif_choice: Table3<usize>,
+    /// `Emem(d1, m2)`.
+    emem: Table2<f64>,
+    /// Argmin `m1` for `Emem(d1, m2)`.
+    emem_choice: Table2<usize>,
+    /// `Edisk(d2)`.
+    edisk: Vec<f64>,
+    /// Argmin `d1` for `Edisk(d2)`.
+    edisk_choice: Vec<usize>,
+}
+
+/// Runs the §III-A dynamic program on `scenario` and returns the optimal
+/// expected makespan together with the reconstructed schedule.
+pub fn optimize_two_level(scenario: &Scenario, options: TwoLevelOptions) -> Solution {
+    let n = scenario.task_count();
+    let calc = SegmentCalculator::new(scenario);
+    let tables = compute_tables(&calc, n, options);
+    let schedule = reconstruct(&tables, n);
+    let expected_makespan = tables.edisk[n];
+    let stats = DpStatistics {
+        table_entries: (n + 1) * (n + 1) * (n + 1) + (n + 1) * (n + 1) + (n + 1),
+        ..DpStatistics::default()
+    };
+    Solution::new(expected_makespan, schedule, scenario, stats)
+}
+
+/// Fills the three DP tables bottom-up.
+fn compute_tables(calc: &SegmentCalculator<'_>, n: usize, options: TwoLevelOptions) -> DpTables {
+    let mut t = DpTables {
+        everif: Table3::new(n, f64::INFINITY),
+        everif_choice: Table3::new(n, usize::MAX),
+        emem: Table2::new(n, f64::INFINITY),
+        emem_choice: Table2::new(n, usize::MAX),
+        edisk: vec![f64::INFINITY; n + 1],
+        edisk_choice: vec![usize::MAX; n + 1],
+    };
+
+    // Level 2 + 3: for every possible last-disk-checkpoint position d1,
+    // compute Emem(d1, ·) and the Everif(d1, ·, ·) slice it needs.
+    for d1 in 0..n {
+        t.emem.set(d1, d1, 0.0);
+        for m2 in (d1 + 1)..=n {
+            // The candidate last memory checkpoints m1 for Emem(d1, m2).
+            let m1_range: Box<dyn Iterator<Item = usize>> =
+                if options.allow_interior_memory_checkpoints {
+                    Box::new(d1..m2)
+                } else {
+                    Box::new(std::iter::once(d1))
+                };
+            let mut best_mem = f64::INFINITY;
+            let mut best_m1 = usize::MAX;
+            for m1 in m1_range {
+                // Everif(d1, m1, m2): place guaranteed verifications between
+                // the memory checkpoints at m1 and m2.
+                let emem_left = t.emem.get(d1, m1);
+                debug_assert!(emem_left.is_finite(), "Emem({d1},{m1}) not computed");
+                t.everif.set(d1, m1, m1, 0.0);
+                let mut best_verif = f64::INFINITY;
+                let mut best_v1 = usize::MAX;
+                for v1 in m1..m2 {
+                    let left = t.everif.get(d1, m1, v1);
+                    debug_assert!(left.is_finite(), "Everif({d1},{m1},{v1}) not computed");
+                    let seg = calc.guaranteed_segment(d1, m1, v1, m2, emem_left, left);
+                    let cand = left + seg;
+                    if cand < best_verif {
+                        best_verif = cand;
+                        best_v1 = v1;
+                    }
+                }
+                t.everif.set(d1, m1, m2, best_verif);
+                t.everif_choice.set(d1, m1, m2, best_v1);
+
+                // Candidate for Emem(d1, m2): last memory checkpoint at m1.
+                let cand = emem_left + best_verif + calc.scenario().costs.memory_checkpoint;
+                if cand < best_mem {
+                    best_mem = cand;
+                    best_m1 = m1;
+                }
+            }
+            t.emem.set(d1, m2, best_mem);
+            t.emem_choice.set(d1, m2, best_m1);
+        }
+    }
+
+    // Level 1: place disk checkpoints.
+    t.edisk[0] = 0.0;
+    for d2 in 1..=n {
+        let mut best = f64::INFINITY;
+        let mut best_d1 = usize::MAX;
+        for d1 in 0..d2 {
+            let cand =
+                t.edisk[d1] + t.emem.get(d1, d2) + calc.scenario().costs.disk_checkpoint;
+            if cand < best {
+                best = cand;
+                best_d1 = d1;
+            }
+        }
+        t.edisk[d2] = best;
+        t.edisk_choice[d2] = best_d1;
+    }
+    t
+}
+
+/// Walks the argmin tables backwards and marks the chosen actions.
+fn reconstruct(t: &DpTables, n: usize) -> Schedule {
+    let mut schedule = Schedule::empty(n);
+
+    // Disk checkpoints: follow Edisk choices from n down to 0.
+    let mut disk_positions = Vec::new();
+    let mut d2 = n;
+    while d2 > 0 {
+        disk_positions.push(d2);
+        d2 = t.edisk_choice[d2];
+        debug_assert!(d2 != usize::MAX, "missing Edisk choice");
+    }
+    disk_positions.reverse();
+
+    // Memory checkpoints inside each disk segment (d1, d2].
+    let mut prev_disk = 0usize;
+    for &disk in &disk_positions {
+        let d1 = prev_disk;
+        // Collect memory checkpoint positions m with d1 < m <= disk by
+        // following Emem choices from m2 = disk down to d1.
+        let mut mem_positions = Vec::new();
+        let mut m2 = disk;
+        while m2 > d1 {
+            mem_positions.push(m2);
+            let m1 = t.emem_choice.get(d1, m2);
+            debug_assert!(m1 != usize::MAX, "missing Emem choice at ({d1},{m2})");
+            m2 = m1;
+        }
+        mem_positions.reverse();
+
+        // Guaranteed verifications inside each memory segment (m1, m2].
+        let mut prev_mem = d1;
+        for &mem in &mem_positions {
+            let m1 = prev_mem;
+            let mut verif_positions = Vec::new();
+            let mut v2 = mem;
+            while v2 > m1 {
+                verif_positions.push(v2);
+                let v1 = t.everif_choice.get(d1, m1, v2);
+                debug_assert!(v1 != usize::MAX, "missing Everif choice at ({d1},{m1},{v2})");
+                v2 = v1;
+            }
+            for &v in &verif_positions {
+                schedule.set_action(v, Action::GuaranteedVerification);
+            }
+            schedule.set_action(mem, Action::MemoryCheckpoint);
+            prev_mem = mem;
+        }
+        schedule.set_action(disk, Action::DiskCheckpoint);
+        prev_disk = disk;
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chain2l_model::math::approx_eq;
+    use chain2l_model::pattern::WeightPattern;
+    use chain2l_model::platform::{scr, Platform};
+    use chain2l_model::{ResilienceCosts, Scenario};
+
+    fn paper_scenario(platform: &Platform, pattern: &WeightPattern, n: usize) -> Scenario {
+        Scenario::paper_setup(platform, pattern, n, 25_000.0).unwrap()
+    }
+
+    #[test]
+    fn single_task_places_only_the_terminal_checkpoint() {
+        let s = paper_scenario(&scr::hera(), &WeightPattern::Uniform, 1);
+        let sol = optimize_two_level(&s, TwoLevelOptions::two_level());
+        assert_eq!(sol.schedule.disk_checkpoint_positions(), vec![1]);
+        assert_eq!(sol.schedule.memory_checkpoint_positions(), vec![1]);
+        // Expected makespan is at least W + V* + C_M + C_D.
+        let floor = 25_000.0 + 15.4 + 15.4 + 300.0;
+        assert!(sol.expected_makespan >= floor);
+        // ... and not more than a few percent above for Hera's rates.
+        assert!(sol.expected_makespan < 1.2 * floor);
+    }
+
+    #[test]
+    fn schedule_is_valid_and_terminal_action_is_disk_checkpoint() {
+        for platform in scr::all() {
+            for n in [1usize, 2, 5, 17, 50] {
+                let s = paper_scenario(&platform, &WeightPattern::Uniform, n);
+                let sol = optimize_two_level(&s, TwoLevelOptions::two_level());
+                sol.schedule.validate(&s.chain).unwrap();
+                assert_eq!(sol.schedule.action(n), Action::DiskCheckpoint);
+                assert!(sol.expected_makespan.is_finite());
+                assert!(sol.expected_makespan >= s.error_free_time());
+            }
+        }
+    }
+
+    #[test]
+    fn two_level_never_worse_than_single_level() {
+        for platform in scr::all() {
+            for n in [2usize, 5, 10, 25, 50] {
+                let s = paper_scenario(&platform, &WeightPattern::Uniform, n);
+                let two = optimize_two_level(&s, TwoLevelOptions::two_level());
+                let one = optimize_two_level(&s, TwoLevelOptions::single_level());
+                assert!(
+                    two.expected_makespan <= one.expected_makespan + 1e-9,
+                    "{} n={n}: ADMV*={} > ADV*={}",
+                    platform.name,
+                    two.expected_makespan,
+                    one.expected_makespan
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_level_strictly_better_on_hera_with_50_tasks() {
+        // Paper §IV reports ≈2 % improvement on Hera (Uniform, n = 50).
+        let s = paper_scenario(&scr::hera(), &WeightPattern::Uniform, 50);
+        let two = optimize_two_level(&s, TwoLevelOptions::two_level());
+        let one = optimize_two_level(&s, TwoLevelOptions::single_level());
+        let gain = (one.expected_makespan - two.expected_makespan) / one.expected_makespan;
+        assert!(gain > 0.005, "gain = {gain}");
+        assert!(gain < 0.10, "gain = {gain}");
+    }
+
+    #[test]
+    fn single_level_places_memory_checkpoints_only_at_disk_checkpoints() {
+        for platform in scr::all() {
+            let s = paper_scenario(&platform, &WeightPattern::Uniform, 40);
+            let sol = optimize_two_level(&s, TwoLevelOptions::single_level());
+            assert_eq!(
+                sol.schedule.memory_checkpoint_positions(),
+                sol.schedule.disk_checkpoint_positions(),
+                "{}",
+                platform.name
+            );
+            assert!(sol.schedule.partial_verification_positions().is_empty());
+        }
+    }
+
+    #[test]
+    fn two_level_uses_more_memory_than_disk_checkpoints_on_hera() {
+        // Figure 5 row 1: ADMV* places many memory checkpoints but few disk ones.
+        let s = paper_scenario(&scr::hera(), &WeightPattern::Uniform, 50);
+        let sol = optimize_two_level(&s, TwoLevelOptions::two_level());
+        let counts = sol.schedule.counts();
+        assert!(counts.memory_checkpoints > counts.disk_checkpoints);
+        assert!(counts.disk_checkpoints <= 5, "{counts:?}");
+        assert!(counts.guaranteed_verifications >= counts.memory_checkpoints);
+    }
+
+    #[test]
+    fn no_errors_means_no_interior_actions() {
+        // With zero error rates the optimum is to never checkpoint or verify
+        // before the mandatory terminal actions.
+        let platform = Platform::new("ideal", 1, 0.0, 0.0, 300.0, 15.0).unwrap();
+        let s = Scenario::new(
+            WeightPattern::Uniform.generate(20, 25_000.0).unwrap(),
+            platform.clone(),
+            ResilienceCosts::paper_defaults(&platform),
+        )
+        .unwrap();
+        let sol = optimize_two_level(&s, TwoLevelOptions::two_level());
+        assert_eq!(sol.schedule.guaranteed_verification_positions(), vec![20]);
+        assert_eq!(sol.schedule.disk_checkpoint_positions(), vec![20]);
+        assert!(approx_eq(
+            sol.expected_makespan,
+            25_000.0 + 15.0 + 15.0 + 300.0,
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn huge_error_rates_force_frequent_checkpoints() {
+        // With an MTBF comparable to a single task, the optimizer must place
+        // many interior actions.
+        let platform = Platform::new("flaky", 1, 1e-3, 1e-3, 10.0, 1.0).unwrap();
+        let s = Scenario::new(
+            WeightPattern::Uniform.generate(20, 10_000.0).unwrap(),
+            platform.clone(),
+            ResilienceCosts::paper_defaults(&platform),
+        )
+        .unwrap();
+        let sol = optimize_two_level(&s, TwoLevelOptions::two_level());
+        assert!(sol.schedule.counts().memory_checkpoints >= 10, "{:?}", sol.schedule.counts());
+        assert!(sol.expected_makespan > 10_000.0);
+    }
+
+    #[test]
+    fn expected_makespan_trends_down_with_more_tasks_on_hera() {
+        // Figure 5 (first column): with a fixed total weight, finer task
+        // granularity gives the optimizer more placement freedom, so the
+        // makespan trends down as n grows and flattens out.  (It is not
+        // strictly monotonic: the boundary sets for different n are not
+        // nested, so tiny upticks — well below 0.1 % — do occur, exactly as in
+        // the paper's plots.)
+        let mut prev = f64::INFINITY;
+        let mut series = Vec::new();
+        for n in [5usize, 10, 20, 30, 40, 50] {
+            let s = paper_scenario(&scr::hera(), &WeightPattern::Uniform, n);
+            let sol = optimize_two_level(&s, TwoLevelOptions::two_level());
+            assert!(
+                sol.expected_makespan <= prev * 1.001,
+                "n={n}: {} ≫ {prev}",
+                sol.expected_makespan
+            );
+            series.push(sol.expected_makespan);
+            prev = sol.expected_makespan;
+        }
+        // The coarse end of the curve is clearly above the fine end.
+        assert!(series[0] > *series.last().unwrap() + 50.0, "{series:?}");
+    }
+
+    #[test]
+    fn normalized_makespan_on_hera_matches_paper_range() {
+        // Figure 5 row 1: the normalized makespan for ADMV* at n = 50 on Hera
+        // is ≈ 1.03; at n = 5 it is ≈ 1.06..1.12.
+        let s = paper_scenario(&scr::hera(), &WeightPattern::Uniform, 50);
+        let sol = optimize_two_level(&s, TwoLevelOptions::two_level());
+        let norm = sol.expected_makespan / s.error_free_time();
+        assert!(norm > 1.01 && norm < 1.06, "normalized = {norm}");
+    }
+
+    #[test]
+    fn decrease_pattern_checkpoints_the_large_head_tasks() {
+        // Figure 7: with quadratically decreasing weights, the large tasks at
+        // the head of the chain attract the memory checkpoints.
+        let s = paper_scenario(&scr::hera(), &WeightPattern::Decrease, 50);
+        let sol = optimize_two_level(&s, TwoLevelOptions::two_level());
+        let mems = sol.schedule.memory_checkpoint_positions();
+        assert!(!mems.is_empty());
+        // More memory checkpoints in the first half than in the second half
+        // (excluding the mandatory terminal one).
+        let first_half = mems.iter().filter(|&&m| m <= 25).count();
+        let second_half = mems.iter().filter(|&&m| m > 25 && m < 50).count();
+        assert!(
+            first_half >= second_half,
+            "first half {first_half} < second half {second_half}: {mems:?}"
+        );
+    }
+
+    #[test]
+    fn options_constructors() {
+        assert!(TwoLevelOptions::two_level().allow_interior_memory_checkpoints);
+        assert!(!TwoLevelOptions::single_level().allow_interior_memory_checkpoints);
+        assert_eq!(TwoLevelOptions::default(), TwoLevelOptions::two_level());
+    }
+}

@@ -1,0 +1,99 @@
+//! Error types of the runtime executor.
+
+use std::fmt;
+
+/// Errors raised by the runtime executor and its checkpoint vaults.
+#[derive(Debug)]
+pub enum ExecError {
+    /// A task reported a fail-stop failure (crash) while running.
+    TaskFailed {
+        /// 1-based index of the failed task.
+        task: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// State (de)serialization failed.
+    Codec {
+        /// Description of the codec failure.
+        reason: String,
+    },
+    /// A checkpoint vault could not store or load a snapshot.
+    Vault {
+        /// Description of the vault failure.
+        reason: String,
+    },
+    /// The requested checkpoint does not exist.
+    MissingCheckpoint {
+        /// Boundary whose checkpoint was requested.
+        boundary: usize,
+    },
+    /// The executor exhausted its retry budget without completing the pipeline.
+    RetryBudgetExhausted {
+        /// Number of attempts performed.
+        attempts: u64,
+    },
+    /// The schedule does not match the pipeline (length, missing final verification…).
+    InvalidSchedule {
+        /// Description of the mismatch.
+        reason: String,
+    },
+    /// Underlying I/O error (disk vault).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::TaskFailed { task, reason } => {
+                write!(f, "task {task} failed: {reason}")
+            }
+            ExecError::Codec { reason } => write!(f, "state codec error: {reason}"),
+            ExecError::Vault { reason } => write!(f, "checkpoint vault error: {reason}"),
+            ExecError::MissingCheckpoint { boundary } => {
+                write!(f, "no checkpoint stored for boundary {boundary}")
+            }
+            ExecError::RetryBudgetExhausted { attempts } => {
+                write!(f, "retry budget exhausted after {attempts} task attempts")
+            }
+            ExecError::InvalidSchedule { reason } => write!(f, "invalid schedule: {reason}"),
+            ExecError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ExecError {
+    fn from(e: std::io::Error) -> Self {
+        ExecError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        assert!(ExecError::TaskFailed { task: 3, reason: "oom".into() }
+            .to_string()
+            .contains("task 3"));
+        assert!(ExecError::MissingCheckpoint { boundary: 7 }.to_string().contains("7"));
+        assert!(ExecError::RetryBudgetExhausted { attempts: 12 }.to_string().contains("12"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_expose_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: ExecError = io.into();
+        assert!(e.to_string().contains("gone"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

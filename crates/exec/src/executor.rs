@@ -1,0 +1,508 @@
+//! The two-level checkpoint/restart executor.
+//!
+//! [`Executor`] runs a [`Pipeline`] under a [`Schedule`] produced by the
+//! optimizer (or written by hand), implementing the exact recovery semantics
+//! of the paper with *real* state snapshots:
+//!
+//! * at a boundary whose action includes a **guaranteed verification**, the
+//!   guaranteed detector inspects the state; if it flags a corruption, the
+//!   state is restored from the **memory vault** and execution resumes after
+//!   the restored boundary;
+//! * otherwise, a **memory checkpoint** (snapshot into the memory vault) and a
+//!   **disk checkpoint** (snapshot into the disk vault) are taken if the
+//!   action requires them;
+//! * at a boundary with a **partial verification**, the (cheaper, imperfect)
+//!   partial detector is consulted instead;
+//! * a **fail-stop fault** wipes the memory vault and restores the state from
+//!   the **disk vault** — or from the initial state, which is implicitly
+//!   checkpointed at boundary 0, matching the virtual task `T0` of the model.
+
+use crate::error::ExecError;
+use crate::inject::{FaultSource, NoFaults};
+use crate::pipeline::Pipeline;
+use crate::state::Snapshot;
+use crate::vault::{DiskVault, MemoryVault, Vault};
+use crate::verify::{Detector, InvariantDetector, Verdict};
+use chain2l_model::Schedule;
+
+/// What happened during one [`Executor::run`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutionReport {
+    /// Total task attempts (successful + interrupted + re-executed).
+    pub task_attempts: u64,
+    /// Fail-stop faults injected.
+    pub fail_stop_faults: u64,
+    /// Silent corruptions injected.
+    pub silent_corruptions: u64,
+    /// Corruptions caught by guaranteed verifications.
+    pub detected_by_guaranteed: u64,
+    /// Corruptions caught by partial verifications.
+    pub detected_by_partial: u64,
+    /// Partial verifications that ran on corrupted data and missed it.
+    pub partial_misses: u64,
+    /// Restores from the memory vault.
+    pub memory_restores: u64,
+    /// Restores from the disk vault (or from the initial state).
+    pub disk_restores: u64,
+    /// Memory checkpoints taken.
+    pub memory_checkpoints: u64,
+    /// Disk checkpoints taken.
+    pub disk_checkpoints: u64,
+    /// Bytes written to the memory vault.
+    pub memory_bytes_written: u64,
+    /// Bytes written to the disk vault.
+    pub disk_bytes_written: u64,
+}
+
+/// Builder for [`Executor`].
+pub struct ExecutorBuilder<S: Snapshot> {
+    pipeline: Pipeline<S>,
+    schedule: Schedule,
+    guaranteed: Box<dyn Detector<S>>,
+    partial: Option<Box<dyn Detector<S>>>,
+    faults: Box<dyn FaultSource>,
+    corruptor: Box<dyn FnMut(&mut S) + Send>,
+    disk_vault: Option<DiskVault>,
+    max_attempts: u64,
+}
+
+impl<S: Snapshot + 'static> ExecutorBuilder<S> {
+    /// Starts a builder from a pipeline and the schedule to enforce.
+    ///
+    /// Defaults: a trivially-true guaranteed detector (replace it with a real
+    /// invariant via [`Self::guaranteed_detector`]), no partial detector, no
+    /// fault injection, an identity corruptor, a temp-dir disk vault and a
+    /// 1 000 000 task-attempt budget.
+    pub fn new(pipeline: Pipeline<S>, schedule: Schedule) -> Self {
+        Self {
+            pipeline,
+            schedule,
+            guaranteed: Box::new(InvariantDetector::new(|_s: &S| true)),
+            partial: None,
+            faults: Box::new(NoFaults),
+            corruptor: Box::new(|_s: &mut S| {}),
+            disk_vault: None,
+            max_attempts: 1_000_000,
+        }
+    }
+
+    /// Sets the guaranteed (recall-1) detector.
+    pub fn guaranteed_detector(mut self, detector: impl Detector<S> + 'static) -> Self {
+        self.guaranteed = Box::new(detector);
+        self
+    }
+
+    /// Sets the partial detector used at partial-verification boundaries.
+    pub fn partial_detector(mut self, detector: impl Detector<S> + 'static) -> Self {
+        self.partial = Some(Box::new(detector));
+        self
+    }
+
+    /// Sets the fault source.
+    pub fn fault_source(mut self, faults: impl FaultSource + 'static) -> Self {
+        self.faults = Box::new(faults);
+        self
+    }
+
+    /// Sets the function applied to the state when a silent corruption is
+    /// injected (it should perturb the state in a way the guaranteed detector
+    /// can notice).
+    pub fn corruptor(mut self, corruptor: impl FnMut(&mut S) + Send + 'static) -> Self {
+        self.corruptor = Box::new(corruptor);
+        self
+    }
+
+    /// Uses a specific disk vault instead of a fresh temp-dir one.
+    pub fn disk_vault(mut self, vault: DiskVault) -> Self {
+        self.disk_vault = Some(vault);
+        self
+    }
+
+    /// Caps the number of task attempts (guards against livelock under
+    /// pathological fault rates).
+    pub fn max_attempts(mut self, max_attempts: u64) -> Self {
+        self.max_attempts = max_attempts;
+        self
+    }
+
+    /// Finalises the executor.
+    ///
+    /// # Errors
+    /// Fails when the schedule does not cover the pipeline or lacks the final
+    /// guaranteed verification, or when the disk vault cannot be created.
+    pub fn build(self) -> Result<Executor<S>, ExecError> {
+        let chain = self.pipeline.to_chain()?;
+        self.schedule
+            .validate(&chain)
+            .map_err(|e| ExecError::InvalidSchedule { reason: e.to_string() })?;
+        let disk_vault = match self.disk_vault {
+            Some(v) => v,
+            None => DiskVault::in_temp_dir("executor")?,
+        };
+        Ok(Executor {
+            pipeline: self.pipeline,
+            schedule: self.schedule,
+            guaranteed: self.guaranteed,
+            partial: self.partial,
+            faults: self.faults,
+            corruptor: self.corruptor,
+            memory_vault: MemoryVault::new(),
+            disk_vault,
+            max_attempts: self.max_attempts,
+        })
+    }
+}
+
+/// Two-level checkpoint/restart executor (see module documentation).
+pub struct Executor<S: Snapshot> {
+    pipeline: Pipeline<S>,
+    schedule: Schedule,
+    guaranteed: Box<dyn Detector<S>>,
+    partial: Option<Box<dyn Detector<S>>>,
+    faults: Box<dyn FaultSource>,
+    corruptor: Box<dyn FnMut(&mut S) + Send>,
+    memory_vault: MemoryVault,
+    disk_vault: DiskVault,
+    max_attempts: u64,
+}
+
+impl<S: Snapshot + 'static> Executor<S> {
+    /// Starts building an executor.
+    pub fn builder(pipeline: Pipeline<S>, schedule: Schedule) -> ExecutorBuilder<S> {
+        ExecutorBuilder::new(pipeline, schedule)
+    }
+
+    /// Runs the pipeline to completion from `initial`, returning the final
+    /// (verified) state and the execution report.
+    ///
+    /// # Errors
+    /// Returns [`ExecError::RetryBudgetExhausted`] when the attempt budget is
+    /// exceeded, or a vault/codec error if a snapshot cannot be taken or
+    /// restored.
+    pub fn run(&mut self, initial: S) -> Result<(S, ExecutionReport), ExecError> {
+        let n = self.pipeline.len();
+        let mut report = ExecutionReport::default();
+        let mut state = initial;
+
+        // Boundary 0 (the virtual task T0) is checkpointed at both levels.
+        let initial_snapshot = state.snapshot();
+        self.memory_vault.store(0, initial_snapshot.clone())?;
+        self.disk_vault.store(0, initial_snapshot)?;
+        report.memory_checkpoints += 1;
+        report.disk_checkpoints += 1;
+
+        let mut position = 0usize;
+        let mut corrupted = false;
+
+        while position < n {
+            if report.task_attempts >= self.max_attempts {
+                return Err(ExecError::RetryBudgetExhausted { attempts: report.task_attempts });
+            }
+            report.task_attempts += 1;
+
+            let task_index = position; // 0-based into the pipeline
+            let weight = self.pipeline.weights()[task_index];
+            let decision = self.faults.next(task_index + 1, weight);
+
+            if decision.fail_stop {
+                report.fail_stop_faults += 1;
+                // The node crashed: all memory content is gone.
+                self.memory_vault.invalidate();
+                let snapshot = self
+                    .disk_vault
+                    .load()?
+                    .ok_or(ExecError::MissingCheckpoint { boundary: 0 })?;
+                state = S::restore(&snapshot.data)?;
+                position = snapshot.boundary;
+                // The restored disk copy also refills the memory level
+                // (the model folds that cost into R_D).
+                self.memory_vault.store(snapshot.boundary, snapshot.data)?;
+                corrupted = false;
+                report.disk_restores += 1;
+                continue;
+            }
+
+            // Run the real work.
+            self.pipeline.tasks_mut()[task_index].run(&mut state);
+            if decision.silent_error {
+                (self.corruptor)(&mut state);
+                corrupted = true;
+                report.silent_corruptions += 1;
+            }
+            position = task_index + 1;
+
+            let action = self.schedule.action(position);
+            if action.has_guaranteed_verification() {
+                let verdict = self.guaranteed.verify(&state);
+                if verdict == Verdict::Corrupted {
+                    report.detected_by_guaranteed += 1;
+                    let snapshot = self
+                        .memory_vault
+                        .load()?
+                        .ok_or(ExecError::MissingCheckpoint { boundary: position })?;
+                    state = S::restore(&snapshot.data)?;
+                    position = snapshot.boundary;
+                    corrupted = false;
+                    report.memory_restores += 1;
+                    continue;
+                }
+                if action.has_memory_checkpoint() {
+                    self.memory_vault.store(position, state.snapshot())?;
+                    report.memory_checkpoints += 1;
+                }
+                if action.has_disk_checkpoint() {
+                    self.disk_vault.store(position, state.snapshot())?;
+                    report.disk_checkpoints += 1;
+                }
+            } else if action.has_partial_verification() {
+                if let Some(partial) = self.partial.as_mut() {
+                    let verdict = partial.verify(&state);
+                    if verdict == Verdict::Corrupted {
+                        report.detected_by_partial += 1;
+                        let snapshot = self
+                            .memory_vault
+                            .load()?
+                            .ok_or(ExecError::MissingCheckpoint { boundary: position })?;
+                        state = S::restore(&snapshot.data)?;
+                        position = snapshot.boundary;
+                        corrupted = false;
+                        report.memory_restores += 1;
+                        continue;
+                    } else if corrupted {
+                        report.partial_misses += 1;
+                    }
+                } else if corrupted {
+                    // No partial detector installed: the verification is a no-op.
+                    report.partial_misses += 1;
+                }
+            }
+        }
+
+        report.memory_bytes_written = self.memory_vault.bytes_written();
+        report.disk_bytes_written = self.disk_vault.bytes_written();
+        Ok((state, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::{FaultDecision, PoissonFaults, ScriptedFaults};
+    use crate::verify::SampledDetector;
+    use chain2l_model::{Action, Schedule};
+
+    /// A simple iterative "solver": the state is a vector of partial sums and
+    /// each task adds a known increment to every entry.  The invariant checked
+    /// by the guaranteed detector is that every entry equals the expected
+    /// running total (stored redundantly in the last slot).
+    fn counting_pipeline(n: usize) -> Pipeline<Vec<f64>> {
+        let mut p = Pipeline::new();
+        for i in 0..n {
+            p.push(crate::pipeline::TaskSpec::new(format!("step-{i}"), 100.0, move |s: &mut Vec<f64>| {
+                for x in s.iter_mut() {
+                    *x += 1.0;
+                }
+            }));
+        }
+        p
+    }
+
+    fn consistency_detector() -> InvariantDetector<Vec<f64>> {
+        // All entries of the state must be equal (each task increments all of
+        // them together), so any single-entry corruption is detectable.
+        InvariantDetector::new(|s: &Vec<f64>| {
+            s.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12)
+        })
+    }
+
+    fn corrupt_first_entry(s: &mut Vec<f64>) {
+        if let Some(x) = s.first_mut() {
+            *x += 1000.0;
+        }
+    }
+
+    fn schedule_with_mem_every(n: usize, period: usize) -> Schedule {
+        Schedule::periodic(n, period, Action::MemoryCheckpoint)
+    }
+
+    #[test]
+    fn fault_free_run_produces_the_correct_result() {
+        let pipeline = counting_pipeline(10);
+        let schedule = schedule_with_mem_every(10, 3);
+        let mut exec = Executor::builder(pipeline, schedule)
+            .guaranteed_detector(consistency_detector())
+            .build()
+            .unwrap();
+        let (state, report) = exec.run(vec![0.0; 4]).unwrap();
+        assert_eq!(state, vec![10.0; 4]);
+        assert_eq!(report.task_attempts, 10);
+        assert_eq!(report.fail_stop_faults, 0);
+        assert_eq!(report.silent_corruptions, 0);
+        assert_eq!(report.memory_restores, 0);
+        assert_eq!(report.disk_restores, 0);
+        // Boundary 0 + boundaries 3, 6, 9 and the terminal disk checkpoint.
+        assert_eq!(report.memory_checkpoints, 1 + 4);
+        assert_eq!(report.disk_checkpoints, 1 + 1);
+        assert!(report.memory_bytes_written > 0);
+        assert!(report.disk_bytes_written > 0);
+    }
+
+    #[test]
+    fn silent_corruption_is_detected_and_rolled_back() {
+        let pipeline = counting_pipeline(6);
+        let schedule = schedule_with_mem_every(6, 2);
+        // Corrupt the output of the third task attempt.
+        let script = ScriptedFaults::new(vec![
+            FaultDecision::none(),
+            FaultDecision::none(),
+            FaultDecision::corruption(),
+        ]);
+        let mut exec = Executor::builder(pipeline, schedule)
+            .guaranteed_detector(consistency_detector())
+            .fault_source(script)
+            .corruptor(corrupt_first_entry)
+            .build()
+            .unwrap();
+        let (state, report) = exec.run(vec![0.0; 3]).unwrap();
+        // Despite the corruption, the final state is correct.
+        assert_eq!(state, vec![6.0; 3]);
+        assert_eq!(report.silent_corruptions, 1);
+        assert_eq!(report.detected_by_guaranteed, 1);
+        assert_eq!(report.memory_restores, 1);
+        // Task 3 and 4 are re-executed after rolling back to boundary 2.
+        assert_eq!(report.task_attempts, 6 + 2);
+    }
+
+    #[test]
+    fn fail_stop_restores_from_disk_and_still_finishes() {
+        let pipeline = counting_pipeline(6);
+        let mut schedule = schedule_with_mem_every(6, 2);
+        schedule.set_action(2, Action::DiskCheckpoint);
+        // Crash while executing the 5th task attempt (task 5, after the disk
+        // checkpoint at boundary 2 and memory checkpoint at 4).
+        let script = ScriptedFaults::new(vec![
+            FaultDecision::none(),
+            FaultDecision::none(),
+            FaultDecision::none(),
+            FaultDecision::none(),
+            FaultDecision::crash(),
+        ]);
+        let mut exec = Executor::builder(pipeline, schedule)
+            .guaranteed_detector(consistency_detector())
+            .fault_source(script)
+            .build()
+            .unwrap();
+        let (state, report) = exec.run(vec![0.0; 3]).unwrap();
+        assert_eq!(state, vec![6.0; 3]);
+        assert_eq!(report.fail_stop_faults, 1);
+        assert_eq!(report.disk_restores, 1);
+        // Rolled back to boundary 2: tasks 3, 4, 5, 6 re-executed.
+        assert_eq!(report.task_attempts, 5 + 4);
+    }
+
+    #[test]
+    fn partial_detector_misses_are_caught_by_the_next_guaranteed_verification() {
+        let pipeline = counting_pipeline(4);
+        let mut schedule = Schedule::empty(4);
+        schedule.set_action(1, Action::PartialVerification);
+        schedule.set_action(2, Action::PartialVerification);
+        schedule.set_action(3, Action::PartialVerification);
+        schedule.set_action(4, Action::DiskCheckpoint);
+        // Corrupt the very first task's output; the partial detector has an
+        // extremely low recall seeded to miss, so only the terminal guaranteed
+        // verification catches it.
+        let script = ScriptedFaults::new(vec![FaultDecision::corruption()]);
+        let mut exec = Executor::builder(pipeline, schedule)
+            .guaranteed_detector(consistency_detector())
+            .partial_detector(SampledDetector::new(consistency_detector(), 1e-9, 7))
+            .fault_source(script)
+            .corruptor(corrupt_first_entry)
+            .build()
+            .unwrap();
+        let (state, report) = exec.run(vec![0.0; 3]).unwrap();
+        assert_eq!(state, vec![4.0; 3]);
+        assert_eq!(report.silent_corruptions, 1);
+        assert!(report.partial_misses >= 1, "{report:?}");
+        assert_eq!(report.detected_by_guaranteed, 1);
+        assert_eq!(report.memory_restores, 1);
+        // Rollback goes all the way to boundary 0 (no memory checkpoint yet):
+        // all 4 tasks re-executed.
+        assert_eq!(report.task_attempts, 8);
+    }
+
+    #[test]
+    fn partial_detector_with_full_recall_detects_immediately() {
+        let pipeline = counting_pipeline(4);
+        let mut schedule = Schedule::empty(4);
+        schedule.set_action(1, Action::MemoryCheckpoint);
+        schedule.set_action(2, Action::PartialVerification);
+        schedule.set_action(4, Action::DiskCheckpoint);
+        let script = ScriptedFaults::new(vec![
+            FaultDecision::none(),
+            FaultDecision::corruption(),
+        ]);
+        let mut exec = Executor::builder(pipeline, schedule)
+            .guaranteed_detector(consistency_detector())
+            .partial_detector(SampledDetector::new(consistency_detector(), 1.0, 7))
+            .fault_source(script)
+            .corruptor(corrupt_first_entry)
+            .build()
+            .unwrap();
+        let (state, report) = exec.run(vec![0.0; 2]).unwrap();
+        assert_eq!(state, vec![4.0; 2]);
+        assert_eq!(report.detected_by_partial, 1);
+        assert_eq!(report.detected_by_guaranteed, 0);
+        // Rolled back only to boundary 1: one task re-executed.
+        assert_eq!(report.task_attempts, 5);
+    }
+
+    #[test]
+    fn poisson_faults_end_to_end_still_produce_correct_results() {
+        // Aggressive rates so faults actually happen, with checkpoints dense
+        // enough for fast convergence.
+        let pipeline = counting_pipeline(12);
+        let schedule = Schedule::every_task(12, Action::MemoryCheckpoint);
+        let mut schedule = schedule;
+        schedule.set_action(6, Action::DiskCheckpoint);
+        schedule.set_action(12, Action::DiskCheckpoint);
+        let mut exec = Executor::builder(pipeline, schedule)
+            .guaranteed_detector(consistency_detector())
+            .fault_source(PoissonFaults::new(2e-3, 2e-3, 123))
+            .corruptor(corrupt_first_entry)
+            .build()
+            .unwrap();
+        let (state, report) = exec.run(vec![0.0; 8]).unwrap();
+        assert_eq!(state, vec![12.0; 8]);
+        assert!(report.task_attempts >= 12);
+    }
+
+    #[test]
+    fn builder_rejects_mismatched_schedules() {
+        let pipeline = counting_pipeline(5);
+        let schedule = Schedule::terminal_only(4);
+        assert!(Executor::builder(pipeline, schedule).build().is_err());
+
+        let pipeline = counting_pipeline(5);
+        let schedule = Schedule::empty(5);
+        assert!(Executor::builder(pipeline, schedule).build().is_err());
+    }
+
+    #[test]
+    fn retry_budget_is_enforced() {
+        let pipeline = counting_pipeline(3);
+        let schedule = Schedule::terminal_only(3);
+        // Crash on every attempt.
+        let script =
+            ScriptedFaults::new(std::iter::repeat_n(FaultDecision::crash(), 1000));
+        let mut exec = Executor::builder(pipeline, schedule)
+            .guaranteed_detector(consistency_detector())
+            .fault_source(script)
+            .max_attempts(50)
+            .build()
+            .unwrap();
+        match exec.run(vec![0.0; 2]) {
+            Err(ExecError::RetryBudgetExhausted { attempts }) => assert_eq!(attempts, 50),
+            other => panic!("expected retry budget error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Fault sources for the runtime executor.
+//!
+//! A [`FaultSource`] decides, for every *attempt* of a task, whether a
+//! fail-stop error interrupts it and whether a silent corruption slips into
+//! its output.  Two implementations are provided:
+//!
+//! * [`PoissonFaults`] — draws both events from the platform's Poisson rates,
+//!   exactly like the analytical model of the paper;
+//! * [`ScriptedFaults`] — replays a fixed list of fault decisions, so tests
+//!   and examples can exercise specific recovery paths deterministically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Fault decision for one task attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultDecision {
+    /// The attempt is interrupted by a fail-stop error (node crash).
+    pub fail_stop: bool,
+    /// The attempt completes but its output is silently corrupted.
+    pub silent_error: bool,
+}
+
+impl FaultDecision {
+    /// No fault at all.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A fail-stop crash.
+    pub fn crash() -> Self {
+        Self { fail_stop: true, silent_error: false }
+    }
+
+    /// A silent corruption.
+    pub fn corruption() -> Self {
+        Self { fail_stop: false, silent_error: true }
+    }
+}
+
+/// Decides the faults affecting each task attempt.
+pub trait FaultSource: Send {
+    /// Returns the fault decision for one attempt of task `task` (1-based)
+    /// whose computation lasts `weight` seconds.
+    fn next(&mut self, task: usize, weight: f64) -> FaultDecision;
+}
+
+/// Never injects any fault.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoFaults;
+
+impl FaultSource for NoFaults {
+    fn next(&mut self, _task: usize, _weight: f64) -> FaultDecision {
+        FaultDecision::none()
+    }
+}
+
+/// Poisson fault injection matching the analytical model: a task attempt of
+/// length `w` crashes with probability `1 − e^{−λ_f w}` and is silently
+/// corrupted with probability `1 − e^{−λ_s w}` (when it does not crash).
+#[derive(Debug, Clone)]
+pub struct PoissonFaults {
+    lambda_fail_stop: f64,
+    lambda_silent: f64,
+    rng: StdRng,
+}
+
+impl PoissonFaults {
+    /// Creates a Poisson fault source with the given rates and seed.
+    pub fn new(lambda_fail_stop: f64, lambda_silent: f64, seed: u64) -> Self {
+        assert!(lambda_fail_stop >= 0.0 && lambda_fail_stop.is_finite());
+        assert!(lambda_silent >= 0.0 && lambda_silent.is_finite());
+        Self { lambda_fail_stop, lambda_silent, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl FaultSource for PoissonFaults {
+    fn next(&mut self, _task: usize, weight: f64) -> FaultDecision {
+        let p_fail = -(-self.lambda_fail_stop * weight).exp_m1();
+        let p_silent = -(-self.lambda_silent * weight).exp_m1();
+        let fail_stop = self.rng.gen::<f64>() < p_fail;
+        // A crashed attempt produces no output, so corruption only matters
+        // when the attempt completes.
+        let silent_error = !fail_stop && self.rng.gen::<f64>() < p_silent;
+        FaultDecision { fail_stop, silent_error }
+    }
+}
+
+/// Replays a fixed sequence of fault decisions, then reports no faults.
+#[derive(Debug, Default, Clone)]
+pub struct ScriptedFaults {
+    script: VecDeque<FaultDecision>,
+}
+
+impl ScriptedFaults {
+    /// Creates a scripted source from a decision list (consumed in order, one
+    /// per task attempt).
+    pub fn new(script: impl IntoIterator<Item = FaultDecision>) -> Self {
+        Self { script: script.into_iter().collect() }
+    }
+
+    /// Number of scripted decisions still pending.
+    pub fn remaining(&self) -> usize {
+        self.script.len()
+    }
+}
+
+impl FaultSource for ScriptedFaults {
+    fn next(&mut self, _task: usize, _weight: f64) -> FaultDecision {
+        self.script.pop_front().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_is_always_clean() {
+        let mut src = NoFaults;
+        for task in 1..100 {
+            assert_eq!(src.next(task, 1000.0), FaultDecision::none());
+        }
+    }
+
+    #[test]
+    fn scripted_faults_replay_in_order_then_stop() {
+        let mut src = ScriptedFaults::new(vec![
+            FaultDecision::crash(),
+            FaultDecision::corruption(),
+            FaultDecision::none(),
+        ]);
+        assert_eq!(src.remaining(), 3);
+        assert_eq!(src.next(1, 1.0), FaultDecision::crash());
+        assert_eq!(src.next(1, 1.0), FaultDecision::corruption());
+        assert_eq!(src.next(2, 1.0), FaultDecision::none());
+        assert_eq!(src.next(3, 1.0), FaultDecision::none());
+        assert_eq!(src.remaining(), 0);
+    }
+
+    #[test]
+    fn poisson_faults_match_their_probabilities() {
+        let lambda_f = 1e-3;
+        let lambda_s = 2e-3;
+        let weight = 500.0;
+        let mut src = PoissonFaults::new(lambda_f, lambda_s, 99);
+        let trials = 50_000;
+        let mut crashes = 0usize;
+        let mut corruptions = 0usize;
+        for _ in 0..trials {
+            let d = src.next(1, weight);
+            crashes += usize::from(d.fail_stop);
+            corruptions += usize::from(d.silent_error);
+            assert!(!(d.fail_stop && d.silent_error), "crashed attempts have no output");
+        }
+        let p_fail = 1.0 - (-lambda_f * weight).exp();
+        let p_silent_observed = (1.0 - p_fail) * (1.0 - (-lambda_s * weight).exp());
+        let crash_rate = crashes as f64 / trials as f64;
+        let corruption_rate = corruptions as f64 / trials as f64;
+        assert!((crash_rate - p_fail).abs() < 0.01, "crash rate {crash_rate} vs {p_fail}");
+        assert!(
+            (corruption_rate - p_silent_observed).abs() < 0.01,
+            "corruption rate {corruption_rate} vs {p_silent_observed}"
+        );
+    }
+
+    #[test]
+    fn poisson_with_zero_rates_never_fires() {
+        let mut src = PoissonFaults::new(0.0, 0.0, 1);
+        for _ in 0..1000 {
+            assert_eq!(src.next(1, 1e9), FaultDecision::none());
+        }
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let mut a = PoissonFaults::new(1e-3, 1e-3, 5);
+        let mut b = PoissonFaults::new(1e-3, 1e-3, 5);
+        for _ in 0..100 {
+            assert_eq!(a.next(1, 700.0), b.next(1, 700.0));
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! # chain2l-exec
+//!
+//! A miniature two-level checkpoint/restart **runtime** in the spirit of
+//! FTI/SCR, driven by the schedules produced by `chain2l-core`.
+//!
+//! Where `chain2l-sim` *simulates* time, this crate actually **executes** a
+//! user pipeline: real task closures transform a real application state,
+//! snapshots of that state are stored in an in-memory vault and on disk,
+//! silent corruptions are injected into the data itself, and detectors
+//! (application invariants, sampled checks) decide when to roll back.  It
+//! demonstrates that the `Schedule` abstraction of the optimizer is directly
+//! consumable by a runtime — the substitution documented in DESIGN.md for the
+//! production checkpoint libraries the paper assumes.
+//!
+//! * [`pipeline`] — describe the linear workflow (named tasks + weights);
+//! * [`executor`] — run it under a schedule with two-level recovery;
+//! * [`vault`] — in-memory and on-disk checkpoint storage;
+//! * [`verify`] — guaranteed (invariant) and partial (sampled) detectors;
+//! * [`inject`] — Poisson or scripted fault injection;
+//! * [`state`] — snapshotting of application state into bytes.
+//!
+//! # Example
+//!
+//! ```
+//! use chain2l_exec::executor::Executor;
+//! use chain2l_exec::pipeline::Pipeline;
+//! use chain2l_exec::verify::InvariantDetector;
+//! use chain2l_model::{Action, Schedule};
+//!
+//! // Three tasks that each add 1.0 to every entry of the state.
+//! let pipeline: Pipeline<Vec<f64>> = Pipeline::new()
+//!     .task("step-1", 100.0, |s: &mut Vec<f64>| s.iter_mut().for_each(|x| *x += 1.0))
+//!     .task("step-2", 100.0, |s: &mut Vec<f64>| s.iter_mut().for_each(|x| *x += 1.0))
+//!     .task("step-3", 100.0, |s: &mut Vec<f64>| s.iter_mut().for_each(|x| *x += 1.0));
+//! let mut schedule = Schedule::terminal_only(3);
+//! schedule.set_action(2, Action::MemoryCheckpoint);
+//!
+//! let mut executor = Executor::builder(pipeline, schedule)
+//!     .guaranteed_detector(InvariantDetector::new(|s: &Vec<f64>| {
+//!         s.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12)
+//!     }))
+//!     .build()
+//!     .unwrap();
+//! let (state, report) = executor.run(vec![0.0; 4]).unwrap();
+//! assert_eq!(state, vec![3.0; 4]);
+//! assert_eq!(report.task_attempts, 3);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use bytes;
+
+pub mod error;
+pub mod executor;
+pub mod inject;
+pub mod pipeline;
+pub mod state;
+pub mod vault;
+pub mod verify;
+
+pub use error::ExecError;
+pub use executor::{ExecutionReport, Executor, ExecutorBuilder};
+pub use inject::{FaultDecision, FaultSource, NoFaults, PoissonFaults, ScriptedFaults};
+pub use pipeline::{Pipeline, TaskSpec};
+pub use state::Snapshot;
+pub use vault::{DiskVault, MemoryVault, StoredSnapshot, Vault};
+pub use verify::{CountingDetector, Detector, InvariantDetector, SampledDetector, Verdict};

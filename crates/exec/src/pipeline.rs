@@ -1,0 +1,160 @@
+//! Task pipelines: the user-facing description of a linear workflow.
+//!
+//! A [`Pipeline`] is an ordered list of named tasks, each carrying a weight
+//! estimate (seconds of compute on the target platform) and a work function
+//! that transforms the shared application state.  The weight estimates are
+//! what the optimizer sees (it builds a [`chain2l_model::TaskChain`] from
+//! them); the work functions are what the executor actually runs.
+
+use crate::error::ExecError;
+use chain2l_model::TaskChain;
+
+/// One task of a pipeline.
+pub struct TaskSpec<S> {
+    /// Human-readable name (reports, traces).
+    pub name: String,
+    /// Estimated computational weight in seconds (drives the optimizer).
+    pub weight: f64,
+    work: Box<dyn FnMut(&mut S) + Send>,
+}
+
+impl<S> TaskSpec<S> {
+    /// Creates a task from a name, a weight estimate and a work function.
+    pub fn new(
+        name: impl Into<String>,
+        weight: f64,
+        work: impl FnMut(&mut S) + Send + 'static,
+    ) -> Self {
+        Self { name: name.into(), weight, work: Box::new(work) }
+    }
+
+    /// Runs the task's work function on the state.
+    pub fn run(&mut self, state: &mut S) {
+        (self.work)(state)
+    }
+}
+
+impl<S> std::fmt::Debug for TaskSpec<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskSpec")
+            .field("name", &self.name)
+            .field("weight", &self.weight)
+            .finish_non_exhaustive()
+    }
+}
+
+/// An ordered list of tasks forming a linear workflow.
+#[derive(Debug, Default)]
+pub struct Pipeline<S> {
+    tasks: Vec<TaskSpec<S>>,
+}
+
+impl<S> Pipeline<S> {
+    /// Creates an empty pipeline.
+    pub fn new() -> Self {
+        Self { tasks: Vec::new() }
+    }
+
+    /// Appends a task (builder style).
+    pub fn task(
+        mut self,
+        name: impl Into<String>,
+        weight: f64,
+        work: impl FnMut(&mut S) + Send + 'static,
+    ) -> Self {
+        self.tasks.push(TaskSpec::new(name, weight, work));
+        self
+    }
+
+    /// Appends an already-built [`TaskSpec`].
+    pub fn push(&mut self, task: TaskSpec<S>) {
+        self.tasks.push(task);
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when the pipeline has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Task names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.tasks.iter().map(|t| t.name.as_str()).collect()
+    }
+
+    /// Weight estimates in order.
+    pub fn weights(&self) -> Vec<f64> {
+        self.tasks.iter().map(|t| t.weight).collect()
+    }
+
+    /// Builds the [`TaskChain`] the optimizer consumes.
+    ///
+    /// # Errors
+    /// Fails when the pipeline is empty or a weight is invalid.
+    pub fn to_chain(&self) -> Result<TaskChain, ExecError> {
+        TaskChain::from_weights(self.weights())
+            .map_err(|e| ExecError::InvalidSchedule { reason: e.to_string() })
+    }
+
+    /// Mutable access to the task list (used by the executor).
+    pub(crate) fn tasks_mut(&mut self) -> &mut [TaskSpec<S>] {
+        &mut self.tasks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_tasks_in_order() {
+        let pipeline: Pipeline<Vec<f64>> = Pipeline::new()
+            .task("assemble", 100.0, |_s| {})
+            .task("solve", 400.0, |_s| {})
+            .task("postprocess", 50.0, |_s| {});
+        assert_eq!(pipeline.len(), 3);
+        assert_eq!(pipeline.names(), vec!["assemble", "solve", "postprocess"]);
+        assert_eq!(pipeline.weights(), vec![100.0, 400.0, 50.0]);
+        assert!(!pipeline.is_empty());
+    }
+
+    #[test]
+    fn to_chain_matches_weights() {
+        let pipeline: Pipeline<u64> =
+            Pipeline::new().task("a", 10.0, |_| {}).task("b", 30.0, |_| {});
+        let chain = pipeline.to_chain().unwrap();
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain.total_weight(), 40.0);
+    }
+
+    #[test]
+    fn empty_pipeline_cannot_build_a_chain() {
+        let pipeline: Pipeline<u64> = Pipeline::new();
+        assert!(pipeline.is_empty());
+        assert!(pipeline.to_chain().is_err());
+    }
+
+    #[test]
+    fn task_work_functions_mutate_state() {
+        let mut task = TaskSpec::new("double", 1.0, |s: &mut Vec<f64>| {
+            for x in s.iter_mut() {
+                *x *= 2.0;
+            }
+        });
+        let mut state = vec![1.0, 2.0];
+        task.run(&mut state);
+        assert_eq!(state, vec![2.0, 4.0]);
+        assert!(format!("{task:?}").contains("double"));
+    }
+
+    #[test]
+    fn push_appends_prebuilt_tasks() {
+        let mut pipeline: Pipeline<String> = Pipeline::new();
+        pipeline.push(TaskSpec::new("t1", 5.0, |s: &mut String| s.push('x')));
+        assert_eq!(pipeline.len(), 1);
+    }
+}

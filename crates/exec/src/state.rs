@@ -1,0 +1,163 @@
+//! Application state snapshots.
+//!
+//! The executor checkpoints the *application state* — whatever data the task
+//! pipeline threads from one task to the next.  To keep the runtime dependency
+//! footprint at the workspace's approved crates, snapshots are produced
+//! through the small [`Snapshot`] trait (state → [`Bytes`] → state) rather
+//! than a full serde data format; implementations are provided for the kinds
+//! of buffers HPC kernels actually pass around (numeric vectors, byte blobs,
+//! strings), and composite states can implement the trait by concatenating
+//! length-prefixed fields.
+
+use crate::error::ExecError;
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// A state that can be snapshotted into bytes and restored from them.
+///
+/// The round-trip must be lossless: `Snapshot::restore(&state.snapshot())`
+/// must reproduce a state equal to the original.
+pub trait Snapshot: Sized {
+    /// Serialises the state into an owned byte buffer.
+    fn snapshot(&self) -> Bytes;
+    /// Restores a state from a snapshot produced by [`Snapshot::snapshot`].
+    fn restore(data: &[u8]) -> Result<Self, ExecError>;
+}
+
+impl Snapshot for Vec<u8> {
+    fn snapshot(&self) -> Bytes {
+        Bytes::copy_from_slice(self)
+    }
+
+    fn restore(data: &[u8]) -> Result<Self, ExecError> {
+        Ok(data.to_vec())
+    }
+}
+
+impl Snapshot for Vec<f64> {
+    fn snapshot(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.len() * 8);
+        for v in self {
+            buf.put_f64_le(*v);
+        }
+        buf.freeze()
+    }
+
+    fn restore(data: &[u8]) -> Result<Self, ExecError> {
+        if !data.len().is_multiple_of(8) {
+            return Err(ExecError::Codec {
+                reason: format!("Vec<f64> snapshot length {} is not a multiple of 8", data.len()),
+            });
+        }
+        Ok(data
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect())
+    }
+}
+
+impl Snapshot for Vec<u64> {
+    fn snapshot(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.len() * 8);
+        for v in self {
+            buf.put_u64_le(*v);
+        }
+        buf.freeze()
+    }
+
+    fn restore(data: &[u8]) -> Result<Self, ExecError> {
+        if !data.len().is_multiple_of(8) {
+            return Err(ExecError::Codec {
+                reason: format!("Vec<u64> snapshot length {} is not a multiple of 8", data.len()),
+            });
+        }
+        Ok(data
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect())
+    }
+}
+
+impl Snapshot for String {
+    fn snapshot(&self) -> Bytes {
+        Bytes::copy_from_slice(self.as_bytes())
+    }
+
+    fn restore(data: &[u8]) -> Result<Self, ExecError> {
+        String::from_utf8(data.to_vec())
+            .map_err(|e| ExecError::Codec { reason: format!("invalid UTF-8: {e}") })
+    }
+}
+
+/// FNV-1a checksum of a byte slice; used by verifiers and tests to detect
+/// corruption cheaply.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_vector_round_trip() {
+        let v: Vec<u8> = (0..=255).collect();
+        let snap = v.snapshot();
+        assert_eq!(Vec::<u8>::restore(&snap).unwrap(), v);
+    }
+
+    #[test]
+    fn f64_vector_round_trip() {
+        let v = vec![0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, std::f64::consts::PI];
+        let snap = v.snapshot();
+        assert_eq!(snap.len(), v.len() * 8);
+        assert_eq!(Vec::<f64>::restore(&snap).unwrap(), v);
+    }
+
+    #[test]
+    fn u64_vector_round_trip() {
+        let v = vec![0u64, 1, u64::MAX, 42];
+        assert_eq!(Vec::<u64>::restore(&v.snapshot()).unwrap(), v);
+    }
+
+    #[test]
+    fn string_round_trip_and_invalid_utf8() {
+        let s = "two-level checkpointing ✓".to_string();
+        assert_eq!(String::restore(&s.snapshot()).unwrap(), s);
+        assert!(String::restore(&[0xff, 0xfe, 0xfd]).is_err());
+    }
+
+    #[test]
+    fn f64_restore_rejects_misaligned_buffers() {
+        assert!(Vec::<f64>::restore(&[1, 2, 3]).is_err());
+        assert!(Vec::<u64>::restore(&[1, 2, 3, 4, 5]).is_err());
+    }
+
+    #[test]
+    fn empty_snapshots_are_fine() {
+        assert_eq!(Vec::<f64>::restore(&Vec::<f64>::new().snapshot()).unwrap(), Vec::<f64>::new());
+        assert_eq!(Vec::<u8>::restore(&[]).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn fnv1a_detects_single_byte_changes() {
+        let data: Vec<u8> = (0..1024u32).map(|i| (i % 251) as u8).collect();
+        let reference = fnv1a(&data);
+        assert_eq!(fnv1a(&data), reference);
+        let mut corrupted = data.clone();
+        corrupted[512] ^= 0x01;
+        assert_ne!(fnv1a(&corrupted), reference);
+    }
+
+    #[test]
+    fn fnv1a_known_values() {
+        // FNV-1a of the empty string is the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        // Well-known FNV-1a test vector.
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

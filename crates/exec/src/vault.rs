@@ -1,0 +1,243 @@
+//! Checkpoint vaults: where snapshots live.
+//!
+//! The paper's model distinguishes two storage levels:
+//!
+//! * an **in-memory vault** ([`MemoryVault`]) — cheap to write and read, but
+//!   its content is lost when a fail-stop error (node crash) occurs;
+//! * a **disk vault** ([`DiskVault`]) — stable storage that survives crashes,
+//!   at a much higher cost.
+//!
+//! Both vaults hold at most one snapshot at a time (the latest), which mirrors
+//! the paper's observation that a single valid checkpoint per level suffices
+//! because corrupted data is never checkpointed.
+
+use crate::error::ExecError;
+use bytes::Bytes;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A stored snapshot: the task boundary it was taken at, plus the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredSnapshot {
+    /// Task boundary (0 = initial state).
+    pub boundary: usize,
+    /// Snapshot payload.
+    pub data: Bytes,
+}
+
+/// A checkpoint vault holding at most one snapshot.
+pub trait Vault {
+    /// Stores a snapshot taken at `boundary`, replacing any previous one.
+    fn store(&mut self, boundary: usize, data: Bytes) -> Result<(), ExecError>;
+    /// Loads the current snapshot, if any.
+    fn load(&self) -> Result<Option<StoredSnapshot>, ExecError>;
+    /// Drops the current snapshot (used to model the loss of memory content
+    /// on a fail-stop error).
+    fn invalidate(&mut self);
+    /// Boundary of the stored snapshot, if any.
+    fn boundary(&self) -> Option<usize>;
+    /// Total bytes written over the vault's lifetime (telemetry).
+    fn bytes_written(&self) -> u64;
+}
+
+/// In-memory (node-local) checkpoint vault.
+#[derive(Debug, Default, Clone)]
+pub struct MemoryVault {
+    slot: Option<StoredSnapshot>,
+    bytes_written: u64,
+}
+
+impl MemoryVault {
+    /// Creates an empty vault.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Vault for MemoryVault {
+    fn store(&mut self, boundary: usize, data: Bytes) -> Result<(), ExecError> {
+        self.bytes_written += data.len() as u64;
+        self.slot = Some(StoredSnapshot { boundary, data });
+        Ok(())
+    }
+
+    fn load(&self) -> Result<Option<StoredSnapshot>, ExecError> {
+        Ok(self.slot.clone())
+    }
+
+    fn invalidate(&mut self) {
+        self.slot = None;
+    }
+
+    fn boundary(&self) -> Option<usize> {
+        self.slot.as_ref().map(|s| s.boundary)
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+}
+
+/// Stable-storage checkpoint vault backed by a file in `dir`.
+#[derive(Debug)]
+pub struct DiskVault {
+    dir: PathBuf,
+    current: Option<(usize, PathBuf)>,
+    bytes_written: u64,
+}
+
+impl DiskVault {
+    /// Creates a vault storing its snapshots under `dir` (created if missing).
+    pub fn new(dir: impl AsRef<Path>) -> Result<Self, ExecError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir, current: None, bytes_written: 0 })
+    }
+
+    /// Creates a vault in a fresh unique sub-directory of the system temp dir.
+    pub fn in_temp_dir(label: &str) -> Result<Self, ExecError> {
+        let unique = format!(
+            "chain2l-vault-{label}-{}-{:?}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap_or_default()
+                .as_nanos()
+        );
+        Self::new(std::env::temp_dir().join(unique))
+    }
+
+    /// Directory used by this vault.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, boundary: usize) -> PathBuf {
+        self.dir.join(format!("checkpoint-{boundary}.bin"))
+    }
+}
+
+impl Vault for DiskVault {
+    fn store(&mut self, boundary: usize, data: Bytes) -> Result<(), ExecError> {
+        let path = self.path_for(boundary);
+        fs::write(&path, &data)?;
+        self.bytes_written += data.len() as u64;
+        // Keep only the latest checkpoint on disk.
+        if let Some((old_boundary, old_path)) = self.current.take() {
+            if old_boundary != boundary {
+                let _ = fs::remove_file(old_path);
+            }
+        }
+        self.current = Some((boundary, path));
+        Ok(())
+    }
+
+    fn load(&self) -> Result<Option<StoredSnapshot>, ExecError> {
+        match &self.current {
+            None => Ok(None),
+            Some((boundary, path)) => {
+                let data = fs::read(path)?;
+                Ok(Some(StoredSnapshot { boundary: *boundary, data: Bytes::from(data) }))
+            }
+        }
+    }
+
+    fn invalidate(&mut self) {
+        // A disk vault survives crashes; invalidation is a no-op by design.
+    }
+
+    fn boundary(&self) -> Option<usize> {
+        self.current.as_ref().map(|(b, _)| *b)
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+}
+
+impl Drop for DiskVault {
+    fn drop(&mut self) {
+        // Best-effort cleanup of the snapshot file; the directory is left in
+        // place (it may be shared or user-chosen).
+        if let Some((_, path)) = self.current.take() {
+            let _ = fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_vault_store_load_round_trip() {
+        let mut vault = MemoryVault::new();
+        assert!(vault.load().unwrap().is_none());
+        assert_eq!(vault.boundary(), None);
+        vault.store(3, Bytes::from_static(b"hello")).unwrap();
+        let snap = vault.load().unwrap().unwrap();
+        assert_eq!(snap.boundary, 3);
+        assert_eq!(&snap.data[..], b"hello");
+        assert_eq!(vault.boundary(), Some(3));
+        assert_eq!(vault.bytes_written(), 5);
+    }
+
+    #[test]
+    fn memory_vault_keeps_only_latest_and_invalidates() {
+        let mut vault = MemoryVault::new();
+        vault.store(1, Bytes::from_static(b"one")).unwrap();
+        vault.store(2, Bytes::from_static(b"two")).unwrap();
+        assert_eq!(vault.boundary(), Some(2));
+        assert_eq!(vault.bytes_written(), 6);
+        vault.invalidate();
+        assert!(vault.load().unwrap().is_none());
+    }
+
+    #[test]
+    fn disk_vault_round_trip_and_single_slot() {
+        let mut vault = DiskVault::in_temp_dir("roundtrip").unwrap();
+        vault.store(4, Bytes::from(vec![1u8, 2, 3, 4])).unwrap();
+        let first_path = vault.path_for(4);
+        assert!(first_path.exists());
+        vault.store(9, Bytes::from(vec![9u8; 10])).unwrap();
+        assert!(!first_path.exists(), "older checkpoint must be garbage-collected");
+        let snap = vault.load().unwrap().unwrap();
+        assert_eq!(snap.boundary, 9);
+        assert_eq!(snap.data.len(), 10);
+        assert_eq!(vault.bytes_written(), 14);
+    }
+
+    #[test]
+    fn disk_vault_survives_invalidate() {
+        // Invalidation models the loss of *memory* content; the disk copy stays.
+        let mut vault = DiskVault::in_temp_dir("survive").unwrap();
+        vault.store(2, Bytes::from_static(b"persistent")).unwrap();
+        vault.invalidate();
+        assert_eq!(vault.load().unwrap().unwrap().boundary, 2);
+    }
+
+    #[test]
+    fn disk_vault_cleans_up_its_file_on_drop() {
+        let path;
+        {
+            let mut vault = DiskVault::in_temp_dir("cleanup").unwrap();
+            vault.store(1, Bytes::from_static(b"x")).unwrap();
+            path = vault.path_for(1);
+            assert!(path.exists());
+        }
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn vaults_are_usable_through_the_trait_object() {
+        let mut vaults: Vec<Box<dyn Vault>> = vec![
+            Box::new(MemoryVault::new()),
+            Box::new(DiskVault::in_temp_dir("dyn").unwrap()),
+        ];
+        for vault in &mut vaults {
+            vault.store(1, Bytes::from_static(b"abc")).unwrap();
+            assert_eq!(vault.boundary(), Some(1));
+            assert_eq!(&vault.load().unwrap().unwrap().data[..], b"abc");
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Verification mechanisms of the runtime executor.
+//!
+//! A verifier inspects the application state and reports whether it believes
+//! the data is corrupted.  The executor distinguishes the two kinds used by
+//! the paper:
+//!
+//! * a **guaranteed detector** never misses a corruption (recall 1) — in
+//!   practice an application-specific invariant check (residual norm, energy
+//!   conservation, checksum against redundantly computed data…);
+//! * a **partial detector** is much cheaper but may miss corruptions — the
+//!   classical examples are data-dynamics monitors that only inspect a sample
+//!   of the data or use low-precision predictors.
+//!
+//! [`InvariantDetector`] wraps a user predicate (guaranteed), and
+//! [`SampledDetector`] turns any guaranteed detector into a partial one that
+//! only fires on a random fraction `recall` of its invocations — matching the
+//! recall semantics the optimizer assumes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+
+/// Outcome of a verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The detector believes the state is correct.
+    Clean,
+    /// The detector flagged a corruption.
+    Corrupted,
+}
+
+/// A silent-error detector over states of type `S`.
+pub trait Detector<S>: Send {
+    /// Inspects the state and returns a verdict.
+    fn verify(&mut self, state: &S) -> Verdict;
+    /// The recall this detector is modelled with (1.0 = guaranteed).
+    fn recall(&self) -> f64;
+}
+
+/// Guaranteed detector wrapping an application invariant predicate
+/// (`true` = state is correct).
+pub struct InvariantDetector<S> {
+    predicate: Box<dyn FnMut(&S) -> bool + Send>,
+}
+
+impl<S> InvariantDetector<S> {
+    /// Wraps a predicate returning `true` for correct states.
+    pub fn new(predicate: impl FnMut(&S) -> bool + Send + 'static) -> Self {
+        Self { predicate: Box::new(predicate) }
+    }
+}
+
+impl<S> Detector<S> for InvariantDetector<S> {
+    fn verify(&mut self, state: &S) -> Verdict {
+        if (self.predicate)(state) {
+            Verdict::Clean
+        } else {
+            Verdict::Corrupted
+        }
+    }
+
+    fn recall(&self) -> f64 {
+        1.0
+    }
+}
+
+/// Partial detector: runs an inner (guaranteed) detector but only "looks" with
+/// probability `recall`, modelling a cheap sampled or predictive check.
+pub struct SampledDetector<S> {
+    inner: Box<dyn Detector<S>>,
+    recall: f64,
+    rng: StdRng,
+}
+
+impl<S> SampledDetector<S> {
+    /// Wraps `inner` so corruptions are only caught with probability `recall`.
+    ///
+    /// # Panics
+    /// Panics if `recall` is outside `(0, 1]`.
+    pub fn new(inner: impl Detector<S> + 'static, recall: f64, seed: u64) -> Self {
+        assert!(recall > 0.0 && recall <= 1.0, "recall must be in (0, 1], got {recall}");
+        Self { inner: Box::new(inner), recall, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl<S> Detector<S> for SampledDetector<S> {
+    fn verify(&mut self, state: &S) -> Verdict {
+        match self.inner.verify(state) {
+            Verdict::Clean => Verdict::Clean,
+            Verdict::Corrupted => {
+                if self.rng.gen::<f64>() < self.recall {
+                    Verdict::Corrupted
+                } else {
+                    Verdict::Clean
+                }
+            }
+        }
+    }
+
+    fn recall(&self) -> f64 {
+        self.recall
+    }
+}
+
+/// A detector that counts how many times it was invoked — useful in tests and
+/// to report verification activity.
+pub struct CountingDetector<S> {
+    inner: Box<dyn Detector<S>>,
+    invocations: Mutex<u64>,
+}
+
+impl<S> CountingDetector<S> {
+    /// Wraps `inner` with an invocation counter.
+    pub fn new(inner: impl Detector<S> + 'static) -> Self {
+        Self { inner: Box::new(inner), invocations: Mutex::new(0) }
+    }
+
+    /// Number of times [`Detector::verify`] has been called.
+    pub fn invocations(&self) -> u64 {
+        *self.invocations.lock().expect("counter poisoned")
+    }
+}
+
+impl<S> Detector<S> for CountingDetector<S> {
+    fn verify(&mut self, state: &S) -> Verdict {
+        *self.invocations.lock().expect("counter poisoned") += 1;
+        self.inner.verify(state)
+    }
+
+    fn recall(&self) -> f64 {
+        self.inner.recall()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corrupted_state_detector() -> InvariantDetector<Vec<f64>> {
+        // The "invariant": all entries are finite and non-negative.
+        InvariantDetector::new(|v: &Vec<f64>| v.iter().all(|x| x.is_finite() && *x >= 0.0))
+    }
+
+    #[test]
+    fn invariant_detector_flags_bad_states() {
+        let mut d = corrupted_state_detector();
+        assert_eq!(d.verify(&vec![1.0, 2.0]), Verdict::Clean);
+        assert_eq!(d.verify(&vec![1.0, -3.0]), Verdict::Corrupted);
+        assert_eq!(d.verify(&vec![f64::NAN]), Verdict::Corrupted);
+        assert_eq!(d.recall(), 1.0);
+    }
+
+    #[test]
+    fn sampled_detector_never_false_positives() {
+        let mut d = SampledDetector::new(corrupted_state_detector(), 0.5, 7);
+        for _ in 0..100 {
+            assert_eq!(d.verify(&vec![1.0, 2.0, 3.0]), Verdict::Clean);
+        }
+    }
+
+    #[test]
+    fn sampled_detector_recall_is_respected() {
+        let mut d = SampledDetector::new(corrupted_state_detector(), 0.8, 42);
+        let corrupted = vec![-1.0];
+        let trials = 20_000;
+        let detected = (0..trials)
+            .filter(|_| d.verify(&corrupted) == Verdict::Corrupted)
+            .count();
+        let rate = detected as f64 / trials as f64;
+        assert!((rate - 0.8).abs() < 0.02, "empirical recall {rate}");
+        assert_eq!(d.recall(), 0.8);
+    }
+
+    #[test]
+    fn sampled_detector_with_full_recall_is_guaranteed() {
+        let mut d = SampledDetector::new(corrupted_state_detector(), 1.0, 1);
+        for _ in 0..100 {
+            assert_eq!(d.verify(&vec![-1.0]), Verdict::Corrupted);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "recall")]
+    fn sampled_detector_rejects_zero_recall() {
+        let _ = SampledDetector::new(corrupted_state_detector(), 0.0, 1);
+    }
+
+    #[test]
+    fn counting_detector_counts() {
+        let mut d = CountingDetector::new(corrupted_state_detector());
+        assert_eq!(d.invocations(), 0);
+        let _ = d.verify(&vec![1.0]);
+        let _ = d.verify(&vec![-1.0]);
+        assert_eq!(d.invocations(), 2);
+        assert_eq!(d.recall(), 1.0);
+    }
+}

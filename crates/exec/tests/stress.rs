@@ -1,0 +1,179 @@
+//! Randomised stress tests of the runtime executor: whatever faults are
+//! thrown at it, a completed run must reproduce the fault-free result and the
+//! report must be internally consistent.
+
+use chain2l_exec::{
+    Executor, FaultDecision, InvariantDetector, Pipeline, PoissonFaults, SampledDetector,
+    ScriptedFaults, TaskSpec,
+};
+use chain2l_model::{Action, Schedule};
+use proptest::prelude::*;
+
+/// Pipeline of `n` tasks; task `i` multiplies every entry by a constant and
+/// adds `i`, so the result depends on executing every task exactly once, in
+/// order.
+fn pipeline(n: usize) -> Pipeline<Vec<f64>> {
+    let mut p = Pipeline::new();
+    for i in 0..n {
+        let offset = i as f64;
+        p.push(TaskSpec::new(format!("t{i}"), 200.0, move |s: &mut Vec<f64>| {
+            for x in s.iter_mut() {
+                *x = *x * 1.0625 + offset;
+            }
+        }));
+    }
+    p
+}
+
+fn reference(n: usize, len: usize) -> Vec<f64> {
+    let mut s = vec![1.0; len];
+    for i in 0..n {
+        for x in s.iter_mut() {
+            *x = *x * 1.0625 + i as f64;
+        }
+    }
+    s
+}
+
+fn detector() -> InvariantDetector<Vec<f64>> {
+    InvariantDetector::new(|s: &Vec<f64>| s.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9))
+}
+
+fn corrupt(s: &mut Vec<f64>) {
+    if let Some(x) = s.last_mut() {
+        *x = -1.0e9;
+    }
+}
+
+fn schedule_strategy(n: usize) -> impl Strategy<Value = Schedule> {
+    // Random action at each interior boundary, terminal disk checkpoint.
+    proptest::collection::vec(0u8..5, n - 1).prop_map(move |codes| {
+        let mut schedule = Schedule::empty(n);
+        for (i, code) in codes.iter().enumerate() {
+            let action = match code {
+                0 => Action::None,
+                1 => Action::PartialVerification,
+                2 => Action::GuaranteedVerification,
+                3 => Action::MemoryCheckpoint,
+                _ => Action::DiskCheckpoint,
+            };
+            schedule.set_action(i + 1, action);
+        }
+        schedule.set_action(n, Action::DiskCheckpoint);
+        schedule
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Any schedule + any Poisson fault stream still produces the reference
+    /// result, and the report counters are consistent.
+    #[test]
+    fn execution_is_correct_under_random_schedules_and_faults(
+        n in 4usize..12,
+        schedule in (4usize..12).prop_flat_map(schedule_strategy),
+        seed in 0u64..1_000,
+        lambda_f in 0.0f64..8e-4,
+        lambda_s in 0.0f64..8e-4,
+    ) {
+        // The schedule strategy needs the same n; regenerate if they disagree.
+        prop_assume!(schedule.len() >= 4);
+        let n = schedule.len().min(n.max(4));
+        let schedule = {
+            // Truncate / extend deterministically so schedule.len() == n.
+            let mut actions = schedule.actions().to_vec();
+            actions.truncate(n);
+            while actions.len() < n {
+                actions.push(Action::None);
+            }
+            actions[n - 1] = Action::DiskCheckpoint;
+            Schedule::from_actions(actions).unwrap()
+        };
+
+        let mut executor = Executor::builder(pipeline(n), schedule)
+            .guaranteed_detector(detector())
+            .partial_detector(SampledDetector::new(detector(), 0.8, seed))
+            .fault_source(PoissonFaults::new(lambda_f, lambda_s, seed))
+            .corruptor(corrupt)
+            .max_attempts(200_000)
+            .build()
+            .unwrap();
+        let (state, report) = executor.run(vec![1.0; 8]).unwrap();
+        let expected = reference(n, 8);
+        for (a, b) in state.iter().zip(&expected) {
+            prop_assert!((a - b).abs() < 1e-6, "{state:?} vs {expected:?}");
+        }
+        // Report consistency.
+        prop_assert!(report.task_attempts >= n as u64);
+        prop_assert_eq!(report.disk_restores, report.fail_stop_faults);
+        prop_assert!(report.memory_restores
+            == report.detected_by_guaranteed + report.detected_by_partial);
+        prop_assert!(report.detected_by_guaranteed + report.detected_by_partial
+            <= report.silent_corruptions);
+        prop_assert!(report.memory_checkpoints >= 1);
+        prop_assert!(report.disk_checkpoints >= 2);
+    }
+
+    /// A scripted burst of corruptions at the start never leaks into the final
+    /// result, regardless of where the verifications are.
+    #[test]
+    fn corruption_bursts_are_always_repaired(
+        schedule in (5usize..10).prop_flat_map(schedule_strategy),
+        burst in 1usize..6,
+    ) {
+        let n = schedule.len();
+        let script = ScriptedFaults::new(
+            std::iter::repeat_n(FaultDecision::corruption(), burst),
+        );
+        let mut executor = Executor::builder(pipeline(n), schedule)
+            .guaranteed_detector(detector())
+            .partial_detector(SampledDetector::new(detector(), 0.5, 1234))
+            .fault_source(script)
+            .corruptor(corrupt)
+            .max_attempts(100_000)
+            .build()
+            .unwrap();
+        let (state, report) = executor.run(vec![1.0; 4]).unwrap();
+        let expected = reference(n, 4);
+        for (a, b) in state.iter().zip(&expected) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+        prop_assert_eq!(report.silent_corruptions as usize, burst);
+    }
+}
+
+#[test]
+fn dense_checkpointing_bounds_reexecution_under_heavy_faults() {
+    // With a memory checkpoint after every task and a disk checkpoint every
+    // three tasks, even a very hostile fault stream cannot force more than a
+    // bounded number of re-executions per fault.
+    let n = 9;
+    let mut schedule = Schedule::every_task(n, Action::MemoryCheckpoint);
+    schedule.set_action(3, Action::DiskCheckpoint);
+    schedule.set_action(6, Action::DiskCheckpoint);
+    schedule.set_action(9, Action::DiskCheckpoint);
+    let mut executor = Executor::builder(pipeline(n), schedule)
+        .guaranteed_detector(detector())
+        .fault_source(PoissonFaults::new(1e-3, 1e-3, 99))
+        .corruptor(corrupt)
+        .max_attempts(100_000)
+        .build()
+        .unwrap();
+    let (state, report) = executor.run(vec![1.0; 4]).unwrap();
+    assert_eq!(state.len(), 4);
+    for (a, b) in state.iter().zip(&reference(n, 4)) {
+        assert!((a - b).abs() < 1e-6);
+    }
+    // Every fail-stop costs at most 3 re-executed tasks, every detected
+    // corruption at most 1.
+    let bound = n as u64
+        + 3 * report.fail_stop_faults
+        + report.detected_by_guaranteed
+        + report.detected_by_partial;
+    assert!(
+        report.task_attempts <= bound,
+        "attempts {} > bound {bound} ({report:?})",
+        report.task_attempts
+    );
+}

@@ -1,0 +1,260 @@
+//! Resilience cost model.
+//!
+//! [`ResilienceCosts`] gathers every cost parameter of the model of Section II:
+//! checkpoint costs `C_D`/`C_M`, recovery costs `R_D`/`R_M`, guaranteed and
+//! partial verification costs `V*`/`V`, and the recall `r` of the partial
+//! verification.  The paper's simulation setup (§IV) derives all of them from
+//! the platform parameters:
+//!
+//! * `R_D = C_D`, `R_M = C_M` (recovery ≈ checkpoint, following Moody et al.);
+//! * `V* = C_M` (a guaranteed verification reads all the data in memory);
+//! * `V = V*/100` and `r = 0.8` (cheap partial detectors with good recall).
+//!
+//! Those defaults are provided by [`ResilienceCosts::paper_defaults`]; every
+//! field can also be set explicitly through the builder for ablation studies.
+
+use crate::error::ModelError;
+use crate::platform::Platform;
+use serde::{Deserialize, Serialize};
+
+/// Ratio `V* / V` used by the paper (partial verification is 100× cheaper).
+pub const PAPER_PARTIAL_COST_RATIO: f64 = 100.0;
+/// Partial-verification recall used by the paper.
+pub const PAPER_PARTIAL_RECALL: f64 = 0.8;
+
+/// All cost parameters of the resilience model (seconds, except `partial_recall`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceCosts {
+    /// Disk checkpoint cost `C_D`.
+    pub disk_checkpoint: f64,
+    /// Memory checkpoint cost `C_M`.
+    pub memory_checkpoint: f64,
+    /// Disk recovery cost `R_D` (includes restoring the memory state).
+    pub disk_recovery: f64,
+    /// Memory recovery cost `R_M`.
+    pub memory_recovery: f64,
+    /// Guaranteed verification cost `V*`.
+    pub guaranteed_verification: f64,
+    /// Partial verification cost `V`.
+    pub partial_verification: f64,
+    /// Partial verification recall `r ∈ (0, 1]`: fraction of silent errors detected.
+    pub partial_recall: f64,
+}
+
+impl ResilienceCosts {
+    /// Builds the paper's §IV cost model from a platform:
+    /// `R_D = C_D`, `R_M = C_M`, `V* = C_M`, `V = V*/100`, `r = 0.8`.
+    pub fn paper_defaults(platform: &Platform) -> Self {
+        let v_star = platform.memory_checkpoint_cost;
+        Self {
+            disk_checkpoint: platform.disk_checkpoint_cost,
+            memory_checkpoint: platform.memory_checkpoint_cost,
+            disk_recovery: platform.disk_checkpoint_cost,
+            memory_recovery: platform.memory_checkpoint_cost,
+            guaranteed_verification: v_star,
+            partial_verification: v_star / PAPER_PARTIAL_COST_RATIO,
+            partial_recall: PAPER_PARTIAL_RECALL,
+        }
+    }
+
+    /// Starts a [`CostBuilder`] pre-filled with the paper defaults for `platform`.
+    pub fn builder(platform: &Platform) -> CostBuilder {
+        CostBuilder { costs: Self::paper_defaults(platform) }
+    }
+
+    /// `g = 1 − r`: probability that a partial verification misses a silent error.
+    pub fn miss_probability(&self) -> f64 {
+        1.0 - self.partial_recall
+    }
+
+    /// Validates every field:
+    /// costs must be finite and non-negative, the recall must lie in `(0, 1]`,
+    /// and the partial verification must not be more expensive than the
+    /// guaranteed one (otherwise it would never be useful and the §III-B
+    /// derivation loses its meaning).
+    pub fn validate(&self) -> Result<(), ModelError> {
+        let check = |name: &'static str, v: f64| -> Result<(), ModelError> {
+            if !v.is_finite() || v < 0.0 {
+                Err(ModelError::InvalidParameter { name, value: v, expected: "a finite value >= 0" })
+            } else {
+                Ok(())
+            }
+        };
+        check("disk_checkpoint", self.disk_checkpoint)?;
+        check("memory_checkpoint", self.memory_checkpoint)?;
+        check("disk_recovery", self.disk_recovery)?;
+        check("memory_recovery", self.memory_recovery)?;
+        check("guaranteed_verification", self.guaranteed_verification)?;
+        check("partial_verification", self.partial_verification)?;
+        if !self.partial_recall.is_finite()
+            || self.partial_recall <= 0.0
+            || self.partial_recall > 1.0
+        {
+            return Err(ModelError::InvalidParameter {
+                name: "partial_recall",
+                value: self.partial_recall,
+                expected: "a value in (0, 1]",
+            });
+        }
+        if self.partial_verification > self.guaranteed_verification {
+            return Err(ModelError::InvalidParameter {
+                name: "partial_verification",
+                value: self.partial_verification,
+                expected: "a cost <= guaranteed_verification",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`ResilienceCosts`], used by ablation sweeps.
+#[derive(Debug, Clone)]
+pub struct CostBuilder {
+    costs: ResilienceCosts,
+}
+
+impl CostBuilder {
+    /// Sets the disk checkpoint cost `C_D`.
+    pub fn disk_checkpoint(mut self, v: f64) -> Self {
+        self.costs.disk_checkpoint = v;
+        self
+    }
+
+    /// Sets the memory checkpoint cost `C_M`.
+    pub fn memory_checkpoint(mut self, v: f64) -> Self {
+        self.costs.memory_checkpoint = v;
+        self
+    }
+
+    /// Sets the disk recovery cost `R_D`.
+    pub fn disk_recovery(mut self, v: f64) -> Self {
+        self.costs.disk_recovery = v;
+        self
+    }
+
+    /// Sets the memory recovery cost `R_M`.
+    pub fn memory_recovery(mut self, v: f64) -> Self {
+        self.costs.memory_recovery = v;
+        self
+    }
+
+    /// Sets the guaranteed verification cost `V*`.
+    pub fn guaranteed_verification(mut self, v: f64) -> Self {
+        self.costs.guaranteed_verification = v;
+        self
+    }
+
+    /// Sets the partial verification cost `V`.
+    pub fn partial_verification(mut self, v: f64) -> Self {
+        self.costs.partial_verification = v;
+        self
+    }
+
+    /// Sets the partial verification recall `r`.
+    pub fn partial_recall(mut self, r: f64) -> Self {
+        self.costs.partial_recall = r;
+        self
+    }
+
+    /// Validates and returns the cost model.
+    pub fn build(self) -> Result<ResilienceCosts, ModelError> {
+        self.costs.validate()?;
+        Ok(self.costs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::scr;
+
+    #[test]
+    fn paper_defaults_follow_section_four() {
+        let hera = scr::hera();
+        let c = ResilienceCosts::paper_defaults(&hera);
+        assert_eq!(c.disk_checkpoint, 300.0);
+        assert_eq!(c.memory_checkpoint, 15.4);
+        assert_eq!(c.disk_recovery, 300.0);
+        assert_eq!(c.memory_recovery, 15.4);
+        assert_eq!(c.guaranteed_verification, 15.4);
+        assert!((c.partial_verification - 0.154).abs() < 1e-12);
+        assert_eq!(c.partial_recall, 0.8);
+        assert!((c.miss_probability() - 0.2).abs() < 1e-12);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn paper_defaults_are_valid_for_all_platforms() {
+        for p in scr::all() {
+            ResilienceCosts::paper_defaults(&p).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn builder_overrides_single_fields() {
+        let c = ResilienceCosts::builder(&scr::atlas())
+            .partial_recall(0.5)
+            .partial_verification(1.0)
+            .build()
+            .unwrap();
+        assert_eq!(c.partial_recall, 0.5);
+        assert_eq!(c.partial_verification, 1.0);
+        // Untouched fields keep the paper defaults.
+        assert_eq!(c.disk_checkpoint, 439.0);
+        assert_eq!(c.guaranteed_verification, 9.1);
+    }
+
+    #[test]
+    fn builder_can_set_every_field() {
+        let c = ResilienceCosts::builder(&scr::hera())
+            .disk_checkpoint(1.0)
+            .memory_checkpoint(2.0)
+            .disk_recovery(3.0)
+            .memory_recovery(4.0)
+            .guaranteed_verification(5.0)
+            .partial_verification(0.5)
+            .partial_recall(0.9)
+            .build()
+            .unwrap();
+        assert_eq!(
+            c,
+            ResilienceCosts {
+                disk_checkpoint: 1.0,
+                memory_checkpoint: 2.0,
+                disk_recovery: 3.0,
+                memory_recovery: 4.0,
+                guaranteed_verification: 5.0,
+                partial_verification: 0.5,
+                partial_recall: 0.9,
+            }
+        );
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_recall() {
+        let mut c = ResilienceCosts::paper_defaults(&scr::hera());
+        c.partial_recall = 0.0;
+        assert!(c.validate().is_err());
+        c.partial_recall = 1.2;
+        assert!(c.validate().is_err());
+        c.partial_recall = f64::NAN;
+        assert!(c.validate().is_err());
+        c.partial_recall = 1.0;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_negative_costs() {
+        let mut c = ResilienceCosts::paper_defaults(&scr::hera());
+        c.disk_recovery = -1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_partial_more_expensive_than_guaranteed() {
+        let r = ResilienceCosts::builder(&scr::hera())
+            .partial_verification(100.0)
+            .build();
+        assert!(r.is_err());
+    }
+}

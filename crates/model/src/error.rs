@@ -1,0 +1,108 @@
+//! Error types for the model crate.
+
+use std::fmt;
+
+/// Errors raised while constructing or validating model objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A task chain must contain at least one task.
+    EmptyChain,
+    /// A task weight was negative, NaN or infinite.
+    InvalidWeight {
+        /// 1-based task index.
+        index: usize,
+        /// Offending weight.
+        weight: f64,
+    },
+    /// An interval `(start, end]` was empty or out of bounds.
+    InvalidInterval {
+        /// Left (exclusive) bound.
+        start: usize,
+        /// Right (inclusive) bound.
+        end: usize,
+        /// Chain length.
+        len: usize,
+    },
+    /// A cost, rate or recall parameter was out of its admissible domain.
+    InvalidParameter {
+        /// Human-readable parameter name (e.g. `"lambda_fail_stop"`).
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Description of the admissible domain.
+        expected: &'static str,
+    },
+    /// A schedule violated one of the structural invariants of the paper
+    /// (e.g. a memory checkpoint without a guaranteed verification).
+    InvalidSchedule {
+        /// 0-based position (task boundary) at which the violation occurs;
+        /// `usize::MAX` when the violation is global.
+        position: usize,
+        /// Description of the violated invariant.
+        reason: String,
+    },
+    /// A pattern generator was asked for an impossible configuration.
+    InvalidPattern {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyChain => write!(f, "task chain must contain at least one task"),
+            ModelError::InvalidWeight { index, weight } => {
+                write!(f, "task T{index} has invalid weight {weight} (must be finite and >= 0)")
+            }
+            ModelError::InvalidInterval { start, end, len } => write!(
+                f,
+                "invalid task interval ({start}, {end}] for a chain of {len} tasks"
+            ),
+            ModelError::InvalidParameter { name, value, expected } => {
+                write!(f, "parameter `{name}` = {value} is invalid: expected {expected}")
+            }
+            ModelError::InvalidSchedule { position, reason } => {
+                if *position == usize::MAX {
+                    write!(f, "invalid schedule: {reason}")
+                } else {
+                    write!(f, "invalid schedule at task boundary {position}: {reason}")
+                }
+            }
+            ModelError::InvalidPattern { reason } => write!(f, "invalid weight pattern: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_fields() {
+        let e = ModelError::InvalidWeight { index: 4, weight: -1.0 };
+        let msg = e.to_string();
+        assert!(msg.contains("T4"));
+        assert!(msg.contains("-1"));
+
+        let e = ModelError::InvalidParameter {
+            name: "recall",
+            value: 1.5,
+            expected: "0 < r <= 1",
+        };
+        assert!(e.to_string().contains("recall"));
+
+        let e = ModelError::InvalidSchedule { position: usize::MAX, reason: "global".into() };
+        assert!(!e.to_string().contains("boundary"));
+        let e = ModelError::InvalidSchedule { position: 3, reason: "local".into() };
+        assert!(e.to_string().contains("boundary 3"));
+    }
+
+    #[test]
+    fn error_trait_object_is_usable() {
+        let e: Box<dyn std::error::Error> = Box::new(ModelError::EmptyChain);
+        assert!(e.to_string().contains("at least one task"));
+    }
+}

@@ -1,0 +1,57 @@
+//! # chain2l-model
+//!
+//! Model substrate for the `chain2l` reproduction of *"Two-Level Checkpointing
+//! and Verifications for Linear Task Graphs"* (Benoit, Cavelan, Robert, Sun —
+//! IPDPSW/PDSEC 2016).
+//!
+//! The crate defines every object the optimizer, simulator and experiment
+//! harness share:
+//!
+//! * [`chain::TaskChain`] — a linear chain of weighted tasks with `O(1)`
+//!   interval-work queries;
+//! * [`pattern::WeightPattern`] — the Uniform / Decrease / HighLow weight
+//!   generators of §IV (plus extras);
+//! * [`platform::Platform`] and [`platform::scr`] — error rates and checkpoint
+//!   costs, including the four Table I platforms;
+//! * [`cost::ResilienceCosts`] — the complete cost model (`C_D`, `C_M`, `R_D`,
+//!   `R_M`, `V*`, `V`, recall `r`);
+//! * [`schedule::Schedule`] / [`schedule::Action`] — a placement of resilience
+//!   actions over the task boundaries, with the paper's structural invariants
+//!   made unrepresentable;
+//! * [`scenario::Scenario`] — one complete problem instance, exposing the
+//!   probabilistic primitives `p^f`, `p^s` and `T^lost`;
+//! * [`math`] — numerically stable kernels shared by every consumer.
+//!
+//! # Example
+//!
+//! ```
+//! use chain2l_model::platform::scr;
+//! use chain2l_model::pattern::WeightPattern;
+//! use chain2l_model::scenario::Scenario;
+//!
+//! // The exact setup of Figure 5, row 1 (Hera, Uniform, 50 tasks, 25000 s).
+//! let scenario = Scenario::paper_setup(&scr::hera(), &WeightPattern::Uniform, 50, 25_000.0)
+//!     .expect("valid paper setup");
+//! assert_eq!(scenario.task_count(), 50);
+//! assert_eq!(scenario.costs.disk_checkpoint, 300.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chain;
+pub mod cost;
+pub mod error;
+pub mod math;
+pub mod pattern;
+pub mod platform;
+pub mod scenario;
+pub mod schedule;
+
+pub use chain::{Task, TaskChain};
+pub use cost::ResilienceCosts;
+pub use error::ModelError;
+pub use pattern::WeightPattern;
+pub use platform::Platform;
+pub use scenario::Scenario;
+pub use schedule::{Action, ActionCounts, Schedule};

@@ -1,0 +1,256 @@
+//! Numerically stable mathematical kernels used throughout the library.
+//!
+//! The closed-form expectations of the paper are built from expressions such as
+//! `(e^{λW} − 1) / λ`, `1/λ − W/(e^{λW} − 1)` and `1 − e^{−λW}`.  For the error
+//! rates found in Table I of the paper (`λ ≈ 10⁻⁷..10⁻⁵ s⁻¹`) and segment
+//! lengths of a few hundred seconds, the exponents are tiny and the naive
+//! formulas lose most of their significant digits (or divide by zero outright
+//! when a rate is exactly `0`).  Every function in this module is written so
+//! that the `λ → 0` and `W → 0` limits are exact and the relative error stays
+//! at the level of machine precision over the whole parameter range exercised
+//! by the paper.
+
+/// Relative tolerance used by [`approx_eq`] when comparing expectations.
+pub const DEFAULT_REL_TOL: f64 = 1e-9;
+
+/// Computes `e^x − 1` without cancellation for small `x`.
+///
+/// Thin wrapper over [`f64::exp_m1`], kept as a named function so call sites
+/// read like the paper's equations.
+#[inline]
+pub fn exp_m1(x: f64) -> f64 {
+    x.exp_m1()
+}
+
+/// Computes `(e^{λ w} − 1) / λ`.
+///
+/// This is the expected *inflation* factor integral that appears in Eq. (4) of
+/// the paper.  The limit for `λ → 0` is `w`, which this function returns
+/// exactly (instead of `0/0`).
+///
+/// # Panics
+/// Panics in debug builds if `λ < 0` or `w < 0`.
+#[inline]
+pub fn exp_m1_over_lambda(lambda: f64, w: f64) -> f64 {
+    debug_assert!(lambda >= 0.0, "negative rate: {lambda}");
+    debug_assert!(w >= 0.0, "negative work: {w}");
+    if lambda == 0.0 {
+        return w;
+    }
+    let x = lambda * w;
+    if x < 1e-12 {
+        // Second-order Taylor expansion: (e^x - 1)/λ = w (1 + x/2 + x²/6 + …).
+        w * (1.0 + 0.5 * x + x * x / 6.0)
+    } else {
+        x.exp_m1() / lambda
+    }
+}
+
+/// Probability that at least one Poisson event with rate `λ` strikes during
+/// `w` seconds of computation: `1 − e^{−λ w}`.
+#[inline]
+pub fn prob_at_least_one(lambda: f64, w: f64) -> f64 {
+    debug_assert!(lambda >= 0.0, "negative rate: {lambda}");
+    debug_assert!(w >= 0.0, "negative work: {w}");
+    -(-lambda * w).exp_m1()
+}
+
+/// Expected time lost to a fail-stop error *given* that one strikes during `w`
+/// seconds of computation (Eq. (3) of the paper):
+///
+/// ```text
+/// T_lost = 1/λ − w / (e^{λ w} − 1)
+/// ```
+///
+/// The `λ → 0` (or `w → 0`) limit is `w / 2`: conditioned on a strike, the
+/// arrival time of an exponential clipped to `[0, w]` tends to the uniform
+/// distribution.
+#[inline]
+pub fn expected_time_lost(lambda: f64, w: f64) -> f64 {
+    debug_assert!(lambda >= 0.0, "negative rate: {lambda}");
+    debug_assert!(w >= 0.0, "negative work: {w}");
+    if w == 0.0 {
+        return 0.0;
+    }
+    let x = lambda * w;
+    if x < 1e-6 {
+        // Expand 1/λ − w/(e^{λw}−1) = w·(1/x − 1/(e^x − 1))
+        //                            = w·(1/2 − x/12 + x³/720 − …).
+        w * (0.5 - x / 12.0 + x * x * x / 720.0)
+    } else {
+        1.0 / lambda - w / x.exp_m1()
+    }
+}
+
+/// `e^{λ w}`, the expected number of executions factor used throughout the
+/// closed forms.  Provided for symmetry / readability.
+#[inline]
+pub fn exp_lw(lambda: f64, w: f64) -> f64 {
+    (lambda * w).exp()
+}
+
+/// Relative/absolute comparison of two non-negative expectations.
+///
+/// Returns `true` when `|a − b| ≤ tol · max(1, |a|, |b|)`.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let scale = 1.0f64.max(a.abs()).max(b.abs());
+    (a - b).abs() <= tol * scale
+}
+
+/// Kahan (compensated) summation over an iterator of `f64`.
+///
+/// The figure harness sums thousands of small expectations; compensated
+/// summation keeps the reported series independent of iteration order.
+pub fn kahan_sum<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    let mut sum = 0.0f64;
+    let mut comp = 0.0f64;
+    for v in values {
+        let y = v - comp;
+        let t = sum + y;
+        comp = (t - sum) - y;
+        sum = t;
+    }
+    sum
+}
+
+/// Mean of a slice using compensated summation. Returns `0.0` for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    kahan_sum(values.iter().copied()) / values.len() as f64
+}
+
+/// Sample standard deviation (unbiased, `n − 1` denominator).
+/// Returns `0.0` when fewer than two samples are provided.
+pub fn sample_std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let ss = kahan_sum(values.iter().map(|v| (v - m) * (v - m)));
+    (ss / (values.len() - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_m1_over_lambda_zero_rate_is_work() {
+        assert_eq!(exp_m1_over_lambda(0.0, 123.0), 123.0);
+        assert_eq!(exp_m1_over_lambda(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn exp_m1_over_lambda_matches_naive_for_moderate_rates() {
+        let lambda = 1e-3_f64;
+        let w = 500.0;
+        let naive = ((lambda * w).exp() - 1.0) / lambda;
+        assert!(approx_eq(exp_m1_over_lambda(lambda, w), naive, 1e-12));
+    }
+
+    #[test]
+    fn exp_m1_over_lambda_small_rate_is_close_to_work() {
+        // λW ≈ 5e-5: the result must be barely above W.
+        let v = exp_m1_over_lambda(1e-7, 500.0);
+        assert!(v > 500.0);
+        assert!(v < 500.02);
+    }
+
+    #[test]
+    fn exp_m1_over_lambda_taylor_branch_is_continuous() {
+        // Check continuity across the 1e-12 branch threshold.
+        let w = 1.0;
+        let below = exp_m1_over_lambda(0.9e-12, w);
+        let above = exp_m1_over_lambda(1.1e-12, w);
+        assert!(approx_eq(below, above, 1e-12));
+    }
+
+    #[test]
+    fn prob_at_least_one_limits() {
+        assert_eq!(prob_at_least_one(0.0, 1e9), 0.0);
+        assert_eq!(prob_at_least_one(1e-6, 0.0), 0.0);
+        assert!(approx_eq(prob_at_least_one(1.0, 1e9), 1.0, 1e-15));
+    }
+
+    #[test]
+    fn prob_at_least_one_small_rate() {
+        // 1 - e^{-x} ≈ x for tiny x.
+        let p = prob_at_least_one(1e-9, 1.0);
+        assert!(approx_eq(p, 1e-9, 1e-6));
+    }
+
+    #[test]
+    fn expected_time_lost_limit_is_half_work() {
+        let w = 300.0;
+        assert!(approx_eq(expected_time_lost(0.0, w), w / 2.0, 1e-12));
+        assert!(approx_eq(expected_time_lost(1e-12, w), w / 2.0, 1e-9));
+    }
+
+    #[test]
+    fn expected_time_lost_matches_naive_for_moderate_rates() {
+        let lambda = 2e-3_f64;
+        let w = 1000.0;
+        let naive = 1.0 / lambda - w / ((lambda * w).exp() - 1.0);
+        assert!(approx_eq(expected_time_lost(lambda, w), naive, 1e-10));
+    }
+
+    #[test]
+    fn expected_time_lost_bounded_by_work() {
+        // Conditioned on a strike inside [0, w], the loss is within [0, w].
+        for &(l, w) in &[(1e-7, 25000.0), (1e-4, 500.0), (0.5, 3.0), (0.0, 7.0)] {
+            let t = expected_time_lost(l, w);
+            assert!(t >= 0.0 && t <= w, "T_lost={t} out of [0,{w}] for λ={l}");
+        }
+    }
+
+    #[test]
+    fn expected_time_lost_is_monotone_decreasing_in_rate() {
+        // Higher rates skew the conditional strike earlier.
+        let w = 1000.0;
+        let mut prev = expected_time_lost(0.0, w);
+        for &l in &[1e-8, 1e-6, 1e-4, 1e-2, 1.0] {
+            let cur = expected_time_lost(l, w);
+            assert!(cur <= prev + 1e-12, "λ={l}: {cur} > {prev}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn expected_time_lost_zero_work() {
+        assert_eq!(expected_time_lost(1e-5, 0.0), 0.0);
+    }
+
+    #[test]
+    fn kahan_sum_matches_exact_for_adversarial_order() {
+        // 1 + 1e-16 repeated: naive summation loses all the small terms.
+        let mut values = vec![1.0f64];
+        values.extend(std::iter::repeat_n(1e-16, 100_000));
+        let s = kahan_sum(values.iter().copied());
+        assert!(approx_eq(s, 1.0 + 1e-11, 1e-12));
+    }
+
+    #[test]
+    fn mean_and_std_dev_basic() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!(approx_eq(mean(&v), 5.0, 1e-12));
+        // Sample std dev of this classic dataset is sqrt(32/7).
+        assert!(approx_eq(sample_std_dev(&v), (32.0f64 / 7.0).sqrt(), 1e-12));
+    }
+
+    #[test]
+    fn mean_empty_and_single() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[3.5]), 3.5);
+        assert_eq!(sample_std_dev(&[3.5]), 0.0);
+    }
+
+    #[test]
+    fn approx_eq_uses_relative_scale() {
+        assert!(approx_eq(1e9, 1e9 + 0.5, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+        assert!(approx_eq(0.0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,299 @@
+//! Task-weight patterns.
+//!
+//! Section IV of the paper distributes a total computational weight
+//! `W = 25 000 s` over up to `n = 50` tasks using three patterns:
+//!
+//! 1. **Uniform** — every task has weight `W/n` (matrix products, stencils);
+//! 2. **Decrease** — task `Ti` has weight `α (n + 1 − i)²` with
+//!    `α ≈ 3W/n³` (dense factorizations such as LU/QR);
+//! 3. **HighLow** — a fraction of large tasks at the head of the chain holds a
+//!    fraction of the total weight (the paper uses 10 % of the tasks holding
+//!    60 % of the weight).
+//!
+//! This module also provides a few extra generators (random, increasing,
+//! explicit) that are useful for property tests and ablation studies.
+
+use crate::chain::TaskChain;
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+
+/// Default fraction of tasks that are "large" in the HighLow pattern (paper: 10 %).
+pub const HIGHLOW_DEFAULT_TASK_FRACTION: f64 = 0.10;
+/// Default fraction of the weight held by the large tasks (paper: 60 %).
+pub const HIGHLOW_DEFAULT_WEIGHT_FRACTION: f64 = 0.60;
+
+/// A recipe for distributing a total weight over `n` tasks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WeightPattern {
+    /// All tasks share the same weight `W/n`.
+    Uniform,
+    /// Task `Ti` has weight proportional to `(n + 1 − i)²` (quadratically
+    /// decreasing), normalised so the weights sum to the requested total.
+    Decrease,
+    /// The first `ceil(task_fraction · n)` tasks share `weight_fraction` of the
+    /// total weight; the remaining tasks share the rest.
+    HighLow {
+        /// Fraction of tasks that are large (paper: 0.10).
+        task_fraction: f64,
+        /// Fraction of the total weight held by the large tasks (paper: 0.60).
+        weight_fraction: f64,
+    },
+    /// Task `Ti` has weight proportional to `i²` (quadratically increasing) —
+    /// the mirror image of `Decrease`, used in ablations.
+    Increase,
+    /// Explicit per-task proportions (scaled to the requested total weight).
+    Proportions(Vec<f64>),
+}
+
+impl WeightPattern {
+    /// The HighLow pattern with the paper's parameters (10 % / 60 %).
+    pub fn high_low_default() -> Self {
+        WeightPattern::HighLow {
+            task_fraction: HIGHLOW_DEFAULT_TASK_FRACTION,
+            weight_fraction: HIGHLOW_DEFAULT_WEIGHT_FRACTION,
+        }
+    }
+
+    /// Short machine-friendly name (used in CSV output and bench labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            WeightPattern::Uniform => "uniform",
+            WeightPattern::Decrease => "decrease",
+            WeightPattern::HighLow { .. } => "highlow",
+            WeightPattern::Increase => "increase",
+            WeightPattern::Proportions(_) => "proportions",
+        }
+    }
+
+    /// Generates a [`TaskChain`] of `n` tasks whose weights follow this pattern
+    /// and sum to `total_weight`.
+    ///
+    /// # Errors
+    /// Returns [`ModelError`] when `n == 0`, `total_weight` is not finite and
+    /// non-negative, or the pattern parameters are out of range.
+    pub fn generate(&self, n: usize, total_weight: f64) -> Result<TaskChain, ModelError> {
+        if n == 0 {
+            return Err(ModelError::EmptyChain);
+        }
+        if !total_weight.is_finite() || total_weight < 0.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "total_weight",
+                value: total_weight,
+                expected: "a finite value >= 0",
+            });
+        }
+        let weights = match self {
+            WeightPattern::Uniform => vec![total_weight / n as f64; n],
+            WeightPattern::Decrease => scaled_proportions(
+                (1..=n).map(|i| ((n + 1 - i) as f64).powi(2)).collect(),
+                total_weight,
+            ),
+            WeightPattern::Increase => {
+                scaled_proportions((1..=n).map(|i| (i as f64).powi(2)).collect(), total_weight)
+            }
+            WeightPattern::HighLow { task_fraction, weight_fraction } => {
+                if !(0.0..=1.0).contains(task_fraction) || !task_fraction.is_finite() {
+                    return Err(ModelError::InvalidParameter {
+                        name: "task_fraction",
+                        value: *task_fraction,
+                        expected: "a value in [0, 1]",
+                    });
+                }
+                if !(0.0..=1.0).contains(weight_fraction) || !weight_fraction.is_finite() {
+                    return Err(ModelError::InvalidParameter {
+                        name: "weight_fraction",
+                        value: *weight_fraction,
+                        expected: "a value in [0, 1]",
+                    });
+                }
+                high_low_weights(n, total_weight, *task_fraction, *weight_fraction)
+            }
+            WeightPattern::Proportions(props) => {
+                if props.len() != n {
+                    return Err(ModelError::InvalidPattern {
+                        reason: format!(
+                            "explicit proportions have length {} but {n} tasks were requested",
+                            props.len()
+                        ),
+                    });
+                }
+                if props.iter().any(|p| !p.is_finite() || *p < 0.0) {
+                    return Err(ModelError::InvalidPattern {
+                        reason: "explicit proportions must be finite and non-negative".into(),
+                    });
+                }
+                if props.iter().sum::<f64>() <= 0.0 && total_weight > 0.0 {
+                    return Err(ModelError::InvalidPattern {
+                        reason: "explicit proportions must not all be zero".into(),
+                    });
+                }
+                scaled_proportions(props.clone(), total_weight)
+            }
+        };
+        TaskChain::from_weights(weights)
+    }
+}
+
+/// Scales raw proportions so they sum to `total_weight`.
+fn scaled_proportions(props: Vec<f64>, total_weight: f64) -> Vec<f64> {
+    let sum: f64 = props.iter().sum();
+    if sum == 0.0 {
+        return vec![0.0; props.len()];
+    }
+    props.into_iter().map(|p| p / sum * total_weight).collect()
+}
+
+/// Builds the HighLow weight vector: the first `n_large = max(1, round(f_t·n))`
+/// tasks share `f_w` of the weight, the rest share `1 − f_w`.
+fn high_low_weights(n: usize, total: f64, task_fraction: f64, weight_fraction: f64) -> Vec<f64> {
+    // The paper uses "10 % of the tasks"; for n = 50 that is exactly 5 tasks.
+    let n_large = ((task_fraction * n as f64).round() as usize).clamp(1, n);
+    let n_small = n - n_large;
+    let large_total = total * weight_fraction;
+    let small_total = total - large_total;
+    let mut weights = Vec::with_capacity(n);
+    if n_small == 0 {
+        // Degenerate: every task is "large"; spread everything uniformly.
+        weights.extend(std::iter::repeat_n(total / n as f64, n));
+        return weights;
+    }
+    weights.extend(std::iter::repeat_n(large_total / n_large as f64, n_large));
+    weights.extend(std::iter::repeat_n(small_total / n_small as f64, n_small));
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::approx_eq;
+
+    const W: f64 = 25_000.0;
+
+    #[test]
+    fn uniform_matches_paper_setup() {
+        let chain = WeightPattern::Uniform.generate(50, W).unwrap();
+        assert_eq!(chain.len(), 50);
+        assert!(approx_eq(chain.total_weight(), W, 1e-9));
+        assert!(approx_eq(chain.weight(1), 500.0, 1e-9));
+        assert!(approx_eq(chain.weight(50), 500.0, 1e-9));
+    }
+
+    #[test]
+    fn decrease_is_quadratic_and_normalised() {
+        let n = 50;
+        let chain = WeightPattern::Decrease.generate(n, W).unwrap();
+        assert!(approx_eq(chain.total_weight(), W, 1e-9));
+        // w_i ∝ (n+1−i)²: first task is the largest, last the smallest.
+        assert!(chain.weight(1) > chain.weight(2));
+        assert!(chain.weight(n - 1) > chain.weight(n));
+        // Ratio between first and last is n² = 2500.
+        assert!(approx_eq(chain.weight(1) / chain.weight(n), (n * n) as f64, 1e-6));
+        // The paper's α ≈ 3W/n³ approximation: w_1 = α·n² ≈ 3W/n = 1500 s.
+        assert!((chain.weight(1) - 3.0 * W / n as f64).abs() < 60.0);
+    }
+
+    #[test]
+    fn increase_mirrors_decrease() {
+        let n = 20;
+        let dec = WeightPattern::Decrease.generate(n, W).unwrap();
+        let inc = WeightPattern::Increase.generate(n, W).unwrap();
+        for i in 1..=n {
+            assert!(approx_eq(dec.weight(i), inc.weight(n + 1 - i), 1e-9));
+        }
+    }
+
+    #[test]
+    fn highlow_matches_paper_example() {
+        // Paper §IV: n = 50, W = 25000 → 5 large tasks of 3000 s each and
+        // 45 small tasks of ≈ 222 s each.
+        let chain = WeightPattern::high_low_default().generate(50, W).unwrap();
+        assert!(approx_eq(chain.total_weight(), W, 1e-9));
+        assert!(approx_eq(chain.weight(1), 3000.0, 1e-9));
+        assert!(approx_eq(chain.weight(5), 3000.0, 1e-9));
+        assert!(approx_eq(chain.weight(6), 10_000.0 / 45.0, 1e-9));
+        assert!(approx_eq(chain.weight(50), 10_000.0 / 45.0, 1e-9));
+    }
+
+    #[test]
+    fn highlow_always_has_at_least_one_large_task() {
+        let chain = WeightPattern::high_low_default().generate(3, 300.0).unwrap();
+        // round(0.1·3) = 0 → clamped to 1 large task holding 60 % of the weight.
+        assert!(approx_eq(chain.weight(1), 180.0, 1e-9));
+        assert!(approx_eq(chain.weight(2), 60.0, 1e-9));
+    }
+
+    #[test]
+    fn highlow_all_large_degenerates_to_uniform() {
+        let p = WeightPattern::HighLow { task_fraction: 1.0, weight_fraction: 0.6 };
+        let chain = p.generate(4, 100.0).unwrap();
+        for i in 1..=4 {
+            assert!(approx_eq(chain.weight(i), 25.0, 1e-9));
+        }
+    }
+
+    #[test]
+    fn highlow_rejects_out_of_range_fractions() {
+        assert!(WeightPattern::HighLow { task_fraction: -0.1, weight_fraction: 0.6 }
+            .generate(10, W)
+            .is_err());
+        assert!(WeightPattern::HighLow { task_fraction: 0.1, weight_fraction: 1.5 }
+            .generate(10, W)
+            .is_err());
+    }
+
+    #[test]
+    fn proportions_scale_to_total() {
+        let p = WeightPattern::Proportions(vec![1.0, 2.0, 7.0]);
+        let chain = p.generate(3, 100.0).unwrap();
+        assert!(approx_eq(chain.weight(1), 10.0, 1e-12));
+        assert!(approx_eq(chain.weight(2), 20.0, 1e-12));
+        assert!(approx_eq(chain.weight(3), 70.0, 1e-12));
+    }
+
+    #[test]
+    fn proportions_length_mismatch_is_error() {
+        let p = WeightPattern::Proportions(vec![1.0, 2.0]);
+        assert!(p.generate(3, 100.0).is_err());
+    }
+
+    #[test]
+    fn proportions_all_zero_is_error() {
+        let p = WeightPattern::Proportions(vec![0.0, 0.0]);
+        assert!(p.generate(2, 100.0).is_err());
+    }
+
+    #[test]
+    fn generators_reject_zero_tasks_and_bad_totals() {
+        assert!(WeightPattern::Uniform.generate(0, W).is_err());
+        assert!(WeightPattern::Uniform.generate(5, f64::NAN).is_err());
+        assert!(WeightPattern::Uniform.generate(5, -1.0).is_err());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(WeightPattern::Uniform.name(), "uniform");
+        assert_eq!(WeightPattern::Decrease.name(), "decrease");
+        assert_eq!(WeightPattern::high_low_default().name(), "highlow");
+        assert_eq!(WeightPattern::Increase.name(), "increase");
+        assert_eq!(WeightPattern::Proportions(vec![1.0]).name(), "proportions");
+    }
+
+    #[test]
+    fn all_patterns_preserve_total_weight() {
+        for pattern in [
+            WeightPattern::Uniform,
+            WeightPattern::Decrease,
+            WeightPattern::Increase,
+            WeightPattern::high_low_default(),
+        ] {
+            for n in [1usize, 2, 7, 50] {
+                let chain = pattern.generate(n, W).unwrap();
+                assert!(
+                    approx_eq(chain.total_weight(), W, 1e-9),
+                    "pattern {} with n={n}",
+                    pattern.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Platforms: error rates and checkpoint costs.
+//!
+//! Table I of the paper lists four platforms whose fail-stop rate `λ_f`,
+//! silent-error rate `λ_s`, disk-checkpoint cost `C_D` and memory-checkpoint
+//! cost `C_M` were measured for the Scalable Checkpoint/Restart (SCR) library
+//! by Moody et al. (SC'10).  [`Platform`] carries these raw parameters; the
+//! full cost model (recovery costs, verification costs, recall) is assembled
+//! by [`crate::cost::ResilienceCosts`] and [`crate::scenario::Scenario`].
+
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+
+/// Seconds per day, used for MTBF conversions.
+pub const SECONDS_PER_DAY: f64 = 86_400.0;
+
+/// A computing platform: size, error rates, and checkpointing costs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Human-readable name (e.g. `"Hera"`).
+    pub name: String,
+    /// Number of nodes (informational; the rates below are already platform-wide).
+    pub nodes: usize,
+    /// Platform-wide fail-stop error rate (errors per second).
+    pub lambda_fail_stop: f64,
+    /// Platform-wide silent error (SDC) rate (errors per second).
+    pub lambda_silent: f64,
+    /// Disk (stable-storage) checkpoint cost `C_D`, seconds.
+    pub disk_checkpoint_cost: f64,
+    /// In-memory checkpoint cost `C_M`, seconds.
+    pub memory_checkpoint_cost: f64,
+}
+
+impl Platform {
+    /// Creates a platform after validating every parameter.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::InvalidParameter`] when a rate or a cost is
+    /// negative, NaN or infinite.
+    pub fn new(
+        name: impl Into<String>,
+        nodes: usize,
+        lambda_fail_stop: f64,
+        lambda_silent: f64,
+        disk_checkpoint_cost: f64,
+        memory_checkpoint_cost: f64,
+    ) -> Result<Self, ModelError> {
+        let check = |name: &'static str, v: f64| -> Result<(), ModelError> {
+            if !v.is_finite() || v < 0.0 {
+                Err(ModelError::InvalidParameter { name, value: v, expected: "a finite value >= 0" })
+            } else {
+                Ok(())
+            }
+        };
+        check("lambda_fail_stop", lambda_fail_stop)?;
+        check("lambda_silent", lambda_silent)?;
+        check("disk_checkpoint_cost", disk_checkpoint_cost)?;
+        check("memory_checkpoint_cost", memory_checkpoint_cost)?;
+        Ok(Self {
+            name: name.into(),
+            nodes,
+            lambda_fail_stop,
+            lambda_silent,
+            disk_checkpoint_cost,
+            memory_checkpoint_cost,
+        })
+    }
+
+    /// Platform mean time between fail-stop errors, in seconds
+    /// (`∞` when the rate is zero).
+    pub fn fail_stop_mtbf_seconds(&self) -> f64 {
+        if self.lambda_fail_stop == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.lambda_fail_stop
+        }
+    }
+
+    /// Platform mean time between silent errors, in seconds.
+    pub fn silent_mtbf_seconds(&self) -> f64 {
+        if self.lambda_silent == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.lambda_silent
+        }
+    }
+
+    /// Fail-stop MTBF expressed in days (the unit used in the paper's prose).
+    pub fn fail_stop_mtbf_days(&self) -> f64 {
+        self.fail_stop_mtbf_seconds() / SECONDS_PER_DAY
+    }
+
+    /// Silent-error MTBF expressed in days.
+    pub fn silent_mtbf_days(&self) -> f64 {
+        self.silent_mtbf_seconds() / SECONDS_PER_DAY
+    }
+
+    /// Returns a copy of this platform with both error rates multiplied by
+    /// `factor` — handy for "what if errors were k× more frequent" sweeps.
+    pub fn with_scaled_rates(&self, factor: f64) -> Result<Self, ModelError> {
+        Platform::new(
+            format!("{} (rates x{factor})", self.name),
+            self.nodes,
+            self.lambda_fail_stop * factor,
+            self.lambda_silent * factor,
+            self.disk_checkpoint_cost,
+            self.memory_checkpoint_cost,
+        )
+    }
+
+    /// Returns a copy of this platform with both checkpoint costs multiplied by
+    /// `factor`.
+    pub fn with_scaled_costs(&self, factor: f64) -> Result<Self, ModelError> {
+        Platform::new(
+            format!("{} (costs x{factor})", self.name),
+            self.nodes,
+            self.lambda_fail_stop,
+            self.lambda_silent,
+            self.disk_checkpoint_cost * factor,
+            self.memory_checkpoint_cost * factor,
+        )
+    }
+}
+
+/// The four platforms of Table I, with the exact published parameters.
+pub mod scr {
+    use super::Platform;
+
+    /// Hera: 256 nodes, λ_f = 9.46e-7, λ_s = 3.38e-6, C_D = 300 s, C_M = 15.4 s.
+    pub fn hera() -> Platform {
+        Platform::new("Hera", 256, 9.46e-7, 3.38e-6, 300.0, 15.4)
+            .expect("Table I parameters are valid")
+    }
+
+    /// Atlas: 512 nodes, λ_f = 5.19e-7, λ_s = 7.78e-6, C_D = 439 s, C_M = 9.1 s.
+    pub fn atlas() -> Platform {
+        Platform::new("Atlas", 512, 5.19e-7, 7.78e-6, 439.0, 9.1)
+            .expect("Table I parameters are valid")
+    }
+
+    /// Coastal: 1024 nodes, λ_f = 4.02e-7, λ_s = 2.01e-6, C_D = 1051 s, C_M = 4.5 s.
+    pub fn coastal() -> Platform {
+        Platform::new("Coastal", 1024, 4.02e-7, 2.01e-6, 1051.0, 4.5)
+            .expect("Table I parameters are valid")
+    }
+
+    /// Coastal SSD: 1024 nodes, λ_f = 4.02e-7, λ_s = 2.01e-6, C_D = 2500 s, C_M = 180 s.
+    pub fn coastal_ssd() -> Platform {
+        Platform::new("Coastal SSD", 1024, 4.02e-7, 2.01e-6, 2500.0, 180.0)
+            .expect("Table I parameters are valid")
+    }
+
+    /// All four Table I platforms, in the order of the paper.
+    pub fn all() -> Vec<Platform> {
+        vec![hera(), atlas(), coastal(), coastal_ssd()]
+    }
+
+    /// Looks a platform up by (case-insensitive) name; accepts `"coastal-ssd"`,
+    /// `"coastal_ssd"` and `"coastal ssd"` spellings.
+    pub fn by_name(name: &str) -> Option<Platform> {
+        let normalized: String = name
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        match normalized.as_str() {
+            "hera" => Some(hera()),
+            "atlas" => Some(atlas()),
+            "coastal" => Some(coastal()),
+            "coastalssd" => Some(coastal_ssd()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_values_are_exactly_the_published_ones() {
+        let hera = scr::hera();
+        assert_eq!(hera.nodes, 256);
+        assert_eq!(hera.lambda_fail_stop, 9.46e-7);
+        assert_eq!(hera.lambda_silent, 3.38e-6);
+        assert_eq!(hera.disk_checkpoint_cost, 300.0);
+        assert_eq!(hera.memory_checkpoint_cost, 15.4);
+
+        let atlas = scr::atlas();
+        assert_eq!(atlas.nodes, 512);
+        assert_eq!(atlas.lambda_fail_stop, 5.19e-7);
+        assert_eq!(atlas.lambda_silent, 7.78e-6);
+        assert_eq!(atlas.disk_checkpoint_cost, 439.0);
+        assert_eq!(atlas.memory_checkpoint_cost, 9.1);
+
+        let coastal = scr::coastal();
+        assert_eq!(coastal.nodes, 1024);
+        assert_eq!(coastal.lambda_fail_stop, 4.02e-7);
+        assert_eq!(coastal.lambda_silent, 2.01e-6);
+        assert_eq!(coastal.disk_checkpoint_cost, 1051.0);
+        assert_eq!(coastal.memory_checkpoint_cost, 4.5);
+
+        let ssd = scr::coastal_ssd();
+        assert_eq!(ssd.nodes, 1024);
+        assert_eq!(ssd.lambda_fail_stop, 4.02e-7);
+        assert_eq!(ssd.lambda_silent, 2.01e-6);
+        assert_eq!(ssd.disk_checkpoint_cost, 2500.0);
+        assert_eq!(ssd.memory_checkpoint_cost, 180.0);
+    }
+
+    #[test]
+    fn mtbf_days_match_the_paper_prose() {
+        // Paper §IV: Hera has a platform MTBF of 12.2 days for fail-stop errors
+        // and 3.4 days for silent errors; Coastal 28.8 and 5.8 days.
+        let hera = scr::hera();
+        assert!((hera.fail_stop_mtbf_days() - 12.2).abs() < 0.1);
+        assert!((hera.silent_mtbf_days() - 3.4).abs() < 0.1);
+        let coastal = scr::coastal();
+        assert!((coastal.fail_stop_mtbf_days() - 28.8).abs() < 0.1);
+        assert!((coastal.silent_mtbf_days() - 5.8).abs() < 0.1);
+    }
+
+    #[test]
+    fn zero_rate_platform_has_infinite_mtbf() {
+        let p = Platform::new("ideal", 1, 0.0, 0.0, 10.0, 1.0).unwrap();
+        assert!(p.fail_stop_mtbf_seconds().is_infinite());
+        assert!(p.silent_mtbf_days().is_infinite());
+    }
+
+    #[test]
+    fn new_rejects_invalid_parameters() {
+        assert!(Platform::new("bad", 1, -1e-7, 0.0, 1.0, 1.0).is_err());
+        assert!(Platform::new("bad", 1, 0.0, f64::NAN, 1.0, 1.0).is_err());
+        assert!(Platform::new("bad", 1, 0.0, 0.0, -5.0, 1.0).is_err());
+        assert!(Platform::new("bad", 1, 0.0, 0.0, 1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn by_name_accepts_flexible_spellings() {
+        assert_eq!(scr::by_name("Hera").unwrap().name, "Hera");
+        assert_eq!(scr::by_name("hera").unwrap().name, "Hera");
+        assert_eq!(scr::by_name("coastal ssd").unwrap().name, "Coastal SSD");
+        assert_eq!(scr::by_name("coastal-SSD").unwrap().name, "Coastal SSD");
+        assert_eq!(scr::by_name("coastal_ssd").unwrap().name, "Coastal SSD");
+        assert!(scr::by_name("titan").is_none());
+    }
+
+    #[test]
+    fn all_returns_four_platforms_in_paper_order() {
+        let names: Vec<String> = scr::all().into_iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["Hera", "Atlas", "Coastal", "Coastal SSD"]);
+    }
+
+    #[test]
+    fn scaled_rates_and_costs() {
+        let hera = scr::hera();
+        let fast = hera.with_scaled_rates(10.0).unwrap();
+        assert!((fast.lambda_fail_stop - 9.46e-6).abs() < 1e-18);
+        assert_eq!(fast.disk_checkpoint_cost, hera.disk_checkpoint_cost);
+        let cheap = hera.with_scaled_costs(0.5).unwrap();
+        assert_eq!(cheap.disk_checkpoint_cost, 150.0);
+        assert_eq!(cheap.memory_checkpoint_cost, 7.7);
+        assert_eq!(cheap.lambda_silent, hera.lambda_silent);
+    }
+}

@@ -1,0 +1,207 @@
+//! A [`Scenario`] bundles everything that defines one optimization problem:
+//! the task chain, the platform error rates and the resilience cost model.
+//!
+//! It also exposes the elementary probabilistic quantities of Section II of
+//! the paper as convenience methods (`p^f_{i,j}`, `p^s_{i,j}`, `T^lost_{i,j}`),
+//! so the optimizer, evaluator and simulator all consume the same numerically
+//! stable implementations from [`crate::math`].
+
+use crate::chain::TaskChain;
+use crate::cost::ResilienceCosts;
+use crate::error::ModelError;
+use crate::math;
+use crate::pattern::WeightPattern;
+use crate::platform::Platform;
+use serde::{Deserialize, Serialize};
+
+/// One complete problem instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The linear task chain to protect.
+    pub chain: TaskChain,
+    /// Platform error rates (and raw checkpoint costs).
+    pub platform: Platform,
+    /// Full resilience cost model (checkpoints, recoveries, verifications, recall).
+    pub costs: ResilienceCosts,
+}
+
+impl Scenario {
+    /// Builds and validates a scenario.
+    pub fn new(
+        chain: TaskChain,
+        platform: Platform,
+        costs: ResilienceCosts,
+    ) -> Result<Self, ModelError> {
+        costs.validate()?;
+        Ok(Self { chain, platform, costs })
+    }
+
+    /// Builds the paper's §IV setup for a given platform: `n` tasks following
+    /// `pattern`, total weight `total_weight` seconds, and the default cost
+    /// model (`R = C`, `V* = C_M`, `V = V*/100`, `r = 0.8`).
+    pub fn paper_setup(
+        platform: &Platform,
+        pattern: &WeightPattern,
+        n: usize,
+        total_weight: f64,
+    ) -> Result<Self, ModelError> {
+        let chain = pattern.generate(n, total_weight)?;
+        let costs = ResilienceCosts::paper_defaults(platform);
+        Scenario::new(chain, platform.clone(), costs)
+    }
+
+    /// Number of tasks.
+    pub fn task_count(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// `W_{i,j}`: work (seconds) of tasks `T_{i+1}..T_j`.
+    pub fn work(&self, i: usize, j: usize) -> f64 {
+        self.chain.interval_weight(i, j)
+    }
+
+    /// `p^f_{i,j} = 1 − e^{−λ_f W_{i,j}}`: probability of at least one
+    /// fail-stop error while executing tasks `T_{i+1}..T_j`.
+    pub fn prob_fail_stop(&self, i: usize, j: usize) -> f64 {
+        math::prob_at_least_one(self.platform.lambda_fail_stop, self.work(i, j))
+    }
+
+    /// `p^s_{i,j} = 1 − e^{−λ_s W_{i,j}}`: probability of at least one silent
+    /// error while executing tasks `T_{i+1}..T_j`.
+    pub fn prob_silent(&self, i: usize, j: usize) -> f64 {
+        math::prob_at_least_one(self.platform.lambda_silent, self.work(i, j))
+    }
+
+    /// `T^lost_{i,j}` (Eq. 3): expected time lost when a fail-stop error
+    /// strikes while executing tasks `T_{i+1}..T_j`.
+    pub fn expected_time_lost(&self, i: usize, j: usize) -> f64 {
+        math::expected_time_lost(self.platform.lambda_fail_stop, self.work(i, j))
+    }
+
+    /// The error-free, resilience-free execution time of the whole chain
+    /// (the normalisation baseline used by the paper's figures).
+    pub fn error_free_time(&self) -> f64 {
+        self.chain.total_weight()
+    }
+
+    /// Disk recovery cost to use when the last disk checkpoint is at boundary
+    /// `d` — zero for the virtual task `T0` (restart from scratch is free).
+    pub fn disk_recovery_cost(&self, d: usize) -> f64 {
+        if d == 0 {
+            0.0
+        } else {
+            self.costs.disk_recovery
+        }
+    }
+
+    /// Memory recovery cost to use when the last memory checkpoint is at
+    /// boundary `m` — zero for the virtual task `T0`.
+    pub fn memory_recovery_cost(&self, m: usize) -> f64 {
+        if m == 0 {
+            0.0
+        } else {
+            self.costs.memory_recovery
+        }
+    }
+
+    /// Combined error rate `λ_f + λ_s`, used by the §III-B re-execution factor.
+    pub fn combined_rate(&self) -> f64 {
+        self.platform.lambda_fail_stop + self.platform.lambda_silent
+    }
+
+    /// Returns a copy of the scenario with a different chain (same platform
+    /// and cost model).
+    pub fn with_chain(&self, chain: TaskChain) -> Self {
+        Self { chain, platform: self.platform.clone(), costs: self.costs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::approx_eq;
+    use crate::platform::scr;
+
+    fn hera_uniform(n: usize) -> Scenario {
+        Scenario::paper_setup(&scr::hera(), &WeightPattern::Uniform, n, 25_000.0).unwrap()
+    }
+
+    #[test]
+    fn paper_setup_wires_everything_together() {
+        let s = hera_uniform(50);
+        assert_eq!(s.task_count(), 50);
+        assert!(approx_eq(s.error_free_time(), 25_000.0, 1e-9));
+        assert_eq!(s.costs.disk_checkpoint, 300.0);
+        assert_eq!(s.platform.name, "Hera");
+    }
+
+    #[test]
+    fn probability_of_error_on_single_task_matches_paper_order_of_magnitude() {
+        // Paper §IV (HighLow discussion): on Hera a 3000 s task fails with
+        // probability ≈ 1.3 % (fail-stop + silent combined ≈ λ_f+λ_s times W),
+        // a 222 s task with ≈ 0.096 %.
+        let s = hera_uniform(50);
+        let p_large = 1.0 - (1.0 - math::prob_at_least_one(s.platform.lambda_fail_stop, 3000.0))
+            * (1.0 - math::prob_at_least_one(s.platform.lambda_silent, 3000.0));
+        assert!((p_large - 0.013).abs() < 0.001, "p_large = {p_large}");
+        let p_small = 1.0 - (1.0 - math::prob_at_least_one(s.platform.lambda_fail_stop, 222.0))
+            * (1.0 - math::prob_at_least_one(s.platform.lambda_silent, 222.0));
+        assert!((p_small - 0.00096).abs() < 0.0001, "p_small = {p_small}");
+    }
+
+    #[test]
+    fn work_and_probabilities_are_consistent() {
+        let s = hera_uniform(10);
+        assert!(approx_eq(s.work(0, 10), 25_000.0, 1e-9));
+        assert!(approx_eq(s.work(3, 3), 0.0, 1e-12));
+        assert_eq!(s.prob_fail_stop(3, 3), 0.0);
+        assert_eq!(s.prob_silent(3, 3), 0.0);
+        // p over the whole chain: 1 - exp(-λ · 25000).
+        let expect = 1.0 - (-9.46e-7 * 25_000.0f64).exp();
+        assert!(approx_eq(s.prob_fail_stop(0, 10), expect, 1e-12));
+    }
+
+    #[test]
+    fn expected_time_lost_is_about_half_the_interval() {
+        let s = hera_uniform(50);
+        // Paper §IV: a 3000 s task loses ≈ 1500 s on average to a fail-stop error.
+        let chain = WeightPattern::high_low_default().generate(50, 25_000.0).unwrap();
+        let s = s.with_chain(chain);
+        let t = s.expected_time_lost(0, 1);
+        assert!((t - 1500.0).abs() < 2.0, "T_lost = {t}");
+    }
+
+    #[test]
+    fn recovery_costs_are_zero_at_the_virtual_task() {
+        let s = hera_uniform(5);
+        assert_eq!(s.disk_recovery_cost(0), 0.0);
+        assert_eq!(s.memory_recovery_cost(0), 0.0);
+        assert_eq!(s.disk_recovery_cost(3), 300.0);
+        assert_eq!(s.memory_recovery_cost(3), 15.4);
+    }
+
+    #[test]
+    fn combined_rate_is_sum_of_rates() {
+        let s = hera_uniform(5);
+        assert!(approx_eq(s.combined_rate(), 9.46e-7 + 3.38e-6, 1e-18));
+    }
+
+    #[test]
+    fn new_rejects_invalid_costs() {
+        let chain = TaskChain::uniform(3, 100.0).unwrap();
+        let platform = scr::hera();
+        let mut costs = ResilienceCosts::paper_defaults(&platform);
+        costs.partial_recall = 0.0;
+        assert!(Scenario::new(chain, platform, costs).is_err());
+    }
+
+    #[test]
+    fn with_chain_preserves_platform_and_costs() {
+        let s = hera_uniform(5);
+        let new_chain = TaskChain::uniform(3, 900.0).unwrap();
+        let s2 = s.with_chain(new_chain);
+        assert_eq!(s2.task_count(), 3);
+        assert_eq!(s2.platform, s.platform);
+        assert_eq!(s2.costs, s.costs);
+    }
+}

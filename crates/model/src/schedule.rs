@@ -1,0 +1,667 @@
+//! Schedules: where checkpoints and verifications are placed.
+//!
+//! A [`Schedule`] assigns one [`Action`] to every task boundary of a chain of
+//! `n` tasks.  Boundary `i` (for `i ∈ 1..=n`) sits right after task `Ti`;
+//! boundary `0` is the virtual task `T0`, which is always disk- and
+//! memory-checkpointed at zero cost and is therefore not stored explicitly.
+//!
+//! The model of the paper imposes a strict hierarchy on the resilience
+//! actions that can be taken at a boundary:
+//!
+//! * a **disk checkpoint** is always immediately preceded by a memory
+//!   checkpoint;
+//! * a **memory checkpoint** is always immediately preceded by a guaranteed
+//!   verification (so corrupted data is never checkpointed);
+//! * a **partial verification** is only ever placed where no guaranteed
+//!   verification is taken (it would be redundant otherwise).
+//!
+//! [`Action`] encodes this hierarchy directly: each variant *implies* all the
+//! cheaper mechanisms below it, so illegal combinations are unrepresentable.
+
+use crate::chain::TaskChain;
+use crate::cost::ResilienceCosts;
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The resilience action taken at one task boundary.
+///
+/// Variants are ordered from "nothing" to "heaviest"; `Ord` follows that
+/// hierarchy so `action >= Action::MemoryCheckpoint` reads naturally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub enum Action {
+    /// No resilience action: execution continues straight into the next task.
+    #[default]
+    None,
+    /// A partial verification (cost `V`, recall `r < 1`).
+    PartialVerification,
+    /// A guaranteed verification (cost `V*`, recall 1).
+    GuaranteedVerification,
+    /// A guaranteed verification followed by a memory checkpoint (`V* + C_M`).
+    MemoryCheckpoint,
+    /// A guaranteed verification, a memory checkpoint and a disk checkpoint
+    /// (`V* + C_M + C_D`).
+    DiskCheckpoint,
+}
+
+impl Action {
+    /// Does this action include a verification of any kind?
+    pub fn has_any_verification(self) -> bool {
+        self != Action::None
+    }
+
+    /// Does this action include a *partial* verification?
+    pub fn has_partial_verification(self) -> bool {
+        self == Action::PartialVerification
+    }
+
+    /// Does this action include a *guaranteed* verification?
+    pub fn has_guaranteed_verification(self) -> bool {
+        self >= Action::GuaranteedVerification
+    }
+
+    /// Does this action include a memory checkpoint?
+    pub fn has_memory_checkpoint(self) -> bool {
+        self >= Action::MemoryCheckpoint
+    }
+
+    /// Does this action include a disk checkpoint?
+    pub fn has_disk_checkpoint(self) -> bool {
+        self == Action::DiskCheckpoint
+    }
+
+    /// Total cost of performing this action (verification + checkpoints), in
+    /// seconds, under the given cost model.
+    pub fn cost(self, costs: &ResilienceCosts) -> f64 {
+        match self {
+            Action::None => 0.0,
+            Action::PartialVerification => costs.partial_verification,
+            Action::GuaranteedVerification => costs.guaranteed_verification,
+            Action::MemoryCheckpoint => costs.guaranteed_verification + costs.memory_checkpoint,
+            Action::DiskCheckpoint => {
+                costs.guaranteed_verification + costs.memory_checkpoint + costs.disk_checkpoint
+            }
+        }
+    }
+
+    /// One-character symbol used by the ASCII strip rendering:
+    /// `.` none, `p` partial, `v` guaranteed, `M` memory, `D` disk.
+    pub fn symbol(self) -> char {
+        match self {
+            Action::None => '.',
+            Action::PartialVerification => 'p',
+            Action::GuaranteedVerification => 'v',
+            Action::MemoryCheckpoint => 'M',
+            Action::DiskCheckpoint => 'D',
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Action::None => "none",
+            Action::PartialVerification => "partial-verification",
+            Action::GuaranteedVerification => "guaranteed-verification",
+            Action::MemoryCheckpoint => "memory-checkpoint",
+            Action::DiskCheckpoint => "disk-checkpoint",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Hierarchical counts of the resilience actions placed by a schedule.
+///
+/// The counting convention follows the figures of the paper: a heavier action
+/// also counts as all the lighter mechanisms it includes, e.g. every disk
+/// checkpoint contributes to `memory_checkpoints` and to
+/// `guaranteed_verifications` as well.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ActionCounts {
+    /// Number of boundaries with a disk checkpoint.
+    pub disk_checkpoints: usize,
+    /// Number of boundaries with a memory checkpoint (includes disk-checkpointed ones).
+    pub memory_checkpoints: usize,
+    /// Number of boundaries with a guaranteed verification (includes checkpointed ones).
+    pub guaranteed_verifications: usize,
+    /// Number of boundaries with a partial verification.
+    pub partial_verifications: usize,
+}
+
+impl ActionCounts {
+    /// Total number of boundaries that carry any action at all.
+    pub fn active_boundaries(&self) -> usize {
+        self.guaranteed_verifications + self.partial_verifications
+    }
+}
+
+/// A complete placement of resilience actions over a chain of `n` tasks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// `actions[i - 1]` is the action taken right after task `Ti`.
+    actions: Vec<Action>,
+}
+
+impl Schedule {
+    /// Creates a schedule for `n` tasks with no action anywhere except a final
+    /// disk checkpoint after `Tn` (the convention used by the optimizers: the
+    /// application always ends with a verified, fully checkpointed state).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn terminal_only(n: usize) -> Self {
+        assert!(n > 0, "a schedule needs at least one task");
+        let mut actions = vec![Action::None; n];
+        actions[n - 1] = Action::DiskCheckpoint;
+        Self { actions }
+    }
+
+    /// Creates a schedule with *no* action at all (not even a final
+    /// verification).  Such a schedule is not accepted by the analytical
+    /// evaluator but is useful as a neutral starting point for builders.
+    pub fn empty(n: usize) -> Self {
+        assert!(n > 0, "a schedule needs at least one task");
+        Self { actions: vec![Action::None; n] }
+    }
+
+    /// Creates a schedule from an explicit action list (`actions[i-1]` = action
+    /// after `Ti`).
+    pub fn from_actions(actions: Vec<Action>) -> Result<Self, ModelError> {
+        if actions.is_empty() {
+            return Err(ModelError::EmptyChain);
+        }
+        Ok(Self { actions })
+    }
+
+    /// Creates a schedule that performs `action` after every task.
+    pub fn every_task(n: usize, action: Action) -> Self {
+        assert!(n > 0, "a schedule needs at least one task");
+        Self { actions: vec![action; n] }
+    }
+
+    /// Creates a schedule that performs `action` after every `period`-th task
+    /// (boundaries `period, 2·period, …`) and a disk checkpoint after the last
+    /// task.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `period == 0`.
+    pub fn periodic(n: usize, period: usize, action: Action) -> Self {
+        assert!(n > 0, "a schedule needs at least one task");
+        assert!(period > 0, "period must be at least 1");
+        let mut actions = vec![Action::None; n];
+        let mut i = period;
+        while i <= n {
+            actions[i - 1] = action;
+            i += period;
+        }
+        actions[n - 1] = Action::DiskCheckpoint;
+        Self { actions }
+    }
+
+    /// Number of tasks `n`.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Always `false` for a constructed schedule; provided for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Action at boundary `i` (1-based, `i ∈ 1..=n`).  Boundary `0` (the
+    /// virtual task `T0`) is implicitly [`Action::DiskCheckpoint`].
+    pub fn action(&self, i: usize) -> Action {
+        if i == 0 {
+            return Action::DiskCheckpoint;
+        }
+        assert!(i <= self.len(), "boundary {i} out of range 0..={}", self.len());
+        self.actions[i - 1]
+    }
+
+    /// Sets the action at boundary `i` (1-based).
+    pub fn set_action(&mut self, i: usize, action: Action) {
+        assert!(i >= 1 && i <= self.len(), "boundary {i} out of range 1..={}", self.len());
+        self.actions[i - 1] = action;
+    }
+
+    /// Raw action slice (`[i-1]` = boundary `i`).
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Boundaries (1-based, ascending) whose action includes a disk checkpoint.
+    pub fn disk_checkpoint_positions(&self) -> Vec<usize> {
+        self.positions(|a| a.has_disk_checkpoint())
+    }
+
+    /// Boundaries whose action includes a memory checkpoint (disk checkpoints included).
+    pub fn memory_checkpoint_positions(&self) -> Vec<usize> {
+        self.positions(|a| a.has_memory_checkpoint())
+    }
+
+    /// Boundaries whose action includes a guaranteed verification
+    /// (memory/disk checkpoints included).
+    pub fn guaranteed_verification_positions(&self) -> Vec<usize> {
+        self.positions(|a| a.has_guaranteed_verification())
+    }
+
+    /// Boundaries carrying a partial verification.
+    pub fn partial_verification_positions(&self) -> Vec<usize> {
+        self.positions(|a| a.has_partial_verification())
+    }
+
+    fn positions(&self, pred: impl Fn(Action) -> bool) -> Vec<usize> {
+        self.actions
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| pred(a))
+            .map(|(i, _)| i + 1)
+            .collect()
+    }
+
+    /// Hierarchical action counts (see [`ActionCounts`]).
+    pub fn counts(&self) -> ActionCounts {
+        let mut c = ActionCounts::default();
+        for &a in &self.actions {
+            if a.has_disk_checkpoint() {
+                c.disk_checkpoints += 1;
+            }
+            if a.has_memory_checkpoint() {
+                c.memory_checkpoints += 1;
+            }
+            if a.has_guaranteed_verification() {
+                c.guaranteed_verifications += 1;
+            }
+            if a.has_partial_verification() {
+                c.partial_verifications += 1;
+            }
+        }
+        c
+    }
+
+    /// Counts excluding the final boundary.  The paper's figures describe
+    /// "additional" resilience actions placed inside the chain; the mandatory
+    /// verified checkpoint that closes the application is excluded there.
+    pub fn interior_counts(&self) -> ActionCounts {
+        if self.len() == 1 {
+            return ActionCounts::default();
+        }
+        Self { actions: self.actions[..self.len() - 1].to_vec() }.counts()
+    }
+
+    /// Sum of all action costs (seconds) under `costs` — the failure-free
+    /// resilience overhead of the schedule.
+    pub fn total_action_cost(&self, costs: &ResilienceCosts) -> f64 {
+        self.actions.iter().map(|a| a.cost(costs)).sum()
+    }
+
+    /// Validates the structural invariants required by the analytical
+    /// evaluator and the simulator:
+    ///
+    /// * the schedule length matches the chain length;
+    /// * the final boundary carries at least a guaranteed verification, so the
+    ///   output of the application is known to be correct when it terminates.
+    ///
+    /// (The verification/checkpoint hierarchy is enforced by construction via
+    /// the [`Action`] enum.)
+    pub fn validate(&self, chain: &TaskChain) -> Result<(), ModelError> {
+        if self.len() != chain.len() {
+            return Err(ModelError::InvalidSchedule {
+                position: usize::MAX,
+                reason: format!(
+                    "schedule covers {} tasks but the chain has {}",
+                    self.len(),
+                    chain.len()
+                ),
+            });
+        }
+        let last = self.actions[self.len() - 1];
+        if !last.has_guaranteed_verification() {
+            return Err(ModelError::InvalidSchedule {
+                position: self.len(),
+                reason: "the final task must be followed by a guaranteed verification so that \
+                         the application result is known to be correct"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Index of the last boundary `<= i` whose action includes a disk
+    /// checkpoint; `0` (the virtual task) when there is none.
+    pub fn last_disk_checkpoint_before(&self, i: usize) -> usize {
+        self.last_before(i, |a| a.has_disk_checkpoint())
+    }
+
+    /// Index of the last boundary `<= i` whose action includes a memory
+    /// checkpoint; `0` when there is none.
+    pub fn last_memory_checkpoint_before(&self, i: usize) -> usize {
+        self.last_before(i, |a| a.has_memory_checkpoint())
+    }
+
+    /// Index of the last boundary `<= i` with a guaranteed verification; `0`
+    /// when there is none.
+    pub fn last_guaranteed_verification_before(&self, i: usize) -> usize {
+        self.last_before(i, |a| a.has_guaranteed_verification())
+    }
+
+    fn last_before(&self, i: usize, pred: impl Fn(Action) -> bool) -> usize {
+        assert!(i <= self.len(), "boundary {i} out of range 0..={}", self.len());
+        (1..=i).rev().find(|&j| pred(self.actions[j - 1])).unwrap_or(0)
+    }
+
+    /// Renders the schedule as four ASCII strips (disk checkpoints, memory
+    /// checkpoints, guaranteed verifications, partial verifications), one
+    /// character per task boundary — the textual analogue of Figure 6 of the
+    /// paper.  The virtual boundary `T0` is shown as a leading `|`.
+    pub fn render_strips(&self, title: &str) -> String {
+        let n = self.len();
+        let mut out = String::new();
+        out.push_str(title);
+        out.push('\n');
+        let rows: [(&str, Box<dyn Fn(Action) -> bool>); 4] = [
+            ("Disk ckpts       ", Box::new(|a: Action| a.has_disk_checkpoint())),
+            ("Memory ckpts     ", Box::new(|a: Action| a.has_memory_checkpoint())),
+            ("Guaranteed verifs", Box::new(|a: Action| a.has_guaranteed_verification())),
+            ("Partial verifs   ", Box::new(|a: Action| a.has_partial_verification())),
+        ];
+        for (label, pred) in rows.iter() {
+            out.push_str(label);
+            out.push_str(" |");
+            for i in 1..=n {
+                out.push(if pred(self.actions[i - 1]) { 'x' } else { '.' });
+            }
+            out.push('|');
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Compact single-line rendering using [`Action::symbol`], e.g.
+    /// `|....v....M....D|`.
+    pub fn render_compact(&self) -> String {
+        let mut s = String::with_capacity(self.len() + 2);
+        s.push('|');
+        for &a in &self.actions {
+            s.push(a.symbol());
+        }
+        s.push('|');
+        s
+    }
+
+    /// Parses the compact notation produced by [`Schedule::render_compact`]
+    /// (and accepted by the CLI): one character per task boundary —
+    /// `.` none, `p` partial verification, `v` guaranteed verification,
+    /// `M`/`m` memory checkpoint, `D`/`d` disk checkpoint.  Pipes and spaces
+    /// are ignored, so `"|..M..D|"` and `".. M .. D"` both parse.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::InvalidSchedule`] on unknown characters and
+    /// [`ModelError::EmptyChain`] when no boundary character is present.
+    pub fn parse_compact(spec: &str) -> Result<Self, ModelError> {
+        let mut actions = Vec::new();
+        for (i, c) in spec.chars().enumerate() {
+            let action = match c {
+                '.' => Action::None,
+                'p' | 'P' => Action::PartialVerification,
+                'v' | 'V' => Action::GuaranteedVerification,
+                'M' | 'm' => Action::MemoryCheckpoint,
+                'D' | 'd' => Action::DiskCheckpoint,
+                '|' | ' ' => continue,
+                other => {
+                    return Err(ModelError::InvalidSchedule {
+                        position: i,
+                        reason: format!(
+                            "unknown schedule character `{other}` (expected . p v M D)"
+                        ),
+                    })
+                }
+            };
+            actions.push(action);
+        }
+        Schedule::from_actions(actions)
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_compact())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::ResilienceCosts;
+    use crate::platform::scr;
+
+    fn hera_costs() -> ResilienceCosts {
+        ResilienceCosts::paper_defaults(&scr::hera())
+    }
+
+    #[test]
+    fn action_hierarchy_predicates() {
+        assert!(!Action::None.has_any_verification());
+        assert!(Action::PartialVerification.has_partial_verification());
+        assert!(!Action::PartialVerification.has_guaranteed_verification());
+        assert!(Action::GuaranteedVerification.has_guaranteed_verification());
+        assert!(!Action::GuaranteedVerification.has_memory_checkpoint());
+        assert!(Action::MemoryCheckpoint.has_guaranteed_verification());
+        assert!(Action::MemoryCheckpoint.has_memory_checkpoint());
+        assert!(!Action::MemoryCheckpoint.has_disk_checkpoint());
+        assert!(Action::DiskCheckpoint.has_disk_checkpoint());
+        assert!(Action::DiskCheckpoint.has_memory_checkpoint());
+        assert!(Action::DiskCheckpoint.has_guaranteed_verification());
+        assert!(!Action::DiskCheckpoint.has_partial_verification());
+    }
+
+    #[test]
+    fn action_ordering_matches_hierarchy() {
+        assert!(Action::None < Action::PartialVerification);
+        assert!(Action::PartialVerification < Action::GuaranteedVerification);
+        assert!(Action::GuaranteedVerification < Action::MemoryCheckpoint);
+        assert!(Action::MemoryCheckpoint < Action::DiskCheckpoint);
+    }
+
+    #[test]
+    fn action_costs_accumulate_hierarchically() {
+        let c = hera_costs();
+        assert_eq!(Action::None.cost(&c), 0.0);
+        assert!((Action::PartialVerification.cost(&c) - 0.154).abs() < 1e-12);
+        assert_eq!(Action::GuaranteedVerification.cost(&c), 15.4);
+        assert_eq!(Action::MemoryCheckpoint.cost(&c), 15.4 + 15.4);
+        assert_eq!(Action::DiskCheckpoint.cost(&c), 15.4 + 15.4 + 300.0);
+    }
+
+    #[test]
+    fn terminal_only_has_single_disk_checkpoint_at_the_end() {
+        let s = Schedule::terminal_only(10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.disk_checkpoint_positions(), vec![10]);
+        assert_eq!(s.memory_checkpoint_positions(), vec![10]);
+        assert_eq!(s.guaranteed_verification_positions(), vec![10]);
+        assert!(s.partial_verification_positions().is_empty());
+    }
+
+    #[test]
+    fn boundary_zero_is_virtual_disk_checkpoint() {
+        let s = Schedule::terminal_only(3);
+        assert_eq!(s.action(0), Action::DiskCheckpoint);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn action_out_of_range_panics() {
+        let s = Schedule::terminal_only(3);
+        let _ = s.action(4);
+    }
+
+    #[test]
+    fn periodic_places_actions_every_period() {
+        let s = Schedule::periodic(10, 3, Action::MemoryCheckpoint);
+        assert_eq!(s.memory_checkpoint_positions(), vec![3, 6, 9, 10]);
+        assert_eq!(s.disk_checkpoint_positions(), vec![10]);
+    }
+
+    #[test]
+    fn periodic_with_period_larger_than_n() {
+        let s = Schedule::periodic(5, 100, Action::MemoryCheckpoint);
+        assert_eq!(s.disk_checkpoint_positions(), vec![5]);
+        assert_eq!(s.memory_checkpoint_positions(), vec![5]);
+    }
+
+    #[test]
+    fn every_task_schedule() {
+        let s = Schedule::every_task(4, Action::GuaranteedVerification);
+        assert_eq!(s.guaranteed_verification_positions(), vec![1, 2, 3, 4]);
+        assert!(s.disk_checkpoint_positions().is_empty());
+    }
+
+    #[test]
+    fn counts_are_hierarchical() {
+        let s = Schedule::from_actions(vec![
+            Action::PartialVerification,
+            Action::GuaranteedVerification,
+            Action::MemoryCheckpoint,
+            Action::None,
+            Action::DiskCheckpoint,
+        ])
+        .unwrap();
+        let c = s.counts();
+        assert_eq!(c.disk_checkpoints, 1);
+        assert_eq!(c.memory_checkpoints, 2);
+        assert_eq!(c.guaranteed_verifications, 3);
+        assert_eq!(c.partial_verifications, 1);
+        assert_eq!(c.active_boundaries(), 4);
+    }
+
+    #[test]
+    fn interior_counts_drop_the_final_boundary() {
+        let s = Schedule::terminal_only(5);
+        assert_eq!(s.counts().disk_checkpoints, 1);
+        assert_eq!(s.interior_counts().disk_checkpoints, 0);
+        let single = Schedule::terminal_only(1);
+        assert_eq!(single.interior_counts(), ActionCounts::default());
+    }
+
+    #[test]
+    fn total_action_cost_sums_all_boundaries() {
+        let c = hera_costs();
+        let s = Schedule::from_actions(vec![Action::GuaranteedVerification, Action::DiskCheckpoint])
+            .unwrap();
+        let expected = 15.4 + (15.4 + 15.4 + 300.0);
+        assert!((s.total_action_cost(&c) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_checks_length_and_final_verification() {
+        let chain = TaskChain::uniform(4, 100.0).unwrap();
+        let good = Schedule::terminal_only(4);
+        good.validate(&chain).unwrap();
+
+        let wrong_len = Schedule::terminal_only(3);
+        assert!(wrong_len.validate(&chain).is_err());
+
+        let mut no_final_verif = Schedule::empty(4);
+        no_final_verif.set_action(2, Action::MemoryCheckpoint);
+        assert!(no_final_verif.validate(&chain).is_err());
+
+        let mut final_verif_only = Schedule::empty(4);
+        final_verif_only.set_action(4, Action::GuaranteedVerification);
+        final_verif_only.validate(&chain).unwrap();
+
+        let mut final_partial = Schedule::empty(4);
+        final_partial.set_action(4, Action::PartialVerification);
+        assert!(final_partial.validate(&chain).is_err());
+    }
+
+    #[test]
+    fn last_before_queries() {
+        let mut s = Schedule::empty(8);
+        s.set_action(2, Action::MemoryCheckpoint);
+        s.set_action(4, Action::GuaranteedVerification);
+        s.set_action(6, Action::DiskCheckpoint);
+        s.set_action(8, Action::DiskCheckpoint);
+
+        assert_eq!(s.last_disk_checkpoint_before(5), 0);
+        assert_eq!(s.last_disk_checkpoint_before(6), 6);
+        assert_eq!(s.last_disk_checkpoint_before(8), 8);
+        assert_eq!(s.last_memory_checkpoint_before(5), 2);
+        assert_eq!(s.last_memory_checkpoint_before(1), 0);
+        assert_eq!(s.last_guaranteed_verification_before(5), 4);
+        assert_eq!(s.last_guaranteed_verification_before(3), 2);
+        assert_eq!(s.last_guaranteed_verification_before(7), 6);
+    }
+
+    #[test]
+    fn render_compact_uses_symbols() {
+        let s = Schedule::from_actions(vec![
+            Action::None,
+            Action::PartialVerification,
+            Action::GuaranteedVerification,
+            Action::MemoryCheckpoint,
+            Action::DiskCheckpoint,
+        ])
+        .unwrap();
+        assert_eq!(s.render_compact(), "|.pvMD|");
+        assert_eq!(format!("{s}"), "|.pvMD|");
+    }
+
+    #[test]
+    fn render_strips_has_four_rows_of_n_cells() {
+        let s = Schedule::periodic(10, 2, Action::MemoryCheckpoint);
+        let strips = s.render_strips("test");
+        let lines: Vec<&str> = strips.lines().collect();
+        assert_eq!(lines.len(), 5); // title + 4 rows
+        assert_eq!(lines[0], "test");
+        for line in &lines[1..] {
+            let cells = line.chars().filter(|&c| c == 'x' || c == '.').count();
+            assert_eq!(cells, 10, "line {line:?}");
+        }
+        // Memory row has an x at positions 2,4,6,8,10.
+        assert!(lines[2].matches('x').count() == 5);
+        // Partial row is empty.
+        assert!(lines[4].matches('x').count() == 0);
+    }
+
+    #[test]
+    fn from_actions_rejects_empty() {
+        assert!(Schedule::from_actions(vec![]).is_err());
+    }
+
+    #[test]
+    fn parse_compact_round_trips_render_compact() {
+        for spec in ["|.pvMD|", "|..........D|", "|MMMMM|", "|pppppppv|"] {
+            let schedule = Schedule::parse_compact(spec).unwrap();
+            assert_eq!(schedule.render_compact(), spec);
+        }
+    }
+
+    #[test]
+    fn parse_compact_ignores_decorations_and_accepts_lowercase() {
+        let a = Schedule::parse_compact("..m..d").unwrap();
+        let b = Schedule::parse_compact("| .. M .. D |").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.action(3), Action::MemoryCheckpoint);
+        assert_eq!(a.action(6), Action::DiskCheckpoint);
+    }
+
+    #[test]
+    fn parse_compact_rejects_unknown_characters_and_empty_input() {
+        match Schedule::parse_compact("..X") {
+            Err(ModelError::InvalidSchedule { position, .. }) => assert_eq!(position, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(Schedule::parse_compact("| |"), Err(ModelError::EmptyChain)));
+    }
+
+    #[test]
+    fn set_and_get_round_trip() {
+        let mut s = Schedule::empty(3);
+        s.set_action(2, Action::PartialVerification);
+        assert_eq!(s.action(2), Action::PartialVerification);
+        assert_eq!(s.action(1), Action::None);
+        assert_eq!(s.actions(), &[Action::None, Action::PartialVerification, Action::None]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests of the model invariants.
+
+use chain2l_model::math;
+use chain2l_model::pattern::WeightPattern;
+use chain2l_model::platform::Platform;
+use chain2l_model::schedule::{Action, Schedule};
+use chain2l_model::{ResilienceCosts, Scenario, TaskChain};
+use proptest::prelude::*;
+
+fn weights_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..10_000.0, 1..64)
+}
+
+fn pattern_strategy() -> impl Strategy<Value = WeightPattern> {
+    prop_oneof![
+        Just(WeightPattern::Uniform),
+        Just(WeightPattern::Decrease),
+        Just(WeightPattern::Increase),
+        (0.01f64..1.0, 0.0f64..1.0).prop_map(|(t, w)| WeightPattern::HighLow {
+            task_fraction: t,
+            weight_fraction: w,
+        }),
+    ]
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        Just(Action::None),
+        Just(Action::PartialVerification),
+        Just(Action::GuaranteedVerification),
+        Just(Action::MemoryCheckpoint),
+        Just(Action::DiskCheckpoint),
+    ]
+}
+
+proptest! {
+    /// Prefix sums are consistent: `W(i,k) = W(i,j) + W(j,k)` and the total is
+    /// the sum of the weights.
+    #[test]
+    fn interval_weights_are_additive(weights in weights_strategy()) {
+        let chain = TaskChain::from_weights(weights.clone()).unwrap();
+        let n = chain.len();
+        let total: f64 = weights.iter().sum();
+        prop_assert!(math::approx_eq(chain.total_weight(), total, 1e-9));
+        // A few random split points are enough; use deterministic thirds.
+        let i = n / 3;
+        let j = 2 * n / 3;
+        prop_assert!(math::approx_eq(
+            chain.interval_weight(0, n),
+            chain.interval_weight(0, i)
+                + chain.interval_weight(i, j)
+                + chain.interval_weight(j, n),
+            1e-9
+        ));
+    }
+
+    /// Every pattern distributes exactly the requested total weight with
+    /// non-negative task weights.
+    #[test]
+    fn patterns_conserve_weight(
+        pattern in pattern_strategy(),
+        n in 1usize..80,
+        total in 0.0f64..1e6,
+    ) {
+        let chain = pattern.generate(n, total).unwrap();
+        prop_assert_eq!(chain.len(), n);
+        prop_assert!(math::approx_eq(chain.total_weight(), total, 1e-6));
+        prop_assert!(chain.weights().iter().all(|w| *w >= 0.0));
+    }
+
+    /// The Decrease pattern is non-increasing and Increase is non-decreasing.
+    #[test]
+    fn monotone_patterns_are_monotone(n in 1usize..60, total in 1.0f64..1e6) {
+        let dec = WeightPattern::Decrease.generate(n, total).unwrap();
+        prop_assert!(dec.weights().windows(2).all(|w| w[0] >= w[1] - 1e-9));
+        let inc = WeightPattern::Increase.generate(n, total).unwrap();
+        prop_assert!(inc.weights().windows(2).all(|w| w[0] <= w[1] + 1e-9));
+    }
+
+    /// Schedule counts are hierarchical and consistent with the positions.
+    #[test]
+    fn schedule_counts_match_positions(actions in proptest::collection::vec(action_strategy(), 1..80)) {
+        let schedule = Schedule::from_actions(actions).unwrap();
+        let counts = schedule.counts();
+        prop_assert_eq!(counts.disk_checkpoints, schedule.disk_checkpoint_positions().len());
+        prop_assert_eq!(counts.memory_checkpoints, schedule.memory_checkpoint_positions().len());
+        prop_assert_eq!(
+            counts.guaranteed_verifications,
+            schedule.guaranteed_verification_positions().len()
+        );
+        prop_assert_eq!(
+            counts.partial_verifications,
+            schedule.partial_verification_positions().len()
+        );
+        prop_assert!(counts.disk_checkpoints <= counts.memory_checkpoints);
+        prop_assert!(counts.memory_checkpoints <= counts.guaranteed_verifications);
+    }
+
+    /// The compact schedule notation round-trips for every schedule.
+    #[test]
+    fn compact_notation_round_trips(actions in proptest::collection::vec(action_strategy(), 1..80)) {
+        let schedule = Schedule::from_actions(actions).unwrap();
+        let compact = schedule.render_compact();
+        let parsed = Schedule::parse_compact(&compact).unwrap();
+        prop_assert_eq!(parsed, schedule);
+    }
+
+    /// `last_*_before` queries agree with the position lists.
+    #[test]
+    fn last_before_queries_are_consistent(
+        actions in proptest::collection::vec(action_strategy(), 1..50),
+        probe in 0usize..50,
+    ) {
+        let schedule = Schedule::from_actions(actions).unwrap();
+        let probe = probe.min(schedule.len());
+        let expected = schedule
+            .memory_checkpoint_positions()
+            .into_iter().rfind(|&p| p <= probe)
+            .unwrap_or(0);
+        prop_assert_eq!(schedule.last_memory_checkpoint_before(probe), expected);
+        let expected = schedule
+            .disk_checkpoint_positions()
+            .into_iter().rfind(|&p| p <= probe)
+            .unwrap_or(0);
+        prop_assert_eq!(schedule.last_disk_checkpoint_before(probe), expected);
+    }
+
+    /// The probabilistic primitives stay within their mathematical bounds for
+    /// arbitrary (positive) rates and work amounts.
+    #[test]
+    fn probability_primitives_are_bounded(
+        lambda in 0.0f64..1e-2,
+        w in 0.0f64..1e6,
+    ) {
+        let p = math::prob_at_least_one(lambda, w);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let t = math::expected_time_lost(lambda, w);
+        prop_assert!(t >= 0.0 && t <= w);
+        let e = math::exp_m1_over_lambda(lambda, w);
+        prop_assert!(e >= w - 1e-9);
+    }
+
+    /// Scenario probability helpers are monotone in the interval length.
+    #[test]
+    fn scenario_probabilities_are_monotone(
+        weights in proptest::collection::vec(1.0f64..5_000.0, 2..30),
+        lambda_f in 1e-9f64..1e-4,
+        lambda_s in 1e-9f64..1e-4,
+    ) {
+        let chain = TaskChain::from_weights(weights).unwrap();
+        let platform = Platform::new("p", 1, lambda_f, lambda_s, 10.0, 1.0).unwrap();
+        let costs = ResilienceCosts::paper_defaults(&platform);
+        let scenario = Scenario::new(chain, platform, costs).unwrap();
+        let n = scenario.task_count();
+        let mut prev = 0.0;
+        for j in 0..=n {
+            let p = scenario.prob_fail_stop(0, j);
+            prop_assert!(p >= prev - 1e-15);
+            prev = p;
+        }
+    }
+}
+
+#[test]
+fn schedule_strips_have_exactly_the_chain_length() {
+    let mut schedule = Schedule::terminal_only(37);
+    schedule.set_action(12, Action::PartialVerification);
+    schedule.set_action(20, Action::MemoryCheckpoint);
+    let strips = schedule.render_strips("len-check");
+    for line in strips.lines().skip(1) {
+        let cells = line.chars().filter(|&c| c == 'x' || c == '.').count();
+        assert_eq!(cells, 37);
+    }
+}

@@ -1,0 +1,229 @@
+//! Adaptive Monte-Carlo campaigns: run replications until the confidence
+//! interval of the mean makespan is tight enough (or a budget is exhausted).
+//!
+//! Fixed replication counts either waste time (easy, low-variance scenarios)
+//! or deliver sloppy intervals (heavy-tailed scenarios with rare but huge
+//! recoveries).  [`run_until_converged`] keeps adding batches of replications
+//! until the 95 % confidence half-width drops below a caller-specified
+//! fraction of the mean.
+
+use crate::distribution::{DistributionCollector, MakespanDistribution};
+use crate::engine::{simulate_with_injector, RunConfig};
+use crate::faults::FaultInjector;
+use crate::stats::{Welford, Z_95};
+use chain2l_model::{ModelError, Scenario, Schedule};
+use serde::{Deserialize, Serialize};
+
+/// Stopping rule and budget of an adaptive campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceConfig {
+    /// Target: stop once `ci_half_width / mean <= target_relative_half_width`.
+    pub target_relative_half_width: f64,
+    /// Replications per batch (the stopping rule is evaluated between batches).
+    pub batch_size: usize,
+    /// Hard cap on the total number of replications.
+    pub max_replications: usize,
+    /// Minimum number of replications before the stopping rule may trigger.
+    pub min_replications: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ConvergenceConfig {
+    fn default() -> Self {
+        Self {
+            target_relative_half_width: 1e-3,
+            batch_size: 1_000,
+            max_replications: 200_000,
+            min_replications: 2_000,
+            seed: 0xc0ffee,
+        }
+    }
+}
+
+/// Outcome of an adaptive campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceReport {
+    /// Whether the target half-width was reached within the budget.
+    pub converged: bool,
+    /// Replications actually run.
+    pub replications: usize,
+    /// Empirical mean makespan.
+    pub mean: f64,
+    /// 95 % confidence half-width at the end of the campaign.
+    pub ci_half_width: f64,
+    /// Relative half-width (`ci_half_width / mean`).
+    pub relative_half_width: f64,
+    /// The full makespan distribution (sorted samples).
+    pub distribution: MakespanDistribution,
+}
+
+/// Runs batches of simulated executions until the confidence target is met or
+/// the replication budget is exhausted.
+///
+/// # Errors
+/// Returns [`ModelError::InvalidSchedule`] for invalid schedules and
+/// [`ModelError::InvalidParameter`] for a non-positive target or batch size.
+pub fn run_until_converged(
+    scenario: &Scenario,
+    schedule: &Schedule,
+    config: ConvergenceConfig,
+) -> Result<ConvergenceReport, ModelError> {
+    schedule.validate(&scenario.chain)?;
+    if config.target_relative_half_width <= 0.0 {
+        return Err(ModelError::InvalidParameter {
+            name: "target_relative_half_width",
+            value: config.target_relative_half_width,
+            expected: "a value > 0",
+        });
+    }
+    if config.batch_size == 0 {
+        return Err(ModelError::InvalidParameter {
+            name: "batch_size",
+            value: 0.0,
+            expected: "at least one replication per batch",
+        });
+    }
+
+    let mut injector = FaultInjector::new(
+        scenario.platform.lambda_fail_stop,
+        scenario.platform.lambda_silent,
+        config.seed,
+    );
+    let run_config = RunConfig::default();
+    let mut stats = Welford::new();
+    let mut collector = DistributionCollector::with_capacity(config.min_replications);
+    let mut converged = false;
+
+    while stats.count() < config.max_replications as u64 {
+        let remaining = config.max_replications - stats.count() as usize;
+        let batch = config.batch_size.min(remaining);
+        for _ in 0..batch {
+            let (result, _) = simulate_with_injector(scenario, schedule, &mut injector, run_config);
+            stats.push(result.makespan);
+            collector.push(result.makespan);
+        }
+        if stats.count() >= config.min_replications as u64 {
+            let half = Z_95 * stats.std_error();
+            if stats.mean() > 0.0 && half / stats.mean() <= config.target_relative_half_width {
+                converged = true;
+                break;
+            }
+        }
+    }
+
+    let mean = stats.mean();
+    let ci_half_width = Z_95 * stats.std_error();
+    Ok(ConvergenceReport {
+        converged,
+        replications: stats.count() as usize,
+        mean,
+        ci_half_width,
+        relative_half_width: if mean > 0.0 { ci_half_width / mean } else { f64::INFINITY },
+        distribution: collector.finish(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chain2l_model::pattern::WeightPattern;
+    use chain2l_model::platform::{scr, Platform};
+    use chain2l_model::{Action, ResilienceCosts, Scenario, Schedule};
+
+    fn hera(n: usize) -> Scenario {
+        Scenario::paper_setup(&scr::hera(), &WeightPattern::Uniform, n, 25_000.0).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_configs_and_schedules() {
+        let s = hera(5);
+        let schedule = Schedule::terminal_only(5);
+        let mut config = ConvergenceConfig::default();
+        config.target_relative_half_width = 0.0;
+        assert!(run_until_converged(&s, &schedule, config).is_err());
+        let mut config = ConvergenceConfig::default();
+        config.batch_size = 0;
+        assert!(run_until_converged(&s, &schedule, config).is_err());
+        assert!(run_until_converged(&s, &Schedule::empty(5), ConvergenceConfig::default()).is_err());
+    }
+
+    #[test]
+    fn deterministic_scenario_converges_immediately() {
+        // Zero error rates: every replication is identical, so the first
+        // stopping-rule evaluation succeeds.
+        let platform = Platform::new("ideal", 1, 0.0, 0.0, 10.0, 1.0).unwrap();
+        let s = Scenario::new(
+            WeightPattern::Uniform.generate(5, 500.0).unwrap(),
+            platform.clone(),
+            ResilienceCosts::paper_defaults(&platform),
+        )
+        .unwrap();
+        let schedule = Schedule::terminal_only(5);
+        let config = ConvergenceConfig {
+            min_replications: 100,
+            batch_size: 100,
+            max_replications: 10_000,
+            ..ConvergenceConfig::default()
+        };
+        let report = run_until_converged(&s, &schedule, config).unwrap();
+        assert!(report.converged);
+        assert_eq!(report.replications, 100);
+        assert_eq!(report.ci_half_width, 0.0);
+        assert_eq!(report.distribution.min(), report.distribution.max());
+    }
+
+    #[test]
+    fn converged_campaign_meets_its_target() {
+        let s = hera(10);
+        let schedule = Schedule::periodic(10, 2, Action::MemoryCheckpoint);
+        let config = ConvergenceConfig {
+            target_relative_half_width: 2e-3,
+            batch_size: 2_000,
+            min_replications: 2_000,
+            max_replications: 100_000,
+            seed: 11,
+        };
+        let report = run_until_converged(&s, &schedule, config).unwrap();
+        assert!(report.converged, "{report:?}");
+        assert!(report.relative_half_width <= 2e-3);
+        assert_eq!(report.distribution.len(), report.replications);
+        assert!(report.mean >= 25_000.0);
+    }
+
+    #[test]
+    fn tiny_budget_reports_non_convergence() {
+        let s = hera(10);
+        let schedule = Schedule::terminal_only(10);
+        let config = ConvergenceConfig {
+            target_relative_half_width: 1e-6, // unreachable with this budget
+            batch_size: 500,
+            min_replications: 500,
+            max_replications: 1_000,
+            seed: 3,
+        };
+        let report = run_until_converged(&s, &schedule, config).unwrap();
+        assert!(!report.converged);
+        assert_eq!(report.replications, 1_000);
+    }
+
+    #[test]
+    fn distribution_quantiles_bracket_the_mean() {
+        let s = hera(10);
+        let schedule = Schedule::periodic(10, 2, Action::MemoryCheckpoint);
+        let config = ConvergenceConfig {
+            target_relative_half_width: 5e-3,
+            batch_size: 2_000,
+            min_replications: 4_000,
+            max_replications: 20_000,
+            seed: 5,
+        };
+        let report = run_until_converged(&s, &schedule, config).unwrap();
+        let p05 = report.distribution.quantile(0.05).unwrap();
+        let p95 = report.distribution.quantile(0.95).unwrap();
+        assert!(p05 <= report.mean && report.mean <= p95, "{p05} {} {p95}", report.mean);
+        // The minimum possible makespan (no error at all) is a hard floor.
+        let floor = 25_000.0 + schedule.total_action_cost(&s.costs);
+        assert!(report.distribution.min().unwrap() >= floor - 1e-6);
+    }
+}

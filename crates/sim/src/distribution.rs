@@ -1,0 +1,240 @@
+//! Makespan distributions: histograms and percentiles over replications.
+//!
+//! Expected values (what the optimizer minimises) hide the tail behaviour a
+//! facility operator cares about — "what is the 99th-percentile completion
+//! time of this campaign?".  [`DistributionCollector`] keeps every observed
+//! makespan, and [`MakespanDistribution`] answers percentile queries and
+//! renders a coarse text histogram.
+
+use serde::{Deserialize, Serialize};
+
+/// Collects raw observations (one per replication).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DistributionCollector {
+    samples: Vec<f64>,
+}
+
+impl DistributionCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a collector expecting roughly `capacity` samples.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { samples: Vec::with_capacity(capacity) }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, makespan: f64) {
+        self.samples.push(makespan);
+    }
+
+    /// Merges another collector into this one.
+    pub fn merge(&mut self, other: &DistributionCollector) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Number of observations collected so far.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no observation has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Freezes the collector into a queryable distribution (sorts the samples).
+    pub fn finish(mut self) -> MakespanDistribution {
+        self.samples.sort_by(|a, b| a.partial_cmp(b).expect("makespans are finite"));
+        MakespanDistribution { sorted: self.samples }
+    }
+}
+
+/// A frozen, sorted sample of makespans.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MakespanDistribution {
+    sorted: Vec<f64>,
+}
+
+impl MakespanDistribution {
+    /// Builds a distribution directly from raw samples.
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        DistributionCollector { samples }.finish()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the distribution holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Smallest observed makespan (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Largest observed makespan.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        chain2l_model::math::mean(&self.sorted)
+    }
+
+    /// Percentile by linear interpolation between order statistics
+    /// (`q ∈ [0, 1]`); `None` when the distribution is empty.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        if self.sorted.len() == 1 {
+            return Some(self.sorted[0]);
+        }
+        let position = q * (self.sorted.len() - 1) as f64;
+        let lower = position.floor() as usize;
+        let upper = position.ceil() as usize;
+        let weight = position - lower as f64;
+        Some(self.sorted[lower] * (1.0 - weight) + self.sorted[upper] * weight)
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Fraction of runs whose makespan does not exceed `deadline`.
+    pub fn probability_within(&self, deadline: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let hit = self.sorted.partition_point(|&x| x <= deadline);
+        hit as f64 / self.sorted.len() as f64
+    }
+
+    /// Renders a coarse text histogram with `bins` equal-width bins.
+    pub fn histogram(&self, bins: usize) -> String {
+        assert!(bins > 0, "need at least one bin");
+        if self.sorted.is_empty() {
+            return String::from("(no samples)\n");
+        }
+        let min = self.min().expect("non-empty");
+        let max = self.max().expect("non-empty");
+        let width = ((max - min) / bins as f64).max(f64::MIN_POSITIVE);
+        let mut counts = vec![0usize; bins];
+        for &x in &self.sorted {
+            let mut idx = ((x - min) / width) as usize;
+            if idx >= bins {
+                idx = bins - 1;
+            }
+            counts[idx] += 1;
+        }
+        let tallest = counts.iter().copied().max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for (i, &count) in counts.iter().enumerate() {
+            let low = min + i as f64 * width;
+            let high = low + width;
+            let bar_len = (count * 50).div_ceil(tallest);
+            out.push_str(&format!(
+                "{low:>12.1} – {high:>12.1} | {:<50} {count}\n",
+                "#".repeat(bar_len)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_samples(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 100.0 + i as f64).collect()
+    }
+
+    #[test]
+    fn collector_accumulates_and_merges() {
+        let mut a = DistributionCollector::with_capacity(4);
+        a.push(3.0);
+        a.push(1.0);
+        let mut b = DistributionCollector::new();
+        b.push(2.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        let d = a.finish();
+        assert_eq!(d.min(), Some(1.0));
+        assert_eq!(d.max(), Some(3.0));
+        assert_eq!(d.median(), Some(2.0));
+    }
+
+    #[test]
+    fn quantiles_interpolate_linearly() {
+        let d = MakespanDistribution::from_samples(uniform_samples(101));
+        assert_eq!(d.quantile(0.0), Some(100.0));
+        assert_eq!(d.quantile(1.0), Some(200.0));
+        assert!((d.quantile(0.5).unwrap() - 150.0).abs() < 1e-12);
+        assert!((d.quantile(0.95).unwrap() - 195.0).abs() < 1e-12);
+        assert!((d.quantile(0.995).unwrap() - 199.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        assert_eq!(MakespanDistribution::from_samples(vec![]).quantile(0.5), None);
+        assert_eq!(MakespanDistribution::from_samples(vec![42.0]).quantile(0.9), Some(42.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_rejects_out_of_range() {
+        let _ = MakespanDistribution::from_samples(vec![1.0]).quantile(1.5);
+    }
+
+    #[test]
+    fn probability_within_deadline() {
+        let d = MakespanDistribution::from_samples(uniform_samples(100)); // 100..=199
+        assert_eq!(d.probability_within(99.0), 0.0);
+        assert_eq!(d.probability_within(1_000.0), 1.0);
+        assert!((d.probability_within(149.5) - 0.5).abs() < 0.01);
+        assert_eq!(MakespanDistribution::from_samples(vec![]).probability_within(1.0), 0.0);
+    }
+
+    #[test]
+    fn mean_matches_expected() {
+        let d = MakespanDistribution::from_samples(uniform_samples(11));
+        assert!((d.mean() - 105.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_covers_all_samples_and_scales_bars() {
+        let d = MakespanDistribution::from_samples(uniform_samples(1000));
+        let h = d.histogram(10);
+        let lines: Vec<&str> = h.lines().collect();
+        assert_eq!(lines.len(), 10);
+        let total: usize = lines
+            .iter()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<usize>().unwrap())
+            .sum();
+        assert_eq!(total, 1000);
+        assert!(lines.iter().any(|l| l.contains("##")));
+    }
+
+    #[test]
+    fn histogram_handles_degenerate_distributions() {
+        let d = MakespanDistribution::from_samples(vec![5.0; 20]);
+        let h = d.histogram(4);
+        assert!(h.contains("20"));
+        let empty = MakespanDistribution::from_samples(vec![]);
+        assert!(empty.histogram(4).contains("no samples"));
+    }
+}

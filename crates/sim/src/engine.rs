@@ -1,0 +1,423 @@
+//! The simulation engine: executes one run of a schedule under injected errors.
+//!
+//! The engine walks the chain task by task and applies exactly the execution
+//! model of §II of the paper:
+//!
+//! * computation is interrupted by **fail-stop errors** (Poisson, rate `λ_f`):
+//!   the time spent since the last committed boundary is lost, a disk recovery
+//!   `R_D` is paid (zero when rolling back to the virtual task `T0`), the last
+//!   in-memory checkpoint is lost, and execution resumes after the last disk
+//!   checkpoint;
+//! * **silent errors** (Poisson, rate `λ_s`) corrupt the data without any
+//!   immediate symptom; they are caught by the next verification —
+//!   a *partial* verification detects an existing corruption with probability
+//!   `r`, a *guaranteed* one always does — after which a memory recovery
+//!   `R_M` is paid and execution resumes after the last memory checkpoint;
+//! * checkpoints, verifications and recoveries are failure-free (as assumed by
+//!   the paper), and corrupted data is never checkpointed because every
+//!   memory checkpoint is preceded by a guaranteed verification.
+
+use crate::faults::FaultInjector;
+use crate::trace::{SimEvent, Trace};
+use chain2l_model::{ModelError, Scenario, Schedule};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one simulated execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Total wall-clock time of the run (seconds).
+    pub makespan: f64,
+    /// Number of fail-stop errors experienced.
+    pub fail_stop_errors: usize,
+    /// Number of silent errors injected.
+    pub silent_errors: usize,
+    /// Number of rollbacks to a memory checkpoint.
+    pub memory_rollbacks: usize,
+    /// Number of rollbacks to a disk checkpoint.
+    pub disk_rollbacks: usize,
+    /// Number of partial verifications that missed an existing corruption.
+    pub partial_misses: usize,
+    /// Seconds of computation that had to be re-executed (work executed more
+    /// than once) plus work lost to interrupted attempts.
+    pub wasted_work: f64,
+    /// Seconds spent in checkpoints, verifications and recoveries.
+    pub resilience_overhead: f64,
+}
+
+/// Configuration of a single simulated run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// RNG seed for fault injection.
+    pub seed: u64,
+    /// Whether to record a full [`Trace`].
+    pub record_trace: bool,
+    /// Safety valve: abort the run (panic) after this many task attempts, so a
+    /// mis-configured scenario cannot loop forever.  The default
+    /// (1 000 000) is far beyond anything the paper's parameters produce.
+    pub max_task_attempts: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self { seed: 0, record_trace: false, max_task_attempts: 1_000_000 }
+    }
+}
+
+impl RunConfig {
+    /// Convenience constructor with just a seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+}
+
+/// Simulates one execution of `schedule` on `scenario`.
+///
+/// Returns the run outcome and, when requested, the full event trace.
+///
+/// # Errors
+/// Returns [`ModelError::InvalidSchedule`] when the schedule is not valid for
+/// the scenario's chain.
+pub fn simulate_run(
+    scenario: &Scenario,
+    schedule: &Schedule,
+    config: RunConfig,
+) -> Result<(RunResult, Trace), ModelError> {
+    schedule.validate(&scenario.chain)?;
+    let mut injector = FaultInjector::new(
+        scenario.platform.lambda_fail_stop,
+        scenario.platform.lambda_silent,
+        config.seed,
+    );
+    Ok(simulate_with_injector(scenario, schedule, &mut injector, config))
+}
+
+/// Simulates one execution using a caller-provided injector (the Monte-Carlo
+/// runner reuses one injector across replications on each worker thread).
+pub fn simulate_with_injector(
+    scenario: &Scenario,
+    schedule: &Schedule,
+    injector: &mut FaultInjector,
+    config: RunConfig,
+) -> (RunResult, Trace) {
+    let n = scenario.task_count();
+    let costs = &scenario.costs;
+    let mut trace = Trace::new();
+    let record = |trace: &mut Trace, time: f64, event: SimEvent| {
+        if config.record_trace {
+            trace.record(time, event);
+        }
+    };
+
+    let mut clock = 0.0f64;
+    let mut result = RunResult {
+        makespan: 0.0,
+        fail_stop_errors: 0,
+        silent_errors: 0,
+        memory_rollbacks: 0,
+        disk_rollbacks: 0,
+        partial_misses: 0,
+        wasted_work: 0.0,
+        resilience_overhead: 0.0,
+    };
+
+    // Boundary of the last committed (successfully executed) task.
+    let mut position = 0usize;
+    // Boundaries of the last disk / memory checkpoints still available.
+    let mut last_disk = 0usize;
+    let mut last_mem = 0usize;
+    // Whether an undetected silent error is present in the current data.
+    let mut corrupted = false;
+    // Work already committed once (to account re-executions as waste).
+    let mut committed_work = 0.0f64;
+
+    let mut attempts = 0u64;
+    while position < n {
+        attempts += 1;
+        assert!(
+            attempts <= config.max_task_attempts,
+            "simulation exceeded {} task attempts (position {position}/{n}); \
+             the scenario parameters make progress virtually impossible",
+            config.max_task_attempts
+        );
+
+        let task = position + 1;
+        let weight = scenario.chain.weight(task);
+
+        // Fail-stop error during this task's computation?
+        let fail_at = injector.next_fail_stop();
+        if fail_at < weight {
+            clock += fail_at;
+            result.fail_stop_errors += 1;
+            result.wasted_work += fail_at;
+            record(&mut trace, clock, SimEvent::FailStop { index: task, elapsed: fail_at });
+            // Disk recovery: memory content (and any pending corruption) is lost.
+            let recovery = scenario.disk_recovery_cost(last_disk);
+            clock += recovery;
+            result.resilience_overhead += recovery;
+            result.disk_rollbacks += 1;
+            record(&mut trace, clock, SimEvent::DiskRollback { to_boundary: last_disk });
+            // Work committed after the disk checkpoint must be redone.
+            let redo = scenario.work(last_disk, position);
+            result.wasted_work += redo;
+            committed_work -= redo;
+            position = last_disk;
+            last_mem = last_disk;
+            corrupted = false;
+            continue;
+        }
+
+        // The task completes (possibly with a silent corruption).
+        clock += weight;
+        committed_work += weight;
+        let silent_at = injector.next_silent();
+        if silent_at < weight {
+            corrupted = true;
+            result.silent_errors += 1;
+            record(&mut trace, clock, SimEvent::SilentError { index: task });
+        }
+        record(&mut trace, clock, SimEvent::TaskCompleted { index: task });
+        position = task;
+
+        // Apply the scheduled action at this boundary.
+        let action = schedule.action(position);
+        if action.has_guaranteed_verification() {
+            clock += costs.guaranteed_verification;
+            result.resilience_overhead += costs.guaranteed_verification;
+            record(
+                &mut trace,
+                clock,
+                SimEvent::GuaranteedVerification { boundary: position, detected: corrupted },
+            );
+            if corrupted {
+                let recovery = scenario.memory_recovery_cost(last_mem);
+                clock += recovery;
+                result.resilience_overhead += recovery;
+                result.memory_rollbacks += 1;
+                record(&mut trace, clock, SimEvent::MemoryRollback { to_boundary: last_mem });
+                let redo = scenario.work(last_mem, position);
+                result.wasted_work += redo;
+                committed_work -= redo;
+                position = last_mem;
+                corrupted = false;
+                continue;
+            }
+            if action.has_memory_checkpoint() {
+                clock += costs.memory_checkpoint;
+                result.resilience_overhead += costs.memory_checkpoint;
+                last_mem = position;
+                record(&mut trace, clock, SimEvent::MemoryCheckpoint { boundary: position });
+            }
+            if action.has_disk_checkpoint() {
+                clock += costs.disk_checkpoint;
+                result.resilience_overhead += costs.disk_checkpoint;
+                last_disk = position;
+                record(&mut trace, clock, SimEvent::DiskCheckpoint { boundary: position });
+            }
+        } else if action.has_partial_verification() {
+            clock += costs.partial_verification;
+            result.resilience_overhead += costs.partial_verification;
+            let detected = corrupted && injector.detect_with_probability(costs.partial_recall);
+            record(
+                &mut trace,
+                clock,
+                SimEvent::PartialVerification { boundary: position, detected, corrupted },
+            );
+            if corrupted && !detected {
+                result.partial_misses += 1;
+            }
+            if detected {
+                let recovery = scenario.memory_recovery_cost(last_mem);
+                clock += recovery;
+                result.resilience_overhead += recovery;
+                result.memory_rollbacks += 1;
+                record(&mut trace, clock, SimEvent::MemoryRollback { to_boundary: last_mem });
+                let redo = scenario.work(last_mem, position);
+                result.wasted_work += redo;
+                committed_work -= redo;
+                position = last_mem;
+                corrupted = false;
+                continue;
+            }
+        }
+    }
+
+    debug_assert!(!corrupted, "the terminal guaranteed verification cannot be bypassed");
+    debug_assert!(
+        (committed_work - scenario.chain.total_weight()).abs() < 1e-6,
+        "committed work {committed_work} != total weight"
+    );
+    record(&mut trace, clock, SimEvent::Completed);
+    result.makespan = clock;
+    (result, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chain2l_model::pattern::WeightPattern;
+    use chain2l_model::platform::{scr, Platform};
+    use chain2l_model::{Action, ResilienceCosts, Scenario, Schedule};
+
+    fn scenario(platform: &Platform, n: usize, total: f64) -> Scenario {
+        Scenario::paper_setup(platform, &WeightPattern::Uniform, n, total).unwrap()
+    }
+
+    #[test]
+    fn error_free_run_is_work_plus_action_costs() {
+        let platform = Platform::new("ideal", 1, 0.0, 0.0, 100.0, 10.0).unwrap();
+        let s = Scenario::new(
+            WeightPattern::Uniform.generate(10, 5_000.0).unwrap(),
+            platform.clone(),
+            ResilienceCosts::paper_defaults(&platform),
+        )
+        .unwrap();
+        let schedule = Schedule::periodic(10, 2, Action::MemoryCheckpoint);
+        let (result, trace) = simulate_run(&s, &schedule, RunConfig::with_seed(1)).unwrap();
+        let expected = 5_000.0 + schedule.total_action_cost(&s.costs);
+        assert!((result.makespan - expected).abs() < 1e-9);
+        assert_eq!(result.fail_stop_errors, 0);
+        assert_eq!(result.silent_errors, 0);
+        assert_eq!(result.wasted_work, 0.0);
+        assert!(!trace.completed(), "trace not recorded unless requested");
+    }
+
+    #[test]
+    fn trace_is_recorded_when_requested_and_well_formed() {
+        let s = scenario(&scr::hera(), 20, 25_000.0);
+        let schedule = Schedule::periodic(20, 4, Action::MemoryCheckpoint);
+        let config = RunConfig { seed: 3, record_trace: true, ..RunConfig::default() };
+        let (result, trace) = simulate_run(&s, &schedule, config).unwrap();
+        assert!(trace.completed());
+        assert!(trace.is_well_formed());
+        assert!(trace.task_completions() >= 20);
+        assert!(result.makespan >= 25_000.0);
+    }
+
+    #[test]
+    fn rejects_invalid_schedules() {
+        let s = scenario(&scr::hera(), 5, 1000.0);
+        assert!(simulate_run(&s, &Schedule::empty(5), RunConfig::default()).is_err());
+        assert!(simulate_run(&s, &Schedule::terminal_only(4), RunConfig::default()).is_err());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let s = scenario(&scr::atlas(), 30, 25_000.0);
+        let schedule = Schedule::periodic(30, 5, Action::MemoryCheckpoint);
+        let a = simulate_run(&s, &schedule, RunConfig::with_seed(42)).unwrap().0;
+        let b = simulate_run(&s, &schedule, RunConfig::with_seed(42)).unwrap().0;
+        assert_eq!(a, b);
+        let c = simulate_run(&s, &schedule, RunConfig::with_seed(43)).unwrap().0;
+        assert!(a != c || a.fail_stop_errors == 0);
+    }
+
+    #[test]
+    fn makespan_is_at_least_total_weight_plus_terminal_actions() {
+        let s = scenario(&scr::coastal(), 15, 25_000.0);
+        let schedule = Schedule::terminal_only(15);
+        for seed in 0..50 {
+            let (r, _) = simulate_run(&s, &schedule, RunConfig::with_seed(seed)).unwrap();
+            let floor = 25_000.0 + s.costs.guaranteed_verification + s.costs.memory_checkpoint
+                + s.costs.disk_checkpoint;
+            assert!(r.makespan >= floor - 1e-9, "seed {seed}: {}", r.makespan);
+        }
+    }
+
+    #[test]
+    fn high_fail_stop_rate_causes_disk_rollbacks_and_waste() {
+        // MTBF = 200 s with 10 tasks of 100 s each: failures are essentially
+        // guaranteed over the run.
+        let platform = Platform::new("crashy", 1, 5e-3, 0.0, 10.0, 1.0).unwrap();
+        let s = Scenario::new(
+            WeightPattern::Uniform.generate(10, 1_000.0).unwrap(),
+            platform.clone(),
+            ResilienceCosts::paper_defaults(&platform),
+        )
+        .unwrap();
+        let schedule = Schedule::every_task(10, Action::DiskCheckpoint);
+        let mut total_failures = 0;
+        for seed in 0..20 {
+            let (r, _) = simulate_run(&s, &schedule, RunConfig::with_seed(seed)).unwrap();
+            total_failures += r.fail_stop_errors;
+            assert_eq!(r.memory_rollbacks, 0, "no silent errors injected");
+            assert_eq!(r.disk_rollbacks, r.fail_stop_errors);
+            if r.fail_stop_errors > 0 {
+                assert!(r.wasted_work > 0.0);
+            }
+        }
+        assert!(total_failures > 20, "expected many failures, got {total_failures}");
+    }
+
+    #[test]
+    fn silent_errors_are_always_caught_before_completion() {
+        // Pure silent-error platform with partial verifications of recall 0.5:
+        // misses happen, but the terminal guaranteed verification always cleans
+        // up, so every run completes with all work committed.
+        let platform = Platform::new("sdc", 1, 0.0, 2e-3, 10.0, 1.0).unwrap();
+        let chain = WeightPattern::Uniform.generate(10, 2_000.0).unwrap();
+        let costs = ResilienceCosts::builder(&platform).partial_recall(0.5).build().unwrap();
+        let s = Scenario::new(chain, platform, costs).unwrap();
+        let mut schedule = Schedule::periodic(10, 5, Action::MemoryCheckpoint);
+        for p in [1usize, 2, 3, 4, 6, 7, 8, 9] {
+            schedule.set_action(p, Action::PartialVerification);
+        }
+        let mut saw_miss = false;
+        let mut saw_detection = false;
+        for seed in 0..200 {
+            let config = RunConfig { seed, record_trace: true, ..RunConfig::default() };
+            let (r, trace) = simulate_run(&s, &schedule, config).unwrap();
+            assert!(trace.completed());
+            saw_miss |= r.partial_misses > 0;
+            saw_detection |= r.memory_rollbacks > 0;
+            if r.silent_errors > 0 {
+                // Every injected silent error must eventually trigger a
+                // memory rollback (possibly after several misses).
+                assert!(r.memory_rollbacks > 0, "seed {seed}: {r:?}");
+            }
+        }
+        assert!(saw_miss, "recall 0.5 should produce at least one miss in 200 runs");
+        assert!(saw_detection);
+    }
+
+    #[test]
+    fn memory_checkpoints_limit_silent_rollback_distance() {
+        // With a memory checkpoint after every task, a detected silent error
+        // can only waste one task of work.
+        let platform = Platform::new("sdc", 1, 0.0, 1e-3, 10.0, 1.0).unwrap();
+        let s = Scenario::new(
+            WeightPattern::Uniform.generate(10, 1_000.0).unwrap(),
+            platform.clone(),
+            ResilienceCosts::paper_defaults(&platform),
+        )
+        .unwrap();
+        let schedule = Schedule::every_task(10, Action::MemoryCheckpoint);
+        // Wait: every_task(MemoryCheckpoint) has no terminal disk checkpoint,
+        // which is still a valid schedule (final boundary carries a guaranteed
+        // verification through the memory checkpoint).
+        for seed in 0..100 {
+            let (r, _) = simulate_run(&s, &schedule, RunConfig::with_seed(seed)).unwrap();
+            // Wasted work from silent errors is at most one task (100 s) per
+            // rollback.
+            assert!(
+                r.wasted_work <= 100.0 * r.memory_rollbacks as f64 + 1e-9,
+                "seed {seed}: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "task attempts")]
+    fn attempt_limit_guards_against_livelock() {
+        // A pathological platform where every task attempt fails.
+        let platform = Platform::new("hopeless", 1, 10.0, 0.0, 0.0, 0.0).unwrap();
+        let s = Scenario::new(
+            WeightPattern::Uniform.generate(2, 100.0).unwrap(),
+            platform.clone(),
+            ResilienceCosts::paper_defaults(&platform),
+        )
+        .unwrap();
+        let schedule = Schedule::terminal_only(2);
+        let config = RunConfig { seed: 1, record_trace: false, max_task_attempts: 1000 };
+        let _ = simulate_run(&s, &schedule, config);
+    }
+}

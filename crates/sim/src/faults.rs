@@ -1,0 +1,132 @@
+//! Fault injection: sampling fail-stop and silent error arrivals.
+//!
+//! Both error sources are Poisson processes (§II of the paper), so inter-
+//! arrival times are exponential and the process is memoryless: the simulator
+//! samples a fresh arrival for every execution attempt of a work segment.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples exponential arrival times for the two error processes.
+///
+/// A rate of `0` means the corresponding error source never fires
+/// (arrival time `+∞`).
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    lambda_fail_stop: f64,
+    lambda_silent: f64,
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// Creates an injector with the given rates and RNG seed.
+    pub fn new(lambda_fail_stop: f64, lambda_silent: f64, seed: u64) -> Self {
+        assert!(lambda_fail_stop >= 0.0 && lambda_fail_stop.is_finite());
+        assert!(lambda_silent >= 0.0 && lambda_silent.is_finite());
+        Self { lambda_fail_stop, lambda_silent, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Fail-stop error rate (per second).
+    pub fn lambda_fail_stop(&self) -> f64 {
+        self.lambda_fail_stop
+    }
+
+    /// Silent error rate (per second).
+    pub fn lambda_silent(&self) -> f64 {
+        self.lambda_silent
+    }
+
+    /// Samples the time (seconds from now) of the next fail-stop error.
+    pub fn next_fail_stop(&mut self) -> f64 {
+        Self::sample_exponential(&mut self.rng, self.lambda_fail_stop)
+    }
+
+    /// Samples the time (seconds from now) of the next silent error.
+    pub fn next_silent(&mut self) -> f64 {
+        Self::sample_exponential(&mut self.rng, self.lambda_silent)
+    }
+
+    /// Bernoulli draw with probability `p` (used for partial-verification recall).
+    pub fn detect_with_probability(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.rng.gen::<f64>() < p
+    }
+
+    /// Inverse-CDF sampling of an exponential with rate `lambda`.
+    fn sample_exponential(rng: &mut StdRng, lambda: f64) -> f64 {
+        if lambda == 0.0 {
+            return f64::INFINITY;
+        }
+        // Use 1 − U ∈ (0, 1] so ln never sees 0.
+        let u: f64 = rng.gen::<f64>();
+        -(1.0 - u).ln() / lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let mut inj = FaultInjector::new(0.0, 0.0, 42);
+        for _ in 0..100 {
+            assert!(inj.next_fail_stop().is_infinite());
+            assert!(inj.next_silent().is_infinite());
+        }
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let mut a = FaultInjector::new(1e-5, 2e-5, 7);
+        let mut b = FaultInjector::new(1e-5, 2e-5, 7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_fail_stop(), b.next_fail_stop());
+            assert_eq!(a.next_silent(), b.next_silent());
+            assert_eq!(a.detect_with_probability(0.8), b.detect_with_probability(0.8));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = FaultInjector::new(1e-5, 2e-5, 1);
+        let mut b = FaultInjector::new(1e-5, 2e-5, 2);
+        let same = (0..100).filter(|_| a.next_fail_stop() == b.next_fail_stop()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let lambda = 1e-3;
+        let mut inj = FaultInjector::new(lambda, 0.0, 12345);
+        let n = 200_000usize;
+        let mean: f64 = (0..n).map(|_| inj.next_fail_stop()).sum::<f64>() / n as f64;
+        let expected = 1.0 / lambda;
+        assert!(
+            (mean - expected).abs() < 0.02 * expected,
+            "empirical mean {mean}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn exponential_samples_are_positive() {
+        let mut inj = FaultInjector::new(0.5, 0.5, 99);
+        for _ in 0..10_000 {
+            let t = inj.next_fail_stop();
+            assert!(t >= 0.0 && t.is_finite());
+        }
+    }
+
+    #[test]
+    fn detection_probability_is_respected() {
+        let mut inj = FaultInjector::new(1e-5, 1e-5, 2024);
+        let trials = 100_000;
+        let hits = (0..trials).filter(|_| inj.detect_with_probability(0.8)).count();
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 0.8).abs() < 0.01, "empirical recall {rate}");
+        let hits = (0..trials).filter(|_| inj.detect_with_probability(1.0)).count();
+        assert_eq!(hits, trials);
+        let hits = (0..trials).filter(|_| inj.detect_with_probability(0.0)).count();
+        assert_eq!(hits, 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Execution traces: what happened during one simulated run.
+//!
+//! The simulation engine can optionally record every event with its timestamp.
+//! Traces are used by tests (to check the execution semantics) and by the CLI
+//! (`chain2l simulate --trace`) to explain where time went.
+
+use serde::{Deserialize, Serialize};
+
+/// One event of a simulated execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SimEvent {
+    /// Task `index` finished its computation (this attempt).
+    TaskCompleted {
+        /// 1-based task index.
+        index: usize,
+    },
+    /// A fail-stop error interrupted task `index` after `elapsed` seconds of
+    /// (re-)execution of that task.
+    FailStop {
+        /// 1-based task index being executed when the error struck.
+        index: usize,
+        /// Seconds of the current task attempt that were lost.
+        elapsed: f64,
+    },
+    /// A silent error corrupted the data while executing task `index`.
+    SilentError {
+        /// 1-based task index being executed when the corruption occurred.
+        index: usize,
+    },
+    /// A partial verification at boundary `boundary` ran; `detected` tells
+    /// whether it caught an existing corruption (always `false` when the data
+    /// was clean).
+    PartialVerification {
+        /// Boundary (1-based task index) where the verification ran.
+        boundary: usize,
+        /// Whether a corruption was present and detected.
+        detected: bool,
+        /// Whether a corruption was present at all.
+        corrupted: bool,
+    },
+    /// A guaranteed verification at `boundary`; `detected` is true iff the
+    /// data was corrupted (guaranteed verifications never miss).
+    GuaranteedVerification {
+        /// Boundary where the verification ran.
+        boundary: usize,
+        /// Whether a corruption was present (and therefore detected).
+        detected: bool,
+    },
+    /// A memory checkpoint was taken at `boundary`.
+    MemoryCheckpoint {
+        /// Boundary where the checkpoint was taken.
+        boundary: usize,
+    },
+    /// A disk checkpoint was taken at `boundary`.
+    DiskCheckpoint {
+        /// Boundary where the checkpoint was taken.
+        boundary: usize,
+    },
+    /// Rollback to the memory checkpoint at `to_boundary` (silent error detected).
+    MemoryRollback {
+        /// Boundary of the memory checkpoint restored.
+        to_boundary: usize,
+    },
+    /// Rollback to the disk checkpoint at `to_boundary` (fail-stop error).
+    DiskRollback {
+        /// Boundary of the disk checkpoint restored.
+        to_boundary: usize,
+    },
+    /// The application completed with verified-correct output.
+    Completed,
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Simulation clock (seconds) when the event was recorded.
+    pub time: f64,
+    /// The event.
+    pub event: SimEvent,
+}
+
+/// A full execution trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event at simulation time `time`.
+    pub fn record(&mut self, time: f64, event: SimEvent) {
+        self.entries.push(TraceEntry { time, event });
+    }
+
+    /// All entries in chronological order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of fail-stop errors experienced.
+    pub fn fail_stop_count(&self) -> usize {
+        self.count(|e| matches!(e, SimEvent::FailStop { .. }))
+    }
+
+    /// Number of silent errors injected.
+    pub fn silent_error_count(&self) -> usize {
+        self.count(|e| matches!(e, SimEvent::SilentError { .. }))
+    }
+
+    /// Number of rollbacks to a memory checkpoint.
+    pub fn memory_rollback_count(&self) -> usize {
+        self.count(|e| matches!(e, SimEvent::MemoryRollback { .. }))
+    }
+
+    /// Number of rollbacks to a disk checkpoint.
+    pub fn disk_rollback_count(&self) -> usize {
+        self.count(|e| matches!(e, SimEvent::DiskRollback { .. }))
+    }
+
+    /// Number of partial verifications that missed an existing corruption.
+    pub fn partial_misses(&self) -> usize {
+        self.count(|e| {
+            matches!(
+                e,
+                SimEvent::PartialVerification { corrupted: true, detected: false, .. }
+            )
+        })
+    }
+
+    /// Number of task completions (including re-executions).
+    pub fn task_completions(&self) -> usize {
+        self.count(|e| matches!(e, SimEvent::TaskCompleted { .. }))
+    }
+
+    /// Whether the run completed.
+    pub fn completed(&self) -> bool {
+        self.count(|e| matches!(e, SimEvent::Completed)) > 0
+    }
+
+    fn count(&self, pred: impl Fn(&SimEvent) -> bool) -> usize {
+        self.entries.iter().filter(|t| pred(&t.event)).count()
+    }
+
+    /// Checks chronological and structural consistency:
+    /// timestamps are non-decreasing, and at most one `Completed` event exists
+    /// (as the final entry).
+    pub fn is_well_formed(&self) -> bool {
+        let mut prev = 0.0f64;
+        for (i, entry) in self.entries.iter().enumerate() {
+            if entry.time + 1e-9 < prev {
+                return false;
+            }
+            prev = entry.time;
+            if matches!(entry.event, SimEvent::Completed) && i + 1 != self.entries.len() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_reflect_recorded_events() {
+        let mut t = Trace::new();
+        t.record(0.0, SimEvent::SilentError { index: 1 });
+        t.record(1.0, SimEvent::TaskCompleted { index: 1 });
+        t.record(2.0, SimEvent::PartialVerification { boundary: 1, detected: false, corrupted: true });
+        t.record(3.0, SimEvent::TaskCompleted { index: 2 });
+        t.record(4.0, SimEvent::GuaranteedVerification { boundary: 2, detected: true });
+        t.record(4.5, SimEvent::MemoryRollback { to_boundary: 0 });
+        t.record(9.0, SimEvent::FailStop { index: 1, elapsed: 0.5 });
+        t.record(9.5, SimEvent::DiskRollback { to_boundary: 0 });
+        t.record(20.0, SimEvent::Completed);
+
+        assert_eq!(t.len(), 9);
+        assert_eq!(t.fail_stop_count(), 1);
+        assert_eq!(t.silent_error_count(), 1);
+        assert_eq!(t.memory_rollback_count(), 1);
+        assert_eq!(t.disk_rollback_count(), 1);
+        assert_eq!(t.partial_misses(), 1);
+        assert_eq!(t.task_completions(), 2);
+        assert!(t.completed());
+        assert!(t.is_well_formed());
+    }
+
+    #[test]
+    fn empty_trace_is_well_formed() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert!(t.is_well_formed());
+        assert!(!t.completed());
+    }
+
+    #[test]
+    fn out_of_order_timestamps_are_rejected() {
+        let mut t = Trace::new();
+        t.record(5.0, SimEvent::TaskCompleted { index: 1 });
+        t.record(4.0, SimEvent::TaskCompleted { index: 2 });
+        assert!(!t.is_well_formed());
+    }
+
+    #[test]
+    fn completed_must_be_last() {
+        let mut t = Trace::new();
+        t.record(1.0, SimEvent::Completed);
+        t.record(2.0, SimEvent::TaskCompleted { index: 1 });
+        assert!(!t.is_well_formed());
+    }
+}

@@ -1,0 +1,229 @@
+//! End-to-end tests across the optimizer and the runtime executor:
+//! the schedule computed by `chain2l-core` is handed to `chain2l-exec`, which
+//! runs a real computation with real snapshots under injected faults, and the
+//! final result must equal the fault-free reference.
+
+use chain2l::exec::{
+    ExecError, Executor, FaultDecision, InvariantDetector, Pipeline, PoissonFaults,
+    SampledDetector, ScriptedFaults, Snapshot, TaskSpec,
+};
+use chain2l::prelude::*;
+
+/// The test workload: a running sum pipeline over a vector.  Each task adds
+/// `i + 1` to every element, so after `n` tasks every element equals
+/// `n (n + 1) / 2` — easy to verify and any corruption breaks the all-equal
+/// invariant.
+fn pipeline(n: usize) -> Pipeline<Vec<f64>> {
+    let mut p = Pipeline::new();
+    for i in 0..n {
+        let increment = (i + 1) as f64;
+        p.push(TaskSpec::new(format!("add-{}", i + 1), 500.0, move |state: &mut Vec<f64>| {
+            for x in state.iter_mut() {
+                *x += increment;
+            }
+        }));
+    }
+    p
+}
+
+fn expected_value(n: usize) -> f64 {
+    (n * (n + 1) / 2) as f64
+}
+
+fn all_equal_detector() -> InvariantDetector<Vec<f64>> {
+    InvariantDetector::new(|s: &Vec<f64>| s.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9))
+}
+
+fn corrupt(state: &mut Vec<f64>) {
+    state[0] += 12345.0;
+}
+
+/// Builds the scenario the optimizer sees for an `n`-task, 500 s/task pipeline.
+fn scenario_for(n: usize, platform: &Platform) -> Scenario {
+    let chain = TaskChain::from_weights(vec![500.0; n]).expect("valid weights");
+    let costs = ResilienceCosts::paper_defaults(platform);
+    Scenario::new(chain, platform.clone(), costs).expect("valid scenario")
+}
+
+#[test]
+fn optimizer_schedule_runs_cleanly_without_faults() {
+    let n = 20;
+    let scenario = scenario_for(n, &scr::hera());
+    let solution = optimize(&scenario, Algorithm::TwoLevel);
+    let mut executor = Executor::builder(pipeline(n), solution.schedule.clone())
+        .guaranteed_detector(all_equal_detector())
+        .build()
+        .expect("schedule matches pipeline");
+    let (state, report) = executor.run(vec![0.0; 64]).expect("run completes");
+    assert_eq!(state, vec![expected_value(n); 64]);
+    assert_eq!(report.task_attempts, n as u64);
+    assert_eq!(report.memory_restores + report.disk_restores, 0);
+    // The executor took exactly the checkpoints the schedule asked for
+    // (+1 for the implicit snapshot of the initial state at boundary 0).
+    assert_eq!(
+        report.memory_checkpoints,
+        solution.counts.memory_checkpoints as u64 + 1
+    );
+    assert_eq!(report.disk_checkpoints, solution.counts.disk_checkpoints as u64 + 1);
+}
+
+#[test]
+fn optimizer_schedule_survives_poisson_faults_on_every_platform() {
+    let n = 16;
+    for (i, platform) in scr::all().into_iter().enumerate() {
+        let scenario = scenario_for(n, &platform);
+        let solution = optimize(&scenario, Algorithm::TwoLevelPartial);
+        let mut executor = Executor::builder(pipeline(n), solution.schedule.clone())
+            .guaranteed_detector(all_equal_detector())
+            .partial_detector(SampledDetector::new(
+                all_equal_detector(),
+                scenario.costs.partial_recall,
+                99 + i as u64,
+            ))
+            // Rates far above the platform's real ones so faults actually occur
+            // within a 16-task run.
+            .fault_source(PoissonFaults::new(1e-4, 2e-4, 7 + i as u64))
+            .corruptor(corrupt)
+            .build()
+            .expect("schedule matches pipeline");
+        let (state, report) = executor.run(vec![0.0; 32]).expect("run completes");
+        assert_eq!(
+            state,
+            vec![expected_value(n); 32],
+            "{}: wrong final state with {report:?}",
+            platform.name
+        );
+        assert!(report.task_attempts >= n as u64);
+    }
+}
+
+#[test]
+fn every_injected_corruption_is_repaired_before_completion() {
+    let n = 12;
+    let scenario = scenario_for(n, &scr::hera());
+    let solution = optimize(&scenario, Algorithm::TwoLevel);
+    // Corrupt the output of every third attempt for the first nine attempts.
+    let script = ScriptedFaults::new((0..9).map(|i| {
+        if i % 3 == 2 {
+            FaultDecision::corruption()
+        } else {
+            FaultDecision::none()
+        }
+    }));
+    let mut executor = Executor::builder(pipeline(n), solution.schedule.clone())
+        .guaranteed_detector(all_equal_detector())
+        .fault_source(script)
+        .corruptor(corrupt)
+        .build()
+        .expect("schedule matches pipeline");
+    let (state, report) = executor.run(vec![0.0; 16]).expect("run completes");
+    assert_eq!(state, vec![expected_value(n); 16]);
+    assert_eq!(report.silent_corruptions, 3);
+    // Every corruption is repaired before completion.  (A corruption injected
+    // while an earlier one is still undetected is cleaned up by the same
+    // rollback, so the number of restores is between 1 and 3.)
+    let detections = report.detected_by_guaranteed + report.detected_by_partial;
+    assert!((1..=3).contains(&detections), "{report:?}");
+    assert_eq!(report.memory_restores, detections);
+    assert!(report.task_attempts > n as u64);
+}
+
+#[test]
+fn crashes_roll_back_to_disk_and_preserve_the_result() {
+    let n = 10;
+    let scenario = scenario_for(n, &scr::coastal());
+    // Force a disk checkpoint midway so the crash does not restart from scratch.
+    let mut schedule = optimize(&scenario, Algorithm::TwoLevel).schedule;
+    schedule.set_action(5, Action::DiskCheckpoint);
+    let script = ScriptedFaults::new(vec![
+        FaultDecision::none(),
+        FaultDecision::none(),
+        FaultDecision::none(),
+        FaultDecision::none(),
+        FaultDecision::none(),
+        FaultDecision::none(),
+        FaultDecision::crash(),
+        FaultDecision::none(),
+        FaultDecision::crash(),
+    ]);
+    let mut executor = Executor::builder(pipeline(n), schedule)
+        .guaranteed_detector(all_equal_detector())
+        .fault_source(script)
+        .build()
+        .expect("schedule matches pipeline");
+    let (state, report) = executor.run(vec![0.0; 8]).expect("run completes");
+    assert_eq!(state, vec![expected_value(n); 8]);
+    assert_eq!(report.fail_stop_faults, 2);
+    assert_eq!(report.disk_restores, 2);
+    // Rollbacks never go past the mid-chain disk checkpoint.
+    assert!(report.task_attempts <= (n + 2 * 5) as u64);
+}
+
+#[test]
+fn executor_rejects_schedules_that_do_not_match_the_pipeline() {
+    let schedule = Schedule::terminal_only(4);
+    let result = Executor::builder(pipeline(5), schedule)
+        .guaranteed_detector(all_equal_detector())
+        .build();
+    assert!(matches!(result, Err(ExecError::InvalidSchedule { .. })));
+}
+
+#[test]
+fn snapshots_round_trip_through_the_disk_vault_in_a_real_run() {
+    // A crash forces a restore from the disk vault, proving the snapshot
+    // bytes written by the executor are actually readable back.
+    let n = 6;
+    let scenario = scenario_for(n, &scr::hera());
+    let mut schedule = optimize(&scenario, Algorithm::TwoLevel).schedule;
+    schedule.set_action(3, Action::DiskCheckpoint);
+    let script = ScriptedFaults::new(vec![
+        FaultDecision::none(),
+        FaultDecision::none(),
+        FaultDecision::none(),
+        FaultDecision::crash(),
+    ]);
+    let mut executor = Executor::builder(pipeline(n), schedule)
+        .guaranteed_detector(all_equal_detector())
+        .fault_source(script)
+        .build()
+        .expect("schedule matches pipeline");
+    // The all-equal invariant requires a uniform initial state.
+    let (state, report) = executor.run(vec![0.0; 10]).expect("run completes");
+    assert_eq!(state, vec![expected_value(n); 10]);
+    assert_eq!(report.disk_restores, 1);
+    assert!(report.disk_bytes_written >= 2 * 10 * 8);
+}
+
+#[test]
+fn snapshot_trait_is_exercised_by_custom_states() {
+    // A user-defined state type with its own Snapshot implementation works
+    // with the executor (compile-time + runtime check).
+    #[derive(Clone, PartialEq, Debug)]
+    struct Counter {
+        ticks: u64,
+    }
+    impl Snapshot for Counter {
+        fn snapshot(&self) -> chain2l::exec::bytes::Bytes {
+            chain2l::exec::bytes::Bytes::copy_from_slice(&self.ticks.to_le_bytes())
+        }
+        fn restore(data: &[u8]) -> Result<Self, ExecError> {
+            let bytes: [u8; 8] = data
+                .try_into()
+                .map_err(|_| ExecError::Codec { reason: "need 8 bytes".into() })?;
+            Ok(Self { ticks: u64::from_le_bytes(bytes) })
+        }
+    }
+
+    let mut p: Pipeline<Counter> = Pipeline::new();
+    for i in 0..5 {
+        p.push(TaskSpec::new(format!("tick-{i}"), 100.0, |c: &mut Counter| c.ticks += 1));
+    }
+    let schedule = Schedule::periodic(5, 2, Action::MemoryCheckpoint);
+    let mut executor = Executor::builder(p, schedule)
+        .guaranteed_detector(InvariantDetector::new(|_c: &Counter| true))
+        .build()
+        .expect("valid schedule");
+    let (state, report) = executor.run(Counter { ticks: 0 }).expect("run completes");
+    assert_eq!(state, Counter { ticks: 5 });
+    assert_eq!(report.task_attempts, 5);
+}

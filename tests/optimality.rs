@@ -1,0 +1,215 @@
+//! Cross-crate optimality guarantees.
+//!
+//! These tests certify the central claim of the paper — the dynamic programs
+//! return the *optimal* placement — against two independent oracles:
+//!
+//! * an exhaustive brute-force search over every feasible placement (small
+//!   chains, randomised scenarios via proptest);
+//! * the analytical evaluator applied to the reconstructed schedules (the DP
+//!   value must be achievable by an actual placement, not just a number).
+
+use chain2l::core::brute_force::{optimize_brute_force, BruteForceSpace};
+use chain2l::core::evaluator::expected_makespan;
+use chain2l::prelude::*;
+use proptest::prelude::*;
+
+fn scenario_strategy(max_tasks: usize) -> impl Strategy<Value = Scenario> {
+    // Random chains of 1..=max_tasks tasks with weights in [50, 5000] s,
+    // random (but realistic) platform rates and checkpoint costs.
+    (
+        proptest::collection::vec(50.0f64..5_000.0, 1..=max_tasks),
+        1e-8f64..1e-4,
+        1e-8f64..1e-4,
+        1.0f64..1_000.0,
+        0.5f64..100.0,
+        0.01f64..1.0,
+        0.05f64..1.0,
+    )
+        .prop_map(|(weights, lambda_f, lambda_s, c_disk, c_mem, v_ratio, recall)| {
+            let chain = TaskChain::from_weights(weights).expect("valid weights");
+            let platform = Platform::new("random", 64, lambda_f, lambda_s, c_disk, c_mem)
+                .expect("valid platform");
+            let costs = ResilienceCosts::builder(&platform)
+                .partial_verification(platform.memory_checkpoint_cost * v_ratio)
+                .partial_recall(recall)
+                .build()
+                .expect("valid costs");
+            Scenario::new(chain, platform, costs).expect("valid scenario")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The §III-A DP equals the exhaustive optimum over the guaranteed-only
+    /// placement space.
+    #[test]
+    fn two_level_dp_is_optimal(scenario in scenario_strategy(5)) {
+        let dp = optimize(&scenario, Algorithm::TwoLevel);
+        let brute = optimize_brute_force(
+            &scenario,
+            BruteForceSpace::GuaranteedOnly,
+            PartialCostModel::Refined,
+        );
+        prop_assert!(
+            (dp.expected_makespan - brute.expected_makespan).abs()
+                <= 1e-9 * brute.expected_makespan.max(1.0),
+            "DP {} vs brute force {}",
+            dp.expected_makespan,
+            brute.expected_makespan
+        );
+    }
+
+    /// The §III-B DP equals the exhaustive optimum over the full placement
+    /// space (guaranteed + partial verifications), under both tail accountings.
+    #[test]
+    fn partial_dp_is_optimal(scenario in scenario_strategy(4)) {
+        for (algorithm, model) in [
+            (Algorithm::TwoLevelPartial, PartialCostModel::PaperExact),
+            (Algorithm::TwoLevelPartialRefined, PartialCostModel::Refined),
+        ] {
+            let dp = optimize(&scenario, algorithm);
+            let brute = optimize_brute_force(&scenario, BruteForceSpace::WithPartials, model);
+            prop_assert!(
+                (dp.expected_makespan - brute.expected_makespan).abs()
+                    <= 1e-9 * brute.expected_makespan.max(1.0),
+                "{algorithm:?}: DP {} vs brute force {}",
+                dp.expected_makespan,
+                brute.expected_makespan
+            );
+        }
+    }
+
+    /// The DP value is achieved by the schedule the DP reconstructs.
+    #[test]
+    fn dp_value_is_achieved_by_its_schedule(scenario in scenario_strategy(8)) {
+        for (algorithm, model) in [
+            (Algorithm::SingleLevel, PartialCostModel::Refined),
+            (Algorithm::TwoLevel, PartialCostModel::Refined),
+            (Algorithm::TwoLevelPartial, PartialCostModel::PaperExact),
+            (Algorithm::TwoLevelPartialRefined, PartialCostModel::Refined),
+        ] {
+            let solution = optimize(&scenario, algorithm);
+            let evaluated = expected_makespan(&scenario, &solution.schedule, model)
+                .expect("reconstructed schedules are valid");
+            prop_assert!(
+                (evaluated - solution.expected_makespan).abs()
+                    <= 1e-9 * solution.expected_makespan.max(1.0),
+                "{algorithm:?}: DP {} vs evaluator {}",
+                solution.expected_makespan,
+                evaluated
+            );
+        }
+    }
+
+    /// Richer mechanisms never hurt: ADMV(refined) <= ADMV* <= ADV*, and every
+    /// algorithm is at least as good as doing nothing.
+    #[test]
+    fn algorithm_ladder_is_monotone(scenario in scenario_strategy(10)) {
+        let single = optimize(&scenario, Algorithm::SingleLevel);
+        let two = optimize(&scenario, Algorithm::TwoLevel);
+        let refined = optimize(&scenario, Algorithm::TwoLevelPartialRefined);
+        let tol = 1e-9 * single.expected_makespan.max(1.0);
+        prop_assert!(two.expected_makespan <= single.expected_makespan + tol);
+        prop_assert!(refined.expected_makespan <= two.expected_makespan + tol);
+
+        let nothing = expected_makespan(
+            &scenario,
+            &chain2l::core::heuristics::no_resilience(&scenario),
+            PartialCostModel::Refined,
+        )
+        .expect("valid schedule");
+        prop_assert!(single.expected_makespan <= nothing + tol);
+    }
+
+    /// The expected makespan always dominates the error-free time plus the
+    /// mandatory terminal actions, and every reconstructed schedule is valid.
+    #[test]
+    fn solutions_are_physical(scenario in scenario_strategy(10)) {
+        for algorithm in [
+            Algorithm::SingleLevel,
+            Algorithm::TwoLevel,
+            Algorithm::TwoLevelPartialRefined,
+        ] {
+            let solution = optimize(&scenario, algorithm);
+            solution.schedule.validate(&scenario.chain).expect("valid schedule");
+            let floor = scenario.error_free_time()
+                + scenario.costs.guaranteed_verification
+                + scenario.costs.memory_checkpoint
+                + scenario.costs.disk_checkpoint;
+            prop_assert!(solution.expected_makespan >= floor - 1e-9);
+            prop_assert!(solution.expected_makespan.is_finite());
+        }
+    }
+}
+
+#[test]
+fn dp_matches_brute_force_on_the_paper_platforms() {
+    // Deterministic version of the property test on the exact Table I
+    // platforms (n = 5, Uniform and HighLow patterns).
+    for platform in scr::all() {
+        for pattern in [WeightPattern::Uniform, WeightPattern::high_low_default()] {
+            let scenario =
+                Scenario::paper_setup(&platform, &pattern, 5, 25_000.0).expect("valid setup");
+            let dp = optimize(&scenario, Algorithm::TwoLevel);
+            let brute = optimize_brute_force(
+                &scenario,
+                BruteForceSpace::GuaranteedOnly,
+                PartialCostModel::Refined,
+            );
+            assert!(
+                (dp.expected_makespan - brute.expected_makespan).abs() < 1e-6,
+                "{} / {}: DP {} vs brute {}",
+                platform.name,
+                pattern.name(),
+                dp.expected_makespan,
+                brute.expected_makespan
+            );
+        }
+    }
+}
+
+#[test]
+fn monotonicity_in_costs_cheaper_checkpoints_never_hurt() {
+    // Halving every resilience cost can only decrease the optimal makespan.
+    let platform = scr::atlas();
+    let scenario =
+        Scenario::paper_setup(&platform, &WeightPattern::Uniform, 20, 25_000.0).unwrap();
+    let cheap_platform = platform.with_scaled_costs(0.5).unwrap();
+    let mut cheap =
+        Scenario::paper_setup(&cheap_platform, &WeightPattern::Uniform, 20, 25_000.0).unwrap();
+    // Keep verification costs scaled consistently too.
+    cheap.costs.guaranteed_verification = scenario.costs.guaranteed_verification * 0.5;
+    cheap.costs.partial_verification = scenario.costs.partial_verification * 0.5;
+
+    for algorithm in [Algorithm::SingleLevel, Algorithm::TwoLevel, Algorithm::TwoLevelPartial] {
+        let base = optimize(&scenario, algorithm);
+        let cheaper = optimize(&cheap, algorithm);
+        assert!(
+            cheaper.expected_makespan <= base.expected_makespan + 1e-9,
+            "{algorithm:?}: {} vs {}",
+            cheaper.expected_makespan,
+            base.expected_makespan
+        );
+    }
+}
+
+#[test]
+fn monotonicity_in_rates_more_errors_never_help() {
+    let platform = scr::hera();
+    for algorithm in [Algorithm::SingleLevel, Algorithm::TwoLevel] {
+        let mut previous = 0.0f64;
+        for factor in [0.5, 1.0, 2.0, 4.0, 8.0] {
+            let scaled = platform.with_scaled_rates(factor).unwrap();
+            let scenario =
+                Scenario::paper_setup(&scaled, &WeightPattern::Uniform, 25, 25_000.0).unwrap();
+            let solution = optimize(&scenario, algorithm);
+            assert!(
+                solution.expected_makespan >= previous - 1e-9,
+                "{algorithm:?} factor {factor}: {} < {previous}",
+                solution.expected_makespan
+            );
+            previous = solution.expected_makespan;
+        }
+    }
+}

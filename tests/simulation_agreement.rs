@@ -1,0 +1,160 @@
+//! Agreement between the analytical optimizer (`chain2l-core`) and the
+//! Monte-Carlo simulator (`chain2l-sim`).
+//!
+//! For schedules without partial verifications the §III-A expectations are
+//! exact for the simulated execution semantics, so the empirical mean must
+//! bracket the analytical value (up to Monte-Carlo noise).  For schedules
+//! with partial verifications the §III-B accounting is a tight approximation;
+//! the tests bound the discrepancy and EXPERIMENTS.md reports the measured
+//! numbers.
+
+use chain2l::core::evaluator::expected_makespan;
+use chain2l::prelude::*;
+use chain2l::sim::{run_monte_carlo, MonteCarloConfig};
+
+fn paper_scenario(platform: &Platform, n: usize) -> Scenario {
+    Scenario::paper_setup(platform, &WeightPattern::Uniform, n, 25_000.0).expect("valid setup")
+}
+
+#[test]
+fn two_level_optimum_matches_simulation_on_every_platform() {
+    for (i, platform) in scr::all().into_iter().enumerate() {
+        let scenario = paper_scenario(&platform, 20);
+        let solution = optimize(&scenario, Algorithm::TwoLevel);
+        let report = run_monte_carlo(
+            &scenario,
+            &solution.schedule,
+            MonteCarloConfig { replications: 30_000, seed: 1000 + i as u64, threads: 4 },
+        )
+        .expect("valid schedule");
+        assert!(
+            report.agrees_with(solution.expected_makespan, 2.0),
+            "{}: analytical {} outside CI [{}, {}]",
+            platform.name,
+            solution.expected_makespan,
+            report.makespan.ci95_low,
+            report.makespan.ci95_high
+        );
+        assert!(
+            report.relative_error_vs(solution.expected_makespan).abs() < 0.01,
+            "{}: relative error {}",
+            platform.name,
+            report.relative_error_vs(solution.expected_makespan)
+        );
+    }
+}
+
+#[test]
+fn single_level_optimum_matches_simulation() {
+    let scenario = paper_scenario(&scr::coastal(), 25);
+    let solution = optimize(&scenario, Algorithm::SingleLevel);
+    let report = run_monte_carlo(
+        &scenario,
+        &solution.schedule,
+        MonteCarloConfig { replications: 30_000, seed: 77, threads: 4 },
+    )
+    .expect("valid schedule");
+    assert!(
+        report.agrees_with(solution.expected_makespan, 2.0),
+        "analytical {} outside CI [{}, {}]",
+        solution.expected_makespan,
+        report.makespan.ci95_low,
+        report.makespan.ci95_high
+    );
+}
+
+#[test]
+fn handwritten_schedule_evaluation_matches_simulation() {
+    // Not an optimizer output: a deliberately sub-optimal placement, to check
+    // the evaluator (not just the DP) against the simulator.
+    let scenario = paper_scenario(&scr::hera(), 18);
+    let mut schedule = Schedule::periodic(18, 6, Action::DiskCheckpoint);
+    schedule.set_action(3, Action::GuaranteedVerification);
+    schedule.set_action(9, Action::MemoryCheckpoint);
+    schedule.set_action(15, Action::GuaranteedVerification);
+    let predicted = expected_makespan(&scenario, &schedule, PartialCostModel::Refined)
+        .expect("valid schedule");
+    let report = run_monte_carlo(
+        &scenario,
+        &schedule,
+        MonteCarloConfig { replications: 30_000, seed: 31, threads: 4 },
+    )
+    .expect("valid schedule");
+    assert!(
+        report.agrees_with(predicted, 2.0),
+        "analytical {} outside CI [{}, {}]",
+        predicted,
+        report.makespan.ci95_low,
+        report.makespan.ci95_high
+    );
+}
+
+#[test]
+fn partial_verification_schedule_is_close_to_its_analytical_prediction() {
+    // Exaggerated silent-error rate so partial verifications are actually
+    // exercised by the optimal schedule.
+    let platform = Platform::new("sdc-heavy", 64, 1e-6, 4e-5, 600.0, 30.0).expect("valid");
+    let chain = WeightPattern::Uniform.generate(30, 25_000.0).expect("valid chain");
+    let costs = ResilienceCosts::paper_defaults(&platform);
+    let scenario = Scenario::new(chain, platform, costs).expect("valid scenario");
+    let solution = optimize(&scenario, Algorithm::TwoLevelPartial);
+    assert!(
+        solution.counts.partial_verifications > 0,
+        "the test needs a schedule that actually uses partial verifications: {:?}",
+        solution.counts
+    );
+    let report = run_monte_carlo(
+        &scenario,
+        &solution.schedule,
+        MonteCarloConfig { replications: 40_000, seed: 9, threads: 4 },
+    )
+    .expect("valid schedule");
+    // The §III-B accounting is approximate; require agreement within 2 %
+    // (measured gaps are an order of magnitude smaller, see EXPERIMENTS.md).
+    let rel = report.relative_error_vs(solution.expected_makespan).abs();
+    assert!(rel < 0.02, "relative error {rel} too large");
+}
+
+#[test]
+fn optimal_schedules_reduce_simulated_waste_compared_to_no_resilience() {
+    // On a platform with meaningful error rates, the optimal schedule beats
+    // the "just restart from scratch" strategy in simulation, not only in
+    // expectation formulas.
+    let platform = scr::hera().with_scaled_rates(10.0).expect("valid scaling");
+    let scenario =
+        Scenario::paper_setup(&platform, &WeightPattern::Uniform, 25, 25_000.0).expect("valid");
+    let optimal = optimize(&scenario, Algorithm::TwoLevel);
+    let nothing = chain2l::core::heuristics::no_resilience(&scenario);
+    let config = MonteCarloConfig { replications: 5_000, seed: 5, threads: 4 };
+    let with = run_monte_carlo(&scenario, &optimal.schedule, config).expect("valid");
+    let without = run_monte_carlo(&scenario, &nothing, config).expect("valid");
+    assert!(
+        with.makespan.mean < without.makespan.mean,
+        "optimal {} >= no-resilience {}",
+        with.makespan.mean,
+        without.makespan.mean
+    );
+    assert!(with.mean_wasted_work < without.mean_wasted_work);
+}
+
+#[test]
+fn simulated_error_counts_match_poisson_expectations() {
+    // Sanity on the fault injection itself: with the terminal-only schedule,
+    // the expected number of silent errors per successful attempt is
+    // λ_s · W; over many runs (with re-executions) the average per run is a
+    // bit higher but within a factor of the first-order value.
+    let scenario = paper_scenario(&scr::atlas(), 10);
+    let schedule = Schedule::terminal_only(10);
+    let report = run_monte_carlo(
+        &scenario,
+        &schedule,
+        MonteCarloConfig { replications: 20_000, seed: 3, threads: 4 },
+    )
+    .expect("valid schedule");
+    let first_order_silent = scenario.platform.lambda_silent * 25_000.0;
+    assert!(report.mean_silent_errors > 0.8 * first_order_silent);
+    assert!(report.mean_silent_errors < 2.0 * first_order_silent);
+    let first_order_fail = scenario.platform.lambda_fail_stop * 25_000.0;
+    assert!(report.mean_fail_stop_errors > 0.8 * first_order_fail);
+    assert!(report.mean_fail_stop_errors < 2.0 * first_order_fail);
+}
