@@ -22,6 +22,7 @@ use crate::report::{fmt_f64, Table};
 use chain2l_core::{optimize, Algorithm, Solution};
 use chain2l_model::platform::scr;
 use chain2l_model::{Platform, Scenario, WeightPattern};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Total computational weight used throughout §IV (seconds).
@@ -89,33 +90,42 @@ pub fn run_cell(
 }
 
 /// Builds the normalized-makespan panel for one platform and pattern.
+///
+/// The `n × algorithm` cells are independent, so they are flattened into one
+/// work list and evaluated on the work-stealing pool; the results are
+/// regrouped in sweep order, keeping the panel deterministic.
 pub fn makespan_series(
     platform: &Platform,
     pattern: &WeightPattern,
     config: &ExperimentConfig,
 ) -> MakespanSeries {
-    let points = config
-        .task_counts
-        .iter()
-        .map(|&n| MakespanPoint {
-            n,
-            values: config
-                .algorithms
-                .iter()
-                .map(|&a| {
-                    (a, run_cell(platform, pattern, n, config.total_weight, a).normalized_makespan)
-                })
-                .collect(),
-        })
-        .collect();
-    MakespanSeries {
-        platform: platform.name.clone(),
-        pattern: pattern.name().to_string(),
-        points,
-    }
+    let algorithms = config.algorithms.len();
+    let points = if algorithms == 0 {
+        config.task_counts.iter().map(|&n| MakespanPoint { n, values: Vec::new() }).collect()
+    } else {
+        let cells: Vec<(usize, Algorithm)> = config
+            .task_counts
+            .iter()
+            .flat_map(|&n| config.algorithms.iter().map(move |&a| (n, a)))
+            .collect();
+        let values: Vec<(Algorithm, f64)> = cells
+            .into_par_iter()
+            .map(|(n, a)| {
+                (a, run_cell(platform, pattern, n, config.total_weight, a).normalized_makespan)
+            })
+            .collect();
+        config
+            .task_counts
+            .iter()
+            .zip(values.chunks(algorithms))
+            .map(|(&n, chunk)| MakespanPoint { n, values: chunk.to_vec() })
+            .collect()
+    };
+    MakespanSeries { platform: platform.name.clone(), pattern: pattern.name().to_string(), points }
 }
 
-/// Builds the count panel of one algorithm for one platform and pattern.
+/// Builds the count panel of one algorithm for one platform and pattern,
+/// evaluating the per-`n` cells on the work-stealing pool.
 pub fn count_series(
     platform: &Platform,
     pattern: &WeightPattern,
@@ -124,8 +134,9 @@ pub fn count_series(
 ) -> CountSeries {
     let points = config
         .task_counts
-        .iter()
-        .map(|&n| CountPoint {
+        .clone()
+        .into_par_iter()
+        .map(|n| CountPoint {
             n,
             counts: run_cell(platform, pattern, n, config.total_weight, algorithm)
                 .schedule
@@ -314,7 +325,16 @@ pub fn fig8(config: &ExperimentConfig) -> PatternFigure {
 pub fn table1() -> Table {
     let mut table = Table::new(
         "Table I — platform parameters",
-        &["platform", "#nodes", "lambda_f", "lambda_s", "C_D (s)", "C_M (s)", "MTBF_f (days)", "MTBF_s (days)"],
+        &[
+            "platform",
+            "#nodes",
+            "lambda_f",
+            "lambda_s",
+            "C_D (s)",
+            "C_M (s)",
+            "MTBF_f (days)",
+            "MTBF_s (days)",
+        ],
     );
     for p in scr::all() {
         table.push_row(vec![

@@ -17,10 +17,7 @@ pub fn table_to_markdown(table: &Table) -> String {
         out.push_str(&format!("### {}\n\n", table.title()));
     }
     out.push_str(&format!("| {} |\n", table.columns().join(" | ")));
-    out.push_str(&format!(
-        "|{}\n",
-        table.columns().iter().map(|_| "---|").collect::<String>()
-    ));
+    out.push_str(&format!("|{}\n", table.columns().iter().map(|_| "---|").collect::<String>()));
     for row in table_rows(table) {
         out.push_str(&format!("| {} |\n", row.join(" | ")));
     }
@@ -31,12 +28,7 @@ pub fn table_to_markdown(table: &Table) -> String {
 /// (keeps [`Table`]'s internals private while letting the Markdown renderer
 /// reuse them).
 fn table_rows(table: &Table) -> Vec<Vec<String>> {
-    table
-        .to_csv()
-        .lines()
-        .skip(1)
-        .map(split_csv_line)
-        .collect()
+    table.to_csv().lines().skip(1).map(split_csv_line).collect()
 }
 
 /// Minimal CSV line splitter handling the quoting produced by `Table::to_csv`.
@@ -74,7 +66,11 @@ pub fn makespan_series_to_markdown(
         "### {} / {} — normalized makespan\n\n",
         series.platform, series.pattern
     ));
-    out.push_str(&format!("| n | {} | {} | gain |\n|---|---|---|---|\n", worse.label(), better.label()));
+    out.push_str(&format!(
+        "| n | {} | {} | gain |\n|---|---|---|---|\n",
+        worse.label(),
+        better.label()
+    ));
     for point in &series.points {
         let (Some(w), Some(b)) = (point.value(worse), point.value(better)) else {
             continue;
@@ -147,10 +143,7 @@ mod tests {
             pattern: "uniform".into(),
             points: vec![MakespanPoint {
                 n: 50,
-                values: vec![
-                    (Algorithm::SingleLevel, 1.0635),
-                    (Algorithm::TwoLevel, 1.0449),
-                ],
+                values: vec![(Algorithm::SingleLevel, 1.0635), (Algorithm::TwoLevel, 1.0449)],
             }],
         };
         let md = makespan_series_to_markdown(&series, Algorithm::TwoLevel, Algorithm::SingleLevel);

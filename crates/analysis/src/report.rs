@@ -66,8 +66,12 @@ impl Table {
     /// containing commas, quotes or newlines are quoted per RFC 4180.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
-        writeln!(out, "{}", self.columns.iter().map(|c| csv_escape(c)).collect::<Vec<_>>().join(","))
-            .expect("writing to String cannot fail");
+        writeln!(
+            out,
+            "{}",
+            self.columns.iter().map(|c| csv_escape(c)).collect::<Vec<_>>().join(",")
+        )
+        .expect("writing to String cannot fail");
         for row in &self.rows {
             writeln!(out, "{}", row.iter().map(|c| csv_escape(c)).collect::<Vec<_>>().join(","))
                 .expect("writing to String cannot fail");
@@ -193,10 +197,7 @@ mod tests {
         let path = std::env::temp_dir().join(format!(
             "chain2l-report-test-{}-{:?}.csv",
             std::process::id(),
-            std::time::SystemTime::now()
-                .duration_since(std::time::UNIX_EPOCH)
-                .unwrap()
-                .as_nanos()
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
         ));
         sample_table().write_csv(&path).unwrap();
         let content = fs::read_to_string(&path).unwrap();

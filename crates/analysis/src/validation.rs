@@ -82,7 +82,16 @@ pub fn validate(
 pub fn validation_table(rows: &[ValidationRow]) -> Table {
     let mut table = Table::new(
         "Analytical expectation vs Monte-Carlo simulation",
-        &["platform", "algorithm", "n", "analytical", "simulated", "ci95_low", "ci95_high", "rel_error_%"],
+        &[
+            "platform",
+            "algorithm",
+            "n",
+            "analytical",
+            "simulated",
+            "ci95_low",
+            "ci95_high",
+            "rel_error_%",
+        ],
     );
     for r in rows {
         table.push_row(vec![

@@ -28,18 +28,13 @@ fn bench_evaluator(c: &mut Criterion) {
     });
     group.bench_function("periodic_schedule_n50", |b| {
         b.iter(|| {
-            expected_makespan(
-                black_box(&scenario),
-                black_box(&periodic),
-                PartialCostModel::Refined,
-            )
-            .unwrap()
+            expected_makespan(black_box(&scenario), black_box(&periodic), PartialCostModel::Refined)
+                .unwrap()
         })
     });
     group.finish();
 
-    let small =
-        Scenario::paper_setup(&scr::hera(), &WeightPattern::Uniform, 6, 25_000.0).unwrap();
+    let small = Scenario::paper_setup(&scr::hera(), &WeightPattern::Uniform, 6, 25_000.0).unwrap();
     let mut group = c.benchmark_group("brute_force");
     group.sample_size(10);
     group.bench_function("guaranteed_only_n6", |b| {

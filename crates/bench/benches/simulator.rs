@@ -19,8 +19,12 @@ fn bench_simulator(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed = seed.wrapping_add(1);
-            simulate_run(black_box(&scenario), black_box(&solution.schedule), RunConfig::with_seed(seed))
-                .unwrap()
+            simulate_run(
+                black_box(&scenario),
+                black_box(&solution.schedule),
+                RunConfig::with_seed(seed),
+            )
+            .unwrap()
         })
     });
     group.sample_size(10);

@@ -1,36 +1,78 @@
-//! Runs the ablation sweeps that go beyond the paper's figures: detector
+//! Runs the ablation sweeps that go beyond the paper's figures — detector
 //! recall, partial-verification cost ratio, error-rate scaling, the §III-B
-//! tail-accounting comparison and the heuristic baselines.
+//! tail-accounting comparison, the heuristic baselines — plus the full
+//! `platform × pattern × n × T` sweep grid with seeded Monte-Carlo
+//! validation.
 //!
-//! Usage: `cargo run --release -p chain2l-bench --bin sweeps [--tasks N]`
+//! Every sweep runs its scenario cells on a work-stealing thread pool
+//! (all cores; set `RAYON_NUM_THREADS` to override) and derives each cell's
+//! RNG stream deterministically from `--seed` and the cell coordinates, so
+//! two runs with the same flags produce byte-identical output regardless of
+//! core count.
+//!
+//! Usage: `cargo run --release -p chain2l-bench --bin sweeps
+//!         [--tasks N] [--seed S] [--validate REPS]`
 
 use chain2l_analysis::experiments::PAPER_TOTAL_WEIGHT;
-use chain2l_analysis::sweep;
+use chain2l_analysis::sweep::{self, GridSpec};
 use chain2l_bench::write_result_file;
 use chain2l_model::platform::scr;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let tasks = args
-        .iter()
-        .position(|a| a == "--tasks")
+fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
-        .unwrap_or(30usize);
-    eprintln!("sweeps: running ablations with n = {tasks} uniform tasks…");
+        .unwrap_or(default)
+}
 
-    let tables = vec![
-        sweep::recall_sweep(&scr::coastal_ssd(), tasks, PAPER_TOTAL_WEIGHT, &[0.2, 0.4, 0.6, 0.8, 1.0]),
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tasks: usize = flag(&args, "--tasks", 30);
+    let seed: u64 = flag(&args, "--seed", 0x5eed);
+    let validate: usize = flag(&args, "--validate", 400);
+    if tasks == 0 {
+        eprintln!("error: --tasks must be at least 1");
+        std::process::exit(2);
+    }
+    eprintln!(
+        "sweeps: n = {tasks} tasks, base seed {seed:#x}, {validate} validation replications, \
+         {} workers",
+        rayon::current_num_threads()
+    );
+
+    let mut tables = vec![
+        sweep::recall_sweep(
+            &scr::coastal_ssd(),
+            tasks,
+            PAPER_TOTAL_WEIGHT,
+            &[0.2, 0.4, 0.6, 0.8, 1.0],
+        ),
         sweep::partial_cost_sweep(
             &scr::coastal_ssd(),
             tasks,
             PAPER_TOTAL_WEIGHT,
             &[1.0, 10.0, 100.0, 1000.0],
         ),
-        sweep::rate_scaling_sweep(&scr::hera(), tasks, PAPER_TOTAL_WEIGHT, &[1.0, 2.0, 5.0, 10.0, 50.0]),
+        sweep::rate_scaling_sweep(
+            &scr::hera(),
+            tasks,
+            PAPER_TOTAL_WEIGHT,
+            &[1.0, 2.0, 5.0, 10.0, 50.0],
+        ),
         sweep::tail_accounting_comparison(&scr::all(), tasks, PAPER_TOTAL_WEIGHT),
         sweep::heuristic_comparison(&scr::hera(), tasks, PAPER_TOTAL_WEIGHT),
     ];
+
+    // The platform × pattern × n × T grid: every Table I platform, the three
+    // paper patterns, a short n-ladder up to --tasks, W = 25 000 s.
+    let mut ladder: Vec<usize> =
+        [tasks / 4, tasks / 2, 3 * tasks / 4, tasks].iter().copied().filter(|&n| n > 0).collect();
+    ladder.dedup(); // ascending; small --tasks values collapse rungs
+    let spec = GridSpec { validation_replications: validate, ..GridSpec::paper(ladder, seed) };
+    eprintln!("sweeps: running {} grid cells…", spec.cell_count());
+    let rows = sweep::run_grid(&spec);
+    tables.push(sweep::grid_table(&rows));
 
     let mut out = String::new();
     for table in &tables {

@@ -76,10 +76,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!(
             "chain2l-bench-test-{}-{:?}",
             std::process::id(),
-            std::time::SystemTime::now()
-                .duration_since(std::time::UNIX_EPOCH)
-                .unwrap()
-                .as_nanos()
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
         ));
         std::env::set_var("CHAIN2L_RESULTS_DIR", &dir);
         let path = write_result_file("test.csv", "a,b\n1,2\n").expect("writable temp dir");

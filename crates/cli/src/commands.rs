@@ -186,13 +186,14 @@ fn cmd_evaluate(args: &ParsedArgs) -> Result<String, ArgError> {
         .get("schedule")
         .ok_or(ArgError::MissingOption { option: "schedule".into() })?;
     let schedule = parse_schedule_string(spec)?;
-    let value = expected_makespan(&scenario, &schedule, PartialCostModel::PaperExact).map_err(
-        |e| ArgError::InvalidValue {
-            option: "schedule".into(),
-            value: spec.clone(),
-            expected: leak(e.to_string()),
-        },
-    )?;
+    let value =
+        expected_makespan(&scenario, &schedule, PartialCostModel::PaperExact).map_err(|e| {
+            ArgError::InvalidValue {
+                option: "schedule".into(),
+                value: spec.clone(),
+                expected: leak(e.to_string()),
+            }
+        })?;
     Ok(format!(
         "schedule {} on {}: expected makespan {:.2} s (normalized {:.5})\n",
         schedule,
@@ -291,10 +292,9 @@ fn cmd_validate(args: &ParsedArgs) -> Result<String, ArgError> {
     let pattern = parse_pattern(args)?;
     let mut rows = Vec::new();
     for platform in scr::all() {
-        let scenario = Scenario::paper_setup(&platform, &pattern, tasks, weight)
-            .expect("valid paper setup");
-        for algorithm in [Algorithm::SingleLevel, Algorithm::TwoLevel, Algorithm::TwoLevelPartial]
-        {
+        let scenario =
+            Scenario::paper_setup(&platform, &pattern, tasks, weight).expect("valid paper setup");
+        for algorithm in [Algorithm::SingleLevel, Algorithm::TwoLevel, Algorithm::TwoLevelPartial] {
             rows.push(validation::validate(&scenario, algorithm, replications, seed, threads));
         }
     }
@@ -351,10 +351,10 @@ fn cmd_sweep(args: &ParsedArgs) -> Result<String, ArgError> {
     let weight = args.f64_or("weight", experiments::PAPER_TOTAL_WEIGHT)?;
     let table = match which {
         "recall" => sweep::recall_sweep(&platform, tasks, weight, &[0.2, 0.4, 0.6, 0.8, 1.0]),
-        "cost" => {
-            sweep::partial_cost_sweep(&platform, tasks, weight, &[1.0, 10.0, 100.0, 1000.0])
+        "cost" => sweep::partial_cost_sweep(&platform, tasks, weight, &[1.0, 10.0, 100.0, 1000.0]),
+        "rates" => {
+            sweep::rate_scaling_sweep(&platform, tasks, weight, &[1.0, 2.0, 5.0, 10.0, 50.0])
         }
-        "rates" => sweep::rate_scaling_sweep(&platform, tasks, weight, &[1.0, 2.0, 5.0, 10.0, 50.0]),
         "tail" => sweep::tail_accounting_comparison(&scr::all(), tasks, weight),
         "heuristics" => sweep::heuristic_comparison(&platform, tasks, weight),
         other => return Err(ArgError::Unknown { what: other.to_string() }),
@@ -391,7 +391,13 @@ mod tests {
     #[test]
     fn optimize_reports_makespan_and_counts() {
         let out = run_tokens(&[
-            "optimize", "--platform", "hera", "--tasks", "10", "--algorithm", "admv*",
+            "optimize",
+            "--platform",
+            "hera",
+            "--tasks",
+            "10",
+            "--algorithm",
+            "admv*",
         ])
         .unwrap();
         assert!(out.contains("ADMV* on Hera"));
@@ -401,19 +407,14 @@ mod tests {
 
     #[test]
     fn optimize_with_strips_renders_rows() {
-        let out = run_tokens(&[
-            "optimize", "--tasks", "8", "--algorithm", "admv", "--strips",
-        ])
-        .unwrap();
+        let out =
+            run_tokens(&["optimize", "--tasks", "8", "--algorithm", "admv", "--strips"]).unwrap();
         assert!(out.contains("Partial verifs"));
     }
 
     #[test]
     fn evaluate_parses_compact_schedules() {
-        let out = run_tokens(&[
-            "evaluate", "--tasks", "6", "--schedule", "..M..D",
-        ])
-        .unwrap();
+        let out = run_tokens(&["evaluate", "--tasks", "6", "--schedule", "..M..D"]).unwrap();
         assert!(out.contains("expected makespan"));
         // Schedule must match the task count.
         let err = run_tokens(&["evaluate", "--tasks", "5", "--schedule", "..M..D"]);
@@ -436,8 +437,15 @@ mod tests {
     #[test]
     fn simulate_reports_agreement() {
         let out = run_tokens(&[
-            "simulate", "--tasks", "8", "--replications", "500", "--threads", "2",
-            "--algorithm", "admv*",
+            "simulate",
+            "--tasks",
+            "8",
+            "--replications",
+            "500",
+            "--threads",
+            "2",
+            "--algorithm",
+            "admv*",
         ])
         .unwrap();
         assert!(out.contains("analytical"));
@@ -456,14 +464,8 @@ mod tests {
 
     #[test]
     fn experiment_requires_a_known_name() {
-        assert!(matches!(
-            run_tokens(&["experiment"]),
-            Err(ArgError::MissingOption { .. })
-        ));
-        assert!(matches!(
-            run_tokens(&["experiment", "fig9"]),
-            Err(ArgError::Unknown { .. })
-        ));
+        assert!(matches!(run_tokens(&["experiment"]), Err(ArgError::MissingOption { .. })));
+        assert!(matches!(run_tokens(&["experiment", "fig9"]), Err(ArgError::Unknown { .. })));
     }
 
     #[test]
@@ -476,8 +478,16 @@ mod tests {
     #[test]
     fn simulate_with_histogram_prints_percentiles() {
         let out = run_tokens(&[
-            "simulate", "--tasks", "6", "--replications", "400", "--threads", "1",
-            "--algorithm", "admv*", "--histogram",
+            "simulate",
+            "--tasks",
+            "6",
+            "--replications",
+            "400",
+            "--threads",
+            "1",
+            "--algorithm",
+            "admv*",
+            "--histogram",
         ])
         .unwrap();
         assert!(out.contains("p95"));
@@ -486,10 +496,9 @@ mod tests {
 
     #[test]
     fn sensitivity_reports_every_parameter() {
-        let out = run_tokens(&[
-            "sensitivity", "--tasks", "8", "--algorithm", "admv*", "--step", "0.1",
-        ])
-        .unwrap();
+        let out =
+            run_tokens(&["sensitivity", "--tasks", "8", "--algorithm", "admv*", "--step", "0.1"])
+                .unwrap();
         for label in ["lambda_f", "lambda_s", "C_D", "C_M", "elasticity"] {
             assert!(out.contains(label), "missing {label}:\n{out}");
         }

@@ -187,23 +187,18 @@ mod tests {
     #[test]
     fn brute_force_with_partials_never_worse_than_without() {
         let s = scenario(&scr::hera(), &WeightPattern::Uniform, 5, 25_000.0);
-        let without = optimize_brute_force(
-            &s,
-            BruteForceSpace::GuaranteedOnly,
-            PartialCostModel::Refined,
-        );
-        let with = optimize_brute_force(&s, BruteForceSpace::WithPartials, PartialCostModel::Refined);
+        let without =
+            optimize_brute_force(&s, BruteForceSpace::GuaranteedOnly, PartialCostModel::Refined);
+        let with =
+            optimize_brute_force(&s, BruteForceSpace::WithPartials, PartialCostModel::Refined);
         assert!(with.expected_makespan <= without.expected_makespan + 1e-9);
     }
 
     #[test]
     fn brute_force_counts_all_candidates() {
         let s = scenario(&scr::hera(), &WeightPattern::Uniform, 4, 25_000.0);
-        let bf = optimize_brute_force(
-            &s,
-            BruteForceSpace::GuaranteedOnly,
-            PartialCostModel::Refined,
-        );
+        let bf =
+            optimize_brute_force(&s, BruteForceSpace::GuaranteedOnly, PartialCostModel::Refined);
         assert_eq!(bf.stats.candidates_examined, 4u64.pow(3));
         let bf = optimize_brute_force(&s, BruteForceSpace::WithPartials, PartialCostModel::Refined);
         assert_eq!(bf.stats.candidates_examined, 5u64.pow(3));
@@ -213,6 +208,7 @@ mod tests {
     #[should_panic(expected = "refusing")]
     fn brute_force_refuses_large_chains() {
         let s = scenario(&scr::hera(), &WeightPattern::Uniform, 20, 25_000.0);
-        let _ = optimize_brute_force(&s, BruteForceSpace::GuaranteedOnly, PartialCostModel::Refined);
+        let _ =
+            optimize_brute_force(&s, BruteForceSpace::GuaranteedOnly, PartialCostModel::Refined);
     }
 }

@@ -125,9 +125,8 @@ fn evaluate_interval(
     model: PartialCostModel,
 ) -> f64 {
     // Partial verification positions strictly inside (v1, v2).
-    let partials: Vec<usize> = (v1 + 1..v2)
-        .filter(|&p| schedule.action(p).has_partial_verification())
-        .collect();
+    let partials: Vec<usize> =
+        (v1 + 1..v2).filter(|&p| schedule.action(p).has_partial_verification()).collect();
 
     if partials.is_empty() {
         // An interval without partial verifications: under the refined tail
@@ -137,9 +136,7 @@ fn evaluate_interval(
         // produced by `optimize_with_partials(PaperExact)` reproduces its DP
         // value bit-for-bit (the two differ by the documented tail slack).
         return match model {
-            PartialCostModel::Refined => {
-                calc.guaranteed_segment(d1, m1, v1, v2, emem, everif)
-            }
+            PartialCostModel::Refined => calc.guaranteed_segment(d1, m1, v1, v2, emem, everif),
             PartialCostModel::PaperExact => {
                 let eright_v2 = calc.eright_base(m1);
                 calc.e_minus(d1, m1, v1, v2, emem, everif, eright_v2, true, model)
@@ -161,8 +158,7 @@ fn evaluate_interval(
     for j in (0..k - 1).rev() {
         let p1 = bounds[j];
         let p2 = bounds[j + 1];
-        eright[j] =
-            calc.eright_step(d1, m1, p1, p2, emem, eright[j + 1], p2 == v2, model);
+        eright[j] = calc.eright_step(d1, m1, p1, p2, emem, eright[j + 1], p2 == v2, model);
     }
 
     // Sum of E⁻ terms with their re-execution factors (the unrolled E_partial).
@@ -245,8 +241,8 @@ mod tests {
                 let s = paper_scenario(&platform, n);
                 for options in [TwoLevelOptions::two_level(), TwoLevelOptions::single_level()] {
                     let sol = optimize_two_level(&s, options);
-                    let eval = expected_makespan(&s, &sol.schedule, PartialCostModel::Refined)
-                        .unwrap();
+                    let eval =
+                        expected_makespan(&s, &sol.schedule, PartialCostModel::Refined).unwrap();
                     assert!(
                         approx_eq(eval, sol.expected_makespan, 1e-9),
                         "{} n={n} {options:?}: DP={} eval={eval}",
@@ -322,8 +318,7 @@ mod tests {
         }
         let without = Schedule::periodic(20, 5, Action::MemoryCheckpoint);
 
-        let e_with =
-            expected_makespan(&s, &with_partials, PartialCostModel::PaperExact).unwrap();
+        let e_with = expected_makespan(&s, &with_partials, PartialCostModel::PaperExact).unwrap();
         let e_without = expected_makespan(&s, &without, PartialCostModel::PaperExact).unwrap();
         assert!(e_with != e_without);
         assert!(e_with < e_without, "{e_with} >= {e_without}");

@@ -116,8 +116,8 @@ pub fn best_periodic(
     let mut best: Option<(Schedule, f64)> = None;
     for period in 1..=n {
         let schedule = Schedule::periodic(n, period, action);
-        let value = expected_makespan_with(&calc, &schedule, model)
-            .expect("periodic schedules are valid");
+        let value =
+            expected_makespan_with(&calc, &schedule, model).expect("periodic schedules are valid");
         if best.as_ref().is_none_or(|(_, b)| value < *b) {
             best = Some((schedule, value));
         }
@@ -222,8 +222,8 @@ mod tests {
     #[test]
     fn checkpoint_every_task_is_expensive() {
         let s = hera(20);
-        let all = expected_makespan(&s, &checkpoint_every_task(&s), PartialCostModel::Refined)
-            .unwrap();
+        let all =
+            expected_makespan(&s, &checkpoint_every_task(&s), PartialCostModel::Refined).unwrap();
         let none = expected_makespan(&s, &no_resilience(&s), PartialCostModel::Refined).unwrap();
         // On Hera with only 20 tasks and moderate rates, checkpointing every
         // task costs far more than it saves.

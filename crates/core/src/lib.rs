@@ -94,9 +94,7 @@ impl Algorithm {
             "adv*" | "adv" | "single" | "single-level" => Some(Algorithm::SingleLevel),
             "admv*" | "two-level" | "twolevel" => Some(Algorithm::TwoLevel),
             "admv" | "partial" => Some(Algorithm::TwoLevelPartial),
-            "admv(refined)" | "admv-refined" | "refined" => {
-                Some(Algorithm::TwoLevelPartialRefined)
-            }
+            "admv(refined)" | "admv-refined" | "refined" => Some(Algorithm::TwoLevelPartialRefined),
             _ => None,
         }
     }
@@ -159,8 +157,7 @@ mod tests {
 
     #[test]
     fn paper_algorithms_are_in_figure_order() {
-        let labels: Vec<&str> =
-            Algorithm::paper_algorithms().iter().map(|a| a.label()).collect();
+        let labels: Vec<&str> = Algorithm::paper_algorithms().iter().map(|a| a.label()).collect();
         assert_eq!(labels, vec!["ADV*", "ADMV*", "ADMV"]);
     }
 
@@ -172,8 +169,7 @@ mod tests {
 
     #[test]
     fn optimize_dispatches_and_preserves_dominance() {
-        let s = Scenario::paper_setup(&scr::hera(), &WeightPattern::Uniform, 15, 25_000.0)
-            .unwrap();
+        let s = Scenario::paper_setup(&scr::hera(), &WeightPattern::Uniform, 15, 25_000.0).unwrap();
         let single = optimize(&s, Algorithm::SingleLevel);
         let two = optimize(&s, Algorithm::TwoLevel);
         let refined = optimize(&s, Algorithm::TwoLevelPartialRefined);

@@ -57,6 +57,7 @@ struct InnerResult {
 ///
 /// `emem` is `Emem(d1, m1)`, `everif_v1` is `Everif(d1, m1, v1)` — the
 /// re-execution costs of the segments to the left, already optimal.
+#[allow(clippy::too_many_arguments)] // DP cell coordinates of the O(n^6) recurrence
 fn epartial_interval(
     calc: &SegmentCalculator<'_>,
     d1: usize,
@@ -83,9 +84,7 @@ fn epartial_interval(
         for p2 in (p1 + 1)..=v2 {
             candidates += 1;
             let closes = p2 == v2;
-            let eminus = calc.e_minus(
-                d1, m1, p1, p2, emem, everif_v1, eright[p2], closes, model,
-            );
+            let eminus = calc.e_minus(d1, m1, p1, p2, emem, everif_v1, eright[p2], closes, model);
             let cand = if closes {
                 // Last sub-interval: executed once (nothing to its right can
                 // trigger a re-execution of it within this interval), plus the
@@ -103,8 +102,7 @@ fn epartial_interval(
         next[p1] = best_p2;
         // E_right at p1 uses the *optimal* next verification position.
         let p2 = next[p1];
-        eright[p1] =
-            calc.eright_step(d1, m1, p1, p2, emem, eright[p2], p2 == v2, model);
+        eright[p1] = calc.eright_step(d1, m1, p1, p2, emem, eright[p2], p2 == v2, model);
     }
 
     InnerResult { value: epartial[v1], next, candidates }
@@ -165,8 +163,7 @@ fn compute_tables(calc: &SegmentCalculator<'_>, n: usize, model: PartialCostMode
                 for v1 in m1..m2 {
                     let left = t.everif.get(d1, m1, v1);
                     debug_assert!(left.is_finite(), "Everif({d1},{m1},{v1}) not computed");
-                    let inner =
-                        epartial_interval(calc, d1, m1, v1, m2, emem_left, left, model);
+                    let inner = epartial_interval(calc, d1, m1, v1, m2, emem_left, left, model);
                     t.candidates += inner.candidates;
                     let cand = left + inner.value;
                     if cand < best_verif {
@@ -193,8 +190,7 @@ fn compute_tables(calc: &SegmentCalculator<'_>, n: usize, model: PartialCostMode
         let mut best = f64::INFINITY;
         let mut best_d1 = usize::MAX;
         for d1 in 0..d2 {
-            let cand =
-                t.edisk[d1] + t.emem.get(d1, d2) + calc.scenario().costs.disk_checkpoint;
+            let cand = t.edisk[d1] + t.emem.get(d1, d2) + calc.scenario().costs.disk_checkpoint;
             if cand < best {
                 best = cand;
                 best_d1 = d1;

@@ -319,8 +319,7 @@ impl<'a> SegmentCalculator<'a> {
             (PartialCostModel::Refined, false) => (self.v_partial, self.g),
             (PartialCostModel::Refined, true) => (self.v_star, 0.0),
         };
-        pf * (t_lost + rd + emem)
-            + (1.0 - pf) * (w + v_cost + (1.0 - g) * rm + g * eright_p2)
+        pf * (t_lost + rd + emem) + (1.0 - pf) * (w + v_cost + (1.0 - g) * rm + g * eright_p2)
     }
 
     /// Base case of the `E_right` recurrence: the error is detected
@@ -464,7 +463,15 @@ mod tests {
 
             // Refined model: exact match.
             let refined = calc.e_minus(
-                d1, m1, v1, v2, emem, everif, eright_v2, true, PartialCostModel::Refined,
+                d1,
+                m1,
+                v1,
+                v2,
+                emem,
+                everif,
+                eright_v2,
+                true,
+                PartialCostModel::Refined,
             ) + calc.tail_verification_correction(v1, v2, PartialCostModel::Refined);
             assert!(
                 approx_eq(refined, guaranteed, 1e-9),
@@ -475,7 +482,15 @@ mod tests {
             // Paper model: match within the tiny documented slack
             // (V*−V)·(e^{(λs+λf)W} − e^{λs W}), and never below.
             let paper = calc.e_minus(
-                d1, m1, v1, v2, emem, everif, eright_v2, true, PartialCostModel::PaperExact,
+                d1,
+                m1,
+                v1,
+                v2,
+                emem,
+                everif,
+                eright_v2,
+                true,
+                PartialCostModel::PaperExact,
             ) + calc.tail_verification_correction(v1, v2, PartialCostModel::PaperExact);
             let w = s.work(v1, v2);
             let slack = (s.costs.guaranteed_verification - s.costs.partial_verification)

@@ -15,7 +15,7 @@
 //! the parameter moves the achievable makespan by about 1 %.
 
 use crate::{optimize, Algorithm, Solution};
-use chain2l_model::{Scenario, ModelError};
+use chain2l_model::{ModelError, Scenario};
 use serde::{Deserialize, Serialize};
 
 /// The parameters whose influence can be probed.
@@ -146,10 +146,7 @@ impl SensitivityReport {
     pub fn ranked(&self) -> Vec<&SensitivityEntry> {
         let mut v: Vec<&SensitivityEntry> = self.entries.iter().collect();
         v.sort_by(|a, b| {
-            b.elasticity
-                .abs()
-                .partial_cmp(&a.elasticity.abs())
-                .unwrap_or(std::cmp::Ordering::Equal)
+            b.elasticity.abs().partial_cmp(&a.elasticity.abs()).unwrap_or(std::cmp::Ordering::Equal)
         });
         v
     }
@@ -286,8 +283,8 @@ mod tests {
     fn silent_rate_matters_more_than_fail_stop_rate_on_atlas() {
         // Atlas has the highest λ_s / λ_f ratio of Table I, so the optimum is
         // more sensitive to the silent-error rate.
-        let s = Scenario::paper_setup(&scr::atlas(), &WeightPattern::Uniform, 20, 25_000.0)
-            .unwrap();
+        let s =
+            Scenario::paper_setup(&scr::atlas(), &WeightPattern::Uniform, 20, 25_000.0).unwrap();
         let report = analyze(&s, Algorithm::TwoLevel, 0.05);
         let silent = report.entry(Parameter::LambdaSilent).unwrap().elasticity;
         let fail = report.entry(Parameter::LambdaFailStop).unwrap().elasticity;

@@ -41,11 +41,8 @@ impl Solution {
         stats: DpStatistics,
     ) -> Self {
         let error_free = scenario.error_free_time();
-        let normalized_makespan = if error_free > 0.0 {
-            expected_makespan / error_free
-        } else {
-            f64::NAN
-        };
+        let normalized_makespan =
+            if error_free > 0.0 { expected_makespan / error_free } else { f64::NAN };
         let counts = schedule.counts();
         Self { expected_makespan, normalized_makespan, schedule, counts, stats }
     }

@@ -146,8 +146,7 @@ fn compute_tables(calc: &SegmentCalculator<'_>, n: usize, options: TwoLevelOptio
         let mut best = f64::INFINITY;
         let mut best_d1 = usize::MAX;
         for d1 in 0..d2 {
-            let cand =
-                t.edisk[d1] + t.emem.get(d1, d2) + calc.scenario().costs.disk_checkpoint;
+            let cand = t.edisk[d1] + t.emem.get(d1, d2) + calc.scenario().costs.disk_checkpoint;
             if cand < best {
                 best = cand;
                 best_d1 = d1;
@@ -321,11 +320,7 @@ mod tests {
         let sol = optimize_two_level(&s, TwoLevelOptions::two_level());
         assert_eq!(sol.schedule.guaranteed_verification_positions(), vec![20]);
         assert_eq!(sol.schedule.disk_checkpoint_positions(), vec![20]);
-        assert!(approx_eq(
-            sol.expected_makespan,
-            25_000.0 + 15.0 + 15.0 + 300.0,
-            1e-9
-        ));
+        assert!(approx_eq(sol.expected_makespan, 25_000.0 + 15.0 + 15.0 + 300.0, 1e-9));
     }
 
     #[test]

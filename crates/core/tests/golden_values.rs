@@ -30,10 +30,7 @@ fn golden_expected_makespans_n20_uniform() {
         let measured_adv = optimize(&s, Algorithm::SingleLevel).expected_makespan;
         let measured_admv_star = optimize(&s, Algorithm::TwoLevel).expected_makespan;
         let measured_admv = optimize(&s, Algorithm::TwoLevelPartial).expected_makespan;
-        assert!(
-            (measured_adv - adv).abs() < TOL,
-            "{name} ADV*: {measured_adv} vs golden {adv}"
-        );
+        assert!((measured_adv - adv).abs() < TOL, "{name} ADV*: {measured_adv} vs golden {adv}");
         assert!(
             (measured_admv_star - admv_star).abs() < TOL,
             "{name} ADMV*: {measured_admv_star} vs golden {admv_star}"
@@ -86,10 +83,7 @@ fn golden_action_counts_n50_uniform() {
             counts.guaranteed_verifications, guaranteed,
             "{name} {algorithm} verif: {counts:?}"
         );
-        assert_eq!(
-            counts.partial_verifications, partial,
-            "{name} {algorithm} partial: {counts:?}"
-        );
+        assert_eq!(counts.partial_verifications, partial, "{name} {algorithm} partial: {counts:?}");
     }
 }
 
@@ -103,16 +97,15 @@ fn golden_single_task_closed_form() {
         let w = 25_000.0;
         let lf = platform.lambda_fail_stop;
         let ls = platform.lambda_silent;
-        let expected = (ls * w).exp() * (((lf * w).exp() - 1.0) / lf + s.costs.guaranteed_verification)
+        let expected = (ls * w).exp()
+            * (((lf * w).exp() - 1.0) / lf + s.costs.guaranteed_verification)
             + s.costs.memory_checkpoint
             + s.costs.disk_checkpoint;
         // The refined tail accounting reproduces the closed form exactly; the
         // paper-exact variant differs by its documented (sub-second) slack.
-        for algorithm in [
-            Algorithm::SingleLevel,
-            Algorithm::TwoLevel,
-            Algorithm::TwoLevelPartialRefined,
-        ] {
+        for algorithm in
+            [Algorithm::SingleLevel, Algorithm::TwoLevel, Algorithm::TwoLevelPartialRefined]
+        {
             let measured = optimize(&s, algorithm).expected_makespan;
             assert!(
                 (measured - expected).abs() < 1e-6,

@@ -208,10 +208,8 @@ impl<S: Snapshot + 'static> Executor<S> {
                 report.fail_stop_faults += 1;
                 // The node crashed: all memory content is gone.
                 self.memory_vault.invalidate();
-                let snapshot = self
-                    .disk_vault
-                    .load()?
-                    .ok_or(ExecError::MissingCheckpoint { boundary: 0 })?;
+                let snapshot =
+                    self.disk_vault.load()?.ok_or(ExecError::MissingCheckpoint { boundary: 0 })?;
                 state = S::restore(&snapshot.data)?;
                 position = snapshot.boundary;
                 // The restored disk copy also refills the memory level
@@ -298,11 +296,15 @@ mod tests {
     fn counting_pipeline(n: usize) -> Pipeline<Vec<f64>> {
         let mut p = Pipeline::new();
         for i in 0..n {
-            p.push(crate::pipeline::TaskSpec::new(format!("step-{i}"), 100.0, move |s: &mut Vec<f64>| {
-                for x in s.iter_mut() {
-                    *x += 1.0;
-                }
-            }));
+            p.push(crate::pipeline::TaskSpec::new(
+                format!("step-{i}"),
+                100.0,
+                move |s: &mut Vec<f64>| {
+                    for x in s.iter_mut() {
+                        *x += 1.0;
+                    }
+                },
+            ));
         }
         p
     }
@@ -310,11 +312,10 @@ mod tests {
     fn consistency_detector() -> InvariantDetector<Vec<f64>> {
         // All entries of the state must be equal (each task increments all of
         // them together), so any single-entry corruption is detectable.
-        InvariantDetector::new(|s: &Vec<f64>| {
-            s.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12)
-        })
+        InvariantDetector::new(|s: &Vec<f64>| s.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12))
     }
 
+    #[allow(clippy::ptr_arg)] // the corruptor closure takes the concrete state type
     fn corrupt_first_entry(s: &mut Vec<f64>) {
         if let Some(x) = s.first_mut() {
             *x += 1000.0;
@@ -437,10 +438,7 @@ mod tests {
         schedule.set_action(1, Action::MemoryCheckpoint);
         schedule.set_action(2, Action::PartialVerification);
         schedule.set_action(4, Action::DiskCheckpoint);
-        let script = ScriptedFaults::new(vec![
-            FaultDecision::none(),
-            FaultDecision::corruption(),
-        ]);
+        let script = ScriptedFaults::new(vec![FaultDecision::none(), FaultDecision::corruption()]);
         let mut exec = Executor::builder(pipeline, schedule)
             .guaranteed_detector(consistency_detector())
             .partial_detector(SampledDetector::new(consistency_detector(), 1.0, 7))
@@ -492,8 +490,7 @@ mod tests {
         let pipeline = counting_pipeline(3);
         let schedule = Schedule::terminal_only(3);
         // Crash on every attempt.
-        let script =
-            ScriptedFaults::new(std::iter::repeat_n(FaultDecision::crash(), 1000));
+        let script = ScriptedFaults::new(std::iter::repeat_n(FaultDecision::crash(), 1000));
         let mut exec = Executor::builder(pipeline, schedule)
             .guaranteed_detector(consistency_detector())
             .fault_source(script)

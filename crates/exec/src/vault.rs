@@ -230,10 +230,8 @@ mod tests {
 
     #[test]
     fn vaults_are_usable_through_the_trait_object() {
-        let mut vaults: Vec<Box<dyn Vault>> = vec![
-            Box::new(MemoryVault::new()),
-            Box::new(DiskVault::in_temp_dir("dyn").unwrap()),
-        ];
+        let mut vaults: Vec<Box<dyn Vault>> =
+            vec![Box::new(MemoryVault::new()), Box::new(DiskVault::in_temp_dir("dyn").unwrap())];
         for vault in &mut vaults {
             vault.store(1, Bytes::from_static(b"abc")).unwrap();
             assert_eq!(vault.boundary(), Some(1));

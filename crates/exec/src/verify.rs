@@ -163,9 +163,7 @@ mod tests {
         let mut d = SampledDetector::new(corrupted_state_detector(), 0.8, 42);
         let corrupted = vec![-1.0];
         let trials = 20_000;
-        let detected = (0..trials)
-            .filter(|_| d.verify(&corrupted) == Verdict::Corrupted)
-            .count();
+        let detected = (0..trials).filter(|_| d.verify(&corrupted) == Verdict::Corrupted).count();
         let rate = detected as f64 / trials as f64;
         assert!((rate - 0.8).abs() < 0.02, "empirical recall {rate}");
         assert_eq!(d.recall(), 0.8);

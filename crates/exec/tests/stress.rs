@@ -39,6 +39,7 @@ fn detector() -> InvariantDetector<Vec<f64>> {
     InvariantDetector::new(|s: &Vec<f64>| s.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9))
 }
 
+#[allow(clippy::ptr_arg)] // the corruptor closure takes the concrete state type
 fn corrupt(s: &mut Vec<f64>) {
     if let Some(x) = s.last_mut() {
         *x = -1.0e9;

@@ -115,10 +115,7 @@ impl TaskChain {
 
     /// Iterator over [`Task`] values.
     pub fn tasks(&self) -> impl Iterator<Item = Task> + '_ {
-        self.weights
-            .iter()
-            .enumerate()
-            .map(|(i, &w)| Task::new(i + 1, w))
+        self.weights.iter().enumerate().map(|(i, &w)| Task::new(i + 1, w))
     }
 
     /// Total computational weight `W = Σ w_i`.
@@ -227,10 +224,7 @@ mod tests {
         for i in 0..=weights.len() {
             for j in i..=weights.len() {
                 let direct: f64 = weights[i..j].iter().sum();
-                assert!(
-                    approx_eq(c.interval_weight(i, j), direct, 1e-12),
-                    "W({i},{j})"
-                );
+                assert!(approx_eq(c.interval_weight(i, j), direct, 1e-12), "W({i},{j})");
             }
         }
     }

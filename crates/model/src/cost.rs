@@ -75,7 +75,11 @@ impl ResilienceCosts {
     pub fn validate(&self) -> Result<(), ModelError> {
         let check = |name: &'static str, v: f64| -> Result<(), ModelError> {
             if !v.is_finite() || v < 0.0 {
-                Err(ModelError::InvalidParameter { name, value: v, expected: "a finite value >= 0" })
+                Err(ModelError::InvalidParameter {
+                    name,
+                    value: v,
+                    expected: "a finite value >= 0",
+                })
             } else {
                 Ok(())
             }
@@ -252,9 +256,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_partial_more_expensive_than_guaranteed() {
-        let r = ResilienceCosts::builder(&scr::hera())
-            .partial_verification(100.0)
-            .build();
+        let r = ResilienceCosts::builder(&scr::hera()).partial_verification(100.0).build();
         assert!(r.is_err());
     }
 }

@@ -55,10 +55,9 @@ impl fmt::Display for ModelError {
             ModelError::InvalidWeight { index, weight } => {
                 write!(f, "task T{index} has invalid weight {weight} (must be finite and >= 0)")
             }
-            ModelError::InvalidInterval { start, end, len } => write!(
-                f,
-                "invalid task interval ({start}, {end}] for a chain of {len} tasks"
-            ),
+            ModelError::InvalidInterval { start, end, len } => {
+                write!(f, "invalid task interval ({start}, {end}] for a chain of {len} tasks")
+            }
             ModelError::InvalidParameter { name, value, expected } => {
                 write!(f, "parameter `{name}` = {value} is invalid: expected {expected}")
             }
@@ -87,11 +86,7 @@ mod tests {
         assert!(msg.contains("T4"));
         assert!(msg.contains("-1"));
 
-        let e = ModelError::InvalidParameter {
-            name: "recall",
-            value: 1.5,
-            expected: "0 < r <= 1",
-        };
+        let e = ModelError::InvalidParameter { name: "recall", value: 1.5, expected: "0 < r <= 1" };
         assert!(e.to_string().contains("recall"));
 
         let e = ModelError::InvalidSchedule { position: usize::MAX, reason: "global".into() };

@@ -46,7 +46,11 @@ impl Platform {
     ) -> Result<Self, ModelError> {
         let check = |name: &'static str, v: f64| -> Result<(), ModelError> {
             if !v.is_finite() || v < 0.0 {
-                Err(ModelError::InvalidParameter { name, value: v, expected: "a finite value >= 0" })
+                Err(ModelError::InvalidParameter {
+                    name,
+                    value: v,
+                    expected: "a finite value >= 0",
+                })
             } else {
                 Ok(())
             }

@@ -141,11 +141,13 @@ mod tests {
         // probability ≈ 1.3 % (fail-stop + silent combined ≈ λ_f+λ_s times W),
         // a 222 s task with ≈ 0.096 %.
         let s = hera_uniform(50);
-        let p_large = 1.0 - (1.0 - math::prob_at_least_one(s.platform.lambda_fail_stop, 3000.0))
-            * (1.0 - math::prob_at_least_one(s.platform.lambda_silent, 3000.0));
+        let p_large = 1.0
+            - (1.0 - math::prob_at_least_one(s.platform.lambda_fail_stop, 3000.0))
+                * (1.0 - math::prob_at_least_one(s.platform.lambda_silent, 3000.0));
         assert!((p_large - 0.013).abs() < 0.001, "p_large = {p_large}");
-        let p_small = 1.0 - (1.0 - math::prob_at_least_one(s.platform.lambda_fail_stop, 222.0))
-            * (1.0 - math::prob_at_least_one(s.platform.lambda_silent, 222.0));
+        let p_small = 1.0
+            - (1.0 - math::prob_at_least_one(s.platform.lambda_fail_stop, 222.0))
+                * (1.0 - math::prob_at_least_one(s.platform.lambda_silent, 222.0));
         assert!((p_small - 0.00096).abs() < 0.0001, "p_small = {p_small}");
     }
 

@@ -28,7 +28,9 @@ use std::fmt;
 ///
 /// Variants are ordered from "nothing" to "heaviest"; `Ord` follows that
 /// hierarchy so `action >= Action::MemoryCheckpoint` reads naturally.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub enum Action {
     /// No resilience action: execution continues straight into the next task.
     #[default]
@@ -251,12 +253,7 @@ impl Schedule {
     }
 
     fn positions(&self, pred: impl Fn(Action) -> bool) -> Vec<usize> {
-        self.actions
-            .iter()
-            .enumerate()
-            .filter(|(_, &a)| pred(a))
-            .map(|(i, _)| i + 1)
-            .collect()
+        self.actions.iter().enumerate().filter(|(_, &a)| pred(a)).map(|(i, _)| i + 1).collect()
     }
 
     /// Hierarchical action counts (see [`ActionCounts`]).
@@ -300,10 +297,15 @@ impl Schedule {
     ///
     /// * the schedule length matches the chain length;
     /// * the final boundary carries at least a guaranteed verification, so the
-    ///   output of the application is known to be correct when it terminates.
+    ///   output of the application is known to be correct when it terminates;
+    /// * every memory checkpoint is enclosed by a disk checkpoint at or after
+    ///   its boundary (the §II structure: memory intervals close inside disk
+    ///   intervals, so a fail-stop rollback never discards a memory
+    ///   checkpoint's protected work).
     ///
-    /// (The verification/checkpoint hierarchy is enforced by construction via
-    /// the [`Action`] enum.)
+    /// (The per-boundary verification/checkpoint hierarchy is enforced by
+    /// construction via the [`Action`] enum; the rules above are the
+    /// cross-boundary invariants it cannot encode.)
     pub fn validate(&self, chain: &TaskChain) -> Result<(), ModelError> {
         if self.len() != chain.len() {
             return Err(ModelError::InvalidSchedule {
@@ -322,6 +324,28 @@ impl Schedule {
                 reason: "the final task must be followed by a guaranteed verification so that \
                          the application result is known to be correct"
                     .into(),
+            });
+        }
+        // §II structure: disk checkpoints partition the chain and every
+        // memory checkpoint belongs to the disk interval that closes it.  A
+        // memory checkpoint placed after the last disk checkpoint has no
+        // enclosing disk interval: a fail-stop error in the tail would roll
+        // back past it, silently discarding the work it claims to protect.
+        let last_disk = (1..=self.len())
+            .rev()
+            .find(|&i| self.actions[i - 1].has_disk_checkpoint())
+            .unwrap_or(0);
+        if let Some(orphan) =
+            (last_disk + 1..=self.len()).find(|&i| self.actions[i - 1].has_memory_checkpoint())
+        {
+            return Err(ModelError::InvalidSchedule {
+                position: orphan,
+                reason: format!(
+                    "memory checkpoint at boundary {orphan} is not enclosed by a disk \
+                     checkpoint (last disk checkpoint is at boundary {last_disk}); the \
+                     two-level model requires every memory interval to close inside a \
+                     disk interval"
+                ),
             });
         }
         Ok(())
@@ -359,11 +383,12 @@ impl Schedule {
         let mut out = String::new();
         out.push_str(title);
         out.push('\n');
-        let rows: [(&str, Box<dyn Fn(Action) -> bool>); 4] = [
-            ("Disk ckpts       ", Box::new(|a: Action| a.has_disk_checkpoint())),
-            ("Memory ckpts     ", Box::new(|a: Action| a.has_memory_checkpoint())),
-            ("Guaranteed verifs", Box::new(|a: Action| a.has_guaranteed_verification())),
-            ("Partial verifs   ", Box::new(|a: Action| a.has_partial_verification())),
+        type StripRow = (&'static str, fn(Action) -> bool);
+        let rows: [StripRow; 4] = [
+            ("Disk ckpts       ", Action::has_disk_checkpoint),
+            ("Memory ckpts     ", Action::has_memory_checkpoint),
+            ("Guaranteed verifs", Action::has_guaranteed_verification),
+            ("Partial verifs   ", Action::has_partial_verification),
         ];
         for (label, pred) in rows.iter() {
             out.push_str(label);
@@ -547,8 +572,9 @@ mod tests {
     #[test]
     fn total_action_cost_sums_all_boundaries() {
         let c = hera_costs();
-        let s = Schedule::from_actions(vec![Action::GuaranteedVerification, Action::DiskCheckpoint])
-            .unwrap();
+        let s =
+            Schedule::from_actions(vec![Action::GuaranteedVerification, Action::DiskCheckpoint])
+                .unwrap();
         let expected = 15.4 + (15.4 + 15.4 + 300.0);
         assert!((s.total_action_cost(&c) - expected).abs() < 1e-9);
     }

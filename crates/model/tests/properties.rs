@@ -16,10 +16,8 @@ fn pattern_strategy() -> impl Strategy<Value = WeightPattern> {
         Just(WeightPattern::Uniform),
         Just(WeightPattern::Decrease),
         Just(WeightPattern::Increase),
-        (0.01f64..1.0, 0.0f64..1.0).prop_map(|(t, w)| WeightPattern::HighLow {
-            task_fraction: t,
-            weight_fraction: w,
-        }),
+        (0.01f64..1.0, 0.0f64..1.0)
+            .prop_map(|(t, w)| WeightPattern::HighLow { task_fraction: t, weight_fraction: w }),
     ]
 }
 
@@ -158,6 +156,70 @@ proptest! {
             prop_assert!(p >= prev - 1e-15);
             prev = p;
         }
+    }
+}
+
+proptest! {
+    /// A memory checkpoint placed after the last disk checkpoint has no
+    /// enclosing disk interval; the two-level model forbids it and
+    /// `Schedule::validate` must reject it, wherever it sits and whatever
+    /// precedes it.
+    #[test]
+    fn validate_rejects_unenclosed_memory_checkpoints(
+        prefix in proptest::collection::vec(action_strategy(), 0..20),
+        tail_len in 0usize..6,
+    ) {
+        let mut actions = prefix;
+        actions.push(Action::MemoryCheckpoint);
+        for _ in 0..tail_len {
+            actions.push(Action::None);
+        }
+        // A guaranteed verification satisfies the final-verification rule, so
+        // the *only* reason to reject is the orphaned memory checkpoint.
+        actions.push(Action::GuaranteedVerification);
+        let n = actions.len();
+        let chain = TaskChain::uniform(n, 100.0).unwrap();
+        let schedule = Schedule::from_actions(actions).unwrap();
+        prop_assert!(schedule.validate(&chain).is_err());
+    }
+
+    /// Closing the chain with a disk checkpoint encloses every memory
+    /// interval, so any action prefix becomes a valid schedule.
+    #[test]
+    fn validate_accepts_schedules_closed_by_a_terminal_disk_checkpoint(
+        actions in proptest::collection::vec(action_strategy(), 1..40),
+    ) {
+        let mut actions = actions;
+        *actions.last_mut().unwrap() = Action::DiskCheckpoint;
+        let n = actions.len();
+        let chain = TaskChain::uniform(n, 50.0).unwrap();
+        let schedule = Schedule::from_actions(actions).unwrap();
+        prop_assert!(schedule.validate(&chain).is_ok());
+    }
+
+    /// The paper requires the execution to end in a *verified* state: a tail
+    /// that is unverified, or closed only by a partial verification (recall
+    /// `r < 1` can miss a corruption), is a forbidden verification ordering.
+    #[test]
+    fn validate_rejects_unverified_or_partially_verified_tails(
+        prefix in proptest::collection::vec(action_strategy(), 0..30),
+        tail in prop_oneof![Just(Action::None), Just(Action::PartialVerification)],
+    ) {
+        let mut actions = prefix;
+        actions.push(tail);
+        let n = actions.len();
+        let chain = TaskChain::uniform(n, 100.0).unwrap();
+        let schedule = Schedule::from_actions(actions).unwrap();
+        prop_assert!(schedule.validate(&chain).is_err());
+    }
+
+    /// A schedule is only valid for a chain of exactly its length.
+    #[test]
+    fn validate_rejects_length_mismatches(n in 1usize..40, m in 1usize..40) {
+        prop_assume!(n != m);
+        let chain = TaskChain::uniform(n, 100.0).unwrap();
+        let schedule = Schedule::terminal_only(m);
+        prop_assert!(schedule.validate(&chain).is_err());
     }
 }
 

@@ -139,11 +139,10 @@ mod tests {
     fn rejects_bad_configs_and_schedules() {
         let s = hera(5);
         let schedule = Schedule::terminal_only(5);
-        let mut config = ConvergenceConfig::default();
-        config.target_relative_half_width = 0.0;
+        let config =
+            ConvergenceConfig { target_relative_half_width: 0.0, ..ConvergenceConfig::default() };
         assert!(run_until_converged(&s, &schedule, config).is_err());
-        let mut config = ConvergenceConfig::default();
-        config.batch_size = 0;
+        let config = ConvergenceConfig { batch_size: 0, ..ConvergenceConfig::default() };
         assert!(run_until_converged(&s, &schedule, config).is_err());
         assert!(run_until_converged(&s, &Schedule::empty(5), ConvergenceConfig::default()).is_err());
     }

@@ -221,10 +221,8 @@ mod tests {
         let h = d.histogram(10);
         let lines: Vec<&str> = h.lines().collect();
         assert_eq!(lines.len(), 10);
-        let total: usize = lines
-            .iter()
-            .map(|l| l.rsplit(' ').next().unwrap().parse::<usize>().unwrap())
-            .sum();
+        let total: usize =
+            lines.iter().map(|l| l.rsplit(' ').next().unwrap().parse::<usize>().unwrap()).sum();
         assert_eq!(total, 1000);
         assert!(lines.iter().any(|l| l.contains("##")));
     }

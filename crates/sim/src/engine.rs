@@ -317,7 +317,9 @@ mod tests {
         let schedule = Schedule::terminal_only(15);
         for seed in 0..50 {
             let (r, _) = simulate_run(&s, &schedule, RunConfig::with_seed(seed)).unwrap();
-            let floor = 25_000.0 + s.costs.guaranteed_verification + s.costs.memory_checkpoint
+            let floor = 25_000.0
+                + s.costs.guaranteed_verification
+                + s.costs.memory_checkpoint
                 + s.costs.disk_checkpoint;
             assert!(r.makespan >= floor - 1e-9, "seed {seed}: {}", r.makespan);
         }
@@ -390,10 +392,12 @@ mod tests {
             ResilienceCosts::paper_defaults(&platform),
         )
         .unwrap();
-        let schedule = Schedule::every_task(10, Action::MemoryCheckpoint);
-        // Wait: every_task(MemoryCheckpoint) has no terminal disk checkpoint,
-        // which is still a valid schedule (final boundary carries a guaranteed
-        // verification through the memory checkpoint).
+        // Memory checkpoint after every task; the terminal boundary must be a
+        // disk checkpoint so every memory interval closes inside a disk
+        // interval (`Schedule::validate` rejects unenclosed memory
+        // checkpoints).
+        let mut schedule = Schedule::every_task(10, Action::MemoryCheckpoint);
+        schedule.set_action(10, Action::DiskCheckpoint);
         for seed in 0..100 {
             let (r, _) = simulate_run(&s, &schedule, RunConfig::with_seed(seed)).unwrap();
             // Wasted work from silent errors is at most one task (100 s) per

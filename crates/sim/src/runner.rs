@@ -1,16 +1,21 @@
 //! Monte-Carlo replication runner.
 //!
 //! Runs many independent replications of [`crate::engine::simulate_run`] —
-//! optionally across worker threads (crossbeam scoped threads, one RNG stream
+//! optionally across worker threads (`std::thread::scope`, one RNG stream
 //! per worker) — and aggregates makespan and error statistics.  The runner is
 //! the main tool used to cross-validate the analytical expectations of
 //! `chain2l-core` against the execution semantics of the model.
+//!
+//! Campaigns are reproducible run-to-run for a fixed
+//! [`MonteCarloConfig`]: worker `t` always draws from the stream
+//! `seed + t`, and the per-worker accumulators are merged in worker order
+//! after all threads join (merging through a shared lock in completion
+//! order would make the floating-point totals depend on thread timing).
 
 use crate::engine::{simulate_with_injector, RunConfig};
 use crate::faults::FaultInjector;
 use crate::stats::{Summary, Welford};
 use chain2l_model::{ModelError, Scenario, Schedule};
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a Monte-Carlo campaign.
@@ -139,8 +144,7 @@ pub fn run_monte_carlo(
         );
         let run_config = RunConfig::default();
         for _ in 0..replications {
-            let (result, _) =
-                simulate_with_injector(scenario, schedule, &mut injector, run_config);
+            let (result, _) = simulate_with_injector(scenario, schedule, &mut injector, run_config);
             acc.makespan.push(result.makespan);
             acc.fail_stop += result.fail_stop_errors as f64;
             acc.silent += result.silent_errors as f64;
@@ -156,22 +160,25 @@ pub fn run_monte_carlo(
     let total = if threads == 1 {
         accumulate(0, config.replications)
     } else {
-        let shared = Mutex::new(WorkerAccumulator::default());
         let per_worker = config.replications / threads;
         let remainder = config.replications % threads;
-        crossbeam::scope(|scope| {
-            for worker in 0..threads {
-                let replications = per_worker + usize::from(worker < remainder);
-                let shared = &shared;
-                let accumulate = &accumulate;
-                scope.spawn(move |_| {
-                    let acc = accumulate(worker, replications);
-                    shared.lock().merge(&acc);
-                });
-            }
-        })
-        .expect("simulation worker panicked");
-        shared.into_inner()
+        // Join in spawn order and merge in worker order so the aggregated
+        // floating-point totals are identical run-to-run for a fixed config.
+        let workers: Vec<WorkerAccumulator> = std::thread::scope(|scope| {
+            let accumulate = &accumulate;
+            let handles: Vec<_> = (0..threads)
+                .map(|worker| {
+                    let replications = per_worker + usize::from(worker < remainder);
+                    scope.spawn(move || accumulate(worker, replications))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("simulation worker panicked")).collect()
+        });
+        let mut total = WorkerAccumulator::default();
+        for acc in &workers {
+            total.merge(acc);
+        }
+        total
     };
 
     let runs = total.runs as f64;

@@ -134,10 +134,7 @@ impl Trace {
     /// Number of partial verifications that missed an existing corruption.
     pub fn partial_misses(&self) -> usize {
         self.count(|e| {
-            matches!(
-                e,
-                SimEvent::PartialVerification { corrupted: true, detected: false, .. }
-            )
+            matches!(e, SimEvent::PartialVerification { corrupted: true, detected: false, .. })
         })
     }
 
@@ -182,7 +179,10 @@ mod tests {
         let mut t = Trace::new();
         t.record(0.0, SimEvent::SilentError { index: 1 });
         t.record(1.0, SimEvent::TaskCompleted { index: 1 });
-        t.record(2.0, SimEvent::PartialVerification { boundary: 1, detected: false, corrupted: true });
+        t.record(
+            2.0,
+            SimEvent::PartialVerification { boundary: 1, detected: false, corrupted: true },
+        );
         t.record(3.0, SimEvent::TaskCompleted { index: 2 });
         t.record(4.0, SimEvent::GuaranteedVerification { boundary: 2, detected: true });
         t.record(4.5, SimEvent::MemoryRollback { to_boundary: 0 });

@@ -44,8 +44,8 @@ fn main() {
     // A mid-size cluster: per-platform fail-stop MTBF of ~5 days, silent-error
     // MTBF of ~2 days, parallel file system checkpoints of 10 minutes, and
     // node-local (in-memory / burst-buffer) checkpoints of 20 seconds.
-    let platform = Platform::new("MidCluster", 768, 2.3e-6, 5.8e-6, 600.0, 20.0)
-        .expect("valid platform");
+    let platform =
+        Platform::new("MidCluster", 768, 2.3e-6, 5.8e-6, 600.0, 20.0).expect("valid platform");
     let costs = ResilienceCosts::builder(&platform)
         .guaranteed_verification(25.0) // full-state consistency check
         .partial_verification(0.5) // cheap data-dynamics monitor
@@ -72,7 +72,10 @@ fn main() {
     let baselines: Vec<(&str, Schedule)> = vec![
         ("no resilience (restart from scratch)", heuristics::no_resilience(&scenario)),
         ("disk checkpoint after every stage", heuristics::checkpoint_every_task(&scenario)),
-        ("memory checkpoint after every stage", heuristics::memory_checkpoint_every_task(&scenario)),
+        (
+            "memory checkpoint after every stage",
+            heuristics::memory_checkpoint_every_task(&scenario),
+        ),
         ("Young/Daly periods", heuristics::young_daly(&scenario).expect("valid scenario")),
     ];
 

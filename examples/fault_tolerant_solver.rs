@@ -94,11 +94,7 @@ fn main() {
     // --- 1. The pipeline -----------------------------------------------------------
     let mut pipeline: Pipeline<SolverState> = Pipeline::new();
     for i in 0..TASKS {
-        pipeline.push(TaskSpec::new(
-            format!("jacobi-block-{i:02}"),
-            SECONDS_PER_TASK,
-            run_sweeps,
-        ));
+        pipeline.push(TaskSpec::new(format!("jacobi-block-{i:02}"), SECONDS_PER_TASK, run_sweeps));
     }
 
     // --- 2. The platform and the optimal schedule -----------------------------------

@@ -89,8 +89,7 @@ mod tests {
             Scenario::paper_setup(&scr::atlas(), &WeightPattern::Uniform, 8, 25_000.0).unwrap();
         let solution = optimize(&scenario, Algorithm::TwoLevelPartial);
         let value =
-            expected_makespan(&scenario, &solution.schedule, PartialCostModel::PaperExact)
-                .unwrap();
+            expected_makespan(&scenario, &solution.schedule, PartialCostModel::PaperExact).unwrap();
         assert!((value - solution.expected_makespan).abs() < 1e-6);
     }
 }

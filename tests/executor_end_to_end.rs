@@ -34,6 +34,7 @@ fn all_equal_detector() -> InvariantDetector<Vec<f64>> {
     InvariantDetector::new(|s: &Vec<f64>| s.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9))
 }
 
+#[allow(clippy::ptr_arg)] // the corruptor closure takes the concrete state type
 fn corrupt(state: &mut Vec<f64>) {
     state[0] += 12345.0;
 }
@@ -60,10 +61,7 @@ fn optimizer_schedule_runs_cleanly_without_faults() {
     assert_eq!(report.memory_restores + report.disk_restores, 0);
     // The executor took exactly the checkpoints the schedule asked for
     // (+1 for the implicit snapshot of the initial state at boundary 0).
-    assert_eq!(
-        report.memory_checkpoints,
-        solution.counts.memory_checkpoints as u64 + 1
-    );
+    assert_eq!(report.memory_checkpoints, solution.counts.memory_checkpoints as u64 + 1);
     assert_eq!(report.disk_checkpoints, solution.counts.disk_checkpoints as u64 + 1);
 }
 
@@ -162,9 +160,8 @@ fn crashes_roll_back_to_disk_and_preserve_the_result() {
 #[test]
 fn executor_rejects_schedules_that_do_not_match_the_pipeline() {
     let schedule = Schedule::terminal_only(4);
-    let result = Executor::builder(pipeline(5), schedule)
-        .guaranteed_detector(all_equal_detector())
-        .build();
+    let result =
+        Executor::builder(pipeline(5), schedule).guaranteed_detector(all_equal_detector()).build();
     assert!(matches!(result, Err(ExecError::InvalidSchedule { .. })));
 }
 
@@ -207,9 +204,8 @@ fn snapshot_trait_is_exercised_by_custom_states() {
             chain2l::exec::bytes::Bytes::copy_from_slice(&self.ticks.to_le_bytes())
         }
         fn restore(data: &[u8]) -> Result<Self, ExecError> {
-            let bytes: [u8; 8] = data
-                .try_into()
-                .map_err(|_| ExecError::Codec { reason: "need 8 bytes".into() })?;
+            let bytes: [u8; 8] =
+                data.try_into().map_err(|_| ExecError::Codec { reason: "need 8 bytes".into() })?;
             Ok(Self { ticks: u64::from_le_bytes(bytes) })
         }
     }

@@ -42,16 +42,23 @@ fn fig5_hera_and_atlas_gains_match_the_paper_magnitudes() {
     // Paper §IV summary: the two-level approach saves ≈2 % on Hera and ≈5 %
     // on Atlas.  We require the measured gain at n = 50 to be in a band
     // around those figures (1–4 % and 2.5–8 % respectively).
-    let hera_single =
-        run_cell(&scr::hera(), &WeightPattern::Uniform, 50, PAPER_TOTAL_WEIGHT, Algorithm::SingleLevel);
-    let hera_two =
-        run_cell(&scr::hera(), &WeightPattern::Uniform, 50, PAPER_TOTAL_WEIGHT, Algorithm::TwoLevel);
+    let hera_single = run_cell(
+        &scr::hera(),
+        &WeightPattern::Uniform,
+        50,
+        PAPER_TOTAL_WEIGHT,
+        Algorithm::SingleLevel,
+    );
+    let hera_two = run_cell(
+        &scr::hera(),
+        &WeightPattern::Uniform,
+        50,
+        PAPER_TOTAL_WEIGHT,
+        Algorithm::TwoLevel,
+    );
     let hera_gain = (hera_single.expected_makespan - hera_two.expected_makespan)
         / hera_single.expected_makespan;
-    assert!(
-        (0.01..0.04).contains(&hera_gain),
-        "Hera gain {hera_gain} outside the expected band"
-    );
+    assert!((0.01..0.04).contains(&hera_gain), "Hera gain {hera_gain} outside the expected band");
 
     let atlas_single = run_cell(
         &scr::atlas(),
@@ -60,8 +67,13 @@ fn fig5_hera_and_atlas_gains_match_the_paper_magnitudes() {
         PAPER_TOTAL_WEIGHT,
         Algorithm::SingleLevel,
     );
-    let atlas_two =
-        run_cell(&scr::atlas(), &WeightPattern::Uniform, 50, PAPER_TOTAL_WEIGHT, Algorithm::TwoLevel);
+    let atlas_two = run_cell(
+        &scr::atlas(),
+        &WeightPattern::Uniform,
+        50,
+        PAPER_TOTAL_WEIGHT,
+        Algorithm::TwoLevel,
+    );
     let atlas_gain = (atlas_single.expected_makespan - atlas_two.expected_makespan)
         / atlas_single.expected_makespan;
     assert!(
@@ -119,10 +131,20 @@ fn fig5_two_level_adds_memory_checkpoints_but_keeps_verification_count_similar()
     // placed by ADV*.  However, the two-level algorithm uses additional
     // memory checkpoints."
     for platform in [scr::hera(), scr::atlas()] {
-        let single =
-            run_cell(&platform, &WeightPattern::Uniform, 50, PAPER_TOTAL_WEIGHT, Algorithm::SingleLevel);
-        let two =
-            run_cell(&platform, &WeightPattern::Uniform, 50, PAPER_TOTAL_WEIGHT, Algorithm::TwoLevel);
+        let single = run_cell(
+            &platform,
+            &WeightPattern::Uniform,
+            50,
+            PAPER_TOTAL_WEIGHT,
+            Algorithm::SingleLevel,
+        );
+        let two = run_cell(
+            &platform,
+            &WeightPattern::Uniform,
+            50,
+            PAPER_TOTAL_WEIGHT,
+            Algorithm::TwoLevel,
+        );
         assert!(
             two.counts.memory_checkpoints > single.counts.memory_checkpoints,
             "{}: {} vs {}",
@@ -159,12 +181,8 @@ fn fig6_no_interior_disk_checkpoints_and_coastal_ssd_prefers_partials() {
     );
     // On Coastal SSD the partial verifications outnumber the standalone
     // guaranteed ones (checkpoint-attached verifications excluded).
-    let standalone_guaranteed =
-        ssd_counts.guaranteed_verifications - ssd_counts.memory_checkpoints;
-    assert!(
-        ssd_counts.partial_verifications >= standalone_guaranteed,
-        "{ssd_counts:?}"
-    );
+    let standalone_guaranteed = ssd_counts.guaranteed_verifications - ssd_counts.memory_checkpoints;
+    assert!(ssd_counts.partial_verifications >= standalone_guaranteed, "{ssd_counts:?}");
 }
 
 #[test]
@@ -180,12 +198,10 @@ fn fig7_decrease_pattern_concentrates_actions_on_the_large_head_tasks() {
         Algorithm::TwoLevelPartial,
     );
     let schedule = &solution.schedule;
-    let first_half_actions = (1..=25)
-        .filter(|&i| schedule.action(i).has_any_verification())
-        .count();
-    let second_half_actions = (26..50)
-        .filter(|&i| schedule.action(i).has_any_verification())
-        .count();
+    let first_half_actions =
+        (1..=25).filter(|&i| schedule.action(i).has_any_verification()).count();
+    let second_half_actions =
+        (26..50).filter(|&i| schedule.action(i).has_any_verification()).count();
     assert!(
         first_half_actions > second_half_actions,
         "head {first_half_actions} vs tail {second_half_actions}"
@@ -206,9 +222,8 @@ fn fig8_highlow_pattern_protects_the_large_tasks_with_memory_checkpoints_on_hera
     let counts = solution.counts;
     assert_eq!(counts.disk_checkpoints, 1, "{counts:?}");
     // Most of the 5 large-task boundaries carry a memory checkpoint.
-    let large_with_memory = (1..=5)
-        .filter(|&i| solution.schedule.action(i).has_memory_checkpoint())
-        .count();
+    let large_with_memory =
+        (1..=5).filter(|&i| solution.schedule.action(i).has_memory_checkpoint()).count();
     assert!(large_with_memory >= 3, "only {large_with_memory} of the large tasks are protected");
 }
 

@@ -173,8 +173,7 @@ fn dp_matches_brute_force_on_the_paper_platforms() {
 fn monotonicity_in_costs_cheaper_checkpoints_never_hurt() {
     // Halving every resilience cost can only decrease the optimal makespan.
     let platform = scr::atlas();
-    let scenario =
-        Scenario::paper_setup(&platform, &WeightPattern::Uniform, 20, 25_000.0).unwrap();
+    let scenario = Scenario::paper_setup(&platform, &WeightPattern::Uniform, 20, 25_000.0).unwrap();
     let cheap_platform = platform.with_scaled_costs(0.5).unwrap();
     let mut cheap =
         Scenario::paper_setup(&cheap_platform, &WeightPattern::Uniform, 20, 25_000.0).unwrap();

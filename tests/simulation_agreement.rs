@@ -72,8 +72,8 @@ fn handwritten_schedule_evaluation_matches_simulation() {
     schedule.set_action(3, Action::GuaranteedVerification);
     schedule.set_action(9, Action::MemoryCheckpoint);
     schedule.set_action(15, Action::GuaranteedVerification);
-    let predicted = expected_makespan(&scenario, &schedule, PartialCostModel::Refined)
-        .expect("valid schedule");
+    let predicted =
+        expected_makespan(&scenario, &schedule, PartialCostModel::Refined).expect("valid schedule");
     let report = run_monte_carlo(
         &scenario,
         &schedule,

@@ -1,0 +1,225 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace benches use — [`Criterion`],
+//! benchmark groups, [`Bencher::iter`], [`black_box`], [`BenchmarkId`] and
+//! the `criterion_group!` / `criterion_main!` macros — with simple wall-clock
+//! timing and plain-text reporting instead of statistics and plots.  Under
+//! `cargo test` (`--test` harness mode) each benchmark runs a single
+//! iteration as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measures one benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `body`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `body` on inputs produced by `setup` (setup excluded).
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut body: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(body(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Batch sizing hint accepted by [`Bencher::iter_batched`] (ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs.
+    SmallInput,
+    /// Large inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Function name + parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: u64,
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // When the bench binary is run by `cargo test` it receives `--test`;
+        // run each body once so the suite stays fast.
+        let smoke_test = std::env::args().any(|a| a == "--test");
+        Self { sample_size: 10, smoke_test }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: u64) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.effective_iters(), f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), iters: self.effective_iters(), _parent: self }
+    }
+
+    fn effective_iters(&self) -> u64 {
+        if self.smoke_test {
+            1
+        } else {
+            self.sample_size
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u64).max(1);
+        self
+    }
+
+    /// Accepted for compatibility; the stub ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.iters, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.iters, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, iters: u64, mut f: F) {
+    let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let per_iter =
+        if bencher.iters > 0 { bencher.elapsed / bencher.iters as u32 } else { Duration::ZERO };
+    println!("bench {id:60} {:>12.3?}/iter ({} iters)", per_iter, bencher.iters);
+}
+
+/// Declares a benchmark group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_and_group_run() {
+        let mut c = Criterion { sample_size: 2, smoke_test: false };
+        let mut calls = 0u32;
+        c.bench_function("unit", |b| b.iter(|| calls += 1));
+        assert!(calls >= 2);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,454 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset the workspace's property tests use: the `proptest!`
+//! macro (with an optional `#![proptest_config(...)]` header), `prop_assert*`
+//! / `prop_assume!`, `prop_oneof!`, [`strategy::Strategy`] with `prop_map` /
+//! `prop_flat_map`, range and tuple strategies, [`Just`](strategy::Just) and
+//! [`collection::vec`].
+//!
+//! Differences from the real crate: cases are drawn from a deterministic
+//! per-test RNG (seeded from the test function's name), there is no
+//! shrinking, and failed assertions panic immediately with the offending
+//! values in the message.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Test configuration and the deterministic case RNG.
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases each property runs.
+        pub cases: u32,
+        /// Accepted for compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+        /// Accepted for compatibility; rejections (`prop_assume!`) simply
+        /// skip the case.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256, max_shrink_iters: 0, max_global_rejects: 1024 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases, ..Self::default() }
+        }
+    }
+
+    /// Deterministic RNG driving strategy sampling (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from an arbitrary string (the test name), so
+        /// every test sees its own reproducible stream.
+        pub fn deterministic(name: &str) -> Self {
+            let mut hash = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self { state: hash }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform `usize` in `[lo, hi]`.
+        pub fn usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+            debug_assert!(lo <= hi);
+            // wrapping: span == 0 signals the full 64-bit range.
+            let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+            if span == 0 {
+                return self.next_u64() as usize;
+            }
+            lo + (self.next_u64() % span) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of type `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+
+        /// Generates a value, then samples from the strategy `f` builds
+        /// from it.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { base: self, f }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.sample(rng)))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The `prop_map` adapter.
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, O, F> Strategy for Map<B, F>
+    where
+        B: Strategy,
+        F: Fn(B::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.sample(rng))
+        }
+    }
+
+    /// The `prop_flat_map` adapter.
+    pub struct FlatMap<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, S2, F> Strategy for FlatMap<B, F>
+    where
+        B: Strategy,
+        S2: Strategy,
+        F: Fn(B::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.base.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds the union; at least one option is required.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.usize_inclusive(0, self.options.len() - 1);
+            self.options[i].sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let lo = self.start as u64;
+                    let hi = self.end as u64 - 1;
+                    (lo + rng.next_u64() % (hi - lo + 1)) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as u64, *self.end() as u64);
+                    assert!(lo <= hi, "empty range strategy");
+                    // wrapping: span == 0 signals the full 64-bit range.
+                    let span = hi.wrapping_sub(lo).wrapping_add(1);
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo + rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            lo + rng.unit_f64() * (hi - lo)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An inclusive size interval for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// Strategy generating `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_inclusive(self.size.min, self.size.max);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Declares property tests; see the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for _ in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property (panics with the values on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// The glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_even() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn mapped_values_are_even(x in small_even()) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn vec_sizes_respect_bounds(v in crate::collection::vec(0.0f64..1.0, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn oneof_and_flat_map_and_assume(
+            choice in prop_oneof![Just(1u64), Just(2u64), 10u64..20],
+            v in (1usize..5).prop_flat_map(|n| crate::collection::vec(0u8..5, n)),
+        ) {
+            prop_assume!(choice != 2);
+            prop_assert!(choice == 1 || (10..20).contains(&choice));
+            prop_assert!(!v.is_empty() && v.len() < 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_is_stable_per_name() {
+        let mut a = crate::test_runner::TestRng::deterministic("name");
+        let mut b = crate::test_runner::TestRng::deterministic("name");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::deterministic("other");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

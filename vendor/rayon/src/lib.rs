@@ -1,0 +1,305 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the data-parallel subset the workspace uses —
+//! `par_iter()` / `into_par_iter()` with `map`, `for_each` and ordered
+//! `collect` — on top of `std::thread::scope`.  Scheduling is dynamic: every
+//! worker steals the next unclaimed item index from a shared atomic cursor,
+//! so long-running cells (the `O(n⁶)` DP at large `n`) do not serialise the
+//! sweep behind a static partition.  Results are written back by item index,
+//! which keeps `collect` order — and therefore all sweep output —
+//! deterministic regardless of thread timing.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads used by parallel iterators: the value of the
+/// `RAYON_NUM_THREADS` environment variable when set and positive, otherwise
+/// the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs the two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join closure panicked"))
+    })
+}
+
+/// Maps `f` over `items` on a scoped worker pool, preserving input order.
+///
+/// Each worker claims item indices from a shared atomic cursor (dynamic
+/// scheduling) and records `(index, result)` pairs; the pairs are reassembled
+/// in index order at the end, so the output is independent of thread timing.
+fn parallel_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let slots = &slots;
+    let cursor = &cursor;
+
+    let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = slots[i]
+                            .lock()
+                            .expect("item slot poisoned")
+                            .take()
+                            .expect("item claimed twice");
+                        local.push((i, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("rayon worker panicked")).collect()
+    });
+
+    indexed.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(indexed.len(), n);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Parallel iterator traits and adapters.
+pub mod iter {
+    use super::parallel_map_vec;
+
+    /// A parallel iterator: a finite sequence of `Send` items that can be
+    /// mapped and collected on the worker pool with stable ordering.
+    pub trait ParallelIterator: Sized + Send {
+        /// The element type.
+        type Item: Send;
+
+        /// Materialises all items, running any pending stages in parallel.
+        fn drive(self) -> Vec<Self::Item>;
+
+        /// Maps each item through `f` in parallel.
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync + Send,
+        {
+            Map { base: self, f }
+        }
+
+        /// Runs `f` on every item in parallel.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync + Send,
+        {
+            let _ = self.map(f).drive();
+        }
+
+        /// Collects into any `FromIterator` container, in input order.
+        fn collect<C>(self) -> C
+        where
+            C: FromIterator<Self::Item>,
+        {
+            self.drive().into_iter().collect()
+        }
+
+        /// Sums the items.
+        fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<Self::Item>,
+        {
+            self.drive().into_iter().sum()
+        }
+
+        /// Number of items.
+        fn count(self) -> usize {
+            self.drive().len()
+        }
+    }
+
+    /// Leaf iterator over an owned vector (no parallel stage pending).
+    pub struct IntoParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for IntoParIter<T> {
+        type Item = T;
+        fn drive(self) -> Vec<T> {
+            self.items
+        }
+    }
+
+    /// A mapping stage; `drive` evaluates it on the worker pool.
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, R, F> ParallelIterator for Map<B, F>
+    where
+        B: ParallelIterator,
+        R: Send,
+        F: Fn(B::Item) -> R + Sync + Send,
+    {
+        type Item = R;
+        fn drive(self) -> Vec<R> {
+            parallel_map_vec(self.base.drive(), self.f)
+        }
+    }
+
+    /// Types convertible into an owning parallel iterator.
+    pub trait IntoParallelIterator {
+        /// The element type.
+        type Item: Send;
+        /// The concrete iterator.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = IntoParIter<T>;
+        fn into_par_iter(self) -> IntoParIter<T> {
+            IntoParIter { items: self }
+        }
+    }
+
+    impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+        type Item = T;
+        type Iter = IntoParIter<T>;
+        fn into_par_iter(self) -> IntoParIter<T> {
+            IntoParIter { items: self.into_iter().collect() }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = IntoParIter<usize>;
+        fn into_par_iter(self) -> IntoParIter<usize> {
+            IntoParIter { items: self.collect() }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::RangeInclusive<usize> {
+        type Item = usize;
+        type Iter = IntoParIter<usize>;
+        fn into_par_iter(self) -> IntoParIter<usize> {
+            IntoParIter { items: self.collect() }
+        }
+    }
+
+    /// `par_iter()` — borrowing parallel iteration.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The borrowed element type.
+        type Item: Send + 'data;
+        /// The concrete iterator.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Iterates over `&self` in parallel.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = IntoParIter<&'data T>;
+        fn par_iter(&'data self) -> IntoParIter<&'data T> {
+            IntoParIter { items: self.iter().collect() }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = IntoParIter<&'data T>;
+        fn par_iter(&'data self) -> IntoParIter<&'data T> {
+            IntoParIter { items: self.iter().collect() }
+        }
+    }
+}
+
+/// Glob-import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_collect_matches_sequential_map() {
+        let input: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = input.iter().map(|x| x * x).collect();
+        let parallel: Vec<u64> = input.into_par_iter().map(|x| x * x).collect();
+        assert_eq!(parallel, expected);
+    }
+
+    #[test]
+    fn uneven_work_still_collects_in_order() {
+        // Large early items force later items to finish first under dynamic
+        // scheduling; order must still be preserved.
+        let work: Vec<usize> = vec![200_000, 1, 1, 100_000, 1, 1, 50_000, 1];
+        let out: Vec<usize> = work
+            .clone()
+            .into_par_iter()
+            .map(|n| (0..n).fold(0usize, |a, b| a.wrapping_add(b)) % 7 + n)
+            .collect();
+        let expected: Vec<usize> = work
+            .into_iter()
+            .map(|n| (0..n).fold(0usize, |a, b| a.wrapping_add(b)) % 7 + n)
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let input: Vec<String> = (0..100).map(|i| format!("s{i}")).collect();
+        let lens: Vec<usize> = input.par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens.len(), 100);
+        assert_eq!(lens[0], 2);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn repeated_runs_are_identical() {
+        let run = || -> Vec<f64> {
+            (0usize..64).into_par_iter().map(|i| (i as f64).sqrt().sin()).collect()
+        };
+        assert_eq!(run(), run());
+    }
+}

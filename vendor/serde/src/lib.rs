@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its model types so
+//! they stay serialisation-ready, but never drives an actual serde data
+//! format (snapshots go through `chain2l_exec::state::Snapshot` instead).
+//! This stub therefore only has to provide the two traits and their derive
+//! macros; the derives emit empty impls of these marker traits.
+
+/// A type that can be serialised.  Marker-only in this offline stand-in.
+pub trait Serialize {}
+
+/// A type that can be deserialised.  Marker-only in this offline stand-in.
+pub trait Deserialize<'de>: Sized {}
+
+/// A type that can be deserialised without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

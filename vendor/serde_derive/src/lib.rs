@@ -1,0 +1,51 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits empty impls of the marker traits in the sibling `serde` stub.  The
+//! tiny hand-rolled parser extracts the type name (and rejects generic types,
+//! which the workspace does not derive serde traits on).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the identifier following the `struct` / `enum` / `union` keyword.
+fn type_name(input: &TokenStream) -> String {
+    let mut tokens = input.clone().into_iter();
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if matches!(
+                            tokens.next(),
+                            Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                        ) {
+                            panic!(
+                                "the offline serde_derive stub does not support \
+                                 generic types (deriving on `{name}`)"
+                            );
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("expected a type name after `{word}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde_derive stub: no struct/enum found in derive input");
+}
+
+/// Derives an empty `impl serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl ::serde::Serialize for {name} {{}}").parse().expect("valid impl block")
+}
+
+/// Derives an empty `impl serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
