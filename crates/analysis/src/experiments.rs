@@ -16,14 +16,24 @@
 //! The number of task counts evaluated is controlled by [`ExperimentConfig`]:
 //! `paper()` sweeps every `n` from 1 to 50 like the original plots, `quick()`
 //! uses a small subset so the harness stays fast in debug builds and CI.
+//!
+//! Every builder comes in two flavours: the plain function (which runs with a
+//! private, throw-away cache) and a `*_with_cache` variant that records its
+//! solves in a shared [`SolutionCache`].  The figure entry points
+//! ([`fig5_with_cache`], [`fig7_with_cache`], [`fig8_with_cache`]) share one
+//! cache across **all** their panels, so each distinct
+//! `(platform, pattern, n, algorithm)` cell is solved exactly once — the
+//! count panels and placement strips are served from the makespan panel's
+//! solves, which the cache's hit statistics prove.
 
 use crate::figures::{CountPoint, CountSeries, MakespanPoint, MakespanSeries, PlacementStrip};
 use crate::report::{fmt_f64, Table};
+use chain2l_core::cache::{SolutionCache, SolveRequest};
 use chain2l_core::{optimize, Algorithm, Solution};
 use chain2l_model::platform::scr;
 use chain2l_model::{Platform, Scenario, WeightPattern};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Total computational weight used throughout §IV (seconds).
 pub const PAPER_TOTAL_WEIGHT: f64 = 25_000.0;
@@ -89,30 +99,70 @@ pub fn run_cell(
     optimize(&scenario, algorithm)
 }
 
+/// Like [`run_cell`], but served through (and recorded in) `cache`.
+pub fn run_cell_cached(
+    platform: &Platform,
+    pattern: &WeightPattern,
+    n: usize,
+    total_weight: f64,
+    algorithm: Algorithm,
+    cache: &SolutionCache,
+) -> Arc<Solution> {
+    let scenario = Scenario::paper_setup(platform, pattern, n, total_weight)
+        .expect("paper setup parameters are valid");
+    cache.solve(&scenario, algorithm)
+}
+
+/// The batch of solve requests behind one panel: every `(n, algorithm)` cell
+/// of the config, in sweep order (task counts outermost).
+fn panel_requests(
+    platform: &Platform,
+    pattern: &WeightPattern,
+    config: &ExperimentConfig,
+    algorithms: &[Algorithm],
+) -> Vec<SolveRequest> {
+    config
+        .task_counts
+        .iter()
+        .flat_map(|&n| algorithms.iter().map(move |&a| (n, a)))
+        .map(|(n, a)| {
+            let scenario = Scenario::paper_setup(platform, pattern, n, config.total_weight)
+                .expect("paper setup parameters are valid");
+            SolveRequest::new(scenario, a)
+        })
+        .collect()
+}
+
 /// Builds the normalized-makespan panel for one platform and pattern.
 ///
-/// The `n × algorithm` cells are independent, so they are flattened into one
-/// work list and evaluated on the work-stealing pool; the results are
-/// regrouped in sweep order, keeping the panel deterministic.
+/// The `n × algorithm` cells are independent, so they are submitted as one
+/// batch and the misses are solved on the work-stealing pool; the results
+/// come back in sweep order, keeping the panel deterministic.
 pub fn makespan_series(
     platform: &Platform,
     pattern: &WeightPattern,
     config: &ExperimentConfig,
 ) -> MakespanSeries {
+    makespan_series_with_cache(platform, pattern, config, &SolutionCache::new())
+}
+
+/// [`makespan_series`] recording its solves in a shared `cache`.
+pub fn makespan_series_with_cache(
+    platform: &Platform,
+    pattern: &WeightPattern,
+    config: &ExperimentConfig,
+    cache: &SolutionCache,
+) -> MakespanSeries {
     let algorithms = config.algorithms.len();
     let points = if algorithms == 0 {
         config.task_counts.iter().map(|&n| MakespanPoint { n, values: Vec::new() }).collect()
     } else {
-        let cells: Vec<(usize, Algorithm)> = config
-            .task_counts
+        let requests = panel_requests(platform, pattern, config, &config.algorithms);
+        let solutions = cache.solve_batch(&requests);
+        let values: Vec<(Algorithm, f64)> = requests
             .iter()
-            .flat_map(|&n| config.algorithms.iter().map(move |&a| (n, a)))
-            .collect();
-        let values: Vec<(Algorithm, f64)> = cells
-            .into_par_iter()
-            .map(|(n, a)| {
-                (a, run_cell(platform, pattern, n, config.total_weight, a).normalized_makespan)
-            })
+            .zip(&solutions)
+            .map(|(req, sol)| (req.algorithm, sol.normalized_makespan))
             .collect();
         config
             .task_counts
@@ -132,16 +182,24 @@ pub fn count_series(
     algorithm: Algorithm,
     config: &ExperimentConfig,
 ) -> CountSeries {
+    count_series_with_cache(platform, pattern, algorithm, config, &SolutionCache::new())
+}
+
+/// [`count_series`] recording its solves in a shared `cache`.
+pub fn count_series_with_cache(
+    platform: &Platform,
+    pattern: &WeightPattern,
+    algorithm: Algorithm,
+    config: &ExperimentConfig,
+    cache: &SolutionCache,
+) -> CountSeries {
+    let requests = panel_requests(platform, pattern, config, &[algorithm]);
+    let solutions = cache.solve_batch(&requests);
     let points = config
         .task_counts
-        .clone()
-        .into_par_iter()
-        .map(|n| CountPoint {
-            n,
-            counts: run_cell(platform, pattern, n, config.total_weight, algorithm)
-                .schedule
-                .counts(),
-        })
+        .iter()
+        .zip(&solutions)
+        .map(|(&n, sol)| CountPoint { n, counts: sol.counts })
         .collect();
     CountSeries {
         platform: platform.name.clone(),
@@ -159,13 +217,25 @@ pub fn placement_strip(
     n: usize,
     total_weight: f64,
 ) -> PlacementStrip {
-    let solution = run_cell(platform, pattern, n, total_weight, algorithm);
+    placement_strip_with_cache(platform, pattern, algorithm, n, total_weight, &SolutionCache::new())
+}
+
+/// [`placement_strip`] recording its solve in a shared `cache`.
+pub fn placement_strip_with_cache(
+    platform: &Platform,
+    pattern: &WeightPattern,
+    algorithm: Algorithm,
+    n: usize,
+    total_weight: f64,
+    cache: &SolutionCache,
+) -> PlacementStrip {
+    let solution = run_cell_cached(platform, pattern, n, total_weight, algorithm, cache);
     PlacementStrip {
         platform: platform.name.clone(),
         pattern: pattern.name().to_string(),
         algorithm,
         n,
-        schedule: solution.schedule,
+        schedule: solution.schedule.clone(),
     }
 }
 
@@ -218,16 +288,24 @@ impl Fig5 {
 
 /// Runs the Figure 5 evaluation (all four platforms, Uniform pattern).
 pub fn fig5(config: &ExperimentConfig) -> Fig5 {
+    fig5_with_cache(config, &SolutionCache::new())
+}
+
+/// [`fig5`] sharing one solution cache across every panel: the count panels
+/// repeat the makespan panel's cells, so each distinct
+/// `(platform, n, algorithm)` DP runs exactly once and the repeats show up
+/// as cache hits.
+pub fn fig5_with_cache(config: &ExperimentConfig, cache: &SolutionCache) -> Fig5 {
     let pattern = WeightPattern::Uniform;
     let rows = scr::all()
         .into_iter()
         .map(|platform| Fig5Row {
             platform: platform.name.clone(),
-            makespan: makespan_series(&platform, &pattern, config),
+            makespan: makespan_series_with_cache(&platform, &pattern, config, cache),
             counts: config
                 .algorithms
                 .iter()
-                .map(|&a| count_series(&platform, &pattern, a, config))
+                .map(|&a| count_series_with_cache(&platform, &pattern, a, config, cache))
                 .collect(),
         })
         .collect();
@@ -289,21 +367,32 @@ impl PatternFigure {
     }
 }
 
-fn pattern_figure(pattern: WeightPattern, config: &ExperimentConfig) -> PatternFigure {
+fn pattern_figure(
+    pattern: WeightPattern,
+    config: &ExperimentConfig,
+    cache: &SolutionCache,
+) -> PatternFigure {
     let platforms = [scr::hera(), scr::coastal_ssd()];
     let strip_n = config.max_tasks();
     let rows = platforms
         .into_iter()
         .map(|platform| PatternFigureRow {
             platform: platform.name.clone(),
-            makespan: makespan_series(&platform, &pattern, config),
-            admv_counts: count_series(&platform, &pattern, Algorithm::TwoLevelPartial, config),
-            strip: placement_strip(
+            makespan: makespan_series_with_cache(&platform, &pattern, config, cache),
+            admv_counts: count_series_with_cache(
+                &platform,
+                &pattern,
+                Algorithm::TwoLevelPartial,
+                config,
+                cache,
+            ),
+            strip: placement_strip_with_cache(
                 &platform,
                 &pattern,
                 Algorithm::TwoLevelPartial,
                 strip_n,
                 config.total_weight,
+                cache,
             ),
         })
         .collect();
@@ -312,12 +401,24 @@ fn pattern_figure(pattern: WeightPattern, config: &ExperimentConfig) -> PatternF
 
 /// Runs the Figure 7 evaluation (Decrease pattern on Hera and Coastal SSD).
 pub fn fig7(config: &ExperimentConfig) -> PatternFigure {
-    pattern_figure(WeightPattern::Decrease, config)
+    fig7_with_cache(config, &SolutionCache::new())
+}
+
+/// [`fig7`] sharing one solution cache across every panel (see
+/// [`fig5_with_cache`]).
+pub fn fig7_with_cache(config: &ExperimentConfig, cache: &SolutionCache) -> PatternFigure {
+    pattern_figure(WeightPattern::Decrease, config, cache)
 }
 
 /// Runs the Figure 8 evaluation (HighLow pattern on Hera and Coastal SSD).
 pub fn fig8(config: &ExperimentConfig) -> PatternFigure {
-    pattern_figure(WeightPattern::high_low_default(), config)
+    fig8_with_cache(config, &SolutionCache::new())
+}
+
+/// [`fig8`] sharing one solution cache across every panel (see
+/// [`fig5_with_cache`]).
+pub fn fig8_with_cache(config: &ExperimentConfig, cache: &SolutionCache) -> PatternFigure {
+    pattern_figure(WeightPattern::high_low_default(), config, cache)
 }
 
 /// Renders Table I (platform parameters, plus the derived MTBFs in days that
@@ -447,6 +548,21 @@ mod tests {
         // MTBFs quoted in the paper's prose: 12.2 and 3.4 days for Hera.
         assert!(csv.contains("12.2"));
         assert!(csv.contains("3.4"));
+    }
+
+    #[test]
+    fn fig5_with_shared_cache_solves_each_distinct_cell_exactly_once() {
+        let config = tiny_config();
+        let cache = SolutionCache::new();
+        let data = fig5_with_cache(&config, &cache);
+        let distinct = 4 * config.task_counts.len() * config.algorithms.len();
+        let stats = cache.stats();
+        assert_eq!(stats.misses as usize, distinct, "every distinct cell solved exactly once");
+        assert_eq!(stats.entries, distinct);
+        // The count panels revisit every makespan cell: all served from cache.
+        assert_eq!(stats.hits as usize, distinct);
+        // And the cached figure is identical to the uncached one.
+        assert_eq!(data, fig5(&config));
     }
 
     #[test]

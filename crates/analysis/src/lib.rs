@@ -14,6 +14,12 @@
 //! * [`markdown`] — Markdown rendering used by EXPERIMENTS.md;
 //! * [`report`] — CSV / aligned-text rendering.
 //!
+//! The figure and sweep builders all come in `*_with_cache` variants that
+//! share one [`SolutionCache`] (re-exported from `chain2l-core`), so figure
+//! panels and sweeps that revisit the same `(platform, pattern, n, T,
+//! algorithm)` scenario solve it exactly once — cached and uncached runs are
+//! bit-identical.
+//!
 //! # Example — a quick Figure 5 sweep
 //!
 //! ```
@@ -45,6 +51,7 @@ pub mod report;
 pub mod sweep;
 pub mod validation;
 
+pub use chain2l_core::cache::{CacheStats, SolutionCache, SolveRequest};
 pub use experiments::{fig5, fig6, fig7, fig8, table1, ExperimentConfig};
 pub use figures::{CountSeries, MakespanSeries, PlacementStrip};
 pub use report::Table;

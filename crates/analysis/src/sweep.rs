@@ -23,10 +23,18 @@
 //! from the cell's coordinates via [`cell_seed`] — output is therefore
 //! bit-identical across runs and independent of worker count.
 
+//! Every sweep also exists as a `*_with_cache` variant that records its DP
+//! solves in a shared [`SolutionCache`]: run several sweeps (or a sweep plus
+//! the figure panels) against one cache and every scenario they share is
+//! solved exactly once.  Cached and uncached runs are bit-identical — the
+//! optimizers are deterministic pure functions — so output stays
+//! byte-identical with the cache on or off.
+
 use crate::report::{fmt_f64, Table};
+use chain2l_core::cache::SolutionCache;
 use chain2l_core::evaluator::expected_makespan;
 use chain2l_core::heuristics;
-use chain2l_core::{optimize, Algorithm, PartialCostModel, Solution};
+use chain2l_core::{Algorithm, PartialCostModel, Solution};
 use chain2l_model::{Action, Platform, Scenario, WeightPattern};
 use chain2l_sim::runner::{run_monte_carlo, MonteCarloConfig};
 use rayon::prelude::*;
@@ -150,6 +158,16 @@ pub struct GridRow {
 /// the whole artifact reproducible bit-for-bit across runs and thread
 /// counts.
 pub fn run_grid(spec: &GridSpec) -> Vec<GridRow> {
+    run_grid_with_cache(spec, &SolutionCache::new())
+}
+
+/// [`run_grid`] recording every cell's DP solve in a shared `cache`.
+///
+/// The paper grid's cells are pairwise distinct, so within one grid each
+/// fingerprint is solved exactly once; sharing the cache with other sweeps or
+/// figure panels (as the `sweeps` binary does) additionally serves their
+/// repeated scenarios from it.  Output is byte-identical to the uncached run.
+pub fn run_grid_with_cache(spec: &GridSpec, cache: &SolutionCache) -> Vec<GridRow> {
     let mut cells = Vec::with_capacity(spec.cell_count());
     for platform in &spec.platforms {
         for pattern in &spec.patterns {
@@ -175,7 +193,7 @@ pub fn run_grid(spec: &GridSpec) -> Vec<GridRow> {
             );
             let s = Scenario::paper_setup(platform, pattern, n, total_weight)
                 .expect("valid paper setup");
-            let solution = optimize(&s, algorithm);
+            let solution = cache.solve(&s, algorithm);
             let (simulated_mean, relative_error) = if spec.validation_replications > 0 {
                 let report = run_monte_carlo(
                     &s,
@@ -201,7 +219,7 @@ pub fn run_grid(spec: &GridSpec) -> Vec<GridRow> {
                 total_weight,
                 algorithm,
                 seed,
-                solution,
+                solution: (*solution).clone(),
                 simulated_mean,
                 relative_error,
             }
@@ -251,6 +269,17 @@ pub fn grid_table(rows: &[GridRow]) -> Table {
 /// Sweeps the partial-verification recall `r` and reports the optimal `A_DMV`
 /// makespan and the number of partial verifications it places.
 pub fn recall_sweep(platform: &Platform, n: usize, total_weight: f64, recalls: &[f64]) -> Table {
+    recall_sweep_with_cache(platform, n, total_weight, recalls, &SolutionCache::new())
+}
+
+/// [`recall_sweep`] recording its solves in a shared `cache`.
+pub fn recall_sweep_with_cache(
+    platform: &Platform,
+    n: usize,
+    total_weight: f64,
+    recalls: &[f64],
+    cache: &SolutionCache,
+) -> Table {
     let mut table = Table::new(
         format!("Recall sweep — {} (n = {n})", platform.name),
         &["recall", "normalized_makespan", "partial_verifs", "guaranteed_verifs"],
@@ -260,7 +289,7 @@ pub fn recall_sweep(platform: &Platform, n: usize, total_weight: f64, recalls: &
         .map(|&r| {
             let mut s = scenario(platform, n, total_weight);
             s.costs.partial_recall = r;
-            let sol = optimize(&s, Algorithm::TwoLevelPartial);
+            let sol = cache.solve(&s, Algorithm::TwoLevelPartial);
             vec![
                 fmt_f64(r, 2),
                 fmt_f64(sol.normalized_makespan, 5),
@@ -282,6 +311,17 @@ pub fn partial_cost_sweep(
     total_weight: f64,
     ratios: &[f64],
 ) -> Table {
+    partial_cost_sweep_with_cache(platform, n, total_weight, ratios, &SolutionCache::new())
+}
+
+/// [`partial_cost_sweep`] recording its solves in a shared `cache`.
+pub fn partial_cost_sweep_with_cache(
+    platform: &Platform,
+    n: usize,
+    total_weight: f64,
+    ratios: &[f64],
+    cache: &SolutionCache,
+) -> Table {
     let mut table = Table::new(
         format!("Partial-verification cost sweep — {} (n = {n})", platform.name),
         &["cost_ratio", "normalized_makespan", "partial_verifs"],
@@ -291,7 +331,7 @@ pub fn partial_cost_sweep(
         .map(|&ratio| {
             let mut s = scenario(platform, n, total_weight);
             s.costs.partial_verification = s.costs.guaranteed_verification / ratio;
-            let sol = optimize(&s, Algorithm::TwoLevelPartial);
+            let sol = cache.solve(&s, Algorithm::TwoLevelPartial);
             vec![
                 fmt_f64(ratio, 1),
                 fmt_f64(sol.normalized_makespan, 5),
@@ -313,6 +353,17 @@ pub fn rate_scaling_sweep(
     total_weight: f64,
     factors: &[f64],
 ) -> Table {
+    rate_scaling_sweep_with_cache(platform, n, total_weight, factors, &SolutionCache::new())
+}
+
+/// [`rate_scaling_sweep`] recording its solves in a shared `cache`.
+pub fn rate_scaling_sweep_with_cache(
+    platform: &Platform,
+    n: usize,
+    total_weight: f64,
+    factors: &[f64],
+    cache: &SolutionCache,
+) -> Table {
     let mut table = Table::new(
         format!("Error-rate scaling sweep — {} (n = {n})", platform.name),
         &["rate_factor", "ADV*", "ADMV*", "ADMV", "ADMV_memory_ckpts", "ADMV_partial_verifs"],
@@ -322,9 +373,9 @@ pub fn rate_scaling_sweep(
         .map(|&factor| {
             let scaled = platform.with_scaled_rates(factor).expect("valid scaling");
             let s = scenario(&scaled, n, total_weight);
-            let single = optimize(&s, Algorithm::SingleLevel);
-            let two = optimize(&s, Algorithm::TwoLevel);
-            let full = optimize(&s, Algorithm::TwoLevelPartial);
+            let single = cache.solve(&s, Algorithm::SingleLevel);
+            let two = cache.solve(&s, Algorithm::TwoLevel);
+            let full = cache.solve(&s, Algorithm::TwoLevelPartial);
             vec![
                 fmt_f64(factor, 1),
                 fmt_f64(single.normalized_makespan, 5),
@@ -344,6 +395,16 @@ pub fn rate_scaling_sweep(
 /// Compares the `PaperExact` and `Refined` tail accounting of the §III-B
 /// algorithm on every requested platform.
 pub fn tail_accounting_comparison(platforms: &[Platform], n: usize, total_weight: f64) -> Table {
+    tail_accounting_comparison_with_cache(platforms, n, total_weight, &SolutionCache::new())
+}
+
+/// [`tail_accounting_comparison`] recording its solves in a shared `cache`.
+pub fn tail_accounting_comparison_with_cache(
+    platforms: &[Platform],
+    n: usize,
+    total_weight: f64,
+    cache: &SolutionCache,
+) -> Table {
     let mut table = Table::new(
         format!("Tail-accounting ablation (n = {n})"),
         &["platform", "ADMV_paper", "ADMV_refined", "relative_gap"],
@@ -352,8 +413,8 @@ pub fn tail_accounting_comparison(platforms: &[Platform], n: usize, total_weight
         .par_iter()
         .map(|platform| {
             let s = scenario(platform, n, total_weight);
-            let paper = optimize(&s, Algorithm::TwoLevelPartial);
-            let refined = optimize(&s, Algorithm::TwoLevelPartialRefined);
+            let paper = cache.solve(&s, Algorithm::TwoLevelPartial);
+            let refined = cache.solve(&s, Algorithm::TwoLevelPartialRefined);
             let gap =
                 (paper.expected_makespan - refined.expected_makespan) / refined.expected_makespan;
             vec![
@@ -372,8 +433,19 @@ pub fn tail_accounting_comparison(platforms: &[Platform], n: usize, total_weight
 
 /// Compares the optimal two-level placement against the baseline heuristics.
 pub fn heuristic_comparison(platform: &Platform, n: usize, total_weight: f64) -> Table {
+    heuristic_comparison_with_cache(platform, n, total_weight, &SolutionCache::new())
+}
+
+/// [`heuristic_comparison`] recording its DP solve in a shared `cache`
+/// (the heuristic placements themselves are closed-form, not DP solves).
+pub fn heuristic_comparison_with_cache(
+    platform: &Platform,
+    n: usize,
+    total_weight: f64,
+    cache: &SolutionCache,
+) -> Table {
     let s = scenario(platform, n, total_weight);
-    let optimal = optimize(&s, Algorithm::TwoLevel);
+    let optimal = cache.solve(&s, Algorithm::TwoLevel);
     let model = PartialCostModel::Refined;
 
     let mut table = Table::new(

@@ -1,0 +1,70 @@
+//! Cached vs. uncached solves are bit-identical, and the sweep grid stays
+//! byte-identical with the cache enabled and across thread counts.
+
+use chain2l_analysis::sweep::{grid_table, run_grid, run_grid_with_cache, GridSpec};
+use chain2l_core::cache::SolutionCache;
+use chain2l_core::{optimize, Algorithm};
+use chain2l_model::platform::scr;
+use chain2l_model::{Scenario, WeightPattern};
+
+const W: f64 = 25_000.0;
+
+#[test]
+fn cached_solves_are_bit_identical_for_all_platforms_and_algorithms() {
+    let cache = SolutionCache::new();
+    let algorithms = [
+        Algorithm::SingleLevel,
+        Algorithm::TwoLevel,
+        Algorithm::TwoLevelPartial,
+        Algorithm::TwoLevelPartialRefined,
+    ];
+    for platform in scr::all() {
+        for algorithm in algorithms {
+            let s = Scenario::paper_setup(&platform, &WeightPattern::Uniform, 10, W).unwrap();
+            let direct = optimize(&s, algorithm);
+            let cached = cache.solve(&s, algorithm);
+            assert_eq!(
+                direct.expected_makespan.to_bits(),
+                cached.expected_makespan.to_bits(),
+                "{} / {algorithm}: cached makespan differs",
+                platform.name
+            );
+            assert_eq!(direct.schedule, cached.schedule, "{} / {algorithm}", platform.name);
+            assert_eq!(direct.stats, cached.stats, "{} / {algorithm}", platform.name);
+            assert_eq!(direct.normalized_makespan.to_bits(), cached.normalized_makespan.to_bits());
+            // A repeated solve is served from cache and stays identical.
+            let again = cache.solve(&s, algorithm);
+            assert_eq!(cached.expected_makespan.to_bits(), again.expected_makespan.to_bits());
+        }
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 16, "4 platforms x 4 algorithms, each solved once");
+    assert_eq!(stats.hits, 16, "every repeat served from cache");
+}
+
+#[test]
+fn validated_grid_is_byte_identical_with_cache_and_across_thread_counts() {
+    let spec = GridSpec { validation_replications: 40, ..GridSpec::paper(vec![3, 6], 42) };
+    let baseline = grid_table(&run_grid(&spec)).to_csv();
+
+    // Cache enabled: first run fills the cache, second run is all hits —
+    // both byte-identical to the uncached baseline.
+    let cache = SolutionCache::new();
+    let first = grid_table(&run_grid_with_cache(&spec, &cache)).to_csv();
+    let second = grid_table(&run_grid_with_cache(&spec, &cache)).to_csv();
+    assert_eq!(baseline, first, "cache on vs. off must not change the grid");
+    assert_eq!(baseline, second, "warm cache must not change the grid");
+    let stats = cache.stats();
+    assert_eq!(stats.misses as usize, spec.cell_count(), "distinct cells solved exactly once");
+    assert_eq!(stats.hits as usize, spec.cell_count(), "second run fully served from cache");
+
+    // Thread counts: the d1-sharded DPs and the work-stealing grid must not
+    // perturb a single byte.
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let single_threaded = grid_table(&run_grid(&spec)).to_csv();
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let four_threads = grid_table(&run_grid_with_cache(&spec, &SolutionCache::new())).to_csv();
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert_eq!(baseline, single_threaded, "RAYON_NUM_THREADS=1 changed the grid");
+    assert_eq!(baseline, four_threads, "RAYON_NUM_THREADS=4 changed the grid");
+}

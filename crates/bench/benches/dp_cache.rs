@@ -1,0 +1,43 @@
+//! Cold vs. warm solver-cache performance.
+//!
+//! `cold` measures a full DP solve through a fresh `SolutionCache` (cache
+//! construction + fingerprint + the dynamic program); `warm` measures the
+//! same request served from an already-populated cache (fingerprint + map
+//! lookup only).  The gap is the wall-clock the figure panels and sweeps
+//! save on every repeated `(scenario, algorithm)` cell.
+
+use chain2l_core::cache::SolutionCache;
+use chain2l_core::Algorithm;
+use chain2l_model::platform::scr;
+use chain2l_model::{Scenario, WeightPattern};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn scenario(n: usize) -> Scenario {
+    Scenario::paper_setup(&scr::hera(), &WeightPattern::Uniform, n, 25_000.0).unwrap()
+}
+
+fn bench_dp_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_cache");
+    group.sample_size(10);
+
+    for &n in &[20usize, 50] {
+        let s = scenario(n);
+        group.bench_with_input(BenchmarkId::new("cold", n), &n, |b, _| {
+            b.iter_batched(
+                SolutionCache::new,
+                |cache| cache.solve(black_box(&s), Algorithm::TwoLevel),
+                BatchSize::SmallInput,
+            )
+        });
+        let warm = SolutionCache::new();
+        warm.solve(&s, Algorithm::TwoLevel);
+        group.bench_with_input(BenchmarkId::new("warm", n), &n, |b, _| {
+            b.iter(|| warm.solve(black_box(&s), Algorithm::TwoLevel))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp_cache);
+criterion_main!(benches);

@@ -8,22 +8,37 @@
 //! (all cores; set `RAYON_NUM_THREADS` to override) and derives each cell's
 //! RNG stream deterministically from `--seed` and the cell coordinates, so
 //! two runs with the same flags produce byte-identical output regardless of
-//! core count.
+//! core count.  All sweeps share one `SolutionCache`, so scenarios revisited
+//! across tables (e.g. a sweep's default parameter value that also appears
+//! in the grid) are solved exactly once — the cache cannot change output,
+//! only skip recomputation.
 //!
 //! Usage: `cargo run --release -p chain2l-bench --bin sweeps
 //!         [--tasks N] [--seed S] [--validate REPS]`
 
 use chain2l_analysis::experiments::PAPER_TOTAL_WEIGHT;
 use chain2l_analysis::sweep::{self, GridSpec};
+use chain2l_analysis::SolutionCache;
 use chain2l_bench::write_result_file;
 use chain2l_model::platform::scr;
 
+/// Reads the value of `--name`; absent flags fall back to `default`, but a
+/// value that fails to parse is a hard error (running a sweep with a silently
+/// substituted default would mislabel the artifact).
 fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
+    match args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)) {
+        None => default,
+        Some(raw) => match raw.parse() {
+            Ok(value) => value,
+            Err(_) => {
+                eprintln!(
+                    "error: invalid value `{raw}` for {name} (expected a {})",
+                    std::any::type_name::<T>()
+                );
+                std::process::exit(2);
+            }
+        },
+    }
 }
 
 fn main() {
@@ -41,27 +56,39 @@ fn main() {
         rayon::current_num_threads()
     );
 
+    // One cache across every sweep table and the grid: scenarios shared
+    // between tables are solved once.  Stats go to stderr, never stdout, so
+    // the artifact stays byte-identical with or without cache reuse.
+    let cache = SolutionCache::new();
     let mut tables = vec![
-        sweep::recall_sweep(
+        sweep::recall_sweep_with_cache(
             &scr::coastal_ssd(),
             tasks,
             PAPER_TOTAL_WEIGHT,
             &[0.2, 0.4, 0.6, 0.8, 1.0],
+            &cache,
         ),
-        sweep::partial_cost_sweep(
+        sweep::partial_cost_sweep_with_cache(
             &scr::coastal_ssd(),
             tasks,
             PAPER_TOTAL_WEIGHT,
             &[1.0, 10.0, 100.0, 1000.0],
+            &cache,
         ),
-        sweep::rate_scaling_sweep(
+        sweep::rate_scaling_sweep_with_cache(
             &scr::hera(),
             tasks,
             PAPER_TOTAL_WEIGHT,
             &[1.0, 2.0, 5.0, 10.0, 50.0],
+            &cache,
         ),
-        sweep::tail_accounting_comparison(&scr::all(), tasks, PAPER_TOTAL_WEIGHT),
-        sweep::heuristic_comparison(&scr::hera(), tasks, PAPER_TOTAL_WEIGHT),
+        sweep::tail_accounting_comparison_with_cache(
+            &scr::all(),
+            tasks,
+            PAPER_TOTAL_WEIGHT,
+            &cache,
+        ),
+        sweep::heuristic_comparison_with_cache(&scr::hera(), tasks, PAPER_TOTAL_WEIGHT, &cache),
     ];
 
     // The platform × pattern × n × T grid: every Table I platform, the three
@@ -71,8 +98,9 @@ fn main() {
     ladder.dedup(); // ascending; small --tasks values collapse rungs
     let spec = GridSpec { validation_replications: validate, ..GridSpec::paper(ladder, seed) };
     eprintln!("sweeps: running {} grid cells…", spec.cell_count());
-    let rows = sweep::run_grid(&spec);
+    let rows = sweep::run_grid_with_cache(&spec, &cache);
     tables.push(sweep::grid_table(&rows));
+    eprintln!("sweeps: solver cache — {}", cache.stats());
 
     let mut out = String::new();
     for table in &tables {

@@ -7,6 +7,7 @@ use crate::args::{ArgError, ParsedArgs};
 use chain2l_analysis::experiments::{self, ExperimentConfig};
 use chain2l_analysis::sweep;
 use chain2l_analysis::validation;
+use chain2l_core::cache::{SolutionCache, SolveRequest};
 use chain2l_core::evaluator::expected_makespan;
 use chain2l_core::{optimize, Algorithm, PartialCostModel};
 use chain2l_model::platform::scr;
@@ -31,6 +32,7 @@ COMMANDS:
                                   regenerate a paper figure or table
   sweep recall|cost|rates|tail|heuristics
                                   run an ablation sweep
+  batch                           solve a scenario list in one cached batch call
   sensitivity                     elasticity of the optimum w.r.t. every parameter
   help                            show this message
 
@@ -53,6 +55,14 @@ SIMULATE / VALIDATE:
   --threads <n>                   (default: 4)
   --histogram                     (simulate) print the makespan distribution
 
+BATCH:
+  --file <path>                   scenario list (default or `-`: read stdin);
+                                  one request per line, `,` or space separated:
+                                  platform pattern tasks [weight [algorithm]]
+                                  (blank lines and # comments ignored); results
+                                  stream back as CSV in input order, duplicates
+                                  are solved once and served from the cache
+
 SENSITIVITY:
   --step <fraction>               relative perturbation (default: 0.05)
 
@@ -72,6 +82,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, ArgError> {
         "validate" => cmd_validate(args),
         "experiment" => cmd_experiment(args),
         "sweep" => cmd_sweep(args),
+        "batch" => cmd_batch(args),
         "sensitivity" => cmd_sensitivity(args),
         other => Err(ArgError::Unknown { what: other.to_string() }),
     }
@@ -94,18 +105,24 @@ fn parse_platform(args: &ParsedArgs) -> Result<Platform, ArgError> {
     })
 }
 
-fn parse_pattern(args: &ParsedArgs) -> Result<WeightPattern, ArgError> {
-    match args.get_or("pattern", "uniform") {
-        "uniform" => Ok(WeightPattern::Uniform),
-        "decrease" => Ok(WeightPattern::Decrease),
-        "increase" => Ok(WeightPattern::Increase),
-        "highlow" => Ok(WeightPattern::high_low_default()),
-        other => Err(ArgError::InvalidValue {
-            option: "pattern".into(),
-            value: other.to_string(),
-            expected: "uniform, decrease, increase or highlow".into(),
-        }),
+/// Looks a weight pattern up by its CLI name.
+fn pattern_by_name(name: &str) -> Option<WeightPattern> {
+    match name {
+        "uniform" => Some(WeightPattern::Uniform),
+        "decrease" => Some(WeightPattern::Decrease),
+        "increase" => Some(WeightPattern::Increase),
+        "highlow" => Some(WeightPattern::high_low_default()),
+        _ => None,
     }
+}
+
+fn parse_pattern(args: &ParsedArgs) -> Result<WeightPattern, ArgError> {
+    let name = args.get_or("pattern", "uniform");
+    pattern_by_name(name).ok_or_else(|| ArgError::InvalidValue {
+        option: "pattern".into(),
+        value: name.to_string(),
+        expected: "uniform, decrease, increase or highlow".into(),
+    })
 }
 
 fn parse_algorithm(args: &ParsedArgs) -> Result<Algorithm, ArgError> {
@@ -268,6 +285,113 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<String, ArgError> {
     Ok(out)
 }
 
+fn cmd_batch(args: &ParsedArgs) -> Result<String, ArgError> {
+    let input = match args.options.get("file").map(String::as_str) {
+        None | Some("") | Some("-") => {
+            use std::io::Read;
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf).map_err(|e| ArgError::InvalidValue {
+                option: "file".into(),
+                value: "<stdin>".into(),
+                expected: leak(format!("readable input ({e})")),
+            })?;
+            buf
+        }
+        Some(path) => std::fs::read_to_string(path).map_err(|e| ArgError::InvalidValue {
+            option: "file".into(),
+            value: path.to_string(),
+            expected: leak(format!("a readable file ({e})")),
+        })?,
+    };
+    run_batch(&input)
+}
+
+/// Parses and solves a batch scenario list.
+///
+/// One request per line — `platform pattern tasks [weight [algorithm]]`,
+/// comma- or whitespace-separated; blank lines and `#` comments are skipped.
+/// `weight` defaults to the paper's 25 000 s and `algorithm` to `admv`.  All
+/// requests are solved through one [`SolutionCache::solve_batch`] call, so
+/// duplicates run the DP once, and the results come back as CSV **in input
+/// order** with a trailing `# cache:` comment carrying the hit statistics.
+pub fn run_batch(input: &str) -> Result<String, ArgError> {
+    struct Meta {
+        platform: String,
+        pattern: String,
+        n: usize,
+        weight: f64,
+        algorithm: Algorithm,
+    }
+    let mut metas: Vec<Meta> = Vec::new();
+    let mut requests: Vec<SolveRequest> = Vec::new();
+    for (index, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = |expected: String| ArgError::InvalidValue {
+            option: format!("batch line {}", index + 1),
+            value: raw.to_string(),
+            expected,
+        };
+        let fields: Vec<&str> =
+            line.split(|c: char| c == ',' || c.is_whitespace()).filter(|f| !f.is_empty()).collect();
+        if !(3..=5).contains(&fields.len()) {
+            return Err(bad("platform pattern tasks [weight [algorithm]]".into()));
+        }
+        let platform = scr::by_name(fields[0])
+            .ok_or_else(|| bad(format!("a known platform, not `{}`", fields[0])))?;
+        let pattern = pattern_by_name(fields[1])
+            .ok_or_else(|| bad(format!("a known pattern, not `{}`", fields[1])))?;
+        let n: usize =
+            fields[2].parse().map_err(|_| bad(format!("a task count, not `{}`", fields[2])))?;
+        let weight: f64 = match fields.get(3) {
+            Some(w) => w.parse().map_err(|_| bad(format!("a total weight, not `{w}`")))?,
+            None => experiments::PAPER_TOTAL_WEIGHT,
+        };
+        let algorithm = match fields.get(4) {
+            Some(a) => Algorithm::parse(a)
+                .ok_or_else(|| bad(format!("adv*, admv*, admv or admv-refined, not `{a}`")))?,
+            None => Algorithm::TwoLevelPartial,
+        };
+        let scenario = Scenario::paper_setup(&platform, &pattern, n, weight)
+            .map_err(|e| bad(format!("a valid scenario ({e})")))?;
+        metas.push(Meta {
+            platform: platform.name.clone(),
+            pattern: pattern.name().to_string(),
+            n,
+            weight,
+            algorithm,
+        });
+        requests.push(SolveRequest::new(scenario, algorithm));
+    }
+
+    let cache = SolutionCache::new();
+    let solutions = cache.solve_batch(&requests);
+    let mut out = String::from(
+        "platform,pattern,n,T,algorithm,expected_makespan,normalized_makespan,\
+         disk,memory,guaranteed,partial\n",
+    );
+    for (meta, sol) in metas.iter().zip(&solutions) {
+        out.push_str(&format!(
+            "{},{},{},{},{},{:.6},{:.6},{},{},{},{}\n",
+            meta.platform,
+            meta.pattern,
+            meta.n,
+            meta.weight,
+            meta.algorithm.label(),
+            sol.expected_makespan,
+            sol.normalized_makespan,
+            sol.counts.disk_checkpoints,
+            sol.counts.memory_checkpoints,
+            sol.counts.guaranteed_verifications,
+            sol.counts.partial_verifications,
+        ));
+    }
+    out.push_str(&format!("# cache: {}\n", cache.stats()));
+    Ok(out)
+}
+
 fn cmd_sensitivity(args: &ParsedArgs) -> Result<String, ArgError> {
     let scenario = parse_scenario(args)?;
     let algorithm = parse_algorithm(args)?;
@@ -374,7 +498,8 @@ mod tests {
     #[test]
     fn help_lists_every_command() {
         let out = run_tokens(&["help"]).unwrap();
-        for cmd in ["platforms", "optimize", "evaluate", "simulate", "experiment", "sweep"] {
+        for cmd in ["platforms", "optimize", "evaluate", "simulate", "experiment", "sweep", "batch"]
+        {
             assert!(out.contains(cmd), "help misses {cmd}");
         }
     }
@@ -503,6 +628,56 @@ mod tests {
             assert!(out.contains(label), "missing {label}:\n{out}");
         }
         assert!(run_tokens(&["sensitivity", "--step", "2.0", "--tasks", "5"]).is_err());
+    }
+
+    #[test]
+    fn batch_solves_requests_in_order_and_dedups() {
+        let input = "\
+# figure panel cells
+hera uniform 8
+hera uniform 8 25000 admv*
+atlas,decrease,6,25000,adv*
+
+hera uniform 8
+";
+        let out = run_batch(input).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("platform,pattern,n,T,algorithm"));
+        assert_eq!(lines.len(), 1 + 4 + 1, "header + 4 rows + cache stats:\n{out}");
+        assert!(lines[1].starts_with("Hera,uniform,8,25000,ADMV,"), "{}", lines[1]);
+        assert!(lines[2].starts_with("Hera,uniform,8,25000,ADMV*,"), "{}", lines[2]);
+        assert!(lines[3].starts_with("Atlas,decrease,6,25000,ADV*,"), "{}", lines[3]);
+        // Line 4 repeats line 1: identical output, served from cache.
+        assert_eq!(lines[1], lines[4]);
+        assert!(lines[5].starts_with("# cache: 1 hits, 3 misses"), "{}", lines[5]);
+    }
+
+    #[test]
+    fn batch_rejects_malformed_lines_with_their_line_number() {
+        for bad in ["titan uniform 5", "hera uniform many", "hera uniform", "hera uniform 5 1 zzz"]
+        {
+            let err = run_batch(&format!("hera uniform 3\n{bad}\n")).unwrap_err();
+            match err {
+                ArgError::InvalidValue { option, .. } => {
+                    assert_eq!(option, "batch line 2", "{bad}")
+                }
+                other => panic!("unexpected {other:?} for `{bad}`"),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_command_reads_a_scenario_file() {
+        let path = std::env::temp_dir().join(format!("chain2l-batch-{}.txt", std::process::id()));
+        std::fs::write(&path, "hera uniform 6 25000 admv*\ncoastal-ssd uniform 6\n").unwrap();
+        let out = run_tokens(&["batch", "--file", path.to_str().unwrap()]).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(out.lines().count(), 1 + 2 + 1);
+        assert!(out.contains("Hera,uniform,6"));
+        assert!(out.contains("Coastal SSD,uniform,6"));
+        // Missing files are a clear error.
+        let err = run_tokens(&["batch", "--file", "/nonexistent/scenarios.txt"]);
+        assert!(matches!(err, Err(ArgError::InvalidValue { .. })));
     }
 
     #[test]

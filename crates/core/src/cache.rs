@@ -1,0 +1,332 @@
+//! Shared solution cache and batch solver service.
+//!
+//! The §IV harness re-solves the same `(platform, pattern, n, T)` scenarios
+//! dozens of times across figure panels and sweeps: every count panel of
+//! Figure 5 repeats the cells of its makespan panel, and the ablation sweeps
+//! revisit grid cells at their default parameter values.  [`SolutionCache`]
+//! memoizes those solves behind a canonical [`ScenarioFingerprint`] so each
+//! distinct `(scenario, algorithm)` dynamic program runs **exactly once**,
+//! even under concurrent access: entries are initialised through a per-entry
+//! [`OnceLock`], so racing threads block on the single in-flight solve
+//! instead of duplicating it.
+//!
+//! [`SolutionCache::solve_batch`] is the service-style entry point: it
+//! accepts many [`SolveRequest`]s at once, solves the misses on the
+//! work-stealing pool ([`rayon::scope`]) and returns the solutions in request
+//! order.  Hit/miss statistics ([`CacheStats`]) make the sharing observable,
+//! which is how the harness proves that repeated cells are served from cache.
+//!
+//! Because every optimizer in this crate is a deterministic pure function of
+//! the scenario and algorithm, cached and uncached solves are bit-identical —
+//! the cache can never change results, only skip recomputation.
+
+use crate::solution::Solution;
+use crate::{optimize, Algorithm};
+use chain2l_model::Scenario;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Canonical fingerprint of one `(scenario, algorithm)` solve.
+///
+/// The fingerprint captures exactly the inputs the optimizers read: the
+/// platform error rates, every field of the resilience cost model, the task
+/// weight vector (as exact `f64` bit patterns) and the algorithm — which also
+/// fixes the tail-accounting cost model (`Algorithm::TwoLevelPartial` vs.
+/// `Algorithm::TwoLevelPartialRefined`).  Presentation-only fields — the
+/// platform `name` and `nodes`, and the raw platform checkpoint costs that
+/// [`chain2l_model::ResilienceCosts`] has already absorbed — are deliberately
+/// excluded, so a renamed but otherwise identical platform still hits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScenarioFingerprint {
+    lambda_fail_stop: u64,
+    lambda_silent: u64,
+    costs: [u64; 7],
+    weights: Vec<u64>,
+    algorithm: Algorithm,
+}
+
+impl ScenarioFingerprint {
+    /// Computes the fingerprint of `scenario` solved with `algorithm`.
+    pub fn new(scenario: &Scenario, algorithm: Algorithm) -> Self {
+        let c = &scenario.costs;
+        Self {
+            lambda_fail_stop: scenario.platform.lambda_fail_stop.to_bits(),
+            lambda_silent: scenario.platform.lambda_silent.to_bits(),
+            costs: [
+                c.disk_checkpoint.to_bits(),
+                c.memory_checkpoint.to_bits(),
+                c.disk_recovery.to_bits(),
+                c.memory_recovery.to_bits(),
+                c.guaranteed_verification.to_bits(),
+                c.partial_verification.to_bits(),
+                c.partial_recall.to_bits(),
+            ],
+            weights: scenario.chain.weights().iter().map(|w| w.to_bits()).collect(),
+            algorithm,
+        }
+    }
+}
+
+/// One request of a [`SolutionCache::solve_batch`] call.
+#[derive(Debug, Clone)]
+pub struct SolveRequest {
+    /// The scenario to optimize.
+    pub scenario: Scenario,
+    /// The algorithm to run on it.
+    pub algorithm: Algorithm,
+}
+
+impl SolveRequest {
+    /// Bundles a scenario with the algorithm to run on it.
+    pub fn new(scenario: Scenario, algorithm: Algorithm) -> Self {
+        Self { scenario, algorithm }
+    }
+}
+
+/// Aggregate cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests that found an existing entry (served without re-solving).
+    pub hits: u64,
+    /// Requests that created a new entry; each one ran the DP exactly once.
+    pub misses: u64,
+    /// Number of distinct fingerprints currently cached.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of requests served from cache (`0.0` before any request).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits, {} misses ({:.1} % hit rate), {} entries",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.entries
+        )
+    }
+}
+
+/// A per-fingerprint slot; the `OnceLock` guarantees the solve runs once.
+type CacheEntry = Arc<OnceLock<Arc<Solution>>>;
+
+/// Concurrency-safe, memoizing solver front-end (see the module docs).
+///
+/// Share one cache (`&SolutionCache` is all the API needs) across figure
+/// panels, sweeps and batch calls to deduplicate their scenario solves.
+///
+/// # Examples
+///
+/// ```
+/// use chain2l_core::cache::SolutionCache;
+/// use chain2l_core::Algorithm;
+/// use chain2l_model::platform::scr;
+/// use chain2l_model::{Scenario, WeightPattern};
+///
+/// let cache = SolutionCache::new();
+/// let s = Scenario::paper_setup(&scr::hera(), &WeightPattern::Uniform, 10, 25_000.0).unwrap();
+/// let first = cache.solve(&s, Algorithm::TwoLevel);
+/// let second = cache.solve(&s, Algorithm::TwoLevel);
+/// assert_eq!(first.expected_makespan, second.expected_makespan);
+/// let stats = cache.stats();
+/// assert_eq!((stats.misses, stats.hits), (1, 1));
+/// ```
+#[derive(Debug, Default)]
+pub struct SolutionCache {
+    entries: Mutex<HashMap<ScenarioFingerprint, CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SolutionCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the optimal solution for `(scenario, algorithm)`, running the
+    /// dynamic program at most once per fingerprint.
+    ///
+    /// Concurrent callers with the same fingerprint block on the single
+    /// in-flight solve instead of duplicating it.
+    pub fn solve(&self, scenario: &Scenario, algorithm: Algorithm) -> Arc<Solution> {
+        let fingerprint = ScenarioFingerprint::new(scenario, algorithm);
+        let entry = {
+            let mut map = self.entries.lock().expect("cache map poisoned");
+            match map.entry(fingerprint) {
+                Entry::Occupied(e) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    e.get().clone()
+                }
+                Entry::Vacant(v) => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    v.insert(Arc::new(OnceLock::new())).clone()
+                }
+            }
+        };
+        // Outside the map lock: other fingerprints stay unblocked while the
+        // (possibly expensive) DP runs.
+        entry.get_or_init(|| Arc::new(optimize(scenario, algorithm))).clone()
+    }
+
+    /// Solves every request and returns the solutions **in request order**,
+    /// running the misses concurrently on the work-stealing pool.
+    ///
+    /// Duplicate requests within one batch (and requests already cached) are
+    /// served from the shared entry — each distinct fingerprint is still
+    /// solved exactly once.
+    pub fn solve_batch(&self, requests: &[SolveRequest]) -> Vec<Arc<Solution>> {
+        let mut results: Vec<Option<Arc<Solution>>> = requests.iter().map(|_| None).collect();
+        rayon::scope(|s| {
+            for (slot, request) in results.iter_mut().zip(requests) {
+                s.spawn(move |_| *slot = Some(self.solve(&request.scenario, request.algorithm)));
+            }
+        });
+        results.into_iter().map(|r| r.expect("scope joined all solves")).collect()
+    }
+
+    /// Hit/miss/entry statistics accumulated since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("cache map poisoned").len(),
+        }
+    }
+
+    /// Number of distinct fingerprints cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache map poisoned").len()
+    }
+
+    /// True when no solve has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached entry (the hit/miss counters keep accumulating).
+    pub fn clear(&self) {
+        self.entries.lock().expect("cache map poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chain2l_model::platform::scr;
+    use chain2l_model::WeightPattern;
+
+    fn hera_uniform(n: usize) -> Scenario {
+        Scenario::paper_setup(&scr::hera(), &WeightPattern::Uniform, n, 25_000.0).unwrap()
+    }
+
+    #[test]
+    fn fingerprint_ignores_presentation_fields() {
+        let s = hera_uniform(10);
+        let mut renamed_platform = scr::hera();
+        renamed_platform.name = "Hera (renamed)".to_string();
+        renamed_platform.nodes = 1;
+        let renamed =
+            Scenario::paper_setup(&renamed_platform, &WeightPattern::Uniform, 10, 25_000.0)
+                .unwrap();
+        assert_eq!(
+            ScenarioFingerprint::new(&s, Algorithm::TwoLevel),
+            ScenarioFingerprint::new(&renamed, Algorithm::TwoLevel)
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_every_optimizer_input() {
+        let base = ScenarioFingerprint::new(&hera_uniform(10), Algorithm::TwoLevel);
+        // Different algorithm.
+        assert_ne!(base, ScenarioFingerprint::new(&hera_uniform(10), Algorithm::SingleLevel));
+        // Different chain.
+        assert_ne!(base, ScenarioFingerprint::new(&hera_uniform(11), Algorithm::TwoLevel));
+        // Different cost model.
+        let mut costs_changed = hera_uniform(10);
+        costs_changed.costs.partial_recall = 0.5;
+        assert_ne!(base, ScenarioFingerprint::new(&costs_changed, Algorithm::TwoLevel));
+        // Different rates.
+        let scaled = scr::hera().with_scaled_rates(2.0).unwrap();
+        let scaled = Scenario::paper_setup(&scaled, &WeightPattern::Uniform, 10, 25_000.0).unwrap();
+        assert_ne!(base, ScenarioFingerprint::new(&scaled, Algorithm::TwoLevel));
+    }
+
+    #[test]
+    fn solve_memoizes_and_counts_hits() {
+        let cache = SolutionCache::new();
+        let s = hera_uniform(12);
+        let direct = optimize(&s, Algorithm::TwoLevel);
+        let first = cache.solve(&s, Algorithm::TwoLevel);
+        let second = cache.solve(&s, Algorithm::TwoLevel);
+        assert!(Arc::ptr_eq(&first, &second), "hit must return the cached allocation");
+        assert_eq!(direct.expected_makespan.to_bits(), first.expected_makespan.to_bits());
+        assert_eq!(direct.schedule, first.schedule);
+        assert_eq!(direct.stats, first.stats);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn solve_batch_preserves_order_and_dedups() {
+        let cache = SolutionCache::new();
+        let requests = vec![
+            SolveRequest::new(hera_uniform(8), Algorithm::TwoLevel),
+            SolveRequest::new(hera_uniform(10), Algorithm::SingleLevel),
+            SolveRequest::new(hera_uniform(8), Algorithm::TwoLevel), // duplicate of #0
+            SolveRequest::new(hera_uniform(8), Algorithm::SingleLevel),
+        ];
+        let solutions = cache.solve_batch(&requests);
+        assert_eq!(solutions.len(), 4);
+        assert!(Arc::ptr_eq(&solutions[0], &solutions[2]));
+        for (req, sol) in requests.iter().zip(&solutions) {
+            let direct = optimize(&req.scenario, req.algorithm);
+            assert_eq!(direct.expected_makespan.to_bits(), sol.expected_makespan.to_bits());
+            assert_eq!(direct.schedule, sol.schedule);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 3, "three distinct fingerprints");
+        assert_eq!(stats.hits, 1, "the duplicate is served from cache");
+        // A second identical batch is all hits.
+        let again = cache.solve_batch(&requests);
+        assert!(Arc::ptr_eq(&solutions[1], &again[1]));
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let cache = SolutionCache::new();
+        let s = hera_uniform(6);
+        cache.solve(&s, Algorithm::TwoLevel);
+        cache.clear();
+        assert!(cache.is_empty());
+        cache.solve(&s, Algorithm::TwoLevel);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2, "cleared entry must be re-solved");
+    }
+
+    #[test]
+    fn stats_display_is_readable() {
+        let stats = CacheStats { hits: 3, misses: 1, entries: 1 };
+        let text = stats.to_string();
+        assert!(text.contains("3 hits"), "{text}");
+        assert!(text.contains("75.0 % hit rate"), "{text}");
+    }
+}

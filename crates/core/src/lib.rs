@@ -17,7 +17,17 @@
 //! * [`sensitivity`] — elasticity of the optimum with respect to every model
 //!   parameter;
 //! * [`segment`] — the closed-form segment expectations (Eq. 2–4 and the
-//!   §III-B quantities) shared by all of the above.
+//!   §III-B quantities) shared by all of the above;
+//! * [`cache`] — a concurrency-safe memoizing [`SolutionCache`] keyed by a
+//!   canonical scenario fingerprint, with a batch solver service API
+//!   ([`cache::SolutionCache::solve_batch`]).
+//!
+//! The `A_DMV*` and `A_DMV` dynamic programs shard their two inner levels
+//! (`Emem`/`Everif`) across independent disk-segment slices on the
+//! work-stealing pool — each candidate predecessor disk checkpoint `d1` owns
+//! a self-contained sub-table — and then run the sequential `Edisk` level, so
+//! results are bit-identical to the sequential recurrence at any thread
+//! count.
 //!
 //! The unified entry point is [`optimize`], which dispatches on [`Algorithm`]:
 //!
@@ -40,6 +50,7 @@
 #![forbid(unsafe_code)]
 
 pub mod brute_force;
+pub mod cache;
 pub mod evaluator;
 pub mod heuristics;
 pub mod partial;
@@ -49,6 +60,7 @@ pub mod solution;
 pub mod tables;
 pub mod two_level;
 
+pub use cache::{CacheStats, ScenarioFingerprint, SolutionCache, SolveRequest};
 pub use partial::{optimize_with_partials, PartialOptions};
 pub use segment::{PartialCostModel, SegmentCalculator};
 pub use solution::{DpStatistics, Solution};

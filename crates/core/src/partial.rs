@@ -16,11 +16,22 @@
 //!
 //! Complexity: `O(n⁶)` time, `O(n³)` memory (the inner per-interval arrays are
 //! reused).
+//!
+//! The two outer levels are **sharded across disk-segment slices**: for a
+//! fixed predecessor disk checkpoint `d1`, the `Emem(d1, ·)` row and the
+//! `Everif(d1, ·, ·)` sub-table (including every inner `E_partial` interval
+//! DP they trigger) read only same-`d1` entries, so the slices are computed
+//! independently on the work-stealing pool ([`rayon`]) and the sequential
+//! `Edisk` level runs over the finished slices.  Each slice is the unmodified
+//! sequential recurrence, so results are bit-identical to the
+//! single-threaded DP at any thread count — this is what keeps the `O(n⁶)`
+//! hot path from dominating large sweeps wall-clock.
 
 use crate::segment::{PartialCostModel, SegmentCalculator};
 use crate::solution::{DpStatistics, Solution};
-use crate::tables::{Table2, Table3};
+use crate::tables::SliceTable2;
 use chain2l_model::{Action, Scenario, Schedule};
+use rayon::prelude::*;
 
 /// Options controlling the partial-verification dynamic program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -108,12 +119,24 @@ fn epartial_interval(
     InnerResult { value: epartial[v1], next, candidates }
 }
 
-/// Internal DP state (outer levels).
+/// The self-contained DP state of one disk-segment slice: everything the
+/// outer recurrence computes for a fixed predecessor disk checkpoint `d1`.
+struct DiskSlice {
+    /// `Everif(d1, m1, v2)`; rows span `m1 ∈ d1..n`.
+    everif: SliceTable2<f64>,
+    /// Argmin `v1` for `Everif(d1, m1, v2)`.
+    everif_choice: SliceTable2<usize>,
+    /// `Emem(d1, m2)`, indexed by `m2`.
+    emem: Vec<f64>,
+    /// Argmin `m1` for `Emem(d1, m2)`.
+    emem_choice: Vec<usize>,
+    /// `(p1, p2)` candidates examined by the inner DPs of this slice.
+    candidates: u64,
+}
+
+/// Internal DP state: one slice per candidate `d1`, plus the `Edisk` level.
 struct DpTables {
-    everif: Table3<f64>,
-    everif_choice: Table3<usize>,
-    emem: Table2<f64>,
-    emem_choice: Table2<usize>,
+    slices: Vec<DiskSlice>,
     edisk: Vec<f64>,
     edisk_choice: Vec<usize>,
     candidates: u64,
@@ -128,78 +151,93 @@ pub fn optimize_with_partials(scenario: &Scenario, options: PartialOptions) -> S
     let tables = compute_tables(&calc, n, options.cost_model);
     let schedule = reconstruct(&calc, &tables, n, options.cost_model);
     let expected_makespan = tables.edisk[n];
-    let stats = DpStatistics {
-        table_entries: (n + 1) * (n + 1) * (n + 1) + (n + 1) * (n + 1) + (n + 1),
-        candidates_examined: tables.candidates,
-    };
+    let table_entries =
+        tables.slices.iter().map(|s| s.everif.entries() + s.emem.len()).sum::<usize>()
+            + tables.edisk.len();
+    let stats = DpStatistics { table_entries, candidates_examined: tables.candidates };
     Solution::new(expected_makespan, schedule, scenario, stats)
 }
 
-fn compute_tables(calc: &SegmentCalculator<'_>, n: usize, model: PartialCostModel) -> DpTables {
-    let mut t = DpTables {
-        everif: Table3::new(n, f64::INFINITY),
-        everif_choice: Table3::new(n, usize::MAX),
-        emem: Table2::new(n, f64::INFINITY),
-        emem_choice: Table2::new(n, usize::MAX),
-        edisk: vec![f64::INFINITY; n + 1],
-        edisk_choice: vec![usize::MAX; n + 1],
-        candidates: 0,
-    };
+/// Fills the `Emem(d1, ·)` / `Everif(d1, ·, ·)` slice for one fixed `d1`
+/// (the unmodified sequential recurrence — bit-identical at any thread count).
+fn compute_disk_slice(
+    calc: &SegmentCalculator<'_>,
+    n: usize,
+    d1: usize,
+    model: PartialCostModel,
+) -> DiskSlice {
+    let rows = n - d1;
+    let mut everif = SliceTable2::new(n, d1, rows, f64::INFINITY);
+    let mut everif_choice = SliceTable2::new(n, d1, rows, usize::MAX);
+    let mut emem = vec![f64::INFINITY; n + 1];
+    let mut emem_choice = vec![usize::MAX; n + 1];
+    let mut candidates = 0u64;
 
-    for d1 in 0..n {
-        t.emem.set(d1, d1, 0.0);
-        for m2 in (d1 + 1)..=n {
-            let mut best_mem = f64::INFINITY;
-            let mut best_m1 = usize::MAX;
-            for m1 in d1..m2 {
-                let emem_left = t.emem.get(d1, m1);
-                debug_assert!(emem_left.is_finite(), "Emem({d1},{m1}) not computed");
-                t.everif.set(d1, m1, m1, 0.0);
+    emem[d1] = 0.0;
+    for m2 in (d1 + 1)..=n {
+        let mut best_mem = f64::INFINITY;
+        let mut best_m1 = usize::MAX;
+        // m1 is a DP coordinate indexing several tables, not a plain scan.
+        #[allow(clippy::needless_range_loop)]
+        for m1 in d1..m2 {
+            let emem_left = emem[m1];
+            debug_assert!(emem_left.is_finite(), "Emem({d1},{m1}) not computed");
+            everif.set(m1, m1, 0.0);
 
-                // Everif(d1, m1, m2): last guaranteed verification at v1, then
-                // the partial-verification interval (v1, m2].
-                let mut best_verif = f64::INFINITY;
-                let mut best_v1 = usize::MAX;
-                for v1 in m1..m2 {
-                    let left = t.everif.get(d1, m1, v1);
-                    debug_assert!(left.is_finite(), "Everif({d1},{m1},{v1}) not computed");
-                    let inner = epartial_interval(calc, d1, m1, v1, m2, emem_left, left, model);
-                    t.candidates += inner.candidates;
-                    let cand = left + inner.value;
-                    if cand < best_verif {
-                        best_verif = cand;
-                        best_v1 = v1;
-                    }
-                }
-                t.everif.set(d1, m1, m2, best_verif);
-                t.everif_choice.set(d1, m1, m2, best_v1);
-
-                let cand = emem_left + best_verif + calc.scenario().costs.memory_checkpoint;
-                if cand < best_mem {
-                    best_mem = cand;
-                    best_m1 = m1;
+            // Everif(d1, m1, m2): last guaranteed verification at v1, then
+            // the partial-verification interval (v1, m2].
+            let mut best_verif = f64::INFINITY;
+            let mut best_v1 = usize::MAX;
+            for v1 in m1..m2 {
+                let left = everif.get(m1, v1);
+                debug_assert!(left.is_finite(), "Everif({d1},{m1},{v1}) not computed");
+                let inner = epartial_interval(calc, d1, m1, v1, m2, emem_left, left, model);
+                candidates += inner.candidates;
+                let cand = left + inner.value;
+                if cand < best_verif {
+                    best_verif = cand;
+                    best_v1 = v1;
                 }
             }
-            t.emem.set(d1, m2, best_mem);
-            t.emem_choice.set(d1, m2, best_m1);
-        }
-    }
+            everif.set(m1, m2, best_verif);
+            everif_choice.set(m1, m2, best_v1);
 
-    t.edisk[0] = 0.0;
+            let cand = emem_left + best_verif + calc.scenario().costs.memory_checkpoint;
+            if cand < best_mem {
+                best_mem = cand;
+                best_m1 = m1;
+            }
+        }
+        emem[m2] = best_mem;
+        emem_choice[m2] = best_m1;
+    }
+    DiskSlice { everif, everif_choice, emem, emem_choice, candidates }
+}
+
+/// Fills the DP levels: the per-`d1` slices in parallel on the work-stealing
+/// pool, then the sequential `Edisk` level over the finished slices.
+fn compute_tables(calc: &SegmentCalculator<'_>, n: usize, model: PartialCostModel) -> DpTables {
+    let slices: Vec<DiskSlice> =
+        (0..n).into_par_iter().map(|d1| compute_disk_slice(calc, n, d1, model)).collect();
+    let candidates = slices.par_iter().map(|s| s.candidates).reduce(|| 0, |a, b| a + b);
+
+    let mut edisk = vec![f64::INFINITY; n + 1];
+    let mut edisk_choice = vec![usize::MAX; n + 1];
+    edisk[0] = 0.0;
     for d2 in 1..=n {
         let mut best = f64::INFINITY;
         let mut best_d1 = usize::MAX;
         for d1 in 0..d2 {
-            let cand = t.edisk[d1] + t.emem.get(d1, d2) + calc.scenario().costs.disk_checkpoint;
+            let cand = edisk[d1] + slices[d1].emem[d2] + calc.scenario().costs.disk_checkpoint;
             if cand < best {
                 best = cand;
                 best_d1 = d1;
             }
         }
-        t.edisk[d2] = best;
-        t.edisk_choice[d2] = best_d1;
+        edisk[d2] = best;
+        edisk_choice[d2] = best_d1;
     }
-    t
+    DpTables { slices, edisk, edisk_choice, candidates }
 }
 
 /// Reconstructs the optimal schedule, re-running the inner DP on each leaf
@@ -224,11 +262,12 @@ fn reconstruct(
     let mut prev_disk = 0usize;
     for &disk in &disk_positions {
         let d1 = prev_disk;
+        let slice = &t.slices[d1];
         let mut mem_positions = Vec::new();
         let mut m2 = disk;
         while m2 > d1 {
             mem_positions.push(m2);
-            m2 = t.emem_choice.get(d1, m2);
+            m2 = slice.emem_choice[m2];
             debug_assert!(m2 != usize::MAX, "missing Emem choice");
         }
         mem_positions.reverse();
@@ -241,7 +280,7 @@ fn reconstruct(
             let mut v2 = mem;
             while v2 > m1 {
                 verif_bounds.push(v2);
-                v2 = t.everif_choice.get(d1, m1, v2);
+                v2 = slice.everif_choice.get(m1, v2);
                 debug_assert!(v2 != usize::MAX, "missing Everif choice");
             }
             verif_bounds.reverse();
@@ -250,8 +289,8 @@ fn reconstruct(
             let mut prev_verif = m1;
             for &verif in &verif_bounds {
                 let v1 = prev_verif;
-                let emem_left = t.emem.get(d1, m1);
-                let everif_left = t.everif.get(d1, m1, v1);
+                let emem_left = slice.emem[m1];
+                let everif_left = slice.everif.get(m1, v1);
                 let inner =
                     epartial_interval(calc, d1, m1, v1, verif, emem_left, everif_left, model);
                 let mut p = v1;
@@ -435,9 +474,30 @@ mod tests {
 
     #[test]
     fn statistics_report_candidate_counts() {
-        let s = paper_scenario(&scr::hera(), &WeightPattern::Uniform, 12);
+        let n = 12;
+        let s = paper_scenario(&scr::hera(), &WeightPattern::Uniform, n);
         let sol = optimize_with_partials(&s, PartialOptions::paper_exact());
         assert!(sol.stats.candidates_examined > 0);
+        // Actual allocation: triangular Everif slices + per-slice Emem rows
+        // + Edisk, well below the old (n+1)^3 book-keeping.
         assert!(sol.stats.table_entries > 0);
+        assert!(sol.stats.table_entries < (n + 1) * (n + 1) * (n + 1));
+    }
+
+    #[test]
+    fn sharded_dp_is_bit_identical_across_thread_counts() {
+        let s = paper_scenario(&scr::coastal_ssd(), &WeightPattern::Uniform, 15);
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let sequential = optimize_with_partials(&s, PartialOptions::paper_exact());
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let sharded = optimize_with_partials(&s, PartialOptions::paper_exact());
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(
+            sequential.expected_makespan.to_bits(),
+            sharded.expected_makespan.to_bits(),
+            "sharded DP must be bit-identical to the sequential one"
+        );
+        assert_eq!(sequential.schedule, sharded.schedule);
+        assert_eq!(sequential.stats, sharded.stats);
     }
 }

@@ -6,6 +6,12 @@
 //! simplest option, so [`Table2`] and [`Table3`] are flat `Vec`s with row-major
 //! indexing.  Entries start out as [`f64::INFINITY`] / [`usize::MAX`], which
 //! doubles as a cheap "not computed" marker during debugging.
+//!
+//! [`SliceTable2`] is the per-disk-segment variant used by the `d1`-sharded
+//! dynamic programs: a 2-D table whose row axis starts at an offset and spans
+//! only the rows one disk-segment slice can touch (`m1 ∈ d1..`), so the
+//! per-slice allocation shrinks as `d1` grows — and collapses to a single row
+//! for the single-level algorithm `A_DV*`.
 
 /// A dense 2-dimensional table indexed by `(i, j)` with `i, j ∈ 0..=n`.
 #[derive(Debug, Clone)]
@@ -89,6 +95,70 @@ impl<T: Copy> Table3<T> {
     }
 }
 
+/// A dense 2-dimensional table indexed by `(row, col)` with
+/// `row ∈ row_base..row_base + rows` and `col ∈ 0..=n`.
+///
+/// This is the storage behind one `d1` slice of the sharded dynamic programs:
+/// the `Everif(d1, m1, v2)` sub-table only ever touches rows `m1 ≥ d1`
+/// (a single row `m1 = d1` for `A_DV*`), so allocating the full `0..=n` row
+/// range — let alone a full 3-D table — would waste memory.
+#[derive(Debug, Clone)]
+pub struct SliceTable2<T> {
+    row_base: usize,
+    rows: usize,
+    dim: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy> SliceTable2<T> {
+    /// Creates a table with `rows` rows starting at `row_base` and columns
+    /// `0..=n`, filled with `fill`.
+    pub fn new(n: usize, row_base: usize, rows: usize, fill: T) -> Self {
+        let dim = n + 1;
+        Self { row_base, rows, dim, data: vec![fill; rows * dim] }
+    }
+
+    /// First valid row index.
+    pub fn row_base(&self) -> usize {
+        self.row_base
+    }
+
+    /// Number of rows allocated.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total number of entries allocated (`rows × (n + 1)`).
+    pub fn entries(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    fn idx(&self, row: usize, col: usize) -> usize {
+        debug_assert!(
+            row >= self.row_base && row < self.row_base + self.rows && col < self.dim,
+            "({row},{col}) out of rows {}..{} x {}",
+            self.row_base,
+            self.row_base + self.rows,
+            self.dim
+        );
+        (row - self.row_base) * self.dim + col
+    }
+
+    /// Reads entry `(row, col)`; `row` is an absolute boundary index.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> T {
+        self.data[self.idx(row, col)]
+    }
+
+    /// Writes entry `(row, col)`; `row` is an absolute boundary index.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: T) {
+        let idx = self.idx(row, col);
+        self.data[idx] = value;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +224,39 @@ mod tests {
     fn table2_out_of_bounds_panics_in_debug() {
         let t = Table2::new(3, 0.0f64);
         let _ = t.get(4, 0);
+    }
+
+    #[test]
+    fn slice_table_round_trip_with_offset_rows() {
+        let n = 6;
+        let mut t = SliceTable2::new(n, 2, 4, f64::INFINITY);
+        assert_eq!(t.row_base(), 2);
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.entries(), 4 * (n + 1));
+        for row in 2..6 {
+            for col in 0..=n {
+                t.set(row, col, (row * 10 + col) as f64);
+            }
+        }
+        for row in 2..6 {
+            for col in 0..=n {
+                assert_eq!(t.get(row, col), (row * 10 + col) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn slice_table_single_row_collapses_allocation() {
+        let t = SliceTable2::new(50, 7, 1, 0.0f64);
+        assert_eq!(t.entries(), 51);
+        assert_eq!(t.get(7, 50), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn slice_table_below_row_base_panics_in_debug() {
+        let t = SliceTable2::new(5, 3, 2, 0.0f64);
+        let _ = t.get(2, 0);
     }
 }

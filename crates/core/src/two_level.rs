@@ -17,13 +17,23 @@
 //! only where disk checkpoints are taken (as the paper's single-level baseline
 //! does).
 //!
-//! Complexity: `O(n⁴)` time and `O(n³)` memory for `A_DMV*`; `O(n³)` time for
-//! `A_DV*` (the `Everif` table collapses to `m1 = d1`).
+//! Complexity: `O(n⁴)` time and `O(n³)` memory for `A_DMV*`; `O(n³)` time and
+//! `O(n²)` memory for `A_DV*` (the `Everif` table collapses to `m1 = d1` and
+//! is allocated as a single-row slice).
+//!
+//! The `Emem`/`Everif` levels are **sharded across disk-segment slices**: for
+//! a fixed predecessor disk checkpoint `d1`, the `Emem(d1, ·)` row and the
+//! `Everif(d1, ·, ·)` sub-table read only same-`d1` entries, so every slice
+//! is computed independently on the work-stealing pool ([`rayon`]) and the
+//! sequential `Edisk` level runs over the finished slices.  Each slice is the
+//! unmodified sequential recurrence, so results are bit-identical to the
+//! single-threaded DP at any thread count.
 
 use crate::segment::SegmentCalculator;
 use crate::solution::{DpStatistics, Solution};
-use crate::tables::{Table2, Table3};
+use crate::tables::SliceTable2;
 use chain2l_model::{Action, Scenario, Schedule};
+use rayon::prelude::*;
 
 /// Options controlling the guaranteed-verification dynamic program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,20 +61,30 @@ impl TwoLevelOptions {
     }
 }
 
-/// Internal DP state: value and argmin tables for the three levels.
-struct DpTables {
-    /// `Everif(d1, m1, v2)`.
-    everif: Table3<f64>,
+/// The self-contained DP state of one disk-segment slice: everything the
+/// recurrence computes for a fixed predecessor disk checkpoint `d1`.
+struct DiskSlice {
+    /// `Everif(d1, m1, v2)`; rows span `m1 ∈ d1..n` (one row for `A_DV*`).
+    everif: SliceTable2<f64>,
     /// Argmin `v1` for `Everif(d1, m1, v2)`.
-    everif_choice: Table3<usize>,
-    /// `Emem(d1, m2)`.
-    emem: Table2<f64>,
+    everif_choice: SliceTable2<usize>,
+    /// `Emem(d1, m2)`, indexed by `m2`.
+    emem: Vec<f64>,
     /// Argmin `m1` for `Emem(d1, m2)`.
-    emem_choice: Table2<usize>,
+    emem_choice: Vec<usize>,
+    /// Candidate positions examined while filling this slice.
+    candidates: u64,
+}
+
+/// Internal DP state: one slice per candidate `d1`, plus the `Edisk` level.
+struct DpTables {
+    slices: Vec<DiskSlice>,
     /// `Edisk(d2)`.
     edisk: Vec<f64>,
     /// Argmin `d1` for `Edisk(d2)`.
     edisk_choice: Vec<usize>,
+    /// Candidate positions examined across every level.
+    candidates: u64,
 }
 
 /// Runs the §III-A dynamic program on `scenario` and returns the optimal
@@ -75,87 +95,102 @@ pub fn optimize_two_level(scenario: &Scenario, options: TwoLevelOptions) -> Solu
     let tables = compute_tables(&calc, n, options);
     let schedule = reconstruct(&tables, n);
     let expected_makespan = tables.edisk[n];
-    let stats = DpStatistics {
-        table_entries: (n + 1) * (n + 1) * (n + 1) + (n + 1) * (n + 1) + (n + 1),
-        ..DpStatistics::default()
-    };
+    let table_entries =
+        tables.slices.iter().map(|s| s.everif.entries() + s.emem.len()).sum::<usize>()
+            + tables.edisk.len();
+    let stats = DpStatistics { table_entries, candidates_examined: tables.candidates };
     Solution::new(expected_makespan, schedule, scenario, stats)
 }
 
-/// Fills the three DP tables bottom-up.
-fn compute_tables(calc: &SegmentCalculator<'_>, n: usize, options: TwoLevelOptions) -> DpTables {
-    let mut t = DpTables {
-        everif: Table3::new(n, f64::INFINITY),
-        everif_choice: Table3::new(n, usize::MAX),
-        emem: Table2::new(n, f64::INFINITY),
-        emem_choice: Table2::new(n, usize::MAX),
-        edisk: vec![f64::INFINITY; n + 1],
-        edisk_choice: vec![usize::MAX; n + 1],
-    };
+/// Fills the `Emem(d1, ·)` / `Everif(d1, ·, ·)` slice for one fixed `d1`
+/// (the unmodified sequential recurrence — bit-identical at any thread count).
+fn compute_disk_slice(
+    calc: &SegmentCalculator<'_>,
+    n: usize,
+    d1: usize,
+    options: TwoLevelOptions,
+) -> DiskSlice {
+    // A_DV* only ever indexes the m1 = d1 plane, so allocate one row.
+    let rows = if options.allow_interior_memory_checkpoints { n - d1 } else { 1 };
+    let mut everif = SliceTable2::new(n, d1, rows, f64::INFINITY);
+    let mut everif_choice = SliceTable2::new(n, d1, rows, usize::MAX);
+    let mut emem = vec![f64::INFINITY; n + 1];
+    let mut emem_choice = vec![usize::MAX; n + 1];
+    let mut candidates = 0u64;
 
-    // Level 2 + 3: for every possible last-disk-checkpoint position d1,
-    // compute Emem(d1, ·) and the Everif(d1, ·, ·) slice it needs.
-    for d1 in 0..n {
-        t.emem.set(d1, d1, 0.0);
-        for m2 in (d1 + 1)..=n {
-            // The candidate last memory checkpoints m1 for Emem(d1, m2).
-            let m1_range: Box<dyn Iterator<Item = usize>> =
-                if options.allow_interior_memory_checkpoints {
-                    Box::new(d1..m2)
-                } else {
-                    Box::new(std::iter::once(d1))
-                };
-            let mut best_mem = f64::INFINITY;
-            let mut best_m1 = usize::MAX;
-            for m1 in m1_range {
-                // Everif(d1, m1, m2): place guaranteed verifications between
-                // the memory checkpoints at m1 and m2.
-                let emem_left = t.emem.get(d1, m1);
-                debug_assert!(emem_left.is_finite(), "Emem({d1},{m1}) not computed");
-                t.everif.set(d1, m1, m1, 0.0);
-                let mut best_verif = f64::INFINITY;
-                let mut best_v1 = usize::MAX;
-                for v1 in m1..m2 {
-                    let left = t.everif.get(d1, m1, v1);
-                    debug_assert!(left.is_finite(), "Everif({d1},{m1},{v1}) not computed");
-                    let seg = calc.guaranteed_segment(d1, m1, v1, m2, emem_left, left);
-                    let cand = left + seg;
-                    if cand < best_verif {
-                        best_verif = cand;
-                        best_v1 = v1;
-                    }
-                }
-                t.everif.set(d1, m1, m2, best_verif);
-                t.everif_choice.set(d1, m1, m2, best_v1);
-
-                // Candidate for Emem(d1, m2): last memory checkpoint at m1.
-                let cand = emem_left + best_verif + calc.scenario().costs.memory_checkpoint;
-                if cand < best_mem {
-                    best_mem = cand;
-                    best_m1 = m1;
+    emem[d1] = 0.0;
+    for m2 in (d1 + 1)..=n {
+        // The candidate last memory checkpoints m1 for Emem(d1, m2).
+        let m1_range: Box<dyn Iterator<Item = usize>> = if options.allow_interior_memory_checkpoints
+        {
+            Box::new(d1..m2)
+        } else {
+            Box::new(std::iter::once(d1))
+        };
+        let mut best_mem = f64::INFINITY;
+        let mut best_m1 = usize::MAX;
+        for m1 in m1_range {
+            // Everif(d1, m1, m2): place guaranteed verifications between
+            // the memory checkpoints at m1 and m2.
+            let emem_left = emem[m1];
+            debug_assert!(emem_left.is_finite(), "Emem({d1},{m1}) not computed");
+            everif.set(m1, m1, 0.0);
+            let mut best_verif = f64::INFINITY;
+            let mut best_v1 = usize::MAX;
+            for v1 in m1..m2 {
+                candidates += 1;
+                let left = everif.get(m1, v1);
+                debug_assert!(left.is_finite(), "Everif({d1},{m1},{v1}) not computed");
+                let seg = calc.guaranteed_segment(d1, m1, v1, m2, emem_left, left);
+                let cand = left + seg;
+                if cand < best_verif {
+                    best_verif = cand;
+                    best_v1 = v1;
                 }
             }
-            t.emem.set(d1, m2, best_mem);
-            t.emem_choice.set(d1, m2, best_m1);
+            everif.set(m1, m2, best_verif);
+            everif_choice.set(m1, m2, best_v1);
+
+            // Candidate for Emem(d1, m2): last memory checkpoint at m1.
+            candidates += 1;
+            let cand = emem_left + best_verif + calc.scenario().costs.memory_checkpoint;
+            if cand < best_mem {
+                best_mem = cand;
+                best_m1 = m1;
+            }
         }
+        emem[m2] = best_mem;
+        emem_choice[m2] = best_m1;
     }
+    DiskSlice { everif, everif_choice, emem, emem_choice, candidates }
+}
+
+/// Fills the three DP levels: the per-`d1` slices in parallel, then the
+/// sequential `Edisk` level over the finished slices.
+fn compute_tables(calc: &SegmentCalculator<'_>, n: usize, options: TwoLevelOptions) -> DpTables {
+    let slices: Vec<DiskSlice> =
+        (0..n).into_par_iter().map(|d1| compute_disk_slice(calc, n, d1, options)).collect();
+    let mut candidates = slices.par_iter().map(|s| s.candidates).reduce(|| 0, |a, b| a + b);
 
     // Level 1: place disk checkpoints.
-    t.edisk[0] = 0.0;
+    let mut edisk = vec![f64::INFINITY; n + 1];
+    let mut edisk_choice = vec![usize::MAX; n + 1];
+    edisk[0] = 0.0;
     for d2 in 1..=n {
         let mut best = f64::INFINITY;
         let mut best_d1 = usize::MAX;
         for d1 in 0..d2 {
-            let cand = t.edisk[d1] + t.emem.get(d1, d2) + calc.scenario().costs.disk_checkpoint;
+            candidates += 1;
+            let cand = edisk[d1] + slices[d1].emem[d2] + calc.scenario().costs.disk_checkpoint;
             if cand < best {
                 best = cand;
                 best_d1 = d1;
             }
         }
-        t.edisk[d2] = best;
-        t.edisk_choice[d2] = best_d1;
+        edisk[d2] = best;
+        edisk_choice[d2] = best_d1;
     }
-    t
+    DpTables { slices, edisk, edisk_choice, candidates }
 }
 
 /// Walks the argmin tables backwards and marks the chosen actions.
@@ -178,11 +213,12 @@ fn reconstruct(t: &DpTables, n: usize) -> Schedule {
         let d1 = prev_disk;
         // Collect memory checkpoint positions m with d1 < m <= disk by
         // following Emem choices from m2 = disk down to d1.
+        let slice = &t.slices[d1];
         let mut mem_positions = Vec::new();
         let mut m2 = disk;
         while m2 > d1 {
             mem_positions.push(m2);
-            let m1 = t.emem_choice.get(d1, m2);
+            let m1 = slice.emem_choice[m2];
             debug_assert!(m1 != usize::MAX, "missing Emem choice at ({d1},{m2})");
             m2 = m1;
         }
@@ -196,7 +232,7 @@ fn reconstruct(t: &DpTables, n: usize) -> Schedule {
             let mut v2 = mem;
             while v2 > m1 {
                 verif_positions.push(v2);
-                let v1 = t.everif_choice.get(d1, m1, v2);
+                let v1 = slice.everif_choice.get(m1, v2);
                 debug_assert!(v1 != usize::MAX, "missing Everif choice at ({d1},{m1},{v2})");
                 v2 = v1;
             }
@@ -390,6 +426,31 @@ mod tests {
             first_half >= second_half,
             "first half {first_half} < second half {second_half}: {mems:?}"
         );
+    }
+
+    #[test]
+    fn statistics_count_examined_candidates_and_actual_allocations() {
+        let n = 20;
+        let s = paper_scenario(&scr::hera(), &WeightPattern::Uniform, n);
+        let two = optimize_two_level(&s, TwoLevelOptions::two_level());
+        let one = optimize_two_level(&s, TwoLevelOptions::single_level());
+        // Both options examine candidates (v1, m1 and d1 positions).
+        assert!(two.stats.candidates_examined > 0);
+        assert!(one.stats.candidates_examined > 0);
+        assert!(
+            one.stats.candidates_examined < two.stats.candidates_examined,
+            "A_DV* examines fewer candidates: {} vs {}",
+            one.stats.candidates_examined,
+            two.stats.candidates_examined
+        );
+        // table_entries reflect what is actually allocated: the A_DV* Everif
+        // slices collapse to the m1 = d1 plane, far below the old (n+1)^3
+        // book-keeping, and the two-level slices are triangular in m1.
+        let cube = (n + 1) * (n + 1) * (n + 1);
+        assert!(one.stats.table_entries < two.stats.table_entries);
+        assert!(two.stats.table_entries < cube, "{} >= {}", two.stats.table_entries, cube);
+        // A_DV*: n single-row Everif slices + n Emem rows + Edisk.
+        assert_eq!(one.stats.table_entries, 2 * n * (n + 1) + (n + 1));
     }
 
     #[test]

@@ -1,13 +1,16 @@
 //! Offline stand-in for `rayon`.
 //!
 //! Implements the data-parallel subset the workspace uses —
-//! `par_iter()` / `into_par_iter()` with `map`, `for_each` and ordered
-//! `collect` — on top of `std::thread::scope`.  Scheduling is dynamic: every
+//! `par_iter()` / `into_par_iter()` with `map`, `for_each`, `reduce` and
+//! ordered `collect`, plus [`join`] and the [`scope`] / [`Scope::spawn`]
+//! task API — on top of `std::thread::scope`.  Scheduling is dynamic: every
 //! worker steals the next unclaimed item index from a shared atomic cursor,
 //! so long-running cells (the `O(n⁶)` DP at large `n`) do not serialise the
 //! sweep behind a static partition.  Results are written back by item index,
 //! which keeps `collect` order — and therefore all sweep output —
-//! deterministic regardless of thread timing.
+//! deterministic regardless of thread timing.  `reduce` folds the
+//! materialised items left-to-right, so it is deterministic even for
+//! non-associative operators (stricter than real rayon, never weaker).
 
 #![forbid(unsafe_code)]
 
@@ -43,11 +46,23 @@ where
     })
 }
 
+thread_local! {
+    /// True on pool worker threads.  Nested parallel calls run sequentially
+    /// on the worker instead of spawning another full set of threads: real
+    /// rayon schedules nested work on the *same* pool, whereas a fresh pool
+    /// per nested call would oversubscribe a T-core machine with ~T² CPU-bound
+    /// threads (e.g. a parallel sweep grid whose cells each run a `d1`-sharded
+    /// DP).
+    static IN_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
 /// Maps `f` over `items` on a scoped worker pool, preserving input order.
 ///
 /// Each worker claims item indices from a shared atomic cursor (dynamic
 /// scheduling) and records `(index, result)` pairs; the pairs are reassembled
 /// in index order at the end, so the output is independent of thread timing.
+/// Calls made from inside a worker run sequentially (see [`IN_POOL_WORKER`]);
+/// results are unaffected because ordering is index-based either way.
 fn parallel_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -55,7 +70,8 @@ where
     F: Fn(T) -> R + Sync,
 {
     let n = items.len();
-    let threads = current_num_threads().min(n);
+    let nested = IN_POOL_WORKER.with(|w| w.get());
+    let threads = if nested { 1 } else { current_num_threads().min(n) };
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -70,6 +86,7 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(move || {
+                    IN_POOL_WORKER.with(|w| w.set(true));
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -93,6 +110,49 @@ where
     indexed.sort_by_key(|(i, _)| *i);
     debug_assert_eq!(indexed.len(), n);
     indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A task spawned into a [`Scope`], boxed so nested spawns can be queued.
+type ScopeJob<'env> = Box<dyn FnOnce(&Scope<'env>) + Send + 'env>;
+
+/// A spawn target for structured, scoped task parallelism (the subset of
+/// `rayon::Scope` the workspace uses: [`Scope::spawn`]).
+///
+/// Jobs spawned while the `scope` closure runs (or from inside other jobs —
+/// nesting is supported) are queued and executed on the worker pool before
+/// [`scope`] returns.
+pub struct Scope<'env> {
+    queue: Mutex<Vec<ScopeJob<'env>>>,
+}
+
+impl<'env> Scope<'env> {
+    /// Queues `body` for execution on the pool before the scope ends.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'env>) + Send + 'env,
+    {
+        self.queue.lock().expect("scope queue poisoned").push(Box::new(body));
+    }
+}
+
+/// Creates a scope: every task spawned into it completes before `scope`
+/// returns, so tasks may borrow non-`'static` data from the caller.
+pub fn scope<'env, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'env>) -> R,
+{
+    let s = Scope { queue: Mutex::new(Vec::new()) };
+    let result = op(&s);
+    // Drain in rounds: jobs executed in one round may spawn more jobs.
+    loop {
+        let jobs = std::mem::take(&mut *s.queue.lock().expect("scope queue poisoned"));
+        if jobs.is_empty() {
+            break;
+        }
+        let sref = &s;
+        let _: Vec<()> = parallel_map_vec(jobs, move |job| job(sref));
+    }
+    result
 }
 
 /// Parallel iterator traits and adapters.
@@ -131,6 +191,21 @@ pub mod iter {
             C: FromIterator<Self::Item>,
         {
             self.drive().into_iter().collect()
+        }
+
+        /// Reduces the items to a single value, starting from `identity()`.
+        ///
+        /// The stub evaluates pending stages in parallel, then folds the
+        /// materialised items **left-to-right**, so the result is
+        /// deterministic even for non-associative operators (real rayon
+        /// requires `op` to be associative and `identity` neutral; code
+        /// written against that contract behaves identically here).
+        fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+        where
+            ID: Fn() -> Self::Item + Sync + Send,
+            OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+        {
+            self.drive().into_iter().fold(identity(), op)
         }
 
         /// Sums the items.
@@ -293,6 +368,77 @@ mod tests {
         let (a, b) = super::join(|| 1 + 1, || "two");
         assert_eq!(a, 2);
         assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn reduce_folds_in_input_order() {
+        let total: u64 =
+            (1u64..=100).collect::<Vec<_>>().into_par_iter().reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 5050);
+        // Left fold: deterministic even for a non-associative operator.
+        let diff: i64 = vec![100i64, 30, 20].into_par_iter().reduce(|| 0, |a, b| a - b);
+        assert_eq!(diff, 0 - 100 - 30 - 20);
+    }
+
+    #[test]
+    fn scope_runs_spawned_and_nested_jobs_before_returning() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let result = super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|inner| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    // Nested spawn from inside a running job.
+                    inner.spawn(|_| {
+                        counter.fetch_add(10, Ordering::Relaxed);
+                    });
+                });
+            }
+            "done"
+        });
+        assert_eq!(result, "done");
+        assert_eq!(counter.load(Ordering::Relaxed), 8 + 80);
+    }
+
+    #[test]
+    fn scope_tasks_may_borrow_local_data() {
+        let inputs: Vec<u64> = (0..32).collect();
+        let mut outputs: Vec<Option<u64>> = vec![None; inputs.len()];
+        super::scope(|s| {
+            for (slot, &x) in outputs.iter_mut().zip(&inputs) {
+                s.spawn(move |_| *slot = Some(x * x));
+            }
+        });
+        for (i, o) in outputs.iter().enumerate() {
+            assert_eq!(*o, Some((i as u64) * (i as u64)));
+        }
+    }
+
+    #[test]
+    fn nested_parallelism_stays_on_the_worker_thread() {
+        // A nested parallel call from inside a pool worker must not spawn a
+        // second set of threads (T² oversubscription); it runs sequentially
+        // on the worker, with identical results.
+        let nested_ids: Vec<Vec<std::thread::ThreadId>> = (0..4usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|_| {
+                (0..8usize)
+                    .collect::<Vec<_>>()
+                    .into_par_iter()
+                    .map(|_| std::thread::current().id())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for ids in &nested_ids {
+            assert!(ids.iter().all(|&id| id == ids[0]), "nested call left its worker");
+        }
+        // Values computed through a nested stage are still correct and ordered.
+        let values: Vec<Vec<usize>> = vec![3usize, 5]
+            .into_par_iter()
+            .map(|k| (0..k).collect::<Vec<_>>().into_par_iter().map(|x| x * 2).collect())
+            .collect();
+        assert_eq!(values, vec![vec![0, 2, 4], vec![0, 2, 4, 6, 8]]);
     }
 
     #[test]
