@@ -421,6 +421,88 @@ pub fn fig8_with_cache(config: &ExperimentConfig, cache: &SolutionCache) -> Patt
     pattern_figure(WeightPattern::high_low_default(), config, cache)
 }
 
+/// Configuration of a weak-scaling `n`-sweep: a **fixed per-task weight**
+/// with a growing chain, so each scenario's task weights extend the previous
+/// one's bitwise.
+///
+/// This is the prefix-stable counterpart of the paper's fixed-total-weight
+/// sweeps: because the weight vectors nest, an ascending sweep solved through
+/// an incremental cache ([`SolutionCache::new_incremental`]) extends one set
+/// of DP tables per algorithm instead of re-solving every point — the whole
+/// series costs little more than its largest point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeakScalingConfig {
+    /// Weight of every task (seconds).  The paper's figures put 25 000 s on
+    /// 50 tasks, i.e. 500 s/task.
+    pub per_task_weight: f64,
+    /// Chain lengths to evaluate, in ascending order for maximal reuse.
+    pub task_counts: Vec<usize>,
+    /// Algorithms to compare.
+    pub algorithms: Vec<Algorithm>,
+}
+
+impl WeakScalingConfig {
+    /// The paper-matched default: 500 s/task up to `max_tasks`, every point
+    /// a multiple of 5, all three paper algorithms.
+    pub fn paper(max_tasks: usize) -> Self {
+        Self {
+            per_task_weight: PAPER_TOTAL_WEIGHT / PAPER_MAX_TASKS as f64,
+            task_counts: (1..=max_tasks / 5).map(|i| i * 5).collect(),
+            algorithms: Algorithm::paper_algorithms().to_vec(),
+        }
+    }
+}
+
+/// Builds the weak-scaling scenario with `n` tasks of `per_task_weight`
+/// seconds each.
+///
+/// The chain is constructed from the per-task weight directly (not via
+/// `total / n`, whose rounding would break bitwise prefix stability).
+pub fn weak_scaling_scenario(platform: &Platform, n: usize, per_task_weight: f64) -> Scenario {
+    let chain = chain2l_model::TaskChain::from_weights(vec![per_task_weight; n])
+        .expect("positive per-task weight");
+    let costs = chain2l_model::ResilienceCosts::paper_defaults(platform);
+    Scenario::new(chain, platform.clone(), costs).expect("valid paper costs")
+}
+
+/// Builds the weak-scaling makespan series with a private incremental cache.
+pub fn weak_scaling_series(platform: &Platform, config: &WeakScalingConfig) -> MakespanSeries {
+    weak_scaling_series_with_cache(platform, config, &SolutionCache::new_incremental())
+}
+
+/// [`weak_scaling_series`] recording its solves in a shared `cache`.
+///
+/// Points are solved **sequentially in the given order** (not batched): with
+/// an incremental cache and ascending task counts, each point extends the
+/// previous point's finished DP tables, so the sweep is served by one cold
+/// solve per algorithm plus cheap extensions — makespans and schedules stay
+/// bit-identical to per-point cold solves (see the kernel-equivalence
+/// tests).  A plain cache still works, it just re-solves every point.
+pub fn weak_scaling_series_with_cache(
+    platform: &Platform,
+    config: &WeakScalingConfig,
+    cache: &SolutionCache,
+) -> MakespanSeries {
+    let points = config
+        .task_counts
+        .iter()
+        .map(|&n| {
+            let scenario = weak_scaling_scenario(platform, n, config.per_task_weight);
+            let values = config
+                .algorithms
+                .iter()
+                .map(|&a| (a, cache.solve(&scenario, a).normalized_makespan))
+                .collect();
+            MakespanPoint { n, values }
+        })
+        .collect();
+    MakespanSeries {
+        platform: platform.name.clone(),
+        pattern: format!("weak-scaling ({} s/task)", config.per_task_weight),
+        points,
+    }
+}
+
 /// Renders Table I (platform parameters, plus the derived MTBFs in days that
 /// the paper quotes in its prose).
 pub fn table1() -> Table {
@@ -563,6 +645,36 @@ mod tests {
         assert_eq!(stats.hits as usize, distinct);
         // And the cached figure is identical to the uncached one.
         assert_eq!(data, fig5(&config));
+    }
+
+    #[test]
+    fn weak_scaling_series_reuses_incremental_tables_and_matches_cold_solves() {
+        let config = WeakScalingConfig {
+            per_task_weight: 500.0,
+            task_counts: vec![5, 10, 15, 20],
+            algorithms: vec![Algorithm::TwoLevel, Algorithm::TwoLevelPartial],
+        };
+        let cache = SolutionCache::new_incremental();
+        let series = weak_scaling_series_with_cache(&scr::hera(), &config, &cache);
+        assert_eq!(series.points.len(), 4);
+        // One cold solve per algorithm, every later point an extension.
+        let inc = cache.incremental_stats().expect("incremental cache");
+        assert_eq!(inc.cold_solves, 2);
+        assert_eq!(inc.extensions, 6);
+        assert_eq!(inc.reuses, 0);
+        // Bit-identical to per-point cold solves.
+        for p in &series.points {
+            for &(a, v) in &p.values {
+                let cold =
+                    chain2l_core::optimize(&weak_scaling_scenario(&scr::hera(), p.n, 500.0), a);
+                assert_eq!(v.to_bits(), cold.normalized_makespan.to_bits(), "{a} n={}", p.n);
+            }
+        }
+        // The pattern label and paper preset are well-formed.
+        assert!(series.pattern.contains("weak-scaling"));
+        let preset = WeakScalingConfig::paper(50);
+        assert_eq!(preset.task_counts.last(), Some(&50));
+        assert_eq!(preset.per_task_weight, 500.0);
     }
 
     #[test]

@@ -38,5 +38,33 @@ fn bench_dp_runtime(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dp_runtime);
+/// Cold-solve series of the candidate-pruned `A_DMV` kernel at production
+/// sizes, with the exhaustive kernel as the before/after reference (the
+/// unpruned `n = 100` point alone would dominate the bench, so the reference
+/// stops at 50; `dp_report` records the full trajectory).
+fn bench_dp_cold_series(c: &mut Criterion) {
+    use chain2l_core::{optimize_with_partials, PartialOptions};
+    let mut group = c.benchmark_group("dp_cold");
+    group.sample_size(10);
+    for &n in &[25usize, 50, 100] {
+        let s = scenario(n);
+        group.bench_with_input(BenchmarkId::new("admv_pruned", n), &n, |b, _| {
+            b.iter(|| optimize_with_partials(black_box(&s), PartialOptions::paper_exact()))
+        });
+    }
+    for &n in &[25usize, 50] {
+        let s = scenario(n);
+        group.bench_with_input(BenchmarkId::new("admv_exhaustive", n), &n, |b, _| {
+            b.iter(|| {
+                optimize_with_partials(
+                    black_box(&s),
+                    PartialOptions::paper_exact().without_pruning(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp_runtime, bench_dp_cold_series);
 criterion_main!(benches);

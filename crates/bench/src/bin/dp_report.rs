@@ -1,0 +1,315 @@
+//! DP kernel performance report: wall-clock and candidate-count trajectory
+//! of the pruned `A_DMV` kernels vs. the exhaustive reference, plus the
+//! incremental-in-`n` series, written to `results/BENCH_dp.json`.
+//!
+//! Usage:
+//!   cargo run --release -p chain2l-bench --bin dp_report              # report
+//!   cargo run --release -p chain2l-bench --bin dp_report -- \
+//!       --check crates/bench/baselines/dp_candidates.csv             # CI gate
+//!   cargo run --release -p chain2l-bench --bin dp_report -- --full   # + n=100 exhaustive
+//!
+//! `--check` re-runs the reference scenarios and **fails (exit 1) when any
+//! pruned `candidates_examined` exceeds its recorded baseline** — the counts
+//! are deterministic, so any regression is a real pruning regression, not
+//! noise.  Coverage is enforced both ways (unmonitored measured cells fail
+//! too).  The baseline CSV rows are `platform,n,algorithm,max_candidates`;
+//! regenerate them with `--print-baseline` after an intentional kernel
+//! change.  A recorded trajectory snapshot lives at
+//! `crates/bench/baselines/BENCH_dp.json` (`results/` is gitignored).
+
+use chain2l_analysis::experiments::weak_scaling_scenario;
+use chain2l_bench::write_result_file;
+use chain2l_core::incremental::IncrementalSolver;
+use chain2l_core::{optimize_with_partials, Algorithm, PartialOptions, Solution};
+use chain2l_model::platform::scr;
+use chain2l_model::{Platform, Scenario, WeightPattern};
+use std::time::Instant;
+
+/// One measured reference cell.
+struct Cell {
+    platform: String,
+    n: usize,
+    algorithm: Algorithm,
+    pruned: Measure,
+    exhaustive: Option<Measure>,
+}
+
+struct Measure {
+    millis: f64,
+    candidates: u64,
+    table_entries: usize,
+}
+
+fn measure<F: Fn() -> Solution>(solve: F) -> Measure {
+    let start = Instant::now();
+    let solution = solve();
+    Measure {
+        millis: start.elapsed().as_secs_f64() * 1e3,
+        candidates: solution.stats.candidates_examined,
+        table_entries: solution.stats.table_entries,
+    }
+}
+
+/// The reference scenarios of the CI gate: every Table I platform at the
+/// paper's `n = 50`, plus Hera at 25 and 100 for the scaling trajectory.
+fn reference_cells() -> Vec<(Platform, usize)> {
+    let mut cells: Vec<(Platform, usize)> = scr::all().into_iter().map(|p| (p, 50)).collect();
+    cells.push((scr::hera(), 25));
+    cells.push((scr::hera(), 100));
+    cells
+}
+
+/// How much of the exhaustive reference to measure alongside the pruned
+/// kernel.
+#[derive(Clone, Copy, PartialEq)]
+enum Exhaustive {
+    /// None — the `--check` gate reads only pruned candidate counts.
+    Skip,
+    /// Up to `n = 50` (the default report).
+    Small,
+    /// Every cell (`--full`; the unpruned `n = 100` solve takes ~10x).
+    All,
+}
+
+fn run_cells(exhaustive: Exhaustive) -> Vec<Cell> {
+    reference_cells()
+        .into_iter()
+        .map(|(platform, n)| {
+            let s = Scenario::paper_setup(&platform, &WeightPattern::Uniform, n, 25_000.0)
+                .expect("valid paper setup");
+            let pruned = measure(|| optimize_with_partials(&s, PartialOptions::paper_exact()));
+            let reference = match exhaustive {
+                Exhaustive::Skip => false,
+                Exhaustive::Small => n <= 50,
+                Exhaustive::All => true,
+            };
+            let exhaustive = reference.then(|| {
+                measure(|| {
+                    optimize_with_partials(&s, PartialOptions::paper_exact().without_pruning())
+                })
+            });
+            Cell {
+                platform: platform.name.clone(),
+                n,
+                algorithm: Algorithm::TwoLevelPartial,
+                pruned,
+                exhaustive,
+            }
+        })
+        .collect()
+}
+
+/// Ascending incremental weak-scaling series vs. cold solves of every point.
+struct SeriesReport {
+    points: Vec<usize>,
+    incremental_millis: f64,
+    cold_millis: f64,
+    stats: String,
+}
+
+fn run_series() -> SeriesReport {
+    let platform = scr::hera();
+    let points = vec![25usize, 50, 100];
+    let solver = IncrementalSolver::new();
+    let start = Instant::now();
+    for &n in &points {
+        solver.solve(&weak_scaling_scenario(&platform, n, 500.0), Algorithm::TwoLevelPartial);
+    }
+    let incremental_millis = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    for &n in &points {
+        optimize_with_partials(
+            &weak_scaling_scenario(&platform, n, 500.0),
+            PartialOptions::paper_exact(),
+        );
+    }
+    let cold_millis = start.elapsed().as_secs_f64() * 1e3;
+    SeriesReport { points, incremental_millis, cold_millis, stats: solver.stats().to_string() }
+}
+
+fn render_json(cells: &[Cell], series: &SeriesReport) -> String {
+    let mut out = String::from("{\n  \"report\": \"dp_report\",\n  \"scenarios\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"platform\": \"{}\", \"pattern\": \"uniform\", \"n\": {}, \
+             \"algorithm\": \"{}\", \"pruned\": {{\"millis\": {:.3}, \"candidates\": {}, \
+             \"table_entries\": {}}}",
+            c.platform,
+            c.n,
+            c.algorithm.label(),
+            c.pruned.millis,
+            c.pruned.candidates,
+            c.pruned.table_entries,
+        ));
+        if let Some(e) = &c.exhaustive {
+            out.push_str(&format!(
+                ", \"exhaustive\": {{\"millis\": {:.3}, \"candidates\": {}}}, \
+                 \"speedup\": {:.2}, \"candidate_reduction\": {:.2}",
+                e.millis,
+                e.candidates,
+                e.millis / c.pruned.millis,
+                e.candidates as f64 / c.pruned.candidates as f64,
+            ));
+        }
+        out.push_str(if i + 1 == cells.len() { "}\n" } else { "},\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"incremental_series\": {{\"platform\": \"Hera\", \"algorithm\": \"ADMV\", \
+         \"per_task_weight\": 500.0, \"points\": {:?}, \"incremental_millis\": {:.3}, \
+         \"cold_millis\": {:.3}, \"amortization\": {:.2}, \"solver\": \"{}\"}}\n}}\n",
+        series.points,
+        series.incremental_millis,
+        series.cold_millis,
+        series.cold_millis / series.incremental_millis,
+        series.stats,
+    ));
+    out
+}
+
+fn baseline_rows(cells: &[Cell]) -> String {
+    let mut out = String::from("platform,n,algorithm,max_candidates\n");
+    for c in cells {
+        out.push_str(&format!(
+            "{},{},{},{}\n",
+            c.platform,
+            c.n,
+            c.algorithm.label(),
+            c.pruned.candidates
+        ));
+    }
+    out
+}
+
+/// Compares measured pruned candidate counts against the recorded baseline;
+/// returns the number of regressions.  Coverage is checked both ways: a
+/// baseline row without a measured cell fails, and so does a measured
+/// reference cell without a baseline row (an unmonitored scenario would let
+/// a pruning regression ship undetected).
+fn check_baseline(cells: &[Cell], baseline: &str) -> usize {
+    let mut regressions = 0;
+    let mut covered = vec![false; cells.len()];
+    for line in baseline.lines().skip(1) {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // platform names contain no commas in Table I; split from the right
+        // so a future name with a comma fails loudly instead of silently.
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 4 {
+            eprintln!("dp_report: malformed baseline row `{line}`");
+            regressions += 1;
+            continue;
+        }
+        let (platform, n, algorithm, max): (&str, usize, &str, u64) = (
+            fields[0],
+            fields[1].parse().expect("baseline n"),
+            fields[2],
+            fields[3].parse().expect("baseline candidates"),
+        );
+        match cells
+            .iter()
+            .position(|c| c.platform == platform && c.n == n && c.algorithm.label() == algorithm)
+            .map(|i| {
+                covered[i] = true;
+                &cells[i]
+            }) {
+            None => {
+                eprintln!("dp_report: baseline row `{line}` has no measured cell");
+                regressions += 1;
+            }
+            Some(cell) if cell.pruned.candidates > max => {
+                eprintln!(
+                    "dp_report: REGRESSION {platform} n={n} {algorithm}: \
+                     {} candidates > baseline {max}",
+                    cell.pruned.candidates
+                );
+                regressions += 1;
+            }
+            Some(cell) => {
+                eprintln!(
+                    "dp_report: ok {platform} n={n} {algorithm}: {} <= {max}",
+                    cell.pruned.candidates
+                );
+            }
+        }
+    }
+    for (cell, covered) in cells.iter().zip(&covered) {
+        if !covered {
+            eprintln!(
+                "dp_report: UNMONITORED {} n={} {} has no baseline row",
+                cell.platform,
+                cell.n,
+                cell.algorithm.label()
+            );
+            regressions += 1;
+        }
+    }
+    regressions
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| args.get(i + 1).cloned().expect("--check needs a baseline path"));
+    let exhaustive = if check.is_some() || args.iter().any(|a| a == "--print-baseline") {
+        Exhaustive::Skip
+    } else if args.iter().any(|a| a == "--full") {
+        Exhaustive::All
+    } else {
+        Exhaustive::Small
+    };
+
+    let cells = run_cells(exhaustive);
+    for c in &cells {
+        match &c.exhaustive {
+            Some(e) => eprintln!(
+                "dp_report: {} n={}: pruned {:.1} ms / {} cands vs exhaustive {:.1} ms / {} \
+                 cands ({:.1}x faster, {:.1}x fewer candidates)",
+                c.platform,
+                c.n,
+                c.pruned.millis,
+                c.pruned.candidates,
+                e.millis,
+                e.candidates,
+                e.millis / c.pruned.millis,
+                e.candidates as f64 / c.pruned.candidates as f64,
+            ),
+            None => eprintln!(
+                "dp_report: {} n={}: pruned {:.1} ms / {} cands",
+                c.platform, c.n, c.pruned.millis, c.pruned.candidates
+            ),
+        }
+    }
+
+    if let Some(path) = check {
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let regressions = check_baseline(&cells, &baseline);
+        if regressions > 0 {
+            eprintln!("dp_report: {regressions} candidate-count regression(s)");
+            std::process::exit(1);
+        }
+        eprintln!("dp_report: no candidate-count regressions");
+        return;
+    }
+
+    if args.iter().any(|a| a == "--print-baseline") {
+        print!("{}", baseline_rows(&cells));
+        return;
+    }
+
+    let series = run_series();
+    eprintln!(
+        "dp_report: incremental series {:?}: {:.1} ms vs {:.1} ms cold ({})",
+        series.points, series.incremental_millis, series.cold_millis, series.stats
+    );
+    let json = render_json(&cells, &series);
+    print!("{json}");
+    if let Some(path) = write_result_file("BENCH_dp.json", &json) {
+        eprintln!("dp_report: JSON written to {}", path.display());
+    }
+}

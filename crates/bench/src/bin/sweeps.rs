@@ -14,7 +14,12 @@
 //! only skip recomputation.
 //!
 //! Usage: `cargo run --release -p chain2l-bench --bin sweeps
-//!         [--tasks N] [--seed S] [--validate REPS]`
+//!         [--tasks N] [--seed S] [--validate REPS] [--sim-threads T]`
+//!
+//! `--sim-threads` parallelizes the Monte-Carlo *within* each grid cell
+//! (deterministic per configuration; the stream partition is part of the
+//! artifact's configuration, so the default of 1 preserves historical
+//! output byte-for-byte).
 
 use chain2l_analysis::experiments::PAPER_TOTAL_WEIGHT;
 use chain2l_analysis::sweep::{self, GridSpec};
@@ -46,13 +51,18 @@ fn main() {
     let tasks: usize = flag(&args, "--tasks", 30);
     let seed: u64 = flag(&args, "--seed", 0x5eed);
     let validate: usize = flag(&args, "--validate", 400);
+    let sim_threads: usize = flag(&args, "--sim-threads", 1);
     if tasks == 0 {
         eprintln!("error: --tasks must be at least 1");
         std::process::exit(2);
     }
+    if sim_threads == 0 {
+        eprintln!("error: --sim-threads must be at least 1");
+        std::process::exit(2);
+    }
     eprintln!(
-        "sweeps: n = {tasks} tasks, base seed {seed:#x}, {validate} validation replications, \
-         {} workers",
+        "sweeps: n = {tasks} tasks, base seed {seed:#x}, {validate} validation replications \
+         ({sim_threads} sim threads/cell), {} workers",
         rayon::current_num_threads()
     );
 
@@ -96,7 +106,11 @@ fn main() {
     let mut ladder: Vec<usize> =
         [tasks / 4, tasks / 2, 3 * tasks / 4, tasks].iter().copied().filter(|&n| n > 0).collect();
     ladder.dedup(); // ascending; small --tasks values collapse rungs
-    let spec = GridSpec { validation_replications: validate, ..GridSpec::paper(ladder, seed) };
+    let spec = GridSpec {
+        validation_replications: validate,
+        validation_threads: sim_threads,
+        ..GridSpec::paper(ladder, seed)
+    };
     eprintln!("sweeps: running {} grid cells…", spec.cell_count());
     let rows = sweep::run_grid_with_cache(&spec, &cache);
     tables.push(sweep::grid_table(&rows));

@@ -33,6 +33,8 @@ COMMANDS:
   sweep recall|cost|rates|tail|heuristics
                                   run an ablation sweep
   batch                           solve a scenario list in one cached batch call
+  solve                           solve a weak-scaling n-series (fixed per-task
+                                  weight), optionally reusing DP tables
   sensitivity                     elasticity of the optimum w.r.t. every parameter
   help                            show this message
 
@@ -63,6 +65,12 @@ BATCH:
                                   stream back as CSV in input order, duplicates
                                   are solved once and served from the cache
 
+SOLVE:
+  --series <n1,n2,...>            ascending chain lengths (default: 10,20,30,40,50)
+  --per-task-weight <seconds>     weight of every task (default: 500)
+  --incremental                   extend finished DP tables across the series
+                                  (bit-identical results, one cold solve total)
+
 SENSITIVITY:
   --step <fraction>               relative perturbation (default: 0.05)
 
@@ -83,6 +91,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, ArgError> {
         "experiment" => cmd_experiment(args),
         "sweep" => cmd_sweep(args),
         "batch" => cmd_batch(args),
+        "solve" => cmd_solve(args),
         "sensitivity" => cmd_sensitivity(args),
         other => Err(ArgError::Unknown { what: other.to_string() }),
     }
@@ -392,6 +401,82 @@ pub fn run_batch(input: &str) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// `chain2l solve`: a weak-scaling `n`-series (fixed per-task weight, so the
+/// task-weight vectors nest) solved point by point, optionally through the
+/// incremental-in-`n` solver (`--incremental`), which extends the previous
+/// point's finished DP tables instead of starting over.  Results are
+/// bit-identical either way — only the amount of work changes, reported in
+/// the trailing `# solver:` comment.
+fn cmd_solve(args: &ParsedArgs) -> Result<String, ArgError> {
+    let platform = parse_platform(args)?;
+    let algorithm = parse_algorithm(args)?;
+    let per_task_weight = args.f64_or("per-task-weight", 500.0)?;
+    if !(per_task_weight.is_finite() && per_task_weight > 0.0) {
+        return Err(ArgError::InvalidValue {
+            option: "per-task-weight".into(),
+            value: per_task_weight.to_string(),
+            expected: "a positive weight in seconds".into(),
+        });
+    }
+    let series_spec = args.get_or("series", "10,20,30,40,50");
+    let mut series: Vec<usize> = Vec::new();
+    for part in series_spec.split(',') {
+        let n: usize = part.trim().parse().map_err(|_| ArgError::InvalidValue {
+            option: "series".into(),
+            value: series_spec.to_string(),
+            expected: "comma-separated task counts, e.g. 10,20,50".into(),
+        })?;
+        if n == 0 {
+            return Err(ArgError::InvalidValue {
+                option: "series".into(),
+                value: series_spec.to_string(),
+                expected: "task counts of at least 1".into(),
+            });
+        }
+        series.push(n);
+    }
+
+    let incremental = args.flag("incremental");
+    let solver = chain2l_core::IncrementalSolver::new();
+    let mut out =
+        String::from("n,expected_makespan,normalized_makespan,disk,memory,guaranteed,partial\n");
+    let start = std::time::Instant::now();
+    for &n in &series {
+        let scenario =
+            chain2l_analysis::experiments::weak_scaling_scenario(&platform, n, per_task_weight);
+        let solution = if incremental {
+            solver.solve(&scenario, algorithm)
+        } else {
+            optimize(&scenario, algorithm)
+        };
+        out.push_str(&format!(
+            "{},{:.6},{:.6},{},{},{},{}\n",
+            n,
+            solution.expected_makespan,
+            solution.normalized_makespan,
+            solution.counts.disk_checkpoints,
+            solution.counts.memory_checkpoints,
+            solution.counts.guaranteed_verifications,
+            solution.counts.partial_verifications,
+        ));
+    }
+    let elapsed = start.elapsed();
+    if incremental {
+        out.push_str(&format!(
+            "# solver: incremental ({}) in {:.1} ms\n",
+            solver.stats(),
+            elapsed.as_secs_f64() * 1e3
+        ));
+    } else {
+        out.push_str(&format!(
+            "# solver: {} cold solves in {:.1} ms\n",
+            series.len(),
+            elapsed.as_secs_f64() * 1e3
+        ));
+    }
+    Ok(out)
+}
+
 fn cmd_sensitivity(args: &ParsedArgs) -> Result<String, ArgError> {
     let scenario = parse_scenario(args)?;
     let algorithm = parse_algorithm(args)?;
@@ -678,6 +763,31 @@ hera uniform 8
         // Missing files are a clear error.
         let err = run_tokens(&["batch", "--file", "/nonexistent/scenarios.txt"]);
         assert!(matches!(err, Err(ArgError::InvalidValue { .. })));
+    }
+
+    #[test]
+    fn solve_series_is_identical_with_and_without_incremental_reuse() {
+        let rows = |out: &str| -> Vec<String> {
+            out.lines().filter(|l| !l.starts_with('#')).map(|l| l.to_string()).collect()
+        };
+        let common =
+            ["solve", "--series", "6,12,18", "--per-task-weight", "500", "--algorithm", "admv*"];
+        let cold = run_tokens(&common).unwrap();
+        let mut with_inc: Vec<&str> = common.to_vec();
+        with_inc.push("--incremental");
+        let incremental = run_tokens(&with_inc).unwrap();
+        assert_eq!(rows(&cold), rows(&incremental), "results must be bit-identical");
+        assert!(cold.contains("# solver: 3 cold solves"), "{cold}");
+        assert!(incremental.contains("1 cold, 2 extended"), "{incremental}");
+        assert_eq!(rows(&cold).len(), 1 + 3, "header + one row per point");
+        assert!(rows(&cold)[1].starts_with("6,"), "{cold}");
+    }
+
+    #[test]
+    fn solve_rejects_malformed_series_and_weights() {
+        assert!(run_tokens(&["solve", "--series", "5,abc"]).is_err());
+        assert!(run_tokens(&["solve", "--series", "0,5"]).is_err());
+        assert!(run_tokens(&["solve", "--per-task-weight", "-3"]).is_err());
     }
 
     #[test]

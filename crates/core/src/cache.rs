@@ -20,6 +20,7 @@
 //! the scenario and algorithm, cached and uncached solves are bit-identical —
 //! the cache can never change results, only skip recomputation.
 
+use crate::incremental::IncrementalSolver;
 use crate::solution::Solution;
 use crate::{optimize, Algorithm};
 use chain2l_model::Scenario;
@@ -150,12 +151,34 @@ pub struct SolutionCache {
     entries: Mutex<HashMap<ScenarioFingerprint, CacheEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// When present, cache misses are solved through the incremental-in-`n`
+    /// solver instead of a from-scratch [`optimize`] call.
+    incremental: Option<IncrementalSolver>,
 }
 
 impl SolutionCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a cache whose misses run through an [`IncrementalSolver`]:
+    /// prefix-compatible scenarios (e.g. an ascending weak-scaling `n`-sweep)
+    /// extend the previous solve's DP tables instead of starting over.
+    ///
+    /// Expected makespans and schedules are bit-identical to the plain cache
+    /// — the incremental kernels perform the same arithmetic on the same
+    /// inputs — so swapping constructors can never change results, only the
+    /// amount of work (observable through [`Self::incremental_stats`]).
+    /// Misses within one context solve serially (they share tables), so
+    /// prefer [`SolutionCache::new`] for workloads with no prefix overlap.
+    pub fn new_incremental() -> Self {
+        Self { incremental: Some(IncrementalSolver::new()), ..Self::default() }
+    }
+
+    /// Path statistics of the backing incremental solver, if any.
+    pub fn incremental_stats(&self) -> Option<crate::IncrementalStats> {
+        self.incremental.as_ref().map(IncrementalSolver::stats)
     }
 
     /// Returns the optimal solution for `(scenario, algorithm)`, running the
@@ -180,7 +203,14 @@ impl SolutionCache {
         };
         // Outside the map lock: other fingerprints stay unblocked while the
         // (possibly expensive) DP runs.
-        entry.get_or_init(|| Arc::new(optimize(scenario, algorithm))).clone()
+        entry
+            .get_or_init(|| {
+                Arc::new(match &self.incremental {
+                    Some(solver) => solver.solve(scenario, algorithm),
+                    None => optimize(scenario, algorithm),
+                })
+            })
+            .clone()
     }
 
     /// Solves every request and returns the solutions **in request order**,
@@ -320,6 +350,34 @@ mod tests {
         cache.solve(&s, Algorithm::TwoLevel);
         let stats = cache.stats();
         assert_eq!(stats.misses, 2, "cleared entry must be re-solved");
+    }
+
+    #[test]
+    fn incremental_cache_is_bit_identical_and_reports_reuse() {
+        let platform = scr::hera();
+        let costs = chain2l_model::ResilienceCosts::paper_defaults(&platform);
+        let weak = |n: usize| {
+            Scenario::new(
+                chain2l_model::TaskChain::from_weights(vec![500.0; n]).unwrap(),
+                platform.clone(),
+                costs,
+            )
+            .unwrap()
+        };
+        let cache = SolutionCache::new_incremental();
+        assert!(SolutionCache::new().incremental_stats().is_none());
+        for n in [4usize, 9, 18] {
+            let sol = cache.solve(&weak(n), Algorithm::TwoLevel);
+            let direct = optimize(&weak(n), Algorithm::TwoLevel);
+            assert_eq!(direct.expected_makespan.to_bits(), sol.expected_makespan.to_bits());
+            assert_eq!(direct.schedule, sol.schedule);
+        }
+        let inc = cache.incremental_stats().expect("incremental mode");
+        assert_eq!((inc.cold_solves, inc.extensions), (1, 2));
+        // Memoization still applies on top.
+        cache.solve(&weak(9), Algorithm::TwoLevel);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.incremental_stats().unwrap().extensions, 2);
     }
 
     #[test]

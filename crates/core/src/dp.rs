@@ -1,0 +1,174 @@
+//! Shared dynamic-programming state of the `d1`-sharded optimizers.
+//!
+//! Both the §III-A ([`crate::two_level`]) and §III-B ([`crate::partial`])
+//! dynamic programs decompose into independent disk-segment slices — one per
+//! candidate predecessor disk checkpoint `d1`, each owning the
+//! `Everif(d1, ·, ·)` sub-table and the `Emem(d1, ·)` row — topped by a
+//! sequential `Edisk` level.  This module holds that state ([`DiskSlice`],
+//! [`DpTables`]), the shared `Edisk` recurrence ([`edisk_level`]) and the
+//! finalized-entry accounting behind `DpStatistics::table_entries`.
+//!
+//! The tables are deliberately growable (via [`crate::tables::SliceTable2::grow`]
+//! and [`DpTables::grow`]): the incremental-in-`n` solver
+//! ([`crate::incremental`]) extends a finished table set from `n` to `n' > n`
+//! when the task-weight prefix is unchanged, re-running only the new columns.
+
+use crate::tables::SliceTable2;
+use rayon::prelude::*;
+
+/// The self-contained DP state of one disk-segment slice: everything the
+/// recurrences compute for a fixed predecessor disk checkpoint `d1`.
+pub(crate) struct DiskSlice {
+    /// `Everif(d1, m1, v2)`; rows span `m1 ∈ d1..n` (one row when interior
+    /// memory checkpoints are forbidden, as in `A_DV*`).
+    pub everif: SliceTable2<f64>,
+    /// Argmin `v1` for `Everif(d1, m1, v2)`.
+    pub everif_choice: SliceTable2<usize>,
+    /// `Emem(d1, m2)`, indexed by `m2`.
+    pub emem: Vec<f64>,
+    /// Argmin `m1` for `Emem(d1, m2)`.
+    pub emem_choice: Vec<usize>,
+    /// Candidate positions examined while filling this slice (cumulative
+    /// across incremental extensions).
+    pub candidates: u64,
+}
+
+impl DiskSlice {
+    /// Allocates an empty slice for disk predecessor `d1` with `rows` Everif
+    /// rows and columns `0..=n`.
+    pub fn new(n: usize, d1: usize, rows: usize) -> Self {
+        Self {
+            everif: SliceTable2::new(n, d1, rows, f64::INFINITY),
+            everif_choice: SliceTable2::new(n, d1, rows, usize::MAX),
+            emem: vec![f64::INFINITY; n + 1],
+            emem_choice: vec![usize::MAX; n + 1],
+            candidates: 0,
+        }
+    }
+
+    /// Grows the slice to columns `0..=new_n` and `new_rows` Everif rows,
+    /// preserving every computed entry.
+    pub fn grow(&mut self, new_n: usize, new_rows: usize) {
+        self.everif.grow(new_n, new_rows, f64::INFINITY);
+        self.everif_choice.grow(new_n, new_rows, usize::MAX);
+        self.emem.resize(new_n + 1, f64::INFINITY);
+        self.emem_choice.resize(new_n + 1, usize::MAX);
+    }
+
+    /// Number of finalized (actually written) value entries in this slice.
+    pub fn finalized_entries(&self) -> usize {
+        self.everif.as_slice().iter().filter(|v| v.is_finite()).count()
+            + self.emem.iter().filter(|v| v.is_finite()).count()
+    }
+}
+
+/// Full DP state: one slice per candidate `d1`, plus the `Edisk` level.
+pub(crate) struct DpTables {
+    pub slices: Vec<DiskSlice>,
+    /// `Edisk(d2)`.
+    pub edisk: Vec<f64>,
+    /// Argmin `d1` for `Edisk(d2)`.
+    pub edisk_choice: Vec<usize>,
+    /// Candidate positions examined across every level, at the current `n`.
+    pub candidates: u64,
+}
+
+impl DpTables {
+    /// Number of finalized value entries across all levels — the honest
+    /// `DpStatistics::table_entries`: allocated-but-never-written cells
+    /// (initialised to `INFINITY`) are not counted, so pruning and slice
+    /// collapse gains show up in the reported statistics.
+    pub fn finalized_entries(&self) -> usize {
+        self.slices.iter().map(DiskSlice::finalized_entries).sum::<usize>()
+            + self.edisk.iter().filter(|v| v.is_finite()).count()
+    }
+}
+
+/// Assembles finished slices and the `Edisk` level into a [`DpTables`].
+pub(crate) fn finish_tables(disk_checkpoint: f64, slices: Vec<DiskSlice>, n: usize) -> DpTables {
+    let mut tables =
+        DpTables { slices, edisk: Vec::new(), edisk_choice: Vec::new(), candidates: 0 };
+    refresh_edisk(disk_checkpoint, &mut tables, n);
+    tables
+}
+
+/// Grows the slice set from `old_n` to `new_n` tasks: existing slices grow
+/// and refill only the new columns — batched over the pool with
+/// [`par_chunks_mut`] (a slice extension near `d1 = old_n` is tiny, so
+/// chunking keeps scheduling overhead off the kernels) — and the new slices
+/// `d1 ∈ old_n..new_n` fill cold.  `rows(n, d1)` sizes a slice's `Everif`
+/// band; `fill(d1, slice, from_m2)` runs the kernel.  Call
+/// [`refresh_edisk`] afterwards.
+///
+/// [`par_chunks_mut`]: rayon::prelude::ParallelSliceMut::par_chunks_mut
+pub(crate) fn extend_slices<R, F>(
+    slices: &mut Vec<DiskSlice>,
+    old_n: usize,
+    new_n: usize,
+    rows: R,
+    fill: F,
+) where
+    R: Fn(usize, usize) -> usize + Sync,
+    F: Fn(usize, &mut DiskSlice, usize) + Sync,
+{
+    debug_assert!(new_n > old_n);
+    let chunk = (old_n / (4 * rayon::current_num_threads())).max(1);
+    slices.par_chunks_mut(chunk).for_each(|batch| {
+        for slice in batch {
+            let d1 = slice.everif.row_base();
+            slice.grow(new_n, rows(new_n, d1));
+            fill(d1, slice, old_n + 1);
+        }
+    });
+    let new_slices: Vec<DiskSlice> = (old_n..new_n)
+        .into_par_iter()
+        .map(|d1| {
+            let mut slice = DiskSlice::new(new_n, d1, rows(new_n, d1));
+            fill(d1, &mut slice, d1 + 1);
+            slice
+        })
+        .collect();
+    slices.extend(new_slices);
+}
+
+/// (Re)runs the sequential `Edisk` level over the finished slices and
+/// refreshes the table-wide candidate total (slice counters are cumulative,
+/// so this is exact after both cold fills and extensions).
+pub(crate) fn refresh_edisk(disk_checkpoint: f64, tables: &mut DpTables, n: usize) {
+    let slice_candidates: u64 = tables.slices.iter().map(|s| s.candidates).sum();
+    let (edisk, edisk_choice, edisk_candidates) = edisk_level(disk_checkpoint, &tables.slices, n);
+    tables.edisk = edisk;
+    tables.edisk_choice = edisk_choice;
+    tables.candidates = slice_candidates + edisk_candidates;
+}
+
+/// Runs the sequential `Edisk` level over the finished slices and returns
+/// `(edisk, edisk_choice, candidates_examined)`.
+///
+/// `Edisk(d2) = min_{d1 < d2} Edisk(d1) + Emem(d1, d2) + C_D`, scanned in
+/// ascending `d1` with a strict minimum (first argmin wins on ties).
+fn edisk_level(
+    disk_checkpoint: f64,
+    slices: &[DiskSlice],
+    n: usize,
+) -> (Vec<f64>, Vec<usize>, u64) {
+    let mut edisk = vec![f64::INFINITY; n + 1];
+    let mut edisk_choice = vec![usize::MAX; n + 1];
+    let mut candidates = 0u64;
+    edisk[0] = 0.0;
+    for d2 in 1..=n {
+        let mut best = f64::INFINITY;
+        let mut best_d1 = usize::MAX;
+        for (d1, slice) in slices.iter().enumerate().take(d2) {
+            candidates += 1;
+            let cand = edisk[d1] + slice.emem[d2] + disk_checkpoint;
+            if cand < best {
+                best = cand;
+                best_d1 = d1;
+            }
+        }
+        edisk[d2] = best;
+        edisk_choice[d2] = best_d1;
+    }
+    (edisk, edisk_choice, candidates)
+}

@@ -1,0 +1,377 @@
+//! Incremental-in-`n` solving: extend finished DP tables instead of
+//! re-solving from scratch.
+//!
+//! Every recurrence of the §III dynamic programs is *prefix-local*: the
+//! entries with all boundary indices `≤ m` depend only on the task weights
+//! `w_1..w_m` (through the interval works `W_{i,j}`, `j ≤ m`) and on entries
+//! with smaller indices.  So when a solved scenario with `n` tasks is
+//! followed by one with `n' > n` tasks whose first `n` weights are **bitwise
+//! identical** (uniform per-task-weight chains, appended workloads, any
+//! prefix-stable pattern), the finished `Everif`/`Emem`/`Edisk` tables are a
+//! valid prefix of the larger solve: only the columns `n+1..=n'` and the new
+//! disk-segment slices `d1 ∈ n..n'` need computing, plus the cheap `O(n²)`
+//! `Edisk` level.  Conversely a *smaller* prefix-matching scenario is served
+//! with no DP work at all — its optimum is already a sub-table, so only the
+//! argmin walk runs.
+//!
+//! [`IncrementalSolver`] memoizes one table set per *context* — the platform
+//! error rates, the full resilience cost model and the algorithm — behind a
+//! per-context lock, and dispatches each solve to the cheapest of the three
+//! paths (extend / reuse / cold).  Extended and reused solves are
+//! **bit-identical** to cold solves of the same scenario in expected makespan
+//! and schedule: the kernels run the very same arithmetic on the very same
+//! inputs (see the equivalence tests in `tests/kernel_equivalence.rs`).  The
+//! reported [`DpStatistics`] describe the *backing tables* (cumulative
+//! candidates, finalized entries at the largest solved `n`), which is what
+//! makes the saved work observable.
+//!
+//! The figure-series `n`-sweeps use this through
+//! [`crate::cache::SolutionCache::new_incremental`]: an ascending
+//! weak-scaling sweep costs little more than its largest point.
+
+use crate::dp::DpTables;
+use crate::segment::SegmentCalculator;
+use crate::solution::{DpStatistics, Solution};
+use crate::two_level::TwoLevelOptions;
+use crate::{partial, two_level, Algorithm, PartialOptions};
+use chain2l_model::Scenario;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One solving context: everything the kernels read besides the weights.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ContextKey {
+    lambda_fail_stop: u64,
+    lambda_silent: u64,
+    costs: [u64; 7],
+    algorithm: Algorithm,
+}
+
+impl ContextKey {
+    fn new(scenario: &Scenario, algorithm: Algorithm) -> Self {
+        let c = &scenario.costs;
+        Self {
+            lambda_fail_stop: scenario.platform.lambda_fail_stop.to_bits(),
+            lambda_silent: scenario.platform.lambda_silent.to_bits(),
+            costs: [
+                c.disk_checkpoint.to_bits(),
+                c.memory_checkpoint.to_bits(),
+                c.disk_recovery.to_bits(),
+                c.memory_recovery.to_bits(),
+                c.guaranteed_verification.to_bits(),
+                c.partial_verification.to_bits(),
+                c.partial_recall.to_bits(),
+            ],
+            algorithm,
+        }
+    }
+}
+
+/// Which kernel family an [`Algorithm`] maps to.
+#[derive(Debug, Clone, Copy)]
+enum Kernel {
+    TwoLevel(TwoLevelOptions),
+    Partial(PartialOptions),
+}
+
+fn kernel_for(algorithm: Algorithm) -> Kernel {
+    match algorithm {
+        Algorithm::SingleLevel => Kernel::TwoLevel(TwoLevelOptions::single_level()),
+        Algorithm::TwoLevel => Kernel::TwoLevel(TwoLevelOptions::two_level()),
+        Algorithm::TwoLevelPartial => Kernel::Partial(PartialOptions::paper_exact()),
+        Algorithm::TwoLevelPartialRefined => Kernel::Partial(PartialOptions::refined()),
+    }
+}
+
+/// The retained DP state of one context: the weights it was built for and the
+/// finished tables at that size.
+struct ContextState {
+    /// Task weights of the largest chain solved in this context.
+    weights: Vec<f64>,
+    tables: DpTables,
+}
+
+impl ContextState {
+    fn n(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+/// How a solve was served (see [`IncrementalStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolvePath {
+    /// No reusable tables: the full DP ran from scratch.
+    Cold,
+    /// The stored tables were extended from a smaller `n` (only the new
+    /// columns and slices were computed).
+    Extended,
+    /// The scenario is a prefix of the stored tables: only the argmin
+    /// reconstruction ran.
+    Reused,
+}
+
+/// Counters describing how the solver served its requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IncrementalStats {
+    /// Solves that ran the full DP (empty or incompatible context).
+    pub cold_solves: u64,
+    /// Solves served by extending stored tables to a larger `n`.
+    pub extensions: u64,
+    /// Solves served from the stored tables with no DP work (prefix reuse).
+    pub reuses: u64,
+    /// Cold solves that discarded an incompatible stored state.
+    pub replacements: u64,
+}
+
+impl std::fmt::Display for IncrementalStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} cold, {} extended, {} reused ({} replaced)",
+            self.cold_solves, self.extensions, self.reuses, self.replacements
+        )
+    }
+}
+
+/// A memoizing solver that extends finished DP tables across chain sizes
+/// (see the module documentation).
+///
+/// # Examples
+///
+/// ```
+/// use chain2l_core::incremental::IncrementalSolver;
+/// use chain2l_core::{optimize, Algorithm};
+/// use chain2l_model::platform::scr;
+/// use chain2l_model::{ResilienceCosts, Scenario, TaskChain};
+///
+/// let platform = scr::hera();
+/// let costs = ResilienceCosts::paper_defaults(&platform);
+/// let scenario = |n: usize| {
+///     Scenario::new(TaskChain::from_weights(vec![500.0; n]).unwrap(), platform.clone(), costs)
+///         .unwrap()
+/// };
+/// let solver = IncrementalSolver::new();
+/// let s10 = solver.solve(&scenario(10), Algorithm::TwoLevel);
+/// let s25 = solver.solve(&scenario(25), Algorithm::TwoLevel); // extends 10 → 25
+/// assert_eq!(
+///     s25.expected_makespan.to_bits(),
+///     optimize(&scenario(25), Algorithm::TwoLevel).expected_makespan.to_bits()
+/// );
+/// assert_eq!(solver.stats().extensions, 1);
+/// # let _ = s10;
+/// ```
+#[derive(Default)]
+pub struct IncrementalSolver {
+    states: Mutex<HashMap<ContextKey, Arc<Mutex<Option<ContextState>>>>>,
+    cold_solves: AtomicU64,
+    extensions: AtomicU64,
+    reuses: AtomicU64,
+    replacements: AtomicU64,
+}
+
+impl std::fmt::Debug for IncrementalSolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncrementalSolver")
+            .field("contexts", &self.states.lock().expect("state map poisoned").len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl IncrementalSolver {
+    /// Creates a solver with no retained state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Solves `scenario` with `algorithm`, reusing or extending the stored
+    /// tables of the matching context when the task-weight prefix allows it.
+    ///
+    /// The expected makespan and schedule are bit-identical to
+    /// [`crate::optimize`] on the same inputs, whichever path serves the
+    /// request.
+    pub fn solve(&self, scenario: &Scenario, algorithm: Algorithm) -> Solution {
+        self.solve_traced(scenario, algorithm).0
+    }
+
+    /// [`Self::solve`], also reporting which path served the request.
+    pub fn solve_traced(&self, scenario: &Scenario, algorithm: Algorithm) -> (Solution, SolvePath) {
+        let n = scenario.task_count();
+        let kernel = kernel_for(algorithm);
+        let slot = {
+            let mut map = self.states.lock().expect("state map poisoned");
+            map.entry(ContextKey::new(scenario, algorithm)).or_default().clone()
+        };
+        // Per-context lock: concurrent same-context solves serialize on the
+        // shared tables; other contexts stay unblocked.
+        let mut guard = slot.lock().expect("context state poisoned");
+        let calc = SegmentCalculator::new(scenario);
+
+        let path = match guard.as_mut() {
+            Some(state) if bitwise_prefix(scenario.chain.weights(), &state.weights) => {
+                // The stored tables cover this scenario: reconstruct only.
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                SolvePath::Reused
+            }
+            Some(state) if bitwise_prefix(&state.weights, scenario.chain.weights()) => {
+                let old_n = state.n();
+                match kernel {
+                    Kernel::TwoLevel(options) => {
+                        two_level::extend_tables(&calc, &mut state.tables, old_n, n, options)
+                    }
+                    Kernel::Partial(options) => {
+                        partial::extend_tables(&calc, &mut state.tables, old_n, n, options)
+                    }
+                }
+                state.weights = scenario.chain.weights().to_vec();
+                self.extensions.fetch_add(1, Ordering::Relaxed);
+                SolvePath::Extended
+            }
+            existing => {
+                if existing.is_some() {
+                    self.replacements.fetch_add(1, Ordering::Relaxed);
+                }
+                let tables = match kernel {
+                    Kernel::TwoLevel(options) => two_level::compute_tables(&calc, n, options),
+                    Kernel::Partial(options) => partial::compute_tables(&calc, n, options),
+                };
+                *guard = Some(ContextState { weights: scenario.chain.weights().to_vec(), tables });
+                self.cold_solves.fetch_add(1, Ordering::Relaxed);
+                SolvePath::Cold
+            }
+        };
+
+        let state = guard.as_ref().expect("state populated above");
+        let tables = &state.tables;
+        let schedule = match kernel {
+            Kernel::TwoLevel(_) => two_level::reconstruct(tables, n),
+            Kernel::Partial(options) => partial::reconstruct(&calc, tables, n, options),
+        };
+        let stats = DpStatistics {
+            table_entries: tables.finalized_entries(),
+            candidates_examined: tables.candidates,
+        };
+        (Solution::new(tables.edisk[n], schedule, scenario, stats), path)
+    }
+
+    /// Path counters accumulated since construction.
+    pub fn stats(&self) -> IncrementalStats {
+        IncrementalStats {
+            cold_solves: self.cold_solves.load(Ordering::Relaxed),
+            extensions: self.extensions.load(Ordering::Relaxed),
+            reuses: self.reuses.load(Ordering::Relaxed),
+            replacements: self.replacements.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of contexts currently holding tables.
+    pub fn context_count(&self) -> usize {
+        self.states.lock().expect("state map poisoned").len()
+    }
+
+    /// Drops every retained table set (counters keep accumulating).
+    pub fn clear(&self) {
+        self.states.lock().expect("state map poisoned").clear();
+    }
+}
+
+/// True when `prefix` is a bitwise prefix of `weights` (`f64` bit patterns,
+/// so `-0.0 ≠ 0.0` and equal-looking but differently-rounded weights do not
+/// alias — exactly the equality the DP tables require).
+fn bitwise_prefix(prefix: &[f64], weights: &[f64]) -> bool {
+    prefix.len() <= weights.len()
+        && prefix.iter().zip(weights).all(|(a, b)| a.to_bits() == b.to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimize;
+    use chain2l_model::platform::scr;
+    use chain2l_model::{ResilienceCosts, Scenario, TaskChain};
+
+    fn weak_scaling(n: usize, w: f64) -> Scenario {
+        let platform = scr::hera();
+        let costs = ResilienceCosts::paper_defaults(&platform);
+        Scenario::new(TaskChain::from_weights(vec![w; n]).unwrap(), platform, costs).unwrap()
+    }
+
+    #[test]
+    fn ascending_series_extends_and_stays_bit_identical() {
+        let solver = IncrementalSolver::new();
+        for algorithm in [Algorithm::TwoLevel, Algorithm::TwoLevelPartial] {
+            for n in [3usize, 8, 14, 21] {
+                let s = weak_scaling(n, 500.0);
+                let sol = solver.solve(&s, algorithm);
+                let cold = optimize(&s, algorithm);
+                assert_eq!(
+                    sol.expected_makespan.to_bits(),
+                    cold.expected_makespan.to_bits(),
+                    "{algorithm} n={n}"
+                );
+                assert_eq!(sol.schedule, cold.schedule, "{algorithm} n={n}");
+                // Extension reaches the same tables as a cold pruned solve.
+                assert_eq!(sol.stats, cold.stats, "{algorithm} n={n}");
+            }
+        }
+        let stats = solver.stats();
+        assert_eq!(stats.cold_solves, 2, "one cold solve per context");
+        assert_eq!(stats.extensions, 6, "three extensions per context");
+        assert_eq!(stats.reuses, 0);
+        assert_eq!(solver.context_count(), 2);
+    }
+
+    #[test]
+    fn shrinking_request_is_served_without_dp_work() {
+        let solver = IncrementalSolver::new();
+        let large = weak_scaling(20, 400.0);
+        let small = weak_scaling(7, 400.0);
+        solver.solve(&large, Algorithm::TwoLevel);
+        let (sol, path) = solver.solve_traced(&small, Algorithm::TwoLevel);
+        assert_eq!(path, SolvePath::Reused);
+        let cold = optimize(&small, Algorithm::TwoLevel);
+        assert_eq!(sol.expected_makespan.to_bits(), cold.expected_makespan.to_bits());
+        assert_eq!(sol.schedule, cold.schedule);
+        assert_eq!(solver.stats().reuses, 1);
+    }
+
+    #[test]
+    fn incompatible_weights_replace_the_stored_state() {
+        let solver = IncrementalSolver::new();
+        solver.solve(&weak_scaling(10, 500.0), Algorithm::TwoLevel);
+        // Same context, different per-task weight: no prefix relation.
+        let (sol, path) = solver.solve_traced(&weak_scaling(10, 600.0), Algorithm::TwoLevel);
+        assert_eq!(path, SolvePath::Cold);
+        let cold = optimize(&weak_scaling(10, 600.0), Algorithm::TwoLevel);
+        assert_eq!(sol.expected_makespan.to_bits(), cold.expected_makespan.to_bits());
+        let stats = solver.stats();
+        assert_eq!((stats.cold_solves, stats.replacements), (2, 1));
+        // The new state is live: extending it works.
+        let (_, path) = solver.solve_traced(&weak_scaling(15, 600.0), Algorithm::TwoLevel);
+        assert_eq!(path, SolvePath::Extended);
+    }
+
+    #[test]
+    fn contexts_are_isolated_by_rates_costs_and_algorithm() {
+        let solver = IncrementalSolver::new();
+        let s = weak_scaling(8, 500.0);
+        solver.solve(&s, Algorithm::TwoLevel);
+        solver.solve(&s, Algorithm::SingleLevel);
+        let mut expensive = s.clone();
+        expensive.costs.disk_checkpoint *= 2.0;
+        solver.solve(&expensive, Algorithm::TwoLevel);
+        assert_eq!(solver.context_count(), 3);
+        assert_eq!(solver.stats().cold_solves, 3);
+        solver.clear();
+        assert_eq!(solver.context_count(), 0);
+    }
+
+    #[test]
+    fn stats_display_is_readable() {
+        let text = IncrementalStats { cold_solves: 1, extensions: 2, reuses: 3, replacements: 0 }
+            .to_string();
+        assert!(text.contains("1 cold"), "{text}");
+        assert!(text.contains("2 extended"), "{text}");
+    }
+}

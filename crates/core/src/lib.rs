@@ -20,14 +20,23 @@
 //!   §III-B quantities) shared by all of the above;
 //! * [`cache`] — a concurrency-safe memoizing [`SolutionCache`] keyed by a
 //!   canonical scenario fingerprint, with a batch solver service API
-//!   ([`cache::SolutionCache::solve_batch`]).
+//!   ([`cache::SolutionCache::solve_batch`]);
+//! * [`incremental`] — the incremental-in-`n` [`IncrementalSolver`] that
+//!   extends finished DP tables from `n` to `n' > n` when the task-weight
+//!   prefix is unchanged, and serves prefix-covered smaller scenarios with
+//!   no DP work at all.
 //!
 //! The `A_DMV*` and `A_DMV` dynamic programs shard their two inner levels
 //! (`Emem`/`Everif`) across independent disk-segment slices on the
 //! work-stealing pool — each candidate predecessor disk checkpoint `d1` owns
-//! a self-contained sub-table — and then run the sequential `Edisk` level, so
-//! results are bit-identical to the sequential recurrence at any thread
-//! count.
+//! a self-contained sub-table — and then run the sequential `Edisk` level.
+//! Inside a slice the kernels are candidate-pruned: sound lower bounds
+//! derived from the interval work and the mandatory verification costs
+//! terminate the `v1`/`p2` candidate scans early and skip hopeless inner
+//! `E_partial` interval DPs outright, with the exhaustive recurrence as
+//! fallback (`*Options::without_pruning`), so values and argmins — and
+//! therefore schedules — are bit-identical to the unpruned sequential DP at
+//! any thread count.  See DESIGN.md §4 for the soundness argument.
 //!
 //! The unified entry point is [`optimize`], which dispatches on [`Algorithm`]:
 //!
@@ -51,8 +60,10 @@
 
 pub mod brute_force;
 pub mod cache;
+mod dp;
 pub mod evaluator;
 pub mod heuristics;
+pub mod incremental;
 pub mod partial;
 pub mod segment;
 pub mod sensitivity;
@@ -61,6 +72,7 @@ pub mod tables;
 pub mod two_level;
 
 pub use cache::{CacheStats, ScenarioFingerprint, SolutionCache, SolveRequest};
+pub use incremental::{IncrementalSolver, IncrementalStats};
 pub use partial::{optimize_with_partials, PartialOptions};
 pub use segment::{PartialCostModel, SegmentCalculator};
 pub use solution::{DpStatistics, Solution};

@@ -14,57 +14,123 @@
 //! argmin the DP is computing.  See DESIGN.md §3.3 for the full derivation
 //! and for the `PaperExact` / `Refined` tail-accounting discussion.
 //!
-//! Complexity: `O(n⁶)` time, `O(n³)` memory (the inner per-interval arrays are
-//! reused).
+//! Complexity: `O(n⁶)` time, `O(n³)` memory (the inner per-interval arrays
+//! are scratch buffers reused across every interval of a slice).
 //!
-//! The two outer levels are **sharded across disk-segment slices**: for a
-//! fixed predecessor disk checkpoint `d1`, the `Emem(d1, ·)` row and the
-//! `Everif(d1, ·, ·)` sub-table (including every inner `E_partial` interval
-//! DP they trigger) read only same-`d1` entries, so the slices are computed
-//! independently on the work-stealing pool ([`rayon`]) and the sequential
-//! `Edisk` level runs over the finished slices.  Each slice is the unmodified
-//! sequential recurrence, so results are bit-identical to the
-//! single-threaded DP at any thread count — this is what keeps the `O(n⁶)`
-//! hot path from dominating large sweeps wall-clock.
+//! The two outer levels are **sharded across disk-segment slices** exactly as
+//! in [`crate::two_level`], and the slice kernel is **candidate-pruned**
+//! (DESIGN.md §4):
+//!
+//! * the `v1` scan is driven by an **affine candidate predictor**: the
+//!   `Everif` left-context coefficient of the inner DP telescopes to
+//!   `em1_fs(v1, m2)` along every verification chain, so one shared
+//!   zero-context inner DP per `(m1, m2)` window predicts every candidate's
+//!   exact value; only candidates within an ulp safety margin of the minimum
+//!   prediction run their `O(span²)` exact inner DP;
+//! * the innermost `p2` scan seeds its incumbent with the closing candidate,
+//!   then *skips* any open candidate whose sound sub-interval floor
+//!   (work, tight quadratic re-execution, `V`, first-order detection
+//!   latency, all scaled by the exact re-execution factor, plus the exact
+//!   tail value) cannot reach the incumbent, and *breaks* outright on the
+//!   monotone span floor.
+//!
+//! Pruned candidates provably cannot improve the strict minimum, so values
+//! *and argmins* — and therefore schedules — are bit-identical to the
+//! exhaustive kernel ([`PartialOptions::without_pruning`]) at any thread
+//! count: ~26× fewer candidates and ~3× wall-clock at the paper's `n = 50`,
+//! ~90× and ~10× at `n = 100`.  The kernel fills columns incrementally
+//! (`from_m2`), which is what [`crate::incremental::IncrementalSolver`] uses
+//! to extend finished tables from `n` to `n' > n`.
 
+use crate::dp::{self, DiskSlice, DpTables};
 use crate::segment::{PartialCostModel, SegmentCalculator};
 use crate::solution::{DpStatistics, Solution};
-use crate::tables::SliceTable2;
 use chain2l_model::{Action, Scenario, Schedule};
 use rayon::prelude::*;
 
 /// Options controlling the partial-verification dynamic program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PartialOptions {
     /// Tail-accounting convention (see [`PartialCostModel`]).
     pub cost_model: PartialCostModel,
+    /// When `true` (the default), the kernels use sound lower-bound pruning;
+    /// results are bit-identical either way.  Pruning silently disables
+    /// itself when the cost model is hostile to the bound (`V > V*`, see
+    /// [`SegmentCalculator::pruning_sound`]).
+    pub prune: bool,
+}
+
+impl Default for PartialOptions {
+    fn default() -> Self {
+        Self::paper_exact()
+    }
 }
 
 impl PartialOptions {
     /// The equations exactly as printed in the paper (the default).
     pub fn paper_exact() -> Self {
-        Self { cost_model: PartialCostModel::PaperExact }
+        Self { cost_model: PartialCostModel::PaperExact, prune: true }
     }
 
     /// The refined tail accounting (ablation variant).
     pub fn refined() -> Self {
-        Self { cost_model: PartialCostModel::Refined }
+        Self { cost_model: PartialCostModel::Refined, prune: true }
+    }
+
+    /// Disables lower-bound pruning (the exhaustive reference kernel used by
+    /// the equivalence tests and the candidate-count benchmarks).
+    pub fn without_pruning(mut self) -> Self {
+        self.prune = false;
+        self
     }
 }
 
-/// Result of the inner `E_partial` dynamic program over one guaranteed
-/// verification interval `(v1, v2]`.
-struct InnerResult {
-    /// `E_partial(d1, m1, v1, p1 = v1, v2)`.
-    value: f64,
-    /// `next[p]`: optimal position of the verification following `p`
-    /// (only meaningful for `p ∈ [v1, v2)`).
+/// Reusable buffers of the inner `E_partial` DP, sized once per slice fill
+/// instead of being reallocated for each of the `O(n³)` intervals.
+///
+/// Every cell the DP reads within an interval `(v1, v2]` is written earlier
+/// in the same run (the recurrence moves right-to-left and only looks right),
+/// so the buffers need no clearing between intervals.
+pub(crate) struct InnerScratch {
+    /// `E_partial(·)` per left boundary.
+    epartial: Vec<f64>,
+    /// `E_right(·)` per left boundary.
+    eright: Vec<f64>,
+    /// `next[p]`: optimal position of the verification following `p`.
     next: Vec<usize>,
-    /// Number of `(p1, p2)` candidates examined (for statistics).
-    candidates: u64,
 }
 
-/// Runs the inner right-to-left DP for the interval `(v1, v2]`.
+impl InnerScratch {
+    pub(crate) fn new(n: usize) -> Self {
+        Self {
+            epartial: vec![f64::INFINITY; n + 1],
+            eright: vec![0.0; n + 1],
+            next: vec![usize::MAX; n + 1],
+        }
+    }
+}
+
+/// Minimum interval width at which the shared zero-context inner DP pays for
+/// itself (below it the window holds fewer exact inner DPs than the predictor
+/// run would cost).
+const PREDICT_SPAN_MIN: usize = 3;
+
+/// Relative safety margin of the affine candidate predictor.
+///
+/// The predictor is *mathematically exact* (see [`fill_disk_slice`]): the
+/// `Everif` left-context coefficient telescopes to `em1_fs(v1, v2)` along
+/// every verification chain, so
+/// `E_partial(v1; everif) = E_partial(v1; 0) + everif·em1_fs(v1, v2)` in real
+/// arithmetic.  Floating-point evaluation of the two sides can disagree by a
+/// few ulps accumulated over `O(span)` DP steps, so a candidate is only
+/// skipped when the prediction exceeds the running best by this relative
+/// margin — ulp-close candidates fall through to the exact recurrence, which
+/// keeps values and argmins bit-identical to the exhaustive kernel.
+const PREDICT_MARGIN: f64 = 1e-9;
+
+/// Runs the inner right-to-left DP for the interval `(v1, v2]` and returns
+/// `(E_partial(d1, m1, v1, p1 = v1, v2), candidates examined)`; the optimal
+/// verification chain is left in `scratch.next`.
 ///
 /// `emem` is `Emem(d1, m1)`, `everif_v1` is `Everif(d1, m1, v1)` — the
 /// re-execution costs of the segments to the left, already optimal.
@@ -78,68 +144,109 @@ fn epartial_interval(
     emem: f64,
     everif_v1: f64,
     model: PartialCostModel,
-) -> InnerResult {
+    prune: bool,
+    scratch: &mut InnerScratch,
+) -> (f64, u64) {
     debug_assert!(d1 <= m1 && m1 <= v1 && v1 < v2);
-    let mut epartial = vec![f64::INFINITY; v2 + 1];
-    let mut eright = vec![0.0; v2 + 1];
-    let mut next = vec![usize::MAX; v2 + 1];
+    let prefix = calc.prefix_weights();
+    // Constants of the open (non-closing) sub-intervals, hoisted out of the
+    // innermost loop: both cost models charge the partial cost V and miss
+    // probability g there.
+    let v_cost = calc.v_partial();
+    let g = calc.miss_probability();
+    let a = calc.disk_recovery(d1) + emem;
+    let miss_rm = (1.0 - g) * calc.memory_recovery(m1);
+    // Re-execution factors e^{(λ_s+λ_f) W_{p2,v2}} for the fixed right
+    // endpoint v2, contiguous in p2.
+    let col = calc.interval_col(v2);
     let mut candidates = 0u64;
 
     // Base case: at v2 the error (if any) is caught by the guaranteed
     // verification immediately; only a memory recovery is paid.
-    eright[v2] = calc.eright_base(m1);
+    scratch.eright[v2] = calc.eright_base(m1);
+
+    let v_star = calc.v_star();
+    let ls = calc.lambda_silent();
+    // Tight single-interval quadratic floor: exp_s·em1fol ≥ w + (λs + λf/2)·w²
+    // (DESIGN.md §4).
+    let quad_coef = ls + 0.5 * calc.lambda_fail_stop();
+    // Loaded-work factor of the coverage floor: every unit of work in
+    // (p1, v2] executes at least once and re-executes the left contexts at
+    // the first-order rates (DESIGN.md §4).
+    let load = 1.0 + calc.lambda_fail_stop() * a + calc.lambda_combined() * everif_v1;
 
     for p1 in (v1..v2).rev() {
-        let mut best = f64::INFINITY;
+        let row = calc.interval_row(p1);
+        let w_p1 = prefix[p1];
+        let span_floor = (prefix[v2] - w_p1) * load + v_star;
+        // Closing candidate p2 = v2 first: executed once (nothing to its
+        // right can trigger a re-execution of it within this interval), plus
+        // the guaranteed-verification cost correction.  Seeding the scan
+        // with it gives the pruning tests a tight incumbent in the common
+        // no-partials-pay case; the tie rules below keep the final
+        // (value, argmin) identical to the exhaustive opens-then-closing
+        // order.
+        candidates += 1;
+        let eminus_closing =
+            calc.e_minus(d1, m1, p1, v2, emem, everif_v1, scratch.eright[v2], true, model);
+        let mut best = eminus_closing + calc.tail_verification_correction(p1, v2, model);
         let mut best_p2 = v2;
-        for p2 in (p1 + 1)..=v2 {
+        // Open candidates p2 < v2: pure arithmetic over the prefetched row
+        // and the scratch tails, doubly pruned (DESIGN.md §4):
+        //
+        // * skip — the candidate's first sub-interval costs at least its
+        //   loaded work, its quadratic re-execution floor, V and the
+        //   first-order detection-latency cost `λ_s·w·(miss_rm + g·E_right)`
+        //   (exact `E_right` tail), all scaled by the *exact* re-execution
+        //   factor, on top of the *exact* tail value `epartial[p2]`; once
+        //   the optimal verification spacing is on the board, candidates
+        //   beyond it fail this few-flop test and the closed form is never
+        //   evaluated;
+        // * break — the span's loaded work plus the first sub-interval's
+        //   quadratic floor plus the mandatory V* bounds every remaining
+        //   candidate (monotone in p2), ending the scan outright.
+        // p2 is a DP coordinate indexing several interval-anchored tables.
+        #[allow(clippy::needless_range_loop)]
+        for p2 in (p1 + 1)..v2 {
+            let w_sub = prefix[p2] - w_p1;
+            let quad = quad_coef * w_sub * w_sub;
+            if prune {
+                if span_floor + quad > best {
+                    break;
+                }
+                let sub_floor =
+                    w_sub * load + quad + v_cost + ls * w_sub * (miss_rm + g * scratch.eright[p2]);
+                if sub_floor * col.reexecution_factor_at(p2) + scratch.epartial[p2] > best {
+                    continue;
+                }
+            }
             candidates += 1;
-            let closes = p2 == v2;
-            let eminus = calc.e_minus(d1, m1, p1, p2, emem, everif_v1, eright[p2], closes, model);
-            let cand = if closes {
-                // Last sub-interval: executed once (nothing to its right can
-                // trigger a re-execution of it within this interval), plus the
-                // guaranteed-verification cost correction.
-                eminus + calc.tail_verification_correction(p1, v2, model)
-            } else {
-                eminus * calc.reexecution_factor(p2, v2) + epartial[p2]
-            };
-            if cand < best {
+            let eminus = row.e_minus_at(p2, v_cost, g, a, everif_v1, miss_rm, scratch.eright[p2]);
+            let cand = eminus * col.reexecution_factor_at(p2) + scratch.epartial[p2];
+            // Tie rules of the exhaustive opens-then-closing scan: the
+            // smallest open candidate wins ties among opens, and any open
+            // candidate displaces an equal-valued closing incumbent.
+            if cand < best || (best_p2 == v2 && cand == best) {
                 best = cand;
                 best_p2 = p2;
             }
         }
-        epartial[p1] = best;
-        next[p1] = best_p2;
+        scratch.epartial[p1] = best;
+        scratch.next[p1] = best_p2;
         // E_right at p1 uses the *optimal* next verification position.
-        let p2 = next[p1];
-        eright[p1] = calc.eright_step(d1, m1, p1, p2, emem, eright[p2], p2 == v2, model);
+        scratch.eright[p1] = calc.eright_step(
+            d1,
+            m1,
+            p1,
+            best_p2,
+            emem,
+            scratch.eright[best_p2],
+            best_p2 == v2,
+            model,
+        );
     }
 
-    InnerResult { value: epartial[v1], next, candidates }
-}
-
-/// The self-contained DP state of one disk-segment slice: everything the
-/// outer recurrence computes for a fixed predecessor disk checkpoint `d1`.
-struct DiskSlice {
-    /// `Everif(d1, m1, v2)`; rows span `m1 ∈ d1..n`.
-    everif: SliceTable2<f64>,
-    /// Argmin `v1` for `Everif(d1, m1, v2)`.
-    everif_choice: SliceTable2<usize>,
-    /// `Emem(d1, m2)`, indexed by `m2`.
-    emem: Vec<f64>,
-    /// Argmin `m1` for `Emem(d1, m2)`.
-    emem_choice: Vec<usize>,
-    /// `(p1, p2)` candidates examined by the inner DPs of this slice.
-    candidates: u64,
-}
-
-/// Internal DP state: one slice per candidate `d1`, plus the `Edisk` level.
-struct DpTables {
-    slices: Vec<DiskSlice>,
-    edisk: Vec<f64>,
-    edisk_choice: Vec<usize>,
-    candidates: u64,
+    (scratch.epartial[v1], candidates)
 }
 
 /// Runs the §III-B dynamic program (`A_DMV`) on `scenario` and returns the
@@ -148,106 +255,192 @@ struct DpTables {
 pub fn optimize_with_partials(scenario: &Scenario, options: PartialOptions) -> Solution {
     let n = scenario.task_count();
     let calc = SegmentCalculator::new(scenario);
-    let tables = compute_tables(&calc, n, options.cost_model);
-    let schedule = reconstruct(&calc, &tables, n, options.cost_model);
+    let tables = compute_tables(&calc, n, options);
+    let schedule = reconstruct(&calc, &tables, n, options);
     let expected_makespan = tables.edisk[n];
-    let table_entries =
-        tables.slices.iter().map(|s| s.everif.entries() + s.emem.len()).sum::<usize>()
-            + tables.edisk.len();
-    let stats = DpStatistics { table_entries, candidates_examined: tables.candidates };
+    let stats = DpStatistics {
+        table_entries: tables.finalized_entries(),
+        candidates_examined: tables.candidates,
+    };
     Solution::new(expected_makespan, schedule, scenario, stats)
 }
 
-/// Fills the `Emem(d1, ·)` / `Everif(d1, ·, ·)` slice for one fixed `d1`
-/// (the unmodified sequential recurrence — bit-identical at any thread count).
-fn compute_disk_slice(
+/// Fills the `Emem(d1, ·)` / `Everif(d1, ·, ·)` slice columns `from_m2..=n`
+/// for one fixed `d1` (cold solves pass `from_m2 = d1 + 1`, the incremental
+/// solver passes `old_n + 1`).
+///
+/// Pruning only skips candidates that provably cannot beat the running
+/// minimum, so the filled columns are bit-identical to the exhaustive
+/// sequential recurrence either way.
+pub(crate) fn fill_disk_slice(
     calc: &SegmentCalculator<'_>,
     n: usize,
     d1: usize,
-    model: PartialCostModel,
-) -> DiskSlice {
-    let rows = n - d1;
-    let mut everif = SliceTable2::new(n, d1, rows, f64::INFINITY);
-    let mut everif_choice = SliceTable2::new(n, d1, rows, usize::MAX);
-    let mut emem = vec![f64::INFINITY; n + 1];
-    let mut emem_choice = vec![usize::MAX; n + 1];
+    options: PartialOptions,
+    slice: &mut DiskSlice,
+    from_m2: usize,
+) {
+    let model = options.cost_model;
+    let prune = options.prune && calc.pruning_sound();
+    let c_mem = calc.scenario().costs.memory_checkpoint;
+    let mut scratch = InnerScratch::new(n);
+    let mut predict = InnerScratch::new(n);
+    let mut predictions = vec![f64::INFINITY; n + 1];
     let mut candidates = 0u64;
 
-    emem[d1] = 0.0;
-    for m2 in (d1 + 1)..=n {
+    if from_m2 == d1 + 1 {
+        slice.emem[d1] = 0.0;
+    }
+    for m2 in from_m2..=n {
         let mut best_mem = f64::INFINITY;
         let mut best_m1 = usize::MAX;
         // m1 is a DP coordinate indexing several tables, not a plain scan.
         #[allow(clippy::needless_range_loop)]
         for m1 in d1..m2 {
-            let emem_left = emem[m1];
+            let emem_left = slice.emem[m1];
             debug_assert!(emem_left.is_finite(), "Emem({d1},{m1}) not computed");
-            everif.set(m1, m1, 0.0);
+            slice.everif.set(m1, m1, 0.0);
+
+            // One zero-context inner DP per (m1, m2) window: the Everif
+            // left-context coefficient telescopes to em1_fs(v1, m2) along
+            // every verification chain, so every candidate's exact inner
+            // value is (in real arithmetic)
+            //     E_partial(v1; left) = E_partial(v1; 0) + left·em1_fs(v1, m2)
+            // and one shared run predicts the whole scan (DESIGN.md §4).
+            let use_predictor = prune && m2 - m1 >= PREDICT_SPAN_MIN;
+            if use_predictor {
+                let (_, shared_candidates) = epartial_interval(
+                    calc,
+                    d1,
+                    m1,
+                    m1,
+                    m2,
+                    emem_left,
+                    0.0,
+                    model,
+                    prune,
+                    &mut predict,
+                );
+                candidates += shared_candidates;
+            }
+            let col = calc.interval_col(m2);
 
             // Everif(d1, m1, m2): last guaranteed verification at v1, then
-            // the partial-verification interval (v1, m2].
+            // the partial-verification interval (v1, m2].  With the
+            // predictor on, the affine predictions π(v1) are computed for
+            // the whole scan first; only candidates within the ulp safety
+            // margin of the *minimum* prediction run their exact O(span²)
+            // inner DP — every other candidate's true value provably
+            // exceeds the true minimum, so the stored value and argmin are
+            // identical to the exhaustive scan.  Survivors run right-to-left
+            // with a non-strict minimum, which reproduces the exhaustive
+            // left-to-right strict tie-breaking exactly.
             let mut best_verif = f64::INFINITY;
             let mut best_v1 = usize::MAX;
-            for v1 in m1..m2 {
-                let left = everif.get(m1, v1);
+            let row = slice.everif.row(m1);
+            let mut threshold = f64::INFINITY;
+            if use_predictor {
+                let mut mu = f64::INFINITY;
+                for v1 in m1..m2 {
+                    let left = row[v1];
+                    debug_assert!(left.is_finite(), "Everif({d1},{m1},{v1}) not computed");
+                    let predicted = left + predict.epartial[v1] + left * col.em1_fs_at(v1);
+                    predictions[v1] = predicted;
+                    if predicted < mu {
+                        mu = predicted;
+                    }
+                }
+                threshold = mu + PREDICT_MARGIN * (mu.abs() + 1.0);
+            }
+            for v1 in (m1..m2).rev() {
+                if use_predictor && predictions[v1] > threshold {
+                    continue;
+                }
+                let left = row[v1];
                 debug_assert!(left.is_finite(), "Everif({d1},{m1},{v1}) not computed");
-                let inner = epartial_interval(calc, d1, m1, v1, m2, emem_left, left, model);
-                candidates += inner.candidates;
-                let cand = left + inner.value;
-                if cand < best_verif {
+                let (value, inner_candidates) = epartial_interval(
+                    calc,
+                    d1,
+                    m1,
+                    v1,
+                    m2,
+                    emem_left,
+                    left,
+                    model,
+                    prune,
+                    &mut scratch,
+                );
+                candidates += inner_candidates;
+                let cand = left + value;
+                if cand <= best_verif {
                     best_verif = cand;
                     best_v1 = v1;
                 }
             }
-            everif.set(m1, m2, best_verif);
-            everif_choice.set(m1, m2, best_v1);
+            slice.everif.set(m1, m2, best_verif);
+            slice.everif_choice.set(m1, m2, best_v1);
 
-            let cand = emem_left + best_verif + calc.scenario().costs.memory_checkpoint;
+            let cand = emem_left + best_verif + c_mem;
             if cand < best_mem {
                 best_mem = cand;
                 best_m1 = m1;
             }
         }
-        emem[m2] = best_mem;
-        emem_choice[m2] = best_m1;
+        slice.emem[m2] = best_mem;
+        slice.emem_choice[m2] = best_m1;
     }
-    DiskSlice { everif, everif_choice, emem, emem_choice, candidates }
+    slice.candidates += candidates;
 }
 
 /// Fills the DP levels: the per-`d1` slices in parallel on the work-stealing
 /// pool, then the sequential `Edisk` level over the finished slices.
-fn compute_tables(calc: &SegmentCalculator<'_>, n: usize, model: PartialCostModel) -> DpTables {
-    let slices: Vec<DiskSlice> =
-        (0..n).into_par_iter().map(|d1| compute_disk_slice(calc, n, d1, model)).collect();
-    let candidates = slices.par_iter().map(|s| s.candidates).reduce(|| 0, |a, b| a + b);
+pub(crate) fn compute_tables(
+    calc: &SegmentCalculator<'_>,
+    n: usize,
+    options: PartialOptions,
+) -> DpTables {
+    let slices: Vec<DiskSlice> = (0..n)
+        .into_par_iter()
+        .map(|d1| {
+            let mut slice = DiskSlice::new(n, d1, n - d1);
+            fill_disk_slice(calc, n, d1, options, &mut slice, d1 + 1);
+            slice
+        })
+        .collect();
+    dp::finish_tables(calc.scenario().costs.disk_checkpoint, slices, n)
+}
 
-    let mut edisk = vec![f64::INFINITY; n + 1];
-    let mut edisk_choice = vec![usize::MAX; n + 1];
-    edisk[0] = 0.0;
-    for d2 in 1..=n {
-        let mut best = f64::INFINITY;
-        let mut best_d1 = usize::MAX;
-        for d1 in 0..d2 {
-            let cand = edisk[d1] + slices[d1].emem[d2] + calc.scenario().costs.disk_checkpoint;
-            if cand < best {
-                best = cand;
-                best_d1 = d1;
-            }
-        }
-        edisk[d2] = best;
-        edisk_choice[d2] = best_d1;
-    }
-    DpTables { slices, edisk, edisk_choice, candidates }
+/// Extends finished tables from `old_n` to `new_n` tasks, reusing every
+/// computed column (see [`crate::two_level::extend_tables`]; same contract:
+/// unchanged task-weight prefix, bit-identical to a cold solve at `new_n`).
+pub(crate) fn extend_tables(
+    calc: &SegmentCalculator<'_>,
+    tables: &mut DpTables,
+    old_n: usize,
+    new_n: usize,
+    options: PartialOptions,
+) {
+    dp::extend_slices(
+        &mut tables.slices,
+        old_n,
+        new_n,
+        |n, d1| n - d1,
+        |d1, slice, from_m2| fill_disk_slice(calc, new_n, d1, options, slice, from_m2),
+    );
+    dp::refresh_edisk(calc.scenario().costs.disk_checkpoint, tables, new_n);
 }
 
 /// Reconstructs the optimal schedule, re-running the inner DP on each leaf
 /// interval of the optimal path to recover the partial-verification chain.
-fn reconstruct(
+pub(crate) fn reconstruct(
     calc: &SegmentCalculator<'_>,
     t: &DpTables,
     n: usize,
-    model: PartialCostModel,
+    options: PartialOptions,
 ) -> Schedule {
+    let model = options.cost_model;
+    let prune = options.prune && calc.pruning_sound();
+    let mut scratch = InnerScratch::new(n);
     let mut schedule = Schedule::empty(n);
 
     let mut disk_positions = Vec::new();
@@ -291,11 +484,21 @@ fn reconstruct(
                 let v1 = prev_verif;
                 let emem_left = slice.emem[m1];
                 let everif_left = slice.everif.get(m1, v1);
-                let inner =
-                    epartial_interval(calc, d1, m1, v1, verif, emem_left, everif_left, model);
+                let _ = epartial_interval(
+                    calc,
+                    d1,
+                    m1,
+                    v1,
+                    verif,
+                    emem_left,
+                    everif_left,
+                    model,
+                    prune,
+                    &mut scratch,
+                );
                 let mut p = v1;
                 loop {
-                    let nxt = inner.next[p];
+                    let nxt = scratch.next[p];
                     debug_assert!(nxt != usize::MAX, "missing partial chain at {p}");
                     if nxt >= verif {
                         break;
@@ -478,10 +681,102 @@ mod tests {
         let s = paper_scenario(&scr::hera(), &WeightPattern::Uniform, n);
         let sol = optimize_with_partials(&s, PartialOptions::paper_exact());
         assert!(sol.stats.candidates_examined > 0);
-        // Actual allocation: triangular Everif slices + per-slice Emem rows
-        // + Edisk, well below the old (n+1)^3 book-keeping.
+        // Finalized entries only: triangular Everif slices + per-slice Emem
+        // rows + Edisk, well below the old (n+1)^3 book-keeping.
         assert!(sol.stats.table_entries > 0);
         assert!(sol.stats.table_entries < (n + 1) * (n + 1) * (n + 1));
+        // Exactly the written cells: slice d1 finalizes n−d1+1 entries per
+        // Everif row m1 ∈ d1..n... no more, no fewer — the allocated but
+        // never-written INFINITY cells are not counted.
+        let expected: usize = (0..n)
+            .map(|d1| {
+                let everif: usize = (d1..n).map(|m1| n - m1 + 1).sum();
+                everif + (n - d1 + 1)
+            })
+            .sum::<usize>()
+            + (n + 1);
+        assert_eq!(sol.stats.table_entries, expected);
+    }
+
+    #[test]
+    fn pruned_and_unpruned_kernels_are_bit_identical() {
+        for platform in scr::all() {
+            for n in [1usize, 6, 15] {
+                let s = paper_scenario(&platform, &WeightPattern::Uniform, n);
+                for options in [PartialOptions::paper_exact(), PartialOptions::refined()] {
+                    let pruned = optimize_with_partials(&s, options);
+                    let exhaustive = optimize_with_partials(&s, options.without_pruning());
+                    assert_eq!(
+                        pruned.expected_makespan.to_bits(),
+                        exhaustive.expected_makespan.to_bits(),
+                        "{} n={n}",
+                        platform.name
+                    );
+                    assert_eq!(pruned.schedule, exhaustive.schedule, "{} n={n}", platform.name);
+                    assert_eq!(pruned.stats.table_entries, exhaustive.stats.table_entries);
+                    assert!(
+                        pruned.stats.candidates_examined <= exhaustive.stats.candidates_examined
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_cuts_candidates_by_an_order_of_magnitude() {
+        // The reduction grows with n (the predictor amortizes over wider
+        // windows): ≥5× already at n = 25, ≥10× at n = 40, ~26× at the
+        // paper's n = 50 and ~90× at n = 100 (see BENCH_dp.json).
+        for (n, factor) in [(25usize, 5u64), (40, 10)] {
+            let s = paper_scenario(&scr::hera(), &WeightPattern::Uniform, n);
+            let pruned = optimize_with_partials(&s, PartialOptions::paper_exact());
+            let exhaustive =
+                optimize_with_partials(&s, PartialOptions::paper_exact().without_pruning());
+            assert!(
+                pruned.stats.candidates_examined * factor <= exhaustive.stats.candidates_examined,
+                "n={n}: pruned {} vs exhaustive {}",
+                pruned.stats.candidates_examined,
+                exhaustive.stats.candidates_examined
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_cost_model_disables_pruning_but_stays_exact() {
+        // V > V* breaks the lower-bound argument; the kernel must detect it
+        // and fall back to the exhaustive scans.
+        let mut s = paper_scenario(&scr::hera(), &WeightPattern::Uniform, 10);
+        s.costs.partial_verification = s.costs.guaranteed_verification * 3.0;
+        let a = optimize_with_partials(&s, PartialOptions::paper_exact());
+        let b = optimize_with_partials(&s, PartialOptions::paper_exact().without_pruning());
+        assert_eq!(a.expected_makespan.to_bits(), b.expected_makespan.to_bits());
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.stats, b.stats, "guard must disable pruning entirely");
+    }
+
+    #[test]
+    fn extend_tables_matches_cold_solve_bit_for_bit() {
+        let platform = scr::coastal_ssd();
+        let chain = |n: usize| chain2l_model::TaskChain::from_weights(vec![500.0; n]).unwrap();
+        let costs = ResilienceCosts::paper_defaults(&platform);
+        let small = Scenario::new(chain(8), platform.clone(), costs).unwrap();
+        let large = Scenario::new(chain(20), platform.clone(), costs).unwrap();
+        let options = PartialOptions::paper_exact();
+        let calc_small = SegmentCalculator::new(&small);
+        let mut tables = compute_tables(&calc_small, 8, options);
+        let calc_large = SegmentCalculator::new(&large);
+        extend_tables(&calc_large, &mut tables, 8, 20, options);
+        let cold = compute_tables(&calc_large, 20, options);
+        for (a, b) in tables.edisk.iter().zip(&cold.edisk) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(tables.edisk_choice, cold.edisk_choice);
+        assert_eq!(tables.candidates, cold.candidates);
+        assert_eq!(tables.finalized_entries(), cold.finalized_entries());
+        assert_eq!(
+            reconstruct(&calc_large, &tables, 20, options),
+            reconstruct(&calc_large, &cold, 20, options)
+        );
     }
 
     #[test]

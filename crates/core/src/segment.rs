@@ -72,6 +72,18 @@ struct ExpCache {
     p_fail: Vec<f64>,
     /// `T^lost_{i,j}` (Eq. 3).
     t_lost: Vec<f64>,
+    /// Column-major mirror of `exp_s` (`[j * dim + i]`).
+    exp_s_t: Vec<f64>,
+    /// Column-major mirror of `em1_f`.
+    em1_f_t: Vec<f64>,
+    /// Column-major mirror of `em1_s`.
+    em1_s_t: Vec<f64>,
+    /// Column-major mirror of `em1_fs`.
+    em1_fs_t: Vec<f64>,
+    /// Column-major mirror of `growth_fs`.
+    growth_fs_t: Vec<f64>,
+    /// Column-major mirror of `em1_f_over_lambda`.
+    em1_f_over_lambda_t: Vec<f64>,
 }
 
 impl ExpCache {
@@ -91,6 +103,12 @@ impl ExpCache {
             em1_f_over_lambda: vec![0.0; size],
             p_fail: vec![0.0; size],
             t_lost: vec![0.0; size],
+            exp_s_t: vec![1.0; size],
+            em1_f_t: vec![0.0; size],
+            em1_s_t: vec![0.0; size],
+            em1_fs_t: vec![0.0; size],
+            growth_fs_t: vec![1.0; size],
+            em1_f_over_lambda_t: vec![0.0; size],
         };
         for i in 0..dim {
             for j in i..dim {
@@ -104,6 +122,16 @@ impl ExpCache {
                 cache.em1_f_over_lambda[idx] = math::exp_m1_over_lambda(lf, w);
                 cache.p_fail[idx] = math::prob_at_least_one(lf, w);
                 cache.t_lost[idx] = math::expected_time_lost(lf, w);
+                // Column-major mirrors: the two-level kernel scans a fixed
+                // right endpoint `j` over candidate left endpoints `i`, which
+                // in row-major order would stride by `dim` per step.
+                let tdx = j * dim + i;
+                cache.exp_s_t[tdx] = cache.exp_s[idx];
+                cache.em1_f_t[tdx] = cache.em1_f[idx];
+                cache.em1_s_t[tdx] = cache.em1_s[idx];
+                cache.em1_fs_t[tdx] = cache.em1_fs[idx];
+                cache.growth_fs_t[tdx] = cache.growth_fs[idx];
+                cache.em1_f_over_lambda_t[tdx] = cache.em1_f_over_lambda[idx];
             }
         }
         cache
@@ -116,6 +144,96 @@ impl ExpCache {
     }
 }
 
+/// Row `i` of the exponential cache, contiguous in the right endpoint `j`.
+///
+/// The inner `E_partial` kernel binds one row per `p1` and then walks the
+/// candidate `p2` linearly, so the innermost loop of the `O(n⁶)` dynamic
+/// program is branch-light arithmetic over six prefetched slices.
+pub struct IntervalRow<'c> {
+    exp_s: &'c [f64],
+    em1_f: &'c [f64],
+    em1_s: &'c [f64],
+    em1_fs: &'c [f64],
+    em1_f_over_lambda: &'c [f64],
+}
+
+impl IntervalRow<'_> {
+    /// `E⁻(…, p1, p2, …)` with the model branch hoisted out: `v_cost` and
+    /// `g` are the verification cost / miss probability at `p2`, `a` is the
+    /// precomputed `R_D + Emem`, `everif` is `Everif(d1, m1, v1)` and
+    /// `miss_rm` the precomputed `(1 − g)·R_M`.
+    ///
+    /// Performs exactly the arithmetic of [`SegmentCalculator::e_minus`] (same
+    /// operations in the same order), so the flat kernel stays bit-identical
+    /// to the scalar closed form.
+    #[inline]
+    #[allow(clippy::too_many_arguments)] // hoisted constants of the hot kernel
+    pub fn e_minus_at(
+        &self,
+        p2: usize,
+        v_cost: f64,
+        g: f64,
+        a: f64,
+        everif: f64,
+        miss_rm: f64,
+        eright_p2: f64,
+    ) -> f64 {
+        self.exp_s[p2] * (self.em1_f_over_lambda[p2] + v_cost)
+            + self.exp_s[p2] * self.em1_f[p2] * a
+            + self.em1_fs[p2] * everif
+            + self.em1_s[p2] * (miss_rm + g * eright_p2)
+    }
+}
+
+/// Column `j` of the exponential cache, contiguous in the left endpoint `i`
+/// (backed by the transposed mirrors).
+///
+/// The two-level kernel binds one column per segment right endpoint and scans
+/// the candidate last verification `v1` linearly.
+pub struct IntervalCol<'c> {
+    exp_s: &'c [f64],
+    em1_f: &'c [f64],
+    em1_s: &'c [f64],
+    em1_fs: &'c [f64],
+    growth_fs: &'c [f64],
+    em1_f_over_lambda: &'c [f64],
+}
+
+impl IntervalCol<'_> {
+    /// `E(d1, m1, v1, v2)` (Eq. 4) with the per-segment constants hoisted:
+    /// `a = R_D + Emem`, `rm = R_M`, `v_star = V*`; `everif` is
+    /// `Everif(d1, m1, v1)`.  Bit-identical to
+    /// [`SegmentCalculator::guaranteed_segment`].
+    #[inline]
+    pub fn guaranteed_segment_at(
+        &self,
+        v1: usize,
+        v_star: f64,
+        a: f64,
+        rm: f64,
+        everif: f64,
+    ) -> f64 {
+        self.exp_s[v1] * (self.em1_f_over_lambda[v1] + v_star)
+            + self.exp_s[v1] * self.em1_f[v1] * a
+            + self.em1_fs[v1] * everif
+            + self.em1_s[v1] * rm
+    }
+
+    /// Re-execution factor `e^{(λ_s + λ_f) W_{i,j}}` for left endpoint `i`.
+    #[inline]
+    pub fn reexecution_factor_at(&self, i: usize) -> f64 {
+        self.growth_fs[i]
+    }
+
+    /// `e^{(λ_f + λ_s) W_{i,j}} − 1` for left endpoint `i` — the exact
+    /// left-context (`Everif`) coefficient of the inner interval DP, which
+    /// telescopes along every verification chain (DESIGN.md §4).
+    #[inline]
+    pub fn em1_fs_at(&self, i: usize) -> f64 {
+        self.em1_fs[i]
+    }
+}
+
 /// Pre-resolved scenario quantities plus the segment closed forms.
 ///
 /// The calculator borrows the [`Scenario`], copies the scalar parameters it
@@ -125,6 +243,9 @@ impl ExpCache {
 pub struct SegmentCalculator<'a> {
     scenario: &'a Scenario,
     cache: ExpCache,
+    /// `prefix[i] = w_1 + … + w_i` — contiguous copy of the chain's prefix
+    /// sums, used by the kernels' lower-bound computations.
+    prefix: Vec<f64>,
     lambda_f: f64,
     lambda_s: f64,
     /// Guaranteed verification cost `V*`.
@@ -143,9 +264,11 @@ impl<'a> SegmentCalculator<'a> {
     /// Builds a calculator for one scenario (precomputing the `O(n²)`
     /// exponential cache).
     pub fn new(scenario: &'a Scenario) -> Self {
+        let n = scenario.task_count();
         Self {
             scenario,
             cache: ExpCache::build(scenario),
+            prefix: (0..=n).map(|i| scenario.chain.prefix_weight(i)).collect(),
             lambda_f: scenario.platform.lambda_fail_stop,
             lambda_s: scenario.platform.lambda_silent,
             v_star: scenario.costs.guaranteed_verification,
@@ -159,6 +282,92 @@ impl<'a> SegmentCalculator<'a> {
     /// The scenario this calculator was built for.
     pub fn scenario(&self) -> &Scenario {
         self.scenario
+    }
+
+    /// Guaranteed verification cost `V*`.
+    #[inline]
+    pub fn v_star(&self) -> f64 {
+        self.v_star
+    }
+
+    /// Partial verification cost `V`.
+    #[inline]
+    pub fn v_partial(&self) -> f64 {
+        self.v_partial
+    }
+
+    /// Miss probability `g = 1 − r` of the partial verification.
+    #[inline]
+    pub fn miss_probability(&self) -> f64 {
+        self.g
+    }
+
+    /// The chain's prefix sums `prefix[i] = W_{0,i}` as a contiguous slice.
+    #[inline]
+    pub fn prefix_weights(&self) -> &[f64] {
+        &self.prefix
+    }
+
+    /// Fail-stop error rate `λ_f`.
+    #[inline]
+    pub fn lambda_fail_stop(&self) -> f64 {
+        self.lambda_f
+    }
+
+    /// Silent error rate `λ_s`.
+    #[inline]
+    pub fn lambda_silent(&self) -> f64 {
+        self.lambda_s
+    }
+
+    /// Combined error rate `λ_f + λ_s`.
+    #[inline]
+    pub fn lambda_combined(&self) -> f64 {
+        self.lambda_f + self.lambda_s
+    }
+
+    /// Whether the kernels' lower-bound pruning is sound for this cost model.
+    ///
+    /// The bounds charge every sub-interval at least its work plus the
+    /// *partial* verification cost `V`, and the closing guaranteed
+    /// verification at least `V*`; both arguments require `V ≤ V*` (always
+    /// true for the paper's `V = V*/100`, but a hostile cost model could
+    /// invert them).  When this returns `false` the kernels fall back to the
+    /// exhaustive scans.  See DESIGN.md §4.
+    #[inline]
+    pub fn pruning_sound(&self) -> bool {
+        self.v_partial <= self.v_star
+    }
+
+    /// Binds row `i` of the exponential cache for linear scans over the right
+    /// endpoint (entries valid for `j ∈ i..=n`).
+    #[inline]
+    pub fn interval_row(&self, i: usize) -> IntervalRow<'_> {
+        let start = i * self.cache.dim;
+        let end = start + self.cache.dim;
+        IntervalRow {
+            exp_s: &self.cache.exp_s[start..end],
+            em1_f: &self.cache.em1_f[start..end],
+            em1_s: &self.cache.em1_s[start..end],
+            em1_fs: &self.cache.em1_fs[start..end],
+            em1_f_over_lambda: &self.cache.em1_f_over_lambda[start..end],
+        }
+    }
+
+    /// Binds column `j` of the exponential cache for linear scans over the
+    /// left endpoint (entries valid for `i ∈ 0..=j`).
+    #[inline]
+    pub fn interval_col(&self, j: usize) -> IntervalCol<'_> {
+        let start = j * self.cache.dim;
+        let end = start + self.cache.dim;
+        IntervalCol {
+            exp_s: &self.cache.exp_s_t[start..end],
+            em1_f: &self.cache.em1_f_t[start..end],
+            em1_s: &self.cache.em1_s_t[start..end],
+            em1_fs: &self.cache.em1_fs_t[start..end],
+            growth_fs: &self.cache.growth_fs_t[start..end],
+            em1_f_over_lambda: &self.cache.em1_f_over_lambda_t[start..end],
+        }
     }
 
     /// `R_D`, zeroed when the last disk checkpoint is the virtual task `T0`.
@@ -543,5 +752,103 @@ mod tests {
         let calc = SegmentCalculator::new(&s);
         assert!(calc.tail_verification_correction(10, 20, PartialCostModel::PaperExact) > 0.0);
         assert_eq!(calc.tail_verification_correction(10, 20, PartialCostModel::Refined), 0.0);
+    }
+
+    #[test]
+    fn interval_row_e_minus_is_bit_identical_to_scalar_form() {
+        for platform in scr::all() {
+            let s = scenario(&platform, 25);
+            let calc = SegmentCalculator::new(&s);
+            let (d1, m1) = (2usize, 4usize);
+            let (emem, everif, eright) = (321.0, 77.0, 12.5);
+            let a = calc.disk_recovery(d1) + emem;
+            let g = calc.miss_probability();
+            let miss_rm = (1.0 - g) * calc.memory_recovery(m1);
+            for p1 in [4usize, 9, 20] {
+                let row = calc.interval_row(p1);
+                for p2 in (p1 + 1)..=25 {
+                    let scalar = calc.e_minus(
+                        d1,
+                        m1,
+                        p1,
+                        p2,
+                        emem,
+                        everif,
+                        eright,
+                        false,
+                        PartialCostModel::PaperExact,
+                    );
+                    let flat = row.e_minus_at(p2, calc.v_partial(), g, a, everif, miss_rm, eright);
+                    assert_eq!(scalar.to_bits(), flat.to_bits(), "({p1},{p2})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interval_col_guaranteed_segment_is_bit_identical_to_scalar_form() {
+        for platform in scr::all() {
+            let s = scenario(&platform, 25);
+            let calc = SegmentCalculator::new(&s);
+            let (d1, m1, emem, everif) = (1usize, 3usize, 150.0, 40.0);
+            let a = calc.disk_recovery(d1) + emem;
+            let rm = calc.memory_recovery(m1);
+            for v2 in [10usize, 25] {
+                let col = calc.interval_col(v2);
+                for v1 in m1..v2 {
+                    let scalar = calc.guaranteed_segment(d1, m1, v1, v2, emem, everif);
+                    let flat = col.guaranteed_segment_at(v1, calc.v_star(), a, rm, everif);
+                    assert_eq!(scalar.to_bits(), flat.to_bits(), "({v1},{v2})");
+                    assert_eq!(
+                        col.reexecution_factor_at(v1).to_bits(),
+                        calc.reexecution_factor(v1, v2).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segment_costs_dominate_work_plus_verification_lower_bound() {
+        // The pruning bounds rely on E ≥ W + V* and E⁻ ≥ W + V for every
+        // interval and every left context (DESIGN.md §4).
+        for platform in scr::all() {
+            let s = scenario(&platform, 30);
+            let calc = SegmentCalculator::new(&s);
+            assert!(calc.pruning_sound());
+            for &(v1, v2) in &[(0usize, 1usize), (3, 9), (0, 30), (28, 30)] {
+                let w = s.work(v1, v2);
+                let e = calc.guaranteed_segment(0, 0, v1, v2, 0.0, 0.0);
+                assert!(e >= w + s.costs.guaranteed_verification - 1e-9, "({v1},{v2})");
+                for model in [PartialCostModel::PaperExact, PartialCostModel::Refined] {
+                    let em = calc.e_minus(0, 0, v1, v2, 0.0, 0.0, 0.0, false, model);
+                    assert!(em >= w + s.costs.partial_verification - 1e-9, "({v1},{v2})");
+                    let closing = calc.e_minus(0, 0, v1, v2, 0.0, 0.0, 0.0, true, model)
+                        + calc.tail_verification_correction(v1, v2, model);
+                    assert!(closing >= w + s.costs.guaranteed_verification - 1e-9, "({v1},{v2})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_guard_rejects_inverted_verification_costs() {
+        let mut s = scenario(&scr::hera(), 5);
+        s.costs.partial_verification = s.costs.guaranteed_verification * 2.0;
+        let calc = SegmentCalculator::new(&s);
+        assert!(!calc.pruning_sound());
+    }
+
+    #[test]
+    fn prefix_weights_match_interval_work() {
+        let s = scenario(&scr::atlas(), 12);
+        let calc = SegmentCalculator::new(&s);
+        let prefix = calc.prefix_weights();
+        assert_eq!(prefix.len(), 13);
+        for i in 0..=12usize {
+            for j in i..=12 {
+                assert_eq!((prefix[j] - prefix[i]).to_bits(), s.work(i, j).to_bits());
+            }
+        }
     }
 }

@@ -118,6 +118,33 @@ impl<T: Copy> SliceTable2<T> {
         Self { row_base, rows, dim, data: vec![fill; rows * dim] }
     }
 
+    /// Grows the table in place to columns `0..=new_n` and `new_rows` rows
+    /// (same `row_base`), preserving every existing entry and filling the new
+    /// cells with `fill`.
+    ///
+    /// This is the storage step of the incremental-in-`n` solver: extending a
+    /// finished slice from `n` to `n' > n` re-strides the rows into a fresh
+    /// flat allocation and keeps all computed prefixes bit-identical.
+    ///
+    /// # Panics
+    /// Panics if the new shape shrinks either axis.
+    pub fn grow(&mut self, new_n: usize, new_rows: usize, fill: T) {
+        let new_dim = new_n + 1;
+        assert!(new_dim >= self.dim, "cannot shrink columns {} -> {new_dim}", self.dim);
+        assert!(new_rows >= self.rows, "cannot shrink rows {} -> {new_rows}", self.rows);
+        if new_dim == self.dim && new_rows == self.rows {
+            return;
+        }
+        let mut data = vec![fill; new_rows * new_dim];
+        for r in 0..self.rows {
+            data[r * new_dim..r * new_dim + self.dim]
+                .copy_from_slice(&self.data[r * self.dim..(r + 1) * self.dim]);
+        }
+        self.data = data;
+        self.dim = new_dim;
+        self.rows = new_rows;
+    }
+
     /// First valid row index.
     pub fn row_base(&self) -> usize {
         self.row_base
@@ -156,6 +183,23 @@ impl<T: Copy> SliceTable2<T> {
     pub fn set(&mut self, row: usize, col: usize, value: T) {
         let idx = self.idx(row, col);
         self.data[idx] = value;
+    }
+
+    /// Borrows one full row (columns `0..=n`) as a contiguous slice; `row` is
+    /// an absolute boundary index.
+    ///
+    /// The dynamic-programming kernels iterate rows linearly through this
+    /// accessor instead of issuing per-candidate [`Self::get`] calls, so the
+    /// innermost loops run over prefetched contiguous memory.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[T] {
+        let start = self.idx(row, 0);
+        &self.data[start..start + self.dim]
+    }
+
+    /// The backing storage, row-major (`rows × (n + 1)`).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
     }
 }
 
@@ -258,5 +302,48 @@ mod tests {
     fn slice_table_below_row_base_panics_in_debug() {
         let t = SliceTable2::new(5, 3, 2, 0.0f64);
         let _ = t.get(2, 0);
+    }
+
+    #[test]
+    fn slice_table_rows_are_contiguous_and_indexable() {
+        let n = 5;
+        let mut t = SliceTable2::new(n, 1, 3, 0.0f64);
+        for row in 1..4 {
+            for col in 0..=n {
+                t.set(row, col, (row * 100 + col) as f64);
+            }
+        }
+        let row2 = t.row(2);
+        assert_eq!(row2.len(), n + 1);
+        assert_eq!(row2[0], 200.0);
+        assert_eq!(row2[5], 205.0);
+        assert_eq!(t.as_slice().len(), 3 * (n + 1));
+    }
+
+    #[test]
+    fn grow_preserves_existing_entries_and_fills_new_cells() {
+        let mut t = SliceTable2::new(3, 1, 2, f64::INFINITY);
+        t.set(1, 0, 10.0);
+        t.set(1, 3, 13.0);
+        t.set(2, 2, 22.0);
+        t.grow(6, 5, f64::INFINITY);
+        assert_eq!(t.rows(), 5);
+        assert_eq!(t.entries(), 5 * 7);
+        assert_eq!(t.get(1, 0), 10.0);
+        assert_eq!(t.get(1, 3), 13.0);
+        assert_eq!(t.get(2, 2), 22.0);
+        // New columns of old rows and entirely new rows start as fill.
+        assert!(t.get(1, 6).is_infinite());
+        assert!(t.get(4, 0).is_infinite());
+        // Growing to the same shape is a no-op.
+        t.grow(6, 5, f64::INFINITY);
+        assert_eq!(t.get(1, 3), 13.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn grow_rejects_shrinking() {
+        let mut t = SliceTable2::new(5, 0, 3, 0.0f64);
+        t.grow(4, 3, 0.0);
     }
 }

@@ -25,13 +25,22 @@
 //! a fixed predecessor disk checkpoint `d1`, the `Emem(d1, ·)` row and the
 //! `Everif(d1, ·, ·)` sub-table read only same-`d1` entries, so every slice
 //! is computed independently on the work-stealing pool ([`rayon`]) and the
-//! sequential `Edisk` level runs over the finished slices.  Each slice is the
-//! unmodified sequential recurrence, so results are bit-identical to the
-//! single-threaded DP at any thread count.
+//! sequential `Edisk` level runs over the finished slices.
+//!
+//! The slice kernel itself ([`fill_disk_slice`]) is candidate-pruned: the
+//! `v1` scan runs right-to-left over a contiguous `Everif` row and breaks out
+//! as soon as the sound lower bound `W_{v1,m2} + V*` on the remaining
+//! candidates exceeds the running best (see DESIGN.md §4 for the soundness
+//! argument).  Pruned candidates provably cannot improve the strict minimum,
+//! so values *and argmins* — and therefore schedules — are bit-identical to
+//! the exhaustive scan ([`TwoLevelOptions::without_pruning`]) at any thread
+//! count.  The kernel also fills columns incrementally (`from_m2`), which is
+//! what [`crate::incremental::IncrementalSolver`] uses to extend finished
+//! tables from `n` to `n' > n`.
 
+use crate::dp::{self, DiskSlice, DpTables};
 use crate::segment::SegmentCalculator;
 use crate::solution::{DpStatistics, Solution};
-use crate::tables::SliceTable2;
 use chain2l_model::{Action, Scenario, Schedule};
 use rayon::prelude::*;
 
@@ -41,50 +50,44 @@ pub struct TwoLevelOptions {
     /// When `false`, memory checkpoints may only coincide with disk
     /// checkpoints: this yields the single-level algorithm `A_DV*`.
     pub allow_interior_memory_checkpoints: bool,
+    /// When `true` (the default), the `v1` scans break out early on the sound
+    /// lower bound `W + V*`; results are bit-identical either way.
+    pub prune: bool,
 }
 
 impl Default for TwoLevelOptions {
     fn default() -> Self {
-        Self { allow_interior_memory_checkpoints: true }
+        Self::two_level()
     }
 }
 
 impl TwoLevelOptions {
     /// Options for the two-level algorithm `A_DMV*` (the default).
     pub fn two_level() -> Self {
-        Self { allow_interior_memory_checkpoints: true }
+        Self { allow_interior_memory_checkpoints: true, prune: true }
     }
 
     /// Options for the single-level algorithm `A_DV*`.
     pub fn single_level() -> Self {
-        Self { allow_interior_memory_checkpoints: false }
+        Self { allow_interior_memory_checkpoints: false, prune: true }
+    }
+
+    /// Disables lower-bound pruning (the exhaustive reference kernel used by
+    /// the equivalence tests and the candidate-count benchmarks).
+    pub fn without_pruning(mut self) -> Self {
+        self.prune = false;
+        self
     }
 }
 
-/// The self-contained DP state of one disk-segment slice: everything the
-/// recurrence computes for a fixed predecessor disk checkpoint `d1`.
-struct DiskSlice {
-    /// `Everif(d1, m1, v2)`; rows span `m1 ∈ d1..n` (one row for `A_DV*`).
-    everif: SliceTable2<f64>,
-    /// Argmin `v1` for `Everif(d1, m1, v2)`.
-    everif_choice: SliceTable2<usize>,
-    /// `Emem(d1, m2)`, indexed by `m2`.
-    emem: Vec<f64>,
-    /// Argmin `m1` for `Emem(d1, m2)`.
-    emem_choice: Vec<usize>,
-    /// Candidate positions examined while filling this slice.
-    candidates: u64,
-}
-
-/// Internal DP state: one slice per candidate `d1`, plus the `Edisk` level.
-struct DpTables {
-    slices: Vec<DiskSlice>,
-    /// `Edisk(d2)`.
-    edisk: Vec<f64>,
-    /// Argmin `d1` for `Edisk(d2)`.
-    edisk_choice: Vec<usize>,
-    /// Candidate positions examined across every level.
-    candidates: u64,
+/// Number of `Everif` rows a slice needs: the full `m1 ∈ d1..n` band, or the
+/// single `m1 = d1` row for `A_DV*`.
+fn slice_rows(n: usize, d1: usize, options: TwoLevelOptions) -> usize {
+    if options.allow_interior_memory_checkpoints {
+        n - d1
+    } else {
+        1
+    }
 }
 
 /// Runs the §III-A dynamic program on `scenario` and returns the optimal
@@ -95,106 +98,159 @@ pub fn optimize_two_level(scenario: &Scenario, options: TwoLevelOptions) -> Solu
     let tables = compute_tables(&calc, n, options);
     let schedule = reconstruct(&tables, n);
     let expected_makespan = tables.edisk[n];
-    let table_entries =
-        tables.slices.iter().map(|s| s.everif.entries() + s.emem.len()).sum::<usize>()
-            + tables.edisk.len();
-    let stats = DpStatistics { table_entries, candidates_examined: tables.candidates };
+    let stats = DpStatistics {
+        table_entries: tables.finalized_entries(),
+        candidates_examined: tables.candidates,
+    };
     Solution::new(expected_makespan, schedule, scenario, stats)
 }
 
-/// Fills the `Emem(d1, ·)` / `Everif(d1, ·, ·)` slice for one fixed `d1`
-/// (the unmodified sequential recurrence — bit-identical at any thread count).
-fn compute_disk_slice(
+/// Fills the `Emem(d1, ·)` / `Everif(d1, ·, ·)` slice columns
+/// `from_m2..=n` for one fixed `d1`.
+///
+/// A cold solve passes `from_m2 = d1 + 1`; the incremental solver passes
+/// `old_n + 1` to extend a finished slice.  Either way each column is the
+/// unmodified sequential recurrence (the pruning break only skips candidates
+/// that provably cannot beat the running strict minimum), so results are
+/// bit-identical to the exhaustive single-threaded DP.
+pub(crate) fn fill_disk_slice(
     calc: &SegmentCalculator<'_>,
     n: usize,
     d1: usize,
     options: TwoLevelOptions,
-) -> DiskSlice {
-    // A_DV* only ever indexes the m1 = d1 plane, so allocate one row.
-    let rows = if options.allow_interior_memory_checkpoints { n - d1 } else { 1 };
-    let mut everif = SliceTable2::new(n, d1, rows, f64::INFINITY);
-    let mut everif_choice = SliceTable2::new(n, d1, rows, usize::MAX);
-    let mut emem = vec![f64::INFINITY; n + 1];
-    let mut emem_choice = vec![usize::MAX; n + 1];
+    slice: &mut DiskSlice,
+    from_m2: usize,
+) {
+    let prune = options.prune;
+    let v_star = calc.v_star();
+    let c_mem = calc.scenario().costs.memory_checkpoint;
+    let rd = calc.disk_recovery(d1);
+    let lf = calc.lambda_fail_stop();
+    let lc = calc.lambda_combined();
+    // Tight single-segment quadratic floor: exp_s·em1fol ≥ w + (λs + λf/2)·w²
+    // (DESIGN.md §4).
+    let quad_coef = calc.lambda_silent() + 0.5 * lf;
+    let prefix = calc.prefix_weights();
     let mut candidates = 0u64;
 
-    emem[d1] = 0.0;
-    for m2 in (d1 + 1)..=n {
+    if from_m2 == d1 + 1 {
+        slice.emem[d1] = 0.0;
+    }
+    for m2 in from_m2..=n {
+        let col = calc.interval_col(m2);
+        let w_m2 = prefix[m2];
         // The candidate last memory checkpoints m1 for Emem(d1, m2).
-        let m1_range: Box<dyn Iterator<Item = usize>> = if options.allow_interior_memory_checkpoints
-        {
-            Box::new(d1..m2)
-        } else {
-            Box::new(std::iter::once(d1))
-        };
+        let m1_end = if options.allow_interior_memory_checkpoints { m2 } else { d1 + 1 };
         let mut best_mem = f64::INFINITY;
         let mut best_m1 = usize::MAX;
-        for m1 in m1_range {
-            // Everif(d1, m1, m2): place guaranteed verifications between
-            // the memory checkpoints at m1 and m2.
-            let emem_left = emem[m1];
+        for m1 in d1..m1_end {
+            let emem_left = slice.emem[m1];
             debug_assert!(emem_left.is_finite(), "Emem({d1},{m1}) not computed");
-            everif.set(m1, m1, 0.0);
+            slice.everif.set(m1, m1, 0.0);
+            let a = rd + emem_left;
+            let rm = calc.memory_recovery(m1);
+
+            // Everif(d1, m1, m2): place guaranteed verifications between the
+            // memory checkpoints at m1 and m2.  The scan runs right-to-left
+            // (short candidate segments first) with a non-strict minimum,
+            // which selects the same (value, argmin) pair as the exhaustive
+            // left-to-right strict scan, doubly pruned (DESIGN.md §4):
+            //
+            // * break — every candidate at or left of v1 costs at least the
+            //   span's loaded work plus the tight quadratic re-execution
+            //   floor of its last segment plus one V*, and that floor only
+            //   grows as v1 moves left;
+            // * skip — with the exact left cost known, the candidate's last
+            //   segment costs at least its loaded work, its quadratic floor,
+            //   the left re-execution `λ_c·W_tail·left` and V*.
             let mut best_verif = f64::INFINITY;
             let mut best_v1 = usize::MAX;
-            for v1 in m1..m2 {
-                candidates += 1;
-                let left = everif.get(m1, v1);
+            let load_a = 1.0 + lf * a;
+            let span_floor = (w_m2 - prefix[m1]) * load_a + v_star;
+            let row = slice.everif.row(m1);
+            for v1 in (m1..m2).rev() {
+                let w_tail = w_m2 - prefix[v1];
+                let quad = quad_coef * w_tail * w_tail;
+                if prune && span_floor + quad > best_verif {
+                    break;
+                }
+                let left = row[v1];
                 debug_assert!(left.is_finite(), "Everif({d1},{m1},{v1}) not computed");
-                let seg = calc.guaranteed_segment(d1, m1, v1, m2, emem_left, left);
+                if prune
+                    && left * (1.0 + lc * w_tail) + w_tail * load_a + quad + v_star > best_verif
+                {
+                    continue;
+                }
+                candidates += 1;
+                let seg = col.guaranteed_segment_at(v1, v_star, a, rm, left);
                 let cand = left + seg;
-                if cand < best_verif {
+                if cand <= best_verif {
                     best_verif = cand;
                     best_v1 = v1;
                 }
             }
-            everif.set(m1, m2, best_verif);
-            everif_choice.set(m1, m2, best_v1);
+            slice.everif.set(m1, m2, best_verif);
+            slice.everif_choice.set(m1, m2, best_v1);
 
             // Candidate for Emem(d1, m2): last memory checkpoint at m1.
             candidates += 1;
-            let cand = emem_left + best_verif + calc.scenario().costs.memory_checkpoint;
+            let cand = emem_left + best_verif + c_mem;
             if cand < best_mem {
                 best_mem = cand;
                 best_m1 = m1;
             }
         }
-        emem[m2] = best_mem;
-        emem_choice[m2] = best_m1;
+        slice.emem[m2] = best_mem;
+        slice.emem_choice[m2] = best_m1;
     }
-    DiskSlice { everif, everif_choice, emem, emem_choice, candidates }
+    slice.candidates += candidates;
 }
 
 /// Fills the three DP levels: the per-`d1` slices in parallel, then the
 /// sequential `Edisk` level over the finished slices.
-fn compute_tables(calc: &SegmentCalculator<'_>, n: usize, options: TwoLevelOptions) -> DpTables {
-    let slices: Vec<DiskSlice> =
-        (0..n).into_par_iter().map(|d1| compute_disk_slice(calc, n, d1, options)).collect();
-    let mut candidates = slices.par_iter().map(|s| s.candidates).reduce(|| 0, |a, b| a + b);
+pub(crate) fn compute_tables(
+    calc: &SegmentCalculator<'_>,
+    n: usize,
+    options: TwoLevelOptions,
+) -> DpTables {
+    let slices: Vec<DiskSlice> = (0..n)
+        .into_par_iter()
+        .map(|d1| {
+            let mut slice = DiskSlice::new(n, d1, slice_rows(n, d1, options));
+            fill_disk_slice(calc, n, d1, options, &mut slice, d1 + 1);
+            slice
+        })
+        .collect();
+    dp::finish_tables(calc.scenario().costs.disk_checkpoint, slices, n)
+}
 
-    // Level 1: place disk checkpoints.
-    let mut edisk = vec![f64::INFINITY; n + 1];
-    let mut edisk_choice = vec![usize::MAX; n + 1];
-    edisk[0] = 0.0;
-    for d2 in 1..=n {
-        let mut best = f64::INFINITY;
-        let mut best_d1 = usize::MAX;
-        for d1 in 0..d2 {
-            candidates += 1;
-            let cand = edisk[d1] + slices[d1].emem[d2] + calc.scenario().costs.disk_checkpoint;
-            if cand < best {
-                best = cand;
-                best_d1 = d1;
-            }
-        }
-        edisk[d2] = best;
-        edisk_choice[d2] = best_d1;
-    }
-    DpTables { slices, edisk, edisk_choice, candidates }
+/// Extends finished tables from `old_n` to `new_n` tasks, reusing every
+/// computed column: existing slices grow and fill only columns
+/// `old_n + 1..=new_n` (batched over the pool with [`par_chunks_mut`]),
+/// new slices `d1 ∈ old_n..new_n` are filled cold, and the cheap `Edisk`
+/// level is recomputed.  Requires the task-weight prefix to be unchanged;
+/// the resulting tables are bit-identical to a cold solve at `new_n`.
+///
+/// [`par_chunks_mut`]: rayon::prelude::ParallelSliceMut::par_chunks_mut
+pub(crate) fn extend_tables(
+    calc: &SegmentCalculator<'_>,
+    tables: &mut DpTables,
+    old_n: usize,
+    new_n: usize,
+    options: TwoLevelOptions,
+) {
+    dp::extend_slices(
+        &mut tables.slices,
+        old_n,
+        new_n,
+        |n, d1| slice_rows(n, d1, options),
+        |d1, slice, from_m2| fill_disk_slice(calc, new_n, d1, options, slice, from_m2),
+    );
+    dp::refresh_edisk(calc.scenario().costs.disk_checkpoint, tables, new_n);
 }
 
 /// Walks the argmin tables backwards and marks the chosen actions.
-fn reconstruct(t: &DpTables, n: usize) -> Schedule {
+pub(crate) fn reconstruct(t: &DpTables, n: usize) -> Schedule {
     let mut schedule = Schedule::empty(n);
 
     // Disk checkpoints: follow Edisk choices from n down to 0.
@@ -429,6 +485,67 @@ mod tests {
     }
 
     #[test]
+    fn pruned_and_unpruned_kernels_are_bit_identical() {
+        for platform in scr::all() {
+            for n in [1usize, 7, 25] {
+                let s = paper_scenario(&platform, &WeightPattern::Uniform, n);
+                for options in [TwoLevelOptions::two_level(), TwoLevelOptions::single_level()] {
+                    let pruned = optimize_two_level(&s, options);
+                    let exhaustive = optimize_two_level(&s, options.without_pruning());
+                    assert_eq!(
+                        pruned.expected_makespan.to_bits(),
+                        exhaustive.expected_makespan.to_bits(),
+                        "{} n={n}",
+                        platform.name
+                    );
+                    assert_eq!(pruned.schedule, exhaustive.schedule, "{} n={n}", platform.name);
+                    assert!(
+                        pruned.stats.candidates_examined <= exhaustive.stats.candidates_examined
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_cuts_examined_candidates_on_large_chains() {
+        let s = paper_scenario(&scr::hera(), &WeightPattern::Uniform, 50);
+        let pruned = optimize_two_level(&s, TwoLevelOptions::two_level());
+        let exhaustive = optimize_two_level(&s, TwoLevelOptions::two_level().without_pruning());
+        assert!(
+            pruned.stats.candidates_examined * 2 < exhaustive.stats.candidates_examined,
+            "pruned {} vs exhaustive {}",
+            pruned.stats.candidates_examined,
+            exhaustive.stats.candidates_examined
+        );
+    }
+
+    #[test]
+    fn extend_tables_matches_cold_solve_bit_for_bit() {
+        let platform = scr::atlas();
+        // A prefix-stable chain: fixed per-task weight.
+        let chain = |n: usize| chain2l_model::TaskChain::from_weights(vec![500.0; n]).unwrap();
+        let costs = ResilienceCosts::paper_defaults(&platform);
+        let small = Scenario::new(chain(12), platform.clone(), costs).unwrap();
+        let large = Scenario::new(chain(30), platform.clone(), costs).unwrap();
+        for options in [TwoLevelOptions::two_level(), TwoLevelOptions::single_level()] {
+            let calc_small = SegmentCalculator::new(&small);
+            let mut tables = compute_tables(&calc_small, 12, options);
+            let calc_large = SegmentCalculator::new(&large);
+            extend_tables(&calc_large, &mut tables, 12, 30, options);
+            let cold = compute_tables(&calc_large, 30, options);
+            assert_eq!(tables.edisk.len(), cold.edisk.len());
+            for (a, b) in tables.edisk.iter().zip(&cold.edisk) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert_eq!(tables.edisk_choice, cold.edisk_choice);
+            assert_eq!(tables.candidates, cold.candidates);
+            assert_eq!(reconstruct(&tables, 30), reconstruct(&cold, 30));
+            assert_eq!(tables.finalized_entries(), cold.finalized_entries());
+        }
+    }
+
+    #[test]
     fn statistics_count_examined_candidates_and_actual_allocations() {
         let n = 20;
         let s = paper_scenario(&scr::hera(), &WeightPattern::Uniform, n);
@@ -443,14 +560,16 @@ mod tests {
             one.stats.candidates_examined,
             two.stats.candidates_examined
         );
-        // table_entries reflect what is actually allocated: the A_DV* Everif
-        // slices collapse to the m1 = d1 plane, far below the old (n+1)^3
-        // book-keeping, and the two-level slices are triangular in m1.
+        // table_entries counts only finalized (actually written) cells: the
+        // A_DV* Everif slices collapse to the m1 = d1 plane and every slice
+        // is triangular, far below the old (n+1)^3 book-keeping.
         let cube = (n + 1) * (n + 1) * (n + 1);
         assert!(one.stats.table_entries < two.stats.table_entries);
         assert!(two.stats.table_entries < cube, "{} >= {}", two.stats.table_entries, cube);
-        // A_DV*: n single-row Everif slices + n Emem rows + Edisk.
-        assert_eq!(one.stats.table_entries, 2 * n * (n + 1) + (n + 1));
+        // A_DV*: slice d1 finalizes n−d1+1 Everif and n−d1+1 Emem entries,
+        // plus the n+1 Edisk entries: 2·Σ_{d1=0}^{n-1}(n−d1+1) + n+1.
+        let per_level: usize = (0..n).map(|d1| n - d1 + 1).sum();
+        assert_eq!(one.stats.table_entries, 2 * per_level + (n + 1));
     }
 
     #[test]
@@ -458,5 +577,7 @@ mod tests {
         assert!(TwoLevelOptions::two_level().allow_interior_memory_checkpoints);
         assert!(!TwoLevelOptions::single_level().allow_interior_memory_checkpoints);
         assert_eq!(TwoLevelOptions::default(), TwoLevelOptions::two_level());
+        assert!(TwoLevelOptions::two_level().prune);
+        assert!(!TwoLevelOptions::two_level().without_pruning().prune);
     }
 }

@@ -1,0 +1,215 @@
+//! Kernel-equivalence suite: the candidate-pruned and incremental solvers
+//! must be **bit-identical** to the unpruned sequential dynamic programs —
+//! same expected makespans (to the bit), same schedules, same finalized
+//! table-entry counts — across every platform, weight pattern and chain size,
+//! while examining no more candidates than the exhaustive scans.
+
+use chain2l_core::incremental::{IncrementalSolver, SolvePath};
+use chain2l_core::{
+    optimize, optimize_two_level, optimize_with_partials, Algorithm, PartialOptions,
+    TwoLevelOptions,
+};
+use chain2l_model::pattern::WeightPattern;
+use chain2l_model::platform::{scr, Platform};
+use chain2l_model::{ResilienceCosts, Scenario, TaskChain};
+use proptest::prelude::*;
+
+fn patterns() -> [WeightPattern; 3] {
+    [WeightPattern::Uniform, WeightPattern::Decrease, WeightPattern::high_low_default()]
+}
+
+fn paper_scenario(platform: &Platform, pattern: &WeightPattern, n: usize) -> Scenario {
+    Scenario::paper_setup(platform, pattern, n, 25_000.0).unwrap()
+}
+
+fn weak_scaling(platform: &Platform, n: usize, w: f64) -> Scenario {
+    Scenario::new(
+        TaskChain::from_weights(vec![w; n]).unwrap(),
+        platform.clone(),
+        ResilienceCosts::paper_defaults(platform),
+    )
+    .unwrap()
+}
+
+/// Asserts the strongest equivalence we can observe from the outside:
+/// bitwise makespan, schedule (hence every argmin on the optimal path) and
+/// finalized table entries.
+#[track_caller]
+fn assert_bit_identical(a: &chain2l_core::Solution, b: &chain2l_core::Solution, context: &str) {
+    assert_eq!(
+        a.expected_makespan.to_bits(),
+        b.expected_makespan.to_bits(),
+        "makespan differs: {context}"
+    );
+    assert_eq!(a.schedule, b.schedule, "schedule differs: {context}");
+    assert_eq!(a.stats.table_entries, b.stats.table_entries, "entries differ: {context}");
+}
+
+#[test]
+fn two_level_pruned_equals_exhaustive_on_all_platforms_patterns_and_sizes() {
+    for platform in scr::all() {
+        for pattern in patterns() {
+            for n in [1usize, 2, 10, 50] {
+                let s = paper_scenario(&platform, &pattern, n);
+                for options in [TwoLevelOptions::two_level(), TwoLevelOptions::single_level()] {
+                    let pruned = optimize_two_level(&s, options);
+                    let exhaustive = optimize_two_level(&s, options.without_pruning());
+                    let context =
+                        format!("{} / {} / n={n} / {options:?}", platform.name, pattern.name());
+                    assert_bit_identical(&pruned, &exhaustive, &context);
+                    assert!(
+                        pruned.stats.candidates_examined <= exhaustive.stats.candidates_examined,
+                        "{context}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn partial_pruned_equals_exhaustive_on_all_platforms_patterns_and_sizes() {
+    for platform in scr::all() {
+        for pattern in patterns() {
+            // Paper-exact model at every size including the paper's n = 50;
+            // the refined ablation variant on the smaller sizes.
+            for n in [1usize, 2, 10, 50] {
+                let s = paper_scenario(&platform, &pattern, n);
+                let mut variants = vec![PartialOptions::paper_exact()];
+                if n <= 10 {
+                    variants.push(PartialOptions::refined());
+                }
+                for options in variants {
+                    let pruned = optimize_with_partials(&s, options);
+                    let exhaustive = optimize_with_partials(&s, options.without_pruning());
+                    let context =
+                        format!("{} / {} / n={n} / {options:?}", platform.name, pattern.name());
+                    assert_bit_identical(&pruned, &exhaustive, &context);
+                    assert!(
+                        pruned.stats.candidates_examined <= exhaustive.stats.candidates_examined,
+                        "{context}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_extension_equals_cold_solves_for_every_algorithm() {
+    // Ascending weak-scaling series: each step extends the previous tables;
+    // every point must match a cold pruned solve bit for bit (including the
+    // DP statistics — the extension performs exactly the missing work).
+    for platform in scr::all() {
+        let solver = IncrementalSolver::new();
+        for algorithm in [
+            Algorithm::SingleLevel,
+            Algorithm::TwoLevel,
+            Algorithm::TwoLevelPartial,
+            Algorithm::TwoLevelPartialRefined,
+        ] {
+            for n in [1usize, 2, 10, 50] {
+                let s = weak_scaling(&platform, n, 500.0);
+                let sol = solver.solve(&s, algorithm);
+                let cold = optimize(&s, algorithm);
+                let context = format!("{} / {algorithm} / n={n}", platform.name);
+                assert_bit_identical(&sol, &cold, &context);
+                assert_eq!(sol.stats, cold.stats, "{context}");
+            }
+        }
+        let stats = solver.stats();
+        assert_eq!(stats.cold_solves, 4, "{}: one cold solve per algorithm", platform.name);
+        assert_eq!(stats.extensions, 12, "{}: every other point extends", platform.name);
+    }
+}
+
+#[test]
+fn incremental_shrink_reuses_tables_and_matches_cold_solves() {
+    let platform = scr::coastal_ssd();
+    let solver = IncrementalSolver::new();
+    solver.solve(&weak_scaling(&platform, 40, 625.0), Algorithm::TwoLevelPartial);
+    for n in [1usize, 7, 23, 40] {
+        let s = weak_scaling(&platform, n, 625.0);
+        let (sol, path) = solver.solve_traced(&s, Algorithm::TwoLevelPartial);
+        assert_eq!(path, SolvePath::Reused, "n={n}");
+        let cold = optimize(&s, Algorithm::TwoLevelPartial);
+        assert_eq!(sol.expected_makespan.to_bits(), cold.expected_makespan.to_bits(), "n={n}");
+        assert_eq!(sol.schedule, cold.schedule, "n={n}");
+    }
+    assert_eq!(solver.stats().reuses, 4);
+}
+
+#[test]
+fn incremental_solver_is_exact_under_interleaved_sizes_and_algorithms() {
+    // A messy request mix — shrink, extend, repeat, switch algorithms —
+    // must still be bit-identical to cold solves at every step.
+    let platform = scr::atlas();
+    let solver = IncrementalSolver::new();
+    let sizes = [12usize, 5, 20, 20, 3, 33, 8];
+    for (i, &n) in sizes.iter().enumerate() {
+        for algorithm in [Algorithm::TwoLevel, Algorithm::TwoLevelPartial] {
+            let s = weak_scaling(&platform, n, 500.0);
+            let sol = solver.solve(&s, algorithm);
+            let cold = optimize(&s, algorithm);
+            assert_eq!(
+                sol.expected_makespan.to_bits(),
+                cold.expected_makespan.to_bits(),
+                "step {i}, {algorithm}, n={n}"
+            );
+            assert_eq!(sol.schedule, cold.schedule, "step {i}, {algorithm}, n={n}");
+        }
+    }
+}
+
+fn rates_strategy() -> impl Strategy<Value = (f64, f64)> {
+    (1e-9f64..1e-4, 1e-9f64..1e-4)
+}
+
+proptest! {
+    /// Random chains, random error rates: the pruned kernels and the
+    /// exhaustive ones agree bit for bit.
+    #[test]
+    fn pruned_kernels_match_exhaustive_on_random_scenarios(
+        weights in proptest::collection::vec(1.0f64..5_000.0, 1..14),
+        rates in rates_strategy(),
+    ) {
+        let (lambda_f, lambda_s) = rates;
+        let platform = Platform::new("random", 8, lambda_f, lambda_s, 120.0, 12.0).unwrap();
+        let costs = ResilienceCosts::paper_defaults(&platform);
+        let s = Scenario::new(TaskChain::from_weights(weights).unwrap(), platform, costs).unwrap();
+        let two = optimize_two_level(&s, TwoLevelOptions::two_level());
+        let two_ex = optimize_two_level(&s, TwoLevelOptions::two_level().without_pruning());
+        prop_assert_eq!(two.expected_makespan.to_bits(), two_ex.expected_makespan.to_bits());
+        prop_assert_eq!(&two.schedule, &two_ex.schedule);
+        let full = optimize_with_partials(&s, PartialOptions::paper_exact());
+        let full_ex =
+            optimize_with_partials(&s, PartialOptions::paper_exact().without_pruning());
+        prop_assert_eq!(full.expected_makespan.to_bits(), full_ex.expected_makespan.to_bits());
+        prop_assert_eq!(&full.schedule, &full_ex.schedule);
+    }
+
+    /// Random prefix-stable extensions: solving the prefix first and then the
+    /// full chain through the incremental solver matches the cold solve.
+    #[test]
+    fn incremental_extension_matches_cold_solve_on_random_chains(
+        prefix_weights in proptest::collection::vec(1.0f64..5_000.0, 1..8),
+        extra_weights in proptest::collection::vec(1.0f64..5_000.0, 1..8),
+    ) {
+        let platform = scr::hera();
+        let costs = ResilienceCosts::paper_defaults(&platform);
+        let mut all = prefix_weights.clone();
+        all.extend_from_slice(&extra_weights);
+        let small = Scenario::new(
+            TaskChain::from_weights(prefix_weights).unwrap(), platform.clone(), costs).unwrap();
+        let large = Scenario::new(
+            TaskChain::from_weights(all).unwrap(), platform.clone(), costs).unwrap();
+        let solver = IncrementalSolver::new();
+        solver.solve(&small, Algorithm::TwoLevelPartial);
+        let (sol, path) = solver.solve_traced(&large, Algorithm::TwoLevelPartial);
+        prop_assert_eq!(path, SolvePath::Extended);
+        let cold = optimize(&large, Algorithm::TwoLevelPartial);
+        prop_assert_eq!(sol.expected_makespan.to_bits(), cold.expected_makespan.to_bits());
+        prop_assert_eq!(&sol.schedule, &cold.schedule);
+        prop_assert_eq!(&sol.stats, &cold.stats);
+    }
+}

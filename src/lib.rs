@@ -61,7 +61,9 @@ pub use chain2l_exec as exec;
 pub use chain2l_model as model;
 pub use chain2l_sim as sim;
 
-pub use chain2l_core::{optimize, Algorithm, PartialCostModel, Solution};
+pub use chain2l_core::{
+    optimize, Algorithm, IncrementalSolver, PartialCostModel, Solution, SolutionCache,
+};
 pub use chain2l_model::{
     Action, ActionCounts, ModelError, Platform, ResilienceCosts, Scenario, Schedule, TaskChain,
     WeightPattern,

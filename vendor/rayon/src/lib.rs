@@ -2,8 +2,10 @@
 //!
 //! Implements the data-parallel subset the workspace uses —
 //! `par_iter()` / `into_par_iter()` with `map`, `for_each`, `reduce` and
-//! ordered `collect`, plus [`join`] and the [`scope`] / [`Scope::spawn`]
-//! task API — on top of `std::thread::scope`.  Scheduling is dynamic: every
+//! ordered `collect`, slice chunking (`par_chunks` / `par_chunks_mut`),
+//! a minimal [`ThreadPoolBuilder`] / [`ThreadPool::install`], plus [`join`]
+//! and the [`scope`] / [`Scope::spawn`] task API — on top of
+//! `std::thread::scope`.  Scheduling is dynamic: every
 //! worker steals the next unclaimed item index from a shared atomic cursor,
 //! so long-running cells (the `O(n⁶)` DP at large `n`) do not serialise the
 //! sweep behind a static partition.  Results are written back by item index,
@@ -17,10 +19,21 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Number of worker threads used by parallel iterators: the value of the
-/// `RAYON_NUM_THREADS` environment variable when set and positive, otherwise
-/// the machine's available parallelism.
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`]
+    /// (0 = no override).
+    static POOL_NUM_THREADS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of worker threads used by parallel iterators: an installed
+/// [`ThreadPool`] override first, then the `RAYON_NUM_THREADS` environment
+/// variable when set and positive, otherwise the machine's available
+/// parallelism.
 pub fn current_num_threads() -> usize {
+    let installed = POOL_NUM_THREADS.with(|n| n.get());
+    if installed > 0 {
+        return installed;
+    }
     if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n > 0 {
@@ -29,6 +42,84 @@ pub fn current_num_threads() -> usize {
         }
     }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`] (the stub cannot actually
+/// fail; the type exists for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Minimal stand-in for `rayon::ThreadPoolBuilder`: carries a worker count
+/// into [`ThreadPool::install`] scopes.
+#[derive(Debug, Default, Clone)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads (`0` = the global default).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool.  Never fails in the stub; the `Result` mirrors the
+    /// real API so call sites port unchanged.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// Minimal stand-in for `rayon::ThreadPool`.
+///
+/// The stub spawns scoped workers per parallel call instead of keeping
+/// long-lived threads, so a pool is just a worker-count override that
+/// [`ThreadPool::install`] applies to every parallel call made from inside
+/// `op` on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's worker count installed.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let previous = POOL_NUM_THREADS.with(|n| n.replace(self.num_threads));
+        // Restore on unwind too, so a panicking op does not leak the override.
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_NUM_THREADS.with(|n| n.set(self.0));
+            }
+        }
+        let _restore = Restore(previous);
+        op()
+    }
+
+    /// The worker count this pool installs (`0` = the global default).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            current_num_threads()
+        }
+    }
 }
 
 /// Runs the two closures, potentially in parallel, returning both results.
@@ -294,6 +385,44 @@ pub mod iter {
         }
     }
 
+    /// `par_chunks()` — borrowed, non-overlapping sub-slices of at most
+    /// `chunk_size` items, iterated in parallel with stable ordering.
+    pub trait ParallelSlice<T: Sync> {
+        /// Splits the slice into chunks of at most `chunk_size` items.
+        ///
+        /// # Panics
+        /// Panics if `chunk_size` is zero (matching real rayon).
+        fn par_chunks(&self, chunk_size: usize) -> IntoParIter<&[T]>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> IntoParIter<&[T]> {
+            assert!(chunk_size > 0, "chunk_size must be positive");
+            IntoParIter { items: self.chunks(chunk_size).collect() }
+        }
+    }
+
+    /// `par_chunks_mut()` — mutable, non-overlapping sub-slices of at most
+    /// `chunk_size` items, iterated in parallel with stable ordering.
+    ///
+    /// This is the row-batching primitive of the incremental DP kernels: one
+    /// pool task extends a whole batch of small disk-segment slices instead
+    /// of paying per-slice scheduling overhead.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Splits the slice into mutable chunks of at most `chunk_size` items.
+        ///
+        /// # Panics
+        /// Panics if `chunk_size` is zero (matching real rayon).
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> IntoParIter<&mut [T]>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> IntoParIter<&mut [T]> {
+            assert!(chunk_size > 0, "chunk_size must be positive");
+            IntoParIter { items: self.chunks_mut(chunk_size).collect() }
+        }
+    }
+
     /// `par_iter()` — borrowing parallel iteration.
     pub trait IntoParallelRefIterator<'data> {
         /// The borrowed element type.
@@ -323,7 +452,15 @@ pub mod iter {
 
 /// Glob-import surface mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+/// Slice-parallelism traits, re-exported under the real crate's module path.
+pub mod slice {
+    pub use crate::iter::{ParallelSlice, ParallelSliceMut};
 }
 
 #[cfg(test)]
@@ -447,5 +584,69 @@ mod tests {
             (0usize..64).into_par_iter().map(|i| (i as f64).sqrt().sin()).collect()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn par_chunks_covers_the_slice_in_order() {
+        let data: Vec<u32> = (0..103).collect();
+        let sums: Vec<u32> = data.par_chunks(10).map(|c| c.iter().sum::<u32>()).collect();
+        let expected: Vec<u32> = data.chunks(10).map(|c| c.iter().sum::<u32>()).collect();
+        assert_eq!(sums, expected);
+        assert_eq!(sums.len(), 11, "last partial chunk included");
+    }
+
+    #[test]
+    fn par_chunks_mut_mutates_every_element_exactly_once() {
+        let mut data: Vec<u64> = vec![1; 77];
+        data.par_chunks_mut(8).for_each(|chunk| {
+            for x in chunk {
+                *x += 1;
+            }
+        });
+        assert!(data.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn par_chunks_rejects_zero_chunk_size() {
+        let data = [1, 2, 3];
+        let _ = data.par_chunks(0);
+    }
+
+    #[test]
+    fn thread_pool_installs_a_worker_count_override() {
+        // No env-var mutation here: setenv/getenv race against the other
+        // tests' worker threads reading RAYON_NUM_THREADS concurrently.
+        let default_threads = super::current_num_threads();
+        let override_threads = default_threads + 7;
+        let pool = super::ThreadPoolBuilder::new().num_threads(override_threads).build().unwrap();
+        assert_eq!(pool.current_num_threads(), override_threads);
+        let (inside, outside_after) = {
+            let inside = pool.install(super::current_num_threads);
+            (inside, super::current_num_threads())
+        };
+        assert_eq!(inside, override_threads);
+        // The override does not leak out of the install scope.
+        assert_eq!(outside_after, default_threads);
+        // Nested installs restore the outer override on exit.
+        let outer = super::ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        let inner = super::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let (inner_seen, outer_seen) = outer.install(|| {
+            let inner_seen = inner.install(super::current_num_threads);
+            (inner_seen, super::current_num_threads())
+        });
+        assert_eq!((inner_seen, outer_seen), (2, 5));
+        // Zero means "default": install changes nothing observable.
+        let default_pool = super::ThreadPoolBuilder::new().build().unwrap();
+        assert_eq!(default_pool.install(super::current_num_threads), super::current_num_threads());
+    }
+
+    #[test]
+    fn thread_pool_results_match_sequential_map() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<usize> = pool
+            .install(|| (0usize..100).collect::<Vec<_>>().into_par_iter().map(|x| x * 3).collect());
+        let expected: Vec<usize> = (0..100).map(|x| x * 3).collect();
+        assert_eq!(out, expected);
     }
 }
