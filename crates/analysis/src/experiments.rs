@@ -17,19 +17,18 @@
 //! `paper()` sweeps every `n` from 1 to 50 like the original plots, `quick()`
 //! uses a small subset so the harness stays fast in debug builds and CI.
 //!
-//! Every builder comes in two flavours: the plain function (which runs with a
-//! private, throw-away cache) and a `*_with_cache` variant that records its
-//! solves in a shared [`SolutionCache`].  The figure entry points
-//! ([`fig5_with_cache`], [`fig7_with_cache`], [`fig8_with_cache`]) share one
-//! cache across **all** their panels, so each distinct
-//! `(platform, pattern, n, algorithm)` cell is solved exactly once — the
-//! count panels and placement strips are served from the makespan panel's
-//! solves, which the cache's hit statistics prove.
+//! Every builder solves through a caller-supplied strategy-routing
+//! [`Engine`]: share one engine across the figure entry points ([`fig5`],
+//! [`fig7`], [`fig8`]) and each distinct `(platform, pattern, n, algorithm)`
+//! cell is solved exactly once — the count panels and placement strips are
+//! served from the makespan panel's solves, which the engine's statistics
+//! prove.  Routing is bit-identical to per-cell cold solves, so sharing an
+//! engine can only skip work, never change a figure.
 
 use crate::figures::{CountPoint, CountSeries, MakespanPoint, MakespanSeries, PlacementStrip};
 use crate::report::{fmt_f64, Table};
-use chain2l_core::cache::{SolutionCache, SolveRequest};
-use chain2l_core::{optimize, Algorithm, Solution};
+use chain2l_core::cache::SolveRequest;
+use chain2l_core::{optimize, Algorithm, Engine, Solution};
 use chain2l_model::platform::scr;
 use chain2l_model::{Platform, Scenario, WeightPattern};
 use serde::{Deserialize, Serialize};
@@ -86,7 +85,8 @@ impl ExperimentConfig {
     }
 }
 
-/// Runs one `(platform, pattern, n, algorithm)` cell of the evaluation.
+/// Runs one `(platform, pattern, n, algorithm)` cell of the evaluation with
+/// a private, throw-away solver (no sharing across cells).
 pub fn run_cell(
     platform: &Platform,
     pattern: &WeightPattern,
@@ -99,18 +99,18 @@ pub fn run_cell(
     optimize(&scenario, algorithm)
 }
 
-/// Like [`run_cell`], but served through (and recorded in) `cache`.
-pub fn run_cell_cached(
+/// Like [`run_cell`], but routed through (and recorded in) `engine`.
+pub fn run_cell_on(
     platform: &Platform,
     pattern: &WeightPattern,
     n: usize,
     total_weight: f64,
     algorithm: Algorithm,
-    cache: &SolutionCache,
+    engine: &Engine,
 ) -> Arc<Solution> {
     let scenario = Scenario::paper_setup(platform, pattern, n, total_weight)
         .expect("paper setup parameters are valid");
-    cache.solve(&scenario, algorithm)
+    engine.solve(&scenario, algorithm)
 }
 
 /// The batch of solve requests behind one panel: every `(n, algorithm)` cell
@@ -133,7 +133,8 @@ fn panel_requests(
         .collect()
 }
 
-/// Builds the normalized-makespan panel for one platform and pattern.
+/// Builds the normalized-makespan panel for one platform and pattern,
+/// solving through (and recording in) `engine`.
 ///
 /// The `n × algorithm` cells are independent, so they are submitted as one
 /// batch and the misses are solved on the work-stealing pool; the results
@@ -142,23 +143,14 @@ pub fn makespan_series(
     platform: &Platform,
     pattern: &WeightPattern,
     config: &ExperimentConfig,
-) -> MakespanSeries {
-    makespan_series_with_cache(platform, pattern, config, &SolutionCache::new())
-}
-
-/// [`makespan_series`] recording its solves in a shared `cache`.
-pub fn makespan_series_with_cache(
-    platform: &Platform,
-    pattern: &WeightPattern,
-    config: &ExperimentConfig,
-    cache: &SolutionCache,
+    engine: &Engine,
 ) -> MakespanSeries {
     let algorithms = config.algorithms.len();
     let points = if algorithms == 0 {
         config.task_counts.iter().map(|&n| MakespanPoint { n, values: Vec::new() }).collect()
     } else {
         let requests = panel_requests(platform, pattern, config, &config.algorithms);
-        let solutions = cache.solve_batch(&requests);
+        let solutions = engine.solve_batch(&requests);
         let values: Vec<(Algorithm, f64)> = requests
             .iter()
             .zip(&solutions)
@@ -175,26 +167,16 @@ pub fn makespan_series_with_cache(
 }
 
 /// Builds the count panel of one algorithm for one platform and pattern,
-/// evaluating the per-`n` cells on the work-stealing pool.
+/// solving through `engine` on the work-stealing pool.
 pub fn count_series(
     platform: &Platform,
     pattern: &WeightPattern,
     algorithm: Algorithm,
     config: &ExperimentConfig,
-) -> CountSeries {
-    count_series_with_cache(platform, pattern, algorithm, config, &SolutionCache::new())
-}
-
-/// [`count_series`] recording its solves in a shared `cache`.
-pub fn count_series_with_cache(
-    platform: &Platform,
-    pattern: &WeightPattern,
-    algorithm: Algorithm,
-    config: &ExperimentConfig,
-    cache: &SolutionCache,
+    engine: &Engine,
 ) -> CountSeries {
     let requests = panel_requests(platform, pattern, config, &[algorithm]);
-    let solutions = cache.solve_batch(&requests);
+    let solutions = engine.solve_batch(&requests);
     let points = config
         .task_counts
         .iter()
@@ -209,27 +191,17 @@ pub fn count_series_with_cache(
     }
 }
 
-/// Builds the placement strip of one algorithm at a fixed `n`.
+/// Builds the placement strip of one algorithm at a fixed `n`, solving
+/// through `engine`.
 pub fn placement_strip(
     platform: &Platform,
     pattern: &WeightPattern,
     algorithm: Algorithm,
     n: usize,
     total_weight: f64,
+    engine: &Engine,
 ) -> PlacementStrip {
-    placement_strip_with_cache(platform, pattern, algorithm, n, total_weight, &SolutionCache::new())
-}
-
-/// [`placement_strip`] recording its solve in a shared `cache`.
-pub fn placement_strip_with_cache(
-    platform: &Platform,
-    pattern: &WeightPattern,
-    algorithm: Algorithm,
-    n: usize,
-    total_weight: f64,
-    cache: &SolutionCache,
-) -> PlacementStrip {
-    let solution = run_cell_cached(platform, pattern, n, total_weight, algorithm, cache);
+    let solution = run_cell_on(platform, pattern, n, total_weight, algorithm, engine);
     PlacementStrip {
         platform: platform.name.clone(),
         pattern: pattern.name().to_string(),
@@ -286,26 +258,21 @@ impl Fig5 {
     }
 }
 
-/// Runs the Figure 5 evaluation (all four platforms, Uniform pattern).
-pub fn fig5(config: &ExperimentConfig) -> Fig5 {
-    fig5_with_cache(config, &SolutionCache::new())
-}
-
-/// [`fig5`] sharing one solution cache across every panel: the count panels
-/// repeat the makespan panel's cells, so each distinct
-/// `(platform, n, algorithm)` DP runs exactly once and the repeats show up
-/// as cache hits.
-pub fn fig5_with_cache(config: &ExperimentConfig, cache: &SolutionCache) -> Fig5 {
+/// Runs the Figure 5 evaluation (all four platforms, Uniform pattern),
+/// sharing `engine` across every panel: the count panels repeat the makespan
+/// panel's cells, so each distinct `(platform, n, algorithm)` DP runs
+/// exactly once and the repeats show up as cache hits.
+pub fn fig5(config: &ExperimentConfig, engine: &Engine) -> Fig5 {
     let pattern = WeightPattern::Uniform;
     let rows = scr::all()
         .into_iter()
         .map(|platform| Fig5Row {
             platform: platform.name.clone(),
-            makespan: makespan_series_with_cache(&platform, &pattern, config, cache),
+            makespan: makespan_series(&platform, &pattern, config, engine),
             counts: config
                 .algorithms
                 .iter()
-                .map(|&a| count_series_with_cache(&platform, &pattern, a, config, cache))
+                .map(|&a| count_series(&platform, &pattern, a, config, engine))
                 .collect(),
         })
         .collect();
@@ -314,7 +281,7 @@ pub fn fig5_with_cache(config: &ExperimentConfig, cache: &SolutionCache) -> Fig5
 
 /// Runs the Figure 6 evaluation: `A_DMV` placement strips at `n` tasks
 /// (the paper uses `n = 50`) on every platform with the Uniform pattern.
-pub fn fig6(n: usize, total_weight: f64) -> Vec<PlacementStrip> {
+pub fn fig6(n: usize, total_weight: f64, engine: &Engine) -> Vec<PlacementStrip> {
     scr::all()
         .into_iter()
         .map(|platform| {
@@ -324,6 +291,7 @@ pub fn fig6(n: usize, total_weight: f64) -> Vec<PlacementStrip> {
                 Algorithm::TwoLevelPartial,
                 n,
                 total_weight,
+                engine,
             )
         })
         .collect()
@@ -370,7 +338,7 @@ impl PatternFigure {
 fn pattern_figure(
     pattern: WeightPattern,
     config: &ExperimentConfig,
-    cache: &SolutionCache,
+    engine: &Engine,
 ) -> PatternFigure {
     let platforms = [scr::hera(), scr::coastal_ssd()];
     let strip_n = config.max_tasks();
@@ -378,47 +346,37 @@ fn pattern_figure(
         .into_iter()
         .map(|platform| PatternFigureRow {
             platform: platform.name.clone(),
-            makespan: makespan_series_with_cache(&platform, &pattern, config, cache),
-            admv_counts: count_series_with_cache(
+            makespan: makespan_series(&platform, &pattern, config, engine),
+            admv_counts: count_series(
                 &platform,
                 &pattern,
                 Algorithm::TwoLevelPartial,
                 config,
-                cache,
+                engine,
             ),
-            strip: placement_strip_with_cache(
+            strip: placement_strip(
                 &platform,
                 &pattern,
                 Algorithm::TwoLevelPartial,
                 strip_n,
                 config.total_weight,
-                cache,
+                engine,
             ),
         })
         .collect();
     PatternFigure { pattern: pattern.name().to_string(), rows }
 }
 
-/// Runs the Figure 7 evaluation (Decrease pattern on Hera and Coastal SSD).
-pub fn fig7(config: &ExperimentConfig) -> PatternFigure {
-    fig7_with_cache(config, &SolutionCache::new())
+/// Runs the Figure 7 evaluation (Decrease pattern on Hera and Coastal SSD),
+/// sharing `engine` across every panel (see [`fig5`]).
+pub fn fig7(config: &ExperimentConfig, engine: &Engine) -> PatternFigure {
+    pattern_figure(WeightPattern::Decrease, config, engine)
 }
 
-/// [`fig7`] sharing one solution cache across every panel (see
-/// [`fig5_with_cache`]).
-pub fn fig7_with_cache(config: &ExperimentConfig, cache: &SolutionCache) -> PatternFigure {
-    pattern_figure(WeightPattern::Decrease, config, cache)
-}
-
-/// Runs the Figure 8 evaluation (HighLow pattern on Hera and Coastal SSD).
-pub fn fig8(config: &ExperimentConfig) -> PatternFigure {
-    fig8_with_cache(config, &SolutionCache::new())
-}
-
-/// [`fig8`] sharing one solution cache across every panel (see
-/// [`fig5_with_cache`]).
-pub fn fig8_with_cache(config: &ExperimentConfig, cache: &SolutionCache) -> PatternFigure {
-    pattern_figure(WeightPattern::high_low_default(), config, cache)
+/// Runs the Figure 8 evaluation (HighLow pattern on Hera and Coastal SSD),
+/// sharing `engine` across every panel (see [`fig5`]).
+pub fn fig8(config: &ExperimentConfig, engine: &Engine) -> PatternFigure {
+    pattern_figure(WeightPattern::high_low_default(), config, engine)
 }
 
 /// Configuration of a weak-scaling `n`-sweep: a **fixed per-task weight**
@@ -427,9 +385,9 @@ pub fn fig8_with_cache(config: &ExperimentConfig, cache: &SolutionCache) -> Patt
 ///
 /// This is the prefix-stable counterpart of the paper's fixed-total-weight
 /// sweeps: because the weight vectors nest, an ascending sweep solved through
-/// an incremental cache ([`SolutionCache::new_incremental`]) extends one set
-/// of DP tables per algorithm instead of re-solving every point — the whole
-/// series costs little more than its largest point.
+/// an [`Engine`] extends one set of DP tables per algorithm instead of
+/// re-solving every point — the whole series costs little more than its
+/// largest point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WeakScalingConfig {
     /// Weight of every task (seconds).  The paper's figures put 25 000 s on
@@ -465,23 +423,18 @@ pub fn weak_scaling_scenario(platform: &Platform, n: usize, per_task_weight: f64
     Scenario::new(chain, platform.clone(), costs).expect("valid paper costs")
 }
 
-/// Builds the weak-scaling makespan series with a private incremental cache.
-pub fn weak_scaling_series(platform: &Platform, config: &WeakScalingConfig) -> MakespanSeries {
-    weak_scaling_series_with_cache(platform, config, &SolutionCache::new_incremental())
-}
-
-/// [`weak_scaling_series`] recording its solves in a shared `cache`.
+/// Builds the weak-scaling makespan series, solving through `engine`.
 ///
 /// Points are solved **sequentially in the given order** (not batched): with
-/// an incremental cache and ascending task counts, each point extends the
-/// previous point's finished DP tables, so the sweep is served by one cold
-/// solve per algorithm plus cheap extensions — makespans and schedules stay
-/// bit-identical to per-point cold solves (see the kernel-equivalence
-/// tests).  A plain cache still works, it just re-solves every point.
-pub fn weak_scaling_series_with_cache(
+/// ascending task counts the engine routes each point onto the previous
+/// point's finished DP tables (the incremental-extension strategy), so the
+/// sweep is served by one cold solve per algorithm plus cheap extensions —
+/// makespans and schedules stay bit-identical to per-point cold solves (see
+/// the kernel-equivalence tests).
+pub fn weak_scaling_series(
     platform: &Platform,
     config: &WeakScalingConfig,
-    cache: &SolutionCache,
+    engine: &Engine,
 ) -> MakespanSeries {
     let points = config
         .task_counts
@@ -491,7 +444,7 @@ pub fn weak_scaling_series_with_cache(
             let values = config
                 .algorithms
                 .iter()
-                .map(|&a| (a, cache.solve(&scenario, a).normalized_makespan))
+                .map(|&a| (a, engine.solve(&scenario, a).normalized_makespan))
                 .collect();
             MakespanPoint { n, values }
         })
@@ -558,7 +511,8 @@ mod tests {
     #[test]
     fn makespan_series_has_all_points_and_algorithms() {
         let config = tiny_config();
-        let series = makespan_series(&scr::hera(), &WeightPattern::Uniform, &config);
+        let series =
+            makespan_series(&scr::hera(), &WeightPattern::Uniform, &config, &Engine::new());
         assert_eq!(series.points.len(), 3);
         for p in &series.points {
             assert_eq!(p.values.len(), 3);
@@ -573,7 +527,8 @@ mod tests {
     fn two_level_dominates_single_level_in_every_cell() {
         let config = tiny_config();
         for platform in scr::all() {
-            let series = makespan_series(&platform, &WeightPattern::Uniform, &config);
+            let series =
+                makespan_series(&platform, &WeightPattern::Uniform, &config, &Engine::new());
             for p in &series.points {
                 let single = p.value(Algorithm::SingleLevel).unwrap();
                 let two = p.value(Algorithm::TwoLevel).unwrap();
@@ -585,8 +540,13 @@ mod tests {
     #[test]
     fn count_series_matches_schedule_counts() {
         let config = tiny_config();
-        let series =
-            count_series(&scr::hera(), &WeightPattern::Uniform, Algorithm::TwoLevel, &config);
+        let series = count_series(
+            &scr::hera(),
+            &WeightPattern::Uniform,
+            Algorithm::TwoLevel,
+            &config,
+            &Engine::new(),
+        );
         assert_eq!(series.points.len(), 3);
         for p in &series.points {
             // Hierarchical counts: verifications ≥ memory ≥ disk ≥ 1 (terminal).
@@ -606,6 +566,7 @@ mod tests {
             Algorithm::TwoLevel,
             12,
             PAPER_TOTAL_WEIGHT,
+            &Engine::new(),
         );
         assert_eq!(strip.n, 12);
         assert_eq!(strip.schedule.len(), 12);
@@ -614,7 +575,7 @@ mod tests {
 
     #[test]
     fn fig6_produces_one_strip_per_platform() {
-        let strips = fig6(10, PAPER_TOTAL_WEIGHT);
+        let strips = fig6(10, PAPER_TOTAL_WEIGHT, &Engine::new());
         assert_eq!(strips.len(), 4);
         let names: Vec<&str> = strips.iter().map(|s| s.platform.as_str()).collect();
         assert_eq!(names, vec!["Hera", "Atlas", "Coastal", "Coastal SSD"]);
@@ -633,18 +594,21 @@ mod tests {
     }
 
     #[test]
-    fn fig5_with_shared_cache_solves_each_distinct_cell_exactly_once() {
+    fn fig5_with_shared_engine_solves_each_distinct_cell_exactly_once() {
         let config = tiny_config();
-        let cache = SolutionCache::new();
-        let data = fig5_with_cache(&config, &cache);
+        let engine = Engine::new();
+        let data = fig5(&config, &engine);
         let distinct = 4 * config.task_counts.len() * config.algorithms.len();
-        let stats = cache.stats();
-        assert_eq!(stats.misses as usize, distinct, "every distinct cell solved exactly once");
-        assert_eq!(stats.entries, distinct);
+        let stats = engine.stats();
+        assert_eq!(
+            stats.cache.misses as usize, distinct,
+            "every distinct cell solved exactly once"
+        );
+        assert_eq!(stats.cache.entries, distinct);
         // The count panels revisit every makespan cell: all served from cache.
-        assert_eq!(stats.hits as usize, distinct);
-        // And the cached figure is identical to the uncached one.
-        assert_eq!(data, fig5(&config));
+        assert_eq!(stats.cache.hits as usize, distinct);
+        // And the shared-engine figure is identical to a fresh-engine one.
+        assert_eq!(data, fig5(&config, &Engine::new()));
     }
 
     #[test]
@@ -654,14 +618,14 @@ mod tests {
             task_counts: vec![5, 10, 15, 20],
             algorithms: vec![Algorithm::TwoLevel, Algorithm::TwoLevelPartial],
         };
-        let cache = SolutionCache::new_incremental();
-        let series = weak_scaling_series_with_cache(&scr::hera(), &config, &cache);
+        let engine = Engine::new();
+        let series = weak_scaling_series(&scr::hera(), &config, &engine);
         assert_eq!(series.points.len(), 4);
         // One cold solve per algorithm, every later point an extension.
-        let inc = cache.incremental_stats().expect("incremental cache");
-        assert_eq!(inc.cold_solves, 2);
-        assert_eq!(inc.extensions, 6);
-        assert_eq!(inc.reuses, 0);
+        let stats = engine.stats();
+        assert_eq!(stats.cold(), 2);
+        assert_eq!(stats.extended, 6);
+        assert_eq!(stats.reused, 0);
         // Bit-identical to per-point cold solves.
         for p in &series.points {
             for &(a, v) in &p.values {
@@ -684,14 +648,14 @@ mod tests {
             task_counts: vec![5, 10],
             algorithms: Algorithm::paper_algorithms().to_vec(),
         };
-        for figure in [fig7(&config), fig8(&config)] {
+        for figure in [fig7(&config, &Engine::new()), fig8(&config, &Engine::new())] {
             assert_eq!(figure.rows.len(), 2);
             assert_eq!(figure.rows[0].platform, "Hera");
             assert_eq!(figure.rows[1].platform, "Coastal SSD");
             assert_eq!(figure.rows[0].strip.n, 10);
             assert!(!figure.render().is_empty());
         }
-        assert_eq!(fig7(&config).pattern, "decrease");
-        assert_eq!(fig8(&config).pattern, "highlow");
+        assert_eq!(fig7(&config, &Engine::new()).pattern, "decrease");
+        assert_eq!(fig8(&config, &Engine::new()).pattern, "highlow");
     }
 }

@@ -14,17 +14,18 @@
 //! * [`markdown`] — Markdown rendering used by EXPERIMENTS.md;
 //! * [`report`] — CSV / aligned-text rendering.
 //!
-//! The figure and sweep builders all come in `*_with_cache` variants that
-//! share one [`SolutionCache`] (re-exported from `chain2l-core`), so figure
+//! The figure and sweep builders all solve through a caller-supplied
+//! strategy-routing [`Engine`] (re-exported from `chain2l-core`), so figure
 //! panels and sweeps that revisit the same `(platform, pattern, n, T,
-//! algorithm)` scenario solve it exactly once — cached and uncached runs are
-//! bit-identical.
+//! algorithm)` scenario solve it exactly once, and ascending prefix-stable
+//! series extend finished DP tables instead of re-solving — every routing
+//! strategy is bit-identical to a cold solve.
 //!
 //! # Example — a quick Figure 5 sweep
 //!
 //! ```
 //! use chain2l_analysis::experiments::{makespan_series, ExperimentConfig};
-//! use chain2l_core::Algorithm;
+//! use chain2l_core::{Algorithm, Engine};
 //! use chain2l_model::platform::scr;
 //! use chain2l_model::WeightPattern;
 //!
@@ -33,7 +34,7 @@
 //!     task_counts: vec![5, 10],
 //!     algorithms: Algorithm::paper_algorithms().to_vec(),
 //! };
-//! let series = makespan_series(&scr::hera(), &WeightPattern::Uniform, &config);
+//! let series = makespan_series(&scr::hera(), &WeightPattern::Uniform, &config, &Engine::new());
 //! assert_eq!(series.points.len(), 2);
 //! // The two-level algorithm never loses to the single-level one.
 //! for p in &series.points {
@@ -52,6 +53,7 @@ pub mod sweep;
 pub mod validation;
 
 pub use chain2l_core::cache::{CacheStats, SolutionCache, SolveRequest};
+pub use chain2l_core::{Engine, EngineStats};
 pub use experiments::{fig5, fig6, fig7, fig8, table1, ExperimentConfig};
 pub use figures::{CountSeries, MakespanSeries, PlacementStrip};
 pub use report::Table;

@@ -23,18 +23,17 @@
 //! from the cell's coordinates via [`cell_seed`] — output is therefore
 //! bit-identical across runs and independent of worker count.
 
-//! Every sweep also exists as a `*_with_cache` variant that records its DP
-//! solves in a shared [`SolutionCache`]: run several sweeps (or a sweep plus
-//! the figure panels) against one cache and every scenario they share is
-//! solved exactly once.  Cached and uncached runs are bit-identical — the
-//! optimizers are deterministic pure functions — so output stays
-//! byte-identical with the cache on or off.
+//! Every sweep solves through a caller-supplied strategy-routing
+//! [`Engine`]: run several sweeps (or a sweep plus the figure panels)
+//! against one engine and every scenario they share is solved exactly once.
+//! Engine routing is bit-identical to per-cell cold solves — the optimizers
+//! are deterministic pure functions — so output stays byte-identical however
+//! the engine serves the cells.
 
 use crate::report::{fmt_f64, Table};
-use chain2l_core::cache::SolutionCache;
 use chain2l_core::evaluator::expected_makespan;
 use chain2l_core::heuristics;
-use chain2l_core::{Algorithm, PartialCostModel, Solution};
+use chain2l_core::{Algorithm, Engine, PartialCostModel, Solution};
 use chain2l_model::{Action, Platform, Scenario, WeightPattern};
 use chain2l_sim::runner::{run_monte_carlo, MonteCarloConfig};
 use rayon::prelude::*;
@@ -159,24 +158,19 @@ pub struct GridRow {
     pub relative_error: Option<f64>,
 }
 
-/// Runs every cell of the grid on the work-stealing pool and returns the
-/// rows **in grid order** (platforms outermost, algorithms innermost).
+/// Runs every cell of the grid on the work-stealing pool, solving through
+/// `engine`, and returns the rows **in grid order** (platforms outermost,
+/// algorithms innermost).
 ///
 /// With `validation_replications > 0` each cell also replays its optimal
 /// schedule in the Monte-Carlo simulator, seeded by [`cell_seed`], making
 /// the whole artifact reproducible bit-for-bit across runs and thread
-/// counts.
-pub fn run_grid(spec: &GridSpec) -> Vec<GridRow> {
-    run_grid_with_cache(spec, &SolutionCache::new())
-}
-
-/// [`run_grid`] recording every cell's DP solve in a shared `cache`.
-///
-/// The paper grid's cells are pairwise distinct, so within one grid each
-/// fingerprint is solved exactly once; sharing the cache with other sweeps or
-/// figure panels (as the `sweeps` binary does) additionally serves their
-/// repeated scenarios from it.  Output is byte-identical to the uncached run.
-pub fn run_grid_with_cache(spec: &GridSpec, cache: &SolutionCache) -> Vec<GridRow> {
+/// counts.  The paper grid's cells are pairwise distinct, so within one grid
+/// each fingerprint is solved exactly once; sharing the engine with other
+/// sweeps or figure panels (as the `sweeps` binary does) additionally serves
+/// their repeated scenarios from it.  Output is byte-identical however the
+/// engine routes the solves.
+pub fn run_grid(spec: &GridSpec, engine: &Engine) -> Vec<GridRow> {
     let mut cells = Vec::with_capacity(spec.cell_count());
     for platform in &spec.platforms {
         for pattern in &spec.patterns {
@@ -202,7 +196,7 @@ pub fn run_grid_with_cache(spec: &GridSpec, cache: &SolutionCache) -> Vec<GridRo
             );
             let s = Scenario::paper_setup(platform, pattern, n, total_weight)
                 .expect("valid paper setup");
-            let solution = cache.solve(&s, algorithm);
+            let solution = engine.solve(&s, algorithm);
             let (simulated_mean, relative_error) = if spec.validation_replications > 0 {
                 let report = run_monte_carlo(
                     &s,
@@ -277,17 +271,12 @@ pub fn grid_table(rows: &[GridRow]) -> Table {
 
 /// Sweeps the partial-verification recall `r` and reports the optimal `A_DMV`
 /// makespan and the number of partial verifications it places.
-pub fn recall_sweep(platform: &Platform, n: usize, total_weight: f64, recalls: &[f64]) -> Table {
-    recall_sweep_with_cache(platform, n, total_weight, recalls, &SolutionCache::new())
-}
-
-/// [`recall_sweep`] recording its solves in a shared `cache`.
-pub fn recall_sweep_with_cache(
+pub fn recall_sweep(
     platform: &Platform,
     n: usize,
     total_weight: f64,
     recalls: &[f64],
-    cache: &SolutionCache,
+    engine: &Engine,
 ) -> Table {
     let mut table = Table::new(
         format!("Recall sweep — {} (n = {n})", platform.name),
@@ -298,7 +287,7 @@ pub fn recall_sweep_with_cache(
         .map(|&r| {
             let mut s = scenario(platform, n, total_weight);
             s.costs.partial_recall = r;
-            let sol = cache.solve(&s, Algorithm::TwoLevelPartial);
+            let sol = engine.solve(&s, Algorithm::TwoLevelPartial);
             vec![
                 fmt_f64(r, 2),
                 fmt_f64(sol.normalized_makespan, 5),
@@ -319,17 +308,7 @@ pub fn partial_cost_sweep(
     n: usize,
     total_weight: f64,
     ratios: &[f64],
-) -> Table {
-    partial_cost_sweep_with_cache(platform, n, total_weight, ratios, &SolutionCache::new())
-}
-
-/// [`partial_cost_sweep`] recording its solves in a shared `cache`.
-pub fn partial_cost_sweep_with_cache(
-    platform: &Platform,
-    n: usize,
-    total_weight: f64,
-    ratios: &[f64],
-    cache: &SolutionCache,
+    engine: &Engine,
 ) -> Table {
     let mut table = Table::new(
         format!("Partial-verification cost sweep — {} (n = {n})", platform.name),
@@ -340,7 +319,7 @@ pub fn partial_cost_sweep_with_cache(
         .map(|&ratio| {
             let mut s = scenario(platform, n, total_weight);
             s.costs.partial_verification = s.costs.guaranteed_verification / ratio;
-            let sol = cache.solve(&s, Algorithm::TwoLevelPartial);
+            let sol = engine.solve(&s, Algorithm::TwoLevelPartial);
             vec![
                 fmt_f64(ratio, 1),
                 fmt_f64(sol.normalized_makespan, 5),
@@ -361,17 +340,7 @@ pub fn rate_scaling_sweep(
     n: usize,
     total_weight: f64,
     factors: &[f64],
-) -> Table {
-    rate_scaling_sweep_with_cache(platform, n, total_weight, factors, &SolutionCache::new())
-}
-
-/// [`rate_scaling_sweep`] recording its solves in a shared `cache`.
-pub fn rate_scaling_sweep_with_cache(
-    platform: &Platform,
-    n: usize,
-    total_weight: f64,
-    factors: &[f64],
-    cache: &SolutionCache,
+    engine: &Engine,
 ) -> Table {
     let mut table = Table::new(
         format!("Error-rate scaling sweep — {} (n = {n})", platform.name),
@@ -382,9 +351,9 @@ pub fn rate_scaling_sweep_with_cache(
         .map(|&factor| {
             let scaled = platform.with_scaled_rates(factor).expect("valid scaling");
             let s = scenario(&scaled, n, total_weight);
-            let single = cache.solve(&s, Algorithm::SingleLevel);
-            let two = cache.solve(&s, Algorithm::TwoLevel);
-            let full = cache.solve(&s, Algorithm::TwoLevelPartial);
+            let single = engine.solve(&s, Algorithm::SingleLevel);
+            let two = engine.solve(&s, Algorithm::TwoLevel);
+            let full = engine.solve(&s, Algorithm::TwoLevelPartial);
             vec![
                 fmt_f64(factor, 1),
                 fmt_f64(single.normalized_makespan, 5),
@@ -403,16 +372,11 @@ pub fn rate_scaling_sweep_with_cache(
 
 /// Compares the `PaperExact` and `Refined` tail accounting of the §III-B
 /// algorithm on every requested platform.
-pub fn tail_accounting_comparison(platforms: &[Platform], n: usize, total_weight: f64) -> Table {
-    tail_accounting_comparison_with_cache(platforms, n, total_weight, &SolutionCache::new())
-}
-
-/// [`tail_accounting_comparison`] recording its solves in a shared `cache`.
-pub fn tail_accounting_comparison_with_cache(
+pub fn tail_accounting_comparison(
     platforms: &[Platform],
     n: usize,
     total_weight: f64,
-    cache: &SolutionCache,
+    engine: &Engine,
 ) -> Table {
     let mut table = Table::new(
         format!("Tail-accounting ablation (n = {n})"),
@@ -422,8 +386,8 @@ pub fn tail_accounting_comparison_with_cache(
         .par_iter()
         .map(|platform| {
             let s = scenario(platform, n, total_weight);
-            let paper = cache.solve(&s, Algorithm::TwoLevelPartial);
-            let refined = cache.solve(&s, Algorithm::TwoLevelPartialRefined);
+            let paper = engine.solve(&s, Algorithm::TwoLevelPartial);
+            let refined = engine.solve(&s, Algorithm::TwoLevelPartialRefined);
             let gap =
                 (paper.expected_makespan - refined.expected_makespan) / refined.expected_makespan;
             vec![
@@ -440,21 +404,16 @@ pub fn tail_accounting_comparison_with_cache(
     table
 }
 
-/// Compares the optimal two-level placement against the baseline heuristics.
-pub fn heuristic_comparison(platform: &Platform, n: usize, total_weight: f64) -> Table {
-    heuristic_comparison_with_cache(platform, n, total_weight, &SolutionCache::new())
-}
-
-/// [`heuristic_comparison`] recording its DP solve in a shared `cache`
+/// Compares the optimal two-level placement against the baseline heuristics
 /// (the heuristic placements themselves are closed-form, not DP solves).
-pub fn heuristic_comparison_with_cache(
+pub fn heuristic_comparison(
     platform: &Platform,
     n: usize,
     total_weight: f64,
-    cache: &SolutionCache,
+    engine: &Engine,
 ) -> Table {
     let s = scenario(platform, n, total_weight);
-    let optimal = cache.solve(&s, Algorithm::TwoLevel);
+    let optimal = engine.solve(&s, Algorithm::TwoLevel);
     let model = PartialCostModel::Refined;
 
     let mut table = Table::new(
@@ -503,7 +462,7 @@ mod tests {
 
     #[test]
     fn recall_sweep_improves_with_higher_recall() {
-        let table = recall_sweep(&scr::coastal_ssd(), 20, W, &[0.2, 0.5, 0.8, 1.0]);
+        let table = recall_sweep(&scr::coastal_ssd(), 20, W, &[0.2, 0.5, 0.8, 1.0], &Engine::new());
         assert_eq!(table.row_count(), 4);
         let csv = table.to_csv();
         // Makespans are non-increasing as recall grows: parse and check.
@@ -516,7 +475,13 @@ mod tests {
 
     #[test]
     fn partial_cost_sweep_prefers_cheaper_partials() {
-        let table = partial_cost_sweep(&scr::coastal_ssd(), 20, W, &[1.0, 10.0, 100.0, 1000.0]);
+        let table = partial_cost_sweep(
+            &scr::coastal_ssd(),
+            20,
+            W,
+            &[1.0, 10.0, 100.0, 1000.0],
+            &Engine::new(),
+        );
         let csv = table.to_csv();
         let values: Vec<f64> =
             csv.lines().skip(1).map(|l| l.split(',').nth(1).unwrap().parse().unwrap()).collect();
@@ -528,7 +493,7 @@ mod tests {
 
     #[test]
     fn rate_scaling_increases_overhead_and_actions() {
-        let table = rate_scaling_sweep(&scr::hera(), 20, W, &[1.0, 10.0, 50.0]);
+        let table = rate_scaling_sweep(&scr::hera(), 20, W, &[1.0, 10.0, 50.0], &Engine::new());
         let csv = table.to_csv();
         let rows: Vec<Vec<String>> =
             csv.lines().skip(1).map(|l| l.split(',').map(|s| s.to_string()).collect()).collect();
@@ -540,7 +505,7 @@ mod tests {
 
     #[test]
     fn tail_accounting_gap_is_tiny_on_paper_platforms() {
-        let table = tail_accounting_comparison(&scr::all(), 15, W);
+        let table = tail_accounting_comparison(&scr::all(), 15, W, &Engine::new());
         assert_eq!(table.row_count(), 4);
         // The two accountings differ only in how the closing guaranteed
         // verification of an interval is charged; neither dominates the other
@@ -572,7 +537,7 @@ mod tests {
     #[test]
     fn grid_covers_every_cell_in_order_and_is_reproducible() {
         let spec = GridSpec { validation_replications: 60, ..GridSpec::paper(vec![3, 6], 42) };
-        let rows = run_grid(&spec);
+        let rows = run_grid(&spec, &Engine::new());
         assert_eq!(rows.len(), spec.cell_count());
         // Grid order: platforms outermost, algorithms innermost.
         assert_eq!(rows[0].platform, "Hera");
@@ -585,7 +550,7 @@ mod tests {
         assert_eq!(seeds.len(), rows.len());
         // …and a second run reproduces the artifact bit-for-bit, including
         // the Monte-Carlo means.
-        let again = run_grid(&spec);
+        let again = run_grid(&spec, &Engine::new());
         for (a, b) in rows.iter().zip(&again) {
             assert_eq!(a.seed, b.seed);
             assert_eq!(a.solution.expected_makespan, b.solution.expected_makespan);
@@ -607,7 +572,7 @@ mod tests {
             validation_replications: 4_000,
             validation_threads: 1,
         };
-        let rows = run_grid(&spec);
+        let rows = run_grid(&spec, &Engine::new());
         assert_eq!(rows.len(), 1);
         let err = rows[0].relative_error.expect("validated cell");
         assert!(err.abs() < 0.02, "simulation off by {err}");
@@ -629,14 +594,14 @@ mod tests {
             validation_replications: 4_000,
             validation_threads: 4,
         };
-        let rows = run_grid(&spec);
+        let rows = run_grid(&spec, &Engine::new());
         let err = rows[0].relative_error.expect("validated cell");
         assert!(err.abs() < 0.02, "simulation off by {err}");
-        let again = run_grid(&spec);
+        let again = run_grid(&spec, &Engine::new());
         assert_eq!(rows[0].simulated_mean, again[0].simulated_mean);
         // The worker-stream partition is part of the configuration: a
         // single-threaded run of the same seed draws different streams.
-        let single = run_grid(&GridSpec { validation_threads: 1, ..spec });
+        let single = run_grid(&GridSpec { validation_threads: 1, ..spec }, &Engine::new());
         assert_ne!(rows[0].simulated_mean, single[0].simulated_mean);
         assert!(
             (rows[0].simulated_mean.unwrap() - single[0].simulated_mean.unwrap()).abs() < 200.0
@@ -645,7 +610,7 @@ mod tests {
 
     #[test]
     fn heuristic_comparison_puts_optimal_first_with_zero_overhead() {
-        let table = heuristic_comparison(&scr::hera(), 20, W);
+        let table = heuristic_comparison(&scr::hera(), 20, W, &Engine::new());
         assert!(table.row_count() >= 5);
         let csv = table.to_csv();
         let first = csv.lines().nth(1).unwrap();

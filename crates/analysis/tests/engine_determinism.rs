@@ -1,0 +1,75 @@
+//! Engine-routed solves are bit-identical to direct kernel calls, and the
+//! sweep grid stays byte-identical however the engine serves its cells —
+//! shared or fresh, warm or cold, at any thread count.
+
+use chain2l_analysis::sweep::{grid_table, run_grid, GridSpec};
+use chain2l_core::{optimize, Algorithm, Engine};
+use chain2l_model::platform::scr;
+use chain2l_model::{Scenario, WeightPattern};
+
+const W: f64 = 25_000.0;
+
+#[test]
+fn engine_solves_are_bit_identical_for_all_platforms_and_algorithms() {
+    let engine = Engine::new();
+    let algorithms = [
+        Algorithm::SingleLevel,
+        Algorithm::TwoLevel,
+        Algorithm::TwoLevelPartial,
+        Algorithm::TwoLevelPartialRefined,
+    ];
+    for platform in scr::all() {
+        for algorithm in algorithms {
+            let s = Scenario::paper_setup(&platform, &WeightPattern::Uniform, 10, W).unwrap();
+            let direct = optimize(&s, algorithm);
+            let routed = engine.solve(&s, algorithm);
+            assert_eq!(
+                direct.expected_makespan.to_bits(),
+                routed.expected_makespan.to_bits(),
+                "{} / {algorithm}: engine makespan differs",
+                platform.name
+            );
+            assert_eq!(direct.schedule, routed.schedule, "{} / {algorithm}", platform.name);
+            assert_eq!(direct.stats, routed.stats, "{} / {algorithm}", platform.name);
+            assert_eq!(direct.normalized_makespan.to_bits(), routed.normalized_makespan.to_bits());
+            // A repeated solve is served from cache and stays identical.
+            let again = engine.solve(&s, algorithm);
+            assert_eq!(routed.expected_makespan.to_bits(), again.expected_makespan.to_bits());
+        }
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.cache.misses, 16, "4 platforms x 4 algorithms, each solved once");
+    assert_eq!(stats.cache.hits, 16, "every repeat served from cache");
+    assert_eq!(stats.routed(), 16, "every miss routed through exactly one strategy");
+}
+
+#[test]
+fn validated_grid_is_byte_identical_with_shared_engine_and_across_thread_counts() {
+    let spec = GridSpec { validation_replications: 40, ..GridSpec::paper(vec![3, 6], 42) };
+    let baseline = grid_table(&run_grid(&spec, &Engine::new())).to_csv();
+
+    // Shared engine: first run fills the cache, second run is all hits —
+    // both byte-identical to the fresh-engine baseline.
+    let engine = Engine::new();
+    let first = grid_table(&run_grid(&spec, &engine)).to_csv();
+    let second = grid_table(&run_grid(&spec, &engine)).to_csv();
+    assert_eq!(baseline, first, "shared engine must not change the grid");
+    assert_eq!(baseline, second, "warm engine must not change the grid");
+    let stats = engine.stats();
+    assert_eq!(
+        stats.cache.misses as usize,
+        spec.cell_count(),
+        "distinct cells solved exactly once"
+    );
+    assert_eq!(stats.cache.hits as usize, spec.cell_count(), "second run fully served from cache");
+
+    // Thread counts: the d1-sharded DPs and the work-stealing grid must not
+    // perturb a single byte.
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let single_threaded = grid_table(&run_grid(&spec, &Engine::new())).to_csv();
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let four_threads = grid_table(&run_grid(&spec, &Engine::new())).to_csv();
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert_eq!(baseline, single_threaded, "RAYON_NUM_THREADS=1 changed the grid");
+    assert_eq!(baseline, four_threads, "RAYON_NUM_THREADS=4 changed the grid");
+}

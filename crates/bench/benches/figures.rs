@@ -3,6 +3,7 @@
 //! and the full quick Figure-5 sweep.
 
 use chain2l_analysis::experiments::{fig5, run_cell, ExperimentConfig, PAPER_TOTAL_WEIGHT};
+use chain2l_analysis::Engine;
 use chain2l_core::Algorithm;
 use chain2l_model::platform::scr;
 use chain2l_model::WeightPattern;
@@ -32,7 +33,7 @@ fn bench_figures(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("fig5_quick", |b| {
         let config = ExperimentConfig::quick();
-        b.iter(|| fig5(black_box(&config)))
+        b.iter(|| fig5(black_box(&config), &Engine::new()))
     });
     group.finish();
 }

@@ -3,15 +3,15 @@
 //! checkpoint/verification counts of each algorithm, as a function of the
 //! number of tasks.
 //!
-//! All panels share one `SolutionCache`, so each distinct
+//! All panels share one solver `Engine`, so each distinct
 //! `(platform, n, algorithm)` cell is solved exactly once — the count panels
-//! are served from the makespan panel's solves (the hit statistics printed to
-//! stderr prove it).
+//! are served from the makespan panel's solves (the engine statistics printed
+//! to stderr prove it).
 //!
 //! Usage: `cargo run --release -p chain2l-bench --bin fig5 [--quick|--coarse|--paper]`
 
-use chain2l_analysis::experiments::fig5_with_cache;
-use chain2l_analysis::SolutionCache;
+use chain2l_analysis::experiments::fig5;
+use chain2l_analysis::Engine;
 use chain2l_bench::{config_from_args, write_result_file};
 
 fn main() {
@@ -20,9 +20,9 @@ fn main() {
         "fig5: sweeping n in {:?} on the four Table I platforms (Uniform pattern)…",
         config.task_counts
     );
-    let cache = SolutionCache::new();
-    let data = fig5_with_cache(&config, &cache);
-    eprintln!("fig5: solver cache — {}", cache.stats());
+    let engine = Engine::new();
+    let data = fig5(&config, &engine);
+    eprintln!("fig5: solver engine — {}", engine.stats());
     print!("{}", data.render());
     let mut csv = String::new();
     for table in data.to_tables() {

@@ -5,12 +5,13 @@
 //! Usage: `cargo run --release -p chain2l-bench --bin fig6 [n]`
 
 use chain2l_analysis::experiments::{fig6, PAPER_TOTAL_WEIGHT};
+use chain2l_analysis::Engine;
 use chain2l_bench::write_result_file;
 
 fn main() {
     let n = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(50usize);
     eprintln!("fig6: computing ADMV placements for n = {n} uniform tasks…");
-    let strips = fig6(n, PAPER_TOTAL_WEIGHT);
+    let strips = fig6(n, PAPER_TOTAL_WEIGHT, &Engine::new());
     let mut out = String::new();
     for strip in &strips {
         out.push_str(&strip.render());

@@ -4,16 +4,16 @@
 //!
 //! Usage: `cargo run --release -p chain2l-bench --bin fig7 [--quick|--coarse|--paper]`
 
-use chain2l_analysis::experiments::fig7_with_cache;
-use chain2l_analysis::SolutionCache;
+use chain2l_analysis::experiments::fig7;
+use chain2l_analysis::Engine;
 use chain2l_bench::{config_from_args, write_result_file};
 
 fn main() {
     let config = config_from_args(std::env::args().skip(1));
     eprintln!("fig7: Decrease pattern on Hera and Coastal SSD, n in {:?}…", config.task_counts);
-    let cache = SolutionCache::new();
-    let data = fig7_with_cache(&config, &cache);
-    eprintln!("fig7: solver cache — {}", cache.stats());
+    let engine = Engine::new();
+    let data = fig7(&config, &engine);
+    eprintln!("fig7: solver engine — {}", engine.stats());
     let out = data.render();
     print!("{out}");
     if let Some(path) = write_result_file("fig7.txt", &out) {

@@ -3,16 +3,16 @@
 //!
 //! Usage: `cargo run --release -p chain2l-bench --bin fig8 [--quick|--coarse|--paper]`
 
-use chain2l_analysis::experiments::fig8_with_cache;
-use chain2l_analysis::SolutionCache;
+use chain2l_analysis::experiments::fig8;
+use chain2l_analysis::Engine;
 use chain2l_bench::{config_from_args, write_result_file};
 
 fn main() {
     let config = config_from_args(std::env::args().skip(1));
     eprintln!("fig8: HighLow pattern on Hera and Coastal SSD, n in {:?}…", config.task_counts);
-    let cache = SolutionCache::new();
-    let data = fig8_with_cache(&config, &cache);
-    eprintln!("fig8: solver cache — {}", cache.stats());
+    let engine = Engine::new();
+    let data = fig8(&config, &engine);
+    eprintln!("fig8: solver engine — {}", engine.stats());
     let out = data.render();
     print!("{out}");
     if let Some(path) = write_result_file("fig8.txt", &out) {

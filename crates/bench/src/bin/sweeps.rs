@@ -8,9 +8,9 @@
 //! (all cores; set `RAYON_NUM_THREADS` to override) and derives each cell's
 //! RNG stream deterministically from `--seed` and the cell coordinates, so
 //! two runs with the same flags produce byte-identical output regardless of
-//! core count.  All sweeps share one `SolutionCache`, so scenarios revisited
+//! core count.  All sweeps share one solver `Engine`, so scenarios revisited
 //! across tables (e.g. a sweep's default parameter value that also appears
-//! in the grid) are solved exactly once — the cache cannot change output,
+//! in the grid) are solved exactly once — the engine cannot change output,
 //! only skip recomputation.
 //!
 //! Usage: `cargo run --release -p chain2l-bench --bin sweeps
@@ -23,7 +23,7 @@
 
 use chain2l_analysis::experiments::PAPER_TOTAL_WEIGHT;
 use chain2l_analysis::sweep::{self, GridSpec};
-use chain2l_analysis::SolutionCache;
+use chain2l_analysis::Engine;
 use chain2l_bench::write_result_file;
 use chain2l_model::platform::scr;
 
@@ -66,39 +66,34 @@ fn main() {
         rayon::current_num_threads()
     );
 
-    // One cache across every sweep table and the grid: scenarios shared
+    // One engine across every sweep table and the grid: scenarios shared
     // between tables are solved once.  Stats go to stderr, never stdout, so
-    // the artifact stays byte-identical with or without cache reuse.
-    let cache = SolutionCache::new();
+    // the artifact stays byte-identical however the engine routes the solves.
+    let engine = Engine::new();
     let mut tables = vec![
-        sweep::recall_sweep_with_cache(
+        sweep::recall_sweep(
             &scr::coastal_ssd(),
             tasks,
             PAPER_TOTAL_WEIGHT,
             &[0.2, 0.4, 0.6, 0.8, 1.0],
-            &cache,
+            &engine,
         ),
-        sweep::partial_cost_sweep_with_cache(
+        sweep::partial_cost_sweep(
             &scr::coastal_ssd(),
             tasks,
             PAPER_TOTAL_WEIGHT,
             &[1.0, 10.0, 100.0, 1000.0],
-            &cache,
+            &engine,
         ),
-        sweep::rate_scaling_sweep_with_cache(
+        sweep::rate_scaling_sweep(
             &scr::hera(),
             tasks,
             PAPER_TOTAL_WEIGHT,
             &[1.0, 2.0, 5.0, 10.0, 50.0],
-            &cache,
+            &engine,
         ),
-        sweep::tail_accounting_comparison_with_cache(
-            &scr::all(),
-            tasks,
-            PAPER_TOTAL_WEIGHT,
-            &cache,
-        ),
-        sweep::heuristic_comparison_with_cache(&scr::hera(), tasks, PAPER_TOTAL_WEIGHT, &cache),
+        sweep::tail_accounting_comparison(&scr::all(), tasks, PAPER_TOTAL_WEIGHT, &engine),
+        sweep::heuristic_comparison(&scr::hera(), tasks, PAPER_TOTAL_WEIGHT, &engine),
     ];
 
     // The platform × pattern × n × T grid: every Table I platform, the three
@@ -112,9 +107,9 @@ fn main() {
         ..GridSpec::paper(ladder, seed)
     };
     eprintln!("sweeps: running {} grid cells…", spec.cell_count());
-    let rows = sweep::run_grid_with_cache(&spec, &cache);
+    let rows = sweep::run_grid(&spec, &engine);
     tables.push(sweep::grid_table(&rows));
-    eprintln!("sweeps: solver cache — {}", cache.stats());
+    eprintln!("sweeps: solver engine — {}", engine.stats());
 
     let mut out = String::new();
     for table in &tables {

@@ -41,6 +41,14 @@ pub enum ArgError {
         /// The unrecognised token.
         what: String,
     },
+    /// The arguments were valid but the operation failed at run time
+    /// (I/O, a daemon connection, …) — exit code 1, not the usage code 2.
+    Runtime {
+        /// What was being attempted.
+        context: String,
+        /// The underlying failure.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ArgError {
@@ -54,11 +62,25 @@ impl std::fmt::Display for ArgError {
             ArgError::Unknown { what } => {
                 write!(f, "unknown command or argument `{what}` (try `chain2l help`)")
             }
+            ArgError::Runtime { context, message } => write!(f, "{context}: {message}"),
         }
     }
 }
 
 impl std::error::Error for ArgError {}
+
+impl ArgError {
+    /// Whether this is a usage error (bad arguments — exit code 2) rather
+    /// than a runtime failure (exit code 1).
+    pub fn is_usage(&self) -> bool {
+        !matches!(self, ArgError::Runtime { .. })
+    }
+
+    /// Builds a [`ArgError::Runtime`] from anything displayable.
+    pub fn runtime(context: &str, error: impl std::fmt::Display) -> ArgError {
+        ArgError::Runtime { context: context.to_string(), message: error.to_string() }
+    }
+}
 
 impl ParsedArgs {
     /// Parses raw arguments (excluding the program name).

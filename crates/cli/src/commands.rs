@@ -7,11 +7,12 @@ use crate::args::{ArgError, ParsedArgs};
 use chain2l_analysis::experiments::{self, ExperimentConfig};
 use chain2l_analysis::sweep;
 use chain2l_analysis::validation;
-use chain2l_core::cache::{SolutionCache, SolveRequest};
+use chain2l_core::cache::SolveRequest;
 use chain2l_core::evaluator::expected_makespan;
-use chain2l_core::{optimize, Algorithm, PartialCostModel};
+use chain2l_core::{optimize, Algorithm, Engine, PartialCostModel};
 use chain2l_model::platform::scr;
 use chain2l_model::{Platform, Scenario, Schedule, WeightPattern};
+use chain2l_service::{client, ServeConfig, Server, SolveSpec};
 use chain2l_sim::runner::{run_monte_carlo, MonteCarloConfig};
 
 /// Text shown by `chain2l help` (and on any argument error).
@@ -32,7 +33,10 @@ COMMANDS:
                                   regenerate a paper figure or table
   sweep recall|cost|rates|tail|heuristics
                                   run an ablation sweep
-  batch                           solve a scenario list in one cached batch call
+  batch                           solve a scenario list in one engine batch call
+                                  (or on a remote daemon with --remote)
+  serve                           run the long-lived solver daemon (or query it
+                                  with --stats, stop it with --stop)
   solve                           solve a weak-scaling n-series (fixed per-task
                                   weight), optionally reusing DP tables
   sensitivity                     elasticity of the optimum w.r.t. every parameter
@@ -64,6 +68,14 @@ BATCH:
                                   (blank lines and # comments ignored); results
                                   stream back as CSV in input order, duplicates
                                   are solved once and served from the cache
+  --remote <host:port>            solve on a running `chain2l serve` daemon;
+                                  output is byte-identical to the offline path
+
+SERVE:
+  --addr <host:port>              listen address (default: 127.0.0.1:4615)
+  --shards <n>                    worker processes, each owning a disjoint
+                                  slice of the scenario space (default: 2)
+  --stats | --stop                query / gracefully stop the daemon at --addr
 
 SOLVE:
   --series <n1,n2,...>            ascending chain lengths (default: 10,20,30,40,50)
@@ -91,6 +103,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, ArgError> {
         "experiment" => cmd_experiment(args),
         "sweep" => cmd_sweep(args),
         "batch" => cmd_batch(args),
+        "serve" => cmd_serve(args),
         "solve" => cmd_solve(args),
         "sensitivity" => cmd_sensitivity(args),
         other => Err(ArgError::Unknown { what: other.to_string() }),
@@ -295,44 +308,55 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<String, ArgError> {
 }
 
 fn cmd_batch(args: &ParsedArgs) -> Result<String, ArgError> {
+    let remote = match args.options.get("remote").map(String::as_str) {
+        Some("") => return Err(ArgError::MissingOption { option: "remote <host:port>".into() }),
+        remote => remote.map(str::to_string),
+    };
     let input = match args.options.get("file").map(String::as_str) {
         None | Some("") | Some("-") => {
             use std::io::Read;
             let mut buf = String::new();
-            std::io::stdin().read_to_string(&mut buf).map_err(|e| ArgError::InvalidValue {
-                option: "file".into(),
-                value: "<stdin>".into(),
-                expected: leak(format!("readable input ({e})")),
-            })?;
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| ArgError::runtime("reading stdin", e))?;
             buf
         }
-        Some(path) => std::fs::read_to_string(path).map_err(|e| ArgError::InvalidValue {
-            option: "file".into(),
-            value: path.to_string(),
-            expected: leak(format!("a readable file ({e})")),
-        })?,
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| ArgError::runtime(&format!("reading {path}"), e))?,
     };
-    run_batch(&input)
+    match remote.as_deref() {
+        Some(addr) => run_batch_remote(&input, addr),
+        None => {
+            let engine = Engine::new();
+            let out = run_batch(&input, &engine)?;
+            eprintln!("batch: solver engine — {}", engine.stats());
+            Ok(out)
+        }
+    }
 }
 
-/// Parses and solves a batch scenario list.
-///
-/// One request per line — `platform pattern tasks [weight [algorithm]]`,
-/// comma- or whitespace-separated; blank lines and `#` comments are skipped.
-/// `weight` defaults to the paper's 25 000 s and `algorithm` to `admv`.  All
-/// requests are solved through one [`SolutionCache::solve_batch`] call, so
-/// duplicates run the DP once, and the results come back as CSV **in input
-/// order** with a trailing `# cache:` comment carrying the hit statistics.
-pub fn run_batch(input: &str) -> Result<String, ArgError> {
-    struct Meta {
-        platform: String,
-        pattern: String,
-        n: usize,
-        weight: f64,
-        algorithm: Algorithm,
-    }
-    let mut metas: Vec<Meta> = Vec::new();
-    let mut requests: Vec<SolveRequest> = Vec::new();
+/// One parsed batch line: display fields for the CSV row, the raw tokens
+/// for the wire, and the locally-resolved scenario.
+struct BatchItem {
+    platform: String,
+    pattern: String,
+    raw_platform: String,
+    raw_pattern: String,
+    n: usize,
+    weight: f64,
+    algorithm: Algorithm,
+    scenario: Scenario,
+}
+
+/// Parses a batch scenario list: one request per line —
+/// `platform pattern tasks [weight [algorithm]]`, comma- or
+/// whitespace-separated; blank lines and `#` comments are skipped.
+/// `weight` defaults to the paper's 25 000 s and `algorithm` to `admv`.
+/// Every field is validated here, so both the offline and the remote path
+/// reject malformed input with the offending line number before any solving
+/// starts.
+fn parse_batch(input: &str) -> Result<Vec<BatchItem>, ArgError> {
+    let mut items: Vec<BatchItem> = Vec::new();
     for (index, raw) in input.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -365,45 +389,173 @@ pub fn run_batch(input: &str) -> Result<String, ArgError> {
         };
         let scenario = Scenario::paper_setup(&platform, &pattern, n, weight)
             .map_err(|e| bad(format!("a valid scenario ({e})")))?;
-        metas.push(Meta {
+        items.push(BatchItem {
             platform: platform.name.clone(),
             pattern: pattern.name().to_string(),
+            raw_platform: fields[0].to_string(),
+            raw_pattern: fields[1].to_string(),
             n,
             weight,
             algorithm,
+            scenario,
         });
-        requests.push(SolveRequest::new(scenario, algorithm));
     }
+    Ok(items)
+}
 
-    let cache = SolutionCache::new();
-    let solutions = cache.solve_batch(&requests);
-    let mut out = String::from(
-        "platform,pattern,n,T,algorithm,expected_makespan,normalized_makespan,\
-         disk,memory,guaranteed,partial\n",
-    );
-    for (meta, sol) in metas.iter().zip(&solutions) {
-        out.push_str(&format!(
-            "{},{},{},{},{},{:.6},{:.6},{},{},{},{}\n",
-            meta.platform,
-            meta.pattern,
-            meta.n,
-            meta.weight,
-            meta.algorithm.label(),
+const BATCH_HEADER: &str = "platform,pattern,n,T,algorithm,expected_makespan,\
+                            normalized_makespan,disk,memory,guaranteed,partial\n";
+
+/// Renders one batch CSV row.  Both the offline and the remote path feed
+/// this exact formatter — with bit-identical inputs (the wire protocol
+/// round-trips every float exactly), which is what makes
+/// `chain2l batch --remote` output byte-identical to the offline command.
+#[allow(clippy::too_many_arguments)] // one column per argument, nothing more
+fn batch_row(
+    item: &BatchItem,
+    expected_makespan: f64,
+    normalized_makespan: f64,
+    disk: u64,
+    memory: u64,
+    guaranteed: u64,
+    partial: u64,
+) -> String {
+    format!(
+        "{},{},{},{},{},{:.6},{:.6},{},{},{},{}\n",
+        item.platform,
+        item.pattern,
+        item.n,
+        item.weight,
+        item.algorithm.label(),
+        expected_makespan,
+        normalized_makespan,
+        disk,
+        memory,
+        guaranteed,
+        partial,
+    )
+}
+
+/// Parses and solves a batch scenario list through `engine` (see
+/// [`parse_batch`] for the line format).  All requests are solved in one
+/// [`Engine::solve_batch`] call, so duplicates run the DP once, and the
+/// results come back as pure CSV **in input order** (statistics go to
+/// stderr, never stdout).
+pub fn run_batch(input: &str, engine: &Engine) -> Result<String, ArgError> {
+    let items = parse_batch(input)?;
+    let requests: Vec<SolveRequest> =
+        items.iter().map(|item| SolveRequest::new(item.scenario.clone(), item.algorithm)).collect();
+    let solutions = engine.solve_batch(&requests);
+    let mut out = String::from(BATCH_HEADER);
+    for (item, sol) in items.iter().zip(&solutions) {
+        out.push_str(&batch_row(
+            item,
             sol.expected_makespan,
             sol.normalized_makespan,
-            sol.counts.disk_checkpoints,
-            sol.counts.memory_checkpoints,
-            sol.counts.guaranteed_verifications,
-            sol.counts.partial_verifications,
+            sol.counts.disk_checkpoints as u64,
+            sol.counts.memory_checkpoints as u64,
+            sol.counts.guaranteed_verifications as u64,
+            sol.counts.partial_verifications as u64,
         ));
     }
-    out.push_str(&format!("# cache: {}\n", cache.stats()));
+    Ok(out)
+}
+
+/// [`run_batch`], but solved on the `chain2l serve` daemon at `addr`.
+/// Output is byte-identical to the offline path for the same input.
+pub fn run_batch_remote(input: &str, addr: &str) -> Result<String, ArgError> {
+    let items = parse_batch(input)?;
+    let specs: Vec<SolveSpec> = items
+        .iter()
+        .map(|item| SolveSpec {
+            platform: item.raw_platform.clone(),
+            pattern: item.raw_pattern.clone(),
+            tasks: item.n,
+            weight: item.weight,
+            algorithm: item.algorithm.label().to_string(),
+        })
+        .collect();
+    let outcomes = client::solve_batch(addr, &specs)
+        .map_err(|e| ArgError::runtime(&format!("remote batch on {addr}"), e))?;
+    let mut out = String::from(BATCH_HEADER);
+    for (index, (item, outcome)) in items.iter().zip(&outcomes).enumerate() {
+        let result = outcome.as_ref().map_err(|message| {
+            ArgError::runtime(&format!("remote batch request {}", index + 1), message)
+        })?;
+        out.push_str(&batch_row(
+            item,
+            result.expected_makespan,
+            result.normalized_makespan,
+            result.disk,
+            result.memory,
+            result.guaranteed,
+            result.partial,
+        ));
+    }
+    if let Ok((shards, detail)) = client::stats(addr) {
+        eprintln!("batch: remote daemon — {shards} shard(s)");
+        for line in detail.lines() {
+            eprintln!("batch: {line}");
+        }
+    }
+    Ok(out)
+}
+
+/// Runs the `chain2l serve` daemon (or its `--stats` / `--stop` control
+/// operations, or one shard worker when re-executed with
+/// `--internal-shard`).
+fn cmd_serve(args: &ParsedArgs) -> Result<String, ArgError> {
+    if args.flag("internal-shard") {
+        chain2l_service::shard::run_shard().map_err(|e| ArgError::runtime("shard worker", e))?;
+        return Ok(String::new());
+    }
+    let addr = args.get_or("addr", "127.0.0.1:4615");
+    if args.flag("stop") {
+        client::shutdown(addr)
+            .map_err(|e| ArgError::runtime(&format!("stopping daemon at {addr}"), e))?;
+        return Ok(format!("daemon at {addr} shut down gracefully\n"));
+    }
+    if args.flag("stats") {
+        let (shards, detail) = client::stats(addr)
+            .map_err(|e| ArgError::runtime(&format!("querying daemon at {addr}"), e))?;
+        let mut out = format!("daemon at {addr}: {shards} shard(s)\n");
+        for line in detail.lines() {
+            out.push_str(line);
+            out.push('\n');
+        }
+        return Ok(out);
+    }
+    let shards = args.usize_or("shards", 2)?;
+    if shards == 0 {
+        return Err(ArgError::InvalidValue {
+            option: "shards".into(),
+            value: "0".into(),
+            expected: "at least one shard worker".into(),
+        });
+    }
+    let config = ServeConfig::self_hosted(addr, shards)
+        .map_err(|e| ArgError::runtime("resolving the shard worker command", e))?;
+    let server =
+        Server::bind(&config).map_err(|e| ArgError::runtime(&format!("binding {addr}"), e))?;
+    eprintln!(
+        "chain2l serve: listening on {} with {shards} shard worker process(es); \
+         stop with `chain2l serve --stop --addr {}`",
+        server.local_addr(),
+        server.local_addr()
+    );
+    let summary = server.run().map_err(|e| ArgError::runtime("serving", e))?;
+    let mut out =
+        format!("serve: shut down gracefully after {} client connection(s)\n", summary.connections);
+    for line in &summary.per_shard {
+        out.push_str(line);
+        out.push('\n');
+    }
     Ok(out)
 }
 
 /// `chain2l solve`: a weak-scaling `n`-series (fixed per-task weight, so the
 /// task-weight vectors nest) solved point by point, optionally through the
-/// incremental-in-`n` solver (`--incremental`), which extends the previous
+/// strategy-routing engine (`--incremental`), which extends the previous
 /// point's finished DP tables instead of starting over.  Results are
 /// bit-identical either way — only the amount of work changes, reported in
 /// the trailing `# solver:` comment.
@@ -437,7 +589,7 @@ fn cmd_solve(args: &ParsedArgs) -> Result<String, ArgError> {
     }
 
     let incremental = args.flag("incremental");
-    let solver = chain2l_core::IncrementalSolver::new();
+    let engine = Engine::new();
     let mut out =
         String::from("n,expected_makespan,normalized_makespan,disk,memory,guaranteed,partial\n");
     let start = std::time::Instant::now();
@@ -445,7 +597,7 @@ fn cmd_solve(args: &ParsedArgs) -> Result<String, ArgError> {
         let scenario =
             chain2l_analysis::experiments::weak_scaling_scenario(&platform, n, per_task_weight);
         let solution = if incremental {
-            solver.solve(&scenario, algorithm)
+            (*engine.solve(&scenario, algorithm)).clone()
         } else {
             optimize(&scenario, algorithm)
         };
@@ -463,8 +615,8 @@ fn cmd_solve(args: &ParsedArgs) -> Result<String, ArgError> {
     let elapsed = start.elapsed();
     if incremental {
         out.push_str(&format!(
-            "# solver: incremental ({}) in {:.1} ms\n",
-            solver.stats(),
+            "# solver: engine ({}) in {:.1} ms\n",
+            engine.stats(),
             elapsed.as_secs_f64() * 1e3
         ));
     } else {
@@ -501,8 +653,13 @@ fn cmd_validate(args: &ParsedArgs) -> Result<String, ArgError> {
     let pattern = parse_pattern(args)?;
     let mut rows = Vec::new();
     for platform in scr::all() {
-        let scenario =
-            Scenario::paper_setup(&platform, &pattern, tasks, weight).expect("valid paper setup");
+        let scenario = Scenario::paper_setup(&platform, &pattern, tasks, weight).map_err(|e| {
+            ArgError::InvalidValue {
+                option: "tasks".into(),
+                value: format!("{tasks}"),
+                expected: leak(format!("a valid scenario ({e})")),
+            }
+        })?;
         for algorithm in [Algorithm::SingleLevel, Algorithm::TwoLevel, Algorithm::TwoLevelPartial] {
             rows.push(validation::validate(&scenario, algorithm, replications, seed, threads));
         }
@@ -527,10 +684,11 @@ fn cmd_experiment(args: &ParsedArgs) -> Result<String, ArgError> {
         .map(|s| s.as_str())
         .ok_or(ArgError::MissingOption { option: "experiment name".into() })?;
     let config = experiment_config(args);
+    let engine = Engine::new();
     match which {
         "table1" => Ok(render_table(&experiments::table1(), args)),
         "fig5" => {
-            let data = experiments::fig5(&config);
+            let data = experiments::fig5(&config, &engine);
             if args.flag("csv") {
                 Ok(data.to_tables().iter().map(|t| t.to_csv()).collect::<Vec<_>>().join("\n"))
             } else {
@@ -540,11 +698,11 @@ fn cmd_experiment(args: &ParsedArgs) -> Result<String, ArgError> {
         "fig6" => {
             let n = args.usize_or("tasks", 50)?;
             let weight = args.f64_or("weight", experiments::PAPER_TOTAL_WEIGHT)?;
-            let strips = experiments::fig6(n, weight);
+            let strips = experiments::fig6(n, weight, &engine);
             Ok(strips.iter().map(|s| s.render()).collect::<Vec<_>>().join("\n"))
         }
-        "fig7" => Ok(experiments::fig7(&config).render()),
-        "fig8" => Ok(experiments::fig8(&config).render()),
+        "fig7" => Ok(experiments::fig7(&config, &engine).render()),
+        "fig8" => Ok(experiments::fig8(&config, &engine).render()),
         other => Err(ArgError::Unknown { what: other.to_string() }),
     }
 }
@@ -558,16 +716,30 @@ fn cmd_sweep(args: &ParsedArgs) -> Result<String, ArgError> {
     let platform = parse_platform(args)?;
     let tasks = args.usize_or("tasks", 20)?;
     let weight = args.f64_or("weight", experiments::PAPER_TOTAL_WEIGHT)?;
+    let engine = Engine::new();
     let table = match which {
-        "recall" => sweep::recall_sweep(&platform, tasks, weight, &[0.2, 0.4, 0.6, 0.8, 1.0]),
-        "cost" => sweep::partial_cost_sweep(&platform, tasks, weight, &[1.0, 10.0, 100.0, 1000.0]),
-        "rates" => {
-            sweep::rate_scaling_sweep(&platform, tasks, weight, &[1.0, 2.0, 5.0, 10.0, 50.0])
+        "recall" => {
+            sweep::recall_sweep(&platform, tasks, weight, &[0.2, 0.4, 0.6, 0.8, 1.0], &engine)
         }
-        "tail" => sweep::tail_accounting_comparison(&scr::all(), tasks, weight),
-        "heuristics" => sweep::heuristic_comparison(&platform, tasks, weight),
+        "cost" => sweep::partial_cost_sweep(
+            &platform,
+            tasks,
+            weight,
+            &[1.0, 10.0, 100.0, 1000.0],
+            &engine,
+        ),
+        "rates" => sweep::rate_scaling_sweep(
+            &platform,
+            tasks,
+            weight,
+            &[1.0, 2.0, 5.0, 10.0, 50.0],
+            &engine,
+        ),
+        "tail" => sweep::tail_accounting_comparison(&scr::all(), tasks, weight, &engine),
+        "heuristics" => sweep::heuristic_comparison(&platform, tasks, weight, &engine),
         other => return Err(ArgError::Unknown { what: other.to_string() }),
     };
+    eprintln!("sweep: solver engine — {}", engine.stats());
     Ok(render_table(&table, args))
 }
 
@@ -583,8 +755,17 @@ mod tests {
     #[test]
     fn help_lists_every_command() {
         let out = run_tokens(&["help"]).unwrap();
-        for cmd in ["platforms", "optimize", "evaluate", "simulate", "experiment", "sweep", "batch"]
-        {
+        for cmd in [
+            "platforms",
+            "optimize",
+            "evaluate",
+            "simulate",
+            "experiment",
+            "sweep",
+            "batch",
+            "serve",
+            "--remote",
+        ] {
             assert!(out.contains(cmd), "help misses {cmd}");
         }
     }
@@ -725,23 +906,32 @@ atlas,decrease,6,25000,adv*
 
 hera uniform 8
 ";
-        let out = run_batch(input).unwrap();
+        let engine = Engine::new();
+        let out = run_batch(input, &engine).unwrap();
         let lines: Vec<&str> = out.lines().collect();
         assert!(lines[0].starts_with("platform,pattern,n,T,algorithm"));
-        assert_eq!(lines.len(), 1 + 4 + 1, "header + 4 rows + cache stats:\n{out}");
+        assert_eq!(lines.len(), 1 + 4, "header + 4 rows, stats on stderr only:\n{out}");
         assert!(lines[1].starts_with("Hera,uniform,8,25000,ADMV,"), "{}", lines[1]);
         assert!(lines[2].starts_with("Hera,uniform,8,25000,ADMV*,"), "{}", lines[2]);
         assert!(lines[3].starts_with("Atlas,decrease,6,25000,ADV*,"), "{}", lines[3]);
         // Line 4 repeats line 1: identical output, served from cache.
         assert_eq!(lines[1], lines[4]);
-        assert!(lines[5].starts_with("# cache: 1 hits, 3 misses"), "{}", lines[5]);
+        let stats = engine.stats();
+        assert_eq!((stats.cache.hits, stats.cache.misses), (1, 3), "{stats:?}");
     }
 
     #[test]
     fn batch_rejects_malformed_lines_with_their_line_number() {
-        for bad in ["titan uniform 5", "hera uniform many", "hera uniform", "hera uniform 5 1 zzz"]
-        {
-            let err = run_batch(&format!("hera uniform 3\n{bad}\n")).unwrap_err();
+        for bad in [
+            "titan uniform 5",
+            "hera uniform many",
+            "hera uniform",
+            "hera uniform 5 1 zzz",
+            "hera uniform 0",
+            "hera uniform 5 nan",
+        ] {
+            let err = run_batch(&format!("hera uniform 3\n{bad}\n"), &Engine::new()).unwrap_err();
+            assert!(err.is_usage(), "{bad}");
             match err {
                 ArgError::InvalidValue { option, .. } => {
                     assert_eq!(option, "batch line 2", "{bad}")
@@ -757,12 +947,16 @@ hera uniform 8
         std::fs::write(&path, "hera uniform 6 25000 admv*\ncoastal-ssd uniform 6\n").unwrap();
         let out = run_tokens(&["batch", "--file", path.to_str().unwrap()]).unwrap();
         std::fs::remove_file(&path).ok();
-        assert_eq!(out.lines().count(), 1 + 2 + 1);
+        assert_eq!(out.lines().count(), 1 + 2, "pure CSV, stats on stderr");
         assert!(out.contains("Hera,uniform,6"));
         assert!(out.contains("Coastal SSD,uniform,6"));
-        // Missing files are a clear error.
-        let err = run_tokens(&["batch", "--file", "/nonexistent/scenarios.txt"]);
-        assert!(matches!(err, Err(ArgError::InvalidValue { .. })));
+        // Missing files are a runtime error (exit code 1), not a usage one.
+        let err = run_tokens(&["batch", "--file", "/nonexistent/scenarios.txt"]).unwrap_err();
+        assert!(matches!(err, ArgError::Runtime { .. }));
+        assert!(!err.is_usage());
+        // `--remote` without an address is a usage error.
+        let err = run_tokens(&["batch", "--remote", "--file", "x.txt"]).unwrap_err();
+        assert!(err.is_usage());
     }
 
     #[test]
@@ -778,7 +972,8 @@ hera uniform 8
         let incremental = run_tokens(&with_inc).unwrap();
         assert_eq!(rows(&cold), rows(&incremental), "results must be bit-identical");
         assert!(cold.contains("# solver: 3 cold solves"), "{cold}");
-        assert!(incremental.contains("1 cold, 2 extended"), "{incremental}");
+        assert!(incremental.contains("2 extended"), "{incremental}");
+        assert!(incremental.contains("1 cold (pruned)"), "{incremental}");
         assert_eq!(rows(&cold).len(), 1 + 3, "header + one row per point");
         assert!(rows(&cold)[1].starts_with("6,"), "{cold}");
     }
@@ -792,7 +987,44 @@ hera uniform 8
 
     #[test]
     fn unknown_command_is_an_error() {
-        assert!(matches!(run_tokens(&["frobnicate"]), Err(ArgError::Unknown { .. })));
+        let err = run_tokens(&["frobnicate"]).unwrap_err();
+        assert!(matches!(err, ArgError::Unknown { .. }));
+        assert!(err.is_usage(), "unknown commands are usage errors (exit 2)");
+    }
+
+    #[test]
+    fn validate_rejects_invalid_scenario_parameters_without_panicking() {
+        for bad in [
+            vec!["validate", "--tasks", "0"],
+            vec!["validate", "--weight", "nan", "--replications", "10"],
+        ] {
+            let err = run_tokens(&bad).unwrap_err();
+            assert!(matches!(err, ArgError::InvalidValue { .. }), "{bad:?} → {err:?}");
+        }
+    }
+
+    #[test]
+    fn serve_control_flags_fail_cleanly_without_a_daemon() {
+        // Nothing listens on this port: both control ops must report a
+        // runtime error (exit code 1), not panic or hang.
+        for flags in [
+            ["serve", "--stop", "--addr", "127.0.0.1:1"],
+            ["serve", "--stats", "--addr", "127.0.0.1:1"],
+        ] {
+            let err = run_tokens(&flags).unwrap_err();
+            assert!(matches!(err, ArgError::Runtime { .. }), "{flags:?} → {err:?}");
+            assert!(!err.is_usage());
+        }
+        // Zero shards is a usage error before anything is spawned.
+        let err = run_tokens(&["serve", "--shards", "0"]).unwrap_err();
+        assert!(err.is_usage());
+    }
+
+    #[test]
+    fn runtime_errors_render_their_context() {
+        let err = ArgError::runtime("reading scenarios.txt", "permission denied");
+        assert_eq!(err.to_string(), "reading scenarios.txt: permission denied");
+        assert!(!err.is_usage());
     }
 
     #[test]

@@ -9,6 +9,10 @@ mod commands;
 use args::ParsedArgs;
 use std::process::ExitCode;
 
+/// Usage errors (unknown command, malformed flag values) exit with 2;
+/// runtime failures (I/O, an unreachable daemon) exit with 1.
+const USAGE_EXIT: u8 = 2;
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let parsed = match ParsedArgs::parse(raw) {
@@ -16,7 +20,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprint!("{}", commands::HELP);
-            return ExitCode::FAILURE;
+            return ExitCode::from(USAGE_EXIT);
         }
     };
     match commands::run(&parsed) {
@@ -26,7 +30,11 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            if e.is_usage() {
+                ExitCode::from(USAGE_EXIT)
+            } else {
+                ExitCode::FAILURE
+            }
         }
     }
 }

@@ -49,6 +49,33 @@ pub struct ScenarioFingerprint {
 }
 
 impl ScenarioFingerprint {
+    /// Deterministic, process-stable 64-bit digest of the fingerprint
+    /// (FNV-1a over every field).
+    ///
+    /// Unlike `Hash`/`RandomState`, the digest is identical across processes
+    /// and runs, which is what the service layer's shard routing requires:
+    /// the parent daemon and every worker must agree on
+    /// `stable_hash() % shard_count` without sharing hasher state.
+    pub fn stable_hash(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        eat(&self.lambda_fail_stop.to_le_bytes());
+        eat(&self.lambda_silent.to_le_bytes());
+        for c in &self.costs {
+            eat(&c.to_le_bytes());
+        }
+        for w in &self.weights {
+            eat(&w.to_le_bytes());
+        }
+        eat(self.algorithm.label().as_bytes());
+        hash
+    }
+
     /// Computes the fingerprint of `scenario` solved with `algorithm`.
     pub fn new(scenario: &Scenario, algorithm: Algorithm) -> Self {
         let c = &scenario.costs;
@@ -187,6 +214,26 @@ impl SolutionCache {
     /// Concurrent callers with the same fingerprint block on the single
     /// in-flight solve instead of duplicating it.
     pub fn solve(&self, scenario: &Scenario, algorithm: Algorithm) -> Arc<Solution> {
+        self.solve_with(scenario, algorithm, || match &self.incremental {
+            Some(solver) => solver.solve(scenario, algorithm),
+            None => optimize(scenario, algorithm),
+        })
+    }
+
+    /// The memoization primitive behind [`Self::solve`]: returns the cached
+    /// solution for `(scenario, algorithm)`, running `solve` at most once per
+    /// fingerprint to produce it.
+    ///
+    /// `solve` must be a deterministic pure function of the scenario and
+    /// algorithm (every solver in this crate is), otherwise the cache would
+    /// make results dependent on request order.  [`crate::Engine`] plugs its
+    /// strategy router in here.
+    pub fn solve_with(
+        &self,
+        scenario: &Scenario,
+        algorithm: Algorithm,
+        solve: impl FnOnce() -> Solution,
+    ) -> Arc<Solution> {
         let fingerprint = ScenarioFingerprint::new(scenario, algorithm);
         let entry = {
             let mut map = self.entries.lock().expect("cache map poisoned");
@@ -203,14 +250,7 @@ impl SolutionCache {
         };
         // Outside the map lock: other fingerprints stay unblocked while the
         // (possibly expensive) DP runs.
-        entry
-            .get_or_init(|| {
-                Arc::new(match &self.incremental {
-                    Some(solver) => solver.solve(scenario, algorithm),
-                    None => optimize(scenario, algorithm),
-                })
-            })
-            .clone()
+        entry.get_or_init(|| Arc::new(solve())).clone()
     }
 
     /// Solves every request and returns the solutions **in request order**,
@@ -378,6 +418,27 @@ mod tests {
         cache.solve(&weak(9), Algorithm::TwoLevel);
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.incremental_stats().unwrap().extensions, 2);
+    }
+
+    #[test]
+    fn hit_rate_is_zero_not_nan_before_any_lookup() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        assert_eq!(SolutionCache::new().stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn stable_hash_is_deterministic_and_input_sensitive() {
+        let base = ScenarioFingerprint::new(&hera_uniform(10), Algorithm::TwoLevel);
+        assert_eq!(
+            base.stable_hash(),
+            ScenarioFingerprint::new(&hera_uniform(10), Algorithm::TwoLevel).stable_hash()
+        );
+        for other in [
+            ScenarioFingerprint::new(&hera_uniform(11), Algorithm::TwoLevel),
+            ScenarioFingerprint::new(&hera_uniform(10), Algorithm::SingleLevel),
+        ] {
+            assert_ne!(base.stable_hash(), other.stable_hash());
+        }
     }
 
     #[test]

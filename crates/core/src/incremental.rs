@@ -29,67 +29,21 @@
 //! [`crate::cache::SolutionCache::new_incremental`]: an ascending
 //! weak-scaling sweep costs little more than its largest point.
 
-use crate::dp::DpTables;
+use crate::engine::{assemble, bitwise_prefix, kernel_for, ContextKey, KernelState};
 use crate::segment::SegmentCalculator;
-use crate::solution::{DpStatistics, Solution};
-use crate::two_level::TwoLevelOptions;
-use crate::{partial, two_level, Algorithm, PartialOptions};
+use crate::solution::Solution;
+use crate::Algorithm;
 use chain2l_model::Scenario;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-
-/// One solving context: everything the kernels read besides the weights.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct ContextKey {
-    lambda_fail_stop: u64,
-    lambda_silent: u64,
-    costs: [u64; 7],
-    algorithm: Algorithm,
-}
-
-impl ContextKey {
-    fn new(scenario: &Scenario, algorithm: Algorithm) -> Self {
-        let c = &scenario.costs;
-        Self {
-            lambda_fail_stop: scenario.platform.lambda_fail_stop.to_bits(),
-            lambda_silent: scenario.platform.lambda_silent.to_bits(),
-            costs: [
-                c.disk_checkpoint.to_bits(),
-                c.memory_checkpoint.to_bits(),
-                c.disk_recovery.to_bits(),
-                c.memory_recovery.to_bits(),
-                c.guaranteed_verification.to_bits(),
-                c.partial_verification.to_bits(),
-                c.partial_recall.to_bits(),
-            ],
-            algorithm,
-        }
-    }
-}
-
-/// Which kernel family an [`Algorithm`] maps to.
-#[derive(Debug, Clone, Copy)]
-enum Kernel {
-    TwoLevel(TwoLevelOptions),
-    Partial(PartialOptions),
-}
-
-fn kernel_for(algorithm: Algorithm) -> Kernel {
-    match algorithm {
-        Algorithm::SingleLevel => Kernel::TwoLevel(TwoLevelOptions::single_level()),
-        Algorithm::TwoLevel => Kernel::TwoLevel(TwoLevelOptions::two_level()),
-        Algorithm::TwoLevelPartial => Kernel::Partial(PartialOptions::paper_exact()),
-        Algorithm::TwoLevelPartialRefined => Kernel::Partial(PartialOptions::refined()),
-    }
-}
 
 /// The retained DP state of one context: the weights it was built for and the
 /// finished tables at that size.
 struct ContextState {
     /// Task weights of the largest chain solved in this context.
     weights: Vec<f64>,
-    tables: DpTables,
+    state: KernelState,
 }
 
 impl ContextState {
@@ -216,14 +170,7 @@ impl IncrementalSolver {
             }
             Some(state) if bitwise_prefix(&state.weights, scenario.chain.weights()) => {
                 let old_n = state.n();
-                match kernel {
-                    Kernel::TwoLevel(options) => {
-                        two_level::extend_tables(&calc, &mut state.tables, old_n, n, options)
-                    }
-                    Kernel::Partial(options) => {
-                        partial::extend_tables(&calc, &mut state.tables, old_n, n, options)
-                    }
-                }
+                kernel.extend(&calc, &mut state.state, old_n, n);
                 state.weights = scenario.chain.weights().to_vec();
                 self.extensions.fetch_add(1, Ordering::Relaxed);
                 SolvePath::Extended
@@ -232,27 +179,15 @@ impl IncrementalSolver {
                 if existing.is_some() {
                     self.replacements.fetch_add(1, Ordering::Relaxed);
                 }
-                let tables = match kernel {
-                    Kernel::TwoLevel(options) => two_level::compute_tables(&calc, n, options),
-                    Kernel::Partial(options) => partial::compute_tables(&calc, n, options),
-                };
-                *guard = Some(ContextState { weights: scenario.chain.weights().to_vec(), tables });
+                let state = kernel.compute(&calc, n);
+                *guard = Some(ContextState { weights: scenario.chain.weights().to_vec(), state });
                 self.cold_solves.fetch_add(1, Ordering::Relaxed);
                 SolvePath::Cold
             }
         };
 
         let state = guard.as_ref().expect("state populated above");
-        let tables = &state.tables;
-        let schedule = match kernel {
-            Kernel::TwoLevel(_) => two_level::reconstruct(tables, n),
-            Kernel::Partial(options) => partial::reconstruct(&calc, tables, n, options),
-        };
-        let stats = DpStatistics {
-            table_entries: tables.finalized_entries(),
-            candidates_examined: tables.candidates,
-        };
-        (Solution::new(tables.edisk[n], schedule, scenario, stats), path)
+        (assemble(kernel, &calc, &state.state, n, scenario), path)
     }
 
     /// Path counters accumulated since construction.
@@ -274,14 +209,6 @@ impl IncrementalSolver {
     pub fn clear(&self) {
         self.states.lock().expect("state map poisoned").clear();
     }
-}
-
-/// True when `prefix` is a bitwise prefix of `weights` (`f64` bit patterns,
-/// so `-0.0 ≠ 0.0` and equal-looking but differently-rounded weights do not
-/// alias — exactly the equality the DP tables require).
-fn bitwise_prefix(prefix: &[f64], weights: &[f64]) -> bool {
-    prefix.len() <= weights.len()
-        && prefix.iter().zip(weights).all(|(a, b)| a.to_bits() == b.to_bits())
 }
 
 #[cfg(test)]

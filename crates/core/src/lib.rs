@@ -24,7 +24,13 @@
 //! * [`incremental`] — the incremental-in-`n` [`IncrementalSolver`] that
 //!   extends finished DP tables from `n` to `n' > n` when the task-weight
 //!   prefix is unchanged, and serves prefix-covered smaller scenarios with
-//!   no DP work at all.
+//!   no DP work at all;
+//! * [`engine`] — the strategy-routing [`Engine`]: the one front door that
+//!   composes all of the above, routing every [`SolveRequest`] through the
+//!   cheapest sound strategy (cache hit → prefix reuse → incremental
+//!   extension → pruned kernel → exhaustive fallback) behind the [`Kernel`]
+//!   trait, with per-strategy counters ([`EngineStats`]).  The experiment
+//!   harness, the CLI and the `chain2l-service` daemon all solve through it.
 //!
 //! The `A_DMV*` and `A_DMV` dynamic programs shard their two inner levels
 //! (`Emem`/`Everif`) across independent disk-segment slices on the
@@ -61,6 +67,7 @@
 pub mod brute_force;
 pub mod cache;
 mod dp;
+pub mod engine;
 pub mod evaluator;
 pub mod heuristics;
 pub mod incremental;
@@ -72,6 +79,7 @@ pub mod tables;
 pub mod two_level;
 
 pub use cache::{CacheStats, ScenarioFingerprint, SolutionCache, SolveRequest};
+pub use engine::{kernel_for, Engine, EngineStats, Kernel, KernelState};
 pub use incremental::{IncrementalSolver, IncrementalStats};
 pub use partial::{optimize_with_partials, PartialOptions};
 pub use segment::{PartialCostModel, SegmentCalculator};

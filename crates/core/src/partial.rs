@@ -21,12 +21,14 @@
 //! in [`crate::two_level`], and the slice kernel is **candidate-pruned**
 //! (DESIGN.md §4):
 //!
-//! * the `v1` scan is driven by an **affine candidate predictor**: the
-//!   `Everif` left-context coefficient of the inner DP telescopes to
-//!   `em1_fs(v1, m2)` along every verification chain, so one shared
-//!   zero-context inner DP per `(m1, m2)` window predicts every candidate's
-//!   exact value; only candidates within an ulp safety margin of the minimum
-//!   prediction run their `O(span²)` exact inner DP;
+//! * the `v1` scan is driven by a **hoisted candidate floor**: one shared
+//!   `O(span²)` lower-bound DP per `(d1, m2)` column ([`epartial_floor`])
+//!   bounds the zero-context inner value of *every* `(m1, m2)` window below,
+//!   the exact `Everif` left-context coefficient `em1_fs(v1, m2)` (which
+//!   telescopes along every verification chain) and a first-order
+//!   `Emem(d1, m1)` term lift the floor into a per-window candidate bound,
+//!   and only candidates whose bound reaches an exactly-evaluated seed
+//!   candidate run their `O(span²)` exact inner DP;
 //! * the innermost `p2` scan seeds its incumbent with the closing candidate,
 //!   then *skips* any open candidate whose sound sub-interval floor
 //!   (work, tight quadratic re-execution, `V`, first-order detection
@@ -37,8 +39,8 @@
 //! Pruned candidates provably cannot improve the strict minimum, so values
 //! *and argmins* — and therefore schedules — are bit-identical to the
 //! exhaustive kernel ([`PartialOptions::without_pruning`]) at any thread
-//! count: ~26× fewer candidates and ~3× wall-clock at the paper's `n = 50`,
-//! ~90× and ~10× at `n = 100`.  The kernel fills columns incrementally
+//! count (see `results/BENCH_dp.json` for the measured candidate and
+//! wall-clock reductions).  The kernel fills columns incrementally
 //! (`from_m2`), which is what [`crate::incremental::IncrementalSolver`] uses
 //! to extend finished tables from `n` to `n' > n`.
 
@@ -110,22 +112,27 @@ impl InnerScratch {
     }
 }
 
-/// Minimum interval width at which the shared zero-context inner DP pays for
-/// itself (below it the window holds fewer exact inner DPs than the predictor
-/// run would cost).
+/// Minimum column span `m2 − d1` at which the shared floor DP pays for
+/// itself: below it the column's windows hold fewer exact inner-DP
+/// evaluations than the `O(span²)` floor run would cost, and the exhaustive
+/// `v1` scans are cheaper outright.
+const FLOOR_SPAN_MIN: usize = 5;
+
+/// Minimum window span `m2 − m1` at which the candidate bounds are consulted
+/// (narrower windows hold at most two exact inner DPs — nothing to skip that
+/// the seed run would not already pay for).
 const PREDICT_SPAN_MIN: usize = 3;
 
-/// Relative safety margin of the affine candidate predictor.
+/// Relative safety margin of the hoisted candidate floor.
 ///
-/// The predictor is *mathematically exact* (see [`fill_disk_slice`]): the
-/// `Everif` left-context coefficient telescopes to `em1_fs(v1, v2)` along
-/// every verification chain, so
-/// `E_partial(v1; everif) = E_partial(v1; 0) + everif·em1_fs(v1, v2)` in real
-/// arithmetic.  Floating-point evaluation of the two sides can disagree by a
-/// few ulps accumulated over `O(span)` DP steps, so a candidate is only
-/// skipped when the prediction exceeds the running best by this relative
-/// margin — ulp-close candidates fall through to the exact recurrence, which
-/// keeps values and argmins bit-identical to the exhaustive kernel.
+/// In real arithmetic every skipped candidate's exact value provably exceeds
+/// the exactly-evaluated seed candidate (see [`epartial_floor`] and
+/// DESIGN.md §4.3), so it can neither win nor tie the scan's minimum.
+/// Floating-point evaluation of the floor and of the seed accumulates a few
+/// ulps over `O(span)` DP steps, so a candidate is only skipped when its
+/// bound exceeds the seed by this relative margin — far above the float
+/// error, far below any real cost separation — which keeps values and
+/// argmins bit-identical to the exhaustive kernel.
 const PREDICT_MARGIN: f64 = 1e-9;
 
 /// Runs the inner right-to-left DP for the interval `(v1, v2]` and returns
@@ -249,6 +256,67 @@ fn epartial_interval(
     (scratch.epartial[v1], candidates)
 }
 
+/// The shared candidate floor of one `(d1, v2)` column: fills
+/// `floor[p1]` for `p1 ∈ d1..v2` with a sound lower bound on the
+/// zero-`Everif`-context inner value `E_partial(d1, m1, p1, p1, v2)` of
+/// **every** window `(m1, v2]`, `m1 ∈ d1..v2` (DESIGN.md §4.3).
+///
+/// The bound is the exact minimum over *all* verification chains of the
+/// chain cost with each context term replaced by its minimum over the
+/// column's windows — `Emem(d1, m1)` by `0`, `R_M(m1)` by `R_M(d1)` — and
+/// the detection-latency tail `E_right` replaced by its own minimum-over-
+/// chains lower bound (`er_lb`, computed in the same scan).  Because it is a
+/// true minimum over the full chain family of per-chain lower bounds, it
+/// needs no argmin-stability argument: *any* window's DP value is the cost
+/// of *some* chain at a context dominating the floor's, hence ≥ the floor.
+///
+/// Returns the number of candidates examined (every closed-form evaluation,
+/// consistent with [`DpStatistics::candidates_examined`]).
+fn epartial_floor(
+    calc: &SegmentCalculator<'_>,
+    d1: usize,
+    v2: usize,
+    model: PartialCostModel,
+    floor: &mut [f64],
+    er_lb: &mut [f64],
+) -> u64 {
+    let v_cost = calc.v_partial();
+    let g = calc.miss_probability();
+    // Window-minimal contexts: emem = Emem(d1, d1) = 0 and the recovery
+    // costs at m1 = d1 (R_M(m1) ≥ R_M(d1) for every m1 ≥ d1).
+    let a = calc.disk_recovery(d1);
+    let miss_rm = (1.0 - g) * calc.memory_recovery(d1);
+    let col = calc.interval_col(v2);
+    let eright_base = calc.eright_base(d1);
+    let mut candidates = 0u64;
+
+    er_lb[v2] = eright_base;
+    for p1 in (d1..v2).rev() {
+        let row = calc.interval_row(p1);
+        // Closing candidate p2 = v2: exactly the zero-context closing value
+        // at m1 = d1 (monotone in the dominated context terms).
+        candidates += 1;
+        let mut best = calc.e_minus(d1, d1, p1, v2, 0.0, 0.0, eright_base, true, model)
+            + calc.tail_verification_correction(p1, v2, model);
+        let mut best_er = calc.eright_step(d1, d1, p1, v2, 0.0, eright_base, true, model);
+        for p2 in (p1 + 1)..v2 {
+            candidates += 1;
+            let eminus = row.e_minus_at(p2, v_cost, g, a, 0.0, miss_rm, er_lb[p2]);
+            let cand = eminus * col.reexecution_factor_at(p2) + floor[p2];
+            if cand < best {
+                best = cand;
+            }
+            let er = calc.eright_step(d1, d1, p1, p2, 0.0, er_lb[p2], false, model);
+            if er < best_er {
+                best_er = er;
+            }
+        }
+        floor[p1] = best;
+        er_lb[p1] = best_er;
+    }
+    candidates
+}
+
 /// Runs the §III-B dynamic program (`A_DMV`) on `scenario` and returns the
 /// optimal expected makespan together with the reconstructed schedule
 /// (including the partial-verification positions).
@@ -283,15 +351,26 @@ pub(crate) fn fill_disk_slice(
     let model = options.cost_model;
     let prune = options.prune && calc.pruning_sound();
     let c_mem = calc.scenario().costs.memory_checkpoint;
+    let lf = calc.lambda_fail_stop();
+    let prefix = calc.prefix_weights();
     let mut scratch = InnerScratch::new(n);
-    let mut predict = InnerScratch::new(n);
-    let mut predictions = vec![f64::INFINITY; n + 1];
+    let mut floor = vec![f64::INFINITY; n + 1];
+    let mut er_lb = vec![f64::INFINITY; n + 1];
+    let mut bounds = vec![f64::INFINITY; n + 1];
     let mut candidates = 0u64;
 
     if from_m2 == d1 + 1 {
         slice.emem[d1] = 0.0;
     }
     for m2 in from_m2..=n {
+        // One shared floor DP per (d1, m2) column, hoisted across every
+        // (m1, m2) window of the m1 scan below (DESIGN.md §4.3).
+        let use_floor = prune && m2 - d1 >= FLOOR_SPAN_MIN;
+        if use_floor {
+            candidates += epartial_floor(calc, d1, m2, model, &mut floor, &mut er_lb);
+        }
+        let col = calc.interval_col(m2);
+        let w_m2 = prefix[m2];
         let mut best_mem = f64::INFINITY;
         let mut best_m1 = usize::MAX;
         // m1 is a DP coordinate indexing several tables, not a plain scan.
@@ -301,68 +380,46 @@ pub(crate) fn fill_disk_slice(
             debug_assert!(emem_left.is_finite(), "Emem({d1},{m1}) not computed");
             slice.everif.set(m1, m1, 0.0);
 
-            // One zero-context inner DP per (m1, m2) window: the Everif
-            // left-context coefficient telescopes to em1_fs(v1, m2) along
-            // every verification chain, so every candidate's exact inner
-            // value is (in real arithmetic)
-            //     E_partial(v1; left) = E_partial(v1; 0) + left·em1_fs(v1, m2)
-            // and one shared run predicts the whole scan (DESIGN.md §4).
-            let use_predictor = prune && m2 - m1 >= PREDICT_SPAN_MIN;
-            if use_predictor {
-                let (_, shared_candidates) = epartial_interval(
-                    calc,
-                    d1,
-                    m1,
-                    m1,
-                    m2,
-                    emem_left,
-                    0.0,
-                    model,
-                    prune,
-                    &mut predict,
-                );
-                candidates += shared_candidates;
-            }
-            let col = calc.interval_col(m2);
-
             // Everif(d1, m1, m2): last guaranteed verification at v1, then
-            // the partial-verification interval (v1, m2].  With the
-            // predictor on, the affine predictions π(v1) are computed for
-            // the whole scan first; only candidates within the ulp safety
-            // margin of the *minimum* prediction run their exact O(span²)
-            // inner DP — every other candidate's true value provably
-            // exceeds the true minimum, so the stored value and argmin are
-            // identical to the exhaustive scan.  Survivors run right-to-left
+            // the partial-verification interval (v1, m2].  With the floor
+            // on, every candidate's sound lower bound is the shared floor
+            // plus the *exact* affine left-context term `left·em1_fs(v1, m2)`
+            // (the Everif coefficient telescopes along every chain) plus the
+            // first-order Emem term; the bound-minimizing seed candidate
+            // runs its exact O(span²) inner DP, and only candidates whose
+            // bound reaches the seed's exact value within the ulp margin
+            // join it — every skipped candidate provably exceeds the seed,
+            // so it can neither win nor tie.  Survivors run right-to-left
             // with a non-strict minimum, which reproduces the exhaustive
             // left-to-right strict tie-breaking exactly.
             let mut best_verif = f64::INFINITY;
             let mut best_v1 = usize::MAX;
             let row = slice.everif.row(m1);
+            let use_predictor = use_floor && m2 - m1 >= PREDICT_SPAN_MIN;
             let mut threshold = f64::INFINITY;
+            let mut seed_v1 = usize::MAX;
+            let mut seed_value = f64::INFINITY;
             if use_predictor {
-                let mut mu = f64::INFINITY;
+                let mut best_bound = f64::INFINITY;
                 for v1 in m1..m2 {
                     let left = row[v1];
                     debug_assert!(left.is_finite(), "Everif({d1},{m1},{v1}) not computed");
-                    let predicted = left + predict.epartial[v1] + left * col.em1_fs_at(v1);
-                    predictions[v1] = predicted;
-                    if predicted < mu {
-                        mu = predicted;
+                    let bound = left
+                        + floor[v1]
+                        + left * col.em1_fs_at(v1)
+                        + emem_left * lf * (w_m2 - prefix[v1]);
+                    bounds[v1] = bound;
+                    if bound < best_bound {
+                        best_bound = bound;
+                        seed_v1 = v1;
                     }
                 }
-                threshold = mu + PREDICT_MARGIN * (mu.abs() + 1.0);
-            }
-            for v1 in (m1..m2).rev() {
-                if use_predictor && predictions[v1] > threshold {
-                    continue;
-                }
-                let left = row[v1];
-                debug_assert!(left.is_finite(), "Everif({d1},{m1},{v1}) not computed");
-                let (value, inner_candidates) = epartial_interval(
+                let left = row[seed_v1];
+                let (value, seed_candidates) = epartial_interval(
                     calc,
                     d1,
                     m1,
-                    v1,
+                    seed_v1,
                     m2,
                     emem_left,
                     left,
@@ -370,7 +427,35 @@ pub(crate) fn fill_disk_slice(
                     prune,
                     &mut scratch,
                 );
-                candidates += inner_candidates;
+                candidates += seed_candidates;
+                seed_value = value;
+                let seed_total = left + value;
+                threshold = seed_total + PREDICT_MARGIN * (seed_total.abs() + 1.0);
+            }
+            for v1 in (m1..m2).rev() {
+                if use_predictor && bounds[v1] > threshold {
+                    continue;
+                }
+                let left = row[v1];
+                debug_assert!(left.is_finite(), "Everif({d1},{m1},{v1}) not computed");
+                let value = if v1 == seed_v1 {
+                    seed_value
+                } else {
+                    let (value, inner_candidates) = epartial_interval(
+                        calc,
+                        d1,
+                        m1,
+                        v1,
+                        m2,
+                        emem_left,
+                        left,
+                        model,
+                        prune,
+                        &mut scratch,
+                    );
+                    candidates += inner_candidates;
+                    value
+                };
                 let cand = left + value;
                 if cand <= best_verif {
                     best_verif = cand;

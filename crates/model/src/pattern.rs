@@ -54,6 +54,19 @@ impl WeightPattern {
         }
     }
 
+    /// Looks a pattern up by the machine-friendly name returned by
+    /// [`Self::name`] — the parser shared by the CLI and the service
+    /// protocol (parameterised patterns resolve to their paper defaults).
+    pub fn by_name(name: &str) -> Option<WeightPattern> {
+        match name {
+            "uniform" => Some(WeightPattern::Uniform),
+            "decrease" => Some(WeightPattern::Decrease),
+            "increase" => Some(WeightPattern::Increase),
+            "highlow" => Some(WeightPattern::high_low_default()),
+            _ => None,
+        }
+    }
+
     /// Short machine-friendly name (used in CSV output and bench labels).
     pub fn name(&self) -> &'static str {
         match self {

@@ -1,0 +1,11 @@
+//! Standalone shard worker binary (the `chain2l` CLI normally re-executes
+//! itself with `serve --internal-shard` instead; this binary exists for
+//! deployments that want the worker as its own artifact, and for the
+//! service crate's integration tests).
+
+fn main() {
+    if let Err(e) = chain2l_service::shard::run_shard() {
+        eprintln!("chain2l-shard: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Client side of the daemon protocol: remote batch solving and the
+//! control operations (`ping` / `stats` / `shutdown`).
+//!
+//! [`solve_batch`] pipelines every request over one connection — a writer
+//! thread streams the frames while the caller's thread reads responses, so a
+//! large batch can never deadlock on full TCP buffers — and returns the
+//! outcomes **in request order** (responses may arrive in any order; the
+//! echoed ids put them back).  Per-request failures (e.g. an unknown
+//! platform) come back as `Err(message)` entries without poisoning the rest
+//! of the batch; transport failures fail the call.
+
+use crate::protocol::{self, Request, Response, SolveResult, SolveSpec};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Generous per-read timeout: no solve in the evaluation grid takes minutes,
+/// so a silent daemon is a hung daemon and the client should say so instead
+/// of blocking forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(300);
+
+fn connect(addr: &str) -> io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    Ok(stream)
+}
+
+fn invalid(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// Sends one request and reads its response over a fresh connection.
+pub fn request_once(addr: &str, request: &Request) -> io::Result<Response> {
+    request_once_with_timeout(addr, request, READ_TIMEOUT)
+}
+
+/// [`request_once`] with an explicit per-read timeout (the daemon parent
+/// uses a short one for shard control frames).
+pub(crate) fn request_once_with_timeout(
+    addr: &str,
+    request: &Request,
+    timeout: Duration,
+) -> io::Result<Response> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    writeln!(writer, "{}", protocol::encode_request(request))?;
+    writer.flush()?;
+    let mut line = String::new();
+    if BufReader::new(stream).read_line(&mut line)? == 0 {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed the connection"));
+    }
+    protocol::parse_response(line.trim_end()).map_err(|e| invalid(e.to_string()))
+}
+
+/// Liveness probe.
+pub fn ping(addr: &str) -> io::Result<()> {
+    match request_once(addr, &Request::Ping { id: 1 })? {
+        Response::Pong { .. } => Ok(()),
+        Response::Error { message, .. } => Err(invalid(message)),
+        other => Err(invalid(format!("unexpected response {other:?}"))),
+    }
+}
+
+/// Fetches the daemon's aggregated per-shard statistics.
+pub fn stats(addr: &str) -> io::Result<(u64, String)> {
+    match request_once(addr, &Request::Stats { id: 1 })? {
+        Response::Stats { shards, detail, .. } => Ok((shards, detail)),
+        Response::Error { message, .. } => Err(invalid(message)),
+        other => Err(invalid(format!("unexpected response {other:?}"))),
+    }
+}
+
+/// Asks the daemon to shut down gracefully.
+pub fn shutdown(addr: &str) -> io::Result<()> {
+    match request_once(addr, &Request::Shutdown { id: 1 })? {
+        Response::ShuttingDown { .. } => Ok(()),
+        Response::Error { message, .. } => Err(invalid(message)),
+        other => Err(invalid(format!("unexpected response {other:?}"))),
+    }
+}
+
+/// Solves every spec on the daemon at `addr` and returns the outcomes in
+/// request order (see the module docs).
+pub fn solve_batch(
+    addr: &str,
+    specs: &[SolveSpec],
+) -> io::Result<Vec<Result<SolveResult, String>>> {
+    if specs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let stream = connect(addr)?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let frames: Vec<String> = specs
+        .iter()
+        .enumerate()
+        .map(|(id, spec)| {
+            protocol::encode_request(&Request::Solve { id: id as u64, spec: spec.clone() })
+        })
+        .collect();
+    // Stream the requests from a separate thread so neither side can stall
+    // on a full TCP buffer while the other waits.
+    let pump = std::thread::spawn(move || -> io::Result<()> {
+        for frame in &frames {
+            writeln!(writer, "{frame}")?;
+        }
+        writer.flush()
+    });
+
+    let mut outcomes: Vec<Option<Result<SolveResult, String>>> =
+        specs.iter().map(|_| None).collect();
+    let mut pending = specs.len();
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = protocol::parse_response(line.trim_end())
+            .map_err(|e| invalid(format!("bad response frame: {e}")))?;
+        let id = response.id() as usize;
+        let slot = outcomes
+            .get_mut(id)
+            .ok_or_else(|| invalid(format!("response for unknown request id {id}")))?;
+        if slot.is_some() {
+            return Err(invalid(format!("duplicate response for request id {id}")));
+        }
+        *slot = Some(match response {
+            Response::Solve { result, .. } => Ok(result),
+            Response::Error { message, .. } => Err(message),
+            other => return Err(invalid(format!("unexpected response {other:?}"))),
+        });
+        pending -= 1;
+        if pending == 0 {
+            break;
+        }
+    }
+    pump.join().map_err(|_| invalid("request writer panicked".to_string()))??;
+    if pending > 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!("daemon closed the connection with {pending} responses outstanding"),
+        ));
+    }
+    Ok(outcomes.into_iter().map(|o| o.expect("all outcomes filled")).collect())
+}

@@ -1,0 +1,389 @@
+//! Minimal one-line JSON objects for the NDJSON service protocol.
+//!
+//! The protocol only ever exchanges *flat* objects whose values are strings,
+//! numbers, booleans or `null`, one object per line.  This module implements
+//! exactly that subset — by hand, because the workspace builds offline with
+//! no `serde_json` — with a strict parser (malformed or truncated input is a
+//! clean `Err`, never a panic) and an escaping writer.
+//!
+//! Numbers keep their raw token until a caller asks for a concrete type, so
+//! `u64` identifiers survive untouched and `f64` payloads written with
+//! Rust's shortest round-trip formatting (`{:?}`) parse back to the exact
+//! same bit pattern.  Non-finite floats encode as `null` (JSON has no
+//! NaN/Infinity) and decode as `f64::NAN`.
+
+use std::collections::BTreeMap;
+
+/// One JSON value of the flat-object subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw token (always a valid `f64` literal).
+    Number(String),
+    /// A string (escapes already decoded).
+    Str(String),
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact unsigned integer (rejects fractions).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact `usize` (rejects fractions).
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Value::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as a float; `null` decodes as `NaN` (the writer's encoding
+    /// of non-finite floats).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(raw) => raw.parse().ok(),
+            Value::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object; trailing non-whitespace is an error.
+pub fn parse_object(input: &str) -> Result<BTreeMap<String, Value>, String> {
+    let mut parser = Parser { chars: input.chars().collect(), pos: 0 };
+    let object = parser.object()?;
+    parser.skip_ws();
+    if parser.pos != parser.chars.len() {
+        return Err(format!("trailing input after object at offset {}", parser.pos));
+    }
+    Ok(object)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\r' | '\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.bump() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(format!("expected `{want}` but found `{c}` at offset {}", self.pos - 1)),
+            None => Err(format!("expected `{want}` but input ended")),
+        }
+    }
+
+    fn object(&mut self) -> Result<BTreeMap<String, Value>, String> {
+        self.skip_ws();
+        self.expect('{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(map);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(map),
+                Some(c) => return Err(format!("expected `,` or `}}` but found `{c}`")),
+                None => return Err("object not closed before input ended".to_string()),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('"') => Ok(Value::Str(self.string()?)),
+            Some('t') => self.literal("true", Value::Bool(true)),
+            Some('f') => self.literal("false", Value::Bool(false)),
+            Some('n') => self.literal("null", Value::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("unexpected `{c}` at offset {}", self.pos)),
+            None => Err("expected a value but input ended".to_string()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        for want in word.chars() {
+            match self.bump() {
+                Some(c) if c == want => {}
+                _ => return Err(format!("malformed literal (expected `{word}`)")),
+            }
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || "+-.eE".contains(c)) {
+            self.pos += 1;
+        }
+        let raw: String = self.chars[start..self.pos].iter().collect();
+        if raw.parse::<f64>().is_err() {
+            return Err(format!("malformed number `{raw}`"));
+        }
+        Ok(Value::Number(raw))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("string not closed before input ended".to_string()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('b') => out.push('\u{0008}'),
+                    Some('f') => out.push('\u{000C}'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => out.push(self.unicode_escape()?),
+                    Some(c) => return Err(format!("unknown escape `\\{c}`")),
+                    None => return Err("escape at end of input".to_string()),
+                },
+                Some(c) if (c as u32) < 0x20 => {
+                    return Err("unescaped control character in string".to_string())
+                }
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let digit = self
+                .bump()
+                .and_then(|c| c.to_digit(16))
+                .ok_or_else(|| "malformed \\u escape".to_string())?;
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, String> {
+        let hi = self.hex4()?;
+        // Surrogate pair: a high surrogate must be followed by `\uDCxx`.
+        let code = if (0xD800..0xDC00).contains(&hi) {
+            if self.bump() != Some('\\') || self.bump() != Some('u') {
+                return Err("lone high surrogate in \\u escape".to_string());
+            }
+            let lo = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return Err("invalid low surrogate in \\u escape".to_string());
+            }
+            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+        } else {
+            hi
+        };
+        char::from_u32(code).ok_or_else(|| format!("invalid \\u code point {code:#x}"))
+    }
+}
+
+/// Appends `s` to `buf` as a quoted JSON string with all required escapes.
+pub fn escape_into(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                buf.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+/// Builds one flat JSON object, field by field, in insertion order.
+#[derive(Debug)]
+pub struct ObjectBuilder {
+    buf: String,
+    first: bool,
+}
+
+impl Default for ObjectBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObjectBuilder {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self { buf: String::from("{"), first: true }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        escape_into(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        escape_into(&mut self.buf, value);
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds a float field using the shortest round-trip encoding; non-finite
+    /// values become `null`.
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        if value.is_finite() {
+            self.buf.push_str(&format!("{value:?}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Closes the object and returns the encoded line.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_parser_round_trip_every_value_kind() {
+        let line = ObjectBuilder::new()
+            .str("s", "a \"quoted\"\\ line\nwith\ttabs and ünïcode")
+            .u64("n", u64::MAX)
+            .f64("x", 25_000.125)
+            .f64("nan", f64::NAN)
+            .bool("b", true)
+            .finish();
+        let map = parse_object(&line).unwrap();
+        assert_eq!(map["s"].as_str(), Some("a \"quoted\"\\ line\nwith\ttabs and ünïcode"));
+        assert_eq!(map["n"].as_u64(), Some(u64::MAX));
+        assert_eq!(map["x"].as_f64().unwrap().to_bits(), 25_000.125f64.to_bits());
+        assert!(map["nan"].as_f64().unwrap().is_nan());
+        assert_eq!(map["b"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn shortest_float_encoding_round_trips_exactly() {
+        for x in [0.1f64, 1.0 / 3.0, 1e-300, 2.5e17, -0.0, f64::MIN_POSITIVE] {
+            let line = ObjectBuilder::new().f64("x", x).finish();
+            let back = parse_object(&line).unwrap()["x"].as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x}");
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_error_cleanly() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{\"a\":--3}",
+            "{\"a\":\"unterminated",
+            "{\"a\":\"bad \\q escape\"}",
+            "{\"a\":\"\\u12\"}",
+            "{\"a\":\"\\ud800\"}",
+            "{\"a\":1} trailing",
+            "[1,2]",
+            "not json at all",
+            "{\"a\":truu}",
+        ] {
+            assert!(parse_object(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_and_standard_escapes_decode() {
+        let map =
+            parse_object("{\"s\":\"\\ud83e\\udde0 \\u00e9 \\/ \\b\\f\"}").expect("valid escapes");
+        assert_eq!(map["s"].as_str(), Some("\u{1F9E0} é / \u{0008}\u{000C}"));
+    }
+
+    #[test]
+    fn duplicate_keys_keep_the_last_value() {
+        let map = parse_object("{\"a\":1,\"a\":2}").unwrap();
+        assert_eq!(map["a"].as_u64(), Some(2));
+    }
+}

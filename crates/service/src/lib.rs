@@ -1,0 +1,36 @@
+//! # chain2l-service
+//!
+//! The long-lived service layer on top of the [`chain2l_core::Engine`]: a
+//! persistent `chain2l serve` daemon speaking a versioned NDJSON protocol
+//! over plain TCP (`std::net` only — no framework dependencies), sharding
+//! solve requests across worker **processes** by canonical scenario
+//! fingerprint, plus the matching client used by `chain2l batch --remote`.
+//!
+//! * [`protocol`] — the versioned NDJSON frames (requests, responses, the
+//!   shard hello line) and the spec → scenario resolution both sides share;
+//! * [`json`] — the hand-rolled flat-object JSON subset the frames use
+//!   (strict parsing, shortest-round-trip floats);
+//! * [`shard`] — the worker process: one engine per process serving
+//!   loopback connections, exiting on `shutdown` or parent death;
+//! * [`server`] — the parent daemon: public listener, shard spawning,
+//!   fingerprint routing, graceful shutdown with per-shard statistics;
+//! * [`client`] — pipelined remote batch solving and the control ops.
+//!
+//! Determinism contract: every solve is a deterministic pure function of the
+//! scenario and algorithm, each fingerprint is owned by exactly one shard,
+//! and responses are matched by id — so `chain2l batch --remote` output is
+//! **byte-identical** to the offline `chain2l batch` for any shard count,
+//! any client concurrency and any `RAYON_NUM_THREADS` (enforced by this
+//! crate's integration tests and the CI smoke job).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod shard;
+
+pub use protocol::{Request, Response, SolveResult, SolveSpec};
+pub use server::{ServeConfig, ServeSummary, Server};

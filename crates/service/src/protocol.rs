@@ -1,0 +1,480 @@
+//! The versioned NDJSON request/response protocol of the `chain2l` daemon.
+//!
+//! Every frame is one flat JSON object on one line (see [`crate::json`]).
+//! Requests carry the protocol version `v`, a caller-chosen `id` (echoed in
+//! the matching response, so pipelined requests may be answered in any
+//! order) and an `op`:
+//!
+//! ```text
+//! {"v":1,"id":7,"op":"solve","platform":"hera","pattern":"uniform",
+//!  "tasks":20,"weight":25000.0,"algorithm":"admv"}
+//! {"v":1,"id":8,"op":"stats"}
+//! {"v":1,"id":9,"op":"ping"}
+//! {"v":1,"id":10,"op":"shutdown"}
+//! ```
+//!
+//! Responses echo `v`, `id` and `op` and add `ok`; failed requests (unknown
+//! op, version mismatch, invalid scenario, malformed frame) get
+//! `{"ok":false,"error":"…"}` — a malformed line never kills the connection,
+//! let alone the daemon.  Solve responses carry the optimum:
+//!
+//! ```text
+//! {"v":1,"id":7,"ok":true,"op":"solve","expected_makespan":25822.97…,
+//!  "normalized_makespan":1.03…,"disk":1,"memory":3,"guaranteed":5,"partial":2}
+//! ```
+//!
+//! Floats are encoded with Rust's shortest round-trip formatting, so the
+//! remote client re-materialises bit-identical `f64`s — that is what makes
+//! `chain2l batch --remote` byte-identical to the offline `chain2l batch`.
+//! Unknown fields are ignored (forward compatibility); a missing or
+//! different `v` is a hard error (frames are versioned, not guessed).
+
+use crate::json::{self, ObjectBuilder, Value};
+use chain2l_core::{Algorithm, Solution};
+use chain2l_model::platform::scr;
+use chain2l_model::{Scenario, WeightPattern};
+use std::collections::BTreeMap;
+
+/// The protocol version this build speaks.
+pub const VERSION: u64 = 1;
+
+/// A protocol-level failure: malformed frame, version mismatch, unknown op
+/// or missing field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    message: String,
+}
+
+impl ProtocolError {
+    fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// One solve request payload: the same fields as a `chain2l batch` line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveSpec {
+    /// Platform name (resolved with [`scr::by_name`]).
+    pub platform: String,
+    /// Weight pattern name (resolved with [`WeightPattern::by_name`]).
+    pub pattern: String,
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Total computational weight (seconds).
+    pub weight: f64,
+    /// Algorithm label (resolved with [`Algorithm::parse`]).
+    pub algorithm: String,
+}
+
+/// The optimum reported for one solve request.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// Optimal expected makespan (seconds).
+    pub expected_makespan: f64,
+    /// Expected makespan over the error-free time.
+    pub normalized_makespan: f64,
+    /// Disk checkpoints placed.
+    pub disk: u64,
+    /// Memory checkpoints placed.
+    pub memory: u64,
+    /// Guaranteed verifications placed.
+    pub guaranteed: u64,
+    /// Partial verifications placed.
+    pub partial: u64,
+}
+
+impl SolveResult {
+    /// Extracts the wire payload from a solver [`Solution`].
+    pub fn from_solution(solution: &Solution) -> Self {
+        Self {
+            expected_makespan: solution.expected_makespan,
+            normalized_makespan: solution.normalized_makespan,
+            disk: solution.counts.disk_checkpoints as u64,
+            memory: solution.counts.memory_checkpoints as u64,
+            guaranteed: solution.counts.guaranteed_verifications as u64,
+            partial: solution.counts.partial_verifications as u64,
+        }
+    }
+}
+
+/// One request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Solve one scenario.
+    Solve {
+        /// Caller-chosen id, echoed in the response.
+        id: u64,
+        /// The scenario to solve.
+        spec: SolveSpec,
+    },
+    /// Report engine statistics (the daemon aggregates across shards).
+    Stats {
+        /// Caller-chosen id, echoed in the response.
+        id: u64,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Caller-chosen id, echoed in the response.
+        id: u64,
+    },
+    /// Graceful shutdown of the daemon and its shards.
+    Shutdown {
+        /// Caller-chosen id, echoed in the response.
+        id: u64,
+    },
+}
+
+/// One response frame.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// A successful solve.
+    Solve {
+        /// Echo of the request id.
+        id: u64,
+        /// The optimum.
+        result: SolveResult,
+    },
+    /// Engine statistics.
+    Stats {
+        /// Echo of the request id.
+        id: u64,
+        /// Number of shards covered by `detail`.
+        shards: u64,
+        /// Human-readable per-shard statistics, one shard per line.
+        detail: String,
+    },
+    /// Liveness reply.
+    Pong {
+        /// Echo of the request id.
+        id: u64,
+    },
+    /// Shutdown acknowledged; the daemon exits after sending this.
+    ShuttingDown {
+        /// Echo of the request id.
+        id: u64,
+    },
+    /// The request failed (the connection stays usable).
+    Error {
+        /// Echo of the request id (0 when the frame was too malformed to
+        /// carry one).
+        id: u64,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The echoed request id of any response kind.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Solve { id, .. }
+            | Response::Stats { id, .. }
+            | Response::Pong { id }
+            | Response::ShuttingDown { id }
+            | Response::Error { id, .. } => *id,
+        }
+    }
+}
+
+fn head(op: &str, id: u64) -> ObjectBuilder {
+    ObjectBuilder::new().u64("v", VERSION).u64("id", id).str("op", op)
+}
+
+/// Encodes a request as one NDJSON line (no trailing newline).
+pub fn encode_request(request: &Request) -> String {
+    match request {
+        Request::Solve { id, spec } => head("solve", *id)
+            .str("platform", &spec.platform)
+            .str("pattern", &spec.pattern)
+            .u64("tasks", spec.tasks as u64)
+            .f64("weight", spec.weight)
+            .str("algorithm", &spec.algorithm)
+            .finish(),
+        Request::Stats { id } => head("stats", *id).finish(),
+        Request::Ping { id } => head("ping", *id).finish(),
+        Request::Shutdown { id } => head("shutdown", *id).finish(),
+    }
+}
+
+/// Encodes a response as one NDJSON line (no trailing newline).
+pub fn encode_response(response: &Response) -> String {
+    match response {
+        Response::Solve { id, result } => head("solve", *id)
+            .bool("ok", true)
+            .f64("expected_makespan", result.expected_makespan)
+            .f64("normalized_makespan", result.normalized_makespan)
+            .u64("disk", result.disk)
+            .u64("memory", result.memory)
+            .u64("guaranteed", result.guaranteed)
+            .u64("partial", result.partial)
+            .finish(),
+        Response::Stats { id, shards, detail } => head("stats", *id)
+            .bool("ok", true)
+            .u64("shards", *shards)
+            .str("detail", detail)
+            .finish(),
+        Response::Pong { id } => head("ping", *id).bool("ok", true).finish(),
+        Response::ShuttingDown { id } => head("shutdown", *id).bool("ok", true).finish(),
+        Response::Error { id, message } => ObjectBuilder::new()
+            .u64("v", VERSION)
+            .u64("id", *id)
+            .bool("ok", false)
+            .str("error", message)
+            .finish(),
+    }
+}
+
+/// The shard worker's startup line announcing its ephemeral port.
+pub fn encode_hello(port: u16) -> String {
+    head("hello", 0).u64("port", u64::from(port)).finish()
+}
+
+/// Parses a shard worker's startup line.
+pub fn parse_hello(line: &str) -> Result<u16, ProtocolError> {
+    let map = checked_object(line)?;
+    if field(&map, "op")?.as_str() != Some("hello") {
+        return Err(ProtocolError::new("expected a hello frame"));
+    }
+    field(&map, "port")?
+        .as_u64()
+        .and_then(|p| u16::try_from(p).ok())
+        .ok_or_else(|| ProtocolError::new("hello frame carries no valid port"))
+}
+
+fn checked_object(line: &str) -> Result<BTreeMap<String, Value>, ProtocolError> {
+    let map = json::parse_object(line).map_err(ProtocolError::new)?;
+    match field(&map, "v")?.as_u64() {
+        Some(VERSION) => Ok(map),
+        Some(v) => Err(ProtocolError::new(format!(
+            "unsupported protocol version {v} (this daemon speaks {VERSION})"
+        ))),
+        None => Err(ProtocolError::new("field `v` is not an integer")),
+    }
+}
+
+fn field<'m>(map: &'m BTreeMap<String, Value>, key: &str) -> Result<&'m Value, ProtocolError> {
+    map.get(key).ok_or_else(|| ProtocolError::new(format!("missing field `{key}`")))
+}
+
+fn str_field(map: &BTreeMap<String, Value>, key: &str) -> Result<String, ProtocolError> {
+    field(map, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| ProtocolError::new(format!("field `{key}` is not a string")))
+}
+
+fn id_field(map: &BTreeMap<String, Value>) -> Result<u64, ProtocolError> {
+    field(map, "id")?
+        .as_u64()
+        .ok_or_else(|| ProtocolError::new("field `id` is not an unsigned integer"))
+}
+
+/// Best-effort extraction of a frame's id for error responses to frames that
+/// fail full parsing; 0 when even that is impossible.
+pub fn best_effort_id(line: &str) -> u64 {
+    json::parse_object(line).ok().and_then(|map| map.get("id")?.as_u64()).unwrap_or(0)
+}
+
+/// Parses one request frame.
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let map = checked_object(line)?;
+    let id = id_field(&map)?;
+    match str_field(&map, "op")?.as_str() {
+        "solve" => {
+            let spec = SolveSpec {
+                platform: str_field(&map, "platform")?,
+                pattern: str_field(&map, "pattern")?,
+                tasks: field(&map, "tasks")?.as_usize().ok_or_else(|| {
+                    ProtocolError::new("field `tasks` is not an unsigned integer")
+                })?,
+                weight: field(&map, "weight")?
+                    .as_f64()
+                    .ok_or_else(|| ProtocolError::new("field `weight` is not a number"))?,
+                algorithm: str_field(&map, "algorithm")?,
+            };
+            Ok(Request::Solve { id, spec })
+        }
+        "stats" => Ok(Request::Stats { id }),
+        "ping" => Ok(Request::Ping { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        other => Err(ProtocolError::new(format!("unknown op `{other}`"))),
+    }
+}
+
+/// Parses one response frame.
+pub fn parse_response(line: &str) -> Result<Response, ProtocolError> {
+    let map = checked_object(line)?;
+    let id = id_field(&map)?;
+    let ok = field(&map, "ok")?
+        .as_bool()
+        .ok_or_else(|| ProtocolError::new("field `ok` is not a boolean"))?;
+    if !ok {
+        return Ok(Response::Error { id, message: str_field(&map, "error")? });
+    }
+    match str_field(&map, "op")?.as_str() {
+        "solve" => {
+            let num = |key: &str| -> Result<f64, ProtocolError> {
+                field(&map, key)?
+                    .as_f64()
+                    .ok_or_else(|| ProtocolError::new(format!("field `{key}` is not a number")))
+            };
+            let count = |key: &str| -> Result<u64, ProtocolError> {
+                field(&map, key)?.as_u64().ok_or_else(|| {
+                    ProtocolError::new(format!("field `{key}` is not an unsigned integer"))
+                })
+            };
+            Ok(Response::Solve {
+                id,
+                result: SolveResult {
+                    expected_makespan: num("expected_makespan")?,
+                    normalized_makespan: num("normalized_makespan")?,
+                    disk: count("disk")?,
+                    memory: count("memory")?,
+                    guaranteed: count("guaranteed")?,
+                    partial: count("partial")?,
+                },
+            })
+        }
+        "stats" => Ok(Response::Stats {
+            id,
+            shards: field(&map, "shards")?
+                .as_u64()
+                .ok_or_else(|| ProtocolError::new("field `shards` is not an unsigned integer"))?,
+            detail: str_field(&map, "detail")?,
+        }),
+        "ping" => Ok(Response::Pong { id }),
+        "shutdown" => Ok(Response::ShuttingDown { id }),
+        other => Err(ProtocolError::new(format!("unknown response op `{other}`"))),
+    }
+}
+
+/// Resolves a [`SolveSpec`] into the scenario and algorithm it names.
+///
+/// This is the single validation path shared by the daemon parent (which
+/// needs the scenario to compute the shard fingerprint) and every shard
+/// worker — both sides resolving the same spec is what guarantees they agree
+/// on the scenario being solved.
+pub fn resolve_spec(spec: &SolveSpec) -> Result<(Scenario, Algorithm), String> {
+    let platform = scr::by_name(&spec.platform)
+        .ok_or_else(|| format!("unknown platform `{}`", spec.platform))?;
+    let pattern = WeightPattern::by_name(&spec.pattern)
+        .ok_or_else(|| format!("unknown pattern `{}`", spec.pattern))?;
+    let algorithm = Algorithm::parse(&spec.algorithm)
+        .ok_or_else(|| format!("unknown algorithm `{}`", spec.algorithm))?;
+    let scenario = Scenario::paper_setup(&platform, &pattern, spec.tasks, spec.weight)
+        .map_err(|e| format!("invalid scenario: {e}"))?;
+    Ok((scenario, algorithm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SolveSpec {
+        SolveSpec {
+            platform: "hera".into(),
+            pattern: "uniform".into(),
+            tasks: 20,
+            weight: 25_000.0,
+            algorithm: "admv".into(),
+        }
+    }
+
+    #[test]
+    fn request_frames_round_trip() {
+        for request in [
+            Request::Solve { id: 7, spec: spec() },
+            Request::Stats { id: 8 },
+            Request::Ping { id: 9 },
+            Request::Shutdown { id: u64::MAX },
+        ] {
+            let line = encode_request(&request);
+            assert_eq!(parse_request(&line).unwrap(), request, "{line}");
+        }
+    }
+
+    #[test]
+    fn solve_response_round_trips_floats_bit_exactly() {
+        let result = SolveResult {
+            expected_makespan: 25_822.971_312_345_67,
+            normalized_makespan: 1.0 / 3.0,
+            disk: 1,
+            memory: 3,
+            guaranteed: 5,
+            partial: 2,
+        };
+        let line = encode_response(&Response::Solve { id: 4, result: result.clone() });
+        match parse_response(&line).unwrap() {
+            Response::Solve { id, result: back } => {
+                assert_eq!(id, 4);
+                assert_eq!(back.expected_makespan.to_bits(), result.expected_makespan.to_bits());
+                assert_eq!(
+                    back.normalized_makespan.to_bits(),
+                    result.normalized_makespan.to_bits()
+                );
+                assert_eq!((back.disk, back.memory, back.guaranteed, back.partial), (1, 3, 5, 2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let line = encode_request(&Request::Ping { id: 1 }).replace("\"v\":1", "\"v\":2");
+        let err = parse_request(&line).unwrap_err();
+        assert!(err.to_string().contains("version 2"), "{err}");
+    }
+
+    #[test]
+    fn malformed_frames_error_with_best_effort_id() {
+        assert!(parse_request("{\"v\":1,\"id\":5}").is_err(), "missing op");
+        assert_eq!(best_effort_id("{\"v\":1,\"id\":5}"), 5);
+        assert_eq!(best_effort_id("garbage"), 0);
+        assert!(parse_request("").is_err());
+        assert!(parse_response("{\"v\":1,\"id\":1,\"ok\":true,\"op\":\"solve\"}").is_err());
+    }
+
+    #[test]
+    fn error_responses_round_trip() {
+        let line =
+            encode_response(&Response::Error { id: 3, message: "unknown platform `titan`".into() });
+        match parse_response(&line).unwrap() {
+            Response::Error { id, message } => {
+                assert_eq!(id, 3);
+                assert!(message.contains("titan"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hello_frames_round_trip() {
+        assert_eq!(parse_hello(&encode_hello(43_210)).unwrap(), 43_210);
+        assert!(parse_hello("{\"v\":1,\"op\":\"ping\",\"id\":0}").is_err());
+    }
+
+    #[test]
+    fn resolve_spec_validates_every_field() {
+        let (scenario, algorithm) = resolve_spec(&spec()).unwrap();
+        assert_eq!(scenario.task_count(), 20);
+        assert_eq!(algorithm, Algorithm::TwoLevelPartial);
+        for (bad, needle) in [
+            (SolveSpec { platform: "titan".into(), ..spec() }, "platform"),
+            (SolveSpec { pattern: "random".into(), ..spec() }, "pattern"),
+            (SolveSpec { algorithm: "magic".into(), ..spec() }, "algorithm"),
+            (SolveSpec { tasks: 0, ..spec() }, "scenario"),
+            (SolveSpec { weight: f64::NAN, ..spec() }, "scenario"),
+        ] {
+            let err = resolve_spec(&bad).unwrap_err();
+            assert!(err.contains(needle), "`{err}` should mention {needle}");
+        }
+    }
+}

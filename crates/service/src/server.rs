@@ -1,0 +1,341 @@
+//! The long-lived `chain2l serve` daemon: accepts NDJSON clients and shards
+//! their solve requests across worker *processes* by scenario fingerprint.
+//!
+//! Topology: the parent process owns the public [`TcpListener`] and `N`
+//! shard worker child processes (spawned from a configurable command — the
+//! CLI re-executes itself with `serve --internal-shard`).  Each worker owns
+//! one [`chain2l_core::Engine`], i.e. one disjoint cache-and-tables slice of
+//! the fingerprint space: the parent resolves every solve request, computes
+//! [`ScenarioFingerprint::stable_hash`]` % N` and forwards the frame to the
+//! owning shard, so the same scenario always lands on the same process and
+//! no solve is ever duplicated across shards.  Responses are relayed back
+//! verbatim (ids do the matching), so shard placement can never change
+//! results — only which process's cache warms up.
+//!
+//! Concurrency: one thread per client connection, each with its own lazy
+//! connections to the shards; requests on one connection are processed in
+//! order, parallelism comes from concurrent clients × shard processes × the
+//! rayon pool inside each shard's kernels.
+//!
+//! Shutdown: a `shutdown` frame drains other client connections (bounded
+//! wait), collects each shard's final statistics, stops the workers, answers
+//! the client and unblocks the accept loop; [`Server::run`] then returns a
+//! [`ServeSummary`].  If the parent dies uncleanly instead, the workers
+//! notice their stdin pipe closing and exit on their own.
+
+use crate::client;
+use crate::protocol::{self, Request, Response};
+use chain2l_core::ScenarioFingerprint;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of one daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:4615` (port 0 picks an ephemeral one).
+    pub addr: String,
+    /// Number of shard worker processes (≥ 1).
+    pub shards: usize,
+    /// Program spawned for each shard worker.
+    pub shard_program: PathBuf,
+    /// Arguments passed to the shard program.
+    pub shard_args: Vec<String>,
+}
+
+impl ServeConfig {
+    /// A daemon whose shard workers re-execute the current binary with
+    /// `serve --internal-shard` (how the `chain2l` CLI hosts itself).
+    pub fn self_hosted(addr: &str, shards: usize) -> io::Result<Self> {
+        Ok(Self {
+            addr: addr.to_string(),
+            shards,
+            shard_program: std::env::current_exe()?,
+            shard_args: vec!["serve".to_string(), "--internal-shard".to_string()],
+        })
+    }
+}
+
+/// What the daemon observed over its lifetime, returned by [`Server::run`]
+/// after a graceful shutdown.
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// Final engine statistics of each shard, in shard order.
+    pub per_shard: Vec<String>,
+    /// Client connections accepted.
+    pub connections: u64,
+}
+
+struct ShardWorker {
+    child: Child,
+    port: u16,
+    /// Held open for the child's lifetime: dropping it (e.g. when the parent
+    /// dies or reaps the worker) is the child's signal to exit, so the
+    /// shutdown path can never hang on a worker that missed its `shutdown`
+    /// frame.
+    stdin: Option<ChildStdin>,
+    _stdout: BufReader<ChildStdout>,
+}
+
+struct Shared {
+    ports: Vec<u16>,
+    stop: AtomicBool,
+    /// Live client connections (drained before shards are stopped).
+    active: AtomicUsize,
+    accepted: AtomicUsize,
+    local_addr: SocketAddr,
+    final_stats: Mutex<Vec<String>>,
+}
+
+/// A bound daemon: shards are running and the listener is open, but no
+/// client is served until [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    shards: Vec<ShardWorker>,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Spawns the shard workers and binds the public listener.
+    pub fn bind(config: &ServeConfig) -> io::Result<Server> {
+        if config.shards == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "at least one shard required"));
+        }
+        let mut shards = Vec::with_capacity(config.shards);
+        for index in 0..config.shards {
+            shards.push(spawn_shard(config, index)?);
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let shared = Arc::new(Shared {
+            ports: shards.iter().map(|s| s.port).collect(),
+            stop: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            accepted: AtomicUsize::new(0),
+            local_addr: listener.local_addr()?,
+            final_stats: Mutex::new(Vec::new()),
+        });
+        Ok(Server { listener, shards, shared })
+    }
+
+    /// The address the daemon accepts clients on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Serves clients until a graceful shutdown request, then stops the
+    /// shard workers and reports their final statistics.
+    pub fn run(mut self) -> io::Result<ServeSummary> {
+        for stream in self.listener.incoming() {
+            if self.shared.stop.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(_) => continue,
+            };
+            self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || handle_client(stream, &shared));
+        }
+        let mut summary = ServeSummary {
+            per_shard: self.shared.final_stats.lock().expect("stats poisoned").clone(),
+            connections: self.shared.accepted.load(Ordering::Relaxed) as u64,
+        };
+        // The shutdown handler already asked every worker to exit; closing
+        // its stdin pipe first covers a worker that missed the frame (its
+        // EOF watchdog fires), so `wait` cannot block indefinitely.
+        for (index, mut shard) in self.shards.drain(..).enumerate() {
+            drop(shard.stdin.take());
+            if shard.child.wait().is_err() {
+                let _ = shard.child.kill();
+            }
+            if summary.per_shard.len() <= index {
+                summary.per_shard.push(format!("shard {index}: no final statistics"));
+            }
+        }
+        Ok(summary)
+    }
+}
+
+fn spawn_shard(config: &ServeConfig, index: usize) -> io::Result<ShardWorker> {
+    let mut child = Command::new(&config.shard_program)
+        .args(&config.shard_args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()?;
+    let stdin = child.stdin.take().expect("piped stdin");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut hello = String::new();
+    stdout.read_line(&mut hello)?;
+    let port = protocol::parse_hello(hello.trim_end()).map_err(|e| {
+        let _ = child.kill();
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("shard {index} announced no port ({e}); startup line: {hello:?}"),
+        )
+    })?;
+    Ok(ShardWorker { child, port, stdin: Some(stdin), _stdout: stdout })
+}
+
+/// One lazily-opened forwarding connection per shard, owned by one client
+/// handler thread.
+struct ShardLinks {
+    ports: Vec<u16>,
+    links: Vec<Option<(BufReader<TcpStream>, BufWriter<TcpStream>)>>,
+}
+
+impl ShardLinks {
+    fn new(ports: &[u16]) -> Self {
+        Self { ports: ports.to_vec(), links: ports.iter().map(|_| None).collect() }
+    }
+
+    /// Forwards one request line to `shard` and returns the raw response
+    /// line (relayed to the client verbatim; the ids match it up).
+    ///
+    /// Any transport failure — write, flush or EOF — drops the cached link,
+    /// so the next request on this connection reconnects instead of
+    /// re-using a dead socket.
+    fn forward(&mut self, shard: usize, line: &str) -> io::Result<String> {
+        if self.links[shard].is_none() {
+            let stream = TcpStream::connect(("127.0.0.1", self.ports[shard]))?;
+            let reader = BufReader::new(stream.try_clone()?);
+            self.links[shard] = Some((reader, BufWriter::new(stream)));
+        }
+        let (reader, writer) = self.links[shard].as_mut().expect("link opened above");
+        let exchange = (|| {
+            writeln!(writer, "{line}")?;
+            writer.flush()?;
+            let mut response = String::new();
+            if reader.read_line(&mut response)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "shard closed the connection",
+                ));
+            }
+            Ok(response)
+        })();
+        match exchange {
+            Ok(response) => Ok(response.trim_end().to_string()),
+            Err(e) => {
+                self.links[shard] = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Sends one control frame to a shard over a fresh connection, with a
+/// short timeout (a worker that cannot answer a control frame within it is
+/// treated as unreachable).
+fn shard_control(port: u16, request: &Request) -> io::Result<Response> {
+    client::request_once_with_timeout(
+        &format!("127.0.0.1:{port}"),
+        request,
+        Duration::from_secs(30),
+    )
+}
+
+fn collect_stats(ports: &[u16]) -> Vec<String> {
+    ports
+        .iter()
+        .enumerate()
+        .map(|(index, &port)| match shard_control(port, &Request::Stats { id: 0 }) {
+            Ok(Response::Stats { detail, .. }) => format!("shard {index}: {detail}"),
+            Ok(other) => format!("shard {index}: unexpected response {other:?}"),
+            Err(e) => format!("shard {index}: unreachable ({e})"),
+        })
+        .collect()
+}
+
+/// Orchestrates a graceful shutdown: drain other clients, record final shard
+/// statistics, stop the workers, unblock the accept loop.
+fn orchestrate_shutdown(shared: &Shared) {
+    shared.stop.store(true, Ordering::Release);
+    // Bounded drain: wait for the other client connections to finish their
+    // in-flight requests (this handler counts as one).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while shared.active.load(Ordering::Acquire) > 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    *shared.final_stats.lock().expect("stats poisoned") = collect_stats(&shared.ports);
+    for &port in &shared.ports {
+        let _ = shard_control(port, &Request::Shutdown { id: 0 });
+    }
+    // Unblock the accept loop so `Server::run` can return.
+    let _ = TcpStream::connect(shared.local_addr);
+}
+
+/// Decrements the live-connection count even on early returns.
+struct ActiveGuard<'a>(&'a AtomicUsize);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+fn handle_client(stream: TcpStream, shared: &Shared) {
+    shared.active.fetch_add(1, Ordering::AcqRel);
+    let _guard = ActiveGuard(&shared.active);
+    let reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(_) => return,
+    };
+    let mut writer = BufWriter::new(stream);
+    let mut links = ShardLinks::new(&shared.ports);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => return,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut shutting_down = false;
+        let reply = match protocol::parse_request(&line) {
+            Err(e) => protocol::encode_response(&Response::Error {
+                id: protocol::best_effort_id(&line),
+                message: e.to_string(),
+            }),
+            Ok(Request::Ping { id }) => protocol::encode_response(&Response::Pong { id }),
+            Ok(Request::Stats { id }) => {
+                let details = collect_stats(&shared.ports);
+                protocol::encode_response(&Response::Stats {
+                    id,
+                    shards: shared.ports.len() as u64,
+                    detail: details.join("\n"),
+                })
+            }
+            Ok(Request::Shutdown { id }) => {
+                shutting_down = true;
+                orchestrate_shutdown(shared);
+                protocol::encode_response(&Response::ShuttingDown { id })
+            }
+            Ok(Request::Solve { id, spec }) => match protocol::resolve_spec(&spec) {
+                Err(message) => protocol::encode_response(&Response::Error { id, message }),
+                Ok((scenario, algorithm)) => {
+                    let fingerprint = ScenarioFingerprint::new(&scenario, algorithm);
+                    let shard = (fingerprint.stable_hash() % shared.ports.len() as u64) as usize;
+                    match links.forward(shard, &line) {
+                        Ok(raw) => raw,
+                        Err(e) => protocol::encode_response(&Response::Error {
+                            id,
+                            message: format!("shard {shard} failed: {e}"),
+                        }),
+                    }
+                }
+            },
+        };
+        if writeln!(writer, "{reply}").and_then(|()| writer.flush()).is_err() {
+            return;
+        }
+        if shutting_down {
+            return;
+        }
+    }
+}

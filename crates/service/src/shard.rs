@@ -1,0 +1,150 @@
+//! The shard worker process: one [`Engine`] per process, serving NDJSON
+//! requests over a loopback TCP socket.
+//!
+//! A worker binds an ephemeral `127.0.0.1` port, announces it to the parent
+//! daemon with one [`protocol::encode_hello`] line on stdout, and then
+//! serves connections forever: one thread per connection, all threads
+//! solving through the process's shared [`Engine`] (whose own cache and
+//! retained DP tables are this shard's disjoint slice of the fingerprint
+//! space — the parent only routes a fingerprint here when
+//! `stable_hash() % shards` says so).
+//!
+//! Lifecycle: the worker exits when it receives a `shutdown` frame (sent by
+//! the parent during graceful shutdown) **or** when its stdin reaches EOF —
+//! the parent holds the write end of that pipe, so even a `kill -9`'d parent
+//! takes its orphans down with it.
+
+use crate::protocol::{self, Request, Response, SolveResult};
+use chain2l_core::Engine;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// Computes the response to one request line; never panics, whatever the
+/// line contains.
+pub fn respond(line: &str, engine: &Engine) -> Response {
+    match protocol::parse_request(line) {
+        Err(e) => Response::Error { id: protocol::best_effort_id(line), message: e.to_string() },
+        Ok(Request::Ping { id }) => Response::Pong { id },
+        Ok(Request::Stats { id }) => {
+            Response::Stats { id, shards: 1, detail: engine.stats().to_string() }
+        }
+        Ok(Request::Shutdown { id }) => Response::ShuttingDown { id },
+        Ok(Request::Solve { id, spec }) => match protocol::resolve_spec(&spec) {
+            Err(message) => Response::Error { id, message },
+            Ok((scenario, algorithm)) => Response::Solve {
+                id,
+                result: SolveResult::from_solution(&engine.solve(&scenario, algorithm)),
+            },
+        },
+    }
+}
+
+fn handle_connection(stream: TcpStream, engine: &Engine) {
+    let reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(_) => return,
+    };
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => return,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = respond(&line, engine);
+        let shutting_down = matches!(response, Response::ShuttingDown { .. });
+        if writeln!(writer, "{}", protocol::encode_response(&response))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+        if shutting_down {
+            std::process::exit(0);
+        }
+    }
+}
+
+/// Runs a shard worker until shutdown (see the module docs).  This is what
+/// `chain2l serve --internal-shard` and the `chain2l-shard` binary execute.
+pub fn run_shard() -> std::io::Result<()> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    let port = listener.local_addr()?.port();
+    {
+        let mut out = std::io::stdout().lock();
+        writeln!(out, "{}", protocol::encode_hello(port))?;
+        out.flush()?;
+    }
+    // Tie this process's lifetime to the parent's: stdin EOF means the
+    // parent is gone (it holds the pipe's write end), so exit instead of
+    // leaking an orphan listener.
+    std::thread::spawn(|| {
+        let mut sink = [0u8; 256];
+        let mut stdin = std::io::stdin().lock();
+        loop {
+            match stdin.read(&mut sink) {
+                Ok(0) | Err(_) => std::process::exit(0),
+                Ok(_) => {}
+            }
+        }
+    });
+    let engine = Arc::new(Engine::new());
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(_) => continue,
+        };
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || handle_connection(stream, &engine));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chain2l_core::{optimize, Algorithm};
+    use chain2l_model::platform::scr;
+    use chain2l_model::{Scenario, WeightPattern};
+
+    #[test]
+    fn respond_never_panics_and_solves_correctly() {
+        let engine = Engine::new();
+        // Malformed lines get error responses with best-effort ids.
+        for bad in ["", "garbage", "{\"v\":9,\"id\":1,\"op\":\"ping\"}", "{\"v\":1,\"id\":2}"] {
+            match respond(bad, &engine) {
+                Response::Error { .. } => {}
+                other => panic!("`{bad}` should error, got {other:?}"),
+            }
+        }
+        // A valid solve matches the direct optimizer bit for bit.
+        let line = protocol::encode_request(&Request::Solve {
+            id: 11,
+            spec: protocol::SolveSpec {
+                platform: "atlas".into(),
+                pattern: "decrease".into(),
+                tasks: 9,
+                weight: 25_000.0,
+                algorithm: "admv*".into(),
+            },
+        });
+        let scenario =
+            Scenario::paper_setup(&scr::atlas(), &WeightPattern::Decrease, 9, 25_000.0).unwrap();
+        let direct = optimize(&scenario, Algorithm::TwoLevel);
+        match respond(&line, &engine) {
+            Response::Solve { id, result } => {
+                assert_eq!(id, 11);
+                assert_eq!(result.expected_makespan.to_bits(), direct.expected_makespan.to_bits());
+                assert_eq!(result.disk, direct.counts.disk_checkpoints as u64);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // An invalid scenario errors but keeps the engine usable.
+        let invalid = line.replace("\"tasks\":9", "\"tasks\":0");
+        assert!(matches!(respond(&invalid, &engine), Response::Error { id: 11, .. }));
+        assert!(matches!(respond(&line, &engine), Response::Solve { .. }));
+    }
+}

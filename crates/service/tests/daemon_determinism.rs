@@ -1,0 +1,164 @@
+//! End-to-end daemon tests with real shard worker *processes*: concurrent
+//! clients receive byte-identical, bit-exact answers at every shard count,
+//! malformed input never takes the daemon down, and graceful shutdown
+//! reports per-shard statistics.
+
+use chain2l_core::Engine;
+use chain2l_service::protocol::{self, SolveResult, SolveSpec};
+use chain2l_service::{client, ServeConfig, ServeSummary, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+
+fn start_server(shards: usize) -> (SocketAddr, JoinHandle<ServeSummary>) {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards,
+        shard_program: PathBuf::from(env!("CARGO_BIN_EXE_chain2l-shard")),
+        shard_args: Vec::new(),
+    };
+    let server = Server::bind(&config).expect("daemon binds");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("daemon runs"));
+    (addr, handle)
+}
+
+fn spec(platform: &str, pattern: &str, tasks: usize, algorithm: &str) -> SolveSpec {
+    SolveSpec {
+        platform: platform.to_string(),
+        pattern: pattern.to_string(),
+        tasks,
+        weight: 25_000.0,
+        algorithm: algorithm.to_string(),
+    }
+}
+
+/// A request mix spanning platforms, patterns and algorithms, with
+/// duplicates so shard-local caches are exercised.
+fn request_set() -> Vec<SolveSpec> {
+    vec![
+        spec("hera", "uniform", 8, "admv*"),
+        spec("atlas", "decrease", 6, "adv*"),
+        spec("coastal-ssd", "uniform", 7, "admv"),
+        spec("hera", "uniform", 8, "admv*"), // duplicate of #0
+        spec("hera", "highlow", 5, "admv"),
+        spec("coastal", "uniform", 6, "admv*"),
+        spec("atlas", "decrease", 6, "adv*"), // duplicate of #1
+        spec("hera", "uniform", 9, "adv*"),
+    ]
+}
+
+/// Bit-exact comparison key of one outcome.
+fn key(result: &SolveResult) -> (u64, u64, u64, u64, u64, u64) {
+    (
+        result.expected_makespan.to_bits(),
+        result.normalized_makespan.to_bits(),
+        result.disk,
+        result.memory,
+        result.guaranteed,
+        result.partial,
+    )
+}
+
+fn local_reference(specs: &[SolveSpec]) -> Vec<(u64, u64, u64, u64, u64, u64)> {
+    let engine = Engine::new();
+    specs
+        .iter()
+        .map(|s| {
+            let (scenario, algorithm) = protocol::resolve_spec(s).expect("valid spec");
+            key(&SolveResult::from_solution(&engine.solve(&scenario, algorithm)))
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_answers_at_every_shard_count() {
+    let specs = request_set();
+    let reference = local_reference(&specs);
+    for shards in [1usize, 2, 4] {
+        let (addr, handle) = start_server(shards);
+        let addr_text = addr.to_string();
+
+        // Several clients stream the full batch concurrently.
+        let clients: Vec<_> = (0..3)
+            .map(|_| {
+                let addr = addr_text.clone();
+                let specs = specs.clone();
+                std::thread::spawn(move || client::solve_batch(&addr, &specs))
+            })
+            .collect();
+        for client_handle in clients {
+            let outcomes = client_handle.join().expect("client thread").expect("batch succeeds");
+            assert_eq!(outcomes.len(), specs.len());
+            let keys: Vec<_> =
+                outcomes.iter().map(|o| key(o.as_ref().expect("every request succeeds"))).collect();
+            assert_eq!(keys, reference, "{shards} shard(s): remote differs from local");
+        }
+
+        // Per-shard statistics are reported for every worker.
+        let (reported, detail) = client::stats(&addr_text).expect("stats");
+        assert_eq!(reported as usize, shards);
+        assert_eq!(detail.lines().count(), shards, "{detail}");
+        assert!(detail.contains("shard 0:"), "{detail}");
+
+        // Graceful shutdown returns the final per-shard statistics.
+        client::shutdown(&addr_text).expect("shutdown");
+        let summary = handle.join().expect("server thread");
+        assert_eq!(summary.per_shard.len(), shards);
+        assert!(summary.connections >= 4, "3 clients + control ops, got {}", summary.connections);
+        // Every distinct fingerprint was solved somewhere, none twice: the
+        // shard engines' miss counts sum to the number of distinct specs.
+        let total_misses: u64 = summary
+            .per_shard
+            .iter()
+            .map(|line| {
+                let misses = line.split(" misses").next().and_then(|s| s.split(", ").last());
+                misses.and_then(|m| m.parse::<u64>().ok()).unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(total_misses, 6, "8 requests, 2 duplicates: {:?}", summary.per_shard);
+    }
+}
+
+#[test]
+fn malformed_and_invalid_requests_never_kill_the_daemon() {
+    let (addr, handle) = start_server(2);
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut read_line = || {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        line.trim_end().to_string()
+    };
+
+    // Garbage, a truncated frame, a wrong version and an unknown platform —
+    // each answered with ok:false on the same connection.
+    writer.write_all(b"this is not json\n").unwrap();
+    assert!(read_line().contains("\"ok\":false"));
+    writer.write_all(b"{\"v\":1,\"id\":7,\"op\":\"solve\",\"platform\":\n").unwrap();
+    assert!(read_line().contains("\"ok\":false"));
+    writer.write_all(b"{\"v\":99,\"id\":8,\"op\":\"ping\"}\n").unwrap();
+    let line = read_line();
+    assert!(line.contains("\"ok\":false") && line.contains("version"), "{line}");
+    let bad_platform = protocol::encode_request(&protocol::Request::Solve {
+        id: 9,
+        spec: spec("titan", "uniform", 5, "admv*"),
+    });
+    writer.write_all(format!("{bad_platform}\n").as_bytes()).unwrap();
+    let line = read_line();
+    assert!(line.contains("\"ok\":false") && line.contains("titan"), "{line}");
+
+    // The daemon is still healthy: a valid request on the same connection.
+    let good = protocol::encode_request(&protocol::Request::Solve {
+        id: 10,
+        spec: spec("hera", "uniform", 5, "admv*"),
+    });
+    writer.write_all(format!("{good}\n").as_bytes()).unwrap();
+    let line = read_line();
+    assert!(line.contains("\"ok\":true") && line.contains("\"id\":10"), "{line}");
+
+    client::shutdown(&addr.to_string()).expect("shutdown");
+    handle.join().expect("server thread");
+}

@@ -15,6 +15,7 @@
 
 use chain2l::analysis::sweep::{rate_scaling_sweep, recall_sweep, tail_accounting_comparison};
 use chain2l::prelude::*;
+use chain2l::Engine;
 
 fn main() {
     let n = 50usize;
@@ -32,7 +33,10 @@ fn main() {
 
     // --- 1. Scale the error rates -------------------------------------------------
     let factors = [1.0, 2.0, 5.0, 10.0, 20.0, 50.0];
-    println!("{}", rate_scaling_sweep(&platform, n, total_weight, &factors).to_aligned_text());
+    println!(
+        "{}",
+        rate_scaling_sweep(&platform, n, total_weight, &factors, &Engine::new()).to_aligned_text()
+    );
 
     // For each scale, quantify what each mechanism buys.
     println!("Value of each mechanism (expected makespan in seconds):");
@@ -64,12 +68,15 @@ fn main() {
     let stressed = platform.with_scaled_rates(10.0).expect("valid scaling");
     println!(
         "{}",
-        recall_sweep(&stressed, n, total_weight, &[0.1, 0.25, 0.5, 0.75, 0.9, 1.0])
+        recall_sweep(&stressed, n, total_weight, &[0.1, 0.25, 0.5, 0.75, 0.9, 1.0], &Engine::new())
             .to_aligned_text()
     );
 
     // --- 3. Does the §III-B tail-accounting choice ever matter? --------------------
-    println!("{}", tail_accounting_comparison(&scr::all(), 30, total_weight).to_aligned_text());
+    println!(
+        "{}",
+        tail_accounting_comparison(&scr::all(), 30, total_weight, &Engine::new()).to_aligned_text()
+    );
 
     println!(
         "Reading: the second checkpoint level and the partial verifications grow from \

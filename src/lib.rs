@@ -62,7 +62,8 @@ pub use chain2l_model as model;
 pub use chain2l_sim as sim;
 
 pub use chain2l_core::{
-    optimize, Algorithm, IncrementalSolver, PartialCostModel, Solution, SolutionCache,
+    optimize, Algorithm, Engine, EngineStats, IncrementalSolver, PartialCostModel, Solution,
+    SolutionCache,
 };
 pub use chain2l_model::{
     Action, ActionCounts, ModelError, Platform, ResilienceCosts, Scenario, Schedule, TaskChain,
@@ -72,7 +73,7 @@ pub use chain2l_model::{
 /// Convenient glob import: `use chain2l::prelude::*;`.
 pub mod prelude {
     pub use crate::core::evaluator::expected_makespan;
-    pub use crate::core::{optimize, Algorithm, PartialCostModel, Solution};
+    pub use crate::core::{optimize, Algorithm, Engine, PartialCostModel, Solution};
     pub use crate::model::platform::scr;
     pub use crate::model::{
         Action, ActionCounts, Platform, ResilienceCosts, Scenario, Schedule, TaskChain,

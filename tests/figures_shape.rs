@@ -23,7 +23,7 @@ fn fig5_two_level_beats_single_level_on_every_platform_and_size() {
     // to the single-level algorithm ADV*".
     let config = quickish();
     for platform in scr::all() {
-        let series = makespan_series(&platform, &WeightPattern::Uniform, &config);
+        let series = makespan_series(&platform, &WeightPattern::Uniform, &config, &Engine::new());
         for point in &series.points {
             let single = point.value(Algorithm::SingleLevel).unwrap();
             let two = point.value(Algorithm::TwoLevel).unwrap();
@@ -95,8 +95,13 @@ fn fig5_checkpoint_counts_stay_small_while_verifications_grow() {
         algorithms: vec![Algorithm::SingleLevel],
     };
     for platform in scr::all() {
-        let series =
-            count_series(&platform, &WeightPattern::Uniform, Algorithm::SingleLevel, &config);
+        let series = count_series(
+            &platform,
+            &WeightPattern::Uniform,
+            Algorithm::SingleLevel,
+            &config,
+            &Engine::new(),
+        );
         for point in &series.points {
             assert!(
                 point.counts.disk_checkpoints <= 5,
@@ -163,7 +168,7 @@ fn fig6_no_interior_disk_checkpoints_and_coastal_ssd_prefers_partials() {
     // Paper (Figure 6): "For all platforms, the algorithm does not perform any
     // additional disk checkpoints"; and on Coastal SSD the expensive
     // guaranteed verifications give way to partial ones.
-    let strips = fig6(50, PAPER_TOTAL_WEIGHT);
+    let strips = fig6(50, PAPER_TOTAL_WEIGHT, &Engine::new());
     assert_eq!(strips.len(), 4);
     for strip in &strips {
         let counts = strip.schedule.counts();
@@ -234,7 +239,7 @@ fn makespan_band_matches_the_paper_plots() {
     // coarse check that the cost model is not off by, say, a factor of two).
     let config = quickish();
     for platform in scr::all() {
-        let series = makespan_series(&platform, &WeightPattern::Uniform, &config);
+        let series = makespan_series(&platform, &WeightPattern::Uniform, &config, &Engine::new());
         for point in &series.points {
             for (_, value) in &point.values {
                 assert!(
