@@ -7,6 +7,9 @@
 //!   cargo run --release -p chain2l-bench --bin dp_report -- \
 //!       --check crates/bench/baselines/dp_candidates.csv             # CI gate
 //!   cargo run --release -p chain2l-bench --bin dp_report -- --full   # + n=100 exhaustive
+//!   cargo run --release -p chain2l-bench --bin dp_report -- --wall   # wall-clock bench
+//!   cargo run --release -p chain2l-bench --bin dp_report -- \
+//!       --wall --check-wall crates/bench/baselines/BENCH_wall.json   # wall-clock gate
 //!
 //! `--check` re-runs the reference scenarios and **fails (exit 1) when any
 //! pruned `candidates_examined` exceeds its recorded baseline** — the counts
@@ -16,6 +19,18 @@
 //! regenerate them with `--print-baseline` after an intentional kernel
 //! change.  A recorded trajectory snapshot lives at
 //! `crates/bench/baselines/BENCH_dp.json` (`results/` is gitignored).
+//!
+//! `--wall` measures cold-solve wall-clock (best of [`WALL_REPEATS`]), peak
+//! RSS and heap-allocation counts (via the counting global allocator below)
+//! for the pruned `A_DMV` kernel at `n ∈ {25, 50, 100}`, writes
+//! `results/BENCH_wall.json`, and — when the recorded baseline exists —
+//! annotates every cell with its improvement factor over it.
+//! `--check-wall` additionally **fails (exit 1) when the `n = 50` cell
+//! regresses by more than 15 %** against the recorded wall-clock baseline
+//! (`crates/bench/baselines/BENCH_wall.json`); unlike the candidate gate
+//! this one measures time, so the tolerance absorbs scheduler noise while
+//! still catching the allocator/bandwidth regressions the arena work is
+//! protecting against.
 
 use chain2l_analysis::experiments::weak_scaling_scenario;
 use chain2l_bench::write_result_file;
@@ -23,7 +38,45 @@ use chain2l_core::incremental::IncrementalSolver;
 use chain2l_core::{optimize_with_partials, Algorithm, PartialOptions, Solution};
 use chain2l_model::platform::scr;
 use chain2l_model::{Platform, Scenario, WeightPattern};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Number of timed runs per wall-clock cell; the fastest is reported (the
+/// minimum is the standard low-noise estimator for deterministic work).
+const WALL_REPEATS: usize = 5;
+
+/// Wall-clock regression tolerance of the `--check-wall` gate.
+const WALL_TOLERANCE: f64 = 1.15;
+
+/// Heap allocations performed since process start (alloc + realloc calls).
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// [`System`] with an allocation counter: the only way to observe allocator
+/// churn from safe benchmark code.  Deallocations are not counted — the
+/// report tracks how often the hot path asks the allocator for memory, which
+/// is exactly what the table arena is meant to drive to zero.
+struct CountingAllocator;
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
 
 /// One measured reference cell.
 struct Cell {
@@ -125,6 +178,194 @@ fn run_series() -> SeriesReport {
     }
     let cold_millis = start.elapsed().as_secs_f64() * 1e3;
     SeriesReport { points, incremental_millis, cold_millis, stats: solver.stats().to_string() }
+}
+
+/// One wall-clock bench cell: cold pruned solves of the `A_DMV` kernel.
+struct WallCell {
+    platform: String,
+    n: usize,
+    algorithm: Algorithm,
+    /// Fastest of [`WALL_REPEATS`] cold solves, in milliseconds.
+    wall_millis: f64,
+    /// Heap allocations (alloc + realloc) of one cold solve.
+    allocations: u64,
+    /// Process peak RSS after the cell ran (`VmHWM`, cumulative across
+    /// cells — run the largest `n` last), 0 where unsupported.
+    peak_rss_kb: u64,
+}
+
+/// Process peak resident set (`VmHWM` from `/proc/self/status`, Linux only;
+/// falls back to the current `VmRSS` on kernels that do not report a
+/// high-water mark, and to 0 where `/proc` is unavailable).
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    let field = |key: &str| {
+        status
+            .lines()
+            .find_map(|line| line.strip_prefix(key))
+            .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+    };
+    field("VmHWM:").or_else(|| field("VmRSS:")).unwrap_or(0)
+}
+
+/// The wall-clock reference cells: Hera `A_DMV` at `n ∈ {25, 50, 100}`
+/// (paper setup, uniform weights), cold pruned solves only — the scenario
+/// family both the `n = 50` CI gate and the `n = 100` cold-solve trajectory
+/// read from.
+fn run_wall_cells() -> Vec<WallCell> {
+    [25usize, 50, 100]
+        .into_iter()
+        .map(|n| {
+            let platform = scr::hera();
+            let s = Scenario::paper_setup(&platform, &WeightPattern::Uniform, n, 25_000.0)
+                .expect("valid paper setup");
+            let mut wall_millis = f64::INFINITY;
+            let mut allocations = 0;
+            for _ in 0..WALL_REPEATS {
+                let before = ALLOCATIONS.load(Ordering::Relaxed);
+                let start = Instant::now();
+                let solution = optimize_with_partials(&s, PartialOptions::paper_exact());
+                let millis = start.elapsed().as_secs_f64() * 1e3;
+                allocations = ALLOCATIONS.load(Ordering::Relaxed) - before;
+                assert!(solution.expected_makespan.is_finite());
+                wall_millis = wall_millis.min(millis);
+            }
+            WallCell {
+                platform: platform.name,
+                n,
+                algorithm: Algorithm::TwoLevelPartial,
+                wall_millis,
+                allocations,
+                peak_rss_kb: peak_rss_kb(),
+            }
+        })
+        .collect()
+}
+
+/// Extracts a `"key": value` field from one rendered JSON line (the wall
+/// report is rendered one cell per line, so line-oriented parsing is exact
+/// for our own output format — no JSON dependency needed offline).
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pattern = format!("\"{key}\": ");
+    let start = line.find(&pattern)? + pattern.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Parses `(platform, n, wall_millis)` rows out of a recorded
+/// `BENCH_wall.json`.
+fn parse_wall_baseline(text: &str) -> Vec<(String, usize, f64)> {
+    text.lines()
+        .filter(|line| line.contains("\"wall_millis\""))
+        .filter_map(|line| {
+            Some((
+                json_field(line, "platform")?.to_string(),
+                json_field(line, "n")?.parse().ok()?,
+                json_field(line, "wall_millis")?.parse().ok()?,
+            ))
+        })
+        .collect()
+}
+
+fn render_wall_json(cells: &[WallCell], baseline: &[(String, usize, f64)]) -> String {
+    let mut out = String::from("{\n  \"report\": \"dp_wall\",\n  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"platform\": \"{}\", \"pattern\": \"uniform\", \"n\": {}, \
+             \"algorithm\": \"{}\", \"wall_millis\": {:.3}, \"allocations\": {}, \
+             \"peak_rss_kb\": {}",
+            c.platform,
+            c.n,
+            c.algorithm.label(),
+            c.wall_millis,
+            c.allocations,
+            c.peak_rss_kb,
+        ));
+        if let Some((_, _, base)) =
+            baseline.iter().find(|(platform, n, _)| *platform == c.platform && *n == c.n)
+        {
+            out.push_str(&format!(
+                ", \"baseline_wall_millis\": {:.3}, \"improvement\": {:.2}",
+                base,
+                base / c.wall_millis
+            ));
+        }
+        out.push_str(if i + 1 == cells.len() { "}\n" } else { "},\n" });
+    }
+    out.push_str(&format!(
+        "  ],\n  \"repeats\": {WALL_REPEATS},\n  \"gate\": {{\"platform\": \"Hera\", \
+         \"n\": 50, \"max_regression\": {WALL_TOLERANCE}}}\n}}\n"
+    ));
+    out
+}
+
+/// The `--check-wall` gate: the `n = 50` reference cell must stay within
+/// [`WALL_TOLERANCE`] of its recorded baseline.  Returns the number of
+/// regressions (baseline rows for other cells are informational only — small
+/// cells are noise-dominated and `n = 100` tracks the trajectory).
+fn check_wall(cells: &[WallCell], baseline: &[(String, usize, f64)]) -> usize {
+    let mut regressions = 0;
+    let Some(cell) = cells.iter().find(|c| c.platform == "Hera" && c.n == 50) else {
+        eprintln!("dp_report: wall gate cell Hera n=50 was not measured");
+        return 1;
+    };
+    match baseline.iter().find(|(platform, n, _)| platform == "Hera" && *n == 50) {
+        None => {
+            eprintln!("dp_report: wall baseline has no Hera n=50 row");
+            regressions += 1;
+        }
+        Some((_, _, base)) if cell.wall_millis > base * WALL_TOLERANCE => {
+            eprintln!(
+                "dp_report: WALL REGRESSION Hera n=50: {:.1} ms > {:.1} ms baseline x {:.2}",
+                cell.wall_millis, base, WALL_TOLERANCE
+            );
+            regressions += 1;
+        }
+        Some((_, _, base)) => {
+            eprintln!(
+                "dp_report: wall ok Hera n=50: {:.1} ms <= {:.1} ms baseline x {:.2}",
+                cell.wall_millis, base, WALL_TOLERANCE
+            );
+        }
+    }
+    regressions
+}
+
+fn run_wall(check: Option<String>, baseline_path: &str) -> i32 {
+    let cells = run_wall_cells();
+    let baseline = std::fs::read_to_string(check.as_deref().unwrap_or(baseline_path))
+        .map(|text| parse_wall_baseline(&text))
+        .unwrap_or_default();
+    for c in &cells {
+        let vs = baseline
+            .iter()
+            .find(|(platform, n, _)| *platform == c.platform && *n == c.n)
+            .map(|(_, _, base)| {
+                format!(" ({:.2}x vs baseline {:.1} ms)", base / c.wall_millis, base)
+            })
+            .unwrap_or_default();
+        eprintln!(
+            "dp_report: wall {} n={}: {:.1} ms, {} allocations, peak RSS {} kB{vs}",
+            c.platform, c.n, c.wall_millis, c.allocations, c.peak_rss_kb
+        );
+    }
+    let json = render_wall_json(&cells, &baseline);
+    print!("{json}");
+    if let Some(path) = write_result_file("BENCH_wall.json", &json) {
+        eprintln!("dp_report: JSON written to {}", path.display());
+    }
+    if check.is_some() {
+        let regressions = check_wall(&cells, &baseline);
+        if regressions > 0 {
+            eprintln!("dp_report: {regressions} wall-clock regression(s)");
+            return 1;
+        }
+        eprintln!("dp_report: no wall-clock regressions");
+    }
+    0
 }
 
 fn render_json(cells: &[Cell], series: &SeriesReport) -> String {
@@ -251,6 +492,13 @@ fn check_baseline(cells: &[Cell], baseline: &str) -> usize {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--wall") {
+        let check = args
+            .iter()
+            .position(|a| a == "--check-wall")
+            .map(|i| args.get(i + 1).cloned().expect("--check-wall needs a baseline path"));
+        std::process::exit(run_wall(check, "crates/bench/baselines/BENCH_wall.json"));
+    }
     let check = args
         .iter()
         .position(|a| a == "--check")

@@ -9,7 +9,7 @@ use chain2l_analysis::sweep;
 use chain2l_analysis::validation;
 use chain2l_core::cache::SolveRequest;
 use chain2l_core::evaluator::expected_makespan;
-use chain2l_core::{optimize, Algorithm, Engine, PartialCostModel};
+use chain2l_core::{optimize, Algorithm, Engine, EngineLimits, PartialCostModel};
 use chain2l_model::platform::scr;
 use chain2l_model::{Platform, Scenario, Schedule, WeightPattern};
 use chain2l_service::{client, ServeConfig, Server, SolveSpec};
@@ -75,6 +75,9 @@ SERVE:
   --addr <host:port>              listen address (default: 127.0.0.1:4615)
   --shards <n>                    worker processes, each owning a disjoint
                                   slice of the scenario space (default: 2)
+  --cache-cap <n>                 bound every shard engine to n cached
+                                  solutions and n retained DP table contexts
+                                  (LRU eviction; default: unbounded)
   --stats | --stop                query / gracefully stop the daemon at --addr
 
 SOLVE:
@@ -505,8 +508,14 @@ pub fn run_batch_remote(input: &str, addr: &str) -> Result<String, ArgError> {
 /// operations, or one shard worker when re-executed with
 /// `--internal-shard`).
 fn cmd_serve(args: &ParsedArgs) -> Result<String, ArgError> {
+    let cache_cap = match args.options.get("cache-cap") {
+        None => None,
+        Some(_) => Some(args.usize_or("cache-cap", 0)?),
+    };
     if args.flag("internal-shard") {
-        chain2l_service::shard::run_shard().map_err(|e| ArgError::runtime("shard worker", e))?;
+        let limits = cache_cap.map(EngineLimits::entry_cap).unwrap_or_default();
+        chain2l_service::shard::run_shard_with(limits)
+            .map_err(|e| ArgError::runtime("shard worker", e))?;
         return Ok(String::new());
     }
     let addr = args.get_or("addr", "127.0.0.1:4615");
@@ -533,7 +542,7 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, ArgError> {
             expected: "at least one shard worker".into(),
         });
     }
-    let config = ServeConfig::self_hosted(addr, shards)
+    let config = ServeConfig::self_hosted(addr, shards, cache_cap)
         .map_err(|e| ArgError::runtime("resolving the shard worker command", e))?;
     let server =
         Server::bind(&config).map_err(|e| ArgError::runtime(&format!("binding {addr}"), e))?;
@@ -1017,6 +1026,11 @@ hera uniform 8
         }
         // Zero shards is a usage error before anything is spawned.
         let err = run_tokens(&["serve", "--shards", "0"]).unwrap_err();
+        assert!(err.is_usage());
+        // An unparseable cache cap is a usage error too (before the daemon
+        // binds or any worker is spawned).
+        let err = run_tokens(&["serve", "--cache-cap", "lots"]).unwrap_err();
+        assert!(matches!(&err, ArgError::InvalidValue { option, .. } if option == "cache-cap"));
         assert!(err.is_usage());
     }
 

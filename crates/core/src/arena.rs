@@ -1,0 +1,217 @@
+//! Pooled DP-table storage: the [`TableArena`] buffer pool behind the
+//! allocation-free solve hot path.
+//!
+//! Every cold solve of the §III dynamic programs used to allocate a fresh
+//! set of per-`d1` slice tables (value plane, argmin plane, `Emem` row and
+//! its argmins) plus the inner-DP scratch vectors, and drop them all when
+//! the [`crate::Solution`] was assembled — `O(n)` heap round-trips per
+//! solve, repeated for every request of a daemon or sweep workload.  The
+//! arena breaks that churn: finished tables **return** their backing `Vec`s
+//! here instead of freeing them, and the next checkout reuses the
+//! allocation (`clear` + `resize`, so every cell is re-initialised to the
+//! requested fill — recycled buffers can never leak stale values, which the
+//! NaN-poisoning tests below prove).
+//!
+//! The pool is deliberately simple: two LIFO free lists (`f64` value/scratch
+//! buffers, `u32` argmin planes) behind mutexes, with relaxed counters for
+//! observability ([`ArenaStats`]).  A checkout that finds the pool empty
+//! falls back to a fresh allocation, and a recycled buffer whose capacity is
+//! too small grows in place — so after a short warmup on a steady workload
+//! (same platforms, same chain sizes) the per-solve allocation count drops
+//! to zero, which `dp_report --wall` and the counting-allocator test in
+//! `tests/alloc_free.rs` make observable.
+//!
+//! Ownership: [`crate::Engine`] and [`crate::IncrementalSolver`] each own
+//! one arena and thread `&TableArena` through the kernels; the plain
+//! [`crate::optimize`] entry points use a throwaway arena per call (same
+//! behaviour as before the pool existed).  Sharing is safe by construction —
+//! buffers are re-filled on checkout, so which solve previously used an
+//! allocation is unobservable (see DESIGN.md §7 for the lifecycle:
+//! checkout → fill → retain-or-return).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Checkout/return counters of one [`TableArena`], cumulative since
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArenaStats {
+    /// Buffers checked out (pool hit or fresh allocation).
+    pub checkouts: u64,
+    /// Checkouts served by recycling a pooled buffer.
+    pub pool_hits: u64,
+    /// Buffers returned to the pool.
+    pub returns: u64,
+}
+
+impl ArenaStats {
+    /// Fraction of checkouts served from the pool (`0.0` before any
+    /// checkout).
+    pub fn hit_rate(&self) -> f64 {
+        if self.checkouts == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / self.checkouts as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ArenaStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} checkouts ({:.1} % pooled), {} returned",
+            self.checkouts,
+            self.hit_rate() * 100.0,
+            self.returns
+        )
+    }
+}
+
+/// A buffer pool for the DP tables' backing storage (see the module docs).
+///
+/// Checked-out buffers are plain `Vec`s — the arena does not track them;
+/// callers return them with [`TableArena::give_f64`] / [`TableArena::give_u32`]
+/// when the table is retired (dropping one instead merely forgoes the reuse).
+#[derive(Debug, Default)]
+pub struct TableArena {
+    f64_pool: Mutex<Vec<Vec<f64>>>,
+    u32_pool: Mutex<Vec<Vec<u32>>>,
+    checkouts: AtomicU64,
+    pool_hits: AtomicU64,
+    returns: AtomicU64,
+}
+
+impl TableArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks out a `len`-element `f64` buffer with every cell set to
+    /// `fill`, reusing a pooled allocation when one is available.
+    pub fn take_f64(&self, len: usize, fill: f64) -> Vec<f64> {
+        self.checkouts.fetch_add(1, Ordering::Relaxed);
+        match self.f64_pool.lock().expect("arena pool poisoned").pop() {
+            Some(mut buf) => {
+                self.pool_hits.fetch_add(1, Ordering::Relaxed);
+                buf.clear();
+                buf.resize(len, fill);
+                buf
+            }
+            None => vec![fill; len],
+        }
+    }
+
+    /// Checks out a `len`-element `u32` buffer with every cell set to
+    /// `fill`, reusing a pooled allocation when one is available.
+    pub fn take_u32(&self, len: usize, fill: u32) -> Vec<u32> {
+        self.checkouts.fetch_add(1, Ordering::Relaxed);
+        match self.u32_pool.lock().expect("arena pool poisoned").pop() {
+            Some(mut buf) => {
+                self.pool_hits.fetch_add(1, Ordering::Relaxed);
+                buf.clear();
+                buf.resize(len, fill);
+                buf
+            }
+            None => vec![fill; len],
+        }
+    }
+
+    /// Returns an `f64` buffer to the pool (zero-capacity buffers are
+    /// dropped — there is no allocation to recycle).
+    pub fn give_f64(&self, buf: Vec<f64>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        self.returns.fetch_add(1, Ordering::Relaxed);
+        self.f64_pool.lock().expect("arena pool poisoned").push(buf);
+    }
+
+    /// Returns a `u32` buffer to the pool (zero-capacity buffers are
+    /// dropped).
+    pub fn give_u32(&self, buf: Vec<u32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        self.returns.fetch_add(1, Ordering::Relaxed);
+        self.u32_pool.lock().expect("arena pool poisoned").push(buf);
+    }
+
+    /// Checkout/return counters accumulated since construction.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            checkouts: self.checkouts.load(Ordering::Relaxed),
+            pool_hits: self.pool_hits.load(Ordering::Relaxed),
+            returns: self.returns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of buffers currently pooled (both element types).
+    pub fn pooled(&self) -> usize {
+        self.f64_pool.lock().expect("arena pool poisoned").len()
+            + self.u32_pool.lock().expect("arena pool poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_recycles_and_reinitialises_every_cell() {
+        let arena = TableArena::new();
+        let first = arena.take_f64(8, f64::INFINITY);
+        assert!(first.iter().all(|v| v.is_infinite()));
+        arena.give_f64(first);
+        assert_eq!(arena.pooled(), 1);
+        // The recycled buffer must come back fully re-filled, even when the
+        // requested length shrinks or grows.
+        for len in [3usize, 8, 20] {
+            let buf = arena.take_f64(len, 1.5);
+            assert_eq!(buf.len(), len);
+            assert!(buf.iter().all(|&v| v == 1.5), "stale cells at len {len}");
+            arena.give_f64(buf);
+        }
+        let stats = arena.stats();
+        assert_eq!(stats.checkouts, 4);
+        assert_eq!(stats.pool_hits, 3);
+        assert_eq!(stats.returns, 4);
+    }
+
+    #[test]
+    fn nan_poisoned_returns_never_leak_into_checkouts() {
+        // The strongest stale-cell detector: fill a returned buffer with NaN
+        // (which would poison any DP arithmetic that read it) and prove the
+        // next checkout observes only the requested fill.
+        let arena = TableArena::new();
+        arena.give_f64(vec![f64::NAN; 64]);
+        arena.give_u32(vec![0xDEAD_BEEF; 64]);
+        let values = arena.take_f64(64, 0.0);
+        assert!(values.iter().all(|&v| v == 0.0 && !v.is_nan()));
+        let argmins = arena.take_u32(32, u32::MAX);
+        assert!(argmins.iter().all(|&v| v == u32::MAX));
+    }
+
+    #[test]
+    fn empty_buffers_are_not_pooled() {
+        let arena = TableArena::new();
+        arena.give_f64(Vec::new());
+        arena.give_u32(Vec::new());
+        assert_eq!(arena.pooled(), 0);
+        assert_eq!(arena.stats().returns, 0);
+    }
+
+    #[test]
+    fn stats_display_is_readable() {
+        let arena = TableArena::new();
+        let buf = arena.take_u32(4, 0);
+        arena.give_u32(buf);
+        let _ = arena.take_u32(2, 0);
+        let text = arena.stats().to_string();
+        assert!(text.contains("2 checkouts"), "{text}");
+        assert!(text.contains("50.0 % pooled"), "{text}");
+        assert!(text.contains("1 returned"), "{text}");
+        assert_eq!(ArenaStats::default().hit_rate(), 0.0);
+    }
+}

@@ -24,7 +24,6 @@ use crate::incremental::IncrementalSolver;
 use crate::solution::Solution;
 use crate::{optimize, Algorithm};
 use chain2l_model::Scenario;
-use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -48,6 +47,49 @@ pub struct ScenarioFingerprint {
     algorithm: Algorithm,
 }
 
+/// The seven cost-model fields in fingerprint order, as `f64` bit patterns.
+fn cost_bits(scenario: &Scenario) -> [u64; 7] {
+    let c = &scenario.costs;
+    [
+        c.disk_checkpoint.to_bits(),
+        c.memory_checkpoint.to_bits(),
+        c.disk_recovery.to_bits(),
+        c.memory_recovery.to_bits(),
+        c.guaranteed_verification.to_bits(),
+        c.partial_verification.to_bits(),
+        c.partial_recall.to_bits(),
+    ]
+}
+
+/// FNV-1a over the fingerprint byte stream (shared by [`ScenarioFingerprint::stable_hash`]
+/// and the allocation-free [`ScenarioFingerprint::stable_hash_of`] — both
+/// must digest exactly the same bytes).
+fn stable_digest(
+    lambda_fail_stop: u64,
+    lambda_silent: u64,
+    costs: &[u64; 7],
+    weights: impl Iterator<Item = u64>,
+    algorithm: Algorithm,
+) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(&lambda_fail_stop.to_le_bytes());
+    eat(&lambda_silent.to_le_bytes());
+    for c in costs {
+        eat(&c.to_le_bytes());
+    }
+    for w in weights {
+        eat(&w.to_le_bytes());
+    }
+    eat(algorithm.label().as_bytes());
+    hash
+}
+
 impl ScenarioFingerprint {
     /// Deterministic, process-stable 64-bit digest of the fingerprint
     /// (FNV-1a over every field).
@@ -57,40 +99,51 @@ impl ScenarioFingerprint {
     /// the parent daemon and every worker must agree on
     /// `stable_hash() % shard_count` without sharing hasher state.
     pub fn stable_hash(&self) -> u64 {
-        let mut hash = 0xcbf2_9ce4_8422_2325u64;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                hash ^= u64::from(b);
-                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-            }
-        };
-        eat(&self.lambda_fail_stop.to_le_bytes());
-        eat(&self.lambda_silent.to_le_bytes());
-        for c in &self.costs {
-            eat(&c.to_le_bytes());
-        }
-        for w in &self.weights {
-            eat(&w.to_le_bytes());
-        }
-        eat(self.algorithm.label().as_bytes());
-        hash
+        stable_digest(
+            self.lambda_fail_stop,
+            self.lambda_silent,
+            &self.costs,
+            self.weights.iter().copied(),
+            self.algorithm,
+        )
+    }
+
+    /// [`Self::stable_hash`] computed directly from the scenario, without
+    /// materialising a fingerprint — the allocation-free lookup key of the
+    /// cache's hit path (`stable_hash_of(s, a) == ScenarioFingerprint::new(s, a).stable_hash()`
+    /// by construction: both digest the same byte stream).
+    pub fn stable_hash_of(scenario: &Scenario, algorithm: Algorithm) -> u64 {
+        stable_digest(
+            scenario.platform.lambda_fail_stop.to_bits(),
+            scenario.platform.lambda_silent.to_bits(),
+            &cost_bits(scenario),
+            scenario.chain.weights().iter().map(|w| w.to_bits()),
+            algorithm,
+        )
+    }
+
+    /// Whether this fingerprint is exactly the one [`Self::new`] would
+    /// compute for `(scenario, algorithm)` — field-by-field bitwise
+    /// comparison, no allocation.
+    pub fn matches(&self, scenario: &Scenario, algorithm: Algorithm) -> bool {
+        self.algorithm == algorithm
+            && self.lambda_fail_stop == scenario.platform.lambda_fail_stop.to_bits()
+            && self.lambda_silent == scenario.platform.lambda_silent.to_bits()
+            && self.costs == cost_bits(scenario)
+            && self.weights.len() == scenario.chain.weights().len()
+            && self
+                .weights
+                .iter()
+                .zip(scenario.chain.weights())
+                .all(|(stored, w)| *stored == w.to_bits())
     }
 
     /// Computes the fingerprint of `scenario` solved with `algorithm`.
     pub fn new(scenario: &Scenario, algorithm: Algorithm) -> Self {
-        let c = &scenario.costs;
         Self {
             lambda_fail_stop: scenario.platform.lambda_fail_stop.to_bits(),
             lambda_silent: scenario.platform.lambda_silent.to_bits(),
-            costs: [
-                c.disk_checkpoint.to_bits(),
-                c.memory_checkpoint.to_bits(),
-                c.disk_recovery.to_bits(),
-                c.memory_recovery.to_bits(),
-                c.guaranteed_verification.to_bits(),
-                c.partial_verification.to_bits(),
-                c.partial_recall.to_bits(),
-            ],
+            costs: cost_bits(scenario),
             weights: scenario.chain.weights().iter().map(|w| w.to_bits()).collect(),
             algorithm,
         }
@@ -122,6 +175,11 @@ pub struct CacheStats {
     pub misses: u64,
     /// Number of distinct fingerprints currently cached.
     pub entries: usize,
+    /// Entries evicted by the configured [`CacheLimits`].
+    pub evictions: u64,
+    /// Approximate bytes held by the cached entries (fingerprint + solution
+    /// estimate; see [`CacheLimits::max_bytes`]).
+    pub approx_bytes: usize,
 }
 
 impl CacheStats {
@@ -140,17 +198,104 @@ impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} hits, {} misses ({:.1} % hit rate), {} entries",
+            "{} hits, {} misses ({:.1} % hit rate), {} entries ({} evicted, ~{} KiB)",
             self.hits,
             self.misses,
             self.hit_rate() * 100.0,
-            self.entries
+            self.entries,
+            self.evictions,
+            self.approx_bytes / 1024
         )
     }
 }
 
 /// A per-fingerprint slot; the `OnceLock` guarantees the solve runs once.
 type CacheEntry = Arc<OnceLock<Arc<Solution>>>;
+
+/// Capacity bounds of a [`SolutionCache`] (both unbounded by default).
+///
+/// When either bound is exceeded the least-recently-used entries are
+/// evicted first; an in-flight entry that is evicted simply finishes for
+/// its current waiters and is forgotten — eviction can never change a
+/// result, only force a future re-solve.
+///
+/// Victim selection is a linear scan over the cached slots, so each
+/// over-cap *insert* costs `O(cap)` under the store lock.  That is a
+/// deliberate trade: inserts are misses (which just paid a multi-ms DP
+/// solve), while an ordered eviction index would put allocations back on
+/// the hit path and break its zero-allocation guarantee.  Revisit with an
+/// intrusive LRU list if caps grow to the point where the scan rivals a
+/// solve (see ROADMAP).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheLimits {
+    /// Maximum number of cached entries (`None` = unbounded).
+    pub max_entries: Option<usize>,
+    /// Approximate byte budget (`None` = unbounded).  Entry sizes are
+    /// estimated from the fingerprint and schedule footprint — the cache
+    /// does not measure the allocator, it bounds growth.
+    pub max_bytes: Option<usize>,
+}
+
+/// One cached fingerprint: the entry, its LRU stamp and its size estimate.
+struct Slot {
+    fingerprint: ScenarioFingerprint,
+    entry: CacheEntry,
+    stamp: u64,
+    approx_bytes: usize,
+}
+
+/// The cache's bucketed store, keyed by the process-stable fingerprint
+/// digest so the hit path never materialises a fingerprint (collisions are
+/// resolved by exact comparison inside the bucket).
+#[derive(Default)]
+struct Store {
+    buckets: HashMap<u64, Vec<Slot>>,
+    entries: usize,
+    approx_bytes: usize,
+    clock: u64,
+}
+
+impl Store {
+    /// Evicts least-recently-used slots until both limits hold, sparing the
+    /// slot stamped `spare` (the one the caller just inserted).  Returns the
+    /// number of evictions.
+    fn enforce(&mut self, limits: &CacheLimits, spare: u64) -> u64 {
+        let over = |store: &Store| {
+            limits.max_entries.is_some_and(|cap| store.entries > cap)
+                || limits.max_bytes.is_some_and(|cap| store.approx_bytes > cap)
+        };
+        let mut evicted = 0;
+        while over(self) {
+            let oldest = self
+                .buckets
+                .iter()
+                .flat_map(|(hash, bucket)| bucket.iter().map(move |slot| (*hash, slot.stamp)))
+                .filter(|(_, stamp)| *stamp != spare)
+                .min_by_key(|(_, stamp)| *stamp);
+            let Some((hash, stamp)) = oldest else {
+                break;
+            };
+            let bucket = self.buckets.get_mut(&hash).expect("bucket just observed");
+            let index =
+                bucket.iter().position(|slot| slot.stamp == stamp).expect("slot just observed");
+            let slot = bucket.swap_remove(index);
+            if bucket.is_empty() {
+                self.buckets.remove(&hash);
+            }
+            self.entries -= 1;
+            self.approx_bytes -= slot.approx_bytes;
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// Size estimate of one cached entry: fingerprint weights, the solution
+/// struct and its schedule actions (one byte-sized action per boundary),
+/// plus fixed bookkeeping overhead.
+fn approx_entry_bytes(n: usize) -> usize {
+    160 + 16 * n
+}
 
 /// Concurrency-safe, memoizing solver front-end (see the module docs).
 ///
@@ -173,20 +318,38 @@ type CacheEntry = Arc<OnceLock<Arc<Solution>>>;
 /// let stats = cache.stats();
 /// assert_eq!((stats.misses, stats.hits), (1, 1));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct SolutionCache {
-    entries: Mutex<HashMap<ScenarioFingerprint, CacheEntry>>,
+    store: Mutex<Store>,
+    limits: CacheLimits,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
     /// When present, cache misses are solved through the incremental-in-`n`
     /// solver instead of a from-scratch [`optimize`] call.
     incremental: Option<IncrementalSolver>,
 }
 
+impl std::fmt::Debug for SolutionCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolutionCache")
+            .field("stats", &self.stats())
+            .field("limits", &self.limits)
+            .finish()
+    }
+}
+
 impl SolutionCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache bounded by `limits`: when the entry count or
+    /// the approximate byte footprint exceeds its cap, least-recently-used
+    /// entries are evicted (observable through [`CacheStats::evictions`]).
+    pub fn with_limits(limits: CacheLimits) -> Self {
+        Self { limits, ..Self::default() }
     }
 
     /// Creates a cache whose misses run through an [`IncrementalSolver`]:
@@ -228,28 +391,63 @@ impl SolutionCache {
     /// algorithm (every solver in this crate is), otherwise the cache would
     /// make results dependent on request order.  [`crate::Engine`] plugs its
     /// strategy router in here.
+    ///
+    /// The hit path performs **zero heap allocations**: the lookup key is
+    /// the process-stable digest streamed straight off the scenario
+    /// ([`ScenarioFingerprint::stable_hash_of`]), bucket collisions are
+    /// resolved by the allocation-free [`ScenarioFingerprint::matches`], and
+    /// the cached `Arc` is cloned — which is what makes a warm
+    /// [`crate::Engine::solve`] allocation-free end to end (proved by the
+    /// counting-allocator test in `tests/alloc_free.rs`).
     pub fn solve_with(
         &self,
         scenario: &Scenario,
         algorithm: Algorithm,
         solve: impl FnOnce() -> Solution,
     ) -> Arc<Solution> {
-        let fingerprint = ScenarioFingerprint::new(scenario, algorithm);
+        let hash = ScenarioFingerprint::stable_hash_of(scenario, algorithm);
         let entry = {
-            let mut map = self.entries.lock().expect("cache map poisoned");
-            match map.entry(fingerprint) {
-                Entry::Occupied(e) => {
+            let mut store = self.store.lock().expect("cache store poisoned");
+            store.clock += 1;
+            let stamp = store.clock;
+            let hit = store
+                .buckets
+                .get_mut(&hash)
+                .and_then(|bucket| {
+                    bucket.iter_mut().find(|slot| slot.fingerprint.matches(scenario, algorithm))
+                })
+                .map(|slot| {
+                    slot.stamp = stamp;
+                    slot.entry.clone()
+                });
+            match hit {
+                Some(entry) => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    e.get().clone()
+                    entry
                 }
-                Entry::Vacant(v) => {
+                None => {
                     self.misses.fetch_add(1, Ordering::Relaxed);
-                    v.insert(Arc::new(OnceLock::new())).clone()
+                    let fingerprint = ScenarioFingerprint::new(scenario, algorithm);
+                    let entry: CacheEntry = Arc::new(OnceLock::new());
+                    let approx_bytes = approx_entry_bytes(scenario.task_count());
+                    store.buckets.entry(hash).or_default().push(Slot {
+                        fingerprint,
+                        entry: entry.clone(),
+                        stamp,
+                        approx_bytes,
+                    });
+                    store.entries += 1;
+                    store.approx_bytes += approx_bytes;
+                    let evicted = store.enforce(&self.limits, stamp);
+                    if evicted > 0 {
+                        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+                    }
+                    entry
                 }
             }
         };
-        // Outside the map lock: other fingerprints stay unblocked while the
-        // (possibly expensive) DP runs.
+        // Outside the store lock: other fingerprints stay unblocked while
+        // the (possibly expensive) DP runs.
         entry.get_or_init(|| Arc::new(solve())).clone()
     }
 
@@ -271,16 +469,22 @@ impl SolutionCache {
 
     /// Hit/miss/entry statistics accumulated since construction.
     pub fn stats(&self) -> CacheStats {
+        let (entries, approx_bytes) = {
+            let store = self.store.lock().expect("cache store poisoned");
+            (store.entries, store.approx_bytes)
+        };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.entries.lock().expect("cache map poisoned").len(),
+            entries,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            approx_bytes,
         }
     }
 
     /// Number of distinct fingerprints cached.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache map poisoned").len()
+        self.store.lock().expect("cache store poisoned").entries
     }
 
     /// True when no solve has been cached yet.
@@ -288,9 +492,13 @@ impl SolutionCache {
         self.len() == 0
     }
 
-    /// Drops every cached entry (the hit/miss counters keep accumulating).
+    /// Drops every cached entry (the hit/miss/eviction counters keep
+    /// accumulating).
     pub fn clear(&self) {
-        self.entries.lock().expect("cache map poisoned").clear();
+        let mut store = self.store.lock().expect("cache store poisoned");
+        store.buckets.clear();
+        store.entries = 0;
+        store.approx_bytes = 0;
     }
 }
 
@@ -421,6 +629,68 @@ mod tests {
     }
 
     #[test]
+    fn streaming_hash_and_matches_agree_with_materialised_fingerprints() {
+        let scenarios = [hera_uniform(5), hera_uniform(9)];
+        let algorithms = [Algorithm::TwoLevel, Algorithm::TwoLevelPartial];
+        for s in &scenarios {
+            for a in algorithms {
+                let fingerprint = ScenarioFingerprint::new(s, a);
+                assert_eq!(
+                    fingerprint.stable_hash(),
+                    ScenarioFingerprint::stable_hash_of(s, a),
+                    "streamed digest must equal the materialised one"
+                );
+                assert!(fingerprint.matches(s, a));
+                for other in &scenarios {
+                    for b in algorithms {
+                        if (other.task_count(), b) != (s.task_count(), a) {
+                            assert!(!fingerprint.matches(other, b));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn entry_cap_evicts_least_recently_used_entries() {
+        let cache =
+            SolutionCache::with_limits(CacheLimits { max_entries: Some(2), max_bytes: None });
+        let (a, b, c) = (hera_uniform(4), hera_uniform(5), hera_uniform(6));
+        cache.solve(&a, Algorithm::TwoLevel);
+        cache.solve(&b, Algorithm::TwoLevel);
+        // Touch `a` so `b` becomes the least recently used…
+        cache.solve(&a, Algorithm::TwoLevel);
+        // …and inserting `c` evicts `b`, not `a`.
+        cache.solve(&c, Algorithm::TwoLevel);
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.evictions), (2, 1), "{stats:?}");
+        cache.solve(&a, Algorithm::TwoLevel);
+        assert_eq!(cache.stats().hits, 2, "a must still be cached");
+        cache.solve(&b, Algorithm::TwoLevel);
+        assert_eq!(cache.stats().misses, 4, "b must have been evicted and re-solved");
+        assert_eq!(cache.stats().evictions, 2, "re-inserting b evicts again");
+    }
+
+    #[test]
+    fn byte_cap_bounds_the_approximate_footprint() {
+        let budget = 2 * super::approx_entry_bytes(10);
+        let cache =
+            SolutionCache::with_limits(CacheLimits { max_entries: None, max_bytes: Some(budget) });
+        for n in 4..10 {
+            cache.solve(&hera_uniform(n), Algorithm::SingleLevel);
+        }
+        let stats = cache.stats();
+        assert!(stats.approx_bytes <= budget, "{stats:?}");
+        assert!(stats.entries >= 1 && stats.entries <= 2, "{stats:?}");
+        assert!(stats.evictions >= 4, "{stats:?}");
+        // Results are still correct after heavy eviction.
+        let sol = cache.solve(&hera_uniform(4), Algorithm::SingleLevel);
+        let direct = optimize(&hera_uniform(4), Algorithm::SingleLevel);
+        assert_eq!(sol.expected_makespan.to_bits(), direct.expected_makespan.to_bits());
+    }
+
+    #[test]
     fn hit_rate_is_zero_not_nan_before_any_lookup() {
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
         assert_eq!(SolutionCache::new().stats().hit_rate(), 0.0);
@@ -443,7 +713,7 @@ mod tests {
 
     #[test]
     fn stats_display_is_readable() {
-        let stats = CacheStats { hits: 3, misses: 1, entries: 1 };
+        let stats = CacheStats { hits: 3, misses: 1, entries: 1, evictions: 0, approx_bytes: 2048 };
         let text = stats.to_string();
         assert!(text.contains("3 hits"), "{text}");
         assert!(text.contains("75.0 % hit rate"), "{text}");

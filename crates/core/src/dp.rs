@@ -8,51 +8,88 @@
 //! [`DpTables`]), the shared `Edisk` recurrence ([`edisk_level`]) and the
 //! finalized-entry accounting behind `DpStatistics::table_entries`.
 //!
-//! The tables are deliberately growable (via [`crate::tables::SliceTable2::grow`]
-//! and [`DpTables::grow`]): the incremental-in-`n` solver
-//! ([`crate::incremental`]) extends a finished table set from `n` to `n' > n`
-//! when the task-weight prefix is unchanged, re-running only the new columns.
+//! Storage is struct-of-arrays: every level keeps a dense `f64` **value
+//! plane** — the only data the hot candidate scans touch — and a separate
+//! `u32` **argmin plane** that is written once per finalized cell and read
+//! again only by schedule reconstruction.  Splitting the planes keeps the
+//! scanned cache lines free of argmin bytes (and `u32` halves the argmin
+//! footprint outright); since the argmin of a cell is a pure function of its
+//! value scan, the split cannot change any schedule.  Boundary indices are
+//! stored as `u32` with [`NO_CHOICE`] as the "not computed" sentinel — chain
+//! sizes beyond `u32` are far outside the `O(n⁴)`–`O(n⁶)` DP regime.
+//!
+//! All backing buffers are checked out of a [`TableArena`] and returned to
+//! it when the tables are retired ([`DpTables::recycle`]), so a steady-state
+//! engine re-solves without touching the heap.  The tables are also
+//! growable (via [`crate::tables::SliceTable2::grow`], in place, and
+//! [`DiskSlice::grow`]): the incremental-in-`n` solver
+//! ([`crate::incremental`]) extends a finished table set from `n` to
+//! `n' > n` when the task-weight prefix is unchanged, re-running only the
+//! new columns.
 
+use crate::arena::TableArena;
 use crate::tables::SliceTable2;
 use rayon::prelude::*;
+
+/// "Not computed" sentinel of the `u32` argmin planes.
+pub(crate) const NO_CHOICE: u32 = u32::MAX;
 
 /// The self-contained DP state of one disk-segment slice: everything the
 /// recurrences compute for a fixed predecessor disk checkpoint `d1`.
 pub(crate) struct DiskSlice {
-    /// `Everif(d1, m1, v2)`; rows span `m1 ∈ d1..n` (one row when interior
-    /// memory checkpoints are forbidden, as in `A_DV*`).
+    /// `Everif(d1, m1, v2)` value plane; rows span `m1 ∈ d1..n` (one row when
+    /// interior memory checkpoints are forbidden, as in `A_DV*`).
     pub everif: SliceTable2<f64>,
-    /// Argmin `v1` for `Everif(d1, m1, v2)`.
-    pub everif_choice: SliceTable2<usize>,
-    /// `Emem(d1, m2)`, indexed by `m2`.
+    /// Argmin `v1` plane for `Everif(d1, m1, v2)` (reconstruction only).
+    pub everif_choice: SliceTable2<u32>,
+    /// `Emem(d1, m2)` value row, indexed by `m2`.
     pub emem: Vec<f64>,
-    /// Argmin `m1` for `Emem(d1, m2)`.
-    pub emem_choice: Vec<usize>,
+    /// Argmin `m1` row for `Emem(d1, m2)` (reconstruction only).
+    pub emem_choice: Vec<u32>,
     /// Candidate positions examined while filling this slice (cumulative
     /// across incremental extensions).
     pub candidates: u64,
 }
 
 impl DiskSlice {
-    /// Allocates an empty slice for disk predecessor `d1` with `rows` Everif
-    /// rows and columns `0..=n`.
-    pub fn new(n: usize, d1: usize, rows: usize) -> Self {
+    /// Checks out an empty slice for disk predecessor `d1` with `rows`
+    /// Everif rows and columns `0..=n`, drawing every plane from `arena`.
+    pub fn new_in(arena: &TableArena, n: usize, d1: usize, rows: usize) -> Self {
+        let dim = n + 1;
         Self {
-            everif: SliceTable2::new(n, d1, rows, f64::INFINITY),
-            everif_choice: SliceTable2::new(n, d1, rows, usize::MAX),
-            emem: vec![f64::INFINITY; n + 1],
-            emem_choice: vec![usize::MAX; n + 1],
+            everif: SliceTable2::from_buffer(
+                n,
+                d1,
+                rows,
+                arena.take_f64(rows * dim, f64::INFINITY),
+            ),
+            everif_choice: SliceTable2::from_buffer(
+                n,
+                d1,
+                rows,
+                arena.take_u32(rows * dim, NO_CHOICE),
+            ),
+            emem: arena.take_f64(dim, f64::INFINITY),
+            emem_choice: arena.take_u32(dim, NO_CHOICE),
             candidates: 0,
         }
     }
 
-    /// Grows the slice to columns `0..=new_n` and `new_rows` Everif rows,
-    /// preserving every computed entry.
+    /// Returns every backing buffer to `arena`.
+    pub fn recycle(self, arena: &TableArena) {
+        arena.give_f64(self.everif.into_buffer());
+        arena.give_u32(self.everif_choice.into_buffer());
+        arena.give_f64(self.emem);
+        arena.give_u32(self.emem_choice);
+    }
+
+    /// Grows the slice in place to columns `0..=new_n` and `new_rows` Everif
+    /// rows, preserving every computed entry.
     pub fn grow(&mut self, new_n: usize, new_rows: usize) {
         self.everif.grow(new_n, new_rows, f64::INFINITY);
-        self.everif_choice.grow(new_n, new_rows, usize::MAX);
+        self.everif_choice.grow(new_n, new_rows, NO_CHOICE);
         self.emem.resize(new_n + 1, f64::INFINITY);
-        self.emem_choice.resize(new_n + 1, usize::MAX);
+        self.emem_choice.resize(new_n + 1, NO_CHOICE);
     }
 
     /// Number of finalized (actually written) value entries in this slice.
@@ -65,10 +102,14 @@ impl DiskSlice {
 /// Full DP state: one slice per candidate `d1`, plus the `Edisk` level.
 pub(crate) struct DpTables {
     pub slices: Vec<DiskSlice>,
-    /// `Edisk(d2)`.
+    /// `Edisk(d2)` value row.
     pub edisk: Vec<f64>,
-    /// Argmin `d1` for `Edisk(d2)`.
-    pub edisk_choice: Vec<usize>,
+    /// Argmin `d1` row for `Edisk(d2)` (reconstruction only).
+    pub edisk_choice: Vec<u32>,
+    /// Candidates examined by shared (hoisted-across-slices) lower-bound
+    /// passes, cumulative across incremental extensions (`A_DMV`'s
+    /// per-column candidate floors; 0 for the two-level kernels).
+    pub floor_candidates: u64,
     /// Candidate positions examined across every level, at the current `n`.
     pub candidates: u64,
 }
@@ -82,12 +123,36 @@ impl DpTables {
         self.slices.iter().map(DiskSlice::finalized_entries).sum::<usize>()
             + self.edisk.iter().filter(|v| v.is_finite()).count()
     }
+
+    /// Retires the tables, returning every backing buffer to `arena` for the
+    /// next solve to reuse.
+    pub fn recycle(self, arena: &TableArena) {
+        for slice in self.slices {
+            slice.recycle(arena);
+        }
+        arena.give_f64(self.edisk);
+        arena.give_u32(self.edisk_choice);
+    }
 }
 
-/// Assembles finished slices and the `Edisk` level into a [`DpTables`].
-pub(crate) fn finish_tables(disk_checkpoint: f64, slices: Vec<DiskSlice>, n: usize) -> DpTables {
-    let mut tables =
-        DpTables { slices, edisk: Vec::new(), edisk_choice: Vec::new(), candidates: 0 };
+/// Assembles finished slices and the `Edisk` level into a [`DpTables`],
+/// drawing the `Edisk` buffers from `arena`.  `floor_candidates` is the
+/// shared lower-bound work performed outside the slices (see
+/// [`DpTables::floor_candidates`]).
+pub(crate) fn finish_tables(
+    arena: &TableArena,
+    disk_checkpoint: f64,
+    slices: Vec<DiskSlice>,
+    n: usize,
+    floor_candidates: u64,
+) -> DpTables {
+    let mut tables = DpTables {
+        slices,
+        edisk: arena.take_f64(n + 1, f64::INFINITY),
+        edisk_choice: arena.take_u32(n + 1, NO_CHOICE),
+        floor_candidates,
+        candidates: 0,
+    };
     refresh_edisk(disk_checkpoint, &mut tables, n);
     tables
 }
@@ -96,12 +161,13 @@ pub(crate) fn finish_tables(disk_checkpoint: f64, slices: Vec<DiskSlice>, n: usi
 /// and refill only the new columns — batched over the pool with
 /// [`par_chunks_mut`] (a slice extension near `d1 = old_n` is tiny, so
 /// chunking keeps scheduling overhead off the kernels) — and the new slices
-/// `d1 ∈ old_n..new_n` fill cold.  `rows(n, d1)` sizes a slice's `Everif`
-/// band; `fill(d1, slice, from_m2)` runs the kernel.  Call
+/// `d1 ∈ old_n..new_n` fill cold from `arena`.  `rows(n, d1)` sizes a
+/// slice's `Everif` band; `fill(d1, slice, from_m2)` runs the kernel.  Call
 /// [`refresh_edisk`] afterwards.
 ///
 /// [`par_chunks_mut`]: rayon::prelude::ParallelSliceMut::par_chunks_mut
 pub(crate) fn extend_slices<R, F>(
+    arena: &TableArena,
     slices: &mut Vec<DiskSlice>,
     old_n: usize,
     new_n: usize,
@@ -123,7 +189,7 @@ pub(crate) fn extend_slices<R, F>(
     let new_slices: Vec<DiskSlice> = (old_n..new_n)
         .into_par_iter()
         .map(|d1| {
-            let mut slice = DiskSlice::new(new_n, d1, rows(new_n, d1));
+            let mut slice = DiskSlice::new_in(arena, new_n, d1, rows(new_n, d1));
             fill(d1, &mut slice, d1 + 1);
             slice
         })
@@ -131,19 +197,25 @@ pub(crate) fn extend_slices<R, F>(
     slices.extend(new_slices);
 }
 
-/// (Re)runs the sequential `Edisk` level over the finished slices and
-/// refreshes the table-wide candidate total (slice counters are cumulative,
-/// so this is exact after both cold fills and extensions).
+/// (Re)runs the sequential `Edisk` level over the finished slices — in
+/// place, reusing the existing `Edisk` buffers — and refreshes the
+/// table-wide candidate total (slice counters are cumulative, so this is
+/// exact after both cold fills and extensions).
 pub(crate) fn refresh_edisk(disk_checkpoint: f64, tables: &mut DpTables, n: usize) {
     let slice_candidates: u64 = tables.slices.iter().map(|s| s.candidates).sum();
-    let (edisk, edisk_choice, edisk_candidates) = edisk_level(disk_checkpoint, &tables.slices, n);
-    tables.edisk = edisk;
-    tables.edisk_choice = edisk_choice;
-    tables.candidates = slice_candidates + edisk_candidates;
+    let edisk_candidates = edisk_level(
+        disk_checkpoint,
+        &tables.slices,
+        n,
+        &mut tables.edisk,
+        &mut tables.edisk_choice,
+    );
+    tables.candidates = slice_candidates + edisk_candidates + tables.floor_candidates;
 }
 
-/// Runs the sequential `Edisk` level over the finished slices and returns
-/// `(edisk, edisk_choice, candidates_examined)`.
+/// Runs the sequential `Edisk` level over the finished slices into the
+/// provided value/argmin rows (resized and fully rewritten) and returns the
+/// number of candidates examined.
 ///
 /// `Edisk(d2) = min_{d1 < d2} Edisk(d1) + Emem(d1, d2) + C_D`, scanned in
 /// ascending `d1` with a strict minimum (first argmin wins on ties).
@@ -151,24 +223,28 @@ fn edisk_level(
     disk_checkpoint: f64,
     slices: &[DiskSlice],
     n: usize,
-) -> (Vec<f64>, Vec<usize>, u64) {
-    let mut edisk = vec![f64::INFINITY; n + 1];
-    let mut edisk_choice = vec![usize::MAX; n + 1];
+    edisk: &mut Vec<f64>,
+    edisk_choice: &mut Vec<u32>,
+) -> u64 {
+    edisk.clear();
+    edisk.resize(n + 1, f64::INFINITY);
+    edisk_choice.clear();
+    edisk_choice.resize(n + 1, NO_CHOICE);
     let mut candidates = 0u64;
     edisk[0] = 0.0;
     for d2 in 1..=n {
         let mut best = f64::INFINITY;
-        let mut best_d1 = usize::MAX;
+        let mut best_d1 = NO_CHOICE;
         for (d1, slice) in slices.iter().enumerate().take(d2) {
             candidates += 1;
             let cand = edisk[d1] + slice.emem[d2] + disk_checkpoint;
             if cand < best {
                 best = cand;
-                best_d1 = d1;
+                best_d1 = d1 as u32;
             }
         }
         edisk[d2] = best;
         edisk_choice[d2] = best_d1;
     }
-    (edisk, edisk_choice, candidates)
+    candidates
 }

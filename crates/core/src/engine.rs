@@ -37,7 +37,8 @@
 //! conservatively falls back to a cold solve instead of queueing behind a
 //! long extension.  See DESIGN.md §6.
 
-use crate::cache::{CacheStats, SolutionCache, SolveRequest};
+use crate::arena::{ArenaStats, TableArena};
+use crate::cache::{CacheLimits, CacheStats, SolutionCache, SolveRequest};
 use crate::dp::DpTables;
 use crate::segment::{PartialCostModel, SegmentCalculator};
 use crate::solution::{DpStatistics, Solution};
@@ -69,6 +70,12 @@ impl KernelState {
             candidates_examined: self.tables.candidates,
         }
     }
+
+    /// Retires the state, returning every table buffer to `arena` for the
+    /// next solve to reuse.
+    pub fn recycle(self, arena: &TableArena) {
+        self.tables.recycle(arena);
+    }
 }
 
 /// One dynamic-programming kernel: the cold-fill / extend / reconstruct
@@ -89,17 +96,20 @@ pub trait Kernel: Send + Sync {
     /// pruning soundness guard.
     fn pruning_active(&self, calc: &SegmentCalculator<'_>) -> bool;
 
-    /// Cold-fills the DP tables for an `n`-task chain.
-    fn compute(&self, calc: &SegmentCalculator<'_>, n: usize) -> KernelState;
+    /// Cold-fills the DP tables for an `n`-task chain, drawing every table
+    /// and scratch buffer from `arena`.
+    fn compute(&self, calc: &SegmentCalculator<'_>, n: usize, arena: &TableArena) -> KernelState;
 
-    /// Extends finished tables from `old_n` to `new_n` tasks; requires the
-    /// task-weight prefix to be bitwise unchanged.
+    /// Extends finished tables from `old_n` to `new_n` tasks (new slices
+    /// drawn from `arena`); requires the task-weight prefix to be bitwise
+    /// unchanged.
     fn extend(
         &self,
         calc: &SegmentCalculator<'_>,
         state: &mut KernelState,
         old_n: usize,
         new_n: usize,
+        arena: &TableArena,
     );
 
     /// Walks the argmin tables and reconstructs the optimal schedule for an
@@ -126,8 +136,8 @@ impl Kernel for TwoLevelKernel {
         self.options.prune
     }
 
-    fn compute(&self, calc: &SegmentCalculator<'_>, n: usize) -> KernelState {
-        KernelState { tables: two_level::compute_tables(calc, n, self.options) }
+    fn compute(&self, calc: &SegmentCalculator<'_>, n: usize, arena: &TableArena) -> KernelState {
+        KernelState { tables: two_level::compute_tables(calc, n, self.options, arena) }
     }
 
     fn extend(
@@ -136,8 +146,9 @@ impl Kernel for TwoLevelKernel {
         state: &mut KernelState,
         old_n: usize,
         new_n: usize,
+        arena: &TableArena,
     ) {
-        two_level::extend_tables(calc, &mut state.tables, old_n, new_n, self.options);
+        two_level::extend_tables(calc, &mut state.tables, old_n, new_n, self.options, arena);
     }
 
     fn reconstruct(
@@ -167,8 +178,8 @@ impl Kernel for PartialKernel {
         self.options.prune && calc.pruning_sound()
     }
 
-    fn compute(&self, calc: &SegmentCalculator<'_>, n: usize) -> KernelState {
-        KernelState { tables: partial::compute_tables(calc, n, self.options) }
+    fn compute(&self, calc: &SegmentCalculator<'_>, n: usize, arena: &TableArena) -> KernelState {
+        KernelState { tables: partial::compute_tables(calc, n, self.options, arena) }
     }
 
     fn extend(
@@ -177,8 +188,9 @@ impl Kernel for PartialKernel {
         state: &mut KernelState,
         old_n: usize,
         new_n: usize,
+        arena: &TableArena,
     ) {
-        partial::extend_tables(calc, &mut state.tables, old_n, new_n, self.options);
+        partial::extend_tables(calc, &mut state.tables, old_n, new_n, self.options, arena);
     }
 
     fn reconstruct(&self, calc: &SegmentCalculator<'_>, state: &KernelState, n: usize) -> Schedule {
@@ -265,6 +277,44 @@ struct EngineContext {
     state: KernelState,
 }
 
+/// One retained-context slot plus its LRU stamp.
+struct ContextSlot {
+    slot: Arc<Mutex<Option<EngineContext>>>,
+    stamp: u64,
+}
+
+/// The engine's LRU-stamped context store.
+#[derive(Default)]
+struct ContextStore {
+    map: HashMap<ContextKey, ContextSlot>,
+    clock: u64,
+}
+
+/// Resource bounds of one [`Engine`] (all unbounded by default).
+///
+/// `cache_entries`/`cache_bytes` bound the memoizing [`SolutionCache`]
+/// (least-recently-used entries are evicted first, see [`CacheLimits`]);
+/// `contexts` bounds the number of retained DP table sets — evicted
+/// contexts return their buffers to the engine's arena, so a bounded
+/// daemon's memory stays proportional to its caps, not its request history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineLimits {
+    /// Maximum number of cached solutions (`None` = unbounded).
+    pub cache_entries: Option<usize>,
+    /// Approximate byte budget of the cached solutions (`None` = unbounded).
+    pub cache_bytes: Option<usize>,
+    /// Maximum number of contexts retaining DP tables (`None` = unbounded).
+    pub contexts: Option<usize>,
+}
+
+impl EngineLimits {
+    /// The `--cache-cap N` convenience: at most `cap` cached solutions and
+    /// `cap` retained table contexts, no byte budget.
+    pub fn entry_cap(cap: usize) -> Self {
+        Self { cache_entries: Some(cap), cache_bytes: None, contexts: Some(cap) }
+    }
+}
+
 /// Per-strategy routing counters plus the embedded cache statistics — the
 /// "extended `CacheStats`" the engine reports (see the module docs for the
 /// strategy order).
@@ -282,6 +332,12 @@ pub struct EngineStats {
     /// Cold solves on the exhaustive scans (pruning disabled or unsound for
     /// the cost model).
     pub cold_exhaustive: u64,
+    /// Checkout/return counters of the engine's table arena.
+    pub arena: ArenaStats,
+    /// Contexts currently retaining DP tables.
+    pub contexts: usize,
+    /// Retained contexts evicted by the `contexts` limit.
+    pub context_evictions: u64,
 }
 
 impl EngineStats {
@@ -300,8 +356,16 @@ impl std::fmt::Display for EngineStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}; routes: {} reused, {} extended, {} cold (pruned), {} cold (exhaustive)",
-            self.cache, self.reused, self.extended, self.cold_pruned, self.cold_exhaustive
+            "{}; routes: {} reused, {} extended, {} cold (pruned), {} cold (exhaustive); \
+             arena: {}; contexts: {} retained ({} evicted)",
+            self.cache,
+            self.reused,
+            self.extended,
+            self.cold_pruned,
+            self.cold_exhaustive,
+            self.arena,
+            self.contexts,
+            self.context_evictions
         )
     }
 }
@@ -339,26 +403,44 @@ impl std::fmt::Display for EngineStats {
 #[derive(Default)]
 pub struct Engine {
     cache: SolutionCache,
-    contexts: Mutex<HashMap<ContextKey, Arc<Mutex<Option<EngineContext>>>>>,
+    contexts: Mutex<ContextStore>,
+    arena: TableArena,
+    limits: EngineLimits,
     reused: AtomicU64,
     extended: AtomicU64,
     cold_pruned: AtomicU64,
     cold_exhaustive: AtomicU64,
+    context_evictions: AtomicU64,
 }
 
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Engine")
-            .field("contexts", &self.contexts.lock().expect("context map poisoned").len())
-            .field("stats", &self.stats())
-            .finish()
+        // Resolve the count before the builder chain: a guard temporary held
+        // across `self.stats()` (which locks the context map itself) would
+        // self-deadlock.
+        let contexts = self.context_count();
+        f.debug_struct("Engine").field("contexts", &contexts).field("stats", &self.stats()).finish()
     }
 }
 
 impl Engine {
-    /// Creates an engine with an empty cache and no retained tables.
+    /// Creates an unbounded engine with an empty cache and no retained
+    /// tables.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an engine whose solution cache and retained-context store are
+    /// bounded by `limits` (least-recently-used entries evicted first).
+    pub fn with_limits(limits: EngineLimits) -> Self {
+        Self {
+            cache: SolutionCache::with_limits(CacheLimits {
+                max_entries: limits.cache_entries,
+                max_bytes: limits.cache_bytes,
+            }),
+            limits,
+            ..Self::default()
+        }
     }
 
     /// Solves `(scenario, algorithm)` through the cheapest sound strategy.
@@ -389,9 +471,15 @@ impl Engine {
         let kernel = kernel_for(algorithm);
         let n = scenario.task_count();
         let calc = SegmentCalculator::new(scenario);
+        let key = ContextKey::new(scenario, algorithm);
         let slot = {
-            let mut map = self.contexts.lock().expect("context map poisoned");
-            map.entry(ContextKey::new(scenario, algorithm)).or_default().clone()
+            let mut store = self.contexts.lock().expect("context map poisoned");
+            store.clock += 1;
+            let stamp = store.clock;
+            let entry =
+                store.map.entry(key).or_insert_with(|| ContextSlot { slot: Arc::default(), stamp });
+            entry.stamp = stamp;
+            entry.slot.clone()
         };
 
         // Reuse/extension check under `try_lock`: if another request of this
@@ -405,7 +493,7 @@ impl Engine {
                 }
                 if bitwise_prefix(&ctx.weights, scenario.chain.weights()) {
                     let old_n = ctx.weights.len();
-                    kernel.extend(&calc, &mut ctx.state, old_n, n);
+                    kernel.extend(&calc, &mut ctx.state, old_n, n, &self.arena);
                     ctx.weights = scenario.chain.weights().to_vec();
                     self.extended.fetch_add(1, Ordering::Relaxed);
                     return assemble(kernel, &calc, &ctx.state, n, scenario);
@@ -421,23 +509,74 @@ impl Engine {
         } else {
             self.cold_exhaustive.fetch_add(1, Ordering::Relaxed);
         }
-        let state = kernel.compute(&calc, n);
+        let state = kernel.compute(&calc, n, &self.arena);
         let solution = assemble(kernel, &calc, &state, n, scenario);
 
         // Install the finished tables only when they extend (or seed) the
         // retained state — an incompatible chain never evicts tables that
         // future requests could still extend, so a hostile request mix cannot
-        // thrash the store.
+        // thrash the store.  Tables that are not retained (and any they
+        // replace) return their buffers to the arena.
+        let mut leftover = Some(state);
         if let Ok(mut guard) = slot.try_lock() {
             let install = match guard.as_ref() {
                 None => true,
                 Some(ctx) => bitwise_prefix(&ctx.weights, scenario.chain.weights()),
             };
             if install {
-                *guard = Some(EngineContext { weights: scenario.chain.weights().to_vec(), state });
+                let replaced = guard.replace(EngineContext {
+                    weights: scenario.chain.weights().to_vec(),
+                    state: leftover.take().expect("state not yet consumed"),
+                });
+                if let Some(old) = replaced {
+                    old.state.recycle(&self.arena);
+                }
             }
         }
+        if let Some(state) = leftover {
+            state.recycle(&self.arena);
+        }
+        self.enforce_context_cap();
         solution
+    }
+
+    /// Evicts least-recently-used retained contexts beyond the `contexts`
+    /// limit, returning their table buffers to the arena.  Contexts whose
+    /// slot is locked by an in-flight solve are left alone (they will be
+    /// reconsidered on the next solve).
+    ///
+    /// A victim's slot lock is acquired *before* it leaves the map and held
+    /// across the removal (the store lock is held throughout, so no solver
+    /// can acquire a slot between the probe and the removal): an entry is
+    /// only evicted — and only counted — when its tables were actually
+    /// reclaimed, never detached mid-extension.
+    fn enforce_context_cap(&self) {
+        let Some(cap) = self.limits.contexts else {
+            return;
+        };
+        let mut store = self.contexts.lock().expect("context map poisoned");
+        if store.map.len() <= cap {
+            return;
+        }
+        let mut candidates: Vec<(u64, ContextKey)> =
+            store.map.iter().map(|(key, entry)| (entry.stamp, key.clone())).collect();
+        candidates.sort_unstable_by_key(|&(stamp, _)| stamp);
+        for (_, key) in candidates {
+            if store.map.len() <= cap {
+                break;
+            }
+            // Clone the Arc so the mutex outlives the map entry while the
+            // guard is held.
+            let slot = store.map.get(&key).expect("candidate key present").slot.clone();
+            let locked = slot.try_lock();
+            if let Ok(mut guard) = locked {
+                store.map.remove(&key);
+                if let Some(ctx) = guard.take() {
+                    ctx.state.recycle(&self.arena);
+                }
+                self.context_evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Cache and per-strategy routing statistics accumulated since
@@ -449,19 +588,34 @@ impl Engine {
             extended: self.extended.load(Ordering::Relaxed),
             cold_pruned: self.cold_pruned.load(Ordering::Relaxed),
             cold_exhaustive: self.cold_exhaustive.load(Ordering::Relaxed),
+            arena: self.arena.stats(),
+            contexts: self.context_count(),
+            context_evictions: self.context_evictions.load(Ordering::Relaxed),
         }
+    }
+
+    /// Checkout/return counters of the engine's table arena.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
     }
 
     /// Number of contexts currently retaining tables.
     pub fn context_count(&self) -> usize {
-        self.contexts.lock().expect("context map poisoned").len()
+        self.contexts.lock().expect("context map poisoned").map.len()
     }
 
     /// Drops every cached solution and retained table set (the counters keep
-    /// accumulating).
+    /// accumulating; retained tables return their buffers to the arena).
     pub fn clear(&self) {
         self.cache.clear();
-        self.contexts.lock().expect("context map poisoned").clear();
+        let mut store = self.contexts.lock().expect("context map poisoned");
+        for (_, entry) in store.map.drain() {
+            if let Ok(mut guard) = entry.slot.try_lock() {
+                if let Some(ctx) = guard.take() {
+                    ctx.state.recycle(&self.arena);
+                }
+            }
+        }
     }
 }
 
@@ -505,7 +659,8 @@ mod tests {
             Algorithm::TwoLevelPartialRefined,
         ] {
             let kernel = kernel_for(a);
-            let state = kernel.compute(&calc, 10);
+            let arena = TableArena::new();
+            let state = kernel.compute(&calc, 10, &arena);
             let sol = assemble(kernel, &calc, &state, 10, &s);
             let direct = optimize(&s, a);
             assert_eq!(sol.expected_makespan.to_bits(), direct.expected_makespan.to_bits(), "{a}");
@@ -617,10 +772,65 @@ mod tests {
         let engine = Engine::new();
         engine.solve(&weak_scaling(4, 500.0), Algorithm::TwoLevel);
         let text = engine.stats().to_string();
-        for needle in ["reused", "extended", "cold (pruned)", "cold (exhaustive)", "hit rate"] {
+        for needle in [
+            "reused",
+            "extended",
+            "cold (pruned)",
+            "cold (exhaustive)",
+            "hit rate",
+            "arena",
+            "retained",
+        ] {
             assert!(text.contains(needle), "missing `{needle}` in `{text}`");
         }
         let debug = format!("{engine:?}");
         assert!(debug.contains("contexts"), "{debug}");
+    }
+
+    #[test]
+    fn arena_recycles_retired_tables_across_cold_solves() {
+        let engine = Engine::new();
+        // Paper scenarios share no weight prefix, so every solve is cold;
+        // each one retires the previously retained tables into the arena and
+        // draws its own buffers from the pool.
+        for n in [10usize, 11, 12, 13] {
+            engine.solve(&paper(n), Algorithm::TwoLevel);
+        }
+        let arena = engine.arena_stats();
+        assert!(arena.returns > 0, "{arena:?}");
+        assert!(arena.pool_hits > 0, "{arena:?}");
+        assert_eq!(engine.stats().arena, arena);
+    }
+
+    #[test]
+    fn context_cap_evicts_lru_contexts_and_recycles_their_tables() {
+        let engine = Engine::with_limits(EngineLimits::entry_cap(2));
+        let s = paper(8);
+        for algorithm in [Algorithm::SingleLevel, Algorithm::TwoLevel, Algorithm::TwoLevelPartial] {
+            engine.solve(&s, algorithm);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.contexts, 2, "{stats:?}");
+        assert_eq!(stats.context_evictions, 1, "{stats:?}");
+        assert!(stats.arena.returns > 0, "evicted tables must return buffers: {stats:?}");
+        // The evicted context re-solves cold and stays correct.
+        let sol = engine.solve(&paper(8), Algorithm::SingleLevel);
+        let direct = optimize(&paper(8), Algorithm::SingleLevel);
+        assert_eq!(sol.expected_makespan.to_bits(), direct.expected_makespan.to_bits());
+    }
+
+    #[test]
+    fn cache_cap_limits_are_threaded_through_the_engine() {
+        let engine = Engine::with_limits(EngineLimits::entry_cap(1));
+        engine.solve(&paper(6), Algorithm::TwoLevel);
+        engine.solve(&paper(7), Algorithm::TwoLevel);
+        let stats = engine.stats();
+        assert_eq!(stats.cache.entries, 1, "{stats:?}");
+        assert_eq!(stats.cache.evictions, 1, "{stats:?}");
+        // The evicted scenario is a miss again, and still bit-correct.
+        let sol = engine.solve(&paper(6), Algorithm::TwoLevel);
+        let direct = optimize(&paper(6), Algorithm::TwoLevel);
+        assert_eq!(sol.expected_makespan.to_bits(), direct.expected_makespan.to_bits());
+        assert_eq!(engine.stats().cache.misses, 3);
     }
 }

@@ -29,6 +29,7 @@
 //! [`crate::cache::SolutionCache::new_incremental`]: an ascending
 //! weak-scaling sweep costs little more than its largest point.
 
+use crate::arena::TableArena;
 use crate::engine::{assemble, bitwise_prefix, kernel_for, ContextKey, KernelState};
 use crate::segment::SegmentCalculator;
 use crate::solution::Solution;
@@ -118,6 +119,7 @@ impl std::fmt::Display for IncrementalStats {
 #[derive(Default)]
 pub struct IncrementalSolver {
     states: Mutex<HashMap<ContextKey, Arc<Mutex<Option<ContextState>>>>>,
+    arena: TableArena,
     cold_solves: AtomicU64,
     extensions: AtomicU64,
     reuses: AtomicU64,
@@ -170,7 +172,7 @@ impl IncrementalSolver {
             }
             Some(state) if bitwise_prefix(&state.weights, scenario.chain.weights()) => {
                 let old_n = state.n();
-                kernel.extend(&calc, &mut state.state, old_n, n);
+                kernel.extend(&calc, &mut state.state, old_n, n, &self.arena);
                 state.weights = scenario.chain.weights().to_vec();
                 self.extensions.fetch_add(1, Ordering::Relaxed);
                 SolvePath::Extended
@@ -179,8 +181,12 @@ impl IncrementalSolver {
                 if existing.is_some() {
                     self.replacements.fetch_add(1, Ordering::Relaxed);
                 }
-                let state = kernel.compute(&calc, n);
-                *guard = Some(ContextState { weights: scenario.chain.weights().to_vec(), state });
+                let state = kernel.compute(&calc, n, &self.arena);
+                let replaced = guard
+                    .replace(ContextState { weights: scenario.chain.weights().to_vec(), state });
+                if let Some(old) = replaced {
+                    old.state.recycle(&self.arena);
+                }
                 self.cold_solves.fetch_add(1, Ordering::Relaxed);
                 SolvePath::Cold
             }
@@ -205,9 +211,17 @@ impl IncrementalSolver {
         self.states.lock().expect("state map poisoned").len()
     }
 
-    /// Drops every retained table set (counters keep accumulating).
+    /// Drops every retained table set, returning its buffers to the solver's
+    /// arena (counters keep accumulating).
     pub fn clear(&self) {
-        self.states.lock().expect("state map poisoned").clear();
+        let mut map = self.states.lock().expect("state map poisoned");
+        for (_, slot) in map.drain() {
+            if let Ok(mut guard) = slot.try_lock() {
+                if let Some(state) = guard.take() {
+                    state.state.recycle(&self.arena);
+                }
+            }
+        }
     }
 }
 

@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod brute_force;
 pub mod cache;
 mod dp;
@@ -78,8 +79,9 @@ pub mod solution;
 pub mod tables;
 pub mod two_level;
 
-pub use cache::{CacheStats, ScenarioFingerprint, SolutionCache, SolveRequest};
-pub use engine::{kernel_for, Engine, EngineStats, Kernel, KernelState};
+pub use arena::{ArenaStats, TableArena};
+pub use cache::{CacheLimits, CacheStats, ScenarioFingerprint, SolutionCache, SolveRequest};
+pub use engine::{kernel_for, Engine, EngineLimits, EngineStats, Kernel, KernelState};
 pub use incremental::{IncrementalSolver, IncrementalStats};
 pub use partial::{optimize_with_partials, PartialOptions};
 pub use segment::{PartialCostModel, SegmentCalculator};

@@ -44,12 +44,12 @@
 //! (`from_m2`), which is what [`crate::incremental::IncrementalSolver`] uses
 //! to extend finished tables from `n` to `n' > n`.
 
-use crate::dp::{self, DiskSlice, DpTables};
+use crate::arena::TableArena;
+use crate::dp::{self, DiskSlice, DpTables, NO_CHOICE};
 use crate::segment::{PartialCostModel, SegmentCalculator};
 use crate::solution::{DpStatistics, Solution};
 use chain2l_model::{Action, Scenario, Schedule};
 use rayon::prelude::*;
-
 /// Options controlling the partial-verification dynamic program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PartialOptions {
@@ -99,7 +99,7 @@ pub(crate) struct InnerScratch {
     /// `E_right(·)` per left boundary.
     eright: Vec<f64>,
     /// `next[p]`: optimal position of the verification following `p`.
-    next: Vec<usize>,
+    next: Vec<u32>,
 }
 
 impl InnerScratch {
@@ -107,8 +107,25 @@ impl InnerScratch {
         Self {
             epartial: vec![f64::INFINITY; n + 1],
             eright: vec![0.0; n + 1],
-            next: vec![usize::MAX; n + 1],
+            next: vec![NO_CHOICE; n + 1],
         }
+    }
+
+    /// Checks the scratch buffers out of `arena` (same initial contents as
+    /// [`Self::new`]).
+    fn take(arena: &TableArena, n: usize) -> Self {
+        Self {
+            epartial: arena.take_f64(n + 1, f64::INFINITY),
+            eright: arena.take_f64(n + 1, 0.0),
+            next: arena.take_u32(n + 1, NO_CHOICE),
+        }
+    }
+
+    /// Returns the scratch buffers to `arena` for the next slice fill.
+    fn release(self, arena: &TableArena) {
+        arena.give_f64(self.epartial);
+        arena.give_f64(self.eright);
+        arena.give_u32(self.next);
     }
 }
 
@@ -182,6 +199,26 @@ fn epartial_interval(
     // the first-order rates (DESIGN.md §4).
     let load = 1.0 + calc.lambda_fail_stop() * a + calc.lambda_combined() * everif_v1;
 
+    // Hoisted constants of the closing candidate and the `E_right` step:
+    // the verification cost and detection semantics at the closing
+    // guaranteed verification, the correction coefficient of
+    // `tail_verification_correction` and the fixed context sum of the
+    // closing `E⁻` — all constant across `p1`, so the per-`p1` closing
+    // evaluation below is pure column-slice arithmetic replicating
+    // `SegmentCalculator::e_minus` / `eright_step` operation for operation.
+    let rd = calc.disk_recovery(d1);
+    let rm = calc.memory_recovery(m1);
+    let (vc_close, g_close) = match model {
+        PartialCostModel::PaperExact => (v_cost, g),
+        PartialCostModel::Refined => (v_star, 0.0),
+    };
+    let tail_coef = match model {
+        PartialCostModel::PaperExact => v_star - v_cost,
+        PartialCostModel::Refined => 0.0,
+    };
+    let eright_v2 = scratch.eright[v2];
+    let close_ctx = (1.0 - g_close) * rm + g_close * eright_v2;
+
     for p1 in (v1..v2).rev() {
         let row = calc.interval_row(p1);
         let w_p1 = prefix[p1];
@@ -192,11 +229,15 @@ fn epartial_interval(
         // with it gives the pruning tests a tight incumbent in the common
         // no-partials-pay case; the tie rules below keep the final
         // (value, argmin) identical to the exhaustive opens-then-closing
-        // order.
+        // order.  The transposed column mirrors are exact copies of the
+        // row-major cache, so reading them keeps the closing value
+        // bit-identical while staying contiguous in `p1`.
         candidates += 1;
-        let eminus_closing =
-            calc.e_minus(d1, m1, p1, v2, emem, everif_v1, scratch.eright[v2], true, model);
-        let mut best = eminus_closing + calc.tail_verification_correction(p1, v2, model);
+        let eminus_closing = col.exp_s[p1] * (col.em1_f_over_lambda[p1] + vc_close)
+            + col.exp_s[p1] * col.em1_f[p1] * a
+            + col.em1_fs[p1] * everif_v1
+            + col.em1_s[p1] * close_ctx;
+        let mut best = eminus_closing + col.growth_fs[p1] * tail_coef;
         let mut best_p2 = v2;
         // Open candidates p2 < v2: pure arithmetic over the prefetched row
         // and the scratch tails, doubly pruned (DESIGN.md §4):
@@ -212,48 +253,150 @@ fn epartial_interval(
         // * break — the span's loaded work plus the first sub-interval's
         //   quadratic floor plus the mandatory V* bounds every remaining
         //   candidate (monotone in p2), ending the scan outright.
-        // p2 is a DP coordinate indexing several interval-anchored tables.
-        #[allow(clippy::needless_range_loop)]
-        for p2 in (p1 + 1)..v2 {
-            let w_sub = prefix[p2] - w_p1;
+        //
+        // Every operand — the exponential row, the re-execution column, the
+        // prefix sums and the scratch tails — is re-sliced to the scan range
+        // `p1+1..v2`, so the loop is branch-light arithmetic over contiguous
+        // memory with the bounds checks elided.  The candidate expression is
+        // the exact arithmetic of `IntervalRow::e_minus_at` in the same
+        // order, so the flat scan stays bit-identical to the scalar form.
+        let base = p1 + 1;
+        let exp_s = &row.exp_s[base..v2];
+        let em1_f = &row.em1_f[base..v2];
+        let em1_s = &row.em1_s[base..v2];
+        let em1_fs = &row.em1_fs[base..v2];
+        let em1_fol = &row.em1_f_over_lambda[base..v2];
+        let growth = &col.growth_fs[base..v2];
+        let prefix_w = &prefix[base..v2];
+        let eright = &scratch.eright[base..v2];
+        let epartial = &scratch.epartial[base..v2];
+        for off in 0..exp_s.len() {
+            let w_sub = prefix_w[off] - w_p1;
             let quad = quad_coef * w_sub * w_sub;
             if prune {
                 if span_floor + quad > best {
                     break;
                 }
-                let sub_floor =
-                    w_sub * load + quad + v_cost + ls * w_sub * (miss_rm + g * scratch.eright[p2]);
-                if sub_floor * col.reexecution_factor_at(p2) + scratch.epartial[p2] > best {
+                // Two-stage skip.  The pre-test drops the detection-latency
+                // term and the ≥ 1 re-execution factor, so it reads only the
+                // prefix sums and the exact tail (2 streams instead of 4);
+                // it is weaker than the full bound *in float arithmetic too*
+                // (the dropped term is non-negative, the factor multiplies a
+                // non-negative value by ≥ 1, and round-to-nearest is
+                // monotone), so every pre-rejected candidate would have been
+                // rejected by the full test — counted candidates, values and
+                // argmins are unchanged.  The full bound's first three terms
+                // re-associate exactly as `pre`, so `pre + latency` is the
+                // original expression bit for bit.
+                let pre = w_sub * load + quad + v_cost;
+                if pre + epartial[off] > best {
+                    continue;
+                }
+                let sub_floor = pre + ls * w_sub * (miss_rm + g * eright[off]);
+                if sub_floor * growth[off] + epartial[off] > best {
                     continue;
                 }
             }
             candidates += 1;
-            let eminus = row.e_minus_at(p2, v_cost, g, a, everif_v1, miss_rm, scratch.eright[p2]);
-            let cand = eminus * col.reexecution_factor_at(p2) + scratch.epartial[p2];
+            let eminus = exp_s[off] * (em1_fol[off] + v_cost)
+                + exp_s[off] * em1_f[off] * a
+                + em1_fs[off] * everif_v1
+                + em1_s[off] * (miss_rm + g * eright[off]);
+            let cand = eminus * growth[off] + epartial[off];
             // Tie rules of the exhaustive opens-then-closing scan: the
             // smallest open candidate wins ties among opens, and any open
             // candidate displaces an equal-valued closing incumbent.
             if cand < best || (best_p2 == v2 && cand == best) {
                 best = cand;
-                best_p2 = p2;
+                best_p2 = base + off;
             }
         }
         scratch.epartial[p1] = best;
-        scratch.next[p1] = best_p2;
-        // E_right at p1 uses the *optimal* next verification position.
-        scratch.eright[p1] = calc.eright_step(
-            d1,
-            m1,
-            p1,
-            best_p2,
-            emem,
-            scratch.eright[best_p2],
-            best_p2 == v2,
-            model,
-        );
+        scratch.next[p1] = best_p2 as u32;
+        // E_right at p1 uses the *optimal* next verification position —
+        // `SegmentCalculator::eright_step` flattened onto the already-bound
+        // row slices (same operations, same order).
+        let (vc_step, g_step) = if best_p2 == v2 { (vc_close, g_close) } else { (v_cost, g) };
+        let w_step = prefix[best_p2] - w_p1;
+        let pf = row.p_fail[best_p2];
+        scratch.eright[p1] = pf * (row.t_lost[best_p2] + rd + emem)
+            + (1.0 - pf)
+                * (w_step + vc_step + (1.0 - g_step) * rm + g_step * scratch.eright[best_p2]);
     }
 
     (scratch.epartial[v1], candidates)
+}
+
+/// The per-column candidate floors shared by every `d1 ≥ 1` disk slice.
+///
+/// For a fixed column `v2` the floor DP's context terms are identical
+/// across all `d1 ≥ 1` — `R_D(d1)` and `R_M(d1)` only distinguish the
+/// virtual task `d1 = 0`, and the window-minimal `Emem` context is zero
+/// everywhere — and the recurrence only looks right, so the floor values a
+/// slice reads (`floor[p1]`, `p1 ≥ d1`) are the same whether the run
+/// started at `p1 = d1` or at `p1 = 1`.  One full-range run per column
+/// therefore serves every slice, collapsing the floor work from `O(n⁴)`
+/// (one run per `(d1, m2)` pair) to `O(n³)` — with bit-identical floor
+/// values, hence bit-identical skip decisions and tables.  The `d1 = 0`
+/// slice keeps its private runs: its zero recovery costs give it a
+/// strictly tighter floor.
+pub(crate) struct SharedFloors {
+    /// `columns[v2]`, when computed, holds `floor[p1]` for `p1 ∈ 1..v2`
+    /// (buffers are full `n + 1` length for direct indexing).
+    columns: Vec<Option<Vec<f64>>>,
+    /// Candidates examined across every computed column (reported through
+    /// `DpTables::floor_candidates` — shared work is counted once, not once
+    /// per consuming slice).
+    candidates: u64,
+}
+
+impl SharedFloors {
+    fn empty(n: usize) -> Self {
+        Self { columns: (0..=n).map(|_| None).collect(), candidates: 0 }
+    }
+
+    fn recycle(self, arena: &TableArena) {
+        for column in self.columns.into_iter().flatten() {
+            arena.give_f64(column);
+        }
+    }
+}
+
+/// Computes the shared `d1 ≥ 1` floors for every column `m2 ∈ from_m2..=n`
+/// that has at least one floor-using slice (`m2 − d1 ≥ FLOOR_SPAN_MIN` for
+/// some `d1 ≥ 1`), in parallel on the pool.  Returns an empty set when
+/// pruning is off or unsound (the kernels then never consult a floor).
+pub(crate) fn compute_shared_floors(
+    calc: &SegmentCalculator<'_>,
+    n: usize,
+    from_m2: usize,
+    options: PartialOptions,
+    arena: &TableArena,
+) -> SharedFloors {
+    let mut shared = SharedFloors::empty(n);
+    if !(options.prune && calc.pruning_sound()) {
+        return shared;
+    }
+    let start = from_m2.max(FLOOR_SPAN_MIN + 1);
+    if start > n {
+        return shared;
+    }
+    let model = options.cost_model;
+    let computed: Vec<(usize, Vec<f64>, u64)> = (start..=n)
+        .into_par_iter()
+        .map(|v2| {
+            let mut floor = arena.take_f64(n + 1, f64::INFINITY);
+            let mut er_lb = arena.take_f64(n + 1, f64::INFINITY);
+            let candidates = epartial_floor(calc, 1, v2, model, &mut floor, &mut er_lb);
+            arena.give_f64(er_lb);
+            (v2, floor, candidates)
+        })
+        .collect();
+    for (v2, floor, candidates) in computed {
+        shared.columns[v2] = Some(floor);
+        shared.candidates += candidates;
+    }
+    shared
 }
 
 /// The shared candidate floor of one `(d1, v2)` column: fills
@@ -288,6 +431,8 @@ fn epartial_floor(
     let miss_rm = (1.0 - g) * calc.memory_recovery(d1);
     let col = calc.interval_col(v2);
     let eright_base = calc.eright_base(d1);
+    let prefix = calc.prefix_weights();
+    let everif_zero = 0.0;
     let mut candidates = 0u64;
 
     er_lb[v2] = eright_base;
@@ -299,14 +444,41 @@ fn epartial_floor(
         let mut best = calc.e_minus(d1, d1, p1, v2, 0.0, 0.0, eright_base, true, model)
             + calc.tail_verification_correction(p1, v2, model);
         let mut best_er = calc.eright_step(d1, d1, p1, v2, 0.0, eright_base, true, model);
-        for p2 in (p1 + 1)..v2 {
+        // Open candidates, over contiguous re-sliced operands (see
+        // `epartial_interval` — same bounds-check-free shape).  The two
+        // candidate expressions replicate `IntervalRow::e_minus_at` (with a
+        // zero `Everif` context) and `SegmentCalculator::eright_step` (with
+        // `emem = 0`, non-closing, where both cost models charge `(V, g)`),
+        // operation for operation, so the flattened floor is bit-identical
+        // to the scalar recurrences — which keeps every downstream skip
+        // decision, and therefore the candidate counts of the baseline
+        // gate, unchanged.
+        let base = p1 + 1;
+        let w_p1 = prefix[p1];
+        let exp_s = &row.exp_s[base..v2];
+        let em1_f = &row.em1_f[base..v2];
+        let em1_s = &row.em1_s[base..v2];
+        let em1_fs = &row.em1_fs[base..v2];
+        let em1_fol = &row.em1_f_over_lambda[base..v2];
+        let p_fail = &row.p_fail[base..v2];
+        let t_lost = &row.t_lost[base..v2];
+        let growth = &col.growth_fs[base..v2];
+        let prefix_w = &prefix[base..v2];
+        let floor_tail = &floor[base..v2];
+        let er_tail = &er_lb[base..v2];
+        for off in 0..exp_s.len() {
             candidates += 1;
-            let eminus = row.e_minus_at(p2, v_cost, g, a, 0.0, miss_rm, er_lb[p2]);
-            let cand = eminus * col.reexecution_factor_at(p2) + floor[p2];
+            let eminus = exp_s[off] * (em1_fol[off] + v_cost)
+                + exp_s[off] * em1_f[off] * a
+                + em1_fs[off] * everif_zero
+                + em1_s[off] * (miss_rm + g * er_tail[off]);
+            let cand = eminus * growth[off] + floor_tail[off];
             if cand < best {
                 best = cand;
             }
-            let er = calc.eright_step(d1, d1, p1, p2, 0.0, er_lb[p2], false, model);
+            let w = prefix_w[off] - w_p1;
+            let er = p_fail[off] * (t_lost[off] + a)
+                + (1.0 - p_fail[off]) * (w + v_cost + miss_rm + g * er_tail[off]);
             if er < best_er {
                 best_er = er;
             }
@@ -323,7 +495,8 @@ fn epartial_floor(
 pub fn optimize_with_partials(scenario: &Scenario, options: PartialOptions) -> Solution {
     let n = scenario.task_count();
     let calc = SegmentCalculator::new(scenario);
-    let tables = compute_tables(&calc, n, options);
+    let arena = TableArena::new();
+    let tables = compute_tables(&calc, n, options, &arena);
     let schedule = reconstruct(&calc, &tables, n, options);
     let expected_makespan = tables.edisk[n];
     let stats = DpStatistics {
@@ -335,11 +508,15 @@ pub fn optimize_with_partials(scenario: &Scenario, options: PartialOptions) -> S
 
 /// Fills the `Emem(d1, ·)` / `Everif(d1, ·, ·)` slice columns `from_m2..=n`
 /// for one fixed `d1` (cold solves pass `from_m2 = d1 + 1`, the incremental
-/// solver passes `old_n + 1`).
+/// solver passes `old_n + 1`).  The inner-DP scratch and the shared floor
+/// buffers are checked out of `arena` and returned when the slice is
+/// finished, so concurrent slice fills recycle a thread-count-sized working
+/// set instead of allocating per slice.
 ///
 /// Pruning only skips candidates that provably cannot beat the running
 /// minimum, so the filled columns are bit-identical to the exhaustive
 /// sequential recurrence either way.
+#[allow(clippy::too_many_arguments)] // DP coordinates + the storage/floor context
 pub(crate) fn fill_disk_slice(
     calc: &SegmentCalculator<'_>,
     n: usize,
@@ -347,32 +524,49 @@ pub(crate) fn fill_disk_slice(
     options: PartialOptions,
     slice: &mut DiskSlice,
     from_m2: usize,
+    arena: &TableArena,
+    shared: &SharedFloors,
 ) {
     let model = options.cost_model;
     let prune = options.prune && calc.pruning_sound();
     let c_mem = calc.scenario().costs.memory_checkpoint;
     let lf = calc.lambda_fail_stop();
     let prefix = calc.prefix_weights();
-    let mut scratch = InnerScratch::new(n);
-    let mut floor = vec![f64::INFINITY; n + 1];
-    let mut er_lb = vec![f64::INFINITY; n + 1];
-    let mut bounds = vec![f64::INFINITY; n + 1];
+    let mut scratch = InnerScratch::take(arena, n);
+    // Only the d1 = 0 slice runs private floor DPs (its zero recovery
+    // costs give a tighter bound than the shared d1 ≥ 1 columns).
+    let mut own_floor = if d1 == 0 {
+        Some((arena.take_f64(n + 1, f64::INFINITY), arena.take_f64(n + 1, f64::INFINITY)))
+    } else {
+        None
+    };
+    let mut bounds = arena.take_f64(n + 1, f64::INFINITY);
     let mut candidates = 0u64;
 
     if from_m2 == d1 + 1 {
         slice.emem[d1] = 0.0;
     }
     for m2 in from_m2..=n {
-        // One shared floor DP per (d1, m2) column, hoisted across every
-        // (m1, m2) window of the m1 scan below (DESIGN.md §4.3).
+        // One floor column per (d1, m2), hoisted across every (m1, m2)
+        // window of the m1 scan below (DESIGN.md §4.3) — private for the
+        // d1 = 0 slice, shared across all d1 ≥ 1 ([`SharedFloors`]).
         let use_floor = prune && m2 - d1 >= FLOOR_SPAN_MIN;
         if use_floor {
-            candidates += epartial_floor(calc, d1, m2, model, &mut floor, &mut er_lb);
+            if let Some((floor, er_lb)) = own_floor.as_mut() {
+                candidates += epartial_floor(calc, 0, m2, model, floor, er_lb);
+            }
         }
+        let floor_col: &[f64] = if !use_floor {
+            &[]
+        } else if let Some((floor, _)) = own_floor.as_ref() {
+            floor
+        } else {
+            shared.columns[m2].as_deref().expect("shared floor computed for this column")
+        };
         let col = calc.interval_col(m2);
         let w_m2 = prefix[m2];
         let mut best_mem = f64::INFINITY;
-        let mut best_m1 = usize::MAX;
+        let mut best_m1 = NO_CHOICE;
         // m1 is a DP coordinate indexing several tables, not a plain scan.
         #[allow(clippy::needless_range_loop)]
         for m1 in d1..m2 {
@@ -393,25 +587,33 @@ pub(crate) fn fill_disk_slice(
             // with a non-strict minimum, which reproduces the exhaustive
             // left-to-right strict tie-breaking exactly.
             let mut best_verif = f64::INFINITY;
-            let mut best_v1 = usize::MAX;
+            let mut best_v1 = NO_CHOICE;
             let row = slice.everif.row(m1);
             let use_predictor = use_floor && m2 - m1 >= PREDICT_SPAN_MIN;
             let mut threshold = f64::INFINITY;
             let mut seed_v1 = usize::MAX;
             let mut seed_value = f64::INFINITY;
             if use_predictor {
+                // Bound computation over the contiguous value row and the
+                // re-sliced floor/column operands (same arithmetic and
+                // order as the scalar expression, bounds checks elided).
                 let mut best_bound = f64::INFINITY;
-                for v1 in m1..m2 {
-                    let left = row[v1];
-                    debug_assert!(left.is_finite(), "Everif({d1},{m1},{v1}) not computed");
+                let left_values = &row[m1..m2];
+                let floor_w = &floor_col[m1..m2];
+                let em1_fs = &col.em1_fs[m1..m2];
+                let prefix_w = &prefix[m1..m2];
+                let bounds_w = &mut bounds[m1..m2];
+                for off in 0..left_values.len() {
+                    let left = left_values[off];
+                    debug_assert!(left.is_finite(), "Everif({d1},{m1},{}) not computed", m1 + off);
                     let bound = left
-                        + floor[v1]
-                        + left * col.em1_fs_at(v1)
-                        + emem_left * lf * (w_m2 - prefix[v1]);
-                    bounds[v1] = bound;
+                        + floor_w[off]
+                        + left * em1_fs[off]
+                        + emem_left * lf * (w_m2 - prefix_w[off]);
+                    bounds_w[off] = bound;
                     if bound < best_bound {
                         best_bound = bound;
-                        seed_v1 = v1;
+                        seed_v1 = m1 + off;
                     }
                 }
                 let left = row[seed_v1];
@@ -459,7 +661,7 @@ pub(crate) fn fill_disk_slice(
                 let cand = left + value;
                 if cand <= best_verif {
                     best_verif = cand;
-                    best_v1 = v1;
+                    best_v1 = v1 as u32;
                 }
             }
             slice.everif.set(m1, m2, best_verif);
@@ -468,31 +670,42 @@ pub(crate) fn fill_disk_slice(
             let cand = emem_left + best_verif + c_mem;
             if cand < best_mem {
                 best_mem = cand;
-                best_m1 = m1;
+                best_m1 = m1 as u32;
             }
         }
         slice.emem[m2] = best_mem;
         slice.emem_choice[m2] = best_m1;
     }
     slice.candidates += candidates;
+    scratch.release(arena);
+    if let Some((floor, er_lb)) = own_floor {
+        arena.give_f64(floor);
+        arena.give_f64(er_lb);
+    }
+    arena.give_f64(bounds);
 }
 
 /// Fills the DP levels: the per-`d1` slices in parallel on the work-stealing
-/// pool, then the sequential `Edisk` level over the finished slices.
+/// pool (their planes and scratch checked out of `arena`), then the
+/// sequential `Edisk` level over the finished slices.
 pub(crate) fn compute_tables(
     calc: &SegmentCalculator<'_>,
     n: usize,
     options: PartialOptions,
+    arena: &TableArena,
 ) -> DpTables {
+    let shared = compute_shared_floors(calc, n, 1, options, arena);
     let slices: Vec<DiskSlice> = (0..n)
         .into_par_iter()
         .map(|d1| {
-            let mut slice = DiskSlice::new(n, d1, n - d1);
-            fill_disk_slice(calc, n, d1, options, &mut slice, d1 + 1);
+            let mut slice = DiskSlice::new_in(arena, n, d1, n - d1);
+            fill_disk_slice(calc, n, d1, options, &mut slice, d1 + 1, arena, &shared);
             slice
         })
         .collect();
-    dp::finish_tables(calc.scenario().costs.disk_checkpoint, slices, n)
+    let floor_candidates = shared.candidates;
+    shared.recycle(arena);
+    dp::finish_tables(arena, calc.scenario().costs.disk_checkpoint, slices, n, floor_candidates)
 }
 
 /// Extends finished tables from `old_n` to `new_n` tasks, reusing every
@@ -504,14 +717,21 @@ pub(crate) fn extend_tables(
     old_n: usize,
     new_n: usize,
     options: PartialOptions,
+    arena: &TableArena,
 ) {
+    let shared = compute_shared_floors(calc, new_n, old_n + 1, options, arena);
     dp::extend_slices(
+        arena,
         &mut tables.slices,
         old_n,
         new_n,
         |n, d1| n - d1,
-        |d1, slice, from_m2| fill_disk_slice(calc, new_n, d1, options, slice, from_m2),
+        |d1, slice, from_m2| {
+            fill_disk_slice(calc, new_n, d1, options, slice, from_m2, arena, &shared)
+        },
     );
+    tables.floor_candidates += shared.candidates;
+    shared.recycle(arena);
     dp::refresh_edisk(calc.scenario().costs.disk_checkpoint, tables, new_n);
 }
 
@@ -532,8 +752,8 @@ pub(crate) fn reconstruct(
     let mut d2 = n;
     while d2 > 0 {
         disk_positions.push(d2);
-        d2 = t.edisk_choice[d2];
-        debug_assert!(d2 != usize::MAX, "missing Edisk choice");
+        debug_assert!(t.edisk_choice[d2] != NO_CHOICE, "missing Edisk choice");
+        d2 = t.edisk_choice[d2] as usize;
     }
     disk_positions.reverse();
 
@@ -545,8 +765,8 @@ pub(crate) fn reconstruct(
         let mut m2 = disk;
         while m2 > d1 {
             mem_positions.push(m2);
-            m2 = slice.emem_choice[m2];
-            debug_assert!(m2 != usize::MAX, "missing Emem choice");
+            debug_assert!(slice.emem_choice[m2] != NO_CHOICE, "missing Emem choice");
+            m2 = slice.emem_choice[m2] as usize;
         }
         mem_positions.reverse();
 
@@ -558,8 +778,11 @@ pub(crate) fn reconstruct(
             let mut v2 = mem;
             while v2 > m1 {
                 verif_bounds.push(v2);
-                v2 = slice.everif_choice.get(m1, v2);
-                debug_assert!(v2 != usize::MAX, "missing Everif choice");
+                debug_assert!(
+                    slice.everif_choice.get(m1, v2) != NO_CHOICE,
+                    "missing Everif choice"
+                );
+                v2 = slice.everif_choice.get(m1, v2) as usize;
             }
             verif_bounds.reverse();
 
@@ -583,8 +806,8 @@ pub(crate) fn reconstruct(
                 );
                 let mut p = v1;
                 loop {
-                    let nxt = scratch.next[p];
-                    debug_assert!(nxt != usize::MAX, "missing partial chain at {p}");
+                    debug_assert!(scratch.next[p] != NO_CHOICE, "missing partial chain at {p}");
+                    let nxt = scratch.next[p] as usize;
                     if nxt >= verif {
                         break;
                     }
@@ -847,11 +1070,12 @@ mod tests {
         let small = Scenario::new(chain(8), platform.clone(), costs).unwrap();
         let large = Scenario::new(chain(20), platform.clone(), costs).unwrap();
         let options = PartialOptions::paper_exact();
+        let arena = TableArena::new();
         let calc_small = SegmentCalculator::new(&small);
-        let mut tables = compute_tables(&calc_small, 8, options);
+        let mut tables = compute_tables(&calc_small, 8, options, &arena);
         let calc_large = SegmentCalculator::new(&large);
-        extend_tables(&calc_large, &mut tables, 8, 20, options);
-        let cold = compute_tables(&calc_large, 20, options);
+        extend_tables(&calc_large, &mut tables, 8, 20, options, &arena);
+        let cold = compute_tables(&calc_large, 20, options, &arena);
         for (a, b) in tables.edisk.iter().zip(&cold.edisk) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
@@ -862,6 +1086,51 @@ mod tests {
             reconstruct(&calc_large, &tables, 20, options),
             reconstruct(&calc_large, &cold, 20, options)
         );
+    }
+
+    #[test]
+    fn nan_poisoned_arena_buffers_never_leak_into_solves() {
+        // Fill an arena's free lists with NaN-poisoned buffers (NaN would
+        // contaminate any DP arithmetic that read a stale cell), solve
+        // through it twice — the second round recycles the first round's
+        // returned buffers — and require the tables to be bit-identical to
+        // a fresh-allocation solve at every level.
+        let s = paper_scenario(&scr::hera(), &WeightPattern::Uniform, 15);
+        let calc = SegmentCalculator::new(&s);
+        let options = PartialOptions::paper_exact();
+        let fresh = compute_tables(&calc, 15, options, &TableArena::new());
+
+        let poisoned = TableArena::new();
+        for _ in 0..64 {
+            poisoned.give_f64(vec![f64::NAN; 97]);
+            poisoned.give_u32(vec![0xDEAD_BEEF; 61]);
+        }
+        for round in 0..2 {
+            let tables = compute_tables(&calc, 15, options, &poisoned);
+            assert_eq!(tables.candidates, fresh.candidates, "round {round}");
+            assert_eq!(tables.finalized_entries(), fresh.finalized_entries(), "round {round}");
+            for (a, b) in tables.edisk.iter().zip(&fresh.edisk) {
+                assert_eq!(a.to_bits(), b.to_bits(), "round {round}");
+            }
+            assert_eq!(tables.edisk_choice, fresh.edisk_choice, "round {round}");
+            for (slice, fresh_slice) in tables.slices.iter().zip(&fresh.slices) {
+                for (a, b) in slice.everif.as_slice().iter().zip(fresh_slice.everif.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "round {round}");
+                }
+                assert_eq!(
+                    slice.everif_choice.as_slice(),
+                    fresh_slice.everif_choice.as_slice(),
+                    "round {round}"
+                );
+            }
+            assert_eq!(
+                reconstruct(&calc, &tables, 15, options),
+                reconstruct(&calc, &fresh, 15, options),
+                "round {round}"
+            );
+            tables.recycle(&poisoned);
+        }
+        assert!(poisoned.stats().pool_hits > 0, "the poisoned pool must actually be used");
     }
 
     #[test]

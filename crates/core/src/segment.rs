@@ -148,13 +148,18 @@ impl ExpCache {
 ///
 /// The inner `E_partial` kernel binds one row per `p1` and then walks the
 /// candidate `p2` linearly, so the innermost loop of the `O(n⁶)` dynamic
-/// program is branch-light arithmetic over six prefetched slices.
+/// program is branch-light arithmetic over prefetched slices.  The fields
+/// are `pub(crate)` so the kernels can re-slice them to the scan range and
+/// iterate without per-cell bounds checks (the compiler elides the checks
+/// once every operand slice provably shares the loop bound).
 pub struct IntervalRow<'c> {
-    exp_s: &'c [f64],
-    em1_f: &'c [f64],
-    em1_s: &'c [f64],
-    em1_fs: &'c [f64],
-    em1_f_over_lambda: &'c [f64],
+    pub(crate) exp_s: &'c [f64],
+    pub(crate) em1_f: &'c [f64],
+    pub(crate) em1_s: &'c [f64],
+    pub(crate) em1_fs: &'c [f64],
+    pub(crate) em1_f_over_lambda: &'c [f64],
+    pub(crate) p_fail: &'c [f64],
+    pub(crate) t_lost: &'c [f64],
 }
 
 impl IntervalRow<'_> {
@@ -189,14 +194,15 @@ impl IntervalRow<'_> {
 /// (backed by the transposed mirrors).
 ///
 /// The two-level kernel binds one column per segment right endpoint and scans
-/// the candidate last verification `v1` linearly.
+/// the candidate last verification `v1` linearly.  As with [`IntervalRow`],
+/// the fields are `pub(crate)` for the kernels' bounds-check-free scans.
 pub struct IntervalCol<'c> {
-    exp_s: &'c [f64],
-    em1_f: &'c [f64],
-    em1_s: &'c [f64],
-    em1_fs: &'c [f64],
-    growth_fs: &'c [f64],
-    em1_f_over_lambda: &'c [f64],
+    pub(crate) exp_s: &'c [f64],
+    pub(crate) em1_f: &'c [f64],
+    pub(crate) em1_s: &'c [f64],
+    pub(crate) em1_fs: &'c [f64],
+    pub(crate) growth_fs: &'c [f64],
+    pub(crate) em1_f_over_lambda: &'c [f64],
 }
 
 impl IntervalCol<'_> {
@@ -351,6 +357,8 @@ impl<'a> SegmentCalculator<'a> {
             em1_s: &self.cache.em1_s[start..end],
             em1_fs: &self.cache.em1_fs[start..end],
             em1_f_over_lambda: &self.cache.em1_f_over_lambda[start..end],
+            p_fail: &self.cache.p_fail[start..end],
+            t_lost: &self.cache.t_lost[start..end],
         }
     }
 

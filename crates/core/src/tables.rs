@@ -118,13 +118,35 @@ impl<T: Copy> SliceTable2<T> {
         Self { row_base, rows, dim, data: vec![fill; rows * dim] }
     }
 
-    /// Grows the table in place to columns `0..=new_n` and `new_rows` rows
-    /// (same `row_base`), preserving every existing entry and filling the new
-    /// cells with `fill`.
+    /// Wraps a pre-filled backing buffer (e.g. one checked out of a
+    /// [`crate::arena::TableArena`]) as a `rows × (n + 1)` table.  The buffer
+    /// must already hold the desired initial value in every cell.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * (n + 1)`.
+    pub(crate) fn from_buffer(n: usize, row_base: usize, rows: usize, data: Vec<T>) -> Self {
+        let dim = n + 1;
+        assert_eq!(data.len(), rows * dim, "buffer does not match {rows} x {dim}");
+        Self { row_base, rows, dim, data }
+    }
+
+    /// Retires the table, handing its backing buffer back to the caller
+    /// (for return to a [`crate::arena::TableArena`]).
+    pub(crate) fn into_buffer(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Grows the table **in place** to columns `0..=new_n` and `new_rows`
+    /// rows (same `row_base`), preserving every existing entry and filling
+    /// the new cells with `fill`.
     ///
     /// This is the storage step of the incremental-in-`n` solver: extending a
-    /// finished slice from `n` to `n' > n` re-strides the rows into a fresh
-    /// flat allocation and keeps all computed prefixes bit-identical.
+    /// finished slice from `n` to `n' > n` re-strides the rows inside the
+    /// existing allocation (one `resize`, then a backwards row-by-row
+    /// `copy_within`) and keeps all computed prefixes bit-identical.  No
+    /// fresh allocation is made beyond the `Vec`'s own capacity growth, and
+    /// a column-only extension (`new_rows == rows`) never copies a row it
+    /// can leave in place.
     ///
     /// # Panics
     /// Panics if the new shape shrinks either axis.
@@ -135,12 +157,24 @@ impl<T: Copy> SliceTable2<T> {
         if new_dim == self.dim && new_rows == self.rows {
             return;
         }
-        let mut data = vec![fill; new_rows * new_dim];
-        for r in 0..self.rows {
-            data[r * new_dim..r * new_dim + self.dim]
-                .copy_from_slice(&self.data[r * self.dim..(r + 1) * self.dim]);
+        self.data.resize(new_rows * new_dim, fill);
+        if new_dim > self.dim {
+            // Re-stride from the last old row down to row 1 (row 0 already
+            // starts at offset 0): moving backwards means a row's source
+            // bytes are never overwritten before they are copied, and
+            // `copy_within` handles the self-overlap of each move.  The gap
+            // columns `old_dim..new_dim` of every moved row are then
+            // re-filled — together the copies and fills cover every cell of
+            // the first `rows` new-stride rows exactly once.
+            for r in (0..self.rows).rev() {
+                let src = r * self.dim;
+                let dst = r * new_dim;
+                if r > 0 {
+                    self.data.copy_within(src..src + self.dim, dst);
+                }
+                self.data[dst + self.dim..dst + new_dim].fill(fill);
+            }
         }
-        self.data = data;
         self.dim = new_dim;
         self.rows = new_rows;
     }
@@ -345,5 +379,64 @@ mod tests {
     fn grow_rejects_shrinking() {
         let mut t = SliceTable2::new(5, 0, 3, 0.0f64);
         t.grow(4, 3, 0.0);
+    }
+
+    #[test]
+    fn grow_extends_in_place_when_capacity_suffices() {
+        // A column-only extension re-strides inside the existing allocation:
+        // with enough spare capacity the backing buffer must not move.
+        let mut buf = Vec::with_capacity(3 * 11);
+        buf.resize(3 * 5, f64::INFINITY);
+        let mut t = SliceTable2::from_buffer(4, 2, 3, buf);
+        for row in 2..5 {
+            for col in 0..=4 {
+                t.set(row, col, (row * 100 + col) as f64);
+            }
+        }
+        let ptr = t.as_slice().as_ptr();
+        t.grow(10, 3, f64::INFINITY);
+        assert_eq!(t.as_slice().as_ptr(), ptr, "column growth must not reallocate");
+        for row in 2..5 {
+            for col in 0..=4 {
+                assert_eq!(t.get(row, col), (row * 100 + col) as f64, "({row},{col})");
+            }
+            for col in 5..=10 {
+                assert!(t.get(row, col).is_infinite(), "({row},{col}) not filled");
+            }
+        }
+        let recycled = t.into_buffer();
+        assert_eq!(recycled.len(), 3 * 11);
+    }
+
+    #[test]
+    fn grow_in_both_axes_matches_a_fresh_copy() {
+        // Cross-check the in-place re-striding against the obvious
+        // allocate-and-copy reference for a ragged set of shapes.
+        for (rows, old_n, new_rows, new_n) in
+            [(1usize, 0usize, 4usize, 7usize), (3, 4, 3, 9), (2, 2, 6, 2), (4, 6, 5, 13)]
+        {
+            let mut t = SliceTable2::new(old_n, 1, rows, -1.0f64);
+            let mut reference = vec![f64::NAN; new_rows * (new_n + 1)];
+            for r in 0..rows {
+                for c in 0..=old_n {
+                    let v = (r * 1000 + c) as f64;
+                    t.set(1 + r, c, v);
+                    reference[r * (new_n + 1) + c] = v;
+                }
+            }
+            for cell in reference.iter_mut() {
+                if cell.is_nan() {
+                    *cell = -2.0;
+                }
+            }
+            t.grow(new_n, new_rows, -2.0);
+            assert_eq!(t.as_slice(), &reference[..], "{rows}x{old_n} -> {new_rows}x{new_n}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_buffer_rejects_mismatched_lengths() {
+        let _ = SliceTable2::from_buffer(3, 0, 2, vec![0.0f64; 7]);
     }
 }

@@ -38,7 +38,8 @@
 //! what [`crate::incremental::IncrementalSolver`] uses to extend finished
 //! tables from `n` to `n' > n`.
 
-use crate::dp::{self, DiskSlice, DpTables};
+use crate::arena::TableArena;
+use crate::dp::{self, DiskSlice, DpTables, NO_CHOICE};
 use crate::segment::SegmentCalculator;
 use crate::solution::{DpStatistics, Solution};
 use chain2l_model::{Action, Scenario, Schedule};
@@ -95,7 +96,8 @@ fn slice_rows(n: usize, d1: usize, options: TwoLevelOptions) -> usize {
 pub fn optimize_two_level(scenario: &Scenario, options: TwoLevelOptions) -> Solution {
     let n = scenario.task_count();
     let calc = SegmentCalculator::new(scenario);
-    let tables = compute_tables(&calc, n, options);
+    let arena = TableArena::new();
+    let tables = compute_tables(&calc, n, options, &arena);
     let schedule = reconstruct(&tables, n);
     let expected_makespan = tables.edisk[n];
     let stats = DpStatistics {
@@ -142,7 +144,7 @@ pub(crate) fn fill_disk_slice(
         // The candidate last memory checkpoints m1 for Emem(d1, m2).
         let m1_end = if options.allow_interior_memory_checkpoints { m2 } else { d1 + 1 };
         let mut best_mem = f64::INFINITY;
-        let mut best_m1 = usize::MAX;
+        let mut best_m1 = NO_CHOICE;
         for m1 in d1..m1_end {
             let emem_left = slice.emem[m1];
             debug_assert!(emem_left.is_finite(), "Emem({d1},{m1}) not computed");
@@ -163,30 +165,46 @@ pub(crate) fn fill_disk_slice(
             // * skip — with the exact left cost known, the candidate's last
             //   segment costs at least its loaded work, its quadratic floor,
             //   the left re-execution `λ_c·W_tail·left` and V*.
+            //
+            // Every operand is re-sliced to the scan range `m1..m2` so the
+            // loop walks contiguous value rows with the bounds checks
+            // elided; the arithmetic is the exact expression of
+            // `IntervalCol::guaranteed_segment_at`, in the same order, so
+            // the flat scan stays bit-identical to the scalar closed form.
             let mut best_verif = f64::INFINITY;
-            let mut best_v1 = usize::MAX;
+            let mut best_v1 = NO_CHOICE;
             let load_a = 1.0 + lf * a;
             let span_floor = (w_m2 - prefix[m1]) * load_a + v_star;
             let row = slice.everif.row(m1);
-            for v1 in (m1..m2).rev() {
-                let w_tail = w_m2 - prefix[v1];
+            let left_values = &row[m1..m2];
+            let prefix_w = &prefix[m1..m2];
+            let exp_s = &col.exp_s[m1..m2];
+            let em1_f = &col.em1_f[m1..m2];
+            let em1_s = &col.em1_s[m1..m2];
+            let em1_fs = &col.em1_fs[m1..m2];
+            let em1_fol = &col.em1_f_over_lambda[m1..m2];
+            for off in (0..left_values.len()).rev() {
+                let w_tail = w_m2 - prefix_w[off];
                 let quad = quad_coef * w_tail * w_tail;
                 if prune && span_floor + quad > best_verif {
                     break;
                 }
-                let left = row[v1];
-                debug_assert!(left.is_finite(), "Everif({d1},{m1},{v1}) not computed");
+                let left = left_values[off];
+                debug_assert!(left.is_finite(), "Everif({d1},{m1},{}) not computed", m1 + off);
                 if prune
                     && left * (1.0 + lc * w_tail) + w_tail * load_a + quad + v_star > best_verif
                 {
                     continue;
                 }
                 candidates += 1;
-                let seg = col.guaranteed_segment_at(v1, v_star, a, rm, left);
+                let seg = exp_s[off] * (em1_fol[off] + v_star)
+                    + exp_s[off] * em1_f[off] * a
+                    + em1_fs[off] * left
+                    + em1_s[off] * rm;
                 let cand = left + seg;
                 if cand <= best_verif {
                     best_verif = cand;
-                    best_v1 = v1;
+                    best_v1 = (m1 + off) as u32;
                 }
             }
             slice.everif.set(m1, m2, best_verif);
@@ -197,7 +215,7 @@ pub(crate) fn fill_disk_slice(
             let cand = emem_left + best_verif + c_mem;
             if cand < best_mem {
                 best_mem = cand;
-                best_m1 = m1;
+                best_m1 = m1 as u32;
             }
         }
         slice.emem[m2] = best_mem;
@@ -206,30 +224,33 @@ pub(crate) fn fill_disk_slice(
     slice.candidates += candidates;
 }
 
-/// Fills the three DP levels: the per-`d1` slices in parallel, then the
-/// sequential `Edisk` level over the finished slices.
+/// Fills the three DP levels: the per-`d1` slices in parallel (their planes
+/// checked out of `arena`), then the sequential `Edisk` level over the
+/// finished slices.
 pub(crate) fn compute_tables(
     calc: &SegmentCalculator<'_>,
     n: usize,
     options: TwoLevelOptions,
+    arena: &TableArena,
 ) -> DpTables {
     let slices: Vec<DiskSlice> = (0..n)
         .into_par_iter()
         .map(|d1| {
-            let mut slice = DiskSlice::new(n, d1, slice_rows(n, d1, options));
+            let mut slice = DiskSlice::new_in(arena, n, d1, slice_rows(n, d1, options));
             fill_disk_slice(calc, n, d1, options, &mut slice, d1 + 1);
             slice
         })
         .collect();
-    dp::finish_tables(calc.scenario().costs.disk_checkpoint, slices, n)
+    dp::finish_tables(arena, calc.scenario().costs.disk_checkpoint, slices, n, 0)
 }
 
 /// Extends finished tables from `old_n` to `new_n` tasks, reusing every
-/// computed column: existing slices grow and fill only columns
+/// computed column: existing slices grow in place and fill only columns
 /// `old_n + 1..=new_n` (batched over the pool with [`par_chunks_mut`]),
-/// new slices `d1 ∈ old_n..new_n` are filled cold, and the cheap `Edisk`
-/// level is recomputed.  Requires the task-weight prefix to be unchanged;
-/// the resulting tables are bit-identical to a cold solve at `new_n`.
+/// new slices `d1 ∈ old_n..new_n` are filled cold from `arena`, and the
+/// cheap `Edisk` level is recomputed.  Requires the task-weight prefix to be
+/// unchanged; the resulting tables are bit-identical to a cold solve at
+/// `new_n`.
 ///
 /// [`par_chunks_mut`]: rayon::prelude::ParallelSliceMut::par_chunks_mut
 pub(crate) fn extend_tables(
@@ -238,8 +259,10 @@ pub(crate) fn extend_tables(
     old_n: usize,
     new_n: usize,
     options: TwoLevelOptions,
+    arena: &TableArena,
 ) {
     dp::extend_slices(
+        arena,
         &mut tables.slices,
         old_n,
         new_n,
@@ -258,8 +281,8 @@ pub(crate) fn reconstruct(t: &DpTables, n: usize) -> Schedule {
     let mut d2 = n;
     while d2 > 0 {
         disk_positions.push(d2);
-        d2 = t.edisk_choice[d2];
-        debug_assert!(d2 != usize::MAX, "missing Edisk choice");
+        debug_assert!(t.edisk_choice[d2] != NO_CHOICE, "missing Edisk choice");
+        d2 = t.edisk_choice[d2] as usize;
     }
     disk_positions.reverse();
 
@@ -275,8 +298,8 @@ pub(crate) fn reconstruct(t: &DpTables, n: usize) -> Schedule {
         while m2 > d1 {
             mem_positions.push(m2);
             let m1 = slice.emem_choice[m2];
-            debug_assert!(m1 != usize::MAX, "missing Emem choice at ({d1},{m2})");
-            m2 = m1;
+            debug_assert!(m1 != NO_CHOICE, "missing Emem choice at ({d1},{m2})");
+            m2 = m1 as usize;
         }
         mem_positions.reverse();
 
@@ -289,8 +312,8 @@ pub(crate) fn reconstruct(t: &DpTables, n: usize) -> Schedule {
             while v2 > m1 {
                 verif_positions.push(v2);
                 let v1 = slice.everif_choice.get(m1, v2);
-                debug_assert!(v1 != usize::MAX, "missing Everif choice at ({d1},{m1},{v2})");
-                v2 = v1;
+                debug_assert!(v1 != NO_CHOICE, "missing Everif choice at ({d1},{m1},{v2})");
+                v2 = v1 as usize;
             }
             for &v in &verif_positions {
                 schedule.set_action(v, Action::GuaranteedVerification);
@@ -528,12 +551,13 @@ mod tests {
         let costs = ResilienceCosts::paper_defaults(&platform);
         let small = Scenario::new(chain(12), platform.clone(), costs).unwrap();
         let large = Scenario::new(chain(30), platform.clone(), costs).unwrap();
+        let arena = TableArena::new();
         for options in [TwoLevelOptions::two_level(), TwoLevelOptions::single_level()] {
             let calc_small = SegmentCalculator::new(&small);
-            let mut tables = compute_tables(&calc_small, 12, options);
+            let mut tables = compute_tables(&calc_small, 12, options, &arena);
             let calc_large = SegmentCalculator::new(&large);
-            extend_tables(&calc_large, &mut tables, 12, 30, options);
-            let cold = compute_tables(&calc_large, 30, options);
+            extend_tables(&calc_large, &mut tables, 12, 30, options, &arena);
+            let cold = compute_tables(&calc_large, 30, options, &arena);
             assert_eq!(tables.edisk.len(), cold.edisk.len());
             for (a, b) in tables.edisk.iter().zip(&cold.edisk) {
                 assert_eq!(a.to_bits(), b.to_bits());

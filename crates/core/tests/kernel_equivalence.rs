@@ -6,7 +6,7 @@
 
 use chain2l_core::incremental::{IncrementalSolver, SolvePath};
 use chain2l_core::{
-    optimize, optimize_two_level, optimize_with_partials, Algorithm, PartialOptions,
+    optimize, optimize_two_level, optimize_with_partials, Algorithm, Engine, PartialOptions,
     TwoLevelOptions,
 };
 use chain2l_model::pattern::WeightPattern;
@@ -186,6 +186,42 @@ proptest! {
             optimize_with_partials(&s, PartialOptions::paper_exact().without_pruning());
         prop_assert_eq!(full.expected_makespan.to_bits(), full_ex.expected_makespan.to_bits());
         prop_assert_eq!(&full.schedule, &full_ex.schedule);
+    }
+
+    /// Random scenario sequences through one shared engine — whose arena
+    /// recycles every retired table and scratch buffer across solves — are
+    /// bit-identical to fresh-allocation solves at every step, whatever the
+    /// interleaving of platforms, algorithms and chain sizes.
+    #[test]
+    fn arena_recycled_engine_solves_match_fresh_allocation_solves(
+        steps in proptest::collection::vec((0usize..4, 0usize..4, 1usize..11), 1..7),
+    ) {
+        let engine = Engine::new();
+        let algorithms = [
+            Algorithm::SingleLevel,
+            Algorithm::TwoLevel,
+            Algorithm::TwoLevelPartial,
+            Algorithm::TwoLevelPartialRefined,
+        ];
+        for (step, (platform_index, algorithm_index, n)) in steps.into_iter().enumerate() {
+            let platform = scr::all().into_iter().nth(platform_index).unwrap();
+            let algorithm = algorithms[algorithm_index];
+            // Paper setup fixes the total weight, so different n never share
+            // a weight prefix: every distinct size is a cold solve whose
+            // tables retire into the arena for the next step to recycle.
+            let s = paper_scenario(&platform, &WeightPattern::Uniform, n);
+            let sol = engine.solve(&s, algorithm);
+            let fresh = optimize(&s, algorithm);
+            let context = format!("step {step}: {} / {algorithm} / n={n}", platform.name);
+            prop_assert_eq!(
+                sol.expected_makespan.to_bits(),
+                fresh.expected_makespan.to_bits(),
+                "{}",
+                &context
+            );
+            prop_assert_eq!(&sol.schedule, &fresh.schedule, "{}", &context);
+            prop_assert_eq!(&sol.stats, &fresh.stats, "{}", &context);
+        }
     }
 
     /// Random prefix-stable extensions: solving the prefix first and then the

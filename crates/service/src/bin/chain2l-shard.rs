@@ -2,9 +2,23 @@
 //! itself with `serve --internal-shard` instead; this binary exists for
 //! deployments that want the worker as its own artifact, and for the
 //! service crate's integration tests).
+//!
+//! Accepts the same `--cache-cap N` bound as `chain2l serve`: the worker's
+//! engine then keeps at most `N` cached solutions and `N` retained DP table
+//! contexts (LRU eviction).
+
+use chain2l_core::EngineLimits;
 
 fn main() {
-    if let Err(e) = chain2l_service::shard::run_shard() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cache_cap = args.iter().position(|a| a == "--cache-cap").map(|i| {
+        args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("chain2l-shard: --cache-cap needs a non-negative integer");
+            std::process::exit(2);
+        })
+    });
+    let limits = cache_cap.map(EngineLimits::entry_cap).unwrap_or_default();
+    if let Err(e) = chain2l_service::shard::run_shard_with(limits) {
         eprintln!("chain2l-shard: {e}");
         std::process::exit(1);
     }

@@ -50,12 +50,22 @@ pub struct ServeConfig {
 impl ServeConfig {
     /// A daemon whose shard workers re-execute the current binary with
     /// `serve --internal-shard` (how the `chain2l` CLI hosts itself).
-    pub fn self_hosted(addr: &str, shards: usize) -> io::Result<Self> {
+    ///
+    /// `cache_cap`, when set, is forwarded to every worker as
+    /// `--cache-cap N`: each shard engine then keeps at most `N` cached
+    /// solutions and `N` retained DP table contexts (LRU eviction), so the
+    /// daemon's memory is bounded under sustained traffic.
+    pub fn self_hosted(addr: &str, shards: usize, cache_cap: Option<usize>) -> io::Result<Self> {
+        let mut shard_args = vec!["serve".to_string(), "--internal-shard".to_string()];
+        if let Some(cap) = cache_cap {
+            shard_args.push("--cache-cap".to_string());
+            shard_args.push(cap.to_string());
+        }
         Ok(Self {
             addr: addr.to_string(),
             shards,
             shard_program: std::env::current_exe()?,
-            shard_args: vec!["serve".to_string(), "--internal-shard".to_string()],
+            shard_args,
         })
     }
 }
@@ -337,5 +347,19 @@ fn handle_client(stream: TcpStream, shared: &Shared) {
         if shutting_down {
             return;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_hosted_forwards_the_cache_cap_to_every_shard() {
+        let plain = ServeConfig::self_hosted("127.0.0.1:0", 2, None).unwrap();
+        assert_eq!(plain.shard_args, vec!["serve", "--internal-shard"]);
+        let capped = ServeConfig::self_hosted("127.0.0.1:0", 2, Some(128)).unwrap();
+        assert_eq!(capped.shard_args, vec!["serve", "--internal-shard", "--cache-cap", "128"]);
+        assert_eq!(capped.shards, 2);
     }
 }

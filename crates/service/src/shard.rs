@@ -15,7 +15,7 @@
 //! takes its orphans down with it.
 
 use crate::protocol::{self, Request, Response, SolveResult};
-use chain2l_core::Engine;
+use chain2l_core::{Engine, EngineLimits};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
@@ -68,9 +68,17 @@ fn handle_connection(stream: TcpStream, engine: &Engine) {
     }
 }
 
-/// Runs a shard worker until shutdown (see the module docs).  This is what
-/// `chain2l serve --internal-shard` and the `chain2l-shard` binary execute.
+/// Runs an unbounded shard worker until shutdown (see [`run_shard_with`]).
 pub fn run_shard() -> std::io::Result<()> {
+    run_shard_with(EngineLimits::default())
+}
+
+/// Runs a shard worker until shutdown (see the module docs), with the
+/// worker's [`Engine`] bounded by `limits` — this is what
+/// `chain2l serve --internal-shard [--cache-cap N]` and the `chain2l-shard`
+/// binary execute, and how `chain2l serve --cache-cap N` bounds every
+/// shard's solution cache and retained DP tables.
+pub fn run_shard_with(limits: EngineLimits) -> std::io::Result<()> {
     let listener = TcpListener::bind(("127.0.0.1", 0))?;
     let port = listener.local_addr()?.port();
     {
@@ -91,7 +99,7 @@ pub fn run_shard() -> std::io::Result<()> {
             }
         }
     });
-    let engine = Arc::new(Engine::new());
+    let engine = Arc::new(Engine::with_limits(limits));
     for stream in listener.incoming() {
         let stream = match stream {
             Ok(stream) => stream,
