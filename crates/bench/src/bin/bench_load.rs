@@ -1,0 +1,116 @@
+//! Serve-layer load report: sustained RPS and latency percentiles of a
+//! running `chain2l serve` daemon under hundreds of concurrent pipelined
+//! connections, written to `results/BENCH_serve.json`.
+//!
+//! Usage:
+//!   chain2l serve --addr 127.0.0.1:4615 &                # a daemon to load
+//!   cargo run --release -p chain2l-bench --bin bench_load -- \
+//!       --addr 127.0.0.1:4615                            # report
+//!   cargo run --release -p chain2l-bench --bin bench_load -- \
+//!       --addr 127.0.0.1:4615 \
+//!       --check crates/bench/baselines/BENCH_serve.json  # CI gate
+//!
+//! This binary attaches to an **already-running** daemon so the generator's
+//! client sockets and the daemon's accepted sockets live under separate
+//! process fd limits; `chain2l bench-load` (no `--addr`) spawns and tears
+//! down a private daemon for you and shares all of this machinery
+//! (`chain2l_service::loadgen`).
+//!
+//! `--check` fails (exit 1) when throughput drops below 1/2 of the recorded
+//! baseline or p99 latency doubles — loose on purpose: shared runners are
+//! noisy, and like `BENCH_wall.json` the baseline is **per hardware class**
+//! (re-seed with `--print-baseline` when the fleet changes).
+
+use chain2l_service::loadgen::{self, LoadConfig};
+use std::collections::HashMap;
+
+fn main() {
+    std::process::exit(run());
+}
+
+/// `--key value` pairs plus bare `--flag`s (mapped to an empty value).
+fn parse_options() -> HashMap<String, String> {
+    let mut options = HashMap::new();
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        if let Some(key) = arg.strip_prefix("--") {
+            let value = match args.peek() {
+                Some(next) if !next.starts_with("--") => args.next().unwrap_or_default(),
+                _ => String::new(),
+            };
+            options.insert(key.to_string(), value);
+        }
+    }
+    options
+}
+
+fn run() -> i32 {
+    let options = parse_options();
+    let addr = match options.get("addr") {
+        Some(addr) => addr.clone(),
+        None => {
+            eprintln!(
+                "bench_load: --addr <host:port> of a running daemon is required \
+                 (use `chain2l bench-load` to spawn one automatically)"
+            );
+            return 2;
+        }
+    };
+    let parse_usize = |key: &str, default: usize| -> usize {
+        options.get(key).and_then(|v| v.parse().ok()).unwrap_or(default).max(1)
+    };
+    let config = LoadConfig {
+        addr,
+        connections: parse_usize("connections", 500),
+        requests_per_connection: parse_usize("requests", 20),
+        window: parse_usize("window", 8),
+        rps: options.get("rps").and_then(|v| v.parse().ok()).filter(|r: &f64| *r > 0.0),
+    };
+
+    let report = match loadgen::run(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("bench_load: load run failed: {e}");
+            return 1;
+        }
+    };
+    let json = loadgen::render_report_json(&report);
+    if options.contains_key("print-baseline") {
+        print!("{json}");
+        return 0;
+    }
+    eprintln!(
+        "bench_load: {} connection(s), window {}: {} of {} completed ({} error(s)) \
+         in {:.2} s -> {:.1} rps; p50 {:.3} ms, p99 {:.3} ms, p999 {:.3} ms",
+        report.connections,
+        report.window,
+        report.completed,
+        report.requests,
+        report.errors,
+        report.duration_s,
+        report.rps,
+        report.p50_ms,
+        report.p99_ms,
+        report.p999_ms,
+    );
+    if let Some(path) = loadgen::write_report_file(&json) {
+        eprintln!("bench_load: report written to {}", path.display());
+    }
+    if let Some(baseline_path) = options.get("check") {
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("bench_load: cannot read baseline {baseline_path}: {e}");
+                return 1;
+            }
+        };
+        match loadgen::check_against(&report, &baseline) {
+            Ok(verdict) => eprintln!("bench_load: {verdict}"),
+            Err(why) => {
+                eprintln!("bench_load: GATE FAILED: {why}");
+                return 1;
+            }
+        }
+    }
+    0
+}

@@ -37,6 +37,8 @@ COMMANDS:
                                   (or on a remote daemon with --remote)
   serve                           run the long-lived solver daemon (or query it
                                   with --stats, stop it with --stop)
+  bench-load                      load-test a daemon: pipelined connections,
+                                  sustained RPS and p50/p99/p999 latency
   solve                           solve a weak-scaling n-series (fixed per-task
                                   weight), optionally reusing DP tables
   sensitivity                     elasticity of the optimum w.r.t. every parameter
@@ -78,7 +80,23 @@ SERVE:
   --cache-cap <n>                 bound every shard engine to n cached
                                   solutions and n retained DP table contexts
                                   (LRU eviction; default: unbounded)
+  --window <n>                    per-connection inflight window before the
+                                  daemon defers reads (backpressure; default: 128)
   --stats | --stop                query / gracefully stop the daemon at --addr
+
+BENCH-LOAD:
+  --addr <host:port>              attach to a running daemon (default: spawn a
+                                  private one, load it, shut it down)
+  --shards <n>                    shards of the spawned daemon (default: 2)
+  --connections <n>               concurrent pipelined connections (default: 500)
+  --requests <n>                  requests per connection (default: 20)
+  --window <n>                    pipelined window per connection (default: 8)
+  --rps <r>                       open-loop arrival rate; latency is charged
+                                  from the schedule (default: max throughput)
+  --check <baseline.json>         gate against a recorded baseline, exit 1 on
+                                  regression (see crates/bench/baselines/)
+  --print-baseline                print report JSON to commit as the baseline
+                                  (baselines are per hardware class)
 
 SOLVE:
   --series <n1,n2,...>            ascending chain lengths (default: 10,20,30,40,50)
@@ -107,6 +125,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, ArgError> {
         "sweep" => cmd_sweep(args),
         "batch" => cmd_batch(args),
         "serve" => cmd_serve(args),
+        "bench-load" => cmd_bench_load(args),
         "solve" => cmd_solve(args),
         "sensitivity" => cmd_sensitivity(args),
         other => Err(ArgError::Unknown { what: other.to_string() }),
@@ -542,8 +561,9 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, ArgError> {
             expected: "at least one shard worker".into(),
         });
     }
-    let config = ServeConfig::self_hosted(addr, shards, cache_cap)
+    let mut config = ServeConfig::self_hosted(addr, shards, cache_cap)
         .map_err(|e| ArgError::runtime("resolving the shard worker command", e))?;
+    config.window = args.u64_or("window", chain2l_service::server::DEFAULT_WINDOW)?.max(1);
     let server =
         Server::bind(&config).map_err(|e| ArgError::runtime(&format!("binding {addr}"), e))?;
     eprintln!(
@@ -558,6 +578,156 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, ArgError> {
     for line in &summary.per_shard {
         out.push_str(line);
         out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Spawns a private `chain2l serve` daemon for the load bench (ephemeral
+/// port, parsed from its startup line) and returns its address + child.
+/// Running the daemon in a separate *process* keeps the bench's hundreds of
+/// client sockets and the daemon's accepted sockets under separate fd
+/// limits — a CI runner's default 1024 would not fit both.
+fn spawn_bench_daemon(shards: usize) -> Result<(String, std::process::Child), ArgError> {
+    use std::io::BufRead;
+    let exe = std::env::current_exe()
+        .map_err(|e| ArgError::runtime("resolving the chain2l binary", e))?;
+    let mut child = std::process::Command::new(exe)
+        .args(["serve", "--addr", "127.0.0.1:0", "--shards", &shards.to_string()])
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .map_err(|e| ArgError::runtime("spawning the bench daemon", e))?;
+    let stderr = child.stderr.take().expect("stderr was piped");
+    let mut reader = std::io::BufReader::new(stderr);
+    let mut line = String::new();
+    let addr = reader
+        .read_line(&mut line)
+        .ok()
+        .filter(|&n| n > 0)
+        .and_then(|_| line.split("listening on ").nth(1))
+        .and_then(|rest| rest.split_whitespace().next())
+        .map(|addr| addr.to_string());
+    // Keep draining stderr so the daemon never blocks on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        loop {
+            sink.clear();
+            if reader.read_line(&mut sink).unwrap_or(0) == 0 {
+                break;
+            }
+        }
+    });
+    match addr {
+        Some(addr) => Ok((addr, child)),
+        None => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(ArgError::runtime(
+                "spawning the bench daemon",
+                format!("daemon did not announce its address (got {line:?})"),
+            ))
+        }
+    }
+}
+
+/// `chain2l bench-load`: the open-loop load generator against a daemon —
+/// either one it spawns privately or an already-running one via `--addr` —
+/// reporting sustained RPS and latency percentiles, writing
+/// `results/BENCH_serve.json`, and optionally gating against a recorded
+/// baseline with `--check` (exit 1 on regression).
+fn cmd_bench_load(args: &ParsedArgs) -> Result<String, ArgError> {
+    let connections = args.usize_or("connections", 500)?.max(1);
+    let requests = args.usize_or("requests", 20)?.max(1);
+    let window = args.usize_or("window", 8)?.max(1);
+    let shards = args.usize_or("shards", 2)?.max(1);
+    let rps = match args.options.get("rps") {
+        None => None,
+        Some(_) => {
+            let rate = args.f64_or("rps", 0.0)?;
+            if !(rate.is_finite() && rate > 0.0) {
+                return Err(ArgError::InvalidValue {
+                    option: "rps".into(),
+                    value: rate.to_string(),
+                    expected: "a positive arrival rate in requests/second".into(),
+                });
+            }
+            Some(rate)
+        }
+    };
+
+    let (addr, child) = match args.options.get("addr") {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let (addr, child) = spawn_bench_daemon(shards)?;
+            (addr, Some(child))
+        }
+    };
+    let teardown = |child: Option<std::process::Child>| {
+        if let Some(mut child) = child {
+            if client::shutdown(&addr).is_err() {
+                let _ = child.kill();
+            }
+            let _ = child.wait();
+        }
+    };
+
+    // Wait for the daemon (and its shard workers) to accept connections.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    loop {
+        if client::ping(&addr).is_ok() {
+            break;
+        }
+        if std::time::Instant::now() > deadline {
+            teardown(child);
+            return Err(ArgError::runtime(
+                "bench-load",
+                format!("daemon at {addr} not answering pings"),
+            ));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+
+    let config = chain2l_service::loadgen::LoadConfig {
+        addr: addr.clone(),
+        connections,
+        requests_per_connection: requests,
+        window,
+        rps,
+    };
+    let outcome = chain2l_service::loadgen::run(&config);
+    teardown(child);
+    let report = outcome.map_err(|e| ArgError::runtime("bench-load run", e))?;
+
+    let json = chain2l_service::loadgen::render_report_json(&report);
+    if args.flag("print-baseline") {
+        return Ok(json);
+    }
+    let mut out = format!(
+        "bench-load: {} connection(s) x {} request(s), window {}{}\n",
+        report.connections,
+        requests,
+        report.window,
+        rps.map(|r| format!(", open-loop {r} rps")).unwrap_or_default(),
+    );
+    out.push_str(&format!(
+        "  completed {} of {} ({} error(s)) in {:.2} s -> {:.1} rps\n",
+        report.completed, report.requests, report.errors, report.duration_s, report.rps
+    ));
+    out.push_str(&format!(
+        "  latency p50 {:.3} ms, p99 {:.3} ms, p999 {:.3} ms, max {:.3} ms\n",
+        report.p50_ms, report.p99_ms, report.p999_ms, report.max_ms
+    ));
+    if let Some(path) = chain2l_service::loadgen::write_report_file(&json) {
+        out.push_str(&format!("  report written to {}\n", path.display()));
+    }
+    if let Some(baseline_path) = args.options.get("check") {
+        let baseline = std::fs::read_to_string(baseline_path)
+            .map_err(|e| ArgError::runtime(&format!("reading baseline {baseline_path}"), e))?;
+        match chain2l_service::loadgen::check_against(&report, &baseline) {
+            Ok(verdict) => out.push_str(&format!("  {verdict}\n")),
+            Err(why) => return Err(ArgError::runtime("bench-load --check", why)),
+        }
     }
     Ok(out)
 }

@@ -12,14 +12,20 @@
 //! requested fill — recycled buffers can never leak stale values, which the
 //! NaN-poisoning tests below prove).
 //!
-//! The pool is deliberately simple: two LIFO free lists (`f64` value/scratch
-//! buffers, `u32` argmin planes) behind mutexes, with relaxed counters for
-//! observability ([`ArenaStats`]).  A checkout that finds the pool empty
-//! falls back to a fresh allocation, and a recycled buffer whose capacity is
-//! too small grows in place — so after a short warmup on a steady workload
-//! (same platforms, same chain sizes) the per-solve allocation count drops
-//! to zero, which `dp_report --wall` and the counting-allocator test in
-//! `tests/alloc_free.rs` make observable.
+//! The free lists are **size-bucketed** LIFOs (one set for `f64`
+//! value/scratch buffers, one for `u32` argmin planes) behind mutexes, with
+//! relaxed counters for observability ([`ArenaStats`]).  Bucket `k` holds
+//! buffers whose capacity rounds up to `2^k`; a checkout for `len` tries
+//! its own capacity class first, then the next one up (whose buffers are
+//! always large enough), so a mixed workload never hands a tiny recycled
+//! buffer to a huge table (forcing an immediate regrow) or parks a huge
+//! buffer under a tiny request.  A checkout that finds both buckets empty
+//! falls back to a fresh allocation — so after a short warmup on a steady
+//! workload (same platforms, same chain sizes) the per-solve allocation
+//! count drops to zero, which `dp_report --wall` and the counting-allocator
+//! test in `tests/alloc_free.rs` make observable; per-bucket hit counters
+//! ([`ArenaStats::bucket_hits`]) show *which* size classes the reuse comes
+//! from.
 //!
 //! Ownership: [`crate::Engine`] and [`crate::IncrementalSolver`] each own
 //! one arena and thread `&TableArena` through the kernels; the plain
@@ -32,6 +38,18 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+/// Number of capacity classes: bucket `k` holds buffers whose capacity
+/// rounds up to `2^k`, so 28 classes cover every table this crate can
+/// build (`2^27` elements ≈ 1 GiB of `f64`s; larger buffers share the
+/// last bucket).
+pub const ARENA_BUCKETS: usize = 28;
+
+/// The capacity class of a buffer of `len` elements: the exponent of the
+/// next power of two, clamped to the last bucket.
+fn bucket_of(len: usize) -> usize {
+    (len.max(1).next_power_of_two().trailing_zeros() as usize).min(ARENA_BUCKETS - 1)
+}
+
 /// Checkout/return counters of one [`TableArena`], cumulative since
 /// construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -42,6 +60,10 @@ pub struct ArenaStats {
     pub pool_hits: u64,
     /// Buffers returned to the pool.
     pub returns: u64,
+    /// Pool hits per capacity class: `bucket_hits[k]` counts checkouts
+    /// served by a buffer from bucket `k` (capacity rounding up to `2^k`),
+    /// whichever bucket the request's own class was.
+    pub bucket_hits: [u64; ARENA_BUCKETS],
 }
 
 impl ArenaStats {
@@ -53,6 +75,18 @@ impl ArenaStats {
         } else {
             self.pool_hits as f64 / self.checkouts as f64
         }
+    }
+
+    /// Compact rendering of the non-zero per-bucket hit counters, e.g.
+    /// `"2^3:5 2^6:2"` (empty when the pool has never hit).
+    pub fn bucket_summary(&self) -> String {
+        self.bucket_hits
+            .iter()
+            .enumerate()
+            .filter(|(_, &hits)| hits > 0)
+            .map(|(k, hits)| format!("2^{k}:{hits}"))
+            .collect::<Vec<_>>()
+            .join(" ")
     }
 }
 
@@ -75,11 +109,50 @@ impl std::fmt::Display for ArenaStats {
 /// when the table is retired (dropping one instead merely forgoes the reuse).
 #[derive(Debug, Default)]
 pub struct TableArena {
-    f64_pool: Mutex<Vec<Vec<f64>>>,
-    u32_pool: Mutex<Vec<Vec<u32>>>,
+    f64_pool: Mutex<BucketedPool<f64>>,
+    u32_pool: Mutex<BucketedPool<u32>>,
     checkouts: AtomicU64,
     pool_hits: AtomicU64,
     returns: AtomicU64,
+    bucket_hits: [AtomicU64; ARENA_BUCKETS],
+}
+
+/// One element type's size-bucketed LIFO free lists.
+#[derive(Debug)]
+struct BucketedPool<T> {
+    buckets: [Vec<Vec<T>>; ARENA_BUCKETS],
+}
+
+impl<T> Default for BucketedPool<T> {
+    fn default() -> Self {
+        Self { buckets: std::array::from_fn(|_| Vec::new()) }
+    }
+}
+
+impl<T> BucketedPool<T> {
+    /// Pops a recycled buffer for a `len`-element request: the request's
+    /// own capacity class first, then the class above (always big enough).
+    /// Returns the buffer together with the bucket it came from.
+    fn pop_for(&mut self, len: usize) -> Option<(Vec<T>, usize)> {
+        let class = bucket_of(len);
+        for k in [class, class + 1] {
+            if k < ARENA_BUCKETS {
+                if let Some(buf) = self.buckets[k].pop() {
+                    return Some((buf, k));
+                }
+            }
+        }
+        None
+    }
+
+    /// Parks a buffer on its capacity class's free list.
+    fn push(&mut self, buf: Vec<T>) {
+        self.buckets[bucket_of(buf.capacity())].push(buf);
+    }
+
+    fn len(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
 }
 
 impl TableArena {
@@ -88,13 +161,20 @@ impl TableArena {
         Self::default()
     }
 
+    /// Records one pool hit served from bucket `k`.
+    fn record_hit(&self, k: usize) {
+        self.pool_hits.fetch_add(1, Ordering::Relaxed);
+        self.bucket_hits[k].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Checks out a `len`-element `f64` buffer with every cell set to
-    /// `fill`, reusing a pooled allocation when one is available.
+    /// `fill`, reusing a pooled allocation of a fitting capacity class when
+    /// one is available.
     pub fn take_f64(&self, len: usize, fill: f64) -> Vec<f64> {
         self.checkouts.fetch_add(1, Ordering::Relaxed);
-        match self.f64_pool.lock().expect("arena pool poisoned").pop() {
-            Some(mut buf) => {
-                self.pool_hits.fetch_add(1, Ordering::Relaxed);
+        match self.f64_pool.lock().expect("arena pool poisoned").pop_for(len) {
+            Some((mut buf, k)) => {
+                self.record_hit(k);
                 buf.clear();
                 buf.resize(len, fill);
                 buf
@@ -104,12 +184,13 @@ impl TableArena {
     }
 
     /// Checks out a `len`-element `u32` buffer with every cell set to
-    /// `fill`, reusing a pooled allocation when one is available.
+    /// `fill`, reusing a pooled allocation of a fitting capacity class when
+    /// one is available.
     pub fn take_u32(&self, len: usize, fill: u32) -> Vec<u32> {
         self.checkouts.fetch_add(1, Ordering::Relaxed);
-        match self.u32_pool.lock().expect("arena pool poisoned").pop() {
-            Some(mut buf) => {
-                self.pool_hits.fetch_add(1, Ordering::Relaxed);
+        match self.u32_pool.lock().expect("arena pool poisoned").pop_for(len) {
+            Some((mut buf, k)) => {
+                self.record_hit(k);
                 buf.clear();
                 buf.resize(len, fill);
                 buf
@@ -118,8 +199,9 @@ impl TableArena {
         }
     }
 
-    /// Returns an `f64` buffer to the pool (zero-capacity buffers are
-    /// dropped — there is no allocation to recycle).
+    /// Returns an `f64` buffer to its capacity class's free list
+    /// (zero-capacity buffers are dropped — there is no allocation to
+    /// recycle).
     pub fn give_f64(&self, buf: Vec<f64>) {
         if buf.capacity() == 0 {
             return;
@@ -128,8 +210,8 @@ impl TableArena {
         self.f64_pool.lock().expect("arena pool poisoned").push(buf);
     }
 
-    /// Returns a `u32` buffer to the pool (zero-capacity buffers are
-    /// dropped).
+    /// Returns a `u32` buffer to its capacity class's free list
+    /// (zero-capacity buffers are dropped).
     pub fn give_u32(&self, buf: Vec<u32>) {
         if buf.capacity() == 0 {
             return;
@@ -144,10 +226,12 @@ impl TableArena {
             checkouts: self.checkouts.load(Ordering::Relaxed),
             pool_hits: self.pool_hits.load(Ordering::Relaxed),
             returns: self.returns.load(Ordering::Relaxed),
+            bucket_hits: std::array::from_fn(|k| self.bucket_hits[k].load(Ordering::Relaxed)),
         }
     }
 
-    /// Number of buffers currently pooled (both element types).
+    /// Number of buffers currently pooled (both element types, all
+    /// buckets).
     pub fn pooled(&self) -> usize {
         self.f64_pool.lock().expect("arena pool poisoned").len()
             + self.u32_pool.lock().expect("arena pool poisoned").len()
@@ -166,7 +250,9 @@ mod tests {
         arena.give_f64(first);
         assert_eq!(arena.pooled(), 1);
         // The recycled buffer must come back fully re-filled, even when the
-        // requested length shrinks or grows.
+        // requested length shrinks or grows.  len 3 (class 2) is served from
+        // the class above (the capacity-8 buffer), len 8 hits its own class,
+        // len 20 (class 5) is out of any pooled class's reach → fresh.
         for len in [3usize, 8, 20] {
             let buf = arena.take_f64(len, 1.5);
             assert_eq!(buf.len(), len);
@@ -175,8 +261,32 @@ mod tests {
         }
         let stats = arena.stats();
         assert_eq!(stats.checkouts, 4);
-        assert_eq!(stats.pool_hits, 3);
+        assert_eq!(stats.pool_hits, 2);
         assert_eq!(stats.returns, 4);
+        assert_eq!(stats.bucket_hits[3], 2, "both hits came from the capacity-8 class");
+        assert_eq!(stats.bucket_hits.iter().sum::<u64>(), stats.pool_hits);
+        assert_eq!(stats.bucket_summary(), "2^3:2");
+    }
+
+    #[test]
+    fn buckets_keep_sizes_apart() {
+        let arena = TableArena::new();
+        // Park one small and one huge buffer.
+        arena.give_f64(Vec::with_capacity(8)); // class 3
+        arena.give_f64(Vec::with_capacity(4096)); // class 12
+                                                  // A small request must not consume the huge buffer…
+        let small = arena.take_f64(6, 0.0);
+        assert!(small.capacity() <= 16, "small request got a {}-cap buffer", small.capacity());
+        // …and a huge request must not be handed the (now re-pooled) small
+        // one, which would force an immediate regrow.
+        arena.give_f64(small);
+        let huge = arena.take_f64(3000, 0.0);
+        assert!(huge.capacity() >= 4096, "huge request got a {}-cap buffer", huge.capacity());
+        let stats = arena.stats();
+        assert_eq!(stats.pool_hits, 2);
+        assert_eq!((stats.bucket_hits[3], stats.bucket_hits[12]), (1, 1));
+        // The class-3 buffer is still pooled; a class-2..3 request finds it.
+        assert_eq!(arena.pooled(), 1);
     }
 
     #[test]

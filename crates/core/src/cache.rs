@@ -21,6 +21,7 @@
 //! the cache can never change results, only skip recomputation.
 
 use crate::incremental::IncrementalSolver;
+use crate::lru::LruList;
 use crate::solution::Solution;
 use crate::{optimize, Algorithm};
 use chain2l_model::Scenario;
@@ -219,13 +220,10 @@ type CacheEntry = Arc<OnceLock<Arc<Solution>>>;
 /// its current waiters and is forgotten — eviction can never change a
 /// result, only force a future re-solve.
 ///
-/// Victim selection is a linear scan over the cached slots, so each
-/// over-cap *insert* costs `O(cap)` under the store lock.  That is a
-/// deliberate trade: inserts are misses (which just paid a multi-ms DP
-/// solve), while an ordered eviction index would put allocations back on
-/// the hit path and break its zero-allocation guarantee.  Revisit with an
-/// intrusive LRU list if caps grow to the point where the scan rivals a
-/// solve (see ROADMAP).
+/// Victim selection walks an intrusive doubly-linked recency list
+/// ([`crate::lru::LruList`]): O(1) per eviction, and the hit path's only
+/// bookkeeping is an O(1), allocation-free relink — the zero-allocation
+/// hit-path guarantee (`tests/alloc_free.rs`) holds at any cap.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheLimits {
     /// Maximum number of cached entries (`None` = unbounded).
@@ -236,52 +234,66 @@ pub struct CacheLimits {
     pub max_bytes: Option<usize>,
 }
 
-/// One cached fingerprint: the entry, its LRU stamp and its size estimate.
+/// One cached fingerprint: the entry, its recency-list node and its size
+/// estimate.
 struct Slot {
     fingerprint: ScenarioFingerprint,
     entry: CacheEntry,
-    stamp: u64,
+    lru_id: usize,
     approx_bytes: usize,
 }
 
 /// The cache's bucketed store, keyed by the process-stable fingerprint
 /// digest so the hit path never materialises a fingerprint (collisions are
-/// resolved by exact comparison inside the bucket).
+/// resolved by exact comparison inside the bucket).  Recency lives in an
+/// intrusive [`LruList`]; `lru_hashes[slot.lru_id]` maps a list node back
+/// to its bucket, so evicting the tail is O(1) plus a scan of one
+/// (almost always single-entry) bucket.
 #[derive(Default)]
 struct Store {
     buckets: HashMap<u64, Vec<Slot>>,
+    lru: LruList,
+    /// Bucket hash of each recency node, indexed by node id (slab-stable).
+    lru_hashes: Vec<u64>,
     entries: usize,
     approx_bytes: usize,
-    clock: u64,
 }
 
 impl Store {
+    /// Links a fresh recency node for the slot being inserted under `hash`.
+    fn lru_insert(&mut self, hash: u64) -> usize {
+        let id = self.lru.push_front();
+        if id == self.lru_hashes.len() {
+            self.lru_hashes.push(hash);
+        } else {
+            self.lru_hashes[id] = hash;
+        }
+        id
+    }
+
     /// Evicts least-recently-used slots until both limits hold, sparing the
-    /// slot stamped `spare` (the one the caller just inserted).  Returns the
-    /// number of evictions.
-    fn enforce(&mut self, limits: &CacheLimits, spare: u64) -> u64 {
+    /// node `spare` (the one the caller just inserted).  Returns the number
+    /// of evictions.
+    fn enforce(&mut self, limits: &CacheLimits, spare: usize) -> u64 {
         let over = |store: &Store| {
             limits.max_entries.is_some_and(|cap| store.entries > cap)
                 || limits.max_bytes.is_some_and(|cap| store.approx_bytes > cap)
         };
         let mut evicted = 0;
         while over(self) {
-            let oldest = self
-                .buckets
-                .iter()
-                .flat_map(|(hash, bucket)| bucket.iter().map(move |slot| (*hash, slot.stamp)))
-                .filter(|(_, stamp)| *stamp != spare)
-                .min_by_key(|(_, stamp)| *stamp);
-            let Some((hash, stamp)) = oldest else {
-                break;
+            let victim = match self.lru.tail() {
+                Some(id) if id != spare => id,
+                _ => break,
             };
-            let bucket = self.buckets.get_mut(&hash).expect("bucket just observed");
+            let hash = self.lru_hashes[victim];
+            let bucket = self.buckets.get_mut(&hash).expect("victim's bucket present");
             let index =
-                bucket.iter().position(|slot| slot.stamp == stamp).expect("slot just observed");
+                bucket.iter().position(|slot| slot.lru_id == victim).expect("victim in bucket");
             let slot = bucket.swap_remove(index);
             if bucket.is_empty() {
                 self.buckets.remove(&hash);
             }
+            self.lru.remove(victim);
             self.entries -= 1;
             self.approx_bytes -= slot.approx_bytes;
             evicted += 1;
@@ -408,20 +420,16 @@ impl SolutionCache {
         let hash = ScenarioFingerprint::stable_hash_of(scenario, algorithm);
         let entry = {
             let mut store = self.store.lock().expect("cache store poisoned");
-            store.clock += 1;
-            let stamp = store.clock;
             let hit = store
                 .buckets
-                .get_mut(&hash)
+                .get(&hash)
                 .and_then(|bucket| {
-                    bucket.iter_mut().find(|slot| slot.fingerprint.matches(scenario, algorithm))
+                    bucket.iter().find(|slot| slot.fingerprint.matches(scenario, algorithm))
                 })
-                .map(|slot| {
-                    slot.stamp = stamp;
-                    slot.entry.clone()
-                });
+                .map(|slot| (slot.lru_id, slot.entry.clone()));
             match hit {
-                Some(entry) => {
+                Some((lru_id, entry)) => {
+                    store.lru.touch(lru_id);
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     entry
                 }
@@ -430,15 +438,16 @@ impl SolutionCache {
                     let fingerprint = ScenarioFingerprint::new(scenario, algorithm);
                     let entry: CacheEntry = Arc::new(OnceLock::new());
                     let approx_bytes = approx_entry_bytes(scenario.task_count());
+                    let lru_id = store.lru_insert(hash);
                     store.buckets.entry(hash).or_default().push(Slot {
                         fingerprint,
                         entry: entry.clone(),
-                        stamp,
+                        lru_id,
                         approx_bytes,
                     });
                     store.entries += 1;
                     store.approx_bytes += approx_bytes;
-                    let evicted = store.enforce(&self.limits, stamp);
+                    let evicted = store.enforce(&self.limits, lru_id);
                     if evicted > 0 {
                         self.evictions.fetch_add(evicted, Ordering::Relaxed);
                     }
@@ -497,6 +506,8 @@ impl SolutionCache {
     pub fn clear(&self) {
         let mut store = self.store.lock().expect("cache store poisoned");
         store.buckets.clear();
+        store.lru = LruList::new();
+        store.lru_hashes.clear();
         store.entries = 0;
         store.approx_bytes = 0;
     }

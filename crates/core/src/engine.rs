@@ -40,6 +40,7 @@
 use crate::arena::{ArenaStats, TableArena};
 use crate::cache::{CacheLimits, CacheStats, SolutionCache, SolveRequest};
 use crate::dp::DpTables;
+use crate::lru::LruList;
 use crate::segment::{PartialCostModel, SegmentCalculator};
 use crate::solution::{DpStatistics, Solution};
 use crate::two_level::TwoLevelOptions;
@@ -277,17 +278,21 @@ struct EngineContext {
     state: KernelState,
 }
 
-/// One retained-context slot plus its LRU stamp.
+/// One retained-context slot plus its recency-list node.
 struct ContextSlot {
     slot: Arc<Mutex<Option<EngineContext>>>,
-    stamp: u64,
+    lru_id: usize,
 }
 
-/// The engine's LRU-stamped context store.
+/// The engine's context store: the map plus an intrusive recency list
+/// ([`LruList`]), `lru_keys[lru_id]` mapping a list node back to its map
+/// key so tail eviction needs no full-store scan.
 #[derive(Default)]
 struct ContextStore {
     map: HashMap<ContextKey, ContextSlot>,
-    clock: u64,
+    lru: LruList,
+    /// Map key of each recency node, indexed by node id (slab-stable).
+    lru_keys: Vec<ContextKey>,
 }
 
 /// Resource bounds of one [`Engine`] (all unbounded by default).
@@ -474,12 +479,24 @@ impl Engine {
         let key = ContextKey::new(scenario, algorithm);
         let slot = {
             let mut store = self.contexts.lock().expect("context map poisoned");
-            store.clock += 1;
-            let stamp = store.clock;
-            let entry =
-                store.map.entry(key).or_insert_with(|| ContextSlot { slot: Arc::default(), stamp });
-            entry.stamp = stamp;
-            entry.slot.clone()
+            match store.map.get(&key) {
+                Some(entry) => {
+                    let (lru_id, slot) = (entry.lru_id, entry.slot.clone());
+                    store.lru.touch(lru_id);
+                    slot
+                }
+                None => {
+                    let lru_id = store.lru.push_front();
+                    if lru_id == store.lru_keys.len() {
+                        store.lru_keys.push(key.clone());
+                    } else {
+                        store.lru_keys[lru_id] = key.clone();
+                    }
+                    let slot: Arc<Mutex<Option<EngineContext>>> = Arc::default();
+                    store.map.insert(key, ContextSlot { slot: slot.clone(), lru_id });
+                    slot
+                }
+            }
         };
 
         // Reuse/extension check under `try_lock`: if another request of this
@@ -558,19 +575,21 @@ impl Engine {
         if store.map.len() <= cap {
             return;
         }
-        let mut candidates: Vec<(u64, ContextKey)> =
-            store.map.iter().map(|(key, entry)| (entry.stamp, key.clone())).collect();
-        candidates.sort_unstable_by_key(|&(stamp, _)| stamp);
-        for (_, key) in candidates {
+        // Walk victims least-recently-used first; ids stay valid while the
+        // entries they name remain in the map.
+        let candidates: Vec<usize> = store.lru.iter_lru().collect();
+        for lru_id in candidates {
             if store.map.len() <= cap {
                 break;
             }
+            let key = store.lru_keys[lru_id].clone();
             // Clone the Arc so the mutex outlives the map entry while the
             // guard is held.
             let slot = store.map.get(&key).expect("candidate key present").slot.clone();
             let locked = slot.try_lock();
             if let Ok(mut guard) = locked {
                 store.map.remove(&key);
+                store.lru.remove(lru_id);
                 if let Some(ctx) = guard.take() {
                     ctx.state.recycle(&self.arena);
                 }

@@ -72,6 +72,7 @@ pub mod engine;
 pub mod evaluator;
 pub mod heuristics;
 pub mod incremental;
+pub mod lru;
 pub mod partial;
 pub mod segment;
 pub mod sensitivity;

@@ -1,0 +1,208 @@
+//! An intrusive, index-based LRU list: the recency order behind the
+//! [`crate::cache::SolutionCache`] store and the engine's retained-context
+//! store.
+//!
+//! Nodes live in a slab (`Vec` of prev/next indices) and are addressed by
+//! their slab index, so the owning store embeds the node id in its own entry
+//! — no per-operation boxing, no hashing.  [`LruList::touch`] (the cache hit
+//! path) relinks front in O(1) with **zero heap allocations**; only
+//! [`LruList::push_front`] may grow the slab, and it runs on the miss path,
+//! which just paid for a DP solve.  Victim selection is
+//! [`LruList::tail`] / [`LruList::iter_lru`] — O(1) per victim, replacing
+//! the old O(cap) full-store stamp scan.
+//!
+//! Freed node ids are recycled through an internal free list, so a
+//! bounded store's slab stops growing once it reaches its cap.
+
+/// Sentinel index meaning "no node".
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    prev: usize,
+    next: usize,
+    /// False while the slot sits on the free list (guards double-removal).
+    linked: bool,
+}
+
+/// A doubly-linked recency list over slab indices (see the module docs).
+///
+/// Front = most recently used, tail = least recently used.
+#[derive(Debug, Default)]
+pub struct LruList {
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: Option<usize>,
+    tail: Option<usize>,
+    len: usize,
+}
+
+impl LruList {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of linked nodes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no node is linked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Links a new node at the front (most recently used) and returns its
+    /// id.  Ids are stable until [`Self::remove`] and are recycled after.
+    pub fn push_front(&mut self) -> usize {
+        let id = match self.free.pop() {
+            Some(id) => {
+                debug_assert!(!self.nodes[id].linked, "free node must be unlinked");
+                id
+            }
+            None => {
+                self.nodes.push(Node { prev: NIL, next: NIL, linked: false });
+                self.nodes.len() - 1
+            }
+        };
+        self.nodes[id] = Node { prev: NIL, next: self.head.unwrap_or(NIL), linked: true };
+        if let Some(head) = self.head {
+            self.nodes[head].prev = id;
+        }
+        self.head = Some(id);
+        if self.tail.is_none() {
+            self.tail = Some(id);
+        }
+        self.len += 1;
+        id
+    }
+
+    /// Unlinks `id` from its current position (leaving it allocated).
+    fn unlink(&mut self, id: usize) {
+        let Node { prev, next, linked } = self.nodes[id];
+        assert!(linked, "node {id} is not linked");
+        match prev {
+            NIL => self.head = (next != NIL).then_some(next),
+            p => self.nodes[p].next = next,
+        }
+        match next {
+            NIL => self.tail = (prev != NIL).then_some(prev),
+            n => self.nodes[n].prev = prev,
+        }
+        self.nodes[id].linked = false;
+        self.len -= 1;
+    }
+
+    /// Moves `id` to the front (most recently used).  O(1), allocation-free
+    /// — this is the cache hit path.
+    pub fn touch(&mut self, id: usize) {
+        if self.head == Some(id) {
+            return;
+        }
+        self.unlink(id);
+        self.nodes[id] = Node { prev: NIL, next: self.head.unwrap_or(NIL), linked: true };
+        if let Some(head) = self.head {
+            self.nodes[head].prev = id;
+        }
+        self.head = Some(id);
+        if self.tail.is_none() {
+            self.tail = Some(id);
+        }
+        self.len += 1;
+    }
+
+    /// Unlinks `id` and recycles it (the id may be returned again by a
+    /// future [`Self::push_front`]).
+    pub fn remove(&mut self, id: usize) {
+        self.unlink(id);
+        self.free.push(id);
+    }
+
+    /// The least-recently-used node, if any.
+    pub fn tail(&self) -> Option<usize> {
+        self.tail
+    }
+
+    /// Walks node ids from least to most recently used.
+    pub fn iter_lru(&self) -> impl Iterator<Item = usize> + '_ {
+        let mut cursor = self.tail;
+        std::iter::from_fn(move || {
+            let id = cursor?;
+            let prev = self.nodes[id].prev;
+            cursor = (prev != NIL).then_some(prev);
+            Some(id)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Renders the list LRU → MRU for assertions.
+    fn lru_order(list: &LruList) -> Vec<usize> {
+        list.iter_lru().collect()
+    }
+
+    #[test]
+    fn push_touch_and_tail_follow_recency() {
+        let mut list = LruList::new();
+        assert!(list.is_empty());
+        assert_eq!(list.tail(), None);
+        let a = list.push_front();
+        let b = list.push_front();
+        let c = list.push_front();
+        assert_eq!(list.len(), 3);
+        assert_eq!(lru_order(&list), vec![a, b, c]);
+        assert_eq!(list.tail(), Some(a));
+        list.touch(a); // a becomes MRU, b is now LRU
+        assert_eq!(lru_order(&list), vec![b, c, a]);
+        list.touch(a); // touching the head is a no-op
+        assert_eq!(lru_order(&list), vec![b, c, a]);
+        list.touch(c);
+        assert_eq!(list.tail(), Some(b));
+    }
+
+    #[test]
+    fn remove_recycles_ids_and_keeps_links_consistent() {
+        let mut list = LruList::new();
+        let a = list.push_front();
+        let b = list.push_front();
+        let c = list.push_front();
+        list.remove(b); // middle
+        assert_eq!(lru_order(&list), vec![a, c]);
+        list.remove(a); // tail
+        assert_eq!((list.tail(), list.len()), (Some(c), 1));
+        let d = list.push_front(); // recycles a freed slot
+        assert!(d == a || d == b, "freed ids are reused, got {d}");
+        assert_eq!(lru_order(&list), vec![c, d]);
+        list.remove(c);
+        list.remove(d);
+        assert!(list.is_empty());
+        assert_eq!(list.tail(), None);
+        // The slab never grew past the high-water mark of 3 nodes.
+        assert_eq!(list.nodes.len(), 3);
+    }
+
+    #[test]
+    fn single_node_edge_cases() {
+        let mut list = LruList::new();
+        let a = list.push_front();
+        list.touch(a);
+        assert_eq!((list.head, list.tail()), (Some(a), Some(a)));
+        list.remove(a);
+        assert_eq!((list.head, list.tail()), (None, None));
+        let b = list.push_front();
+        assert_eq!(list.tail(), Some(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "not linked")]
+    fn removing_twice_panics() {
+        let mut list = LruList::new();
+        let a = list.push_front();
+        list.remove(a);
+        list.remove(a);
+    }
+}

@@ -1,29 +1,26 @@
 //! Client side of the daemon protocol: remote batch solving and the
 //! control operations (`ping` / `stats` / `shutdown`).
 //!
-//! [`solve_batch`] pipelines every request over one connection — a writer
-//! thread streams the frames while the caller's thread reads responses, so a
-//! large batch can never deadlock on full TCP buffers — and returns the
-//! outcomes **in request order** (responses may arrive in any order; the
-//! echoed ids put them back).  Per-request failures (e.g. an unknown
-//! platform) come back as `Err(message)` entries without poisoning the rest
-//! of the batch; transport failures fail the call.
+//! [`solve_batch`] pipelines every request over one connection through a
+//! non-blocking readiness loop — writes and reads interleave on one thread,
+//! so a large batch can never deadlock on full TCP buffers — and returns
+//! the outcomes **in request order**.  The daemon answers pipelined
+//! requests out of order as shards finish; the echoed ids put them back.
+//! Per-request failures (e.g. an unknown platform) come back as
+//! `Err(message)` entries without poisoning the rest of the batch;
+//! transport failures fail the call.
 
+use crate::frame::Conn;
 use crate::protocol::{self, Request, Response, SolveResult, SolveSpec};
+use mio_lite::{Events, Interest, Poll, Token};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Generous per-read timeout: no solve in the evaluation grid takes minutes,
-/// so a silent daemon is a hung daemon and the client should say so instead
-/// of blocking forever.
+/// Generous inactivity timeout: no solve in the evaluation grid takes
+/// minutes, so a silent daemon is a hung daemon and the client should say
+/// so instead of blocking forever.
 const READ_TIMEOUT: Duration = Duration::from_secs(300);
-
-fn connect(addr: &str) -> io::Result<TcpStream> {
-    let stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(READ_TIMEOUT))?;
-    Ok(stream)
-}
 
 fn invalid(message: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message)
@@ -31,18 +28,8 @@ fn invalid(message: String) -> io::Error {
 
 /// Sends one request and reads its response over a fresh connection.
 pub fn request_once(addr: &str, request: &Request) -> io::Result<Response> {
-    request_once_with_timeout(addr, request, READ_TIMEOUT)
-}
-
-/// [`request_once`] with an explicit per-read timeout (the daemon parent
-/// uses a short one for shard control frames).
-pub(crate) fn request_once_with_timeout(
-    addr: &str,
-    request: &Request,
-    timeout: Duration,
-) -> io::Result<Response> {
     let stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(timeout))?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
     let mut writer = BufWriter::new(stream.try_clone()?);
     writeln!(writer, "{}", protocol::encode_request(request))?;
     writer.flush()?;
@@ -89,58 +76,74 @@ pub fn solve_batch(
     if specs.is_empty() {
         return Ok(Vec::new());
     }
-    let stream = connect(addr)?;
-    let mut writer = BufWriter::new(stream.try_clone()?);
-    let frames: Vec<String> = specs
-        .iter()
-        .enumerate()
-        .map(|(id, spec)| {
-            protocol::encode_request(&Request::Solve { id: id as u64, spec: spec.clone() })
-        })
-        .collect();
-    // Stream the requests from a separate thread so neither side can stall
-    // on a full TCP buffer while the other waits.
-    let pump = std::thread::spawn(move || -> io::Result<()> {
-        for frame in &frames {
-            writeln!(writer, "{frame}")?;
-        }
-        writer.flush()
-    });
+    let mut conn = Conn::new(TcpStream::connect(addr)?)?;
+    for (id, spec) in specs.iter().enumerate() {
+        conn.push_line(&protocol::encode_request(&Request::Solve {
+            id: id as u64,
+            spec: spec.clone(),
+        }));
+    }
+    let mut poll = Poll::new()?;
+    let mut events = Events::with_capacity(4);
+    poll.register(&conn.stream, Token(0), Interest::READABLE | Interest::WRITABLE)?;
 
     let mut outcomes: Vec<Option<Result<SolveResult, String>>> =
         specs.iter().map(|_| None).collect();
     let mut pending = specs.len();
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+    let mut last_progress = Instant::now();
+    while pending > 0 {
+        let mut interest = Interest::READABLE;
+        if conn.wants_write() {
+            interest = interest | Interest::WRITABLE;
         }
-        let response = protocol::parse_response(line.trim_end())
-            .map_err(|e| invalid(format!("bad response frame: {e}")))?;
-        let id = response.id() as usize;
-        let slot = outcomes
-            .get_mut(id)
-            .ok_or_else(|| invalid(format!("response for unknown request id {id}")))?;
-        if slot.is_some() {
-            return Err(invalid(format!("duplicate response for request id {id}")));
+        poll.reregister(&conn.stream, Token(0), interest)?;
+        poll.poll(&mut events, Some(Duration::from_millis(500)))?;
+        let mut progressed = false;
+        for event in &events {
+            if event.is_readable() {
+                progressed |= conn.fill()?;
+            }
+            if event.is_writable() && conn.wants_write() {
+                conn.flush_out()?;
+                progressed = true;
+            }
         }
-        *slot = Some(match response {
-            Response::Solve { result, .. } => Ok(result),
-            Response::Error { message, .. } => Err(message),
-            other => return Err(invalid(format!("unexpected response {other:?}"))),
-        });
-        pending -= 1;
-        if pending == 0 {
-            break;
+        while let Some(frame) = conn.decoder.next_frame() {
+            progressed = true;
+            let line = frame.map_err(|e| invalid(format!("bad response frame: {e}")))?;
+            let response = protocol::parse_response(&line)
+                .map_err(|e| invalid(format!("bad response frame: {e}")))?;
+            let id = response.id() as usize;
+            let slot = outcomes
+                .get_mut(id)
+                .ok_or_else(|| invalid(format!("response for unknown request id {id}")))?;
+            if slot.is_some() {
+                return Err(invalid(format!("duplicate response for request id {id}")));
+            }
+            *slot = Some(match response {
+                Response::Solve { result, .. } => Ok(result),
+                Response::Error { message, .. } => Err(message),
+                other => return Err(invalid(format!("unexpected response {other:?}"))),
+            });
+            pending -= 1;
         }
-    }
-    pump.join().map_err(|_| invalid("request writer panicked".to_string()))??;
-    if pending > 0 {
-        return Err(io::Error::new(
-            io::ErrorKind::UnexpectedEof,
-            format!("daemon closed the connection with {pending} responses outstanding"),
-        ));
+        if pending > 0 && conn.read_closed {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("daemon closed the connection with {pending} responses outstanding"),
+            ));
+        }
+        if progressed {
+            last_progress = Instant::now();
+        } else if last_progress.elapsed() > READ_TIMEOUT {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!(
+                    "daemon sent nothing for {}s with {pending} responses outstanding",
+                    READ_TIMEOUT.as_secs()
+                ),
+            ));
+        }
     }
     Ok(outcomes.into_iter().map(|o| o.expect("all outcomes filled")).collect())
 }

@@ -10,24 +10,36 @@
 //!   shard hello line) and the spec → scenario resolution both sides share;
 //! * [`json`] — the hand-rolled flat-object JSON subset the frames use
 //!   (strict parsing, shortest-round-trip floats);
-//! * [`shard`] — the worker process: one engine per process serving
-//!   loopback connections, exiting on `shutdown` or parent death;
-//! * [`server`] — the parent daemon: public listener, shard spawning,
-//!   fingerprint routing, graceful shutdown with per-shard statistics;
-//! * [`client`] — pipelined remote batch solving and the control ops.
+//! * [`frame`] — incremental NDJSON frame decoding (partial frames,
+//!   per-frame error isolation) and the buffered non-blocking connection
+//!   with its ordered-delivery inflight window;
+//! * [`shard`] — the worker process: one engine per process, one readiness
+//!   loop multiplexing loopback connections over a solver-thread pool,
+//!   exiting on `shutdown` or parent death;
+//! * [`server`] — the parent daemon: one readiness loop for the public
+//!   listener and all shard links, fingerprint routing with internal-id
+//!   re-keying, worker supervision (respawn + inflight replay), graceful
+//!   shutdown with per-shard statistics;
+//! * [`client`] — pipelined remote batch solving and the control ops;
+//! * [`loadgen`] — the open-loop load generator and latency report behind
+//!   `chain2l bench-load`.
 //!
 //! Determinism contract: every solve is a deterministic pure function of the
 //! scenario and algorithm, each fingerprint is owned by exactly one shard,
-//! and responses are matched by id — so `chain2l batch --remote` output is
+//! responses are matched by id and every connection's responses are
+//! released in request order — so `chain2l batch --remote` output is
 //! **byte-identical** to the offline `chain2l batch` for any shard count,
-//! any client concurrency and any `RAYON_NUM_THREADS` (enforced by this
-//! crate's integration tests and the CI smoke job).
+//! any client concurrency, any `RAYON_NUM_THREADS`, and even across a shard
+//! worker being killed and respawned mid-stream (enforced by this crate's
+//! integration tests and the CI smoke job).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod frame;
 pub mod json;
+pub mod loadgen;
 pub mod protocol;
 pub mod server;
 pub mod shard;

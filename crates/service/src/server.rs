@@ -1,5 +1,6 @@
-//! The long-lived `chain2l serve` daemon: accepts NDJSON clients and shards
-//! their solve requests across worker *processes* by scenario fingerprint.
+//! The long-lived `chain2l serve` daemon: a single non-blocking readiness
+//! loop multiplexing every client connection onto persistent shard-worker
+//! links, with supervised worker respawn.
 //!
 //! Topology: the parent process owns the public [`TcpListener`] and `N`
 //! shard worker child processes (spawned from a configurable command — the
@@ -8,31 +9,59 @@
 //! the fingerprint space: the parent resolves every solve request, computes
 //! [`ScenarioFingerprint::stable_hash`]` % N` and forwards the frame to the
 //! owning shard, so the same scenario always lands on the same process and
-//! no solve is ever duplicated across shards.  Responses are relayed back
-//! verbatim (ids do the matching), so shard placement can never change
-//! results — only which process's cache warms up.
+//! no solve is ever duplicated across shards.
 //!
-//! Concurrency: one thread per client connection, each with its own lazy
-//! connections to the shards; requests on one connection are processed in
-//! order, parallelism comes from concurrent clients × shard processes × the
-//! rayon pool inside each shard's kernels.
+//! Concurrency: everything in the parent runs on one [`mio_lite::Poll`]
+//! loop.  Requests are decoded as their bytes arrive (partial frames
+//! tolerated) and dispatched immediately; each forwarded request is
+//! re-keyed with a parent-unique internal id — client ids from different
+//! connections may collide on a shared link — and the worker's response is
+//! re-keyed back before relay.  Responses complete **out of order** as
+//! workers finish, but every client connection releases its responses in
+//! request order through the [`crate::frame::Conn`] sequence window, so a
+//! connection's response byte stream is a deterministic function of its
+//! request stream.  The same window (see [`ServeConfig::window`]) applies
+//! backpressure: a connection at its inflight limit simply stops being read
+//! until responses drain.
 //!
-//! Shutdown: a `shutdown` frame drains other client connections (bounded
-//! wait), collects each shard's final statistics, stops the workers, answers
-//! the client and unblocks the accept loop; [`Server::run`] then returns a
-//! [`ServeSummary`].  If the parent dies uncleanly instead, the workers
+//! Supervision: the parent holds one persistent link per worker.  A link
+//! EOF or transport error means the worker died; the parent respawns it
+//! from the same config and **replays** the dead worker's inflight requests
+//! (solves are pure functions of the spec, so replay cannot change any
+//! response byte).  Only requests that cannot be replayed — the worker
+//! cannot be respawned after repeated attempts — fail, with per-request
+//! `ok:false` responses.
+//!
+//! Shutdown: a `shutdown` frame stops accepting, drains inflight solves
+//! (bounded wait), collects each shard's final statistics, stops the
+//! workers, answers the requester and returns a [`ServeSummary`] from
+//! [`Server::run`].  If the parent dies uncleanly instead, the workers
 //! notice their stdin pipe closing and exit on their own.
 
-use crate::client;
+use crate::frame::Conn;
 use crate::protocol::{self, Request, Response};
 use chain2l_core::ScenarioFingerprint;
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use mio_lite::{Events, Interest, Poll, Token};
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Default per-connection inflight window (see [`ServeConfig::window`]).
+pub const DEFAULT_WINDOW: u64 = 128;
+
+/// How long a graceful shutdown waits for inflight solves, and then for the
+/// final statistics round, before forcing the issue.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Consecutive worker deaths (without a single successful response in
+/// between) after which a shard is declared failed instead of respawned.
+const MAX_CONSECUTIVE_RESPAWNS: u32 = 5;
+
+/// Spawn attempts per death before giving up on a shard.
+const MAX_SPAWN_ATTEMPTS: u32 = 3;
 
 /// Configuration of one daemon instance.
 #[derive(Debug, Clone)]
@@ -45,9 +74,20 @@ pub struct ServeConfig {
     pub shard_program: PathBuf,
     /// Arguments passed to the shard program.
     pub shard_args: Vec<String>,
+    /// Per-connection inflight window: how many requests may be accepted
+    /// but not yet answered before the daemon stops reading from that
+    /// connection (backpressure).  Also bounds the per-connection reorder
+    /// buffer.  Clamped to ≥ 1.
+    pub window: u64,
 }
 
 impl ServeConfig {
+    /// A daemon with the given shard worker command and the default
+    /// inflight window.
+    pub fn new(addr: &str, shards: usize, shard_program: PathBuf, shard_args: Vec<String>) -> Self {
+        Self { addr: addr.to_string(), shards, shard_program, shard_args, window: DEFAULT_WINDOW }
+    }
+
     /// A daemon whose shard workers re-execute the current binary with
     /// `serve --internal-shard` (how the `chain2l` CLI hosts itself).
     ///
@@ -61,12 +101,7 @@ impl ServeConfig {
             shard_args.push("--cache-cap".to_string());
             shard_args.push(cap.to_string());
         }
-        Ok(Self {
-            addr: addr.to_string(),
-            shards,
-            shard_program: std::env::current_exe()?,
-            shard_args,
-        })
+        Ok(Self::new(addr, shards, std::env::current_exe()?, shard_args))
     }
 }
 
@@ -78,6 +113,8 @@ pub struct ServeSummary {
     pub per_shard: Vec<String>,
     /// Client connections accepted.
     pub connections: u64,
+    /// Shard workers respawned after dying mid-service.
+    pub respawns: u64,
 }
 
 struct ShardWorker {
@@ -91,22 +128,13 @@ struct ShardWorker {
     _stdout: BufReader<ChildStdout>,
 }
 
-struct Shared {
-    ports: Vec<u16>,
-    stop: AtomicBool,
-    /// Live client connections (drained before shards are stopped).
-    active: AtomicUsize,
-    accepted: AtomicUsize,
-    local_addr: SocketAddr,
-    final_stats: Mutex<Vec<String>>,
-}
-
 /// A bound daemon: shards are running and the listener is open, but no
 /// client is served until [`Server::run`].
 pub struct Server {
     listener: TcpListener,
-    shards: Vec<ShardWorker>,
-    shared: Arc<Shared>,
+    workers: Vec<ShardWorker>,
+    config: ServeConfig,
+    local_addr: SocketAddr,
 }
 
 impl Server {
@@ -115,58 +143,52 @@ impl Server {
         if config.shards == 0 {
             return Err(io::Error::new(io::ErrorKind::InvalidInput, "at least one shard required"));
         }
-        let mut shards = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
         for index in 0..config.shards {
-            shards.push(spawn_shard(config, index)?);
+            workers.push(spawn_shard(config, index)?);
         }
         let listener = TcpListener::bind(&config.addr)?;
-        let shared = Arc::new(Shared {
-            ports: shards.iter().map(|s| s.port).collect(),
-            stop: AtomicBool::new(false),
-            active: AtomicUsize::new(0),
-            accepted: AtomicUsize::new(0),
-            local_addr: listener.local_addr()?,
-            final_stats: Mutex::new(Vec::new()),
-        });
-        Ok(Server { listener, shards, shared })
+        let local_addr = listener.local_addr()?;
+        Ok(Server { listener, workers, config: config.clone(), local_addr })
     }
 
     /// The address the daemon accepts clients on.
     pub fn local_addr(&self) -> SocketAddr {
-        self.shared.local_addr
+        self.local_addr
+    }
+
+    /// Process ids of the current shard worker children (exposed so
+    /// supervision tests can kill one mid-stream).
+    pub fn shard_pids(&self) -> Vec<u32> {
+        self.workers.iter().map(|w| w.child.id()).collect()
     }
 
     /// Serves clients until a graceful shutdown request, then stops the
     /// shard workers and reports their final statistics.
-    pub fn run(mut self) -> io::Result<ServeSummary> {
-        for stream in self.listener.incoming() {
-            if self.shared.stop.load(Ordering::Acquire) {
-                break;
-            }
-            let stream = match stream {
-                Ok(stream) => stream,
-                Err(_) => continue,
-            };
-            self.shared.accepted.fetch_add(1, Ordering::Relaxed);
-            let shared = Arc::clone(&self.shared);
-            std::thread::spawn(move || handle_client(stream, &shared));
-        }
+    pub fn run(self) -> io::Result<ServeSummary> {
+        let Server { listener, workers, config, .. } = self;
+        let mut event_loop = EventLoop::new(listener, workers, &config)?;
+        let outcome = event_loop.serve();
         let mut summary = ServeSummary {
-            per_shard: self.shared.final_stats.lock().expect("stats poisoned").clone(),
-            connections: self.shared.accepted.load(Ordering::Relaxed) as u64,
+            per_shard: event_loop.final_stats.clone(),
+            connections: event_loop.accepted,
+            respawns: event_loop.respawns,
         };
-        // The shutdown handler already asked every worker to exit; closing
-        // its stdin pipe first covers a worker that missed the frame (its
-        // EOF watchdog fires), so `wait` cannot block indefinitely.
-        for (index, mut shard) in self.shards.drain(..).enumerate() {
-            drop(shard.stdin.take());
-            if shard.child.wait().is_err() {
-                let _ = shard.child.kill();
+        // The shutdown path already asked every worker to exit; closing its
+        // stdin pipe first covers a worker that missed the frame (its EOF
+        // watchdog fires), so `wait` cannot block indefinitely.
+        for (index, shard) in event_loop.shards.iter_mut().enumerate() {
+            if let Some(mut worker) = shard.worker.take() {
+                drop(worker.stdin.take());
+                if worker.child.wait().is_err() {
+                    let _ = worker.child.kill();
+                }
             }
             if summary.per_shard.len() <= index {
                 summary.per_shard.push(format!("shard {index}: no final statistics"));
             }
         }
+        outcome?;
         Ok(summary)
     }
 }
@@ -192,161 +214,687 @@ fn spawn_shard(config: &ServeConfig, index: usize) -> io::Result<ShardWorker> {
     Ok(ShardWorker { child, port, stdin: Some(stdin), _stdout: stdout })
 }
 
-/// One lazily-opened forwarding connection per shard, owned by one client
-/// handler thread.
-struct ShardLinks {
-    ports: Vec<u16>,
-    links: Vec<Option<(BufReader<TcpStream>, BufWriter<TcpStream>)>>,
+const LISTENER: Token = Token(0);
+const LINK_BASE: usize = 1;
+
+struct ClientSlot {
+    conn: Conn,
+    gen: u64,
 }
 
-impl ShardLinks {
-    fn new(ports: &[u16]) -> Self {
-        Self { ports: ports.to_vec(), links: ports.iter().map(|_| None).collect() }
-    }
-
-    /// Forwards one request line to `shard` and returns the raw response
-    /// line (relayed to the client verbatim; the ids match it up).
-    ///
-    /// Any transport failure — write, flush or EOF — drops the cached link,
-    /// so the next request on this connection reconnects instead of
-    /// re-using a dead socket.
-    fn forward(&mut self, shard: usize, line: &str) -> io::Result<String> {
-        if self.links[shard].is_none() {
-            let stream = TcpStream::connect(("127.0.0.1", self.ports[shard]))?;
-            let reader = BufReader::new(stream.try_clone()?);
-            self.links[shard] = Some((reader, BufWriter::new(stream)));
-        }
-        let (reader, writer) = self.links[shard].as_mut().expect("link opened above");
-        let exchange = (|| {
-            writeln!(writer, "{line}")?;
-            writer.flush()?;
-            let mut response = String::new();
-            if reader.read_line(&mut response)? == 0 {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "shard closed the connection",
-                ));
-            }
-            Ok(response)
-        })();
-        match exchange {
-            Ok(response) => Ok(response.trim_end().to_string()),
-            Err(e) => {
-                self.links[shard] = None;
-                Err(e)
-            }
-        }
-    }
+struct ShardState {
+    worker: Option<ShardWorker>,
+    link: Option<Conn>,
+    /// Declared failed: respawn gave up, requests routed here error out.
+    dead: bool,
+    /// Deaths since the last successful response (crash-loop breaker).
+    consecutive_respawns: u32,
 }
 
-/// Sends one control frame to a shard over a fresh connection, with a
-/// short timeout (a worker that cannot answer a control frame within it is
-/// treated as unreachable).
-fn shard_control(port: u16, request: &Request) -> io::Result<Response> {
-    client::request_once_with_timeout(
-        &format!("127.0.0.1:{port}"),
-        request,
-        Duration::from_secs(30),
-    )
+enum PendingKind {
+    /// A forwarded solve: where its re-keyed response goes.
+    Solve { slot: usize, gen: u64, seq: u64, client_id: u64 },
+    /// One shard's contribution to a statistics aggregate.
+    Stats { agg: u64, shard: usize },
 }
 
-fn collect_stats(ports: &[u16]) -> Vec<String> {
-    ports
-        .iter()
-        .enumerate()
-        .map(|(index, &port)| match shard_control(port, &Request::Stats { id: 0 }) {
-            Ok(Response::Stats { detail, .. }) => format!("shard {index}: {detail}"),
-            Ok(other) => format!("shard {index}: unexpected response {other:?}"),
-            Err(e) => format!("shard {index}: unreachable ({e})"),
-        })
-        .collect()
+/// One request inflight on a shard link, keyed by its internal id.  `line`
+/// is the exact frame sent (already re-keyed), kept for replay.
+struct Pending {
+    shard: usize,
+    line: String,
+    kind: PendingKind,
 }
 
-/// Orchestrates a graceful shutdown: drain other clients, record final shard
-/// statistics, stop the workers, unblock the accept loop.
-fn orchestrate_shutdown(shared: &Shared) {
-    shared.stop.store(true, Ordering::Release);
-    // Bounded drain: wait for the other client connections to finish their
-    // in-flight requests (this handler counts as one).
-    let deadline = Instant::now() + Duration::from_secs(5);
-    while shared.active.load(Ordering::Acquire) > 1 && Instant::now() < deadline {
-        std::thread::sleep(Duration::from_millis(20));
-    }
-    *shared.final_stats.lock().expect("stats poisoned") = collect_stats(&shared.ports);
-    for &port in &shared.ports {
-        let _ = shard_control(port, &Request::Shutdown { id: 0 });
-    }
-    // Unblock the accept loop so `Server::run` can return.
-    let _ = TcpStream::connect(shared.local_addr);
+/// A statistics fan-out being assembled from per-shard answers.
+struct StatsAgg {
+    /// Destination; `None` aggregates the final statistics at shutdown.
+    target: Option<(usize, u64, u64, u64)>,
+    remaining: usize,
+    details: Vec<Option<String>>,
 }
 
-/// Decrements the live-connection count even on early returns.
-struct ActiveGuard<'a>(&'a AtomicUsize);
-
-impl Drop for ActiveGuard<'_> {
-    fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::AcqRel);
-    }
+enum Phase {
+    Running,
+    /// Stopped accepting; waiting for inflight solves (bounded).
+    Draining {
+        deadline: Instant,
+    },
+    /// Final statistics round inflight (bounded).
+    Collecting {
+        deadline: Instant,
+        agg: u64,
+    },
+    /// Shutdown acknowledged; flushing the requester's stream.
+    Flushing,
 }
 
-fn handle_client(stream: TcpStream, shared: &Shared) {
-    shared.active.fetch_add(1, Ordering::AcqRel);
-    let _guard = ActiveGuard(&shared.active);
-    let reader = match stream.try_clone() {
-        Ok(clone) => BufReader::new(clone),
-        Err(_) => return,
-    };
-    let mut writer = BufWriter::new(stream);
-    let mut links = ShardLinks::new(&shared.ports);
-    for line in reader.lines() {
-        let line = match line {
-            Ok(line) => line,
-            Err(_) => return,
+struct EventLoop<'a> {
+    config: &'a ServeConfig,
+    poll: Poll,
+    listener: TcpListener,
+    shards: Vec<ShardState>,
+    clients: Vec<Option<ClientSlot>>,
+    next_gen: u64,
+    pending: HashMap<u64, Pending>,
+    next_internal: u64,
+    solve_inflight: usize,
+    aggs: HashMap<u64, StatsAgg>,
+    next_agg: u64,
+    window: u64,
+    accepted: u64,
+    respawns: u64,
+    phase: Phase,
+    /// Who asked for shutdown: (slot, gen, seq, client id).
+    requester: Option<(usize, u64, u64, u64)>,
+    final_stats: Vec<String>,
+}
+
+impl<'a> EventLoop<'a> {
+    fn new(
+        listener: TcpListener,
+        workers: Vec<ShardWorker>,
+        config: &'a ServeConfig,
+    ) -> io::Result<EventLoop<'a>> {
+        listener.set_nonblocking(true)?;
+        let mut poll = Poll::new()?;
+        poll.register(&listener, LISTENER, Interest::READABLE)?;
+        let shards = workers
+            .into_iter()
+            .map(|worker| ShardState {
+                worker: Some(worker),
+                link: None,
+                dead: false,
+                consecutive_respawns: 0,
+            })
+            .collect();
+        let mut this = EventLoop {
+            config,
+            poll,
+            listener,
+            shards,
+            clients: Vec::new(),
+            next_gen: 0,
+            pending: HashMap::new(),
+            next_internal: 0,
+            solve_inflight: 0,
+            aggs: HashMap::new(),
+            next_agg: 0,
+            window: config.window.max(1),
+            accepted: 0,
+            respawns: 0,
+            phase: Phase::Running,
+            requester: None,
+            final_stats: Vec::new(),
         };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let mut shutting_down = false;
-        let reply = match protocol::parse_request(&line) {
-            Err(e) => protocol::encode_response(&Response::Error {
-                id: protocol::best_effort_id(&line),
-                message: e.to_string(),
-            }),
-            Ok(Request::Ping { id }) => protocol::encode_response(&Response::Pong { id }),
-            Ok(Request::Stats { id }) => {
-                let details = collect_stats(&shared.ports);
-                protocol::encode_response(&Response::Stats {
-                    id,
-                    shards: shared.ports.len() as u64,
-                    detail: details.join("\n"),
-                })
+        for shard in 0..this.shards.len() {
+            if this.connect_link(shard).is_err() {
+                this.link_failed(shard);
             }
+        }
+        Ok(this)
+    }
+
+    fn client_token(&self, index: usize) -> Token {
+        Token(LINK_BASE + self.shards.len() + index)
+    }
+
+    /// Opens (and registers) the persistent link to `shard`'s worker.
+    fn connect_link(&mut self, shard: usize) -> io::Result<()> {
+        let port = match &self.shards[shard].worker {
+            Some(worker) => worker.port,
+            None => return Err(io::Error::new(io::ErrorKind::NotFound, "no worker")),
+        };
+        let stream = TcpStream::connect(("127.0.0.1", port))?;
+        let conn = Conn::new(stream)?;
+        self.poll.register(&conn.stream, Token(LINK_BASE + shard), Interest::READABLE)?;
+        self.shards[shard].link = Some(conn);
+        Ok(())
+    }
+
+    fn serve(&mut self) -> io::Result<()> {
+        let mut events = Events::with_capacity(256);
+        loop {
+            self.refresh_interests()?;
+            let timeout = match self.phase {
+                Phase::Running => Duration::from_millis(500),
+                _ => Duration::from_millis(25),
+            };
+            self.poll.poll(&mut events, Some(timeout))?;
+            let fired: Vec<(Token, bool, bool)> =
+                events.iter().map(|e| (e.token(), e.is_readable(), e.is_writable())).collect();
+            for (token, readable, writable) in fired {
+                let Token(raw) = token;
+                if token == LISTENER {
+                    if matches!(self.phase, Phase::Running) {
+                        self.accept_clients()?;
+                    }
+                } else if raw < LINK_BASE + self.shards.len() {
+                    let shard = raw - LINK_BASE;
+                    let mut failed = false;
+                    if readable {
+                        failed = self.link_read(shard);
+                    }
+                    if !failed && writable {
+                        failed = self.link_flush(shard);
+                    }
+                    if failed {
+                        self.link_failed(shard);
+                    }
+                } else {
+                    let index = raw - LINK_BASE - self.shards.len();
+                    let mut dead = false;
+                    if let Some(slot) = self.clients.get_mut(index).and_then(Option::as_mut) {
+                        if readable {
+                            dead = slot.conn.fill().is_err();
+                        }
+                        if !dead && writable {
+                            dead = slot.conn.flush_out().is_err();
+                        }
+                    }
+                    if dead {
+                        self.close_client(index);
+                    }
+                }
+            }
+            // Admit newly-decoded (or newly-admissible) frames, flush
+            // completions queued outside write events, close drained peers.
+            if matches!(self.phase, Phase::Running) {
+                for index in 0..self.clients.len() {
+                    self.pump_client(index);
+                }
+            }
+            self.flush_peers();
+            if self.advance_shutdown() {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Recomputes every registered source's interest from its buffer and
+    /// window state (level-triggered readiness: interest is the valve).
+    fn refresh_interests(&mut self) -> io::Result<()> {
+        let accept = matches!(self.phase, Phase::Running);
+        self.poll.reregister(
+            &self.listener,
+            LISTENER,
+            if accept { Interest::READABLE } else { Interest::NONE },
+        )?;
+        for (shard, state) in self.shards.iter().enumerate() {
+            if let Some(link) = &state.link {
+                let mut interest = Interest::READABLE;
+                if link.wants_write() {
+                    interest = interest | Interest::WRITABLE;
+                }
+                self.poll.reregister(&link.stream, Token(LINK_BASE + shard), interest)?;
+            }
+        }
+        let reading = matches!(self.phase, Phase::Running);
+        for index in 0..self.clients.len() {
+            let token = self.client_token(index);
+            if let Some(slot) = self.clients.get(index).and_then(Option::as_ref) {
+                let mut interest = Interest::NONE;
+                if reading && slot.conn.wants_read(self.window) {
+                    interest = interest | Interest::READABLE;
+                }
+                if slot.conn.wants_write() {
+                    interest = interest | Interest::WRITABLE;
+                }
+                self.poll.reregister(&slot.conn.stream, token, interest)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn accept_clients(&mut self) -> io::Result<()> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let conn = match Conn::new(stream) {
+                        Ok(conn) => conn,
+                        Err(_) => continue,
+                    };
+                    self.accepted += 1;
+                    self.next_gen += 1;
+                    let slot = ClientSlot { conn, gen: self.next_gen };
+                    let index =
+                        self.clients.iter().position(Option::is_none).unwrap_or_else(|| {
+                            self.clients.push(None);
+                            self.clients.len() - 1
+                        });
+                    let token = self.client_token(index);
+                    self.poll.register(&slot.conn.stream, token, Interest::READABLE)?;
+                    self.clients[index] = Some(slot);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return Ok(()),
+            }
+        }
+    }
+
+    fn close_client(&mut self, index: usize) {
+        if let Some(slot) = self.clients.get_mut(index).and_then(Option::take) {
+            let _ = self.poll.deregister(&slot.conn.stream);
+        }
+    }
+
+    /// Admits decoded frames from client `index` while its window has room.
+    fn pump_client(&mut self, index: usize) {
+        loop {
+            let (frame, seq, gen) = {
+                let Some(slot) = self.clients.get_mut(index).and_then(Option::as_mut) else {
+                    return;
+                };
+                if slot.conn.inflight() >= self.window {
+                    return;
+                }
+                let Some(frame) = slot.conn.decoder.next_frame() else {
+                    return;
+                };
+                (frame, slot.conn.accept_seq(), slot.gen)
+            };
+            match frame {
+                Err(err) => {
+                    let response =
+                        Response::Error { id: 0, message: crate::shard::frame_error_message(&err) };
+                    self.complete_client(index, gen, seq, &protocol::encode_response(&response));
+                }
+                Ok(line) => self.dispatch_client_frame(index, gen, seq, &line),
+            }
+        }
+    }
+
+    fn dispatch_client_frame(&mut self, slot: usize, gen: u64, seq: u64, line: &str) {
+        match protocol::parse_request(line) {
+            Err(e) => {
+                let response =
+                    Response::Error { id: protocol::best_effort_id(line), message: e.to_string() };
+                self.complete_client(slot, gen, seq, &protocol::encode_response(&response));
+            }
+            Ok(Request::Ping { id }) => {
+                self.complete_client(
+                    slot,
+                    gen,
+                    seq,
+                    &protocol::encode_response(&Response::Pong { id }),
+                );
+            }
+            Ok(Request::Stats { id }) => self.start_stats(Some((slot, gen, seq, id))),
             Ok(Request::Shutdown { id }) => {
-                shutting_down = true;
-                orchestrate_shutdown(shared);
-                protocol::encode_response(&Response::ShuttingDown { id })
+                if matches!(self.phase, Phase::Running) {
+                    self.requester = Some((slot, gen, seq, id));
+                    self.phase = Phase::Draining { deadline: Instant::now() + DRAIN_DEADLINE };
+                } else {
+                    // A second requester: acknowledge right away.
+                    self.complete_client(
+                        slot,
+                        gen,
+                        seq,
+                        &protocol::encode_response(&Response::ShuttingDown { id }),
+                    );
+                }
             }
             Ok(Request::Solve { id, spec }) => match protocol::resolve_spec(&spec) {
-                Err(message) => protocol::encode_response(&Response::Error { id, message }),
+                Err(message) => {
+                    let response = Response::Error { id, message };
+                    self.complete_client(slot, gen, seq, &protocol::encode_response(&response));
+                }
                 Ok((scenario, algorithm)) => {
                     let fingerprint = ScenarioFingerprint::new(&scenario, algorithm);
-                    let shard = (fingerprint.stable_hash() % shared.ports.len() as u64) as usize;
-                    match links.forward(shard, &line) {
-                        Ok(raw) => raw,
-                        Err(e) => protocol::encode_response(&Response::Error {
+                    let shard = (fingerprint.stable_hash() % self.shards.len() as u64) as usize;
+                    if self.shards[shard].dead || self.shards[shard].link.is_none() {
+                        let response = Response::Error {
                             id,
-                            message: format!("shard {shard} failed: {e}"),
-                        }),
+                            message: format!("shard {shard} failed and was not respawned"),
+                        };
+                        self.complete_client(slot, gen, seq, &protocol::encode_response(&response));
+                        return;
+                    }
+                    let internal = self.next_internal;
+                    self.next_internal += 1;
+                    let forwarded =
+                        protocol::encode_request(&Request::Solve { id: internal, spec });
+                    self.pending.insert(
+                        internal,
+                        Pending {
+                            shard,
+                            line: forwarded.clone(),
+                            kind: PendingKind::Solve { slot, gen, seq, client_id: id },
+                        },
+                    );
+                    self.solve_inflight += 1;
+                    if let Some(link) = self.shards[shard].link.as_mut() {
+                        link.push_line(&forwarded);
                     }
                 }
             },
+        }
+    }
+
+    /// Routes a completed response line into a client's sequence window.
+    fn complete_client(&mut self, index: usize, gen: u64, seq: u64, line: &str) {
+        if let Some(slot) = self.clients.get_mut(index).and_then(Option::as_mut) {
+            if slot.gen == gen {
+                slot.conn.complete(seq, line);
+            }
+        }
+    }
+
+    /// Fans a statistics request out to every shard; dead shards contribute
+    /// an `unreachable` line immediately.
+    fn start_stats(&mut self, target: Option<(usize, u64, u64, u64)>) {
+        let agg_id = self.next_agg;
+        self.next_agg += 1;
+        let shard_count = self.shards.len();
+        let mut agg = StatsAgg { target, remaining: 0, details: vec![None; shard_count] };
+        let mut sends: Vec<(usize, String)> = Vec::new();
+        for shard in 0..shard_count {
+            if self.shards[shard].dead || self.shards[shard].link.is_none() {
+                agg.details[shard] = Some(format!("shard {shard}: unreachable (worker failed)"));
+            } else {
+                let internal = self.next_internal;
+                self.next_internal += 1;
+                let line = protocol::encode_request(&Request::Stats { id: internal });
+                self.pending.insert(
+                    internal,
+                    Pending {
+                        shard,
+                        line: line.clone(),
+                        kind: PendingKind::Stats { agg: agg_id, shard },
+                    },
+                );
+                agg.remaining += 1;
+                sends.push((shard, line));
+            }
+        }
+        self.aggs.insert(agg_id, agg);
+        for (shard, line) in sends {
+            if let Some(link) = self.shards[shard].link.as_mut() {
+                link.push_line(&line);
+            }
+        }
+        self.maybe_finalize_agg(agg_id);
+    }
+
+    /// Delivers a finished aggregate to its destination.
+    fn maybe_finalize_agg(&mut self, agg_id: u64) {
+        let done = self.aggs.get(&agg_id).is_some_and(|agg| agg.remaining == 0);
+        if !done {
+            return;
+        }
+        let agg = self.aggs.remove(&agg_id).expect("checked above");
+        let detail: Vec<String> = agg
+            .details
+            .into_iter()
+            .enumerate()
+            .map(|(shard, line)| line.unwrap_or_else(|| format!("shard {shard}: no statistics")))
+            .collect();
+        match agg.target {
+            Some((slot, gen, seq, client_id)) => {
+                let response = Response::Stats {
+                    id: client_id,
+                    shards: self.shards.len() as u64,
+                    detail: detail.join("\n"),
+                };
+                self.complete_client(slot, gen, seq, &protocol::encode_response(&response));
+            }
+            None => {
+                self.final_stats = detail;
+                self.finish_collecting();
+            }
+        }
+    }
+
+    /// Reads and dispatches whatever the worker link has; returns `true` on
+    /// link failure (EOF or transport error).
+    fn link_read(&mut self, shard: usize) -> bool {
+        let mut failed = false;
+        let mut lines: Vec<String> = Vec::new();
+        if let Some(link) = self.shards[shard].link.as_mut() {
+            failed = link.fill().is_err();
+            while let Some(frame) = link.decoder.next_frame() {
+                if let Ok(line) = frame {
+                    lines.push(line);
+                }
+            }
+            if link.read_closed {
+                failed = true;
+            }
+        }
+        for line in &lines {
+            self.dispatch_link_response(shard, line);
+        }
+        failed
+    }
+
+    fn link_flush(&mut self, shard: usize) -> bool {
+        match self.shards[shard].link.as_mut() {
+            Some(link) => link.flush_out().is_err(),
+            None => false,
+        }
+    }
+
+    /// Re-keys one worker response to its origin and delivers it.
+    fn dispatch_link_response(&mut self, shard: usize, line: &str) {
+        let Ok(response) = protocol::parse_response(line) else {
+            return; // a worker never sends malformed frames; ignore
         };
-        if writeln!(writer, "{reply}").and_then(|()| writer.flush()).is_err() {
+        let Some(pending) = self.pending.remove(&response.id()) else {
+            return; // stale (answered by a pre-death worker, then replayed)
+        };
+        self.shards[shard].consecutive_respawns = 0;
+        match pending.kind {
+            PendingKind::Solve { slot, gen, seq, client_id } => {
+                self.solve_inflight -= 1;
+                let rekeyed = with_id(response, client_id);
+                self.complete_client(slot, gen, seq, &protocol::encode_response(&rekeyed));
+            }
+            PendingKind::Stats { agg, shard: stats_shard } => {
+                if let Some(entry) = self.aggs.get_mut(&agg) {
+                    let detail = match response {
+                        Response::Stats { detail, .. } => {
+                            format!("shard {stats_shard}: {detail}")
+                        }
+                        other => format!("shard {stats_shard}: unexpected response {other:?}"),
+                    };
+                    entry.details[stats_shard] = Some(detail);
+                    entry.remaining -= 1;
+                }
+                self.maybe_finalize_agg(agg);
+            }
+        }
+    }
+
+    /// The supervision path: a worker died (or its link broke).  Reap it,
+    /// respawn from the same config and replay its inflight requests; after
+    /// repeated failures, declare the shard dead and fail what cannot be
+    /// replayed.
+    fn link_failed(&mut self, shard: usize) {
+        if let Some(link) = self.shards[shard].link.take() {
+            let _ = self.poll.deregister(&link.stream);
+        }
+        if matches!(self.phase, Phase::Collecting { .. } | Phase::Flushing) {
+            // Workers exit on request during shutdown; no respawn, just
+            // resolve whatever this shard still owed.
+            self.fail_shard_pending(shard, "worker exited during shutdown");
             return;
         }
-        if shutting_down {
+        if let Some(mut worker) = self.shards[shard].worker.take() {
+            drop(worker.stdin.take());
+            let _ = worker.child.kill();
+            let _ = worker.child.wait();
+        }
+        self.shards[shard].consecutive_respawns += 1;
+        if self.shards[shard].consecutive_respawns > MAX_CONSECUTIVE_RESPAWNS {
+            self.shards[shard].dead = true;
+            self.fail_shard_pending(shard, "worker died repeatedly");
             return;
         }
+        for _ in 0..MAX_SPAWN_ATTEMPTS {
+            let Ok(worker) = spawn_shard(self.config, shard) else {
+                continue;
+            };
+            self.shards[shard].worker = Some(worker);
+            if self.connect_link(shard).is_ok() {
+                self.respawns += 1;
+                eprintln!(
+                    "chain2l serve: shard {shard} worker died; respawned and replaying {} inflight request(s)",
+                    self.pending.values().filter(|p| p.shard == shard).count()
+                );
+                self.replay_shard(shard);
+                return;
+            }
+            if let Some(mut worker) = self.shards[shard].worker.take() {
+                drop(worker.stdin.take());
+                let _ = worker.child.kill();
+                let _ = worker.child.wait();
+            }
+        }
+        self.shards[shard].dead = true;
+        self.fail_shard_pending(shard, "worker could not be respawned");
+    }
+
+    /// Re-sends every request that was inflight on `shard` when its worker
+    /// died, in original submission order (internal ids are monotonic).
+    fn replay_shard(&mut self, shard: usize) {
+        let mut ids: Vec<u64> =
+            self.pending.iter().filter(|(_, p)| p.shard == shard).map(|(id, _)| *id).collect();
+        ids.sort_unstable();
+        for id in ids {
+            let line = self.pending[&id].line.clone();
+            if let Some(link) = self.shards[shard].link.as_mut() {
+                link.push_line(&line);
+            }
+        }
+    }
+
+    /// Fails every request inflight on a shard that will not answer.
+    fn fail_shard_pending(&mut self, shard: usize, why: &str) {
+        let ids: Vec<u64> =
+            self.pending.iter().filter(|(_, p)| p.shard == shard).map(|(id, _)| *id).collect();
+        let mut touched_aggs = Vec::new();
+        for id in ids {
+            let Some(pending) = self.pending.remove(&id) else { continue };
+            match pending.kind {
+                PendingKind::Solve { slot, gen, seq, client_id } => {
+                    self.solve_inflight -= 1;
+                    let response = Response::Error {
+                        id: client_id,
+                        message: format!("shard {shard} failed: {why}"),
+                    };
+                    self.complete_client(slot, gen, seq, &protocol::encode_response(&response));
+                }
+                PendingKind::Stats { agg, shard: stats_shard } => {
+                    if let Some(entry) = self.aggs.get_mut(&agg) {
+                        entry.details[stats_shard] =
+                            Some(format!("shard {stats_shard}: unreachable ({why})"));
+                        entry.remaining -= 1;
+                    }
+                    touched_aggs.push(agg);
+                }
+            }
+        }
+        for agg in touched_aggs {
+            self.maybe_finalize_agg(agg);
+        }
+    }
+
+    /// Flushes queued bytes on every peer and closes fully-drained clients.
+    fn flush_peers(&mut self) {
+        for shard in 0..self.shards.len() {
+            let wants = self.shards[shard].link.as_ref().is_some_and(Conn::wants_write);
+            if wants && self.link_flush(shard) {
+                self.link_failed(shard);
+            }
+        }
+        for index in 0..self.clients.len() {
+            let mut drop_it = false;
+            if let Some(slot) = self.clients.get_mut(index).and_then(Option::as_mut) {
+                let failed = slot.conn.wants_write() && slot.conn.flush_out().is_err();
+                let drained = slot.conn.read_closed
+                    && slot.conn.inflight() == 0
+                    && !slot.conn.wants_write()
+                    && slot.conn.decoder.buffered() == 0;
+                drop_it = failed || drained;
+            }
+            if drop_it {
+                self.close_client(index);
+            }
+        }
+    }
+
+    /// Drives the shutdown state machine; `true` means the loop is done.
+    fn advance_shutdown(&mut self) -> bool {
+        match self.phase {
+            Phase::Running => false,
+            Phase::Draining { deadline } => {
+                if self.solve_inflight == 0 || Instant::now() >= deadline {
+                    if Instant::now() >= deadline {
+                        // Force the issue: whatever is still inflight gets an
+                        // error so no sequence window stays blocked.
+                        for shard in 0..self.shards.len() {
+                            self.fail_shard_pending(shard, "shutdown drain deadline");
+                        }
+                    }
+                    let agg = self.next_agg;
+                    self.phase =
+                        Phase::Collecting { deadline: Instant::now() + DRAIN_DEADLINE, agg };
+                    self.start_stats(None);
+                }
+                false
+            }
+            Phase::Collecting { deadline, agg } => {
+                if Instant::now() >= deadline && self.aggs.contains_key(&agg) {
+                    if let Some(entry) = self.aggs.get_mut(&agg) {
+                        entry.remaining = 0;
+                    }
+                    self.maybe_finalize_agg(agg);
+                }
+                false
+            }
+            Phase::Flushing => {
+                let Some((slot, gen, _, _)) = self.requester else { return true };
+                match self.clients.get(slot).and_then(Option::as_ref) {
+                    Some(client) if client.gen == gen => !client.conn.wants_write(),
+                    _ => true, // the requester vanished; nothing to flush
+                }
+            }
+        }
+    }
+
+    /// Final statistics are in: stop the workers, acknowledge the requester.
+    fn finish_collecting(&mut self) {
+        for shard in 0..self.shards.len() {
+            let internal = self.next_internal;
+            self.next_internal += 1;
+            let line = protocol::encode_request(&Request::Shutdown { id: internal });
+            if let Some(link) = self.shards[shard].link.as_mut() {
+                link.push_line(&line);
+            }
+        }
+        self.phase = Phase::Flushing;
+        if let Some((slot, gen, seq, id)) = self.requester {
+            self.complete_client(
+                slot,
+                gen,
+                seq,
+                &protocol::encode_response(&Response::ShuttingDown { id }),
+            );
+        }
+    }
+}
+
+/// Rebuilds a response with a different id (internal → client re-keying).
+/// Floats pass through as parsed `f64`s and re-encode shortest-round-trip,
+/// so every byte except the id is preserved exactly.
+fn with_id(response: Response, id: u64) -> Response {
+    match response {
+        Response::Solve { result, .. } => Response::Solve { id, result },
+        Response::Stats { shards, detail, .. } => Response::Stats { id, shards, detail },
+        Response::Pong { .. } => Response::Pong { id },
+        Response::ShuttingDown { .. } => Response::ShuttingDown { id },
+        Response::Error { message, .. } => Response::Error { id, message },
     }
 }
 
@@ -358,8 +906,17 @@ mod tests {
     fn self_hosted_forwards_the_cache_cap_to_every_shard() {
         let plain = ServeConfig::self_hosted("127.0.0.1:0", 2, None).unwrap();
         assert_eq!(plain.shard_args, vec!["serve", "--internal-shard"]);
+        assert_eq!(plain.window, DEFAULT_WINDOW);
         let capped = ServeConfig::self_hosted("127.0.0.1:0", 2, Some(128)).unwrap();
         assert_eq!(capped.shard_args, vec!["serve", "--internal-shard", "--cache-cap", "128"]);
         assert_eq!(capped.shards, 2);
+    }
+
+    #[test]
+    fn with_id_rekeys_every_response_kind() {
+        let err = with_id(Response::Error { id: 7, message: "x".into() }, 42);
+        assert!(matches!(err, Response::Error { id: 42, .. }));
+        let pong = with_id(Response::Pong { id: 7 }, 42);
+        assert_eq!(pong.id(), 42);
     }
 }

@@ -1,24 +1,49 @@
 //! The shard worker process: one [`Engine`] per process, serving NDJSON
-//! requests over a loopback TCP socket.
+//! requests over a loopback TCP socket through a non-blocking readiness
+//! loop.
 //!
 //! A worker binds an ephemeral `127.0.0.1` port, announces it to the parent
 //! daemon with one [`protocol::encode_hello`] line on stdout, and then
-//! serves connections forever: one thread per connection, all threads
-//! solving through the process's shared [`Engine`] (whose own cache and
-//! retained DP tables are this shard's disjoint slice of the fingerprint
-//! space — the parent only routes a fingerprint here when
-//! `stable_hash() % shards` says so).
+//! multiplexes every connection on a single [`mio_lite::Poll`] loop: frames
+//! are decoded as they arrive (partial frames tolerated), solve requests are
+//! dispatched to a small solver-thread pool sharing the process's [`Engine`]
+//! (whose own cache and retained DP tables are this shard's disjoint slice
+//! of the fingerprint space — the parent only routes a fingerprint here when
+//! `stable_hash() % shards` says so), and responses complete **out of
+//! order** as solves finish.  Each connection releases its responses in
+//! request order through the [`crate::frame::Conn`] sequence window, so a
+//! worker's response stream is a deterministic function of its request
+//! stream regardless of solver-thread timing.
+//!
+//! Control frames (`ping` / `stats` / malformed input) are answered inline
+//! on the event loop; completed solves re-enter it through a
+//! `UnixStream::pair` waker.
 //!
 //! Lifecycle: the worker exits when it receives a `shutdown` frame (sent by
-//! the parent during graceful shutdown) **or** when its stdin reaches EOF —
-//! the parent holds the write end of that pipe, so even a `kill -9`'d parent
-//! takes its orphans down with it.
+//! the parent during graceful shutdown, acknowledged and flushed first)
+//! **or** when its stdin reaches EOF — the parent holds the write end of
+//! that pipe, so even a `kill -9`'d parent takes its orphans down with it.
 
+use crate::frame::{Conn, FrameError};
 use crate::protocol::{self, Request, Response, SolveResult};
 use chain2l_core::{Engine, EngineLimits};
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::Arc;
+use mio_lite::{Events, Interest, Poll, Token};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixStream;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Per-connection inflight window of a worker.  Deliberately generous: the
+/// parent daemon multiplexes many clients onto one link and applies the
+/// per-client backpressure itself; the worker window only bounds worst-case
+/// reorder-buffer memory.
+const WORKER_WINDOW: u64 = 4096;
+
+const LISTENER: Token = Token(0);
+const WAKER: Token = Token(1);
+const CONN_BASE: usize = 2;
 
 /// Computes the response to one request line; never panics, whatever the
 /// line contains.
@@ -40,32 +65,38 @@ pub fn respond(line: &str, engine: &Engine) -> Response {
     }
 }
 
-fn handle_connection(stream: TcpStream, engine: &Engine) {
-    let reader = match stream.try_clone() {
-        Ok(clone) => BufReader::new(clone),
-        Err(_) => return,
-    };
-    let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let line = match line {
-            Ok(line) => line,
-            Err(_) => return,
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = respond(&line, engine);
-        let shutting_down = matches!(response, Response::ShuttingDown { .. });
-        if writeln!(writer, "{}", protocol::encode_response(&response))
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
-            return;
-        }
-        if shutting_down {
-            std::process::exit(0);
-        }
-    }
+/// One solve handed to the pool; `gen` guards against a connection slot
+/// being reused while the solve was in flight.
+struct Job {
+    slot: usize,
+    gen: u64,
+    seq: u64,
+    line: String,
+}
+
+/// One finished solve travelling back to the event loop.
+struct Done {
+    slot: usize,
+    gen: u64,
+    seq: u64,
+    line: String,
+}
+
+#[derive(Default)]
+struct PoolQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+}
+
+/// Number of solver threads: enough to keep pipelined requests from
+/// serialising, bounded so the per-solve rayon pools are not oversubscribed.
+fn solver_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(1)
+}
+
+struct ConnSlot {
+    conn: Conn,
+    gen: u64,
 }
 
 /// Runs an unbounded shard worker until shutdown (see [`run_shard_with`]).
@@ -80,6 +111,7 @@ pub fn run_shard() -> std::io::Result<()> {
 /// shard's solution cache and retained DP tables.
 pub fn run_shard_with(limits: EngineLimits) -> std::io::Result<()> {
     let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    listener.set_nonblocking(true)?;
     let port = listener.local_addr()?.port();
     {
         let mut out = std::io::stdout().lock();
@@ -99,16 +131,216 @@ pub fn run_shard_with(limits: EngineLimits) -> std::io::Result<()> {
             }
         }
     });
+
     let engine = Arc::new(Engine::with_limits(limits));
-    for stream in listener.incoming() {
-        let stream = match stream {
-            Ok(stream) => stream,
-            Err(_) => continue,
-        };
+    let queue = Arc::new(PoolQueue::default());
+    let done: Arc<Mutex<Vec<Done>>> = Arc::new(Mutex::new(Vec::new()));
+    let (wake_rx, wake_tx) = UnixStream::pair()?;
+    wake_rx.set_nonblocking(true)?;
+    wake_tx.set_nonblocking(true)?;
+    for _ in 0..solver_threads() {
         let engine = Arc::clone(&engine);
-        std::thread::spawn(move || handle_connection(stream, &engine));
+        let queue = Arc::clone(&queue);
+        let done = Arc::clone(&done);
+        let wake = wake_tx.try_clone()?;
+        std::thread::spawn(move || solver_loop(&engine, &queue, &done, &wake));
     }
-    Ok(())
+
+    let mut poll = Poll::new()?;
+    let mut events = Events::with_capacity(64);
+    poll.register(&listener, LISTENER, Interest::READABLE)?;
+    poll.register(&wake_rx, WAKER, Interest::READABLE)?;
+
+    let mut slots: Vec<Option<ConnSlot>> = Vec::new();
+    let mut next_gen: u64 = 0;
+    // Set once a shutdown response is queued: (slot, gen) to flush, then exit.
+    let mut shutting_down: Option<(usize, u64)> = None;
+
+    loop {
+        // Recompute every connection's interest from its window and buffer
+        // state (level-triggered readiness: interest *is* the loop's
+        // backpressure valve).
+        for (index, slot) in slots.iter().enumerate() {
+            if let Some(slot) = slot {
+                let mut interest = Interest::NONE; // closure is always observed
+                if slot.conn.wants_read(WORKER_WINDOW) {
+                    interest = interest | Interest::READABLE;
+                }
+                if slot.conn.wants_write() {
+                    interest = interest | Interest::WRITABLE;
+                }
+                poll.reregister(&slot.conn.stream, Token(CONN_BASE + index), interest)?;
+            }
+        }
+        poll.poll(&mut events, Some(Duration::from_millis(500)))?;
+        let fired: Vec<(Token, bool, bool)> =
+            events.iter().map(|e| (e.token(), e.is_readable(), e.is_writable())).collect();
+        for (token, readable, writable) in fired {
+            match token {
+                LISTENER => accept_new(&listener, &mut poll, &mut slots, &mut next_gen)?,
+                WAKER => {
+                    drain_waker(&wake_rx);
+                    let finished: Vec<Done> = std::mem::take(&mut *done.lock().expect("done"));
+                    for item in finished {
+                        if let Some(slot) = slots.get_mut(item.slot).and_then(Option::as_mut) {
+                            if slot.gen == item.gen {
+                                slot.conn.complete(item.seq, &item.line);
+                                // Window space freed: decoded frames may now
+                                // be admissible again.
+                                pump(slot, item.slot, &engine, &queue, &mut shutting_down);
+                            }
+                        }
+                    }
+                }
+                Token(t) if t >= CONN_BASE => {
+                    let index = t - CONN_BASE;
+                    let mut dead = false;
+                    if let Some(slot) = slots.get_mut(index).and_then(Option::as_mut) {
+                        if readable {
+                            dead = slot.conn.fill().is_err();
+                        }
+                        if !dead {
+                            pump(slot, index, &engine, &queue, &mut shutting_down);
+                        }
+                        if !dead && writable {
+                            dead = slot.conn.flush_out().is_err();
+                        }
+                    }
+                    if dead {
+                        close_slot(&mut poll, &mut slots, index);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Opportunistic flush (completions queue bytes outside write events)
+        // and closure of fully-drained connections.
+        for index in 0..slots.len() {
+            let mut drop_it = false;
+            if let Some(slot) = slots.get_mut(index).and_then(Option::as_mut) {
+                let failed = slot.conn.wants_write() && slot.conn.flush_out().is_err();
+                let drained = slot.conn.read_closed
+                    && slot.conn.inflight() == 0
+                    && !slot.conn.wants_write()
+                    && slot.conn.decoder.buffered() == 0;
+                drop_it = failed || drained;
+            }
+            if drop_it {
+                close_slot(&mut poll, &mut slots, index);
+            }
+        }
+        if let Some((index, gen)) = shutting_down {
+            let flushed = match slots.get(index).and_then(Option::as_ref) {
+                Some(slot) => slot.gen != gen || !slot.conn.wants_write(),
+                None => true, // the requester vanished; nothing left to flush
+            };
+            if flushed {
+                std::process::exit(0);
+            }
+        }
+    }
+}
+
+fn accept_new(
+    listener: &TcpListener,
+    poll: &mut Poll,
+    slots: &mut Vec<Option<ConnSlot>>,
+    next_gen: &mut u64,
+) -> std::io::Result<()> {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn = match Conn::new(stream) {
+                    Ok(conn) => conn,
+                    Err(_) => continue,
+                };
+                *next_gen += 1;
+                let slot = ConnSlot { conn, gen: *next_gen };
+                let index = slots.iter().position(Option::is_none).unwrap_or_else(|| {
+                    slots.push(None);
+                    slots.len() - 1
+                });
+                poll.register(&slot.conn.stream, Token(CONN_BASE + index), Interest::READABLE)?;
+                slots[index] = Some(slot);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Ok(()),
+        }
+    }
+}
+
+fn close_slot(poll: &mut Poll, slots: &mut [Option<ConnSlot>], index: usize) {
+    if let Some(slot) = slots.get_mut(index).and_then(Option::take) {
+        let _ = poll.deregister(&slot.conn.stream);
+    }
+}
+
+/// Admits decoded frames while the window has room: solves go to the pool,
+/// everything else is answered inline (still through the sequence window, so
+/// interleaved control frames cannot reorder a connection's stream).
+fn pump(
+    slot: &mut ConnSlot,
+    index: usize,
+    engine: &Engine,
+    queue: &PoolQueue,
+    shutting_down: &mut Option<(usize, u64)>,
+) {
+    while slot.conn.inflight() < WORKER_WINDOW {
+        let frame = match slot.conn.decoder.next_frame() {
+            Some(frame) => frame,
+            None => break,
+        };
+        let seq = slot.conn.accept_seq();
+        match frame {
+            Err(err) => {
+                let response = Response::Error { id: 0, message: frame_error_message(&err) };
+                slot.conn.complete(seq, &protocol::encode_response(&response));
+            }
+            Ok(line) => {
+                if matches!(protocol::parse_request(&line), Ok(Request::Solve { .. })) {
+                    let job = Job { slot: index, gen: slot.gen, seq, line };
+                    queue.jobs.lock().expect("jobs").push_back(job);
+                    queue.ready.notify_one();
+                } else {
+                    let response = respond(&line, engine);
+                    if matches!(response, Response::ShuttingDown { .. }) {
+                        *shutting_down = Some((index, slot.gen));
+                    }
+                    slot.conn.complete(seq, &protocol::encode_response(&response));
+                }
+            }
+        }
+    }
+}
+
+pub(crate) fn frame_error_message(err: &FrameError) -> String {
+    format!("unreadable frame: {err}")
+}
+
+fn solver_loop(engine: &Engine, queue: &PoolQueue, done: &Mutex<Vec<Done>>, wake: &UnixStream) {
+    loop {
+        let job = {
+            let mut jobs = queue.jobs.lock().expect("jobs");
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break job;
+                }
+                jobs = queue.ready.wait(jobs).expect("jobs");
+            }
+        };
+        let line = protocol::encode_response(&respond(&job.line, engine));
+        done.lock().expect("done").push(Done { slot: job.slot, gen: job.gen, seq: job.seq, line });
+        // A full wake pipe is fine: the loop drains the queue on any byte.
+        let mut tx = wake;
+        let _ = tx.write(&[1]);
+    }
+}
+
+fn drain_waker(wake_rx: &UnixStream) {
+    let mut sink = [0u8; 256];
+    let mut rx = wake_rx;
+    while matches!(rx.read(&mut sink), Ok(n) if n > 0) {}
 }
 
 #[cfg(test)]

@@ -1,26 +1,35 @@
 //! End-to-end daemon tests with real shard worker *processes*: concurrent
 //! clients receive byte-identical, bit-exact answers at every shard count,
-//! malformed input never takes the daemon down, and graceful shutdown
-//! reports per-shard statistics.
+//! a shard worker killed mid-stream is respawned with its inflight requests
+//! replayed (same byte stream as an undisturbed run), malformed input never
+//! takes the daemon down, and graceful shutdown reports per-shard
+//! statistics.
 
 use chain2l_core::Engine;
-use chain2l_service::protocol::{self, SolveResult, SolveSpec};
+use chain2l_service::protocol::{self, Request, SolveResult, SolveSpec};
 use chain2l_service::{client, ServeConfig, ServeSummary, Server};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
+use std::process::Command;
 use std::thread::JoinHandle;
 
-fn start_server(shards: usize) -> (SocketAddr, JoinHandle<ServeSummary>) {
-    let config = ServeConfig {
-        addr: "127.0.0.1:0".to_string(),
+fn start_server_with_pids(shards: usize) -> (SocketAddr, Vec<u32>, JoinHandle<ServeSummary>) {
+    let config = ServeConfig::new(
+        "127.0.0.1:0",
         shards,
-        shard_program: PathBuf::from(env!("CARGO_BIN_EXE_chain2l-shard")),
-        shard_args: Vec::new(),
-    };
+        PathBuf::from(env!("CARGO_BIN_EXE_chain2l-shard")),
+        Vec::new(),
+    );
     let server = Server::bind(&config).expect("daemon binds");
     let addr = server.local_addr();
+    let pids = server.shard_pids();
     let handle = std::thread::spawn(move || server.run().expect("daemon runs"));
+    (addr, pids, handle)
+}
+
+fn start_server(shards: usize) -> (SocketAddr, JoinHandle<ServeSummary>) {
+    let (addr, _pids, handle) = start_server_with_pids(shards);
     (addr, handle)
 }
 
@@ -119,6 +128,80 @@ fn concurrent_clients_get_bit_identical_answers_at_every_shard_count() {
             .sum();
         assert_eq!(total_misses, 6, "8 requests, 2 duplicates: {:?}", summary.per_shard);
     }
+}
+
+/// Pipelines `payload` over one raw connection, reads exactly `responses`
+/// NDJSON lines and returns the raw response byte stream.  `kill_after_first`
+/// SIGKILLs that pid right after the first response arrives, so the
+/// remaining requests are guaranteed to be mid-stream when the worker dies.
+fn raw_batch(
+    addr: &str,
+    payload: &str,
+    responses: usize,
+    kill_after_first: Option<u32>,
+) -> Vec<u8> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    writer.write_all(payload.as_bytes()).expect("pipeline requests");
+    writer.flush().expect("flush");
+    let mut reader = BufReader::new(stream);
+    let mut bytes = Vec::new();
+    for index in 0..responses {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "daemon closed the connection after {index} of {responses} responses");
+        bytes.extend_from_slice(line.as_bytes());
+        if index == 0 {
+            if let Some(pid) = kill_after_first {
+                let status =
+                    Command::new("kill").args(["-9", &pid.to_string()]).status().expect("run kill");
+                assert!(status.success(), "kill -9 {pid} failed");
+            }
+        }
+    }
+    bytes
+}
+
+#[test]
+fn killing_a_shard_mid_stream_leaves_the_byte_stream_identical() {
+    // A batch large enough that ~all of it is still inflight when the first
+    // response arrives (the whole payload is pipelined up front and the
+    // default window is far larger than the batch).
+    let specs: Vec<SolveSpec> = request_set().into_iter().cycle().take(32).collect();
+    let payload: String = specs
+        .iter()
+        .enumerate()
+        .map(|(id, spec)| {
+            format!(
+                "{}\n",
+                protocol::encode_request(&Request::Solve { id: id as u64, spec: spec.clone() })
+            )
+        })
+        .collect();
+
+    // Undisturbed reference run.
+    let (addr, handle) = start_server(2);
+    let undisturbed = raw_batch(&addr.to_string(), &payload, specs.len(), None);
+    client::shutdown(&addr.to_string()).expect("shutdown");
+    let summary = handle.join().expect("server thread");
+    assert_eq!(summary.respawns, 0, "no worker should die in the reference run");
+
+    // Same batch, but one shard worker is SIGKILLed right after the first
+    // response: the parent must respawn it, replay its inflight requests and
+    // deliver the exact same byte stream (ordered release + deterministic
+    // solves + bit-exact float round-trips).
+    let (addr, pids, handle) = start_server_with_pids(2);
+    assert_eq!(pids.len(), 2);
+    let disturbed = raw_batch(&addr.to_string(), &payload, specs.len(), Some(pids[0]));
+    client::shutdown(&addr.to_string()).expect("shutdown");
+    let summary = handle.join().expect("server thread");
+    assert!(summary.respawns >= 1, "the killed worker must have been respawned");
+    assert_eq!(
+        String::from_utf8_lossy(&disturbed),
+        String::from_utf8_lossy(&undisturbed),
+        "byte stream changed across a worker kill + respawn"
+    );
+    assert_eq!(disturbed, undisturbed);
 }
 
 #[test]

@@ -1,0 +1,175 @@
+//! Property tests of the incremental NDJSON frame decoder: frames split at
+//! arbitrary byte boundaries and interleaved across many connections decode
+//! identically to whole frames, and a malformed frame is a per-frame error
+//! that poisons neither the rest of its connection nor any other.
+
+use chain2l_service::frame::{FrameDecoder, FrameError, MAX_FRAME};
+use proptest::prelude::*;
+
+/// Frame payloads without the newline terminator: ASCII, unicode, JSON
+/// lookalikes, blank-ish lines and `\r` endings (the decoder strips `\r`
+/// and skips blank lines, so both sides of the comparison see them the
+/// same way).
+fn frame_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        Just("{\"v\":1,\"id\":7,\"op\":\"ping\"}".to_string()),
+        Just("plain text, not json".to_string()),
+        Just("trailing carriage return\r".to_string()),
+        Just("ünïcode 🧠 frame".to_string()),
+        proptest::collection::vec(0u32..0xD7FF, 0..24).prop_map(|codes| {
+            codes.into_iter().filter_map(char::from_u32).filter(|&c| c != '\n').collect()
+        }),
+    ]
+}
+
+/// Decodes a byte stream in one push and collects every frame outcome.
+fn decode_whole(bytes: &[u8]) -> Vec<Result<String, String>> {
+    let mut decoder = FrameDecoder::new();
+    decoder.push(bytes);
+    let mut frames = Vec::new();
+    while let Some(frame) = decoder.next_frame() {
+        frames.push(frame.map_err(|e| e.to_string()));
+    }
+    frames
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(256))]
+
+    /// Many connections, each with its own decoder, fed in arbitrarily
+    /// small chunks in an arbitrary interleaving: every connection decodes
+    /// exactly what a single whole-stream push would have decoded, and
+    /// frames may be drained at any point mid-stream without changing the
+    /// outcome.
+    #[test]
+    fn interleaved_split_frames_decode_identically_to_whole_frames(
+        streams in proptest::collection::vec(
+            proptest::collection::vec(frame_line(), 0..8),
+            1..6,
+        ),
+        cuts in proptest::collection::vec(1usize..16, 1..64),
+        order_seed in proptest::collection::vec(0usize..6, 1..96),
+    ) {
+        // Render each connection's byte stream and split it into chunks.
+        let bytes: Vec<Vec<u8>> = streams
+            .iter()
+            .map(|lines| {
+                lines.iter().flat_map(|l| l.bytes().chain(std::iter::once(b'\n'))).collect()
+            })
+            .collect();
+        let mut chunks: Vec<Vec<Vec<u8>>> = Vec::new();
+        let mut cut_iter = cuts.iter().cycle();
+        for stream in &bytes {
+            let mut rest: &[u8] = stream;
+            let mut parts = Vec::new();
+            while !rest.is_empty() {
+                let take = (*cut_iter.next().unwrap()).min(rest.len());
+                parts.push(rest[..take].to_vec());
+                rest = &rest[take..];
+            }
+            chunks.push(parts);
+        }
+
+        // Feed the chunks interleaved across connections (the seed picks
+        // which connection advances next), draining frames as they appear.
+        let mut decoders: Vec<FrameDecoder> = bytes.iter().map(|_| FrameDecoder::new()).collect();
+        let mut decoded: Vec<Vec<Result<String, String>>> = bytes.iter().map(|_| Vec::new()).collect();
+        let mut next_chunk: Vec<usize> = bytes.iter().map(|_| 0).collect();
+        let mut seed_iter = order_seed.iter().cycle();
+        while next_chunk.iter().zip(&chunks).any(|(&n, c)| n < c.len()) {
+            let pick = *seed_iter.next().unwrap() % bytes.len();
+            // Advance the picked connection, or the next one with data left.
+            let index = (0..bytes.len())
+                .map(|offset| (pick + offset) % bytes.len())
+                .find(|&i| next_chunk[i] < chunks[i].len())
+                .unwrap();
+            decoders[index].push(&chunks[index][next_chunk[index]]);
+            next_chunk[index] += 1;
+            while let Some(frame) = decoders[index].next_frame() {
+                decoded[index].push(frame.map_err(|e| e.to_string()));
+            }
+        }
+
+        for (index, stream) in bytes.iter().enumerate() {
+            prop_assert_eq!(
+                &decoded[index],
+                &decode_whole(stream),
+                "connection {} decoded differently when split/interleaved",
+                index
+            );
+        }
+    }
+
+    /// A malformed frame (non-UTF-8 or oversize) is reported as an error on
+    /// its own connection only; the same connection resynchronizes at the
+    /// next newline and every other connection is untouched.
+    #[test]
+    fn malformed_frames_poison_only_their_own_frame_and_connection(
+        before in frame_line(),
+        after in frame_line(),
+        clean in proptest::collection::vec(frame_line(), 1..6),
+        oversize in prop_oneof![Just(true), Just(false)],
+    ) {
+        let mut poisoned = Vec::new();
+        poisoned.extend_from_slice(before.as_bytes());
+        poisoned.push(b'\n');
+        if oversize {
+            poisoned.extend(std::iter::repeat_n(b'x', MAX_FRAME + 1));
+        } else {
+            poisoned.extend_from_slice(&[0xFF, 0xFE, 0x80]);
+        }
+        poisoned.push(b'\n');
+        poisoned.extend_from_slice(after.as_bytes());
+        poisoned.push(b'\n');
+
+        let mut dirty = FrameDecoder::new();
+        let mut clean_decoder = FrameDecoder::new();
+        // Interleave byte-by-byte pushes across the two connections.
+        let clean_bytes: Vec<u8> =
+            clean.iter().flat_map(|l| l.bytes().chain(std::iter::once(b'\n'))).collect();
+        let longest = poisoned.len().max(clean_bytes.len());
+        for i in 0..longest {
+            if let Some(&b) = poisoned.get(i) {
+                dirty.push(&[b]);
+            }
+            if let Some(&b) = clean_bytes.get(i) {
+                clean_decoder.push(&[b]);
+            }
+        }
+
+        let mut dirty_frames = Vec::new();
+        while let Some(frame) = dirty.next_frame() {
+            dirty_frames.push(frame);
+        }
+        // Before/after lines that are blank (or bare "\r") are skipped by
+        // the decoder, so locate the error among the survivors.
+        let errors: Vec<&FrameError> =
+            dirty_frames.iter().filter_map(|f| f.as_ref().err()).collect();
+        prop_assert_eq!(errors.len(), 1, "exactly one malformed frame: {:?}", dirty_frames);
+        match errors[0] {
+            FrameError::Oversize => prop_assert!(oversize),
+            FrameError::NotUtf8 => prop_assert!(!oversize),
+        }
+        let expected_ok: Vec<String> = [before.as_str(), after.as_str()]
+            .iter()
+            .map(|l| l.trim_end_matches('\r'))
+            .filter(|l| !l.is_empty())
+            .map(|l| l.to_string())
+            .collect();
+        let got_ok: Vec<String> =
+            dirty_frames.iter().filter_map(|f| f.as_ref().ok().cloned()).collect();
+        prop_assert_eq!(got_ok, expected_ok, "good frames around the bad one must survive");
+
+        let mut clean_frames = Vec::new();
+        while let Some(frame) = clean_decoder.next_frame() {
+            clean_frames.push(frame.map_err(|e| e.to_string()));
+        }
+        prop_assert_eq!(
+            clean_frames,
+            decode_whole(&clean_bytes),
+            "the other connection must be unaffected"
+        );
+        prop_assert!(clean_frames.iter().all(|f| f.is_ok()));
+    }
+}

@@ -1,0 +1,338 @@
+//! Offline stand-in for the readiness-polling core of `mio`.
+//!
+//! Implements the subset the workspace's event loops use — [`Poll`],
+//! [`Events`], [`Token`] and [`Interest`] — on top of the `poll(2)` system
+//! call, driving plain `std::net` sockets switched to non-blocking mode
+//! (anything `AsRawFd`).  Differences from real `mio`, chosen to keep the
+//! stub small and dependency-free:
+//!
+//! * registration methods live directly on [`Poll`] (no separate
+//!   `Registry`), and sources are taken by shared reference — the stub only
+//!   reads the raw fd, it never takes ownership of the socket;
+//! * readiness is **level-triggered**: an event keeps firing while the
+//!   condition holds, so callers toggle [`Interest`] with
+//!   [`Poll::reregister`] instead of relying on edge semantics (the same
+//!   discipline real `mio` recommends for writable interest);
+//! * there are no wrapper net types and no `Waker` — callers register the
+//!   readable end of a `UnixStream::pair` when a cross-thread wakeup is
+//!   needed.
+//!
+//! The one `unsafe` block in the workspace lives here: the FFI declaration
+//! and invocation of `poll(2)`.  It is sound because the `pollfd` array is
+//! exclusively owned for the duration of the call and `nfds` never exceeds
+//! its length.  Everything above this crate stays `#![forbid(unsafe_code)]`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+/// Caller-chosen identifier echoed in every [`Event`] for the registered
+/// source that became ready.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// Which readiness conditions a registration asks to be woken for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Wake when the source has bytes to read (or reached EOF / was reset —
+    /// closure is always reported, like `POLLHUP`).
+    pub const READABLE: Interest = Interest(0b01);
+    /// Wake when the source can accept more bytes without blocking.
+    pub const WRITABLE: Interest = Interest(0b10);
+    /// Wake only for errors and peer closure (`POLLERR` / `POLLHUP` are
+    /// always reported by `poll(2)`).  A stub extension real `mio` lacks:
+    /// level-triggered loops park backpressured connections here so a full
+    /// inflight window does not spin on permanently-ready sockets.
+    pub const NONE: Interest = Interest(0);
+
+    /// Combines two interests (`READABLE.add(WRITABLE)` waits for either).
+    #[must_use]
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Whether this interest includes readability.
+    pub const fn is_readable(self) -> bool {
+        self.0 & Self::READABLE.0 != 0
+    }
+
+    /// Whether this interest includes writability.
+    pub const fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE.0 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// One readiness notification returned by [`Poll::poll`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    readable: bool,
+    writable: bool,
+    error: bool,
+    closed: bool,
+}
+
+impl Event {
+    /// The token the ready source was registered with.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// The source has bytes to read, or read-closure to observe.
+    pub fn is_readable(&self) -> bool {
+        self.readable || self.closed || self.error
+    }
+
+    /// The source can accept bytes without blocking.
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+
+    /// The source is in an error state (`POLLERR` / `POLLNVAL`); a
+    /// subsequent read or write reports the concrete `io::Error`.
+    pub fn is_error(&self) -> bool {
+        self.error
+    }
+
+    /// The peer closed the connection (`POLLHUP`).
+    pub fn is_read_closed(&self) -> bool {
+        self.closed
+    }
+}
+
+/// Buffer of [`Event`]s filled by [`Poll::poll`], reused across calls.
+#[derive(Debug, Default)]
+pub struct Events {
+    inner: Vec<Event>,
+}
+
+impl Events {
+    /// An empty event buffer (`capacity` is advisory; the stub returns every
+    /// ready source regardless).
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events { inner: Vec::with_capacity(capacity) }
+    }
+
+    /// Iterates over the events of the last [`Poll::poll`] call.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.inner.iter()
+    }
+
+    /// Whether the last poll returned no events (i.e. it timed out).
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+/// `struct pollfd` from `<poll.h>` (identical layout on every Linux ABI the
+/// workspace targets).
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+const POLLNVAL: i16 = 0x020;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: std::os::raw::c_ulong, timeout: std::os::raw::c_int) -> i32;
+}
+
+/// The readiness selector: a registry of `(fd, token, interest)` plus
+/// [`Poll::poll`], which blocks until at least one registered source is
+/// ready or the timeout elapses.
+#[derive(Debug, Default)]
+pub struct Poll {
+    registry: Vec<(RawFd, Token, Interest)>,
+}
+
+impl Poll {
+    /// A selector with an empty registry.
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll::default())
+    }
+
+    /// Registers `source` under `token`.  The source must already be in
+    /// non-blocking mode; registering an fd twice is an error
+    /// (use [`Poll::reregister`]).
+    pub fn register(
+        &mut self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        if self.registry.iter().any(|(f, _, _)| *f == fd) {
+            return Err(io::Error::new(io::ErrorKind::AlreadyExists, "fd already registered"));
+        }
+        self.registry.push((fd, token, interest));
+        Ok(())
+    }
+
+    /// Updates the token and interest of an already-registered source.
+    pub fn reregister(
+        &mut self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        for entry in &mut self.registry {
+            if entry.0 == fd {
+                entry.1 = token;
+                entry.2 = interest;
+                return Ok(());
+            }
+        }
+        Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+    }
+
+    /// Removes a source from the registry (a no-op if it was never
+    /// registered, matching how event loops tear down half-closed sockets).
+    pub fn deregister(&mut self, source: &impl AsRawFd) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        self.registry.retain(|(f, _, _)| *f != fd);
+        Ok(())
+    }
+
+    /// Blocks until a registered source is ready or `timeout` elapses
+    /// (`None` waits indefinitely), then fills `events` with every ready
+    /// source.  `EINTR` is retried transparently.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.inner.clear();
+        let mut fds: Vec<PollFd> = self
+            .registry
+            .iter()
+            .map(|(fd, _, interest)| PollFd {
+                fd: *fd,
+                events: if interest.is_readable() { POLLIN } else { 0 }
+                    | if interest.is_writable() { POLLOUT } else { 0 },
+                revents: 0,
+            })
+            .collect();
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(t) => t.as_millis().min(i32::MAX as u128) as i32,
+        };
+        loop {
+            // SAFETY: `fds` is exclusively borrowed for the duration of the
+            // call and `nfds` equals its length, so the kernel writes only
+            // inside the allocation.
+            let rc =
+                unsafe { poll(fds.as_mut_ptr(), fds.len() as std::os::raw::c_ulong, timeout_ms) };
+            if rc >= 0 {
+                break;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+        for (pollfd, (_, token, _)) in fds.iter().zip(&self.registry) {
+            let r = pollfd.revents;
+            if r == 0 {
+                continue;
+            }
+            events.inner.push(Event {
+                token: *token,
+                readable: r & POLLIN != 0,
+                writable: r & POLLOUT != 0,
+                error: r & (POLLERR | POLLNVAL) != 0,
+                closed: r & POLLHUP != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn interest_combines_and_queries() {
+        let both = Interest::READABLE | Interest::WRITABLE;
+        assert!(both.is_readable() && both.is_writable());
+        assert!(!Interest::READABLE.is_writable());
+        assert!(!Interest::WRITABLE.is_readable());
+    }
+
+    #[test]
+    fn readiness_fires_for_accept_read_and_write() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.register(&listener, Token(0), Interest::READABLE).unwrap();
+
+        // No client yet: the poll times out with no events.
+        poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty());
+
+        // A connecting client makes the listener readable.
+        let mut client = TcpStream::connect(addr).unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token() == Token(0) && e.is_readable()));
+        let (mut accepted, _) = listener.accept().unwrap();
+        accepted.set_nonblocking(true).unwrap();
+
+        // A fresh socket is writable; after the peer sends, it is readable.
+        poll.register(&accepted, Token(1), Interest::READABLE | Interest::WRITABLE).unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token() == Token(1) && e.is_writable()));
+        client.write_all(b"ping\n").unwrap();
+        client.flush().unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token() == Token(1) && e.is_readable()));
+        let mut buf = [0u8; 16];
+        assert_eq!(accepted.read(&mut buf).unwrap(), 5);
+
+        // Peer closure is reported as readable (EOF) on the next poll.
+        drop(client);
+        poll.reregister(&accepted, Token(1), Interest::READABLE).unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token() == Token(1) && e.is_readable()));
+        assert_eq!(accepted.read(&mut buf).unwrap(), 0, "EOF after peer close");
+        poll.deregister(&accepted).unwrap();
+    }
+
+    #[test]
+    fn double_registration_is_rejected_and_deregister_is_idempotent() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut poll = Poll::new().unwrap();
+        poll.register(&listener, Token(0), Interest::READABLE).unwrap();
+        assert!(poll.register(&listener, Token(1), Interest::READABLE).is_err());
+        poll.deregister(&listener).unwrap();
+        poll.deregister(&listener).unwrap();
+        assert!(poll.reregister(&listener, Token(0), Interest::READABLE).is_err());
+    }
+}
