@@ -3,6 +3,8 @@
 //! variants, and the effect of the partial-verification machinery on DP
 //! runtime.
 
+#![forbid(unsafe_code)]
+
 use chain2l_core::{optimize, Algorithm};
 use chain2l_model::platform::scr;
 use chain2l_model::{Scenario, WeightPattern};

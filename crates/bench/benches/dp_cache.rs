@@ -6,6 +6,8 @@
 //! lookup only).  The gap is the wall-clock the figure panels and sweeps
 //! save on every repeated `(scenario, algorithm)` cell.
 
+#![forbid(unsafe_code)]
+
 use chain2l_core::cache::SolutionCache;
 use chain2l_core::Algorithm;
 use chain2l_model::platform::scr;

@@ -4,6 +4,8 @@
 //! algorithm "executes within a few seconds for n = 50 tasks": the `admv/50`
 //! measurement is that exact configuration.
 
+#![forbid(unsafe_code)]
+
 use chain2l_core::{optimize, Algorithm};
 use chain2l_model::platform::scr;
 use chain2l_model::{Scenario, WeightPattern};

@@ -1,6 +1,8 @@
 //! Throughput of the analytical schedule evaluator and of the exhaustive
 //! brute-force optimizer (the ground truth used by the property tests).
 
+#![forbid(unsafe_code)]
+
 use chain2l_core::brute_force::{optimize_brute_force, BruteForceSpace};
 use chain2l_core::evaluator::expected_makespan;
 use chain2l_core::{optimize, Algorithm, PartialCostModel};

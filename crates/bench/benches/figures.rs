@@ -2,6 +2,8 @@
 //! `(platform, pattern, n, algorithm)` cell of the §IV evaluation takes,
 //! and the full quick Figure-5 sweep.
 
+#![forbid(unsafe_code)]
+
 use chain2l_analysis::experiments::{fig5, run_cell, ExperimentConfig, PAPER_TOTAL_WEIGHT};
 use chain2l_analysis::Engine;
 use chain2l_core::Algorithm;

@@ -1,6 +1,8 @@
 //! Throughput of the Monte-Carlo simulator: single runs and full replication
 //! campaigns (single-threaded and multi-threaded).
 
+#![forbid(unsafe_code)]
+
 use chain2l_core::{optimize, Algorithm};
 use chain2l_model::platform::scr;
 use chain2l_model::{Scenario, WeightPattern};

@@ -21,6 +21,8 @@
 //! noisy, and like `BENCH_wall.json` the baseline is **per hardware class**
 //! (re-seed with `--print-baseline` when the fleet changes).
 
+#![forbid(unsafe_code)]
+
 use chain2l_service::loadgen::{self, LoadConfig};
 use std::collections::HashMap;
 

@@ -59,6 +59,7 @@ static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 struct CountingAllocator;
 
 // SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic.
+// lint: allow-file(unsafe-code: GlobalAlloc has an unsafe-only interface; this counting shim delegates verbatim to System and is bench instrumentation, not product code)
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);

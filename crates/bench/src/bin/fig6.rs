@@ -4,6 +4,8 @@
 //!
 //! Usage: `cargo run --release -p chain2l-bench --bin fig6 [n]`
 
+#![forbid(unsafe_code)]
+
 use chain2l_analysis::experiments::{fig6, PAPER_TOTAL_WEIGHT};
 use chain2l_analysis::Engine;
 use chain2l_bench::write_result_file;

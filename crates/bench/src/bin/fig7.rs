@@ -4,6 +4,8 @@
 //!
 //! Usage: `cargo run --release -p chain2l-bench --bin fig7 [--quick|--coarse|--paper]`
 
+#![forbid(unsafe_code)]
+
 use chain2l_analysis::experiments::fig7;
 use chain2l_analysis::Engine;
 use chain2l_bench::{config_from_args, write_result_file};

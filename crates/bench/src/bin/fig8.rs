@@ -3,6 +3,8 @@
 //!
 //! Usage: `cargo run --release -p chain2l-bench --bin fig8 [--quick|--coarse|--paper]`
 
+#![forbid(unsafe_code)]
+
 use chain2l_analysis::experiments::fig8;
 use chain2l_analysis::Engine;
 use chain2l_bench::{config_from_args, write_result_file};

@@ -21,6 +21,8 @@
 //! artifact's configuration, so the default of 1 preserves historical
 //! output byte-for-byte).
 
+#![forbid(unsafe_code)]
+
 use chain2l_analysis::experiments::PAPER_TOTAL_WEIGHT;
 use chain2l_analysis::sweep::{self, GridSpec};
 use chain2l_analysis::Engine;

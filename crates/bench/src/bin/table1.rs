@@ -4,6 +4,8 @@
 //!
 //! Usage: `cargo run -p chain2l-bench --bin table1`
 
+#![forbid(unsafe_code)]
+
 use chain2l_analysis::experiments::table1;
 use chain2l_bench::write_result_file;
 

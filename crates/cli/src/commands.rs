@@ -529,8 +529,27 @@ pub fn run_batch_remote(input: &str, addr: &str) -> Result<String, ArgError> {
 fn cmd_serve(args: &ParsedArgs) -> Result<String, ArgError> {
     let cache_cap = match args.options.get("cache-cap") {
         None => None,
-        Some(_) => Some(args.usize_or("cache-cap", 0)?),
+        Some(_) => {
+            let cap = args.usize_or("cache-cap", 0)?;
+            if cap == 0 {
+                return Err(ArgError::InvalidValue {
+                    option: "cache-cap".into(),
+                    value: "0".into(),
+                    expected: "a positive entry cap (omit the option for unbounded)".into(),
+                });
+            }
+            Some(cap)
+        }
     };
+    let window = args.u64_or("window", chain2l_service::server::DEFAULT_WINDOW)?;
+    if window == 0 {
+        return Err(ArgError::InvalidValue {
+            option: "window".into(),
+            value: "0".into(),
+            expected: "a positive inflight window (a zero window would never read a request)"
+                .into(),
+        });
+    }
     if args.flag("internal-shard") {
         let limits = cache_cap.map(EngineLimits::entry_cap).unwrap_or_default();
         chain2l_service::shard::run_shard_with(limits)
@@ -563,7 +582,7 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, ArgError> {
     }
     let mut config = ServeConfig::self_hosted(addr, shards, cache_cap)
         .map_err(|e| ArgError::runtime("resolving the shard worker command", e))?;
-    config.window = args.u64_or("window", chain2l_service::server::DEFAULT_WINDOW)?.max(1);
+    config.window = window;
     let server =
         Server::bind(&config).map_err(|e| ArgError::runtime(&format!("binding {addr}"), e))?;
     eprintln!(
@@ -1202,6 +1221,38 @@ hera uniform 8
         let err = run_tokens(&["serve", "--cache-cap", "lots"]).unwrap_err();
         assert!(matches!(&err, ArgError::InvalidValue { option, .. } if option == "cache-cap"));
         assert!(err.is_usage());
+    }
+
+    #[test]
+    fn serve_rejects_zero_window_and_zero_cache_cap() {
+        // A zero window would deadlock every connection (nothing is ever
+        // read) and a zero cache cap would evict each solution as it is
+        // inserted: both are usage errors (exit code 2) before the daemon
+        // binds, not silent clamps.
+        let err = run_tokens(&["serve", "--window", "0"]).unwrap_err();
+        assert!(matches!(&err, ArgError::InvalidValue { option, value, .. }
+            if option == "window" && value == "0"));
+        assert!(err.is_usage());
+
+        let err = run_tokens(&["serve", "--cache-cap", "0"]).unwrap_err();
+        assert!(matches!(&err, ArgError::InvalidValue { option, value, .. }
+            if option == "cache-cap" && value == "0"));
+        assert!(err.is_usage());
+
+        // The same validation covers the worker half: an internal shard
+        // with a zero cap must fail identically.
+        let err = run_tokens(&["serve", "--internal-shard", "--cache-cap", "0"]).unwrap_err();
+        assert!(err.is_usage());
+
+        // Boundary: one is the smallest legal value.  Validation runs
+        // before the `--stats` control op, so this exercises the window
+        // parse without binding a daemon; only the socket then fails.
+        let err = run_tokens(&["serve", "--stats", "--window", "1", "--addr", "127.0.0.1:1"])
+            .unwrap_err();
+        assert!(!err.is_usage(), "window=1 must parse; only the socket may fail");
+        let err = run_tokens(&["serve", "--stats", "--window", "0", "--addr", "127.0.0.1:1"])
+            .unwrap_err();
+        assert!(err.is_usage(), "window=0 is rejected even on control ops");
     }
 
     #[test]

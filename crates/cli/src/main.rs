@@ -3,6 +3,8 @@
 //! Run `chain2l help` for the list of commands; each one maps onto the public
 //! APIs of `chain2l-core`, `chain2l-sim` and `chain2l-analysis`.
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 

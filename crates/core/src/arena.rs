@@ -44,6 +44,12 @@ use std::sync::Mutex;
 /// last bucket).
 pub const ARENA_BUCKETS: usize = 28;
 
+/// Default total free-list budget of [`TableArena::new`], split evenly
+/// between the `f64` and `u32` pools.  A long-lived daemon that sees one
+/// burst of huge chains no longer parks those buffers forever: returns
+/// beyond the budget trim the pool, oldest buffer first.
+pub const DEFAULT_ARENA_BYTE_CAP: usize = 256 * 1024 * 1024;
+
 /// The capacity class of a buffer of `len` elements: the exponent of the
 /// next power of two, clamped to the last bucket.
 fn bucket_of(len: usize) -> usize {
@@ -64,6 +70,12 @@ pub struct ArenaStats {
     /// served by a buffer from bucket `k` (capacity rounding up to `2^k`),
     /// whichever bucket the request's own class was.
     pub bucket_hits: [u64; ARENA_BUCKETS],
+    /// Bytes currently parked on the free lists (both element types).
+    pub pooled_bytes: u64,
+    /// Total free-list budget (both pools; each is bounded by half).
+    pub byte_cap: u64,
+    /// Buffers dropped by the byte cap since construction, oldest first.
+    pub trimmed: u64,
 }
 
 impl ArenaStats {
@@ -94,10 +106,13 @@ impl std::fmt::Display for ArenaStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} checkouts ({:.1} % pooled), {} returned",
+            "{} checkouts ({:.1} % pooled), {} returned, {} KiB parked (cap {} KiB, {} trimmed)",
             self.checkouts,
             self.hit_rate() * 100.0,
-            self.returns
+            self.returns,
+            self.pooled_bytes / 1024,
+            self.byte_cap / 1024,
+            self.trimmed
         )
     }
 }
@@ -107,25 +122,49 @@ impl std::fmt::Display for ArenaStats {
 /// Checked-out buffers are plain `Vec`s — the arena does not track them;
 /// callers return them with [`TableArena::give_f64`] / [`TableArena::give_u32`]
 /// when the table is retired (dropping one instead merely forgoes the reuse).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TableArena {
     f64_pool: Mutex<BucketedPool<f64>>,
     u32_pool: Mutex<BucketedPool<u32>>,
+    /// Free-list byte budget **per pool** (half the configured total).
+    /// Each `give_*` consults only its own pool's budget, so returning a
+    /// buffer never needs both pool locks — no acquisition ordering exists
+    /// between them on the return path.
+    per_pool_cap: usize,
     checkouts: AtomicU64,
     pool_hits: AtomicU64,
     returns: AtomicU64,
+    trimmed: AtomicU64,
     bucket_hits: [AtomicU64; ARENA_BUCKETS],
 }
 
-/// One element type's size-bucketed LIFO free lists.
+impl Default for TableArena {
+    fn default() -> Self {
+        Self::with_byte_cap(DEFAULT_ARENA_BYTE_CAP)
+    }
+}
+
+/// One element type's size-bucketed LIFO free lists, bounded by an
+/// approximate byte budget.
+///
+/// Each parked buffer carries a monotonic stamp from its return; when a
+/// return pushes the pool past its budget, the buffer idle longest (the
+/// smallest stamp — list fronts, since pops take from the back) is dropped
+/// first, repeating until the pool fits.  LIFO checkout + oldest-first
+/// trim keeps the recently-hot capacity classes and lets a one-off burst
+/// of huge tables age out instead of pinning memory forever.
 #[derive(Debug)]
 struct BucketedPool<T> {
-    buckets: [Vec<Vec<T>>; ARENA_BUCKETS],
+    buckets: [Vec<(u64, Vec<T>)>; ARENA_BUCKETS],
+    /// Approximate bytes parked: sum of `capacity * size_of::<T>()`.
+    bytes: usize,
+    /// Monotonic return counter; stamps order trim victims.
+    stamp: u64,
 }
 
 impl<T> Default for BucketedPool<T> {
     fn default() -> Self {
-        Self { buckets: std::array::from_fn(|_| Vec::new()) }
+        Self { buckets: std::array::from_fn(|_| Vec::new()), bytes: 0, stamp: 0 }
     }
 }
 
@@ -137,7 +176,9 @@ impl<T> BucketedPool<T> {
         let class = bucket_of(len);
         for k in [class, class + 1] {
             if k < ARENA_BUCKETS {
-                if let Some(buf) = self.buckets[k].pop() {
+                if let Some((_, buf)) = self.buckets[k].pop() {
+                    self.bytes =
+                        self.bytes.saturating_sub(buf.capacity() * std::mem::size_of::<T>());
                     return Some((buf, k));
                 }
             }
@@ -145,9 +186,28 @@ impl<T> BucketedPool<T> {
         None
     }
 
-    /// Parks a buffer on its capacity class's free list.
-    fn push(&mut self, buf: Vec<T>) {
-        self.buckets[bucket_of(buf.capacity())].push(buf);
+    /// Parks a buffer on its capacity class's free list, then drops the
+    /// oldest parked buffers (across all classes) until the pool fits in
+    /// `cap_bytes`.  Returns how many buffers were trimmed.
+    fn push(&mut self, buf: Vec<T>, cap_bytes: usize) -> u64 {
+        self.stamp += 1;
+        self.bytes += buf.capacity() * std::mem::size_of::<T>();
+        self.buckets[bucket_of(buf.capacity())].push((self.stamp, buf));
+        let mut trimmed = 0;
+        while self.bytes > cap_bytes {
+            let oldest = self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| !b.is_empty())
+                .min_by_key(|(_, b)| b[0].0)
+                .map(|(k, _)| k);
+            let Some(k) = oldest else { break };
+            let (_, old) = self.buckets[k].remove(0);
+            self.bytes = self.bytes.saturating_sub(old.capacity() * std::mem::size_of::<T>());
+            trimmed += 1;
+        }
+        trimmed
     }
 
     fn len(&self) -> usize {
@@ -156,9 +216,27 @@ impl<T> BucketedPool<T> {
 }
 
 impl TableArena {
-    /// Creates an empty arena.
+    /// Creates an arena with the default free-list budget
+    /// ([`DEFAULT_ARENA_BYTE_CAP`]).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an arena whose free lists are bounded by `total_bytes`
+    /// (split evenly between the `f64` and `u32` pools).  Checked-out
+    /// buffers are never counted — the cap bounds idle memory, not live
+    /// tables.
+    pub fn with_byte_cap(total_bytes: usize) -> Self {
+        Self {
+            f64_pool: Mutex::default(),
+            u32_pool: Mutex::default(),
+            per_pool_cap: total_bytes / 2,
+            checkouts: AtomicU64::new(0),
+            pool_hits: AtomicU64::new(0),
+            returns: AtomicU64::new(0),
+            trimmed: AtomicU64::new(0),
+            bucket_hits: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
     }
 
     /// Records one pool hit served from bucket `k`.
@@ -201,32 +279,47 @@ impl TableArena {
 
     /// Returns an `f64` buffer to its capacity class's free list
     /// (zero-capacity buffers are dropped — there is no allocation to
-    /// recycle).
+    /// recycle).  If the return pushes the pool past its byte budget, the
+    /// oldest parked buffers are dropped until it fits.
     pub fn give_f64(&self, buf: Vec<f64>) {
         if buf.capacity() == 0 {
             return;
         }
         self.returns.fetch_add(1, Ordering::Relaxed);
-        self.f64_pool.lock().expect("arena pool poisoned").push(buf);
+        let trimmed =
+            self.f64_pool.lock().expect("arena pool poisoned").push(buf, self.per_pool_cap);
+        if trimmed > 0 {
+            self.trimmed.fetch_add(trimmed, Ordering::Relaxed);
+        }
     }
 
     /// Returns a `u32` buffer to its capacity class's free list
-    /// (zero-capacity buffers are dropped).
+    /// (zero-capacity buffers are dropped), trimming the oldest parked
+    /// buffers when the pool's byte budget overflows.
     pub fn give_u32(&self, buf: Vec<u32>) {
         if buf.capacity() == 0 {
             return;
         }
         self.returns.fetch_add(1, Ordering::Relaxed);
-        self.u32_pool.lock().expect("arena pool poisoned").push(buf);
+        let trimmed =
+            self.u32_pool.lock().expect("arena pool poisoned").push(buf, self.per_pool_cap);
+        if trimmed > 0 {
+            self.trimmed.fetch_add(trimmed, Ordering::Relaxed);
+        }
     }
 
     /// Checkout/return counters accumulated since construction.
     pub fn stats(&self) -> ArenaStats {
+        let f64_bytes = self.f64_pool.lock().expect("arena pool poisoned").bytes;
+        let u32_bytes = self.u32_pool.lock().expect("arena pool poisoned").bytes;
         ArenaStats {
             checkouts: self.checkouts.load(Ordering::Relaxed),
             pool_hits: self.pool_hits.load(Ordering::Relaxed),
             returns: self.returns.load(Ordering::Relaxed),
             bucket_hits: std::array::from_fn(|k| self.bucket_hits[k].load(Ordering::Relaxed)),
+            pooled_bytes: (f64_bytes + u32_bytes) as u64,
+            byte_cap: (self.per_pool_cap as u64) * 2,
+            trimmed: self.trimmed.load(Ordering::Relaxed),
         }
     }
 
@@ -310,6 +403,43 @@ mod tests {
         arena.give_u32(Vec::new());
         assert_eq!(arena.pooled(), 0);
         assert_eq!(arena.stats().returns, 0);
+    }
+
+    #[test]
+    fn byte_cap_trims_oldest_first() {
+        // Per-pool budget of 1088 B: an 8-cap f64 buffer (64 B) plus two
+        // 64-cap buffers (512 B each) fill it exactly; the next return
+        // overflows and must evict the oldest parked buffers — the small
+        // one first, then the first 512 B buffer — until the pool fits.
+        let arena = TableArena::with_byte_cap(2 * 1088);
+        arena.give_f64(Vec::with_capacity(8));
+        arena.give_f64(Vec::with_capacity(64));
+        arena.give_f64(Vec::with_capacity(64));
+        assert_eq!(arena.stats().trimmed, 0);
+        assert_eq!(arena.stats().pooled_bytes, 1088);
+        arena.give_f64(Vec::with_capacity(64));
+        let stats = arena.stats();
+        assert_eq!(stats.trimmed, 2, "expected the two oldest buffers evicted");
+        assert_eq!(stats.pooled_bytes, 1024);
+        assert_eq!(stats.returns, 4, "trimmed buffers still count as returns");
+        assert_eq!(arena.pooled(), 2);
+        // The capacity-8 buffer is gone: a class-3 request allocates fresh.
+        let small = arena.take_f64(8, 0.0);
+        assert!(small.capacity() < 64, "trimmed buffer resurfaced");
+        assert_eq!(arena.stats().pool_hits, 0);
+    }
+
+    #[test]
+    fn byte_budgets_are_per_pool() {
+        // u32 returns must not charge the f64 budget: with 128 B per pool,
+        // a 64 B buffer of each element type parks without any trim.
+        let arena = TableArena::with_byte_cap(2 * 128);
+        arena.give_f64(Vec::with_capacity(16)); // 128 B — fills the f64 pool
+        arena.give_u32(Vec::with_capacity(16)); // 64 B — charged to u32 only
+        let stats = arena.stats();
+        assert_eq!(stats.trimmed, 0);
+        assert_eq!(stats.pooled_bytes, 192);
+        assert_eq!(arena.pooled(), 2);
     }
 
     #[test]

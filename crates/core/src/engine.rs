@@ -625,16 +625,26 @@ impl Engine {
 
     /// Drops every cached solution and retained table set (the counters keep
     /// accumulating; retained tables return their buffers to the arena).
+    ///
+    /// Walks the LRU list rather than draining the hash map: recycle order
+    /// is then stable run-to-run, so the arena pool's bucket state — and
+    /// every stats snapshot derived from it — stays deterministic.
     pub fn clear(&self) {
         self.cache.clear();
         let mut store = self.contexts.lock().expect("context map poisoned");
-        for (_, entry) in store.map.drain() {
-            if let Ok(mut guard) = entry.slot.try_lock() {
-                if let Some(ctx) = guard.take() {
-                    ctx.state.recycle(&self.arena);
+        let victims: Vec<usize> = store.lru.iter_lru().collect();
+        for lru_id in victims {
+            let key = store.lru_keys[lru_id].clone();
+            if let Some(entry) = store.map.remove(&key) {
+                store.lru.remove(lru_id);
+                if let Ok(mut guard) = entry.slot.try_lock() {
+                    if let Some(ctx) = guard.take() {
+                        ctx.state.recycle(&self.arena);
+                    }
                 }
             }
         }
+        store.map.clear();
     }
 }
 

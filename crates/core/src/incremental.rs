@@ -128,9 +128,15 @@ pub struct IncrementalSolver {
 
 impl std::fmt::Debug for IncrementalSolver {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Resolve both fields before the builder chain: a map guard held
+        // as a chain temporary across workspace calls is the shape that
+        // deadlocked Engine's Debug impl once, so nothing here may repeat
+        // it — even though stats() only reads atomics today.
+        let contexts = self.states.lock().expect("state map poisoned").len();
+        let stats = self.stats();
         f.debug_struct("IncrementalSolver")
-            .field("contexts", &self.states.lock().expect("state map poisoned").len())
-            .field("stats", &self.stats())
+            .field("contexts", &contexts)
+            .field("stats", &stats)
             .finish()
     }
 }
@@ -215,6 +221,10 @@ impl IncrementalSolver {
     /// arena (counters keep accumulating).
     pub fn clear(&self) {
         let mut map = self.states.lock().expect("state map poisoned");
+        // No LRU exists here, so there is no eviction order to walk; drain
+        // order only permutes which identical buffers land in which arena
+        // bucket, and solver outputs never observe it.
+        // lint: allow(det-hash-iter: drain order only permutes arena pool internals, never solver outputs)
         for (_, slot) in map.drain() {
             if let Ok(mut guard) = slot.try_lock() {
                 if let Some(state) = guard.take() {

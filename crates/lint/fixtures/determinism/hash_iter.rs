@@ -1,0 +1,21 @@
+// Seeded: iterating a hash-ordered collection in an output-producing
+// crate — the visit order observes `RandomState`'s per-process seed.
+use std::collections::HashMap;
+
+struct Index {
+    map: HashMap<u64, u32>,
+}
+
+impl Index {
+    fn dump(&self) -> Vec<u64> {
+        self.map.keys().copied().collect() //~ det-hash-iter
+    }
+
+    fn total(&self) -> u32 {
+        let mut total = 0;
+        for (_k, v) in &self.map { //~ det-hash-iter
+            total += v;
+        }
+        total
+    }
+}

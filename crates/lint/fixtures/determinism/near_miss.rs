@@ -1,0 +1,31 @@
+// Near-misses: keyed hash-map access, ordered-structure iteration and
+// hash-free drains are all deterministic — none may fire.
+use std::collections::{BTreeMap, HashMap};
+
+struct Store {
+    map: HashMap<u64, u32>,
+    ordered: BTreeMap<u64, u32>,
+    list: Vec<u32>,
+}
+
+impl Store {
+    // Keyed lookups never observe iteration order.
+    fn get(&mut self, k: u64) -> Option<u32> {
+        self.map.insert(k, 1);
+        if self.map.contains_key(&k) {
+            self.map.get(&k).copied()
+        } else {
+            None
+        }
+    }
+
+    // BTreeMap iterates in key order — deterministic by construction.
+    fn ordered_keys(&self) -> Vec<u64> {
+        self.ordered.keys().copied().collect()
+    }
+
+    // `drain` on a Vec (same method name, non-hash receiver) is ordered.
+    fn flush(&mut self) -> Vec<u32> {
+        self.list.drain(..).collect()
+    }
+}

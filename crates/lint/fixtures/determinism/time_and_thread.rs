@@ -1,0 +1,14 @@
+// Seeded: wall-clock, thread-identity and pointer-address dependence in
+// an output-producing crate — all three vary run to run.
+fn stamp() -> bool {
+    let t = std::time::Instant::now(); //~ det-time
+    t.elapsed().as_nanos() > 0
+}
+
+fn worker_tag() -> String {
+    format!("{:?}", std::thread::current().id()) //~ det-thread-id
+}
+
+fn bucket_of(v: &[u8]) -> usize {
+    (v.as_ptr() as usize) % 8 //~ det-ptr
+}

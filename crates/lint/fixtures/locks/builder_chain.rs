@@ -1,0 +1,24 @@
+// Seeded: the PR 5 deadlock, distilled.  The guard born inside the first
+// `.field(…)` argument is a temporary of the whole builder-chain
+// statement, so it is still live when the second argument calls
+// `self.context_count()` — which blocks on the same mutex.
+use std::sync::Mutex;
+
+struct Engine {
+    contexts: Mutex<Vec<u32>>,
+}
+
+impl Engine {
+    fn context_count(&self) -> usize {
+        self.contexts.lock().unwrap().len()
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("contexts", &self.contexts.lock().unwrap().len())
+            .field("count", &self.context_count()) //~ lock-held-across-call
+            .finish()
+    }
+}

@@ -1,0 +1,68 @@
+// Near-misses: every shape here is fine and none may fire.
+use std::sync::Mutex;
+
+struct Engine {
+    pool: Mutex<Vec<u32>>,
+    side: Mutex<u32>,
+}
+
+impl Engine {
+    // Looks like builder_chain.rs, but the count is resolved *before* the
+    // chain (the PR 5 fix): no guard is live across the call.
+    fn render(&self) -> String {
+        let n = self.pool.lock().unwrap().len();
+        format!("{} {}", n, self.clear_count())
+    }
+
+    fn clear_count(&self) -> usize {
+        self.pool.lock().unwrap().len()
+    }
+
+    // `let` binds the *length*, not the guard — the guard is a temporary
+    // that dies at the `;`, so the second lock does not overlap it.
+    fn sequential(&self) -> usize {
+        let first = self.pool.lock().unwrap().len();
+        let second = self.pool.lock().unwrap().len();
+        first + second
+    }
+
+    // A scoped guard dropped before the next acquisition.
+    fn scoped(&self) -> u32 {
+        {
+            let mut g = self.pool.lock().unwrap();
+            g.push(1);
+        }
+        *self.side.lock().unwrap()
+    }
+
+    // `clear` on a non-self receiver must never alias `Engine::clear`,
+    // which locks the pool.
+    fn tidy(&self, buf: &mut Vec<u32>) {
+        let g = self.pool.lock().unwrap();
+        buf.clear();
+        drop(g);
+    }
+
+    fn clear(&self) {
+        self.pool.lock().unwrap().clear();
+    }
+}
+
+// Opposite acquisition orders, but each inner acquisition is a
+// `try_lock`: a non-blocking probe cannot complete a deadlock cycle —
+// the DESIGN.md §6 try_lock discipline.
+fn a_then_try_b(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let ga = a.lock().unwrap();
+    if let Ok(gb) = b.try_lock() {
+        return *ga + *gb;
+    }
+    *ga
+}
+
+fn b_then_try_a(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let gb = b.lock().unwrap();
+    if let Ok(ga) = a.try_lock() {
+        return *ga + *gb;
+    }
+    *gb
+}

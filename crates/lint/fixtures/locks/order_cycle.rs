@@ -1,0 +1,16 @@
+// Seeded: two functions acquire the same two mutexes in opposite orders
+// with *blocking* `lock()` calls — two threads can deadlock against each
+// other.  (Contrast with the try_lock shapes in near_miss.rs.)
+use std::sync::Mutex;
+
+fn a_then_b(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let ga = a.lock().unwrap();
+    let gb = b.lock().unwrap(); //~ lock-order-cycle
+    *ga + *gb
+}
+
+fn b_then_a(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let gb = b.lock().unwrap();
+    let ga = a.lock().unwrap();
+    *ga + *gb
+}

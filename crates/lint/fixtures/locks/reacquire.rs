@@ -1,0 +1,10 @@
+// Seeded: a blocking re-acquisition of the same mutex while the first
+// guard (a `let` binding, live to the end of the block) is still held —
+// guaranteed same-thread deadlock on `std::sync::Mutex`.
+use std::sync::Mutex;
+
+fn double_lock(m: &Mutex<u32>) -> u32 {
+    let first = m.lock().unwrap();
+    let second = m.lock().unwrap(); //~ lock-reacquire
+    *first + *second
+}

@@ -1,0 +1,7 @@
+// Suppression demo: the unwrap below is covered by a justified
+// `lint: allow` comment, so it must not count as a blocking finding (and
+// therefore carries no `//~` marker).
+fn startup(v: Option<u32>) -> u32 {
+    // lint: allow(panic-unwrap: fixture demonstrating the suppression syntax)
+    v.unwrap()
+}

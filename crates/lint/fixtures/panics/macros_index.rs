@@ -1,0 +1,8 @@
+// Seeded: an unconditional panic macro and unchecked slice indexing in
+// the daemon path.
+fn pick(v: &[u32], i: usize) -> u32 {
+    if i > v.len() {
+        panic!("out of range"); //~ panic-macro
+    }
+    v[i] //~ panic-index
+}

@@ -1,0 +1,38 @@
+// Near-misses: none of these may fire.
+struct Reader {
+    pos: usize,
+}
+
+impl Reader {
+    // A parser method named `expect` taking a *char* — the rule only
+    // covers `.expect("…")` with a string-literal argument.
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        self.pos += 1;
+        if want == 'x' {
+            Ok(())
+        } else {
+            Err("nope".to_string())
+        }
+    }
+
+    fn run(&mut self) -> Result<(), String> {
+        self.expect(':')?;
+        self.expect('x')
+    }
+}
+
+// Checked access and full-range reborrows do not panic.
+fn safe_access(v: &[u32]) -> u32 {
+    let whole = &v[..];
+    whole.first().copied().unwrap_or(0) + v.get(1).copied().unwrap_or(0)
+}
+
+// Test code may assert and unwrap freely.
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asserts_allowed() {
+        let v = Some(3u32);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

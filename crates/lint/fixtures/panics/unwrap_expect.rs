@@ -1,0 +1,7 @@
+// Seeded: unwrap/expect in the daemon path — a panic kills the process
+// and every in-flight connection.
+fn read(v: Option<u32>, r: Result<u32, String>) -> u32 {
+    let a = v.unwrap(); //~ panic-unwrap
+    let b = r.expect("present"); //~ panic-expect
+    a + b
+}

@@ -1,0 +1,7 @@
+// Suppression demo: a justified unsafe island.  The file-wide allow
+// covers the unsafe tokens, and an allowed unsafe site exempts the root
+// from the forbid audit (forbid would reject the justified code).
+// lint: allow-file(unsafe-code: fixture demonstrating a justified unsafe island)
+fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,6 @@
+//~ missing-forbid
+// Seeded: perfectly safe code, but the root lacks
+// `#![forbid(unsafe_code)]` — the compiler should enforce confinement.
+pub fn add(a: u32, b: u32) -> u32 {
+    a + b
+}

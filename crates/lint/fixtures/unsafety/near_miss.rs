@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+// Near-miss: the forbid attribute is present and nothing here is unsafe
+// (mentioning unsafe in comments or "unsafe strings" does not count).
+pub fn safe() -> &'static str {
+    "unsafe in a string literal is fine"
+}

@@ -1,0 +1,6 @@
+//~ missing-forbid
+// Seeded: an unjustified unsafe block outside vendor/mio_lite, in a root
+// that also fails to forbid unsafe code.
+fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() } //~ unsafe-code
+}

@@ -1,0 +1,354 @@
+//! Pass 2 — determinism in output-producing crates.
+//!
+//! The workspace's core guarantee is byte-identical artifacts across
+//! runs, thread counts and shard counts; every source of run-to-run
+//! variation in an output path breaks it silently.  In the output crates
+//! (`core`, `analysis`, `model`, `sim`) this pass bans:
+//!
+//! - **hash-order iteration** (`det-hash-iter`): iterating a `HashMap` /
+//!   `HashSet` observes `RandomState`'s per-process seed.  Keyed lookups
+//!   (`get`, `insert`, `contains_key`) stay fine; iteration requires an
+//!   ordered structure (`BTreeMap`, `Vec`, the intrusive `LruList`) or
+//!   the cache's stable-hash buckets.
+//! - **wall-clock values** (`det-time`): `SystemTime` / `Instant` readings
+//!   feed elapsed-time conditionals or timestamps into outputs.  Timing
+//!   belongs in `bench`/`service`, outside this scope.
+//! - **thread identity and addresses** (`det-thread-id`, `det-ptr`):
+//!   `thread::current().id()`, `ThreadId`, and pointer-to-integer casts
+//!   (`.as_ptr() as usize`, `x as *const T as usize`) vary per run/ASLR.
+//!
+//! Tracking is name-based per file: a name is "hash-typed" when declared
+//! with a `HashMap`/`HashSet` annotation (struct fields, `let` types) or
+//! bound by `let g = <hash-name>.lock()…` (a guard of a `Mutex<HashMap>`),
+//! or aliased by a bare `let a = [&[mut]] <hash-name>;`.  Collecting into
+//! a `Vec` and sorting does NOT mark the new name — but the `.iter()` /
+//! `.keys()` call doing the collecting is still flagged: the sanctioned
+//! fixes are ordered structures, not sort-after-collect.
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::{Finding, Rule};
+use std::collections::BTreeSet;
+
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+pub fn run(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    for sf in files {
+        if !sf.scope.determinism {
+            continue;
+        }
+        let hash_names = collect_hash_names(sf);
+        scan_file(sf, &hash_names, findings);
+    }
+}
+
+/// Names (fields and locals) declared with a hash-collection type in this
+/// file, plus guards/aliases derived from them.
+fn collect_hash_names(sf: &SourceFile) -> BTreeSet<String> {
+    let mut names: BTreeSet<String> = BTreeSet::new();
+    // Two fixpoint-free passes are enough in practice (fields first, then
+    // locals that reference them); run the local scan twice so a guard of
+    // a guard still resolves.
+    for _ in 0..2 {
+        let mut i = 0;
+        while i < sf.toks.len() {
+            // `name : … HashMap/HashSet …` (struct field or typed let).
+            if sf.toks[i].kind == TokKind::Ident
+                && sf.tok(i + 1).is_some_and(|t| t.is_punct(":"))
+                && !sf.tok(i + 2).is_some_and(|t| t.is_punct(":"))
+                && type_annotation_is_hash(sf, i + 2)
+            {
+                names.insert(sf.toks[i].text.clone());
+            }
+            // `let [mut] name = <init>;` where init propagates hash-ness.
+            if sf.toks[i].is_ident("let") {
+                let mut j = i + 1;
+                if sf.tok(j).is_some_and(|t| t.is_ident("mut")) {
+                    j += 1;
+                }
+                if sf.tok(j).is_some_and(|t| t.kind == TokKind::Ident) {
+                    let name = sf.toks[j].text.clone();
+                    // Skip an optional `: type` annotation up to the `=`.
+                    let mut k = j + 1;
+                    while k < sf.toks.len()
+                        && !sf.toks[k].is_punct("=")
+                        && !sf.toks[k].is_punct(";")
+                    {
+                        if sf.toks[k].kind == TokKind::Open {
+                            k = sf.skip_group(k);
+                        } else {
+                            k += 1;
+                        }
+                    }
+                    if sf.tok(k).is_some_and(|t| t.is_punct("="))
+                        && init_propagates_hash(sf, k + 1, &names)
+                    {
+                        names.insert(name);
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Scans a type annotation starting at `i` (just past the `:`) up to the
+/// enclosing `,` / `;` / `=` / close delimiter, looking for a hash type.
+/// Angle brackets are tracked so `HashMap<K, V>`'s comma does not end the
+/// scan early.
+fn type_annotation_is_hash(sf: &SourceFile, start: usize) -> bool {
+    let mut angle = 0i32;
+    let mut j = start;
+    while j < sf.toks.len() {
+        let t = &sf.toks[j];
+        match t.kind {
+            TokKind::Ident if HASH_TYPES.contains(&t.text.as_str()) => return true,
+            TokKind::Punct if t.text == "<" => angle += 1,
+            TokKind::Punct if t.text == ">" => angle -= 1,
+            TokKind::Punct if (t.text == "," || t.text == ";" || t.text == "=") && angle <= 0 => {
+                return false
+            }
+            TokKind::Open => {
+                j = sf.skip_group(j);
+                continue;
+            }
+            TokKind::Close => return false,
+            _ => {}
+        }
+        j += 1;
+    }
+    false
+}
+
+/// True when a `let` initializer starting at `start` is (a) a bare alias
+/// of a hash name (`[&[mut]] name;`/`name.clone()`), or (b) a lock-guard
+/// chain rooted at a hash name (`[&mut *] name.lock().expect(…)`), or (c)
+/// a `HashMap::…` / `HashSet::…` constructor call.
+fn init_propagates_hash(sf: &SourceFile, start: usize, names: &BTreeSet<String>) -> bool {
+    let mut j = start;
+    // Strip leading `&`, `mut`, `*` sigils.
+    while sf.tok(j).is_some_and(|t| t.is_punct("&") || t.is_punct("*") || t.is_ident("mut")) {
+        j += 1;
+    }
+    // `HashMap::new()` / `HashSet::with_capacity(…)` constructors.
+    if sf.tok(j).is_some_and(|t| HASH_TYPES.contains(&t.text.as_str())) {
+        return true;
+    }
+    // A path `a.b.c` rooted anywhere, whose last segment before the first
+    // call must be a hash name followed only by lock/guard adapters.
+    let mut last_ident: Option<&str> = None;
+    while j < sf.toks.len() {
+        let t = &sf.toks[j];
+        match t.kind {
+            TokKind::Ident => {
+                if sf.is_call(j) {
+                    // First call of the chain: allowed adapters only.
+                    let rooted = last_ident.is_some_and(|n| names.contains(n));
+                    return rooted
+                        && matches!(t.text.as_str(), "lock" | "try_lock")
+                        && chain_is_guard_adapters(sf, j);
+                }
+                last_ident = Some(&t.text);
+                j += 1;
+            }
+            TokKind::Punct if t.text == "." || t.text == ":" => j += 1,
+            TokKind::Punct if t.text == ";" => {
+                // Bare alias `= name;`
+                return last_ident.is_some_and(|n| names.contains(n));
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// After a `lock`/`try_lock` call, only `expect(…)` / `unwrap()` may
+/// follow before the `;` for the binding to still be the guard.
+fn chain_is_guard_adapters(sf: &SourceFile, lock_idx: usize) -> bool {
+    let mut j = lock_idx + 1;
+    loop {
+        match sf.tok(j) {
+            Some(t) if t.kind == TokKind::Open && t.text == "(" => j = sf.skip_group(j),
+            Some(t) if t.is_punct(".") => j += 1,
+            Some(t) if t.is_ident("expect") || t.is_ident("unwrap") => j += 1,
+            Some(t) if t.is_punct(";") => return true,
+            _ => return false,
+        }
+    }
+}
+
+fn scan_file(sf: &SourceFile, hash_names: &BTreeSet<String>, findings: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i < sf.toks.len() {
+        if sf.in_test[i] {
+            i += 1;
+            continue;
+        }
+        let t = &sf.toks[i];
+        if t.kind == TokKind::Ident {
+            // Hash iteration via method call.
+            if ITER_METHODS.contains(&t.text.as_str()) && sf.is_call(i) {
+                if let Some(recv) = sf.receiver_last_ident(i) {
+                    if hash_names.contains(recv) {
+                        findings.push(Finding::new(
+                            sf,
+                            Rule::DetHashIter,
+                            t.line,
+                            t.col,
+                            format!(
+                                "`.{}()` iterates hash-ordered `{}` — iteration \
+                                 order varies per process; use an ordered \
+                                 structure (BTreeMap/Vec/LruList) or the \
+                                 stable-hash buckets",
+                                t.text, recv
+                            ),
+                        ));
+                    }
+                }
+            }
+            // `for x in [&[mut]] name { … }` over a hash collection.
+            if t.is_ident("for") {
+                if let Some((line, col, name)) = for_loop_over_hash(sf, i, hash_names) {
+                    findings.push(Finding::new(
+                        sf,
+                        Rule::DetHashIter,
+                        line,
+                        col,
+                        format!(
+                            "`for … in {name}` iterates a hash-ordered collection — \
+                             iteration order varies per process"
+                        ),
+                    ));
+                }
+            }
+            // Wall-clock types.
+            if t.is_ident("SystemTime") || t.is_ident("Instant") {
+                findings.push(Finding::new(
+                    sf,
+                    Rule::DetTime,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{}` in an output-producing crate — wall-clock values \
+                         vary per run; timing belongs in bench/service",
+                        t.text
+                    ),
+                ));
+            }
+            // Thread identity.
+            if t.is_ident("ThreadId")
+                || (t.is_ident("current")
+                    && sf.is_call(i)
+                    && i >= 3
+                    && sf.toks[i - 1].is_punct(":")
+                    && sf.toks[i - 2].is_punct(":")
+                    && sf.toks[i - 3].is_ident("thread"))
+            {
+                findings.push(Finding::new(
+                    sf,
+                    Rule::DetThreadId,
+                    t.line,
+                    t.col,
+                    "thread identity in an output-producing crate — worker \
+                     assignment varies per run"
+                        .to_string(),
+                ));
+            }
+            // Pointer-address dependence: `.as_ptr() as …`.
+            if (t.is_ident("as_ptr") || t.is_ident("as_mut_ptr")) && sf.is_call(i) {
+                let after = sf.skip_group(i + 1);
+                if sf.tok(after).is_some_and(|t| t.is_ident("as")) {
+                    findings.push(Finding::new(
+                        sf,
+                        Rule::DetPtr,
+                        t.line,
+                        t.col,
+                        "pointer address cast to an integer — addresses vary \
+                         per run (ASLR, allocator state)"
+                            .to_string(),
+                    ));
+                }
+            }
+            // `… as *const T as usize` style address-identity casts.
+            if t.is_ident("as")
+                && sf.tok(i + 1).is_some_and(|t| t.is_punct("*"))
+                && sf.tok(i + 2).is_some_and(|t| t.is_ident("const") || t.is_ident("mut"))
+            {
+                findings.push(Finding::new(
+                    sf,
+                    Rule::DetPtr,
+                    t.line,
+                    t.col,
+                    "raw-pointer cast in an output-producing crate — pointer \
+                     values vary per run"
+                        .to_string(),
+                ));
+            }
+        }
+        i += 1;
+    }
+}
+
+/// For a `for` keyword at `i`, returns the site when the iterated
+/// expression is a plain (possibly `&`/`&mut`-prefixed) path ending in a
+/// hash-typed name.  Method-call iterations (`map.keys()`) are caught by
+/// the call rule instead.
+fn for_loop_over_hash<'a>(
+    sf: &'a SourceFile,
+    i: usize,
+    hash_names: &BTreeSet<String>,
+) -> Option<(u32, u32, &'a str)> {
+    // Find the `in` keyword at pattern depth 0.
+    let mut j = i + 1;
+    let mut in_idx = None;
+    while j < sf.toks.len() && j < i + 64 {
+        let t = &sf.toks[j];
+        if t.kind == TokKind::Open {
+            j = sf.skip_group(j);
+            continue;
+        }
+        if t.kind == TokKind::Close || t.is_punct(";") {
+            return None;
+        }
+        if t.is_ident("in") {
+            in_idx = Some(j);
+            break;
+        }
+        j += 1;
+    }
+    let mut j = in_idx? + 1;
+    // The iterated expression runs to the loop's `{`.
+    let mut last_ident: Option<usize> = None;
+    while j < sf.toks.len() {
+        let t = &sf.toks[j];
+        match t.kind {
+            TokKind::Open if t.text == "{" => break,
+            TokKind::Open => return None, // call or index in the expr — not a plain path
+            TokKind::Ident if t.is_ident("mut") => j += 1,
+            TokKind::Ident => {
+                last_ident = Some(j);
+                j += 1;
+            }
+            TokKind::Punct if t.text == "&" || t.text == "." || t.text == ":" || t.text == "*" => {
+                j += 1
+            }
+            _ => return None,
+        }
+    }
+    let idx = last_ident?;
+    let name = sf.toks[idx].text.as_str();
+    hash_names.contains(name).then(|| (sf.toks[idx].line, sf.toks[idx].col, name))
+}

@@ -1,0 +1,451 @@
+//! A minimal Rust lexer: turns source text into a flat token stream with
+//! line/column spans, plus the comment list (comments carry the
+//! `lint: allow(...)` suppressions and the fixture `//~ rule` markers).
+//!
+//! The lexer understands exactly as much of the language as the passes
+//! need: identifiers (including raw `r#ident`), lifetimes vs. character
+//! literals, cooked/raw/byte string literals, nested block comments and
+//! numeric literals (so `1.0` never splits into an index-like `.` token).
+//! Everything it does not classify is a single-character punct.  Matching
+//! delimiter groups are resolved separately (see [`match_delims`]) so the
+//! passes can jump over `(…)`, `[…]`, `{…}` groups in one step — the
+//! "token tree" view of the stream.
+
+/// What a token is; `text` disambiguates within a kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (keywords are not distinguished here).
+    Ident,
+    /// `'a` — a lifetime (or loop label), *not* a char literal.
+    Lifetime,
+    /// Numeric literal, including any suffix (`1_000u64`, `2.5e-3`).
+    Num,
+    /// String literal of any flavour: `"…"`, `r#"…"#`, `b"…"`.
+    Str,
+    /// Character or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// Single-character punctuation.
+    Punct,
+    /// `(`, `[` or `{`.
+    Open,
+    /// `)`, `]` or `}`.
+    Close,
+}
+
+/// One token with its 1-indexed source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Tok {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True for a punct/delimiter with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        matches!(self.kind, TokKind::Punct | TokKind::Open | TokKind::Close) && self.text == text
+    }
+}
+
+/// One comment (line or block, doc or plain) with its starting line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// The lexed file: tokens (no trivia) and the comment list.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments.  Unterminated literals or
+/// comments simply end the token stream at EOF — the lint never rejects a
+/// file the compiler would (the compiler gate runs in the same CI).
+pub fn lex(src: &str) -> Lexed {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, col: 1, out: Lexed::default() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.toks.push(Tok { kind, text, line, col });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line);
+            } else if is_ident_start(c) {
+                self.ident_or_prefixed_literal(line, col);
+            } else if c.is_ascii_digit() {
+                self.number(line, col);
+            } else if c == '"' {
+                self.cooked_string(line, col);
+            } else if c == '\'' {
+                self.lifetime_or_char(line, col);
+            } else {
+                self.bump();
+                let kind = match c {
+                    '(' | '[' | '{' => TokKind::Open,
+                    ')' | ']' | '}' => TokKind::Close,
+                    _ => TokKind::Punct,
+                };
+                self.push(kind, c.to_string(), line, col);
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn ident_or_prefixed_literal(&mut self, line: u32, col: u32) {
+        let mut word = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                word.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // `r#ident` raw identifier (the `#` follows a lone `r` with an
+        // ident right after — distinguish from the raw string `r#"…"`).
+        if word == "r" && self.peek(0) == Some('#') && self.peek(1).is_some_and(is_ident_start) {
+            self.bump(); // '#'
+            let mut raw = String::new();
+            while let Some(c) = self.peek(0) {
+                if is_ident_continue(c) {
+                    raw.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Ident, raw, line, col);
+            return;
+        }
+        // String-literal prefixes: r"…", r#"…"#, b"…", br#"…"#, b'…'.
+        let next = self.peek(0);
+        match (word.as_str(), next) {
+            ("r" | "br" | "b", Some('"')) | ("r" | "br", Some('#')) => {
+                self.raw_or_byte_string(word.starts_with('r') || word == "br", line, col);
+            }
+            ("b", Some('\'')) => {
+                self.bump(); // opening quote
+                self.char_literal(line, col);
+            }
+            _ => self.push(TokKind::Ident, word, line, col),
+        }
+    }
+
+    /// Consumes a raw (`#`-fenced, no escapes) or plain-quoted (escaped)
+    /// string body starting at the current `#`/`"`.
+    fn raw_or_byte_string(&mut self, raw_fence_allowed: bool, line: u32, col: u32) {
+        let mut fences = 0usize;
+        if raw_fence_allowed {
+            while self.peek(0) == Some('#') {
+                fences += 1;
+                self.bump();
+            }
+        }
+        if self.peek(0) != Some('"') {
+            // `b#` or similar malformed input: emit what we saw as puncts.
+            self.push(TokKind::Punct, "#".repeat(fences.max(1)), line, col);
+            return;
+        }
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            if c == '\\' && fences == 0 {
+                // Cooked strings (no fence) process escapes; skip the next
+                // char so an escaped quote cannot terminate the literal.
+                if let Some(e) = self.bump() {
+                    text.push('\\');
+                    text.push(e);
+                }
+            } else if c == '"' {
+                let mut matched = 0usize;
+                while matched < fences && self.peek(0) == Some('#') {
+                    matched += 1;
+                    self.bump();
+                }
+                if matched == fences {
+                    self.push(TokKind::Str, text, line, col);
+                    return;
+                }
+                text.push('"');
+                text.push_str(&"#".repeat(matched));
+            } else {
+                text.push(c);
+            }
+        }
+        self.push(TokKind::Str, text, line, col); // EOF inside literal
+    }
+
+    fn cooked_string(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    if let Some(e) = self.bump() {
+                        text.push('\\');
+                        text.push(e);
+                    }
+                }
+                '"' => {
+                    self.push(TokKind::Str, text, line, col);
+                    return;
+                }
+                _ => text.push(c),
+            }
+        }
+        self.push(TokKind::Str, text, line, col); // EOF inside literal
+    }
+
+    /// At a `'`: a lifetime/label when an identifier follows with no
+    /// closing quote right after (`'a`, `'static`), a char literal
+    /// otherwise (`'x'`, `'\n'`, `'\''`).
+    fn lifetime_or_char(&mut self, line: u32, col: u32) {
+        self.bump(); // the quote
+        let one = self.peek(0);
+        let two = self.peek(1);
+        if one.is_some_and(is_ident_start) && two != Some('\'') {
+            let mut name = String::new();
+            while let Some(c) = self.peek(0) {
+                if is_ident_continue(c) {
+                    name.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, name, line, col);
+        } else {
+            self.char_literal(line, col);
+        }
+    }
+
+    /// Consumes a char/byte literal body after its opening quote.
+    fn char_literal(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    if let Some(e) = self.bump() {
+                        text.push('\\');
+                        text.push(e);
+                    }
+                }
+                '\'' => break,
+                _ => text.push(c),
+            }
+        }
+        self.push(TokKind::Char, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                // Digits, `_` separators, radix/suffix letters, exponent `e`.
+                text.push(c);
+                self.bump();
+                // `1e-5` / `2E+8`: the sign belongs to the literal.
+                if (c == 'e' || c == 'E')
+                    && !text.starts_with("0x")
+                    && matches!(self.peek(0), Some('+') | Some('-'))
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    text.push(self.bump().expect("peeked"));
+                }
+            } else if c == '.'
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                && !text.contains('.')
+            {
+                // `1.5` — but `1..n` and `1.max(2)` leave the dot alone.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, text, line, col);
+    }
+}
+
+/// For each `Open`/`Close` token, the index of its partner (`usize::MAX`
+/// when unbalanced — the passes treat that as "no partner").
+pub fn match_delims(toks: &[Tok]) -> Vec<usize> {
+    let mut partner = vec![usize::MAX; toks.len()];
+    let mut stack: Vec<(usize, &str)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match t.kind {
+            TokKind::Open => stack.push((i, t.text.as_str())),
+            TokKind::Close => {
+                let want = match t.text.as_str() {
+                    ")" => "(",
+                    "]" => "[",
+                    _ => "{",
+                };
+                if let Some(&(open, text)) = stack.last() {
+                    if text == want {
+                        stack.pop();
+                        partner[open] = i;
+                        partner[i] = open;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    partner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).toks.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_strings_and_comments_separate() {
+        let lexed = lex("fn main() { // trailing note\n    let s = \"unsafe unwrap()\";\n}");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("trailing note"));
+        // The banned words inside the string literal are NOT ident tokens.
+        assert!(!lexed.toks.iter().any(|t| t.is_ident("unsafe") || t.is_ident("unwrap")));
+        assert!(lexed.toks.iter().any(|t| t.kind == TokKind::Str));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = texts("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Lifetime && t == "a"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "x"));
+    }
+
+    #[test]
+    fn raw_strings_and_nested_block_comments() {
+        let lexed = lex("let a = r#\"quote \" inside\"#; /* outer /* inner */ done */ let b = 1;");
+        assert_eq!(
+            lexed.toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1,
+            "raw string is one literal"
+        );
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner"));
+        assert!(lexed.toks.iter().any(|t| t.is_ident("b")), "lexing resumes after the comment");
+    }
+
+    #[test]
+    fn numbers_keep_their_dots_but_not_ranges() {
+        let toks = texts("let x = 1.5e-3; for i in 0..n { a[i]; } 1.max(2);");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "1.5e-3"));
+        // `0..n` stays `0`, `.`, `.`, `n` and `1.max` stays `1`, `.`, `max`.
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "0"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "max"));
+    }
+
+    #[test]
+    fn delimiters_match_up() {
+        let lexed = lex("fn f(a: [u8; 4]) { g(a[0]); }");
+        let partner = match_delims(&lexed.toks);
+        for (i, t) in lexed.toks.iter().enumerate() {
+            if t.kind == TokKind::Open {
+                let j = partner[i];
+                assert_ne!(j, usize::MAX, "unmatched open at {i}");
+                assert_eq!(partner[j], i);
+            }
+        }
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain_names() {
+        let toks = texts("let r#fn = r#type;");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "fn"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "type"));
+    }
+}

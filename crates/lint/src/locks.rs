@@ -1,0 +1,502 @@
+//! Pass 1 — lock discipline.
+//!
+//! Extracts every `*.lock()` / `*.try_lock()` acquisition per function,
+//! tracks how long the returned guard lives (named `let` bindings live to
+//! the end of the enclosing block, temporaries to the end of their
+//! statement — including `match` scrutinees and `if let` heads, which is
+//! exactly the footgun that produced the PR 5 deadlock), and then checks
+//! everything that happens *while a guard is live*:
+//!
+//! - a blocking re-acquisition of the same lock → `lock-reacquire`
+//!   (guaranteed same-thread deadlock on `std::sync::Mutex`);
+//! - a call into a workspace function whose transitive lock set contains
+//!   the held lock → `lock-held-across-call` (the PR 5 shape: a guard
+//!   temporary bound across a builder chain that later calls
+//!   `self.stats()`, which locks the same mutex);
+//! - any other acquisition → an edge in the cross-function acquisition
+//!   graph; a strongly-connected component of *blocking* edges →
+//!   `lock-order-cycle` (two threads can deadlock by acquiring in
+//!   opposite orders).  `try_lock` edges never block, so they cannot
+//!   complete a deadlock cycle — that is the `try_lock` discipline
+//!   DESIGN.md §6 relies on, and the pass encodes it.
+//!
+//! Identity is name-based (the last path segment before `.lock()`, e.g.
+//! `self.f64_pool.lock()` → `f64_pool`) and call resolution is
+//! deliberately narrow — bare calls, `self.method(…)` and
+//! `Self::method(…)` within the same crate — so that methods invoked *on
+//! a guard* (`store.enforce(…)`) or on unrelated objects never alias a
+//! lock-taking function of the same name.  Both approximations are sound
+//! for the shapes this workspace promises to keep (see DESIGN.md §9).
+
+use crate::source::SourceFile;
+use crate::{Finding, Rule};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Standard stream handles whose `lock()` is reader/writer serialization,
+/// not a mutex this pass reasons about.
+const EXCLUDED_RECEIVERS: [&str; 3] = ["stdout", "stdin", "stderr"];
+
+/// One function body found in a lock-scoped file.
+struct Func {
+    file: usize,
+    name: String,
+    /// Token range of the body, excluding the braces.
+    body: (usize, usize),
+}
+
+/// One lock acquisition inside a function body.
+struct Acquisition {
+    /// Index of the `lock`/`try_lock` ident token.
+    idx: usize,
+    /// Name-based lock identity (last receiver path segment).
+    lock: String,
+    /// `lock()` blocks; `try_lock()` cannot deadlock the acquirer.
+    blocking: bool,
+}
+
+/// A directed acquisition-order edge: `from` is held while `to` is taken.
+#[derive(Debug)]
+struct Edge {
+    from: String,
+    to: String,
+    blocking: bool,
+    file: usize,
+    line: u32,
+    col: u32,
+}
+
+pub fn run(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let funcs = collect_functions(files);
+
+    // Per-crate direct lock sets and call lists, then the transitive
+    // closure (lock name → is any blocking acquisition reachable).
+    let mut crates: BTreeSet<&str> = BTreeSet::new();
+    for f in &funcs {
+        crates.insert(&files[f.file].crate_name);
+    }
+    for krate in crates {
+        let members: Vec<&Func> =
+            funcs.iter().filter(|f| files[f.file].crate_name == krate).collect();
+        analyze_crate(files, &members, findings);
+    }
+}
+
+fn collect_functions(files: &[SourceFile]) -> Vec<Func> {
+    let mut funcs = Vec::new();
+    for (file_idx, sf) in files.iter().enumerate() {
+        if !sf.scope.locks {
+            continue;
+        }
+        let mut i = 0;
+        while i < sf.toks.len() {
+            if sf.toks[i].is_ident("fn") && !sf.in_test[i] {
+                if let Some(name_tok) = sf.tok(i + 1) {
+                    if name_tok.kind == crate::lexer::TokKind::Ident {
+                        let name = name_tok.text.clone();
+                        // Find the body brace, jumping over parameter lists,
+                        // return types and where clauses; a `;` first means
+                        // a trait signature with no body.
+                        let mut j = i + 2;
+                        let mut body = None;
+                        while j < sf.toks.len() {
+                            let t = &sf.toks[j];
+                            if t.text == "{" && t.kind == crate::lexer::TokKind::Open {
+                                body = Some(j);
+                                break;
+                            }
+                            if t.is_punct(";") {
+                                break;
+                            }
+                            if t.kind == crate::lexer::TokKind::Open {
+                                j = sf.skip_group(j);
+                            } else {
+                                j += 1;
+                            }
+                        }
+                        if let Some(open) = body {
+                            let close = sf.partner[open];
+                            if close != usize::MAX {
+                                funcs.push(Func { file: file_idx, name, body: (open + 1, close) });
+                                // Do not skip the body: nested fns are
+                                // collected too (their locks then count
+                                // toward both, a sound over-approximation).
+                            }
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    funcs
+}
+
+/// Collects the acquisitions of one function body.
+fn acquisitions(sf: &SourceFile, body: (usize, usize)) -> Vec<Acquisition> {
+    let mut out = Vec::new();
+    for i in body.0..body.1 {
+        let t = &sf.toks[i];
+        if (t.is_ident("lock") || t.is_ident("try_lock")) && sf.is_call(i) {
+            if let Some(recv) = sf.receiver_last_ident(i) {
+                if !EXCLUDED_RECEIVERS.contains(&recv) {
+                    out.push(Acquisition {
+                        idx: i,
+                        lock: recv.to_string(),
+                        blocking: t.is_ident("lock"),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A call at `i` that the pass resolves within the crate: bare `name(…)`,
+/// `self.name(…)` or `Self::name(…)`.
+fn resolvable_callee(sf: &SourceFile, i: usize) -> Option<&str> {
+    if !sf.is_call(i) {
+        return None;
+    }
+    let name = sf.toks[i].text.as_str();
+    if name == "lock" || name == "try_lock" {
+        return None; // acquisitions are handled separately
+    }
+    if i == 0 {
+        return Some(name);
+    }
+    let prev = &sf.toks[i - 1];
+    if prev.is_punct(".") {
+        return sf.receiver_is_self(i).then_some(name);
+    }
+    if prev.is_punct(":") {
+        // Only `Self::name(…)` resolves; `Type::name(…)` and
+        // `path::name(…)` stay opaque (they may alias foreign items).
+        return (i >= 3 && sf.toks[i - 2].is_punct(":") && sf.toks[i - 3].is_ident("Self"))
+            .then_some(name);
+    }
+    Some(name)
+}
+
+/// Where a guard acquired at `idx` stops being live.
+fn guard_scope_end(sf: &SourceFile, idx: usize) -> usize {
+    // A temporary born inside a paren/bracket group (a call argument, e.g.
+    // the PR 5 builder chain's `.field("…", &self.m.lock()….len())`) lives
+    // to the end of the *outer* statement, so anchor the statement walk
+    // outside every enclosing non-brace group first.
+    let anchor = stmt_anchor(sf, idx);
+    let start = sf.stmt_start(anchor);
+    let head = &sf.toks[start];
+    if head.is_ident("if") || head.is_ident("while") {
+        return if_chain_end(sf, anchor);
+    }
+    if anchor == idx && head.is_ident("let") && binds_guard(sf, idx) {
+        // `let guard = x.lock()…;` — the binding IS the guard; it lives to
+        // the end of the enclosing block.
+        return sf.enclosing_block_end(idx);
+    }
+    // Temporaries (including `match` scrutinees, whose statement extends
+    // over the arms) live to the end of the full statement.
+    sf.stmt_end(anchor)
+}
+
+/// Hoists `idx` out of every enclosing `(`/`[` group (but not `{` blocks,
+/// which start their own statement lists), returning the index at the
+/// statement's own nesting level.
+fn stmt_anchor(sf: &SourceFile, idx: usize) -> usize {
+    let mut j = idx;
+    loop {
+        let mut k = j;
+        let mut open = None;
+        while k > 0 {
+            let p = k - 1;
+            match sf.toks[p].kind {
+                crate::lexer::TokKind::Close => {
+                    let o = sf.partner[p];
+                    if o == usize::MAX {
+                        return j;
+                    }
+                    k = o;
+                }
+                crate::lexer::TokKind::Open => {
+                    open = Some(p);
+                    break;
+                }
+                _ => k = p,
+            }
+        }
+        match open {
+            Some(p) if sf.toks[p].text != "{" => j = p,
+            _ => return j,
+        }
+    }
+}
+
+/// True when the chain after the acquisition runs to the statement's `;`
+/// through guard adapters only (`?`, `.unwrap()`, `.expect(…)`) — i.e. the
+/// `let` binds the guard itself.  Any other method consumes or borrows the
+/// guard (`let n = m.lock().unwrap().len();` binds the value; the guard is
+/// a temporary of the statement).
+fn binds_guard(sf: &SourceFile, idx: usize) -> bool {
+    let mut j = idx + 1;
+    if sf.tok(j).is_some_and(|t| t.kind == crate::lexer::TokKind::Open && t.text == "(") {
+        j = sf.skip_group(j);
+    }
+    loop {
+        match sf.tok(j) {
+            Some(t) if t.is_punct("?") => j += 1,
+            Some(t) if t.is_punct(";") => return true,
+            Some(t) if t.is_punct(".") => {
+                let adapter =
+                    sf.tok(j + 1).is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"));
+                let called = sf
+                    .tok(j + 2)
+                    .is_some_and(|t| t.kind == crate::lexer::TokKind::Open && t.text == "(");
+                if !(adapter && called) {
+                    return false;
+                }
+                j = sf.skip_group(j + 2);
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// End of an `if`/`while` statement: past its last chained block
+/// (`if … { } else if … { } else { }`).
+fn if_chain_end(sf: &SourceFile, from: usize) -> usize {
+    let mut j = from;
+    loop {
+        // Find the next top-level brace block.
+        while j < sf.toks.len() {
+            let t = &sf.toks[j];
+            if t.kind == crate::lexer::TokKind::Open {
+                if t.text == "{" {
+                    break;
+                }
+                j = sf.skip_group(j);
+            } else if t.kind == crate::lexer::TokKind::Close {
+                return j; // malformed / end of enclosing group
+            } else {
+                j += 1;
+            }
+        }
+        if j >= sf.toks.len() {
+            return j;
+        }
+        j = sf.skip_group(j);
+        match sf.tok(j) {
+            Some(t) if t.is_ident("else") => j += 1,
+            _ => return j,
+        }
+    }
+}
+
+fn analyze_crate(files: &[SourceFile], funcs: &[&Func], findings: &mut Vec<Finding>) {
+    // Direct lock sets and resolvable call lists per function name
+    // (same-name functions merge — a sound over-approximation).
+    let mut direct: BTreeMap<&str, BTreeMap<String, bool>> = BTreeMap::new();
+    let mut calls: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+    for f in funcs {
+        let sf = &files[f.file];
+        let d = direct.entry(&f.name).or_default();
+        for a in acquisitions(sf, f.body) {
+            let blocking = d.get(&a.lock).copied().unwrap_or(false) || a.blocking;
+            d.insert(a.lock, blocking);
+        }
+        let c = calls.entry(&f.name).or_default();
+        for i in f.body.0..f.body.1 {
+            if let Some(name) = resolvable_callee(sf, i) {
+                if name != f.name {
+                    c.insert(name.to_string());
+                }
+            }
+        }
+    }
+
+    // Transitive closure: lock name → any *blocking* acquisition reachable.
+    let mut trans: BTreeMap<&str, BTreeMap<String, bool>> = direct.clone();
+    loop {
+        let mut changed = false;
+        let names: Vec<&str> = trans.keys().copied().collect();
+        for name in names {
+            let callees = calls.get(name).cloned().unwrap_or_default();
+            let mut merged: Vec<(String, bool)> = Vec::new();
+            for callee in &callees {
+                if let Some(set) = trans.get(callee.as_str()) {
+                    for (lock, blocking) in set {
+                        merged.push((lock.clone(), *blocking));
+                    }
+                }
+            }
+            let own = trans.get_mut(name).expect("present by construction");
+            for (lock, blocking) in merged {
+                let entry = own.entry(lock).or_insert_with(|| {
+                    changed = true;
+                    blocking
+                });
+                if blocking && !*entry {
+                    *entry = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Scan every guard scope: same-lock re-acquisitions, calls into
+    // lock-taking functions, and order edges.
+    let mut edges: Vec<Edge> = Vec::new();
+    for f in funcs {
+        let sf = &files[f.file];
+        for a in acquisitions(sf, f.body) {
+            let end = guard_scope_end(sf, a.idx).min(f.body.1);
+            let mut j = a.idx + 1;
+            // Step past the acquisition's own call parens.
+            if sf.tok(j).is_some_and(|t| t.text == "(") {
+                j = sf.skip_group(j);
+            }
+            while j < end {
+                let t = &sf.toks[j];
+                if (t.is_ident("lock") || t.is_ident("try_lock")) && sf.is_call(j) {
+                    if let Some(recv) = sf.receiver_last_ident(j) {
+                        if !EXCLUDED_RECEIVERS.contains(&recv) {
+                            let blocking = t.is_ident("lock");
+                            if recv == a.lock {
+                                if blocking {
+                                    push_finding(
+                                        sf,
+                                        findings,
+                                        Rule::LockReacquire,
+                                        j,
+                                        format!(
+                                            "`{}` is locked again while its guard from \
+                                             {}:{} is still live — same-thread deadlock",
+                                            a.lock, sf.toks[a.idx].line, sf.toks[a.idx].col
+                                        ),
+                                    );
+                                }
+                            } else {
+                                edges.push(Edge {
+                                    from: a.lock.clone(),
+                                    to: recv.to_string(),
+                                    blocking,
+                                    file: f.file,
+                                    line: t.line,
+                                    col: t.col,
+                                });
+                            }
+                        }
+                    }
+                } else if let Some(callee) = resolvable_callee(sf, j) {
+                    if callee != f.name {
+                        if let Some(set) = trans.get(callee) {
+                            for (lock, blocking) in set {
+                                if lock == &a.lock {
+                                    if *blocking {
+                                        push_finding(
+                                            sf,
+                                            findings,
+                                            Rule::LockHeldAcrossCall,
+                                            j,
+                                            format!(
+                                                "guard of `{}` (acquired at {}:{}) is \
+                                                 held across a call to `{}`, which \
+                                                 acquires `{}` again — same-thread \
+                                                 deadlock",
+                                                a.lock,
+                                                sf.toks[a.idx].line,
+                                                sf.toks[a.idx].col,
+                                                callee,
+                                                lock
+                                            ),
+                                        );
+                                    }
+                                } else {
+                                    edges.push(Edge {
+                                        from: a.lock.clone(),
+                                        to: lock.clone(),
+                                        blocking: *blocking,
+                                        file: f.file,
+                                        line: sf.toks[j].line,
+                                        col: sf.toks[j].col,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                j += 1;
+            }
+        }
+    }
+
+    report_cycles(files, &edges, findings);
+}
+
+/// Finds strongly-connected components of the blocking acquisition-order
+/// graph; each non-trivial SCC is one `lock-order-cycle` finding.
+fn report_cycles(files: &[SourceFile], edges: &[Edge], findings: &mut Vec<Finding>) {
+    let blocking: Vec<&Edge> = edges.iter().filter(|e| e.blocking).collect();
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    for e in &blocking {
+        nodes.insert(&e.from);
+        nodes.insert(&e.to);
+    }
+    let index: BTreeMap<&str, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let names: Vec<&str> = nodes.into_iter().collect();
+    let n = names.len();
+    let mut adj = vec![BTreeSet::new(); n];
+    for e in &blocking {
+        adj[index[e.from.as_str()]].insert(index[e.to.as_str()]);
+    }
+    // Reachability-based SCC detection (n is tiny: lock names per crate).
+    let mut reach = vec![vec![false; n]; n];
+    for (v, row) in reach.iter_mut().enumerate() {
+        let mut stack = vec![v];
+        while let Some(u) = stack.pop() {
+            for &w in &adj[u] {
+                if !row[w] {
+                    row[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    let mut reported: BTreeSet<Vec<&str>> = BTreeSet::new();
+    for (v, row_v) in reach.iter().enumerate() {
+        if !row_v[v] {
+            continue; // not on any cycle
+        }
+        let mut scc: Vec<&str> =
+            (0..n).filter(|&w| row_v[w] && reach[w][v]).map(|w| names[w]).collect();
+        scc.sort_unstable();
+        if !reported.insert(scc.clone()) {
+            continue;
+        }
+        // Report at the first blocking edge inside the component.
+        let site = blocking
+            .iter()
+            .find(|e| scc.contains(&e.from.as_str()) && scc.contains(&e.to.as_str()))
+            .expect("SCC implies an internal edge");
+        let sf = &files[site.file];
+        let finding = Finding::new(
+            sf,
+            Rule::LockOrderCycle,
+            site.line,
+            site.col,
+            format!(
+                "acquisition-order cycle between locks {{{}}} — two threads can \
+                 deadlock by acquiring in opposite orders",
+                scc.join(", ")
+            ),
+        );
+        findings.push(finding);
+    }
+}
+
+fn push_finding(sf: &SourceFile, findings: &mut Vec<Finding>, rule: Rule, idx: usize, msg: String) {
+    let t = &sf.toks[idx];
+    findings.push(Finding::new(sf, rule, t.line, t.col, msg));
+}

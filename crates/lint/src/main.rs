@@ -1,0 +1,139 @@
+#![forbid(unsafe_code)]
+//! chain2l-lint CLI.
+//!
+//! ```text
+//! cargo run -p lint -- --check            # lint the workspace, exit 1 on findings
+//! cargo run -p lint -- --check --json     # NDJSON, one finding per line
+//! cargo run -p lint -- --fixtures         # verify the fixture corpus markers
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings (or fixture mismatches), 2 usage.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+chain2l-lint: workspace static analysis (lock discipline, determinism,
+panic surface, unsafe confinement)
+
+USAGE:
+    chain2l-lint [--check] [--fixtures] [--json] [--root <dir>]
+
+OPTIONS:
+    --check         lint the workspace sources (default action)
+    --fixtures      run the seeded-violation corpus and verify every
+                    `//~ rule` marker fires (and nothing else does)
+    --json          emit findings as NDJSON instead of human-readable text
+    --root <dir>    workspace root (default: current directory)
+    -h, --help      show this help
+";
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut fixtures = false;
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--fixtures" => fixtures = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage_error("--root requires a directory argument"),
+            },
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !check && !fixtures {
+        check = true;
+    }
+    if !root.join("Cargo.toml").exists() {
+        return usage_error(&format!(
+            "`{}` does not look like the workspace root (no Cargo.toml); use --root",
+            root.display()
+        ));
+    }
+
+    let mut failed = false;
+    if check {
+        match run_check(&root, json) {
+            Ok(clean) => failed |= !clean,
+            Err(e) => {
+                eprintln!("chain2l-lint: i/o error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if fixtures {
+        match run_fixtures(&root) {
+            Ok(clean) => failed |= !clean,
+            Err(e) => {
+                eprintln!("chain2l-lint: i/o error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("chain2l-lint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Lints the workspace.  Allowed findings are listed (they are the
+/// audited panic/unsafe inventory) but only unallowed ones fail.
+fn run_check(root: &Path, json: bool) -> std::io::Result<bool> {
+    let files = lint::workspace_files(root)?;
+    let findings = lint::run_passes(&files);
+    let blocking: Vec<_> = findings.iter().filter(|f| f.allowed.is_none()).collect();
+    let allowed = findings.len() - blocking.len();
+
+    if json {
+        for f in &findings {
+            println!("{}", f.to_json());
+        }
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!(
+            "chain2l-lint: {} file(s), {} finding(s) ({} allowed, {} blocking)",
+            files.len(),
+            findings.len(),
+            allowed,
+            blocking.len()
+        );
+    }
+    Ok(blocking.is_empty())
+}
+
+/// Runs the seeded-violation corpus: every marker must fire, nothing
+/// unmarked may fire.
+fn run_fixtures(root: &Path) -> std::io::Result<bool> {
+    let files = lint::fixture_files(root)?;
+    let findings = lint::run_passes(&files);
+    let problems = lint::check_fixtures(&files, &findings);
+    for p in &problems {
+        eprintln!("{p}");
+    }
+    let markers: usize = files.iter().map(|f| f.markers.len()).sum();
+    println!(
+        "chain2l-lint: fixtures — {} file(s), {} marker(s), {} mismatch(es)",
+        files.len(),
+        markers,
+        problems.len()
+    );
+    Ok(problems.is_empty())
+}

@@ -1,0 +1,139 @@
+//! Pass 3 — panic surface of the serve daemon.
+//!
+//! A panic in the daemon path kills the whole process and every
+//! in-flight connection; `serve` is the one long-running surface in the
+//! workspace, so its non-test code must either handle errors or carry a
+//! written justification.  In files marked `scope.panics` this pass
+//! flags:
+//!
+//! - `panic-unwrap`: `.unwrap()` on any receiver.
+//! - `panic-expect`: `.expect("…")` with a *string-literal* argument —
+//!   the `Result`/`Option` combinator.  Calls with non-string arguments
+//!   are untouched; the JSON reader's own `expect(char)` parser method
+//!   takes a char literal and must not alias this rule.
+//! - `panic-macro`: `panic!`, `unreachable!`, `todo!`, `unimplemented!`,
+//!   and `assert*!` invocations.
+//! - `panic-index`: slice/array indexing `recv[…]` — an out-of-range
+//!   index panics; the daemon should bounds-check or use `.get()`.
+//!   `&x[..]` full-range reborrows are exempt.
+//!
+//! Every surviving site needs `// lint: allow(rule: reason)` on the
+//! same or previous line — the allowlist is the checked-in inventory of
+//! accepted panic sites, reviewed like code.
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::{Finding, Rule};
+
+const PANIC_MACROS: [&str; 7] =
+    ["panic", "unreachable", "todo", "unimplemented", "assert", "assert_eq", "assert_ne"];
+
+pub fn run(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    for sf in files {
+        if !sf.scope.panics {
+            continue;
+        }
+        scan_file(sf, findings);
+    }
+}
+
+fn scan_file(sf: &SourceFile, findings: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i < sf.toks.len() {
+        if sf.in_test[i] {
+            i += 1;
+            continue;
+        }
+        let t = &sf.toks[i];
+        match t.kind {
+            TokKind::Ident => {
+                if t.is_ident("unwrap") && sf.is_call(i) && preceded_by_dot(sf, i) {
+                    findings.push(Finding::new(
+                        sf,
+                        Rule::PanicUnwrap,
+                        t.line,
+                        t.col,
+                        "`.unwrap()` in the daemon path — a panic here kills the \
+                         process and every in-flight connection"
+                            .to_string(),
+                    ));
+                }
+                if t.is_ident("expect")
+                    && sf.is_call(i)
+                    && preceded_by_dot(sf, i)
+                    && sf.tok(i + 2).is_some_and(|a| a.kind == TokKind::Str)
+                {
+                    findings.push(Finding::new(
+                        sf,
+                        Rule::PanicExpect,
+                        t.line,
+                        t.col,
+                        "`.expect(\"…\")` in the daemon path — convert to a \
+                         recoverable error or justify with a lint allow"
+                            .to_string(),
+                    ));
+                }
+                if PANIC_MACROS.contains(&t.text.as_str())
+                    && sf.tok(i + 1).is_some_and(|n| n.is_punct("!"))
+                    && !preceded_by_dot(sf, i)
+                {
+                    findings.push(Finding::new(
+                        sf,
+                        Rule::PanicMacro,
+                        t.line,
+                        t.col,
+                        format!("`{}!` in the daemon path — unconditional panic", t.text),
+                    ));
+                }
+            }
+            TokKind::Open if t.text == "[" && is_index_site(sf, i) => {
+                findings.push(Finding::new(
+                    sf,
+                    Rule::PanicIndex,
+                    t.line,
+                    t.col,
+                    "slice indexing in the daemon path — an out-of-range index \
+                     panics; bounds-check or use `.get()`"
+                        .to_string(),
+                ));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+fn preceded_by_dot(sf: &SourceFile, i: usize) -> bool {
+    i > 0 && sf.toks[i - 1].is_punct(".")
+}
+
+/// An `[` opens an index expression (not an array literal, attribute, or
+/// pattern) when the previous token is an identifier or a closing `)`/`]`
+/// — i.e. it postfixes a value.  A pure `[..]` full-range reborrow cannot
+/// go out of bounds and is exempt.
+fn is_index_site(sf: &SourceFile, open: usize) -> bool {
+    let postfix = open > 0
+        && match &sf.toks[open - 1] {
+            p if p.kind == TokKind::Ident => {
+                // `#[attr]`, `fn f<T: Trait>[…]` can't occur: ident-then-[
+                // is always indexing or a generic-free macro pattern; but
+                // exclude `mut` / keywords that start expressions.
+                !matches!(p.text.as_str(), "mut" | "in" | "return" | "break")
+            }
+            p if p.kind == TokKind::Close && (p.text == ")" || p.text == "]") => true,
+            _ => false,
+        };
+    if !postfix {
+        return false;
+    }
+    // Exempt `[..]` exactly.
+    let close = sf.partner[open];
+    if close != usize::MAX
+        && close == open + 3
+        && sf.toks[open + 1].is_punct(".")
+        && sf.toks[open + 2].is_punct(".")
+    {
+        return false;
+    }
+    true
+}

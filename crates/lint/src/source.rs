@@ -1,0 +1,402 @@
+//! Per-file analysis context: the lexed token stream, delimiter partners,
+//! `#[cfg(test)]` ranges, suppression comments and fixture markers, plus
+//! the navigation helpers every pass shares (statement bounds, enclosing
+//! blocks, method-receiver extraction).
+
+use crate::lexer::{self, Comment, Tok, TokKind};
+use std::path::PathBuf;
+
+/// Which passes apply to a file (set from its workspace location, or
+/// explicitly by the fixture tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Scope {
+    /// Pass 1 — lock discipline.
+    pub locks: bool,
+    /// Pass 2 — determinism (output-producing crates only).
+    pub determinism: bool,
+    /// Pass 3 — panic surface (the serve daemon path only).
+    pub panics: bool,
+    /// Pass 4 — the `unsafe` token scan (everything but `vendor/mio_lite`).
+    pub unsafe_scan: bool,
+    /// Pass 4 — the file is a crate/target root that must carry
+    /// `#![forbid(unsafe_code)]`.
+    pub forbid_root: bool,
+}
+
+/// One `lint: allow(rule: reason)` suppression parsed from a comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Line the comment sits on (it covers this line and the next).
+    pub line: u32,
+    /// The rule code it names, e.g. `panic-unwrap`.
+    pub rule: String,
+    /// The justification (required non-empty).
+    pub reason: String,
+    /// True for `allow-file(...)`: covers the whole file for that rule.
+    pub whole_file: bool,
+}
+
+/// One lexed source file ready for the passes.
+pub struct SourceFile {
+    pub path: PathBuf,
+    /// Workspace crate the file belongs to (namespace of the lock pass's
+    /// call graph).
+    pub crate_name: String,
+    pub scope: Scope,
+    pub toks: Vec<Tok>,
+    /// Partner index of each delimiter token (`usize::MAX` = unmatched).
+    pub partner: Vec<usize>,
+    /// Token indices inside `#[cfg(test)]` / `#[test]` items.
+    pub in_test: Vec<bool>,
+    pub allows: Vec<Allow>,
+    /// Fixture expectation markers: `//~ rule` comments as (line, rule).
+    pub markers: Vec<(u32, String)>,
+}
+
+impl SourceFile {
+    /// Lexes `src` and computes every derived view.
+    pub fn parse(path: PathBuf, crate_name: &str, scope: Scope, src: &str) -> Self {
+        let lexed = lexer::lex(src);
+        let partner = lexer::match_delims(&lexed.toks);
+        let in_test = test_ranges(&lexed.toks, &partner);
+        let (allows, markers) = parse_comments(&lexed.comments);
+        Self {
+            path,
+            crate_name: crate_name.to_string(),
+            scope,
+            toks: lexed.toks,
+            partner,
+            in_test,
+            allows,
+            markers,
+        }
+    }
+
+    /// The token at `i`, if any.
+    pub fn tok(&self, i: usize) -> Option<&Tok> {
+        self.toks.get(i)
+    }
+
+    /// Index just past the group opened at `open` (or `open + 1` when the
+    /// delimiter is unmatched).
+    pub fn skip_group(&self, open: usize) -> usize {
+        match self.partner.get(open) {
+            Some(&close) if close != usize::MAX && close > open => close + 1,
+            _ => open + 1,
+        }
+    }
+
+    /// Start index of the statement containing token `i`: walks backwards
+    /// over sibling tokens (jumping whole delimiter groups) until a `;`, an
+    /// enclosing `{`/`(`/`[`, or the start of the file.
+    pub fn stmt_start(&self, i: usize) -> usize {
+        let mut j = i;
+        while j > 0 {
+            let prev = j - 1;
+            let t = &self.toks[prev];
+            match t.kind {
+                TokKind::Close => {
+                    let open = self.partner[prev];
+                    if open == usize::MAX {
+                        return j;
+                    }
+                    // A closed group `{…}` directly before us usually ends
+                    // the previous item (fn body, match, if/else) — treat a
+                    // brace group as a statement boundary unless it is an
+                    // expression operand (preceded by `=`/`(`/`,`-style
+                    // puncts, e.g. `let x = loop { … };`), which we accept
+                    // as over-splitting: passes only ever *narrow* scopes
+                    // with this, never widen them.
+                    if t.text == "}" {
+                        return j;
+                    }
+                    j = open;
+                }
+                TokKind::Open => return j,
+                TokKind::Punct if t.text == ";" => return j,
+                _ => j = prev,
+            }
+        }
+        0
+    }
+
+    /// Index just past the end of the statement containing token `i`:
+    /// walks forward over sibling tokens until just past a `;`, or to an
+    /// enclosing close delimiter / EOF.  Brace groups are jumped, so an
+    /// `if … { … } else { … }` statement ends after its last block (the
+    /// next iteration then sees the following token).
+    pub fn stmt_end(&self, i: usize) -> usize {
+        let mut j = i;
+        while j < self.toks.len() {
+            let t = &self.toks[j];
+            match t.kind {
+                TokKind::Open => j = self.skip_group(j),
+                TokKind::Close => return j,
+                TokKind::Punct if t.text == ";" => return j + 1,
+                _ => j += 1,
+            }
+        }
+        self.toks.len()
+    }
+
+    /// Index of the close delimiter of the innermost brace block containing
+    /// token `i` (EOF when at the top level): the approximate scope of a
+    /// `let`-bound guard.
+    pub fn enclosing_block_end(&self, i: usize) -> usize {
+        let mut j = i;
+        while j < self.toks.len() {
+            let t = &self.toks[j];
+            match t.kind {
+                TokKind::Open => j = self.skip_group(j),
+                TokKind::Close => return j,
+                _ => j += 1,
+            }
+        }
+        self.toks.len()
+    }
+
+    /// For a method call `recv.name(…)` whose `name` ident sits at `i`,
+    /// the last identifier of the receiver path: `self.f64_pool.lock()` →
+    /// `f64_pool`, `stdout().lock()` → `stdout`, `map.drain()` → `map`.
+    /// `None` when `i` is not preceded by `.` or the receiver is opaque.
+    pub fn receiver_last_ident(&self, i: usize) -> Option<&str> {
+        if i < 2 || !self.toks[i - 1].is_punct(".") {
+            return None;
+        }
+        let mut j = i - 1; // the dot
+        while j > 0 {
+            let prev = j - 1;
+            match self.toks[prev].kind {
+                TokKind::Ident => return Some(&self.toks[prev].text),
+                TokKind::Close => {
+                    // `stdout().lock()`: jump the call parens, then expect
+                    // the callee ident right before them.
+                    let open = self.partner[prev];
+                    if open == usize::MAX || open == 0 {
+                        return None;
+                    }
+                    j = open;
+                }
+                TokKind::Punct if self.toks[prev].text == "." || self.toks[prev].text == ":" => {
+                    j = prev;
+                }
+                _ => return None,
+            }
+        }
+        None
+    }
+
+    /// True when the method call at ident `i` is invoked directly on
+    /// `self` (`self.name(…)`, not `self.field.name(…)`).
+    pub fn receiver_is_self(&self, i: usize) -> bool {
+        i >= 2
+            && self.toks[i - 1].is_punct(".")
+            && self.toks[i - 2].is_ident("self")
+            && (i < 3 || !self.toks[i - 3].is_punct("."))
+    }
+
+    /// True when token `i` is an identifier immediately followed by `(` —
+    /// the shape of any call or tuple-struct construction.
+    pub fn is_call(&self, i: usize) -> bool {
+        self.toks[i].kind == TokKind::Ident
+            && self.toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Open && t.text == "(")
+    }
+
+    /// Suppressions matching a finding of `rule` at `line`: a same-line or
+    /// previous-line `lint: allow(rule: …)`, or a file-wide
+    /// `lint: allow-file(rule: …)`.
+    pub fn allow_for(&self, rule: &str, line: u32) -> Option<&Allow> {
+        self.allows
+            .iter()
+            .find(|a| a.rule == rule && (a.whole_file || a.line == line || a.line + 1 == line))
+    }
+}
+
+/// Marks every token inside a `#[cfg(test)]` item or `#[test]` function.
+fn test_ranges(toks: &[Tok], partner: &[usize]) -> Vec<bool> {
+    let mut in_test = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct("#")
+            && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Open && t.text == "[")
+        {
+            let attr_open = i + 1;
+            let attr_close = partner[attr_open];
+            if attr_close != usize::MAX && is_test_attr(&toks[attr_open + 1..attr_close]) {
+                // Skip any further attributes, then mark the body of the
+                // item that follows (`mod … { … }`, `fn … { … }`).
+                let mut j = attr_close + 1;
+                while j < toks.len()
+                    && toks[j].is_punct("#")
+                    && toks.get(j + 1).is_some_and(|t| t.text == "[")
+                {
+                    let close = partner[j + 1];
+                    j = if close == usize::MAX { j + 2 } else { close + 1 };
+                }
+                // Find the item's brace body, jumping over parameter lists
+                // and generics; give up at `;` (e.g. a cfg'd `use`).
+                let mut k = j;
+                let mut body = None;
+                while k < toks.len() {
+                    match toks[k].kind {
+                        TokKind::Open if toks[k].text == "{" => {
+                            body = Some(k);
+                            break;
+                        }
+                        TokKind::Open => k = partner[k].wrapping_add(1).max(k + 1),
+                        TokKind::Punct if toks[k].text == ";" => break,
+                        TokKind::Close => break,
+                        _ => k += 1,
+                    }
+                }
+                if let Some(open) = body {
+                    let close = partner[open];
+                    if close != usize::MAX {
+                        for flag in &mut in_test[i..=close] {
+                            *flag = true;
+                        }
+                        i = close + 1;
+                        continue;
+                    }
+                }
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// `cfg(test)` / `cfg(all(test, …))` / bare `test` attribute bodies.
+fn is_test_attr(body: &[Tok]) -> bool {
+    match body.first() {
+        Some(t) if t.is_ident("test") => true,
+        Some(t) if t.is_ident("cfg") => body.iter().any(|t| t.is_ident("test")),
+        _ => false,
+    }
+}
+
+/// Extracts `lint: allow(rule: reason)` / `lint: allow-file(rule: reason)`
+/// suppressions and `//~ rule` fixture markers from the comment list.
+fn parse_comments(comments: &[Comment]) -> (Vec<Allow>, Vec<(u32, String)>) {
+    let mut allows = Vec::new();
+    let mut markers = Vec::new();
+    for c in comments {
+        if let Some(rest) = c.text.trim_start_matches('/').trim().strip_prefix('~') {
+            let rule = rest.split_whitespace().next().unwrap_or("").to_string();
+            if !rule.is_empty() {
+                markers.push((c.line, rule));
+            }
+        }
+        let mut text = c.text.as_str();
+        while let Some(at) = text.find("lint: ") {
+            text = &text[at + "lint: ".len()..];
+            let whole_file = text.starts_with("allow-file(");
+            let keyword = if whole_file { "allow-file(" } else { "allow(" };
+            let Some(args) = text.strip_prefix(keyword) else { continue };
+            let Some(end) = args.find(')') else { continue };
+            let inner = &args[..end];
+            let Some((rule, reason)) = inner.split_once(':') else { continue };
+            let (rule, reason) = (rule.trim(), reason.trim());
+            if !rule.is_empty() && !reason.is_empty() {
+                allows.push(Allow {
+                    line: c.line,
+                    rule: rule.to_string(),
+                    reason: reason.to_string(),
+                    whole_file,
+                });
+            }
+            text = &args[end..];
+        }
+    }
+    (allows, markers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from("mem.rs"), "t", Scope::default(), src)
+    }
+
+    #[test]
+    fn cfg_test_modules_are_marked() {
+        let f = file(
+            "fn live() { x.unwrap(); }\n\
+             #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { y.unwrap(); }\n}\n\
+             fn also_live() {}",
+        );
+        let unwraps: Vec<bool> = f
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(i, _)| f.in_test[i])
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+        let live = f.toks.iter().position(|t| t.is_ident("also_live")).expect("present");
+        assert!(!f.in_test[live]);
+    }
+
+    #[test]
+    fn allow_comments_parse_and_match() {
+        let f = file(
+            "// lint: allow(panic-unwrap: startup only, config is static)\n\
+             fn f() { x.unwrap(); }\n\
+             // lint: allow-file(panic-index: slab indices are loop-owned)\n",
+        );
+        assert_eq!(f.allows.len(), 2);
+        assert!(f.allow_for("panic-unwrap", 2).is_some(), "next-line coverage");
+        assert!(f.allow_for("panic-unwrap", 4).is_none());
+        assert!(f.allow_for("panic-index", 999).is_some(), "file-wide coverage");
+        assert!(f.allow_for("panic-expect", 2).is_none(), "rule codes must match");
+    }
+
+    #[test]
+    fn allow_requires_rule_and_reason() {
+        let f = file("// lint: allow(panic-unwrap:)\n// lint: allow(: reasonless)\nfn f() {}");
+        assert!(f.allows.is_empty());
+    }
+
+    #[test]
+    fn fixture_markers_parse() {
+        let f = file("fn f() { x.unwrap(); } //~ panic-unwrap\n");
+        assert_eq!(f.markers, vec![(1, "panic-unwrap".to_string())]);
+    }
+
+    #[test]
+    fn statement_and_scope_bounds() {
+        let f = file("fn f() { let a = g(1); h(2); }");
+        let h = f.toks.iter().position(|t| t.is_ident("h")).expect("present");
+        let start = f.stmt_start(h);
+        assert!(f.toks[start].is_ident("h"));
+        let end = f.stmt_end(h);
+        assert!(f.toks[end - 1].is_punct(";"));
+        let close = f.enclosing_block_end(h);
+        assert!(f.toks[close].is_punct("}"));
+    }
+
+    #[test]
+    fn receiver_extraction() {
+        let f = file("fn f() { self.f64_pool.lock(); stdout().lock(); map.drain(); }");
+        let receivers: Vec<String> = f
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("lock") || t.is_ident("drain"))
+            .filter_map(|(i, _)| f.receiver_last_ident(i).map(str::to_string))
+            .collect();
+        assert_eq!(receivers, vec!["f64_pool", "stdout", "map"]);
+    }
+
+    #[test]
+    fn self_method_detection() {
+        let f = file("fn f() { self.stats(); self.cache.clear(); free(); }");
+        let stats = f.toks.iter().position(|t| t.is_ident("stats")).expect("present");
+        let clear = f.toks.iter().position(|t| t.is_ident("clear")).expect("present");
+        assert!(f.receiver_is_self(stats));
+        assert!(!f.receiver_is_self(clear));
+    }
+}

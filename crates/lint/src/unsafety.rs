@@ -1,0 +1,79 @@
+//! Pass 4 — unsafe confinement.
+//!
+//! The workspace promise is that `unsafe` lives only in the vendored
+//! readiness-loop shim (`vendor/mio_lite`, which must issue raw
+//! `epoll`/`kqueue` syscalls).  Everywhere else:
+//!
+//! - `unsafe-code`: any `unsafe` token outside the vendored shim is a
+//!   finding.  Test-harness allocator instrumentation (the counting
+//!   `GlobalAlloc` used by the alloc-free gate) carries a written
+//!   `// lint: allow(unsafe-code: …)` justification instead of moving
+//!   the code.
+//! - `missing-forbid`: every crate/binary root in scope must declare
+//!   `#![forbid(unsafe_code)]` so the compiler enforces the invariant,
+//!   not just this lint.  A root is exempt when it contains an
+//!   *allowed* unsafe site (forbid would reject the justified code).
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::{Finding, Rule};
+
+pub fn run(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    for sf in files {
+        let mut has_allowed_unsafe = false;
+        if sf.scope.unsafe_scan {
+            for t in &sf.toks {
+                if t.kind == TokKind::Ident && t.text == "unsafe" {
+                    let f = Finding::new(
+                        sf,
+                        Rule::UnsafeCode,
+                        t.line,
+                        t.col,
+                        "`unsafe` outside vendor/mio_lite — the workspace confines \
+                         unsafe code to the vendored readiness shim"
+                            .to_string(),
+                    );
+                    if f.allowed.is_some() {
+                        has_allowed_unsafe = true;
+                    }
+                    findings.push(f);
+                }
+            }
+        }
+        if sf.scope.forbid_root && !has_allowed_unsafe && !has_forbid(sf) {
+            findings.push(Finding::new(
+                sf,
+                Rule::MissingForbid,
+                1,
+                1,
+                "crate root lacks `#![forbid(unsafe_code)]` — the compiler should \
+                 enforce unsafe confinement, not just this lint"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Looks for `#![forbid(unsafe_code)]` anywhere in the file (inner
+/// attributes must be at the top, but position doesn't matter for the
+/// check).
+fn has_forbid(sf: &SourceFile) -> bool {
+    let mut i = 0;
+    while i + 1 < sf.toks.len() {
+        if sf.toks[i].is_punct("#")
+            && sf.toks[i + 1].is_punct("!")
+            && sf.tok(i + 2).is_some_and(|t| t.kind == TokKind::Open && t.text == "[")
+        {
+            let close = sf.partner[i + 2];
+            if close != usize::MAX {
+                let inner: Vec<&str> =
+                    sf.toks[i + 3..close].iter().map(|t| t.text.as_str()).collect();
+                if inner.contains(&"forbid") && inner.contains(&"unsafe_code") {
+                    return true;
+                }
+            }
+        }
+        i += 1;
+    }
+    false
+}

@@ -1,0 +1,58 @@
+//! The fixture corpus is the lint's regression suite: every `//~ rule`
+//! marker must be hit by exactly one unallowed finding on that line, and
+//! the near-miss files (no markers) must stay silent.
+
+use std::path::Path;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap()
+}
+
+#[test]
+fn every_marker_fires_and_nothing_else() {
+    let files = lint::fixture_files(repo_root()).expect("fixture corpus readable");
+    assert!(files.len() >= 12, "corpus went missing? found {} files", files.len());
+    let findings = lint::run_passes(&files);
+    let problems = lint::check_fixtures(&files, &findings);
+    assert!(problems.is_empty(), "fixture corpus mismatches:\n{}", problems.join("\n"));
+}
+
+#[test]
+fn corpus_covers_every_pass() {
+    let files = lint::fixture_files(repo_root()).expect("fixture corpus readable");
+    let markers: Vec<String> =
+        files.iter().flat_map(|f| f.markers.iter().map(|(_, r)| r.clone())).collect();
+    for rule in [
+        "lock-reacquire",
+        "lock-held-across-call",
+        "lock-order-cycle",
+        "det-hash-iter",
+        "det-time",
+        "det-thread-id",
+        "det-ptr",
+        "panic-unwrap",
+        "panic-expect",
+        "panic-macro",
+        "panic-index",
+        "unsafe-code",
+        "missing-forbid",
+    ] {
+        assert!(markers.iter().any(|m| m == rule), "no fixture seeds rule `{rule}`");
+    }
+}
+
+#[test]
+fn pr5_deadlock_shape_is_caught() {
+    // The one regression this lint exists for: a guard temporary born in
+    // a Debug builder-chain argument, held across a self-call that locks
+    // the same mutex (fixed in the engine once; never again).
+    let files = lint::fixture_files(repo_root()).expect("fixture corpus readable");
+    let findings = lint::run_passes(&files);
+    assert!(
+        findings.iter().any(|f| {
+            f.rule.code() == "lock-held-across-call"
+                && f.path.to_string_lossy().contains("builder_chain")
+        }),
+        "the PR 5 builder-chain deadlock fixture did not fire"
+    );
+}

@@ -7,6 +7,8 @@
 //! engine then keeps at most `N` cached solutions and `N` retained DP table
 //! contexts (LRU eviction).
 
+#![forbid(unsafe_code)]
+
 use chain2l_core::EngineLimits;
 
 fn main() {

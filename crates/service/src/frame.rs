@@ -18,6 +18,8 @@
 //! simultaneously caps the reorder buffer and provides backpressure — a
 //! connection at its limit simply stops being read until responses drain.
 
+// lint: allow-file(panic-index: buffer cursors (`scanned`, `out_pos`, read length `n`) are maintained <= len by construction; property tests in tests/frame_robustness.rs pin the invariant)
+
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;

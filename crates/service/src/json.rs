@@ -168,6 +168,7 @@ impl Parser {
         while matches!(self.peek(), Some(c) if c.is_ascii_digit() || "+-.eE".contains(c)) {
             self.pos += 1;
         }
+        // lint: allow(panic-index: `pos` only advances via peek() hits, so start..pos stays within chars)
         let raw: String = self.chars[start..self.pos].iter().collect();
         if raw.parse::<f64>().is_err() {
             return Err(format!("malformed number `{raw}`"));

@@ -24,6 +24,8 @@
 //! **or** when its stdin reaches EOF — the parent holds the write end of
 //! that pipe, so even a `kill -9`'d parent takes its orphans down with it.
 
+// lint: allow-file(panic-expect: a poisoned jobs/done lock or condvar means a solver thread already panicked; propagating tears the worker down, which the parent daemon detects and reroutes)
+
 use crate::frame::{Conn, FrameError};
 use crate::protocol::{self, Request, Response, SolveResult};
 use chain2l_core::{Engine, EngineLimits};
@@ -261,6 +263,7 @@ fn accept_new(
                     slots.len() - 1
                 });
                 poll.register(&slot.conn.stream, Token(CONN_BASE + index), Interest::READABLE)?;
+                // lint: allow(panic-index: `index` is a position hit or `slots.len() - 1` after a push)
                 slots[index] = Some(slot);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),

@@ -14,6 +14,8 @@
 //! cargo run --release --example climate_workflow
 //! ```
 
+#![forbid(unsafe_code)]
+
 use chain2l::core::evaluator::expected_makespan;
 use chain2l::core::heuristics;
 use chain2l::prelude::*;

@@ -13,6 +13,8 @@
 //! cargo run --release --example exascale_projection
 //! ```
 
+#![forbid(unsafe_code)]
+
 use chain2l::analysis::sweep::{rate_scaling_sweep, recall_sweep, tail_accounting_comparison};
 use chain2l::prelude::*;
 use chain2l::Engine;

@@ -16,6 +16,8 @@
 //! cargo run --release --example fault_tolerant_solver
 //! ```
 
+#![forbid(unsafe_code)]
+
 use chain2l::exec::{
     Executor, InvariantDetector, Pipeline, PoissonFaults, SampledDetector, TaskSpec,
 };

@@ -7,6 +7,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![forbid(unsafe_code)]
+
 use chain2l::prelude::*;
 
 fn main() {

@@ -6,6 +6,8 @@
 //! This stub therefore only has to provide the two traits and their derive
 //! macros; the derives emit empty impls of these marker traits.
 
+#![forbid(unsafe_code)]
+
 /// A type that can be serialised.  Marker-only in this offline stand-in.
 pub trait Serialize {}
 

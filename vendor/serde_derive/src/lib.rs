@@ -4,6 +4,8 @@
 //! tiny hand-rolled parser extracts the type name (and rejects generic types,
 //! which the workspace does not derive serde traits on).
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{TokenStream, TokenTree};
 
 /// Finds the identifier following the `struct` / `enum` / `union` keyword.
