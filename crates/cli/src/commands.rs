@@ -82,6 +82,14 @@ SERVE:
                                   (LRU eviction; default: unbounded)
   --window <n>                    per-connection inflight window before the
                                   daemon defers reads (backpressure; default: 128)
+  --state-dir <dir>               persist each shard's warm state into this
+                                  (existing, writable) directory: snapshots are
+                                  loaded at boot, written every --snapshot-every
+                                  seconds and on shutdown, so a restarted daemon
+                                  serves warm; corrupt or mismatched snapshots
+                                  fall back to a cold start
+  --snapshot-every <seconds>      periodic snapshot interval (default: 30;
+                                  requires --state-dir)
   --stats | --stop                query / gracefully stop the daemon at --addr
 
 BENCH-LOAD:
@@ -550,12 +558,69 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, ArgError> {
                 .into(),
         });
     }
+    let snapshot_every = match args.options.get("snapshot-every") {
+        None => None,
+        Some(_) => {
+            let secs = args.u64_or("snapshot-every", 0)?;
+            if secs == 0 {
+                return Err(ArgError::InvalidValue {
+                    option: "snapshot-every".into(),
+                    value: "0".into(),
+                    expected: "a positive number of seconds between snapshots \
+                               (omit the option for the default)"
+                        .into(),
+                });
+            }
+            Some(secs)
+        }
+    };
     if args.flag("internal-shard") {
         let limits = cache_cap.map(EngineLimits::entry_cap).unwrap_or_default();
-        chain2l_service::shard::run_shard_with(limits)
+        // Persistence flags are appended by the parent daemon's spawner;
+        // a worker without --state-dir simply runs without snapshots.
+        let persister = match args.options.get("state-dir") {
+            None => None,
+            Some(dir) => Some(std::sync::Arc::new(chain2l_service::Persister::new(
+                chain2l_service::PersistConfig {
+                    state_dir: std::path::PathBuf::from(dir),
+                    snapshot_every_secs: snapshot_every
+                        .unwrap_or(chain2l_service::server::DEFAULT_SNAPSHOT_EVERY_SECS),
+                    identity: chain2l_core::ShardIdentity::new(
+                        args.u64_or("shard-index", 0)? as u32,
+                        args.u64_or("shard-count", 1)? as u32,
+                    ),
+                },
+            ))),
+        };
+        chain2l_service::shard::run_shard_persistent(limits, persister)
             .map_err(|e| ArgError::runtime("shard worker", e))?;
         return Ok(String::new());
     }
+    let state_dir = match args.options.get("state-dir") {
+        None => {
+            if snapshot_every.is_some() {
+                return Err(ArgError::InvalidValue {
+                    option: "snapshot-every".into(),
+                    value: args.get_or("snapshot-every", "").to_string(),
+                    expected: "--state-dir to be set as well (snapshots need \
+                               a directory to persist into)"
+                        .into(),
+                });
+            }
+            None
+        }
+        Some(dir) => {
+            let dir = std::path::PathBuf::from(dir);
+            chain2l_service::persist::check_state_dir(&dir).map_err(|why| {
+                ArgError::InvalidValue {
+                    option: "state-dir".into(),
+                    value: dir.display().to_string(),
+                    expected: format!("an existing writable directory ({why})"),
+                }
+            })?;
+            Some(dir)
+        }
+    };
     let addr = args.get_or("addr", "127.0.0.1:4615");
     if args.flag("stop") {
         client::shutdown(addr)
@@ -583,6 +648,10 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, ArgError> {
     let mut config = ServeConfig::self_hosted(addr, shards, cache_cap)
         .map_err(|e| ArgError::runtime("resolving the shard worker command", e))?;
     config.window = window;
+    config.state_dir = state_dir;
+    if let Some(secs) = snapshot_every {
+        config.snapshot_every_secs = secs;
+    }
     let server =
         Server::bind(&config).map_err(|e| ArgError::runtime(&format!("binding {addr}"), e))?;
     eprintln!(
@@ -1253,6 +1322,61 @@ hera uniform 8
         let err = run_tokens(&["serve", "--stats", "--window", "0", "--addr", "127.0.0.1:1"])
             .unwrap_err();
         assert!(err.is_usage(), "window=0 is rejected even on control ops");
+    }
+
+    #[test]
+    fn serve_validates_state_dir_and_snapshot_interval() {
+        // A nonexistent state dir is a usage error (exit code 2) with the
+        // expectation spelled out, before any worker is spawned.
+        let err = run_tokens(&["serve", "--state-dir", "/nonexistent-chain2l-state"]).unwrap_err();
+        assert!(matches!(&err, ArgError::InvalidValue { option, value, expected }
+            if option == "state-dir"
+                && value == "/nonexistent-chain2l-state"
+                && expected.contains("existing writable directory")));
+        assert!(err.is_usage());
+
+        // A state dir that is actually a file fails the same way.
+        let file =
+            std::env::temp_dir().join(format!("chain2l-cli-statefile-{}", std::process::id()));
+        std::fs::write(&file, b"not a dir").unwrap();
+        let err = run_tokens(&["serve", "--state-dir", file.to_str().unwrap()]).unwrap_err();
+        assert!(matches!(&err, ArgError::InvalidValue { option, .. } if option == "state-dir"));
+        let _ = std::fs::remove_file(&file);
+
+        // A zero snapshot interval would spin the snapshotter; reject it
+        // whether or not a state dir is given (and on the worker path too).
+        let err = run_tokens(&["serve", "--snapshot-every", "0"]).unwrap_err();
+        assert!(matches!(&err, ArgError::InvalidValue { option, value, .. }
+            if option == "snapshot-every" && value == "0"));
+        assert!(err.is_usage());
+        let err = run_tokens(&["serve", "--internal-shard", "--snapshot-every", "0"]).unwrap_err();
+        assert!(err.is_usage());
+
+        // --snapshot-every without --state-dir has nowhere to persist:
+        // usage error naming the missing half.
+        let err = run_tokens(&["serve", "--snapshot-every", "5"]).unwrap_err();
+        assert!(matches!(&err, ArgError::InvalidValue { option, expected, .. }
+            if option == "snapshot-every" && expected.contains("--state-dir")));
+        assert!(err.is_usage());
+
+        // Validation runs before control ops, so a good dir + --stats only
+        // fails at the (dead) socket — proving the probe accepts a real,
+        // writable directory.
+        let dir = std::env::temp_dir().join(format!("chain2l-cli-statedir-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = run_tokens(&[
+            "serve",
+            "--stats",
+            "--addr",
+            "127.0.0.1:1",
+            "--state-dir",
+            dir.to_str().unwrap(),
+            "--snapshot-every",
+            "5",
+        ])
+        .unwrap_err();
+        assert!(!err.is_usage(), "a writable dir must pass validation: {err:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -41,11 +41,11 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// excluded, so a renamed but otherwise identical platform still hits.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ScenarioFingerprint {
-    lambda_fail_stop: u64,
-    lambda_silent: u64,
-    costs: [u64; 7],
-    weights: Vec<u64>,
-    algorithm: Algorithm,
+    pub(crate) lambda_fail_stop: u64,
+    pub(crate) lambda_silent: u64,
+    pub(crate) costs: [u64; 7],
+    pub(crate) weights: Vec<u64>,
+    pub(crate) algorithm: Algorithm,
 }
 
 /// The seven cost-model fields in fingerprint order, as `f64` bit patterns.
@@ -499,6 +499,66 @@ impl SolutionCache {
     /// True when no solve has been cached yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Snapshot view of every *settled* entry as `(fingerprint, solution)`
+    /// pairs, ordered least- to most-recently used.
+    ///
+    /// Entries whose solve is still in flight (unset `OnceLock`) are skipped
+    /// — `get()` never blocks, so exporting can never serialize behind a
+    /// cold solve.  Re-inserting the pairs in the returned order through
+    /// [`Self::restore_entry`] reproduces the recency order exactly.
+    pub(crate) fn export_entries(&self) -> Vec<(ScenarioFingerprint, Arc<Solution>)> {
+        let store = self.store.lock().expect("cache store poisoned");
+        let mut out = Vec::with_capacity(store.entries);
+        for lru_id in store.lru.iter_lru() {
+            let hash = store.lru_hashes[lru_id];
+            let Some(bucket) = store.buckets.get(&hash) else { continue };
+            let Some(slot) = bucket.iter().find(|slot| slot.lru_id == lru_id) else { continue };
+            if let Some(solution) = slot.entry.get() {
+                out.push((slot.fingerprint.clone(), solution.clone()));
+            }
+        }
+        out
+    }
+
+    /// Re-installs one snapshot-restored entry with its solution already
+    /// settled, inserting at the most-recently-used position.
+    ///
+    /// Counts toward the entry/byte limits (evicting if needed) but not
+    /// toward hits or misses — a restore is neither.  Returns `false` when
+    /// the fingerprint is already cached (the existing entry wins).
+    pub(crate) fn restore_entry(
+        &self,
+        fingerprint: ScenarioFingerprint,
+        solution: Arc<Solution>,
+    ) -> bool {
+        let hash = fingerprint.stable_hash();
+        let approx_bytes = approx_entry_bytes(fingerprint.weights.len());
+        let mut store = self.store.lock().expect("cache store poisoned");
+        if store
+            .buckets
+            .get(&hash)
+            .is_some_and(|bucket| bucket.iter().any(|slot| slot.fingerprint == fingerprint))
+        {
+            return false;
+        }
+        let entry: CacheEntry = Arc::new(OnceLock::new());
+        let _ = entry.set(solution);
+        let lru_id = store.lru_insert(hash);
+        store.buckets.entry(hash).or_default().push(Slot {
+            fingerprint,
+            entry,
+            lru_id,
+            approx_bytes,
+        });
+        store.entries += 1;
+        store.approx_bytes += approx_bytes;
+        let evicted = store.enforce(&self.limits, lru_id);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        true
     }
 
     /// Drops every cached entry (the hit/miss/eviction counters keep

@@ -83,6 +83,28 @@ impl DiskSlice {
         arena.give_u32(self.emem_choice);
     }
 
+    /// Deep-copies the slice, drawing the copies' backing buffers from
+    /// `arena` — the snapshot path's capture primitive (the copies are
+    /// bit-identical, so a snapshot taken from them equals one taken from
+    /// the originals).
+    pub fn deep_clone_in(&self, arena: &TableArena) -> Self {
+        let mut emem = arena.take_f64(self.emem.len(), 0.0);
+        emem.clear();
+        emem.extend_from_slice(&self.emem);
+        let mut emem_choice = arena.take_u32(self.emem_choice.len(), NO_CHOICE);
+        emem_choice.clear();
+        emem_choice.extend_from_slice(&self.emem_choice);
+        Self {
+            everif: self.everif.clone_into(arena.take_f64(self.everif.entries(), 0.0)),
+            everif_choice: self
+                .everif_choice
+                .clone_into(arena.take_u32(self.everif_choice.entries(), NO_CHOICE)),
+            emem,
+            emem_choice,
+            candidates: self.candidates,
+        }
+    }
+
     /// Grows the slice in place to columns `0..=new_n` and `new_rows` Everif
     /// rows, preserving every computed entry.
     pub fn grow(&mut self, new_n: usize, new_rows: usize) {
@@ -132,6 +154,25 @@ impl DpTables {
         }
         arena.give_f64(self.edisk);
         arena.give_u32(self.edisk_choice);
+    }
+
+    /// Deep-copies the full table set through `arena` (see
+    /// [`DiskSlice::deep_clone_in`]); recycle the copy back into the same
+    /// arena when done so repeated snapshots reuse the same buffers.
+    pub fn deep_clone_in(&self, arena: &TableArena) -> Self {
+        let mut edisk = arena.take_f64(self.edisk.len(), 0.0);
+        edisk.clear();
+        edisk.extend_from_slice(&self.edisk);
+        let mut edisk_choice = arena.take_u32(self.edisk_choice.len(), NO_CHOICE);
+        edisk_choice.clear();
+        edisk_choice.extend_from_slice(&self.edisk_choice);
+        Self {
+            slices: self.slices.iter().map(|slice| slice.deep_clone_in(arena)).collect(),
+            edisk,
+            edisk_choice,
+            floor_candidates: self.floor_candidates,
+            candidates: self.candidates,
+        }
     }
 }
 

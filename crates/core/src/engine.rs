@@ -42,6 +42,7 @@ use crate::cache::{CacheLimits, CacheStats, SolutionCache, SolveRequest};
 use crate::dp::DpTables;
 use crate::lru::LruList;
 use crate::segment::{PartialCostModel, SegmentCalculator};
+use crate::snapshot::{SnapshotLoadOutcome, SnapshotStats};
 use crate::solution::{DpStatistics, Solution};
 use crate::two_level::TwoLevelOptions;
 use crate::{partial, two_level, Algorithm, PartialOptions};
@@ -237,10 +238,10 @@ pub(crate) fn assemble(
 /// One solving context: everything the kernels read besides the weights.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct ContextKey {
-    lambda_fail_stop: u64,
-    lambda_silent: u64,
-    costs: [u64; 7],
-    algorithm: Algorithm,
+    pub(crate) lambda_fail_stop: u64,
+    pub(crate) lambda_silent: u64,
+    pub(crate) costs: [u64; 7],
+    pub(crate) algorithm: Algorithm,
 }
 
 impl ContextKey {
@@ -276,6 +277,15 @@ pub(crate) fn bitwise_prefix(prefix: &[f64], weights: &[f64]) -> bool {
 struct EngineContext {
     weights: Vec<f64>,
     state: KernelState,
+}
+
+/// One retained context captured for (or restored from) a snapshot: the
+/// context key, the solved weight vector and an owned, bit-exact copy of
+/// its DP tables.
+pub(crate) struct ContextExport {
+    pub(crate) key: ContextKey,
+    pub(crate) weights: Vec<f64>,
+    pub(crate) tables: DpTables,
 }
 
 /// One retained-context slot plus its recency-list node.
@@ -343,6 +353,9 @@ pub struct EngineStats {
     pub contexts: usize,
     /// Retained contexts evicted by the `contexts` limit.
     pub context_evictions: u64,
+    /// Warm-start persistence counters (snapshots written, last size and
+    /// duration, boot-load outcome).
+    pub snapshot: SnapshotStats,
 }
 
 impl EngineStats {
@@ -362,7 +375,7 @@ impl std::fmt::Display for EngineStats {
         write!(
             f,
             "{}; routes: {} reused, {} extended, {} cold (pruned), {} cold (exhaustive); \
-             arena: {}; contexts: {} retained ({} evicted)",
+             arena: {}; contexts: {} retained ({} evicted); snapshots: {}",
             self.cache,
             self.reused,
             self.extended,
@@ -370,7 +383,8 @@ impl std::fmt::Display for EngineStats {
             self.cold_exhaustive,
             self.arena,
             self.contexts,
-            self.context_evictions
+            self.context_evictions,
+            self.snapshot
         )
     }
 }
@@ -416,6 +430,10 @@ pub struct Engine {
     cold_pruned: AtomicU64,
     cold_exhaustive: AtomicU64,
     context_evictions: AtomicU64,
+    snapshots_written: AtomicU64,
+    snapshot_last_bytes: AtomicU64,
+    snapshot_last_micros: AtomicU64,
+    snapshot_load: Mutex<SnapshotLoadOutcome>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -598,6 +616,114 @@ impl Engine {
         }
     }
 
+    /// The resource bounds this engine was constructed with.
+    pub fn limits(&self) -> EngineLimits {
+        self.limits
+    }
+
+    /// The memoizing solution cache (snapshot capture/restore only).
+    pub(crate) fn snapshot_cache(&self) -> &SolutionCache {
+        &self.cache
+    }
+
+    /// The table arena (snapshot capture/restore draws its buffers here so
+    /// repeated snapshot cycles reuse pooled buffers instead of growing the
+    /// heap).
+    pub(crate) fn snapshot_arena(&self) -> &TableArena {
+        &self.arena
+    }
+
+    /// Snapshot view of every idle retained context, ordered least- to
+    /// most-recently used: the context key, the solved weight vector and a
+    /// bit-exact deep copy of the DP tables.
+    ///
+    /// Each slot is probed with `try_lock` — a context mid-extension is
+    /// simply skipped, so capturing can never serialize behind a solve.
+    /// The caller owns the table copies and should recycle them into the
+    /// engine's arena when done.
+    pub(crate) fn export_contexts(&self) -> Vec<ContextExport> {
+        // Capture the LRU-ordered keys first, then clone outside the store
+        // lock: deep-copying a large table set must not stall the hot path's
+        // map access.
+        let slots: Vec<(ContextKey, Arc<Mutex<Option<EngineContext>>>)> = {
+            let store = self.contexts.lock().expect("context map poisoned");
+            store
+                .lru
+                .iter_lru()
+                .filter_map(|lru_id| {
+                    let key = store.lru_keys[lru_id].clone();
+                    let slot = store.map.get(&key)?.slot.clone();
+                    Some((key, slot))
+                })
+                .collect()
+        };
+        let mut out = Vec::with_capacity(slots.len());
+        for (key, slot) in slots {
+            if let Ok(guard) = slot.try_lock() {
+                if let Some(ctx) = guard.as_ref() {
+                    out.push(ContextExport {
+                        key,
+                        weights: ctx.weights.clone(),
+                        tables: ctx.state.tables.deep_clone_in(&self.arena),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Re-installs one snapshot-restored context at the most-recently-used
+    /// position, returning whether it was installed.  A key that is already
+    /// present wins over the import (its tables may be fresher); the
+    /// imported tables are then recycled into the arena.  Counts toward the
+    /// `contexts` limit, not toward any routing counter.
+    pub(crate) fn import_context(&self, export: ContextExport) -> bool {
+        let ContextExport { key, weights, tables } = export;
+        let slot = {
+            let mut store = self.contexts.lock().expect("context map poisoned");
+            if store.map.contains_key(&key) {
+                None
+            } else {
+                let lru_id = store.lru.push_front();
+                if lru_id == store.lru_keys.len() {
+                    store.lru_keys.push(key.clone());
+                } else {
+                    store.lru_keys[lru_id] = key.clone();
+                }
+                let slot: Arc<Mutex<Option<EngineContext>>> = Arc::default();
+                store.map.insert(key, ContextSlot { slot: slot.clone(), lru_id });
+                Some(slot)
+            }
+        };
+        match slot {
+            Some(slot) => {
+                if let Ok(mut guard) = slot.try_lock() {
+                    *guard = Some(EngineContext { weights, state: KernelState { tables } });
+                }
+                self.enforce_context_cap();
+                true
+            }
+            None => {
+                tables.recycle(&self.arena);
+                false
+            }
+        }
+    }
+
+    /// Records one finished snapshot write (its encoded size and wall-clock
+    /// duration, measured by the caller — the persistence layer owns the
+    /// clock; this crate stays time-free).
+    pub fn note_snapshot_written(&self, bytes: u64, micros: u64) {
+        self.snapshots_written.fetch_add(1, Ordering::Relaxed);
+        self.snapshot_last_bytes.store(bytes, Ordering::Relaxed);
+        self.snapshot_last_micros.store(micros, Ordering::Relaxed);
+    }
+
+    /// Records the outcome of the boot-time snapshot load.
+    pub fn note_snapshot_load(&self, outcome: SnapshotLoadOutcome) {
+        *self.snapshot_load.lock().expect("snapshot outcome poisoned") = outcome;
+    }
+
     /// Cache and per-strategy routing statistics accumulated since
     /// construction.
     pub fn stats(&self) -> EngineStats {
@@ -610,6 +736,12 @@ impl Engine {
             arena: self.arena.stats(),
             contexts: self.context_count(),
             context_evictions: self.context_evictions.load(Ordering::Relaxed),
+            snapshot: SnapshotStats {
+                written: self.snapshots_written.load(Ordering::Relaxed),
+                last_bytes: self.snapshot_last_bytes.load(Ordering::Relaxed),
+                last_write_micros: self.snapshot_last_micros.load(Ordering::Relaxed),
+                load: *self.snapshot_load.lock().expect("snapshot outcome poisoned"),
+            },
         }
     }
 
@@ -809,6 +941,8 @@ mod tests {
             "hit rate",
             "arena",
             "retained",
+            "snapshots",
+            "load: none",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in `{text}`");
         }

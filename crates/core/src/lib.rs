@@ -76,6 +76,7 @@ pub mod lru;
 pub mod partial;
 pub mod segment;
 pub mod sensitivity;
+pub mod snapshot;
 pub mod solution;
 pub mod tables;
 pub mod two_level;
@@ -86,6 +87,9 @@ pub use engine::{kernel_for, Engine, EngineLimits, EngineStats, Kernel, KernelSt
 pub use incremental::{IncrementalSolver, IncrementalStats};
 pub use partial::{optimize_with_partials, PartialOptions};
 pub use segment::{PartialCostModel, SegmentCalculator};
+pub use snapshot::{
+    LoadReport, ShardIdentity, SnapshotLoadOutcome, SnapshotRejectReason, SnapshotStats,
+};
 pub use solution::{DpStatistics, Solution};
 pub use two_level::{optimize_two_level, TwoLevelOptions};
 

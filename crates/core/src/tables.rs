@@ -136,6 +136,14 @@ impl<T: Copy> SliceTable2<T> {
         self.data
     }
 
+    /// Clones the table into `buf` (an arena checkout of any length — it is
+    /// cleared and refilled), preserving shape and every entry bit-exactly.
+    pub(crate) fn clone_into(&self, mut buf: Vec<T>) -> Self {
+        buf.clear();
+        buf.extend_from_slice(&self.data);
+        Self { row_base: self.row_base, rows: self.rows, dim: self.dim, data: buf }
+    }
+
     /// Grows the table **in place** to columns `0..=new_n` and `new_rows`
     /// rows (same `row_base`), preserving every existing entry and filling
     /// the new cells with `fill`.

@@ -1,0 +1,15 @@
+// Seeded: panicking on snapshot-load failures.  A snapshot file is
+// untrusted input read at daemon boot — a missing or corrupt file must
+// degrade to a cold start with a logged reason, never unwrap/index its
+// way into killing the worker before it serves a single request.
+fn boot(path: &std::path::Path) -> Vec<u8> {
+    let bytes = std::fs::read(path).unwrap(); //~ panic-unwrap
+    let version = bytes[8]; //~ panic-index
+    assert_eq!(version, 1, "snapshot format"); //~ panic-macro
+    bytes
+}
+
+fn magic(bytes: &[u8]) -> u8 {
+    let head = bytes.get(..8).expect("snapshot too short"); //~ panic-expect
+    head[0] //~ panic-index
+}

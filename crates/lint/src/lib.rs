@@ -150,8 +150,15 @@ const DETERMINISM_CRATES: [&str; 4] = ["core", "analysis", "model", "sim"];
 
 /// The serve daemon path inside `crates/service` — pass 3's scope.
 /// `client.rs` and `loadgen.rs` are test harness tooling, not the daemon.
-const DAEMON_FILES: [&str; 6] =
-    ["server.rs", "shard.rs", "frame.rs", "json.rs", "protocol.rs", "chain2l-shard.rs"];
+const DAEMON_FILES: [&str; 7] = [
+    "server.rs",
+    "shard.rs",
+    "frame.rs",
+    "json.rs",
+    "protocol.rs",
+    "persist.rs",
+    "chain2l-shard.rs",
+];
 
 /// Maps a workspace-relative path to its crate namespace and pass scope.
 /// `None` means the file is out of scope entirely (vendored readiness
@@ -189,7 +196,11 @@ pub fn scope_for(rel: &str) -> Option<(String, Scope)> {
     let in_src = parts.contains(&"src");
     scope.locks = in_src;
     scope.determinism = in_src && DETERMINISM_CRATES.contains(&krate.as_str());
-    scope.panics = krate == "service" && in_src && DAEMON_FILES.contains(&file);
+    // The daemon path plus the core snapshot decoder: a snapshot file is
+    // untrusted input read at daemon boot, so its decode path must be as
+    // panic-free as the daemon itself.
+    scope.panics = (krate == "service" && in_src && DAEMON_FILES.contains(&file))
+        || (krate == "core" && in_src && file == "snapshot.rs");
     scope.forbid_root = rel.ends_with("src/lib.rs")
         || rel.ends_with("src/main.rs")
         || parts.contains(&"bin")
@@ -360,6 +371,14 @@ mod tests {
 
         let (_, s) = scope_for("crates/service/src/loadgen.rs").expect("in scope");
         assert!(!s.panics, "loadgen is harness tooling, not the daemon");
+
+        let (_, s) = scope_for("crates/service/src/persist.rs").expect("in scope");
+        assert!(s.panics, "the persistence layer runs inside the daemon");
+        let (k, s) = scope_for("crates/core/src/snapshot.rs").expect("in scope");
+        assert_eq!(k, "core");
+        assert!(s.panics && s.determinism, "snapshot decode parses untrusted input");
+        let (_, s) = scope_for("crates/core/src/cache.rs").expect("in scope");
+        assert!(!s.panics, "only the snapshot decoder joins the panic pass from core");
 
         let (_, s) = scope_for("crates/core/src/lib.rs").expect("in scope");
         assert!(s.forbid_root);

@@ -3,24 +3,57 @@
 //! deployments that want the worker as its own artifact, and for the
 //! service crate's integration tests).
 //!
-//! Accepts the same `--cache-cap N` bound as `chain2l serve`: the worker's
-//! engine then keeps at most `N` cached solutions and `N` retained DP table
-//! contexts (LRU eviction).
+//! Accepts the same worker flags as `chain2l serve --internal-shard`:
+//! `--cache-cap N` bounds the engine (at most `N` cached solutions and `N`
+//! retained DP table contexts, LRU eviction), and `--state-dir DIR` (with
+//! `--shard-index I --shard-count N --snapshot-every S`) enables warm-start
+//! persistence: the worker loads its snapshot at boot, persists it every
+//! `S` seconds and on every exit path.
 
 #![forbid(unsafe_code)]
 
+use chain2l_core::snapshot::ShardIdentity;
 use chain2l_core::EngineLimits;
+use chain2l_service::persist::{PersistConfig, Persister};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn usage_exit(message: &str) -> ! {
+    eprintln!("chain2l-shard: {message}");
+    std::process::exit(2);
+}
+
+fn parsed_value<T: std::str::FromStr>(args: &[String], option: &str) -> Option<T> {
+    args.iter().position(|a| a == option).map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| usage_exit(&format!("{option} needs a non-negative integer")))
+    })
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cache_cap = args.iter().position(|a| a == "--cache-cap").map(|i| {
-        args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-            eprintln!("chain2l-shard: --cache-cap needs a non-negative integer");
-            std::process::exit(2);
-        })
-    });
+    let cache_cap: Option<usize> = parsed_value(&args, "--cache-cap");
     let limits = cache_cap.map(EngineLimits::entry_cap).unwrap_or_default();
-    if let Err(e) = chain2l_service::shard::run_shard_with(limits) {
+    let state_dir: Option<PathBuf> =
+        args.iter().position(|a| a == "--state-dir").map(|i| match args.get(i + 1) {
+            Some(dir) => PathBuf::from(dir),
+            None => usage_exit("--state-dir needs a directory path"),
+        });
+    let persister = state_dir.map(|state_dir| {
+        let index: u32 = parsed_value(&args, "--shard-index").unwrap_or(0);
+        let count: u32 = parsed_value(&args, "--shard-count").unwrap_or(1);
+        let snapshot_every_secs: u64 = parsed_value(&args, "--snapshot-every").unwrap_or(30);
+        if snapshot_every_secs == 0 {
+            usage_exit("--snapshot-every must be at least 1 second");
+        }
+        Arc::new(Persister::new(PersistConfig {
+            state_dir,
+            snapshot_every_secs,
+            identity: ShardIdentity::new(index, count),
+        }))
+    });
+    if let Err(e) = chain2l_service::shard::run_shard_persistent(limits, persister) {
         eprintln!("chain2l-shard: {e}");
         std::process::exit(1);
     }

@@ -16,6 +16,9 @@
 //! * [`shard`] — the worker process: one engine per process, one readiness
 //!   loop multiplexing loopback connections over a solver-thread pool,
 //!   exiting on `shutdown` or parent death;
+//! * [`persist`] — warm-start persistence: per-shard crash-consistent
+//!   snapshots (`--state-dir`), loaded at boot, written periodically and on
+//!   every exit path, so a restarted daemon serves warm;
 //! * [`server`] — the parent daemon: one readiness loop for the public
 //!   listener and all shard links, fingerprint routing with internal-id
 //!   re-keying, worker supervision (respawn + inflight replay), graceful
@@ -40,9 +43,11 @@ pub mod client;
 pub mod frame;
 pub mod json;
 pub mod loadgen;
+pub mod persist;
 pub mod protocol;
 pub mod server;
 pub mod shard;
 
+pub use persist::{PersistConfig, Persister};
 pub use protocol::{Request, Response, SolveResult, SolveSpec};
 pub use server::{ServeConfig, ServeSummary, Server};

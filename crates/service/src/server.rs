@@ -81,13 +81,31 @@ pub struct ServeConfig {
     /// connection (backpressure).  Also bounds the per-connection reorder
     /// buffer.  Clamped to ≥ 1.
     pub window: u64,
+    /// Warm-start state directory: when set, every shard worker loads its
+    /// snapshot (`shard-<i>-of-<N>.snap`) at boot and persists it
+    /// periodically and on exit, so a restarted daemon serves warm.
+    pub state_dir: Option<PathBuf>,
+    /// Seconds between periodic shard snapshots (only meaningful with
+    /// `state_dir`; clamped to ≥ 1 by the worker).
+    pub snapshot_every_secs: u64,
 }
+
+/// Default seconds between periodic shard snapshots (`--snapshot-every`).
+pub const DEFAULT_SNAPSHOT_EVERY_SECS: u64 = 30;
 
 impl ServeConfig {
     /// A daemon with the given shard worker command and the default
     /// inflight window.
     pub fn new(addr: &str, shards: usize, shard_program: PathBuf, shard_args: Vec<String>) -> Self {
-        Self { addr: addr.to_string(), shards, shard_program, shard_args, window: DEFAULT_WINDOW }
+        Self {
+            addr: addr.to_string(),
+            shards,
+            shard_program,
+            shard_args,
+            window: DEFAULT_WINDOW,
+            state_dir: None,
+            snapshot_every_secs: DEFAULT_SNAPSHOT_EVERY_SECS,
+        }
     }
 
     /// A daemon whose shard workers re-execute the current binary with
@@ -196,8 +214,26 @@ impl Server {
 }
 
 fn spawn_shard(config: &ServeConfig, index: usize) -> io::Result<ShardWorker> {
+    // Persistence flags are per-worker (each owns one slice of the
+    // partition), so they are appended here rather than in `shard_args` —
+    // and a *respawned* worker gets the same flags, so it warm-boots from
+    // the snapshot its predecessor left behind.
+    let mut persist_args: Vec<String> = Vec::new();
+    if let Some(dir) = &config.state_dir {
+        persist_args.extend([
+            "--state-dir".to_string(),
+            dir.display().to_string(),
+            "--shard-index".to_string(),
+            index.to_string(),
+            "--shard-count".to_string(),
+            config.shards.to_string(),
+            "--snapshot-every".to_string(),
+            config.snapshot_every_secs.to_string(),
+        ]);
+    }
     let mut child = Command::new(&config.shard_program)
         .args(&config.shard_args)
+        .args(&persist_args)
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())

@@ -27,6 +27,7 @@
 // lint: allow-file(panic-expect: a poisoned jobs/done lock or condvar means a solver thread already panicked; propagating tears the worker down, which the parent daemon detects and reroutes)
 
 use crate::frame::{Conn, FrameError};
+use crate::persist::Persister;
 use crate::protocol::{self, Request, Response, SolveResult};
 use chain2l_core::{Engine, EngineLimits};
 use mio_lite::{Events, Interest, Poll, Token};
@@ -112,6 +113,17 @@ pub fn run_shard() -> std::io::Result<()> {
 /// binary execute, and how `chain2l serve --cache-cap N` bounds every
 /// shard's solution cache and retained DP tables.
 pub fn run_shard_with(limits: EngineLimits) -> std::io::Result<()> {
+    run_shard_persistent(limits, None)
+}
+
+/// Runs a shard worker with optional warm-start persistence: when a
+/// [`Persister`] is given, the worker loads its snapshot before serving,
+/// snapshots periodically in the background, and takes a final snapshot on
+/// every exit path (graceful shutdown and parent death alike).
+pub fn run_shard_persistent(
+    limits: EngineLimits,
+    persister: Option<Arc<Persister>>,
+) -> std::io::Result<()> {
     let listener = TcpListener::bind(("127.0.0.1", 0))?;
     listener.set_nonblocking(true)?;
     let port = listener.local_addr()?.port();
@@ -120,21 +132,34 @@ pub fn run_shard_with(limits: EngineLimits) -> std::io::Result<()> {
         writeln!(out, "{}", protocol::encode_hello(port))?;
         out.flush()?;
     }
+    let engine = Arc::new(Engine::with_limits(limits));
+    if let Some(persister) = &persister {
+        persister.boot_load(&engine);
+        persister.spawn_periodic(&engine);
+    }
     // Tie this process's lifetime to the parent's: stdin EOF means the
     // parent is gone (it holds the pipe's write end), so exit instead of
-    // leaking an orphan listener.
-    std::thread::spawn(|| {
-        let mut sink = [0u8; 256];
-        let mut stdin = std::io::stdin().lock();
-        loop {
-            match stdin.read(&mut sink) {
-                Ok(0) | Err(_) => std::process::exit(0),
-                Ok(_) => {}
+    // leaking an orphan listener — after one last snapshot, so even a
+    // `kill -9`'d daemon restarts warm with everything its workers learned.
+    {
+        let engine = Arc::clone(&engine);
+        let persister = persister.clone();
+        std::thread::spawn(move || {
+            let mut sink = [0u8; 256];
+            let mut stdin = std::io::stdin().lock();
+            loop {
+                match stdin.read(&mut sink) {
+                    Ok(0) | Err(_) => {
+                        if let Some(persister) = &persister {
+                            persister.snapshot_now(&engine);
+                        }
+                        std::process::exit(0);
+                    }
+                    Ok(_) => {}
+                }
             }
-        }
-    });
-
-    let engine = Arc::new(Engine::with_limits(limits));
+        });
+    }
     let queue = Arc::new(PoolQueue::default());
     let done: Arc<Mutex<Vec<Done>>> = Arc::new(Mutex::new(Vec::new()));
     let (wake_rx, wake_tx) = UnixStream::pair()?;
@@ -237,6 +262,9 @@ pub fn run_shard_with(limits: EngineLimits) -> std::io::Result<()> {
                 None => true, // the requester vanished; nothing left to flush
             };
             if flushed {
+                if let Some(persister) = &persister {
+                    persister.snapshot_now(&engine);
+                }
                 std::process::exit(0);
             }
         }

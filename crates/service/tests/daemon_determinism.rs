@@ -33,6 +33,29 @@ fn start_server(shards: usize) -> (SocketAddr, JoinHandle<ServeSummary>) {
     (addr, handle)
 }
 
+/// A daemon whose shard workers persist warm-start snapshots into
+/// `state_dir`.  The periodic timer is parked far out so only the exit-path
+/// snapshots (graceful shutdown, parent death) are in play — tests stay
+/// timing-independent.
+fn start_persistent_server(
+    shards: usize,
+    state_dir: &std::path::Path,
+) -> (SocketAddr, Vec<u32>, JoinHandle<ServeSummary>) {
+    let mut config = ServeConfig::new(
+        "127.0.0.1:0",
+        shards,
+        PathBuf::from(env!("CARGO_BIN_EXE_chain2l-shard")),
+        Vec::new(),
+    );
+    config.state_dir = Some(state_dir.to_path_buf());
+    config.snapshot_every_secs = 3600;
+    let server = Server::bind(&config).expect("daemon binds");
+    let addr = server.local_addr();
+    let pids = server.shard_pids();
+    let handle = std::thread::spawn(move || server.run().expect("daemon runs"));
+    (addr, pids, handle)
+}
+
 fn spec(platform: &str, pattern: &str, tasks: usize, algorithm: &str) -> SolveSpec {
     SolveSpec {
         platform: platform.to_string(),
@@ -202,6 +225,67 @@ fn killing_a_shard_mid_stream_leaves_the_byte_stream_identical() {
         "byte stream changed across a worker kill + respawn"
     );
     assert_eq!(disturbed, undisturbed);
+}
+
+#[test]
+fn restarted_daemon_serves_warm_from_snapshots_with_identical_bytes() {
+    let state_dir =
+        std::env::temp_dir().join(format!("chain2l-restart-det-{}", std::process::id()));
+    std::fs::create_dir_all(&state_dir).expect("create state dir");
+    let specs: Vec<SolveSpec> = request_set().into_iter().cycle().take(32).collect();
+    let payload: String = specs
+        .iter()
+        .enumerate()
+        .map(|(id, spec)| {
+            format!(
+                "{}\n",
+                protocol::encode_request(&Request::Solve { id: id as u64, spec: spec.clone() })
+            )
+        })
+        .collect();
+
+    // Run 1: cold boot, solves everything, snapshots on graceful shutdown.
+    let (addr, _pids, handle) = start_persistent_server(2, &state_dir);
+    let cold_run = raw_batch(&addr.to_string(), &payload, specs.len(), None);
+    client::shutdown(&addr.to_string()).expect("shutdown");
+    handle.join().expect("server thread");
+    for shard in 0..2 {
+        let snap = state_dir.join(format!("shard-{shard}-of-2.snap"));
+        assert!(snap.is_file(), "graceful shutdown must leave {}", snap.display());
+    }
+
+    // Run 2: a fresh daemon over the same state dir boots warm and serves
+    // the whole batch from restored state — byte-identically.
+    let (addr, _pids, handle) = start_persistent_server(2, &state_dir);
+    let warm_run = raw_batch(&addr.to_string(), &payload, specs.len(), None);
+    let (_, detail) = client::stats(&addr.to_string()).expect("stats");
+    client::shutdown(&addr.to_string()).expect("shutdown");
+    handle.join().expect("server thread");
+    assert_eq!(
+        String::from_utf8_lossy(&warm_run),
+        String::from_utf8_lossy(&cold_run),
+        "restart from snapshots changed the response byte stream"
+    );
+    assert_eq!(warm_run, cold_run);
+    // Both shards really were warm: boot loads succeeded and not a single
+    // request missed the restored cache.
+    assert_eq!(detail.matches("load: warm").count(), 2, "{detail}");
+    for line in detail.lines() {
+        let misses = line.split(" misses").next().and_then(|s| s.split(", ").last());
+        assert_eq!(misses.and_then(|m| m.parse::<u64>().ok()), Some(0), "{line}");
+    }
+
+    // Run 3: SIGKILL a worker mid-stream.  The respawned worker warm-boots
+    // from its snapshot (a SIGKILL'd process cannot write one, so this is
+    // the file from run 2's shutdown) and replay keeps the bytes identical.
+    let (addr, pids, handle) = start_persistent_server(2, &state_dir);
+    let disturbed = raw_batch(&addr.to_string(), &payload, specs.len(), Some(pids[0]));
+    client::shutdown(&addr.to_string()).expect("shutdown");
+    let summary = handle.join().expect("server thread");
+    assert!(summary.respawns >= 1, "the killed worker must have been respawned");
+    assert_eq!(disturbed, cold_run, "kill + warm respawn changed the byte stream");
+
+    let _ = std::fs::remove_dir_all(&state_dir);
 }
 
 #[test]
