@@ -20,7 +20,8 @@
 //! change.  A recorded trajectory snapshot lives at
 //! `crates/bench/baselines/BENCH_dp.json` (`results/` is gitignored).
 //!
-//! `--wall` measures cold-solve wall-clock (best of [`WALL_REPEATS`]), peak
+//! `--wall` measures cold-solve wall-clock ([`WALL_WARMUP`] untimed warmup
+//! solves, then best of [`WALL_REPEATS`] timed ones), peak
 //! RSS and heap-allocation counts (via the counting global allocator below)
 //! for the pruned `A_DMV` kernel at `n ∈ {25, 50, 100}`, writes
 //! `results/BENCH_wall.json`, and — when the recorded baseline exists —
@@ -45,6 +46,14 @@ use std::time::Instant;
 /// Number of timed runs per wall-clock cell; the fastest is reported (the
 /// minimum is the standard low-noise estimator for deterministic work).
 const WALL_REPEATS: usize = 5;
+
+/// Untimed warmup solves before the best-of-[`WALL_REPEATS`] window: the
+/// first cold solve of a cell first-touches every freshly arena-allocated
+/// plane, so its wall clock includes the process's page-fault cost — noise
+/// that would pollute a cross-build baseline comparison.  The warmup solves
+/// fault those pages in (the allocator hands the freed plane memory back to
+/// the next solve), so every timed repeat runs over resident memory.
+const WALL_WARMUP: usize = 2;
 
 /// Wall-clock regression tolerance of the `--check-wall` gate.
 const WALL_TOLERANCE: f64 = 1.15;
@@ -224,6 +233,10 @@ fn run_wall_cells() -> Vec<WallCell> {
                 .expect("valid paper setup");
             let mut wall_millis = f64::INFINITY;
             let mut allocations = 0;
+            for _ in 0..WALL_WARMUP {
+                let solution = optimize_with_partials(&s, PartialOptions::paper_exact());
+                assert!(solution.expected_makespan.is_finite());
+            }
             for _ in 0..WALL_REPEATS {
                 let before = ALLOCATIONS.load(Ordering::Relaxed);
                 let start = Instant::now();
@@ -297,7 +310,11 @@ fn render_wall_json(cells: &[WallCell], baseline: &[(String, usize, f64)]) -> St
         out.push_str(if i + 1 == cells.len() { "}\n" } else { "},\n" });
     }
     out.push_str(&format!(
-        "  ],\n  \"repeats\": {WALL_REPEATS},\n  \"gate\": {{\"platform\": \"Hera\", \
+        "  ],\n  \"repeats\": {WALL_REPEATS},\n  \"warmup\": {WALL_WARMUP},\n  \
+         \"methodology\": \"per cell: {WALL_WARMUP} untimed warmup solves fault the \
+         plane memory in, then wall_millis is the fastest of {WALL_REPEATS} timed \
+         cold solves; allocations counts one solve; re-seed the baseline on each \
+         hardware class\",\n  \"gate\": {{\"platform\": \"Hera\", \
          \"n\": 50, \"max_regression\": {WALL_TOLERANCE}}}\n}}\n"
     ));
     out

@@ -72,6 +72,9 @@ BATCH:
                                   are solved once and served from the cache
   --remote <host:port>            solve on a running `chain2l serve` daemon;
                                   output is byte-identical to the offline path
+  --no-simd                       force the original scalar candidate scans
+                                  (A/B escape hatch; results are bit-identical
+                                  either way, see also CHAIN2L_NO_SIMD)
 
 SERVE:
   --addr <host:port>              listen address (default: 127.0.0.1:4615)
@@ -338,6 +341,11 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<String, ArgError> {
 }
 
 fn cmd_batch(args: &ParsedArgs) -> Result<String, ArgError> {
+    if args.flag("no-simd") {
+        // The scalar escape hatch only reaches the local engine; a remote
+        // daemon keeps its own setting.
+        chain2l_core::set_simd_enabled(false);
+    }
     let remote = match args.options.get("remote").map(String::as_str) {
         Some("") => return Err(ArgError::MissingOption { option: "remote <host:port>".into() }),
         remote => remote.map(str::to_string),

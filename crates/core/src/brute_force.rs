@@ -100,7 +100,12 @@ pub fn optimize_brute_force(
         }
     }
 
-    let stats = DpStatistics { table_entries: 0, candidates_examined: evaluated };
+    let stats = DpStatistics {
+        table_entries: 0,
+        candidates_examined: evaluated,
+        simd_blocks: 0,
+        scalar_fallbacks: 0,
+    };
     Solution::new(best_value, best_schedule, scenario, stats)
 }
 

@@ -28,6 +28,7 @@
 //! new columns.
 
 use crate::arena::TableArena;
+use crate::simd_scan::ScanCounters;
 use crate::tables::SliceTable2;
 use rayon::prelude::*;
 
@@ -49,6 +50,9 @@ pub(crate) struct DiskSlice {
     /// Candidate positions examined while filling this slice (cumulative
     /// across incremental extensions).
     pub candidates: u64,
+    /// Blocked-scan dispatch tallies of this slice (cumulative, like
+    /// `candidates`; see [`ScanCounters`]).
+    pub scan: ScanCounters,
 }
 
 impl DiskSlice {
@@ -72,6 +76,7 @@ impl DiskSlice {
             emem: arena.take_f64(dim, f64::INFINITY),
             emem_choice: arena.take_u32(dim, NO_CHOICE),
             candidates: 0,
+            scan: ScanCounters::default(),
         }
     }
 
@@ -102,6 +107,7 @@ impl DiskSlice {
             emem,
             emem_choice,
             candidates: self.candidates,
+            scan: self.scan,
         }
     }
 
@@ -132,8 +138,14 @@ pub(crate) struct DpTables {
     /// passes, cumulative across incremental extensions (`A_DMV`'s
     /// per-column candidate floors; 0 for the two-level kernels).
     pub floor_candidates: u64,
+    /// Blocked-scan tallies of the shared lower-bound passes (cumulative,
+    /// like `floor_candidates`).
+    pub floor_scan: ScanCounters,
     /// Candidate positions examined across every level, at the current `n`.
     pub candidates: u64,
+    /// Blocked-scan tallies across every level, at the current `n`
+    /// (slices + shared floors, refreshed by [`refresh_edisk`]).
+    pub scan: ScanCounters,
 }
 
 impl DpTables {
@@ -171,7 +183,9 @@ impl DpTables {
             edisk,
             edisk_choice,
             floor_candidates: self.floor_candidates,
+            floor_scan: self.floor_scan,
             candidates: self.candidates,
+            scan: self.scan,
         }
     }
 }
@@ -186,13 +200,16 @@ pub(crate) fn finish_tables(
     slices: Vec<DiskSlice>,
     n: usize,
     floor_candidates: u64,
+    floor_scan: ScanCounters,
 ) -> DpTables {
     let mut tables = DpTables {
         slices,
         edisk: arena.take_f64(n + 1, f64::INFINITY),
         edisk_choice: arena.take_u32(n + 1, NO_CHOICE),
         floor_candidates,
+        floor_scan,
         candidates: 0,
+        scan: ScanCounters::default(),
     };
     refresh_edisk(disk_checkpoint, &mut tables, n);
     tables
@@ -252,6 +269,11 @@ pub(crate) fn refresh_edisk(disk_checkpoint: f64, tables: &mut DpTables, n: usiz
         &mut tables.edisk_choice,
     );
     tables.candidates = slice_candidates + edisk_candidates + tables.floor_candidates;
+    let mut scan = tables.floor_scan;
+    for slice in &tables.slices {
+        scan.add(slice.scan);
+    }
+    tables.scan = scan;
 }
 
 /// Runs the sequential `Edisk` level over the finished slices into the

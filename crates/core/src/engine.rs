@@ -65,11 +65,13 @@ impl KernelState {
     }
 
     /// Honest statistics of the backing tables: finalized (actually written)
-    /// entries and cumulative candidates examined.
+    /// entries, cumulative candidates examined and blocked-scan tallies.
     pub fn statistics(&self) -> DpStatistics {
         DpStatistics {
             table_entries: self.tables.finalized_entries(),
             candidates_examined: self.tables.candidates,
+            simd_blocks: self.tables.scan.simd_blocks,
+            scalar_fallbacks: self.tables.scan.scalar_fallbacks,
         }
     }
 

@@ -76,6 +76,7 @@ pub mod lru;
 pub mod partial;
 pub mod segment;
 pub mod sensitivity;
+pub mod simd_scan;
 pub mod snapshot;
 pub mod solution;
 pub mod tables;
@@ -87,6 +88,7 @@ pub use engine::{kernel_for, Engine, EngineLimits, EngineStats, Kernel, KernelSt
 pub use incremental::{IncrementalSolver, IncrementalStats};
 pub use partial::{optimize_with_partials, PartialOptions};
 pub use segment::{PartialCostModel, SegmentCalculator};
+pub use simd_scan::{set_simd_enabled, simd_enabled};
 pub use snapshot::{
     LoadReport, ShardIdentity, SnapshotLoadOutcome, SnapshotRejectReason, SnapshotStats,
 };

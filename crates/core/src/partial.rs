@@ -47,9 +47,11 @@
 use crate::arena::TableArena;
 use crate::dp::{self, DiskSlice, DpTables, NO_CHOICE};
 use crate::segment::{PartialCostModel, SegmentCalculator};
+use crate::simd_scan::{self, LaneMin, ScanCounters};
 use crate::solution::{DpStatistics, Solution};
 use chain2l_model::{Action, Scenario, Schedule};
 use rayon::prelude::*;
+use wide_lite::f64x4;
 /// Options controlling the partial-verification dynamic program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PartialOptions {
@@ -158,6 +160,13 @@ const PREDICT_MARGIN: f64 = 1e-9;
 ///
 /// `emem` is `Emem(d1, m1)`, `everif_v1` is `Everif(d1, m1, v1)` — the
 /// re-execution costs of the segments to the left, already optimal.
+///
+/// `simd` selects the 4-lane blocked scan for the pruned inner loop (the
+/// exhaustive `prune = false` loop is always scalar — it is the reference
+/// kernel).  `record_chain` controls the deferred argmin write-back
+/// (DESIGN.md §11): table fills pass `false`, so the `scratch.next` store
+/// stream is dropped from the hot loop entirely; schedule reconstruction
+/// re-runs the optimal intervals with `true` to materialize the chain.
 #[allow(clippy::too_many_arguments)] // DP cell coordinates of the O(n^6) recurrence
 fn epartial_interval(
     calc: &SegmentCalculator<'_>,
@@ -169,7 +178,10 @@ fn epartial_interval(
     everif_v1: f64,
     model: PartialCostModel,
     prune: bool,
+    simd: bool,
+    record_chain: bool,
     scratch: &mut InnerScratch,
+    counters: &mut ScanCounters,
 ) -> (f64, u64) {
     debug_assert!(d1 <= m1 && m1 <= v1 && v1 < v2);
     let prefix = calc.prefix_weights();
@@ -184,6 +196,10 @@ fn epartial_interval(
     // endpoint v2, contiguous in p2.
     let col = calc.interval_col(v2);
     let mut candidates = 0u64;
+    // Block counters in locals — the hot loop must not carry a read-modify-
+    // write of `counters` per block; one flush on return.
+    let mut n_simd = 0u64;
+    let mut n_fallback = 0u64;
 
     // Base case: at v2 the error (if any) is caught by the guaranteed
     // verification immediately; only a memory recovery is paid.
@@ -270,7 +286,92 @@ fn epartial_interval(
         let prefix_w = &prefix[base..v2];
         let eright = &scratch.eright[base..v2];
         let epartial = &scratch.epartial[base..v2];
-        for off in 0..exp_s.len() {
+        let len = exp_s.len();
+        let mut start = 0usize;
+        let mut stopped = false;
+        if simd && prune {
+            // 4-lane blocked scan (DESIGN.md §11).  Every lane always
+            // evaluates the *stronger* sub-interval bound — sound on its own
+            // because the 2-stream pre-test below is float-monotonically
+            // weaker — plus the monotone span floor.  A block whose four
+            // bounds all exceed the incumbent, with no lane breaking, is
+            // rejected wholesale by two mask tests; no lane of such a block
+            // evaluates, so the incumbent cannot change inside it and the
+            // entry incumbent equals the sequential running best at every
+            // lane — the rejected set is exactly the scalar loop's skip set.
+            // Any other block resolves lane-by-lane in ascending order with
+            // the original scalar decisions, reusing the lane bounds and the
+            // vector-evaluated closed forms (both are bit-identical to the
+            // scalar expressions and independent of the running best).
+            let v_w_p1 = f64x4::splat(w_p1);
+            let v_quad_coef = f64x4::splat(quad_coef);
+            let v_load = f64x4::splat(load);
+            let v_v_cost = f64x4::splat(v_cost);
+            let v_ls = f64x4::splat(ls);
+            let v_miss_rm = f64x4::splat(miss_rm);
+            let v_g = f64x4::splat(g);
+            let v_a = f64x4::splat(a);
+            let v_everif_v1 = f64x4::splat(everif_v1);
+            'blocks: while start + 4 <= len {
+                let er = f64x4::from_slice(&eright[start..]);
+                let gr = f64x4::from_slice(&growth[start..]);
+                let ep = f64x4::from_slice(&epartial[start..]);
+                let w_sub = f64x4::from_slice(&prefix_w[start..]) - v_w_p1;
+                let quad = v_quad_coef * w_sub * w_sub;
+                let pre = w_sub * v_load + quad + v_v_cost;
+                let sub_floor = pre + v_ls * w_sub * (v_miss_rm + v_g * er);
+                let sub_total = sub_floor * gr + ep;
+                // All-lanes tests as plain float compares, not comparison
+                // masks — a mask-and-movemask round trip does not
+                // autovectorize.  `quad` is monotone over the block's lanes
+                // (prefix weights are non-decreasing, squaring and scaling
+                // by a non-negative rate are float-monotone), so "no lane
+                // breaks" is one compare on the top lane; the skip test is a
+                // `minpd` fold, exact for these NaN-free streams: min > best
+                // ⟺ every bound > best.
+                if span_floor + quad.lane(3) <= best && sub_total.reduce_min() > best {
+                    n_simd += 1;
+                    start += 4;
+                    continue;
+                }
+                n_fallback += 1;
+                // Vector-evaluate the closed form for all four lanes up
+                // front — it is a pure function of the offset (never of the
+                // running best), in the exact scalar grouping, so surviving
+                // lanes read a bit-identical candidate value and rejected
+                // lanes simply discard theirs.
+                let exp = f64x4::from_slice(&exp_s[start..]);
+                let eminus = exp * (f64x4::from_slice(&em1_fol[start..]) + v_v_cost)
+                    + exp * f64x4::from_slice(&em1_f[start..]) * v_a
+                    + f64x4::from_slice(&em1_fs[start..]) * v_everif_v1
+                    + f64x4::from_slice(&em1_s[start..]) * (v_miss_rm + v_g * er);
+                let lane_cand = (eminus * gr + ep).to_array();
+                let lane_quad = quad.to_array();
+                let lane_total = sub_total.to_array();
+                for l in 0..4 {
+                    if span_floor + lane_quad[l] > best {
+                        stopped = true;
+                        break 'blocks;
+                    }
+                    if lane_total[l] > best {
+                        continue;
+                    }
+                    candidates += 1;
+                    let cand = lane_cand[l];
+                    if cand < best || (best_p2 == v2 && cand == best) {
+                        best = cand;
+                        best_p2 = base + start + l;
+                    }
+                }
+                start += 4;
+            }
+        }
+        // Scalar path: the blocked scan's remainder lanes (`len % 4`), the
+        // exhaustive reference kernel, and the `--no-simd` escape hatch.
+        if stopped {
+            start = len;
+        }
+        for off in start..len {
             let w_sub = prefix_w[off] - w_p1;
             let quad = quad_coef * w_sub * w_sub;
             if prune {
@@ -312,7 +413,9 @@ fn epartial_interval(
             }
         }
         scratch.epartial[p1] = best;
-        scratch.next[p1] = best_p2 as u32;
+        if record_chain {
+            scratch.next[p1] = best_p2 as u32;
+        }
         // E_right at p1 uses the *optimal* next verification position —
         // `SegmentCalculator::eright_step` flattened onto the already-bound
         // row slices (same operations, same order).
@@ -324,6 +427,8 @@ fn epartial_interval(
                 * (w_step + vc_step + (1.0 - g_step) * rm + g_step * scratch.eright[best_p2]);
     }
 
+    counters.simd_blocks += n_simd;
+    counters.scalar_fallbacks += n_fallback;
     (scratch.epartial[v1], candidates)
 }
 
@@ -348,11 +453,18 @@ pub(crate) struct SharedFloors {
     /// `DpTables::floor_candidates` — shared work is counted once, not once
     /// per consuming slice).
     candidates: u64,
+    /// Blocked-scan tallies across every computed column (reported through
+    /// `DpTables::floor_scan`, same once-only accounting).
+    scan: ScanCounters,
 }
 
 impl SharedFloors {
     fn empty(n: usize) -> Self {
-        Self { columns: (0..=n).map(|_| None).collect(), candidates: 0 }
+        Self {
+            columns: (0..=n).map(|_| None).collect(),
+            candidates: 0,
+            scan: ScanCounters::default(),
+        }
     }
 
     fn recycle(self, arena: &TableArena) {
@@ -382,19 +494,23 @@ pub(crate) fn compute_shared_floors(
         return shared;
     }
     let model = options.cost_model;
-    let computed: Vec<(usize, Vec<f64>, u64)> = (start..=n)
+    let simd = simd_scan::simd_enabled();
+    let computed: Vec<(usize, Vec<f64>, u64, ScanCounters)> = (start..=n)
         .into_par_iter()
         .map(|v2| {
             let mut floor = arena.take_f64(n + 1, f64::INFINITY);
             let mut er_lb = arena.take_f64(n + 1, f64::INFINITY);
-            let candidates = epartial_floor(calc, 1, v2, model, &mut floor, &mut er_lb);
+            let mut scan = ScanCounters::default();
+            let candidates =
+                epartial_floor(calc, 1, v2, model, simd, &mut floor, &mut er_lb, &mut scan);
             arena.give_f64(er_lb);
-            (v2, floor, candidates)
+            (v2, floor, candidates, scan)
         })
         .collect();
-    for (v2, floor, candidates) in computed {
+    for (v2, floor, candidates, scan) in computed {
         shared.columns[v2] = Some(floor);
         shared.candidates += candidates;
+        shared.scan.add(scan);
     }
     shared
 }
@@ -415,13 +531,16 @@ pub(crate) fn compute_shared_floors(
 ///
 /// Returns the number of candidates examined (every closed-form evaluation,
 /// consistent with [`DpStatistics::candidates_examined`]).
+#[allow(clippy::too_many_arguments)] // DP coordinates + the scan controls
 fn epartial_floor(
     calc: &SegmentCalculator<'_>,
     d1: usize,
     v2: usize,
     model: PartialCostModel,
+    simd: bool,
     floor: &mut [f64],
     er_lb: &mut [f64],
+    counters: &mut ScanCounters,
 ) -> u64 {
     let v_cost = calc.v_partial();
     let g = calc.miss_probability();
@@ -466,8 +585,62 @@ fn epartial_floor(
         let prefix_w = &prefix[base..v2];
         let floor_tail = &floor[base..v2];
         let er_tail = &er_lb[base..v2];
-        for off in 0..exp_s.len() {
-            candidates += 1;
+        let len = exp_s.len();
+        // The floor evaluates every open candidate (no pruning), so the
+        // count is known up front — one closed form per element, for both
+        // the blocked and the scalar path.
+        candidates += len as u64;
+        let mut start = 0usize;
+        if simd {
+            // Branchless 4-lane value scan: both minima are pure reductions
+            // (no argmin, no early exit), so each block folds into running
+            // lane accumulators and a single horizontal `reduce_min` merges
+            // them at the end.  Candidate streams contain neither NaN nor
+            // `-0.0` (finite sums/products of non-negative model terms), so
+            // equal-comparing lane values are bitwise identical and the fold
+            // order is unobservable — the merged minima match the sequential
+            // scan bit for bit (DESIGN.md §11).
+            let v_v_cost = f64x4::splat(v_cost);
+            let v_g = f64x4::splat(g);
+            let v_a = f64x4::splat(a);
+            let v_miss_rm = f64x4::splat(miss_rm);
+            let v_everif_zero = f64x4::splat(everif_zero);
+            let v_w_p1 = f64x4::splat(w_p1);
+            let v_one = f64x4::splat(1.0);
+            let mut acc_cand = f64x4::INFINITY;
+            let mut acc_er = f64x4::INFINITY;
+            // Every full block is processed unconditionally, so the block
+            // count is known up front — no per-block counter traffic.
+            counters.simd_blocks += (len / f64x4::LANES) as u64;
+            while start + f64x4::LANES <= len {
+                let exp = f64x4::from_slice(&exp_s[start..]);
+                let er_t = f64x4::from_slice(&er_tail[start..]);
+                let eminus = exp * (f64x4::from_slice(&em1_fol[start..]) + v_v_cost)
+                    + exp * f64x4::from_slice(&em1_f[start..]) * v_a
+                    + f64x4::from_slice(&em1_fs[start..]) * v_everif_zero
+                    + f64x4::from_slice(&em1_s[start..]) * (v_miss_rm + v_g * er_t);
+                let cand = eminus * f64x4::from_slice(&growth[start..])
+                    + f64x4::from_slice(&floor_tail[start..]);
+                acc_cand = acc_cand.min(cand);
+                let w = f64x4::from_slice(&prefix_w[start..]) - v_w_p1;
+                let pf = f64x4::from_slice(&p_fail[start..]);
+                let er = pf * (f64x4::from_slice(&t_lost[start..]) + v_a)
+                    + (v_one - pf) * (w + v_v_cost + v_miss_rm + v_g * er_t);
+                acc_er = acc_er.min(er);
+                start += f64x4::LANES;
+            }
+            let block_cand = acc_cand.reduce_min();
+            if block_cand < best {
+                best = block_cand;
+            }
+            let block_er = acc_er.reduce_min();
+            if block_er < best_er {
+                best_er = block_er;
+            }
+        }
+        // Scalar path: the blocked scan's remainder lanes (`len % 4`) and
+        // the `--no-simd` escape hatch.
+        for off in start..len {
             let eminus = exp_s[off] * (em1_fol[off] + v_cost)
                 + exp_s[off] * em1_f[off] * a
                 + em1_fs[off] * everif_zero
@@ -502,6 +675,8 @@ pub fn optimize_with_partials(scenario: &Scenario, options: PartialOptions) -> S
     let stats = DpStatistics {
         table_entries: tables.finalized_entries(),
         candidates_examined: tables.candidates,
+        simd_blocks: tables.scan.simd_blocks,
+        scalar_fallbacks: tables.scan.scalar_fallbacks,
     };
     Solution::new(expected_makespan, schedule, scenario, stats)
 }
@@ -529,10 +704,16 @@ pub(crate) fn fill_disk_slice(
 ) {
     let model = options.cost_model;
     let prune = options.prune && calc.pruning_sound();
+    let simd = simd_scan::simd_enabled();
     let c_mem = calc.scenario().costs.memory_checkpoint;
     let lf = calc.lambda_fail_stop();
     let prefix = calc.prefix_weights();
     let mut scratch = InnerScratch::take(arena, n);
+    // Per-column argmin staging for the deferred write-back (DESIGN.md §11):
+    // the m1 scan accumulates its `Everif` choices here and flushes them to
+    // the `u32` argmin plane once per finalized column.
+    let mut choice_col = arena.take_u32(n + 1, NO_CHOICE);
+    let mut scan = ScanCounters::default();
     // Only the d1 = 0 slice runs private floor DPs (its zero recovery
     // costs give a tighter bound than the shared d1 ≥ 1 columns).
     let mut own_floor = if d1 == 0 {
@@ -553,7 +734,7 @@ pub(crate) fn fill_disk_slice(
         let use_floor = prune && m2 - d1 >= FLOOR_SPAN_MIN;
         if use_floor {
             if let Some((floor, er_lb)) = own_floor.as_mut() {
-                candidates += epartial_floor(calc, 0, m2, model, floor, er_lb);
+                candidates += epartial_floor(calc, 0, m2, model, simd, floor, er_lb, &mut scan);
             }
         }
         let floor_col: &[f64] = if !use_floor {
@@ -603,9 +784,43 @@ pub(crate) fn fill_disk_slice(
                 let em1_fs = &col.em1_fs[m1..m2];
                 let prefix_w = &prefix[m1..m2];
                 let bounds_w = &mut bounds[m1..m2];
-                for off in 0..left_values.len() {
-                    let left = left_values[off];
+                let len = left_values.len();
+                #[cfg(debug_assertions)]
+                for (off, left) in left_values.iter().enumerate() {
                     debug_assert!(left.is_finite(), "Everif({d1},{m1},{}) not computed", m1 + off);
+                }
+                let mut start = 0usize;
+                if simd {
+                    // 4-lane bound evaluation with a blocked argmin: the
+                    // hoisted `emem_left · λ_f` product and the vector
+                    // expression reuse the scalar grouping exactly
+                    // (left-associated sums, no FMA contraction), and
+                    // `LaneMin` reproduces the sequential ascending
+                    // strict-`<` tie-break (DESIGN.md §11).
+                    let v_eml = f64x4::splat(emem_left * lf);
+                    let v_w_m2 = f64x4::splat(w_m2);
+                    let mut lanes = LaneMin::new();
+                    // Every full block runs unconditionally — count up front.
+                    scan.simd_blocks += (len / f64x4::LANES) as u64;
+                    while start + f64x4::LANES <= len {
+                        let left = f64x4::from_slice(&left_values[start..]);
+                        let bound = left
+                            + f64x4::from_slice(&floor_w[start..])
+                            + left * f64x4::from_slice(&em1_fs[start..])
+                            + v_eml * (v_w_m2 - f64x4::from_slice(&prefix_w[start..]));
+                        bounds_w[start..start + f64x4::LANES].copy_from_slice(bound.as_array_ref());
+                        lanes.update(bound, start);
+                        start += f64x4::LANES;
+                    }
+                    let (block_best, block_idx) = lanes.finish();
+                    if block_best < best_bound {
+                        best_bound = block_best;
+                        seed_v1 = m1 + block_idx as usize;
+                    }
+                }
+                // Scalar path: remainder lanes and the `--no-simd` hatch.
+                for off in start..len {
+                    let left = left_values[off];
                     let bound = left
                         + floor_w[off]
                         + left * em1_fs[off]
@@ -627,7 +842,10 @@ pub(crate) fn fill_disk_slice(
                     left,
                     model,
                     prune,
+                    simd,
+                    false,
                     &mut scratch,
+                    &mut scan,
                 );
                 candidates += seed_candidates;
                 seed_value = value;
@@ -653,7 +871,10 @@ pub(crate) fn fill_disk_slice(
                         left,
                         model,
                         prune,
+                        simd,
+                        false,
                         &mut scratch,
+                        &mut scan,
                     );
                     candidates += inner_candidates;
                     value
@@ -665,7 +886,7 @@ pub(crate) fn fill_disk_slice(
                 }
             }
             slice.everif.set(m1, m2, best_verif);
-            slice.everif_choice.set(m1, m2, best_v1);
+            choice_col[m1] = best_v1;
 
             let cand = emem_left + best_verif + c_mem;
             if cand < best_mem {
@@ -673,10 +894,16 @@ pub(crate) fn fill_disk_slice(
                 best_m1 = m1 as u32;
             }
         }
+        // Deferred argmin write-back (DESIGN.md §11): the `u32` argmin plane
+        // is written once per finalized column instead of once per cell
+        // inside the hot m1 scan.
+        slice.everif_choice.write_column(m2, d1, &choice_col[d1..m2]);
         slice.emem[m2] = best_mem;
         slice.emem_choice[m2] = best_m1;
     }
     slice.candidates += candidates;
+    slice.scan.add(scan);
+    arena.give_u32(choice_col);
     scratch.release(arena);
     if let Some((floor, er_lb)) = own_floor {
         arena.give_f64(floor);
@@ -704,8 +931,16 @@ pub(crate) fn compute_tables(
         })
         .collect();
     let floor_candidates = shared.candidates;
+    let floor_scan = shared.scan;
     shared.recycle(arena);
-    dp::finish_tables(arena, calc.scenario().costs.disk_checkpoint, slices, n, floor_candidates)
+    dp::finish_tables(
+        arena,
+        calc.scenario().costs.disk_checkpoint,
+        slices,
+        n,
+        floor_candidates,
+        floor_scan,
+    )
 }
 
 /// Extends finished tables from `old_n` to `new_n` tasks, reusing every
@@ -731,6 +966,7 @@ pub(crate) fn extend_tables(
         },
     );
     tables.floor_candidates += shared.candidates;
+    tables.floor_scan.add(shared.scan);
     shared.recycle(arena);
     dp::refresh_edisk(calc.scenario().costs.disk_checkpoint, tables, new_n);
 }
@@ -745,6 +981,10 @@ pub(crate) fn reconstruct(
 ) -> Schedule {
     let model = options.cost_model;
     let prune = options.prune && calc.pruning_sound();
+    let simd = simd_scan::simd_enabled();
+    // Reconstruction re-runs only the optimal leaf intervals; its scan
+    // tallies are scratch work, not part of the solve statistics.
+    let mut scan = ScanCounters::default();
     let mut scratch = InnerScratch::new(n);
     let mut schedule = Schedule::empty(n);
 
@@ -802,7 +1042,10 @@ pub(crate) fn reconstruct(
                     everif_left,
                     model,
                     prune,
+                    simd,
+                    true,
                     &mut scratch,
+                    &mut scan,
                 );
                 let mut p = v1;
                 loop {

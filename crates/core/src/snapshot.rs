@@ -43,6 +43,7 @@
 use crate::cache::ScenarioFingerprint;
 use crate::dp::{DiskSlice, DpTables};
 use crate::engine::{ContextExport, ContextKey, Engine};
+use crate::simd_scan::ScanCounters;
 use crate::solution::{DpStatistics, Solution};
 use crate::tables::SliceTable2;
 use crate::{Algorithm, EngineLimits, TableArena};
@@ -55,7 +56,10 @@ use std::sync::Arc;
 /// File magic of every chain2l snapshot.
 pub const MAGIC: [u8; 8] = *b"C2LSNAPS";
 /// Current snapshot format version; any other version is rejected on load.
-pub const FORMAT_VERSION: u32 = 1;
+/// Version 2 added the blocked-scan tallies ([`crate::simd_scan`]) to the
+/// solution statistics and the context tables; version-1 snapshots are
+/// rejected and the daemon cold-starts, which is always sound.
+pub const FORMAT_VERSION: u32 = 2;
 
 const SECTION_HEADER: u32 = 1;
 const SECTION_CACHE: u32 = 2;
@@ -407,6 +411,8 @@ fn encode_solution(out: &mut Vec<u8>, solution: &Solution) {
     push_u64(out, solution.counts.partial_verifications as u64);
     push_u64(out, solution.stats.table_entries as u64);
     push_u64(out, solution.stats.candidates_examined);
+    push_u64(out, solution.stats.simd_blocks);
+    push_u64(out, solution.stats.scalar_fallbacks);
 }
 
 fn encode_cache(entries: &[(ScenarioFingerprint, Arc<Solution>)]) -> Vec<u8> {
@@ -460,6 +466,8 @@ fn encode_contexts(contexts: &[ContextExport]) -> Vec<u8> {
                 push_u32(&mut out, v);
             }
             push_u64(&mut out, slice.candidates);
+            push_u64(&mut out, slice.scan.simd_blocks);
+            push_u64(&mut out, slice.scan.scalar_fallbacks);
         }
         for &v in &tables.edisk {
             push_u64(&mut out, v.to_bits());
@@ -469,6 +477,10 @@ fn encode_contexts(contexts: &[ContextExport]) -> Vec<u8> {
         }
         push_u64(&mut out, tables.floor_candidates);
         push_u64(&mut out, tables.candidates);
+        push_u64(&mut out, tables.floor_scan.simd_blocks);
+        push_u64(&mut out, tables.floor_scan.scalar_fallbacks);
+        push_u64(&mut out, tables.scan.simd_blocks);
+        push_u64(&mut out, tables.scan.scalar_fallbacks);
     }
     out
 }
@@ -611,12 +623,14 @@ fn decode_solution(r: &mut Reader<'_>) -> Result<Solution, Reject> {
     };
     let table_entries = count("table entry")?;
     let candidates_examined = r.u64()?;
+    let simd_blocks = r.u64()?;
+    let scalar_fallbacks = r.u64()?;
     Ok(Solution {
         expected_makespan,
         normalized_makespan,
         schedule,
         counts,
-        stats: DpStatistics { table_entries, candidates_examined },
+        stats: DpStatistics { table_entries, candidates_examined, simd_blocks, scalar_fallbacks },
     })
 }
 
@@ -673,22 +687,34 @@ fn decode_contexts(payload: &[u8], arena: &TableArena) -> Result<Vec<ContextExpo
             let emem = r.f64_plane(dim, arena)?;
             let emem_choice = r.u32_plane(dim, arena)?;
             let candidates = r.u64()?;
+            let scan = ScanCounters { simd_blocks: r.u64()?, scalar_fallbacks: r.u64()? };
             slices.push(DiskSlice {
                 everif: SliceTable2::from_buffer(n, d1, rows, everif),
                 everif_choice: SliceTable2::from_buffer(n, d1, rows, everif_choice),
                 emem,
                 emem_choice,
                 candidates,
+                scan,
             });
         }
         let edisk = r.f64_plane(dim, arena)?;
         let edisk_choice = r.u32_plane(dim, arena)?;
         let floor_candidates = r.u64()?;
         let candidates = r.u64()?;
+        let floor_scan = ScanCounters { simd_blocks: r.u64()?, scalar_fallbacks: r.u64()? };
+        let scan = ScanCounters { simd_blocks: r.u64()?, scalar_fallbacks: r.u64()? };
         out.push(ContextExport {
             key,
             weights,
-            tables: DpTables { slices, edisk, edisk_choice, floor_candidates, candidates },
+            tables: DpTables {
+                slices,
+                edisk,
+                edisk_choice,
+                floor_candidates,
+                candidates,
+                floor_scan,
+                scan,
+            },
         });
     }
     if !r.is_empty() {

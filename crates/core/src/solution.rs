@@ -12,6 +12,13 @@ pub struct DpStatistics {
     /// Number of candidate positions examined by the innermost loops
     /// (0 when the algorithm does not track it).
     pub candidates_examined: u64,
+    /// 4-lane candidate blocks fully dispatched on the vectorized fast path
+    /// (DESIGN.md §11; 0 under the `--no-simd` escape hatch and for
+    /// algorithms without blocked scans).
+    pub simd_blocks: u64,
+    /// 4-lane candidate blocks that fell back to per-lane scalar resolution
+    /// (a break, a survivor evaluation, or a mid-block incumbent update).
+    pub scalar_fallbacks: u64,
 }
 
 /// The result of one optimization run: the optimal expected makespan, the

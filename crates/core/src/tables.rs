@@ -227,6 +227,25 @@ impl<T: Copy> SliceTable2<T> {
         self.data[idx] = value;
     }
 
+    /// Writes one table column in a single strided pass: cell
+    /// `(first_row + i, col)` takes `values[i]`.
+    ///
+    /// This is the deferred argmin write-back of the blocked kernels
+    /// (DESIGN.md §11): the value scans accumulate each cell's
+    /// `(min, argmin)` pair in registers and the finalized argmins of a
+    /// whole column are flushed here in one pass, keeping the `u32` store
+    /// stream out of the innermost loops.
+    #[inline]
+    pub(crate) fn write_column(&mut self, col: usize, first_row: usize, values: &[T]) {
+        debug_assert!(first_row >= self.row_base && col < self.dim);
+        debug_assert!(first_row + values.len() <= self.row_base + self.rows);
+        let mut idx = (first_row - self.row_base) * self.dim + col;
+        for &v in values {
+            self.data[idx] = v;
+            idx += self.dim;
+        }
+    }
+
     /// Borrows one full row (columns `0..=n`) as a contiguous slice; `row` is
     /// an absolute boundary index.
     ///
@@ -446,5 +465,27 @@ mod tests {
     #[should_panic]
     fn from_buffer_rejects_mismatched_lengths() {
         let _ = SliceTable2::from_buffer(3, 0, 2, vec![0.0f64; 7]);
+    }
+
+    #[test]
+    fn write_column_matches_per_cell_stores() {
+        let n = 6;
+        let mut by_cell = SliceTable2::new(n, 2, 4, u32::MAX);
+        let mut by_column = SliceTable2::new(n, 2, 4, u32::MAX);
+        for col in [0usize, 3, n] {
+            let values: Vec<u32> = (0..3).map(|i| (col * 10 + i) as u32).collect();
+            for (i, &v) in values.iter().enumerate() {
+                by_cell.set(2 + i, col, v);
+            }
+            by_column.write_column(col, 2, &values);
+        }
+        assert_eq!(by_cell.as_slice(), by_column.as_slice());
+        // Untouched rows keep the fill value.
+        assert_eq!(by_column.get(5, 3), u32::MAX);
+        // A full-height column write covers every row.
+        by_column.write_column(1, 2, &[9, 8, 7, 6]);
+        for (i, want) in [9u32, 8, 7, 6].into_iter().enumerate() {
+            assert_eq!(by_column.get(2 + i, 1), want);
+        }
     }
 }

@@ -41,9 +41,11 @@
 use crate::arena::TableArena;
 use crate::dp::{self, DiskSlice, DpTables, NO_CHOICE};
 use crate::segment::SegmentCalculator;
+use crate::simd_scan::{self, ScanCounters};
 use crate::solution::{DpStatistics, Solution};
 use chain2l_model::{Action, Scenario, Schedule};
 use rayon::prelude::*;
+use wide_lite::f64x4;
 
 /// Options controlling the guaranteed-verification dynamic program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +105,8 @@ pub fn optimize_two_level(scenario: &Scenario, options: TwoLevelOptions) -> Solu
     let stats = DpStatistics {
         table_entries: tables.finalized_entries(),
         candidates_examined: tables.candidates,
+        simd_blocks: tables.scan.simd_blocks,
+        scalar_fallbacks: tables.scan.scalar_fallbacks,
     };
     Solution::new(expected_makespan, schedule, scenario, stats)
 }
@@ -122,8 +126,10 @@ pub(crate) fn fill_disk_slice(
     options: TwoLevelOptions,
     slice: &mut DiskSlice,
     from_m2: usize,
+    arena: &TableArena,
 ) {
     let prune = options.prune;
+    let simd = simd_scan::simd_enabled();
     let v_star = calc.v_star();
     let c_mem = calc.scenario().costs.memory_checkpoint;
     let rd = calc.disk_recovery(d1);
@@ -133,6 +139,9 @@ pub(crate) fn fill_disk_slice(
     // (DESIGN.md §4).
     let quad_coef = calc.lambda_silent() + 0.5 * lf;
     let prefix = calc.prefix_weights();
+    // Per-column argmin staging for the deferred write-back (DESIGN.md §11).
+    let mut choice_col = arena.take_u32(n + 1, NO_CHOICE);
+    let mut scan = ScanCounters::default();
     let mut candidates = 0u64;
 
     if from_m2 == d1 + 1 {
@@ -183,14 +192,95 @@ pub(crate) fn fill_disk_slice(
             let em1_s = &col.em1_s[m1..m2];
             let em1_fs = &col.em1_fs[m1..m2];
             let em1_fol = &col.em1_f_over_lambda[m1..m2];
-            for off in (0..left_values.len()).rev() {
+            let len = left_values.len();
+            #[cfg(debug_assertions)]
+            for (off, left) in left_values.iter().enumerate() {
+                debug_assert!(left.is_finite(), "Everif({d1},{m1},{}) not computed", m1 + off);
+            }
+            let mut hi = len;
+            let mut stopped = false;
+            if simd && prune {
+                // Blocked descending scan (DESIGN.md §11): each 4-lane block
+                // evaluates the break floor and the skip bound branchlessly
+                // with the exact scalar grouping.  A block where every lane's
+                // floor stays at or below the incumbent *and* every lane's
+                // skip bound exceeds it is rejected wholesale — no lane would
+                // have evaluated, so the incumbent cannot change mid-block
+                // and the rejection equals the sequential skip set exactly.
+                // Any other block resolves per lane in descending order
+                // against the running incumbent, reusing the precomputed
+                // lane bounds and vector-evaluated closed forms (bitwise
+                // equal to the scalar expressions, independent of the
+                // running best).
+                let v_w_m2 = f64x4::splat(w_m2);
+                let v_quad_coef = f64x4::splat(quad_coef);
+                let v_load_a = f64x4::splat(load_a);
+                let v_lc = f64x4::splat(lc);
+                let v_v_star = f64x4::splat(v_star);
+                let v_one = f64x4::splat(1.0);
+                let v_a = f64x4::splat(a);
+                let v_rm = f64x4::splat(rm);
+                'blocks: while hi >= f64x4::LANES {
+                    let start = hi - f64x4::LANES;
+                    let w_tail = v_w_m2 - f64x4::from_slice(&prefix_w[start..]);
+                    let quad = v_quad_coef * w_tail * w_tail;
+                    let left = f64x4::from_slice(&left_values[start..]);
+                    let skip_bound =
+                        left * (v_one + v_lc * w_tail) + w_tail * v_load_a + quad + v_v_star;
+                    // All-lanes tests as plain float compares — see
+                    // `epartial_interval`.  In this descending scan `w_tail`,
+                    // and with it `quad`, is largest in lane 0, so "no lane
+                    // breaks" is one compare on the bottom lane.
+                    if span_floor + quad.lane(0) <= best_verif
+                        && skip_bound.reduce_min() > best_verif
+                    {
+                        scan.simd_blocks += 1;
+                        hi = start;
+                        continue;
+                    }
+                    scan.scalar_fallbacks += 1;
+                    // Vector-evaluate the closed form for all four lanes up
+                    // front — a pure function of the offset in the exact
+                    // scalar grouping; surviving lanes read a bit-identical
+                    // candidate value, rejected lanes discard theirs.
+                    let exp = f64x4::from_slice(&exp_s[start..]);
+                    let seg = exp * (f64x4::from_slice(&em1_fol[start..]) + v_v_star)
+                        + exp * f64x4::from_slice(&em1_f[start..]) * v_a
+                        + f64x4::from_slice(&em1_fs[start..]) * left
+                        + f64x4::from_slice(&em1_s[start..]) * v_rm;
+                    let lane_cand = (left + seg).to_array();
+                    let lane_quad = quad.to_array();
+                    let lane_skip = skip_bound.to_array();
+                    for l in (0..f64x4::LANES).rev() {
+                        if span_floor + lane_quad[l] > best_verif {
+                            stopped = true;
+                            break 'blocks;
+                        }
+                        if lane_skip[l] > best_verif {
+                            continue;
+                        }
+                        candidates += 1;
+                        let cand = lane_cand[l];
+                        if cand <= best_verif {
+                            best_verif = cand;
+                            best_v1 = (m1 + start + l) as u32;
+                        }
+                    }
+                    hi = start;
+                }
+            }
+            // Scalar path: the blocked scan's low-end remainder, the
+            // exhaustive reference kernel, and the `--no-simd` hatch.
+            if stopped {
+                hi = 0;
+            }
+            for off in (0..hi).rev() {
                 let w_tail = w_m2 - prefix_w[off];
                 let quad = quad_coef * w_tail * w_tail;
                 if prune && span_floor + quad > best_verif {
                     break;
                 }
                 let left = left_values[off];
-                debug_assert!(left.is_finite(), "Everif({d1},{m1},{}) not computed", m1 + off);
                 if prune
                     && left * (1.0 + lc * w_tail) + w_tail * load_a + quad + v_star > best_verif
                 {
@@ -208,7 +298,7 @@ pub(crate) fn fill_disk_slice(
                 }
             }
             slice.everif.set(m1, m2, best_verif);
-            slice.everif_choice.set(m1, m2, best_v1);
+            choice_col[m1] = best_v1;
 
             // Candidate for Emem(d1, m2): last memory checkpoint at m1.
             candidates += 1;
@@ -218,10 +308,15 @@ pub(crate) fn fill_disk_slice(
                 best_m1 = m1 as u32;
             }
         }
+        // Deferred argmin write-back (DESIGN.md §11): the `u32` argmin plane
+        // is written once per finalized column.
+        slice.everif_choice.write_column(m2, d1, &choice_col[d1..m1_end]);
         slice.emem[m2] = best_mem;
         slice.emem_choice[m2] = best_m1;
     }
     slice.candidates += candidates;
+    slice.scan.add(scan);
+    arena.give_u32(choice_col);
 }
 
 /// Fills the three DP levels: the per-`d1` slices in parallel (their planes
@@ -237,11 +332,18 @@ pub(crate) fn compute_tables(
         .into_par_iter()
         .map(|d1| {
             let mut slice = DiskSlice::new_in(arena, n, d1, slice_rows(n, d1, options));
-            fill_disk_slice(calc, n, d1, options, &mut slice, d1 + 1);
+            fill_disk_slice(calc, n, d1, options, &mut slice, d1 + 1, arena);
             slice
         })
         .collect();
-    dp::finish_tables(arena, calc.scenario().costs.disk_checkpoint, slices, n, 0)
+    dp::finish_tables(
+        arena,
+        calc.scenario().costs.disk_checkpoint,
+        slices,
+        n,
+        0,
+        ScanCounters::default(),
+    )
 }
 
 /// Extends finished tables from `old_n` to `new_n` tasks, reusing every
@@ -267,7 +369,7 @@ pub(crate) fn extend_tables(
         old_n,
         new_n,
         |n, d1| slice_rows(n, d1, options),
-        |d1, slice, from_m2| fill_disk_slice(calc, new_n, d1, options, slice, from_m2),
+        |d1, slice, from_m2| fill_disk_slice(calc, new_n, d1, options, slice, from_m2, arena),
     );
     dp::refresh_edisk(calc.scenario().costs.disk_checkpoint, tables, new_n);
 }

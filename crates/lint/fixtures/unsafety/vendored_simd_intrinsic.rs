@@ -1,0 +1,9 @@
+#![forbid(unsafe_code)]
+// Seeded: the vendored SIMD stub (`vendor/wide_lite`) is scanned like any
+// other crate — unlike `mio_lite` it gets no unsafe exemption, so a lane
+// kernel reaching for a raw intrinsic instead of the autovectorizable
+// array form is a finding even under an (unchecked, fixture-only) forbid.
+pub fn lanes_min(a: [f64; 4], b: [f64; 4]) -> [f64; 4] {
+    let _ = (&a, &b);
+    unsafe { core::mem::zeroed() } //~ unsafe-code
+}

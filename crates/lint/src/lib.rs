@@ -390,6 +390,12 @@ mod tests {
         assert!(scope_for("vendor/mio_lite/src/lib.rs").is_none());
         let (_, s) = scope_for("vendor/serde/src/lib.rs").expect("in scope");
         assert!(s.unsafe_scan && s.forbid_root && !s.locks);
+        let (k, s) = scope_for("vendor/wide_lite/src/lib.rs").expect("in scope");
+        assert_eq!(k, "wide_lite");
+        assert!(
+            s.unsafe_scan && s.forbid_root,
+            "the SIMD stub gets no unsafe exemption — only the readiness shim does"
+        );
 
         assert!(scope_for("crates/lint/fixtures/locks/reacquire.rs").is_none());
 

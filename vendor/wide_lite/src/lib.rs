@@ -1,0 +1,311 @@
+//! Offline stand-in for the `wide` crate: a portable 4-lane `f64` vector.
+//!
+//! The workspace's DP kernels (chain2l-core) process candidate rows in
+//! 4-lane blocks.  This stub provides exactly the vector surface those
+//! kernels use — lane-wise arithmetic, comparisons-as-masks, blend, and
+//! horizontal min — written as plain loops over `[f64; 4]` so that LLVM's
+//! autovectorizer lowers them to `addpd`/`mulpd`/`minpd`/`cmppd` (SSE2) or
+//! their AVX forms without a single intrinsic.
+//!
+//! Two properties the kernels rely on, guaranteed here and pinned by the
+//! unit tests:
+//!
+//! 1. **IEEE-exact lane arithmetic.**  Every op is the plain binary
+//!    `f64` operation per lane — no FMA contraction, no reassociation —
+//!    so a lane computes bit-for-bit what the equivalent scalar code
+//!    computes.  (Rust guarantees no license to fuse or reassociate
+//!    float ops; vectorization only changes *which* lanes run together,
+//!    never the arithmetic within a lane.)
+//! 2. **Deterministic tie behaviour.**  `min` is `a < b ? a : b` — the
+//!    `minpd` shape, which keeps the *second* operand on ties (and on
+//!    NaN) — and `reduce_min` folds lanes as `min(min(l0, l1),
+//!    min(l2, l3))`.  The chain2l kernels never feed `-0.0` or NaN into
+//!    a reduction (candidate values are finite sums/products of
+//!    non-negative terms), so equal-comparing lanes are bitwise
+//!    identical there and the tie rule is unobservable; it is pinned by
+//!    tests anyway so nobody has to re-derive it.
+//!
+//! No unsafe: masks are all-ones / all-zeros bit patterns built with
+//! `f64::from_bits`, and blend is pure bit arithmetic on `to_bits`.
+
+#![forbid(unsafe_code)]
+#![allow(non_camel_case_types)]
+
+use std::ops::{Add, Div, Mul, Sub};
+
+/// All-ones `f64` bit pattern (a quiet NaN) used as the `true` mask lane.
+const MASK_TRUE: u64 = u64::MAX;
+
+/// Four `f64` lanes, processed together.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(transparent)]
+pub struct f64x4([f64; 4]);
+
+impl f64x4 {
+    pub const LANES: usize = 4;
+
+    /// All lanes `+inf` — the identity for min-reductions.
+    pub const INFINITY: f64x4 = f64x4([f64::INFINITY; 4]);
+
+    #[inline(always)]
+    pub const fn new(lanes: [f64; 4]) -> Self {
+        f64x4(lanes)
+    }
+
+    #[inline(always)]
+    pub const fn splat(v: f64) -> Self {
+        f64x4([v; 4])
+    }
+
+    /// Loads the first four elements of `s` (panics if `s.len() < 4`).
+    ///
+    /// Goes through [`slice::first_chunk`] so the whole load is one length
+    /// check and one unaligned vector move — per-lane indexing would leave
+    /// a four-branch panic chain in the caller's hot loop.
+    #[inline(always)]
+    pub fn from_slice(s: &[f64]) -> Self {
+        match s.first_chunk::<4>() {
+            Some(lanes) => f64x4(*lanes),
+            None => panic!("f64x4::from_slice needs at least 4 elements"),
+        }
+    }
+
+    #[inline(always)]
+    pub const fn to_array(self) -> [f64; 4] {
+        self.0
+    }
+
+    #[inline(always)]
+    pub const fn as_array_ref(&self) -> &[f64; 4] {
+        &self.0
+    }
+
+    #[inline(always)]
+    pub fn lane(self, i: usize) -> f64 {
+        self.0[i]
+    }
+
+    /// Lane-wise minimum, `a < b ? a : b` (the `minpd` shape): on a tie
+    /// — including `-0.0` vs `0.0` — or if `a` is NaN, the lane of `rhs`
+    /// survives.
+    #[inline(always)]
+    pub fn min(self, rhs: Self) -> Self {
+        let mut out = [0.0f64; 4];
+        for (l, o) in out.iter_mut().enumerate() {
+            *o = if self.0[l] < rhs.0[l] { self.0[l] } else { rhs.0[l] };
+        }
+        f64x4(out)
+    }
+
+    /// Lane-wise `self < rhs`, as an all-ones / all-zeros bit mask.
+    #[inline(always)]
+    pub fn cmp_lt(self, rhs: Self) -> Self {
+        self.mask_by(rhs, |a, b| a < b)
+    }
+
+    /// Lane-wise `self <= rhs`, as an all-ones / all-zeros bit mask.
+    #[inline(always)]
+    pub fn cmp_le(self, rhs: Self) -> Self {
+        self.mask_by(rhs, |a, b| a <= b)
+    }
+
+    /// Lane-wise `self > rhs`, as an all-ones / all-zeros bit mask.
+    #[inline(always)]
+    pub fn cmp_gt(self, rhs: Self) -> Self {
+        self.mask_by(rhs, |a, b| a > b)
+    }
+
+    /// Lane-wise `self >= rhs`, as an all-ones / all-zeros bit mask.
+    #[inline(always)]
+    pub fn cmp_ge(self, rhs: Self) -> Self {
+        self.mask_by(rhs, |a, b| a >= b)
+    }
+
+    #[inline(always)]
+    fn mask_by(self, rhs: Self, f: impl Fn(f64, f64) -> bool) -> Self {
+        let mut out = [0.0f64; 4];
+        for (l, o) in out.iter_mut().enumerate() {
+            *o = f64::from_bits(if f(self.0[l], rhs.0[l]) { MASK_TRUE } else { 0 });
+        }
+        f64x4(out)
+    }
+
+    /// Per-lane select: lanes where `self` (a mask) is all-ones take `t`,
+    /// the rest take `f`.  Pure bit arithmetic, so it also works for
+    /// blending masks themselves.
+    #[inline(always)]
+    pub fn blend(self, t: Self, f: Self) -> Self {
+        let mut out = [0.0f64; 4];
+        for (l, o) in out.iter_mut().enumerate() {
+            let m = self.0[l].to_bits();
+            *o = f64::from_bits((t.0[l].to_bits() & m) | (f.0[l].to_bits() & !m));
+        }
+        f64x4(out)
+    }
+
+    /// Packs the sign bit of each lane into bits 0..=3 (the `movmskpd`
+    /// shape).  On a comparison mask this is the set of `true` lanes.
+    #[inline(always)]
+    pub fn move_mask(self) -> u32 {
+        let mut m = 0u32;
+        for l in 0..4 {
+            m |= ((self.0[l].to_bits() >> 63) as u32) << l;
+        }
+        m
+    }
+
+    /// True if any lane of this mask is set.
+    #[inline(always)]
+    pub fn any(self) -> bool {
+        self.move_mask() != 0
+    }
+
+    /// True if all four lanes of this mask are set.
+    #[inline(always)]
+    pub fn all(self) -> bool {
+        self.move_mask() == 0b1111
+    }
+
+    /// Horizontal minimum, folded as `min(min(l0, l1), min(l2, l3))`;
+    /// with `min`'s second-operand tie rule the highest-numbered lane's
+    /// bit pattern survives equal values (unobservable when equal lanes
+    /// are bitwise identical, which the kernels guarantee).
+    #[inline(always)]
+    pub fn reduce_min(self) -> f64 {
+        let lo = if self.0[0] < self.0[1] { self.0[0] } else { self.0[1] };
+        let hi = if self.0[2] < self.0[3] { self.0[2] } else { self.0[3] };
+        if lo < hi {
+            lo
+        } else {
+            hi
+        }
+    }
+
+    /// Horizontal maximum, folded as `max(max(l0, l1), max(l2, l3))` with
+    /// the `maxpd` shape (`a > b ? a : b` — second operand survives ties
+    /// and NaN).  For NaN-free lanes, `v.reduce_max() <= x` is exactly
+    /// "every lane `<= x`" — the branch-free way to run an all-lanes
+    /// comparison, since a float fold lowers to `maxpd`/`maxsd` while a
+    /// mask-and-`movmskpd` round trip does not autovectorize.
+    #[inline(always)]
+    pub fn reduce_max(self) -> f64 {
+        let lo = if self.0[0] > self.0[1] { self.0[0] } else { self.0[1] };
+        let hi = if self.0[2] > self.0[3] { self.0[2] } else { self.0[3] };
+        if lo > hi {
+            lo
+        } else {
+            hi
+        }
+    }
+}
+
+macro_rules! lane_op {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for f64x4 {
+            type Output = f64x4;
+            #[inline(always)]
+            fn $method(self, rhs: f64x4) -> f64x4 {
+                let mut out = [0.0f64; 4];
+                for l in 0..4 {
+                    out[l] = self.0[l] $op rhs.0[l];
+                }
+                f64x4(out)
+            }
+        }
+    };
+}
+
+lane_op!(Add, add, +);
+lane_op!(Sub, sub, -);
+lane_op!(Mul, mul, *);
+lane_op!(Div, div, /);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_arithmetic_is_plain_ieee() {
+        let a = f64x4::new([1.0, 2.5, -3.0, 0.125]);
+        let b = f64x4::new([4.0, 0.5, 2.0, 8.0]);
+        assert_eq!((a + b).to_array(), [5.0, 3.0, -1.0, 8.125]);
+        assert_eq!((a - b).to_array(), [-3.0, 2.0, -5.0, -7.875]);
+        assert_eq!((a * b).to_array(), [4.0, 1.25, -6.0, 1.0]);
+        assert_eq!((a / b).to_array(), [0.25, 5.0, -1.5, 0.015625]);
+        // Lane arithmetic must match the scalar op bit-for-bit, including
+        // cases where an FMA contraction would round differently.
+        let x = 1.0 + f64::EPSILON;
+        let v = f64x4::splat(x) * f64x4::splat(x) - f64x4::splat(1.0);
+        assert_eq!(v.lane(0).to_bits(), (x * x - 1.0).to_bits());
+    }
+
+    #[test]
+    fn min_keeps_second_operand_on_ties() {
+        let a = f64x4::new([1.0, 2.0, -0.0, 5.0]);
+        let b = f64x4::new([2.0, 1.0, 0.0, 5.0]);
+        let m = a.min(b);
+        assert_eq!(m.to_array(), [1.0, 1.0, 0.0, 5.0]);
+        // `-0.0 < 0.0` is false, so the tie lane takes `b`'s +0.0 bits —
+        // exactly what hardware `minpd` does.
+        assert_eq!(m.lane(2).to_bits(), (0.0f64).to_bits());
+        assert_eq!(a.min(a).to_array(), a.to_array());
+    }
+
+    #[test]
+    fn comparisons_produce_full_masks() {
+        let a = f64x4::new([1.0, 2.0, 3.0, 4.0]);
+        let b = f64x4::splat(2.5);
+        assert_eq!(a.cmp_lt(b).move_mask(), 0b0011);
+        assert_eq!(a.cmp_gt(b).move_mask(), 0b1100);
+        let c = f64x4::new([1.0, 2.5, 3.0, 2.5]);
+        assert_eq!(c.cmp_le(b).move_mask(), 0b1011);
+        assert_eq!(c.cmp_ge(b).move_mask(), 0b1110);
+        assert!(a.cmp_lt(f64x4::splat(10.0)).all());
+        assert!(!a.cmp_lt(f64x4::splat(2.0)).all());
+        assert!(a.cmp_lt(f64x4::splat(2.0)).any());
+        assert!(!a.cmp_lt(f64x4::splat(0.0)).any());
+    }
+
+    #[test]
+    fn blend_selects_per_lane_bit_patterns() {
+        let mask = f64x4::new([1.0, 2.0, 3.0, 4.0]).cmp_gt(f64x4::splat(2.5));
+        let t = f64x4::splat(-0.0);
+        let f = f64x4::splat(f64::INFINITY);
+        let out = mask.blend(t, f);
+        assert_eq!(out.lane(0), f64::INFINITY);
+        assert_eq!(out.lane(1), f64::INFINITY);
+        assert_eq!(out.lane(2).to_bits(), (-0.0f64).to_bits());
+        assert_eq!(out.lane(3).to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn reduce_min_tie_rule_is_pinned() {
+        assert_eq!(f64x4::new([3.0, 1.0, 2.0, 1.5]).reduce_min(), 1.0);
+        assert_eq!(f64x4::new([9.0, 9.0, 9.0, 9.0]).reduce_min(), 9.0);
+        // All lanes compare equal: the second-operand tie rule means the
+        // highest lane's bit pattern survives (+0.0 from lane 3 here).
+        let v = f64x4::new([-0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(v.reduce_min().to_bits(), (0.0f64).to_bits());
+        assert_eq!(f64x4::INFINITY.reduce_min(), f64::INFINITY);
+    }
+
+    #[test]
+    fn reduce_max_is_the_all_lanes_comparison() {
+        let v = f64x4::new([3.0, 1.0, 2.0, 1.5]);
+        assert_eq!(v.reduce_max(), 3.0);
+        // reduce_max <= x  ⟺  every lane <= x (NaN-free lanes).
+        assert!(v.reduce_max() <= 3.0);
+        assert!(v.reduce_max() > 2.9);
+        // Same second-operand tie rule as reduce_min: lane 3's bits
+        // survive all-equal lanes.
+        let t = f64x4::new([0.0, 0.0, 0.0, -0.0]);
+        assert_eq!(t.reduce_max().to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn from_slice_reads_exactly_four() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(f64x4::from_slice(&xs).to_array(), [1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(f64x4::from_slice(&xs[1..]).to_array(), [2.0, 3.0, 4.0, 5.0]);
+    }
+}
