@@ -82,13 +82,16 @@ fn run() -> i32 {
         return 0;
     }
     eprintln!(
-        "bench_load: {} connection(s), window {}: {} of {} completed ({} error(s)) \
+        "bench_load: {} connection(s), window {}: {} of {} completed \
+         ({} error(s), {} retry(s), {} shed) \
          in {:.2} s -> {:.1} rps; p50 {:.3} ms, p99 {:.3} ms, p999 {:.3} ms",
         report.connections,
         report.window,
         report.completed,
         report.requests,
         report.errors,
+        report.retries,
+        report.shed,
         report.duration_s,
         report.rps,
         report.p50_ms,

@@ -36,7 +36,7 @@ COMMANDS:
   batch                           solve a scenario list in one engine batch call
                                   (or on a remote daemon with --remote)
   serve                           run the long-lived solver daemon (or query it
-                                  with --stats, stop it with --stop)
+                                  with --stats / --health, stop it with --stop)
   bench-load                      load-test a daemon: pipelined connections,
                                   sustained RPS and p50/p99/p999 latency
   solve                           solve a weak-scaling n-series (fixed per-task
@@ -72,6 +72,13 @@ BATCH:
                                   are solved once and served from the cache
   --remote <host:port>            solve on a running `chain2l serve` daemon;
                                   output is byte-identical to the offline path
+  --retries <n>                   (--remote) reconnect-and-resend attempts on
+                                  transport failure or shedding (default: 4);
+                                  only unanswered requests are re-sent
+  --request-timeout <seconds>     (--remote) per-request deadline, surviving
+                                  reconnects (default: 300)
+  --retry-seed <n>                (--remote) seed of the deterministic retry
+                                  backoff jitter (default: 0)
   --no-simd                       force the original scalar candidate scans
                                   (A/B escape hatch; results are bit-identical
                                   either way, see also CHAIN2L_NO_SIMD)
@@ -93,7 +100,16 @@ SERVE:
                                   fall back to a cold start
   --snapshot-every <seconds>      periodic snapshot interval (default: 30;
                                   requires --state-dir)
+  --max-inflight <n>              global inflight solve cap: excess requests
+                                  are shed with an overloaded error that
+                                  clients retry (default: unbounded)
+  --failpoints <spec>             arm deterministic fault injection, e.g.
+                                  snapshot.fsync=err@1/8;shard.spawn=delay:10ms;
+                                  frame.read=short@1/16;seed=7 (also read from
+                                  CHAIN2L_FAILPOINTS; default: disabled)
   --stats | --stop                query / gracefully stop the daemon at --addr
+  --health                        per-shard liveness, respawn, shed and
+                                  inflight counters of the daemon at --addr
 
 BENCH-LOAD:
   --addr <host:port>              attach to a running daemon (default: spawn a
@@ -104,6 +120,13 @@ BENCH-LOAD:
   --window <n>                    pipelined window per connection (default: 8)
   --rps <r>                       open-loop arrival rate; latency is charged
                                   from the schedule (default: max throughput)
+  --fault-rate <p>                inject benign short-I/O faults on the spawned
+                                  daemon's frame paths with probability p
+                                  (results stay correct; default: 0)
+  --failpoints <spec>             explicit failpoint schedule for the spawned
+                                  daemon (combinable with --fault-rate)
+  --max-inflight <n>              admission-control cap of the spawned daemon;
+                                  sheds appear in the report's shed/retries
   --check <baseline.json>         gate against a recorded baseline, exit 1 on
                                   regression (see crates/bench/baselines/)
   --print-baseline                print report JSON to commit as the baseline
@@ -363,7 +386,7 @@ fn cmd_batch(args: &ParsedArgs) -> Result<String, ArgError> {
             .map_err(|e| ArgError::runtime(&format!("reading {path}"), e))?,
     };
     match remote.as_deref() {
-        Some(addr) => run_batch_remote(&input, addr),
+        Some(addr) => run_batch_remote(&input, addr, &remote_client_config(args)?),
         None => {
             let engine = Engine::new();
             let out = run_batch(&input, &engine)?;
@@ -499,9 +522,34 @@ pub fn run_batch(input: &str, engine: &Engine) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// Builds the remote client's retry configuration from the `--retries` /
+/// `--request-timeout` / `--retry-seed` options (defaults apply when
+/// omitted).
+fn remote_client_config(args: &ParsedArgs) -> Result<chain2l_service::ClientConfig, ArgError> {
+    let mut config = chain2l_service::ClientConfig::default();
+    config.max_retries = args.u64_or("retries", u64::from(config.max_retries))? as u32;
+    if args.options.contains_key("request-timeout") {
+        let secs = args.u64_or("request-timeout", 0)?;
+        if secs == 0 {
+            return Err(ArgError::InvalidValue {
+                option: "request-timeout".into(),
+                value: "0".into(),
+                expected: "a positive per-request deadline in seconds".into(),
+            });
+        }
+        config.request_timeout = std::time::Duration::from_secs(secs);
+    }
+    config.retry_seed = args.u64_or("retry-seed", config.retry_seed)?;
+    Ok(config)
+}
+
 /// [`run_batch`], but solved on the `chain2l serve` daemon at `addr`.
 /// Output is byte-identical to the offline path for the same input.
-pub fn run_batch_remote(input: &str, addr: &str) -> Result<String, ArgError> {
+pub fn run_batch_remote(
+    input: &str,
+    addr: &str,
+    config: &chain2l_service::ClientConfig,
+) -> Result<String, ArgError> {
     let items = parse_batch(input)?;
     let specs: Vec<SolveSpec> = items
         .iter()
@@ -513,10 +561,16 @@ pub fn run_batch_remote(input: &str, addr: &str) -> Result<String, ArgError> {
             algorithm: item.algorithm.label().to_string(),
         })
         .collect();
-    let outcomes = client::solve_batch(addr, &specs)
+    let report = client::solve_batch_with(addr, &specs, config)
         .map_err(|e| ArgError::runtime(&format!("remote batch on {addr}"), e))?;
+    if report.retries > 0 || report.shed > 0 {
+        eprintln!(
+            "batch: remote transport — {} retry attempt(s), {} shed response(s) absorbed",
+            report.retries, report.shed
+        );
+    }
     let mut out = String::from(BATCH_HEADER);
-    for (index, (item, outcome)) in items.iter().zip(&outcomes).enumerate() {
+    for (index, (item, outcome)) in items.iter().zip(&report.outcomes).enumerate() {
         let result = outcome.as_ref().map_err(|message| {
             ArgError::runtime(&format!("remote batch request {}", index + 1), message)
         })?;
@@ -629,11 +683,52 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, ArgError> {
             Some(dir)
         }
     };
+    let max_inflight = match args.options.get("max-inflight") {
+        None => 0, // admission control disabled
+        Some(_) => {
+            let cap = args.u64_or("max-inflight", 0)?;
+            if cap == 0 {
+                return Err(ArgError::InvalidValue {
+                    option: "max-inflight".into(),
+                    value: "0".into(),
+                    expected: "a positive global inflight cap \
+                               (omit the option to disable shedding)"
+                        .into(),
+                });
+            }
+            cap
+        }
+    };
+    let failpoints = match args.options.get("failpoints").map(String::as_str) {
+        Some("") => {
+            return Err(ArgError::MissingOption { option: "failpoints <site=action;...>".into() })
+        }
+        spec => spec.map(str::to_string),
+    };
     let addr = args.get_or("addr", "127.0.0.1:4615");
     if args.flag("stop") {
         client::shutdown(addr)
             .map_err(|e| ArgError::runtime(&format!("stopping daemon at {addr}"), e))?;
         return Ok(format!("daemon at {addr} shut down gracefully\n"));
+    }
+    if args.flag("health") {
+        let report = client::health(addr)
+            .map_err(|e| ArgError::runtime(&format!("querying daemon at {addr}"), e))?;
+        let mut out = format!(
+            "daemon at {addr}: {} of {} shard(s) live, {} failed\n\
+             inflight {}, shed {}, respawns {}\n",
+            report.live,
+            report.shards,
+            report.failed,
+            report.inflight,
+            report.shed,
+            report.respawns
+        );
+        for line in report.detail.lines() {
+            out.push_str(line);
+            out.push('\n');
+        }
+        return Ok(out);
     }
     if args.flag("stats") {
         let (shards, detail) = client::stats(addr)
@@ -657,6 +752,8 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, ArgError> {
         .map_err(|e| ArgError::runtime("resolving the shard worker command", e))?;
     config.window = window;
     config.state_dir = state_dir;
+    config.max_inflight = max_inflight;
+    config.failpoints = failpoints;
     if let Some(secs) = snapshot_every {
         config.snapshot_every_secs = secs;
     }
@@ -683,12 +780,16 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, ArgError> {
 /// Running the daemon in a separate *process* keeps the bench's hundreds of
 /// client sockets and the daemon's accepted sockets under separate fd
 /// limits — a CI runner's default 1024 would not fit both.
-fn spawn_bench_daemon(shards: usize) -> Result<(String, std::process::Child), ArgError> {
+fn spawn_bench_daemon(
+    shards: usize,
+    extra: &[String],
+) -> Result<(String, std::process::Child), ArgError> {
     use std::io::BufRead;
     let exe = std::env::current_exe()
         .map_err(|e| ArgError::runtime("resolving the chain2l binary", e))?;
     let mut child = std::process::Command::new(exe)
         .args(["serve", "--addr", "127.0.0.1:0", "--shards", &shards.to_string()])
+        .args(extra)
         .stdin(std::process::Stdio::null())
         .stdout(std::process::Stdio::null())
         .stderr(std::process::Stdio::piped())
@@ -752,10 +853,58 @@ fn cmd_bench_load(args: &ParsedArgs) -> Result<String, ArgError> {
         }
     };
 
+    // Fault-injection passthrough for the spawned daemon: an explicit
+    // failpoint schedule, a convenience `--fault-rate` (benign short-I/O
+    // faults on the daemon's frame paths — results stay correct, the
+    // robustness machinery gets exercised), and the admission-control cap.
+    let fault_rate = match args.options.get("fault-rate") {
+        None => 0.0,
+        Some(_) => {
+            let rate = args.f64_or("fault-rate", 0.0)?;
+            if !(rate.is_finite() && (0.0..=1.0).contains(&rate)) {
+                return Err(ArgError::InvalidValue {
+                    option: "fault-rate".into(),
+                    value: rate.to_string(),
+                    expected: "a fault probability in [0, 1]".into(),
+                });
+            }
+            rate
+        }
+    };
+    let mut fault_clauses: Vec<String> = Vec::new();
+    if fault_rate > 0.0 {
+        let num = ((fault_rate * 1024.0).round() as u64).clamp(1, 1024);
+        fault_clauses.push(format!("frame.read=short@{num}/1024"));
+        fault_clauses.push(format!("frame.write=short@{num}/1024"));
+    }
+    if let Some(spec) = args.options.get("failpoints") {
+        fault_clauses.push(spec.clone());
+    }
+    let mut extra: Vec<String> = Vec::new();
+    if !fault_clauses.is_empty() {
+        extra.push("--failpoints".into());
+        extra.push(fault_clauses.join(";"));
+    }
+    if let Some(cap) = args.options.get("max-inflight") {
+        extra.push("--max-inflight".into());
+        extra.push(cap.clone());
+    }
+
     let (addr, child) = match args.options.get("addr") {
-        Some(addr) => (addr.clone(), None),
+        Some(addr) => {
+            if !extra.is_empty() {
+                return Err(ArgError::InvalidValue {
+                    option: "addr".into(),
+                    value: addr.clone(),
+                    expected: "no --failpoints/--fault-rate/--max-inflight (those configure \
+                               the spawned daemon; an attached daemon sets its own)"
+                        .into(),
+                });
+            }
+            (addr.clone(), None)
+        }
         None => {
-            let (addr, child) = spawn_bench_daemon(shards)?;
+            let (addr, child) = spawn_bench_daemon(shards, &extra)?;
             (addr, Some(child))
         }
     };
@@ -807,8 +956,14 @@ fn cmd_bench_load(args: &ParsedArgs) -> Result<String, ArgError> {
         rps.map(|r| format!(", open-loop {r} rps")).unwrap_or_default(),
     );
     out.push_str(&format!(
-        "  completed {} of {} ({} error(s)) in {:.2} s -> {:.1} rps\n",
-        report.completed, report.requests, report.errors, report.duration_s, report.rps
+        "  completed {} of {} ({} error(s), {} retry(s), {} shed) in {:.2} s -> {:.1} rps\n",
+        report.completed,
+        report.requests,
+        report.errors,
+        report.retries,
+        report.shed,
+        report.duration_s,
+        report.rps
     ));
     out.push_str(&format!(
         "  latency p50 {:.3} ms, p99 {:.3} ms, p999 {:.3} ms, max {:.3} ms\n",

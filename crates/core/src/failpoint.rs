@@ -1,0 +1,490 @@
+//! Deterministic, zero-cost-when-disabled failpoint registry.
+//!
+//! Fault-tolerance code is only trustworthy if its failure branches run
+//! under test, and failure branches are exactly the code that normal
+//! runs never reach.  This module lets any I/O edge in the workspace
+//! declare a *named site* (`snapshot.fsync`, `link.write`,
+//! `client.read`, …) and lets a test or an operator arm a subset of
+//! those sites with a fault schedule:
+//!
+//! ```text
+//! CHAIN2L_FAILPOINTS="snapshot.fsync=err@1/8;shard.spawn=delay:10ms;link.write=short@1/16"
+//! ```
+//!
+//! Each armed site draws from **its own** linear-congruential stream,
+//! seeded from a global seed mixed with a stable hash of the site name.
+//! Two properties follow:
+//!
+//! - **Reproducible:** the k-th draw at a site is a pure function of
+//!   `(seed, site, k)`.  Re-running the same seed replays the identical
+//!   fire/no-fire schedule at every site.
+//! - **Interleaving-independent:** because streams are per-site, the
+//!   schedule at one site is unaffected by how often (or from which
+//!   thread) *other* sites are evaluated.  A global RNG would couple
+//!   every site to the whole process's execution order.
+//!
+//! When no spec is configured the entire mechanism is one relaxed
+//! atomic load and a predictable branch — no allocation, no locking —
+//! so production binaries and the allocation/wall-clock CI gates pay
+//! nothing (see `DESIGN.md` §12).
+//!
+//! Determinism note: this module deliberately never observes a clock
+//! (`delay` actions return the duration for the caller to sleep), so it
+//! stays inside the output-crate determinism lint scope.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Environment variable holding the failpoint spec
+/// (`site=action[@num/den][;…]`, optionally a `seed=N` entry).
+pub const ENV_FAILPOINTS: &str = "CHAIN2L_FAILPOINTS";
+
+/// Default global seed when the spec does not carry a `seed=N` entry.
+pub const DEFAULT_SEED: u64 = 0xC2A1_15EED;
+
+/// What an armed site does when its draw fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// Inject an `io::Error` (kind `Other`, message names the site).
+    Err,
+    /// Delay the operation by this many milliseconds.  The registry
+    /// returns the duration; the *caller* sleeps, so no clock is
+    /// observed here.
+    Delay(u64),
+    /// Truncate the I/O operation: deliver/accept only part of the
+    /// buffer.  Exercises short-read/short-write resume paths.
+    Short,
+}
+
+/// One armed site: its action, firing probability and private LCG
+/// stream.
+#[derive(Debug)]
+struct Site {
+    action: FailAction,
+    /// Fire when `draw % den < num`; `num >= den` means "always".
+    num: u64,
+    den: u64,
+    /// LCG state; stepped with a CAS loop so concurrent draws each
+    /// consume exactly one position of the stream.
+    state: AtomicU64,
+    /// Total draws at this site since configuration.
+    draws: AtomicU64,
+    /// Draws that fired.
+    fired: AtomicU64,
+}
+
+/// A parsed, armed configuration.  Sites are keyed by name in a
+/// `BTreeMap` so any iteration (stats reporting) is deterministic.
+#[derive(Debug, Default)]
+struct Registry {
+    sites: BTreeMap<String, Site>,
+}
+
+/// Fast-path flag: `true` only while at least one site is armed.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+/// Observed draw/fire counters for one site, for stats surfaces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteStats {
+    /// Site name as configured.
+    pub site: String,
+    /// Total draws evaluated at this site.
+    pub draws: u64,
+    /// Draws that fired the action.
+    pub fired: u64,
+}
+
+/// FNV-1a over the site name: a stable, platform-independent hash used
+/// to derive each site's stream from the global seed.
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+/// One step of the (Knuth MMIX) LCG.
+fn lcg_step(state: u64) -> u64 {
+    state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407)
+}
+
+/// Mix seed and site hash into a non-degenerate initial LCG state.
+fn stream_seed(seed: u64, site: &str) -> u64 {
+    // splitmix-style finalizer so nearby seeds land far apart.
+    let mut z = seed ^ fnv1a(site).rotate_left(17);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Parse `num/den` (or bare `num`, meaning `num/1`).
+fn parse_ratio(s: &str) -> Result<(u64, u64), String> {
+    let (num, den) = match s.split_once('/') {
+        Some((n, d)) => (n, d),
+        None => (s, "1"),
+    };
+    let num: u64 = num.parse().map_err(|_| format!("bad ratio numerator {num:?}"))?;
+    let den: u64 = den.parse().map_err(|_| format!("bad ratio denominator {den:?}"))?;
+    if den == 0 {
+        return Err("ratio denominator must be nonzero".to_string());
+    }
+    Ok((num, den))
+}
+
+/// Parse one `action[@num/den]` clause.
+fn parse_action(s: &str) -> Result<(FailAction, u64, u64), String> {
+    let (action, ratio) = match s.split_once('@') {
+        Some((a, r)) => (a, Some(r)),
+        None => (s, None),
+    };
+    let parsed = if action == "err" {
+        FailAction::Err
+    } else if action == "short" {
+        FailAction::Short
+    } else if let Some(ms) = action.strip_prefix("delay:") {
+        let ms = ms.strip_suffix("ms").unwrap_or(ms);
+        let ms: u64 = ms.parse().map_err(|_| format!("bad delay {ms:?} (want delay:Nms)"))?;
+        FailAction::Delay(ms)
+    } else {
+        return Err(format!("unknown action {action:?} (want err, short or delay:Nms)"));
+    };
+    let (num, den) = match ratio {
+        Some(r) => parse_ratio(r)?,
+        None => (1, 1),
+    };
+    Ok((parsed, num, den))
+}
+
+/// Parse a spec string into a registry.  Empty spec → no sites.
+fn parse_spec(spec: &str) -> Result<Registry, String> {
+    let mut seed = DEFAULT_SEED;
+    let mut clauses: Vec<(String, FailAction, u64, u64)> = Vec::new();
+    for clause in spec.split(';') {
+        let clause = clause.trim();
+        if clause.is_empty() {
+            continue;
+        }
+        let (site, rhs) = clause
+            .split_once('=')
+            .ok_or_else(|| format!("failpoint clause {clause:?} missing '='"))?;
+        let (site, rhs) = (site.trim(), rhs.trim());
+        if site == "seed" {
+            seed = rhs.parse().map_err(|_| format!("bad seed {rhs:?}"))?;
+            continue;
+        }
+        let (action, num, den) = parse_action(rhs)?;
+        clauses.push((site.to_string(), action, num, den));
+    }
+    let mut reg = Registry { sites: BTreeMap::new() };
+    for (site, action, num, den) in clauses {
+        let state = AtomicU64::new(stream_seed(seed, &site));
+        reg.sites.insert(
+            site,
+            Site { action, num, den, state, draws: AtomicU64::new(0), fired: AtomicU64::new(0) },
+        );
+    }
+    Ok(reg)
+}
+
+/// Arm the registry from a spec string, replacing any previous
+/// configuration.  An empty spec disarms every site.
+pub fn configure(spec: &str) -> Result<(), String> {
+    let reg = parse_spec(spec)?;
+    let any = !reg.sites.is_empty();
+    match REGISTRY.lock() {
+        Ok(mut slot) => {
+            *slot = if any { Some(reg) } else { None };
+            ENABLED.store(any, Ordering::Relaxed);
+            Ok(())
+        }
+        Err(_) => Err("failpoint registry lock poisoned".to_string()),
+    }
+}
+
+/// Arm from `CHAIN2L_FAILPOINTS` if it is set and non-empty.  Returns
+/// the error text for a malformed spec; unset/empty is `Ok` and leaves
+/// the registry untouched.
+pub fn configure_from_env() -> Result<(), String> {
+    match std::env::var(ENV_FAILPOINTS) {
+        Ok(spec) if !spec.trim().is_empty() => configure(&spec),
+        _ => Ok(()),
+    }
+}
+
+/// Disarm every site.
+pub fn clear() {
+    if let Ok(mut slot) = REGISTRY.lock() {
+        *slot = None;
+        ENABLED.store(false, Ordering::Relaxed);
+    }
+}
+
+/// True while at least one site is armed (one relaxed load).
+#[inline]
+pub fn active() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Evaluate a site: `None` when disarmed or the draw does not fire.
+///
+/// This is the primitive the convenience wrappers build on.  The fast
+/// path — nothing configured anywhere — is a single relaxed atomic
+/// load.
+#[inline]
+pub fn evaluate(site: &str) -> Option<FailAction> {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    evaluate_armed(site)
+}
+
+#[cold]
+fn evaluate_armed(site: &str) -> Option<FailAction> {
+    let slot = match REGISTRY.lock() {
+        Ok(slot) => slot,
+        Err(_) => return None,
+    };
+    let reg = slot.as_ref()?;
+    let s = reg.sites.get(site)?;
+    // Step this site's stream by exactly one position, atomically.
+    let mut cur = s.state.load(Ordering::Relaxed);
+    let mut next = lcg_step(cur);
+    while let Err(seen) =
+        s.state.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+    {
+        cur = seen;
+        next = lcg_step(cur);
+    }
+    s.draws.fetch_add(1, Ordering::Relaxed);
+    // Use the high bits: low LCG bits have short periods.
+    let draw = next >> 11;
+    if s.num >= s.den || draw % s.den < s.num {
+        s.fired.fetch_add(1, Ordering::Relaxed);
+        Some(s.action)
+    } else {
+        None
+    }
+}
+
+/// Evaluate a site and translate a firing into an `io::Result`:
+///
+/// - `Err` → `Err(io::Error)` whose message names the site,
+/// - `Delay(ms)` → sleeps (outside the registry lock), then `Ok`,
+/// - `Short` → `Ok` (callers that cannot shorten treat it as a no-op;
+///   buffer-level callers use [`short_len`] instead).
+#[inline]
+pub fn fail_io(site: &str) -> io::Result<()> {
+    match evaluate(site) {
+        None | Some(FailAction::Short) => Ok(()),
+        Some(FailAction::Err) => Err(injected_error(site)),
+        Some(FailAction::Delay(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            Ok(())
+        }
+    }
+}
+
+/// The `io::Error` injected for an `err` firing at `site`.
+pub fn injected_error(site: &str) -> io::Error {
+    io::Error::other(format!("failpoint {site}: injected error"))
+}
+
+/// Evaluate a site against a buffer length: a firing `short` action
+/// halves `len` (never below 1 for a nonempty buffer), `err` is
+/// reported through the return value, `delay` sleeps.  Disarmed or
+/// non-firing sites pass `len` through untouched.
+#[inline]
+pub fn short_len(site: &str, len: usize) -> io::Result<usize> {
+    match evaluate(site) {
+        None => Ok(len),
+        Some(FailAction::Short) => {
+            if len > 1 {
+                Ok(len / 2)
+            } else {
+                Ok(len)
+            }
+        }
+        Some(FailAction::Err) => Err(injected_error(site)),
+        Some(FailAction::Delay(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            Ok(len)
+        }
+    }
+}
+
+/// Per-site draw/fire counters, sorted by site name.  Empty when
+/// disarmed.
+pub fn stats() -> Vec<SiteStats> {
+    let slot = match REGISTRY.lock() {
+        Ok(slot) => slot,
+        Err(_) => return Vec::new(),
+    };
+    let reg = match slot.as_ref() {
+        Some(reg) => reg,
+        None => return Vec::new(),
+    };
+    reg.sites
+        .iter()
+        .map(|(name, s)| SiteStats {
+            site: name.clone(),
+            draws: s.draws.load(Ordering::Relaxed),
+            fired: s.fired.load(Ordering::Relaxed),
+        })
+        .collect()
+}
+
+/// The deterministic fire/no-fire schedule a site would produce: the
+/// first `n` draws of `(seed, site)` against probability `num/den`.
+/// Pure function — used by tests to pin reproducibility and by the
+/// chaos harness to pre-compute schedules without arming anything.
+pub fn schedule(seed: u64, site: &str, num: u64, den: u64, n: usize) -> Vec<bool> {
+    let mut out = Vec::with_capacity(n);
+    let mut state = stream_seed(seed, site);
+    for _ in 0..n {
+        state = lcg_step(state);
+        let draw = state >> 11;
+        out.push(num >= den || den == 0 || draw % den < num);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialize tests that touch the process-global registry.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        match TEST_LOCK.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    #[test]
+    fn disabled_is_inert() {
+        let _g = lock();
+        clear();
+        assert!(!active());
+        assert!(evaluate("snapshot.fsync").is_none());
+        assert!(fail_io("snapshot.fsync").is_ok());
+        assert_eq!(short_len("frame.read", 4096).ok(), Some(4096));
+        assert!(stats().is_empty());
+    }
+
+    #[test]
+    fn spec_parses_all_action_forms() {
+        let _g = lock();
+        configure("snapshot.fsync=err@1/8; shard.spawn=delay:10ms; link.write=short@1/16")
+            .expect("spec parses");
+        assert!(active());
+        let st = stats();
+        let names: Vec<&str> = st.iter().map(|s| s.site.as_str()).collect();
+        assert_eq!(names, ["link.write", "shard.spawn", "snapshot.fsync"]);
+        clear();
+        assert!(!active());
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        let _g = lock();
+        for bad in [
+            "snapshot.fsync",
+            "a=explode",
+            "a=err@1/0",
+            "a=delay:xms",
+            "a=err@x/8",
+            "seed=notanumber",
+        ] {
+            assert!(parse_spec(bad).is_err(), "spec {bad:?} should be rejected");
+        }
+        // Empty clauses are tolerated.
+        assert!(parse_spec(";;a=err;;").is_ok());
+    }
+
+    #[test]
+    fn always_fire_and_never_fire() {
+        let _g = lock();
+        configure("always=err@1/1;never=err@0/7").expect("spec parses");
+        for _ in 0..32 {
+            assert!(matches!(evaluate("always"), Some(FailAction::Err)));
+            assert!(evaluate("never").is_none());
+        }
+        assert!(evaluate("unarmed.site").is_none());
+        clear();
+    }
+
+    #[test]
+    fn schedule_is_reproducible_and_site_independent() {
+        let a1 = schedule(42, "snapshot.fsync", 1, 8, 256);
+        let a2 = schedule(42, "snapshot.fsync", 1, 8, 256);
+        assert_eq!(a1, a2, "same seed+site must replay identically");
+        let b = schedule(42, "link.write", 1, 8, 256);
+        assert_ne!(a1, b, "distinct sites draw from distinct streams");
+        let c = schedule(43, "snapshot.fsync", 1, 8, 256);
+        assert_ne!(a1, c, "distinct seeds produce distinct schedules");
+        // The armed registry replays exactly the precomputed schedule.
+        let _g = lock();
+        configure("seed=42;snapshot.fsync=err@1/8").expect("spec parses");
+        let lived: Vec<bool> = (0..256).map(|_| evaluate("snapshot.fsync").is_some()).collect();
+        assert_eq!(lived, a1, "armed draws must match the pure schedule");
+        clear();
+    }
+
+    #[test]
+    fn ratios_fire_at_roughly_the_configured_rate() {
+        let fired = schedule(7, "x", 1, 8, 8192).iter().filter(|f| **f).count();
+        let expect = 8192 / 8;
+        assert!(
+            (fired as i64 - expect as i64).abs() < expect as i64 / 2,
+            "1/8 ratio fired {fired} of 8192"
+        );
+    }
+
+    #[test]
+    fn short_len_halves_but_never_zeroes() {
+        let _g = lock();
+        configure("frame.read=short@1/1").expect("spec parses");
+        assert_eq!(short_len("frame.read", 4096).ok(), Some(2048));
+        assert_eq!(short_len("frame.read", 2).ok(), Some(1));
+        assert_eq!(short_len("frame.read", 1).ok(), Some(1));
+        clear();
+    }
+
+    #[test]
+    fn concurrent_draws_consume_distinct_stream_positions() {
+        let _g = lock();
+        configure("seed=9;racy=err@1/3").expect("spec parses");
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let mut fired = 0u64;
+                    for _ in 0..512 {
+                        if evaluate("racy").is_some() {
+                            fired += 1;
+                        }
+                    }
+                    fired
+                })
+            })
+            .collect();
+        let total: u64 = threads.into_iter().map(|t| t.join().unwrap_or(0)).sum();
+        // 4*512 draws consumed exactly; the number that fire equals the
+        // pure schedule's count regardless of interleaving.
+        let expect = schedule(9, "racy", 1, 3, 2048).iter().filter(|f| **f).count() as u64;
+        assert_eq!(total, expect);
+        let st = stats();
+        assert_eq!(st.len(), 1);
+        assert_eq!(st[0].draws, 2048);
+        assert_eq!(st[0].fired, expect);
+        clear();
+    }
+}

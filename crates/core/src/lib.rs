@@ -30,7 +30,10 @@
 //!   cheapest sound strategy (cache hit → prefix reuse → incremental
 //!   extension → pruned kernel → exhaustive fallback) behind the [`Kernel`]
 //!   trait, with per-strategy counters ([`EngineStats`]).  The experiment
-//!   harness, the CLI and the `chain2l-service` daemon all solve through it.
+//!   harness, the CLI and the `chain2l-service` daemon all solve through it;
+//! * [`failpoint`] — a zero-cost-when-disabled, deterministically seeded
+//!   fault-injection registry (`CHAIN2L_FAILPOINTS`) threaded through the
+//!   workspace's I/O edges for chaos testing.
 //!
 //! The `A_DMV*` and `A_DMV` dynamic programs shard their two inner levels
 //! (`Emem`/`Everif`) across independent disk-segment slices on the
@@ -70,6 +73,7 @@ pub mod cache;
 mod dp;
 pub mod engine;
 pub mod evaluator;
+pub mod failpoint;
 pub mod heuristics;
 pub mod incremental;
 pub mod lru;
@@ -85,6 +89,7 @@ pub mod two_level;
 pub use arena::{ArenaStats, TableArena};
 pub use cache::{CacheLimits, CacheStats, ScenarioFingerprint, SolutionCache, SolveRequest};
 pub use engine::{kernel_for, Engine, EngineLimits, EngineStats, Kernel, KernelState};
+pub use failpoint::FailAction;
 pub use incremental::{IncrementalSolver, IncrementalStats};
 pub use partial::{optimize_with_partials, PartialOptions};
 pub use segment::{PartialCostModel, SegmentCalculator};

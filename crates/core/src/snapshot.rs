@@ -136,6 +136,9 @@ pub enum SnapshotLoadOutcome {
     NotAttempted,
     /// The snapshot decoded and its state was installed.
     Loaded,
+    /// A format-v1 snapshot was migrated on load: decoded with the v1
+    /// layout, v2-only scan counters zero-filled, state installed.
+    Migrated,
     /// No snapshot file existed — a first boot.
     Absent,
     /// A snapshot file existed but was rejected; the engine started cold.
@@ -147,6 +150,7 @@ impl std::fmt::Display for SnapshotLoadOutcome {
         match self {
             Self::NotAttempted => f.write_str("none"),
             Self::Loaded => f.write_str("warm"),
+            Self::Migrated => f.write_str("warm (migrated v1)"),
             Self::Absent => f.write_str("cold (no snapshot)"),
             Self::Rejected(reason) => write!(f, "cold (rejected: {reason})"),
         }
@@ -521,6 +525,9 @@ pub fn encode(engine: &Engine, identity: ShardIdentity) -> Vec<u8> {
 struct DecodedSnapshot {
     entries: Vec<(ScenarioFingerprint, Solution)>,
     contexts: Vec<ContextExport>,
+    /// True when the file was a format-v1 snapshot decoded by the
+    /// migration path (scan counters zero-filled).
+    migrated: bool,
 }
 
 fn read_section<'a>(r: &mut Reader<'a>, expected_tag: u32) -> Result<&'a [u8], Reject> {
@@ -601,7 +608,7 @@ fn decode_fingerprint_parts(r: &mut Reader<'_>) -> Result<(u64, u64, [u64; 7], A
     Ok((lambda_fail_stop, lambda_silent, costs, algorithm))
 }
 
-fn decode_solution(r: &mut Reader<'_>) -> Result<Solution, Reject> {
+fn decode_solution(r: &mut Reader<'_>, v1: bool) -> Result<Solution, Reject> {
     let expected_makespan = f64::from_bits(r.u64()?);
     let normalized_makespan = f64::from_bits(r.u64()?);
     let sched_len = r.len()?;
@@ -623,8 +630,8 @@ fn decode_solution(r: &mut Reader<'_>) -> Result<Solution, Reject> {
     };
     let table_entries = count("table entry")?;
     let candidates_examined = r.u64()?;
-    let simd_blocks = r.u64()?;
-    let scalar_fallbacks = r.u64()?;
+    // Format v1 predates the SIMD scan counters; migrate by zero-filling.
+    let (simd_blocks, scalar_fallbacks) = if v1 { (0, 0) } else { (r.u64()?, r.u64()?) };
     Ok(Solution {
         expected_makespan,
         normalized_makespan,
@@ -634,7 +641,7 @@ fn decode_solution(r: &mut Reader<'_>) -> Result<Solution, Reject> {
     })
 }
 
-fn decode_cache(payload: &[u8]) -> Result<Vec<(ScenarioFingerprint, Solution)>, Reject> {
+fn decode_cache(payload: &[u8], v1: bool) -> Result<Vec<(ScenarioFingerprint, Solution)>, Reject> {
     let mut r = Reader::new(payload);
     let count = r.u64()?;
     let mut out = Vec::new();
@@ -644,7 +651,7 @@ fn decode_cache(payload: &[u8]) -> Result<Vec<(ScenarioFingerprint, Solution)>, 
         let weights = r.u64_vec(n)?;
         let fingerprint =
             ScenarioFingerprint { lambda_fail_stop, lambda_silent, costs, weights, algorithm };
-        let solution = decode_solution(&mut r)?;
+        let solution = decode_solution(&mut r, v1)?;
         out.push((fingerprint, solution));
     }
     if !r.is_empty() {
@@ -653,7 +660,11 @@ fn decode_cache(payload: &[u8]) -> Result<Vec<(ScenarioFingerprint, Solution)>, 
     Ok(out)
 }
 
-fn decode_contexts(payload: &[u8], arena: &TableArena) -> Result<Vec<ContextExport>, Reject> {
+fn decode_contexts(
+    payload: &[u8],
+    arena: &TableArena,
+    v1: bool,
+) -> Result<Vec<ContextExport>, Reject> {
     let mut r = Reader::new(payload);
     let count = r.u64()?;
     let mut out = Vec::new();
@@ -687,7 +698,11 @@ fn decode_contexts(payload: &[u8], arena: &TableArena) -> Result<Vec<ContextExpo
             let emem = r.f64_plane(dim, arena)?;
             let emem_choice = r.u32_plane(dim, arena)?;
             let candidates = r.u64()?;
-            let scan = ScanCounters { simd_blocks: r.u64()?, scalar_fallbacks: r.u64()? };
+            let scan = if v1 {
+                ScanCounters::default()
+            } else {
+                ScanCounters { simd_blocks: r.u64()?, scalar_fallbacks: r.u64()? }
+            };
             slices.push(DiskSlice {
                 everif: SliceTable2::from_buffer(n, d1, rows, everif),
                 everif_choice: SliceTable2::from_buffer(n, d1, rows, everif_choice),
@@ -701,8 +716,14 @@ fn decode_contexts(payload: &[u8], arena: &TableArena) -> Result<Vec<ContextExpo
         let edisk_choice = r.u32_plane(dim, arena)?;
         let floor_candidates = r.u64()?;
         let candidates = r.u64()?;
-        let floor_scan = ScanCounters { simd_blocks: r.u64()?, scalar_fallbacks: r.u64()? };
-        let scan = ScanCounters { simd_blocks: r.u64()?, scalar_fallbacks: r.u64()? };
+        let (floor_scan, scan) = if v1 {
+            (ScanCounters::default(), ScanCounters::default())
+        } else {
+            (
+                ScanCounters { simd_blocks: r.u64()?, scalar_fallbacks: r.u64()? },
+                ScanCounters { simd_blocks: r.u64()?, scalar_fallbacks: r.u64()? },
+            )
+        };
         out.push(ContextExport {
             key,
             weights,
@@ -741,12 +762,17 @@ fn decode(
         });
     }
     let version = r.u32()?;
-    if version != FORMAT_VERSION {
+    // Format v1 is one field set short of v2 (no SIMD scan counters) and
+    // migrates in place; anything else still cold-starts.
+    if version != FORMAT_VERSION && version != 1 {
         return Err(Reject {
             reason: SnapshotRejectReason::Version,
-            detail: format!("snapshot format v{version}, this build reads v{FORMAT_VERSION}"),
+            detail: format!(
+                "snapshot format v{version}, this build reads v{FORMAT_VERSION} (or migrates v1)"
+            ),
         });
     }
+    let v1 = version == 1;
     let sections = r.u32()?;
     if sections != 3 {
         return Err(malformed(format!("{sections} sections, expected 3")));
@@ -759,8 +785,9 @@ fn decode(
     }
     check_header(header, limits, identity)?;
     Ok(DecodedSnapshot {
-        entries: decode_cache(cache)?,
-        contexts: decode_contexts(contexts, arena)?,
+        entries: decode_cache(cache, v1)?,
+        contexts: decode_contexts(contexts, arena, v1)?,
+        migrated: v1,
     })
 }
 
@@ -783,10 +810,16 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<u64> {
     tmp_name.push(".tmp");
     let tmp = dir.join(tmp_name);
     let result = (|| {
+        // Failpoint sites cover each distinct fault the crash-consistency
+        // argument relies on surviving: a torn write, a lost fsync, and a
+        // failed rename (see DESIGN.md §12).
+        crate::failpoint::fail_io("snapshot.write")?;
         let mut file = fs::File::create(&tmp)?;
         file.write_all(bytes)?;
+        crate::failpoint::fail_io("snapshot.fsync")?;
         file.sync_all()?;
         drop(file);
+        crate::failpoint::fail_io("snapshot.rename")?;
         fs::rename(&tmp, path)?;
         // Make the rename itself durable.  Directory fsync is best-effort:
         // some filesystems reject it, and a failure here cannot tear the
@@ -830,6 +863,7 @@ pub fn load(engine: &Engine, path: &Path, identity: ShardIdentity) -> LoadReport
         },
         Ok(bytes) => match decode(&bytes, engine.limits(), identity, engine.snapshot_arena()) {
             Ok(decoded) => {
+                let migrated = decoded.migrated;
                 let mut entries = 0usize;
                 for (fingerprint, solution) in decoded.entries {
                     if engine.snapshot_cache().restore_entry(fingerprint, Arc::new(solution)) {
@@ -842,10 +876,15 @@ pub fn load(engine: &Engine, path: &Path, identity: ShardIdentity) -> LoadReport
                         contexts += 1;
                     }
                 }
+                let (outcome, how) = if migrated {
+                    (SnapshotLoadOutcome::Migrated, " (migrated v1)")
+                } else {
+                    (SnapshotLoadOutcome::Loaded, "")
+                };
                 LoadReport {
-                    outcome: SnapshotLoadOutcome::Loaded,
+                    outcome,
                     detail: format!(
-                        "warm start: restored {entries} cached solutions and \
+                        "warm start{how}: restored {entries} cached solutions and \
                              {contexts} retained contexts from {}",
                         path.display()
                     ),

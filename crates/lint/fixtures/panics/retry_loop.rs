@@ -1,0 +1,38 @@
+// Seeded: panics inside a client retry loop — the loop exists to absorb
+// faults, so a panic here turns a recoverable transport error into a
+// stranded batch.  Modeled on the reconnect-and-resend shape of the
+// serve client.
+fn retry(attempts: u32, schedule: &[u64], outcomes: &mut [Option<u32>]) -> u32 {
+    let mut retries = 0;
+    loop {
+        match attempt(outcomes) {
+            Some(value) => {
+                // Draining the slots with unwrap defeats the loop's
+                // whole purpose: one empty slot panics the client.
+                let first = outcomes[0]; //~ panic-index
+                return first.unwrap() + value; //~ panic-unwrap
+            }
+            None if retries < attempts => {
+                // Indexing the backoff schedule panics once retries
+                // outruns the precomputed delays.
+                let delay = schedule[retries as usize]; //~ panic-index
+                std::thread::sleep(std::time::Duration::from_millis(delay));
+                retries += 1;
+            }
+            None => {
+                let last = outcomes.last().expect("at least one request"); //~ panic-expect
+                return last.unwrap_or(0);
+            }
+        }
+    }
+}
+
+fn attempt(outcomes: &mut [Option<u32>]) -> Option<u32> {
+    for slot in outcomes.iter_mut() {
+        if slot.is_none() {
+            *slot = Some(1);
+            return None;
+        }
+    }
+    Some(0)
+}

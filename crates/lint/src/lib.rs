@@ -149,8 +149,10 @@ fn json_escape(s: &str) -> String {
 const DETERMINISM_CRATES: [&str; 4] = ["core", "analysis", "model", "sim"];
 
 /// The serve daemon path inside `crates/service` — pass 3's scope.
-/// `client.rs` and `loadgen.rs` are test harness tooling, not the daemon.
-const DAEMON_FILES: [&str; 7] = [
+/// `client.rs` joined when it grew the retry/backoff machinery: a panic
+/// in its reconnect loop strands a whole batch, so it is held to the
+/// daemon standard.  `loadgen.rs` stays out — harness tooling only.
+const DAEMON_FILES: [&str; 8] = [
     "server.rs",
     "shard.rs",
     "frame.rs",
@@ -158,6 +160,7 @@ const DAEMON_FILES: [&str; 7] = [
     "protocol.rs",
     "persist.rs",
     "chain2l-shard.rs",
+    "client.rs",
 ];
 
 /// Maps a workspace-relative path to its crate namespace and pass scope.
@@ -196,11 +199,12 @@ pub fn scope_for(rel: &str) -> Option<(String, Scope)> {
     let in_src = parts.contains(&"src");
     scope.locks = in_src;
     scope.determinism = in_src && DETERMINISM_CRATES.contains(&krate.as_str());
-    // The daemon path plus the core snapshot decoder: a snapshot file is
-    // untrusted input read at daemon boot, so its decode path must be as
-    // panic-free as the daemon itself.
+    // The daemon path plus two core files: the snapshot decoder parses
+    // untrusted input at daemon boot, and the failpoint registry runs
+    // inside every I/O hot path whenever fault injection is armed — both
+    // must be as panic-free as the daemon itself.
     scope.panics = (krate == "service" && in_src && DAEMON_FILES.contains(&file))
-        || (krate == "core" && in_src && file == "snapshot.rs");
+        || (krate == "core" && in_src && (file == "snapshot.rs" || file == "failpoint.rs"));
     scope.forbid_root = rel.ends_with("src/lib.rs")
         || rel.ends_with("src/main.rs")
         || parts.contains(&"bin")
@@ -371,14 +375,18 @@ mod tests {
 
         let (_, s) = scope_for("crates/service/src/loadgen.rs").expect("in scope");
         assert!(!s.panics, "loadgen is harness tooling, not the daemon");
+        let (_, s) = scope_for("crates/service/src/client.rs").expect("in scope");
+        assert!(s.panics, "the retry/backoff client is held to the daemon standard");
 
         let (_, s) = scope_for("crates/service/src/persist.rs").expect("in scope");
         assert!(s.panics, "the persistence layer runs inside the daemon");
         let (k, s) = scope_for("crates/core/src/snapshot.rs").expect("in scope");
         assert_eq!(k, "core");
         assert!(s.panics && s.determinism, "snapshot decode parses untrusted input");
+        let (_, s) = scope_for("crates/core/src/failpoint.rs").expect("in scope");
+        assert!(s.panics, "the failpoint registry sits inside armed I/O hot paths");
         let (_, s) = scope_for("crates/core/src/cache.rs").expect("in scope");
-        assert!(!s.panics, "only the snapshot decoder joins the panic pass from core");
+        assert!(!s.panics, "only snapshot decode and failpoints join the panic pass from core");
 
         let (_, s) = scope_for("crates/core/src/lib.rs").expect("in scope");
         assert!(s.forbid_root);

@@ -217,7 +217,12 @@ impl Conn {
         let mut any = false;
         let mut chunk = [0u8; 16 * 1024];
         for _ in 0..8 {
-            match self.stream.read(&mut chunk) {
+            // Failpoint `frame.read`: bounds this read attempt (`short`,
+            // exercising split-frame decoding) or fails it (`err`).  The
+            // bound applies to the *syscall*, never to bytes already read —
+            // unread bytes stay in the socket buffer for the next attempt.
+            let limit = chain2l_core::failpoint::short_len("frame.read", chunk.len())?;
+            match self.stream.read(&mut chunk[..limit]) {
                 Ok(0) => {
                     self.read_closed = true;
                     break;
@@ -237,7 +242,11 @@ impl Conn {
     /// Writes queued bytes until `WouldBlock` or the queue empties.
     pub(crate) fn flush_out(&mut self) -> io::Result<()> {
         while self.out_pos < self.out.len() {
-            match self.stream.write(&self.out[self.out_pos..]) {
+            // Failpoint `frame.write`: bounds this write attempt (`short`,
+            // exercising partial-write resumption) or fails it (`err`).
+            let limit =
+                chain2l_core::failpoint::short_len("frame.write", self.out.len() - self.out_pos)?;
+            match self.stream.write(&self.out[self.out_pos..self.out_pos + limit]) {
                 Ok(0) => {
                     return Err(io::Error::new(io::ErrorKind::WriteZero, "peer stopped reading"))
                 }

@@ -23,9 +23,19 @@
 //!   listener and all shard links, fingerprint routing with internal-id
 //!   re-keying, worker supervision (respawn + inflight replay), graceful
 //!   shutdown with per-shard statistics;
-//! * [`client`] — pipelined remote batch solving and the control ops;
+//! * [`client`] — pipelined remote batch solving with reconnect-and-resend
+//!   retry (exponential backoff, deterministic seeded jitter, per-request
+//!   deadlines) and the control ops (`ping`/`stats`/`health`/`shutdown`);
 //! * [`loadgen`] — the open-loop load generator and latency report behind
-//!   `chain2l bench-load`.
+//!   `chain2l bench-load`, including shed-retry accounting under daemon
+//!   admission control.
+//!
+//! Fault tolerance: the daemon sheds load past `--max-inflight` with
+//! `error:"overloaded"` responses (protocol v2), supervises and respawns
+//! dead workers, and reports it all through the `health` op; the whole
+//! serve path is threaded with deterministic failpoints
+//! (`chain2l_core::failpoint`, armed by `serve --failpoints` or
+//! `CHAIN2L_FAILPOINTS`) so every fault class is reproducible in tests.
 //!
 //! Determinism contract: every solve is a deterministic pure function of the
 //! scenario and algorithm, each fingerprint is owned by exactly one shard,
@@ -48,6 +58,7 @@ pub mod protocol;
 pub mod server;
 pub mod shard;
 
+pub use client::{BatchReport, ClientConfig, ClientError};
 pub use persist::{PersistConfig, Persister};
-pub use protocol::{Request, Response, SolveResult, SolveSpec};
+pub use protocol::{HealthReport, Request, Response, SolveResult, SolveSpec};
 pub use server::{ServeConfig, ServeSummary, Server};

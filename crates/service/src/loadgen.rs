@@ -70,8 +70,12 @@ pub struct LoadReport {
     pub requests: u64,
     /// Requests answered `ok:true`.
     pub completed: u64,
-    /// Requests answered `ok:false`.
+    /// Requests answered `ok:false` (after any shed retries ran out).
     pub errors: u64,
+    /// Re-issues of requests the daemon shed with `error:"overloaded"`.
+    pub retries: u64,
+    /// `overloaded` responses received (admission-control sheds observed).
+    pub shed: u64,
     /// Wall-clock duration of the measured phase (seconds).
     pub duration_s: f64,
     /// Sustained requests per second (completed / duration).
@@ -107,11 +111,23 @@ fn spec_mix() -> Vec<SolveSpec> {
 
 struct LoadConn {
     conn: Conn,
-    /// Send (or scheduled-arrival) instant of request `id`, indexed by id.
+    /// Latency origin of wire request `id`, indexed by id.  A shed retry
+    /// keeps the *original* arrival instant, so time spent being shed and
+    /// re-sent is charged to latency (no coordinated omission).
     issued: Vec<Instant>,
+    /// Spec-mix index of wire request `id` (retries resend the same spec).
+    spec_of: Vec<usize>,
+    /// How many times wire request `id` has already been shed and re-sent.
+    attempts: Vec<u32>,
+    /// Logical requests issued (fresh sends, not counting shed retries).
     sent: usize,
+    /// Logical requests finished (solved, errored, or retries exhausted).
     answered: usize,
 }
+
+/// Shed-retry budget per logical request; past it the request counts as an
+/// error (a daemon that sheds one request 64 times is genuinely saturated).
+const SHED_RETRY_LIMIT: u32 = 64;
 
 /// Overall safety valve: a run that makes no progress for this long fails
 /// rather than hanging the bench.
@@ -130,12 +146,21 @@ pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
         let stream = TcpStream::connect(&config.addr)?;
         let conn = Conn::new(stream)?;
         poll.register(&conn.stream, Token(index), Interest::READABLE)?;
-        conns.push(LoadConn { conn, issued: Vec::with_capacity(per_conn), sent: 0, answered: 0 });
+        conns.push(LoadConn {
+            conn,
+            issued: Vec::with_capacity(per_conn),
+            spec_of: Vec::with_capacity(per_conn),
+            attempts: Vec::with_capacity(per_conn),
+            sent: 0,
+            answered: 0,
+        });
     }
 
     let mut latencies_ms: Vec<f64> = Vec::with_capacity(total);
     let mut completed: u64 = 0;
     let mut errors: u64 = 0;
+    let mut retries: u64 = 0;
+    let mut shed: u64 = 0;
     let start = Instant::now();
     let mut last_progress = start;
     // Open-loop bookkeeping: the next globally-scheduled arrival.
@@ -200,6 +225,21 @@ pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
                         format!("response for unknown request id {id}"),
                     ));
                 }
+                if response.is_overloaded() {
+                    // Admission-control shed: resend the same spec under a
+                    // fresh wire id, keeping the original latency origin.
+                    shed += 1;
+                    if lc.attempts[id] < SHED_RETRY_LIMIT {
+                        retries += 1;
+                        reissue(lc, &mix, id);
+                    } else {
+                        latencies_ms.push((now - lc.issued[id]).as_secs_f64() * 1e3);
+                        errors += 1;
+                        lc.answered += 1;
+                    }
+                    progressed = true;
+                    continue;
+                }
                 latencies_ms.push((now - lc.issued[id]).as_secs_f64() * 1e3);
                 match response {
                     Response::Solve { .. } => completed += 1,
@@ -245,6 +285,8 @@ pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
         requests: total as u64,
         completed,
         errors,
+        retries,
+        shed,
         duration_s,
         rps: completed as f64 / duration_s.max(1e-9),
         p50_ms: pct(0.50),
@@ -261,13 +303,28 @@ fn prime(lc: &mut LoadConn, mix: &[SolveSpec], window: usize, per_conn: usize) {
     }
 }
 
-/// Issues one request on a connection, stamping its latency origin.
+/// Issues one fresh request on a connection, stamping its latency origin.
 fn issue(lc: &mut LoadConn, mix: &[SolveSpec], at: Instant) {
-    let id = lc.sent as u64;
-    let spec = mix[lc.sent % mix.len()].clone();
+    let id = lc.issued.len() as u64;
+    let spec_idx = lc.sent % mix.len();
+    let spec = mix[spec_idx].clone();
     lc.conn.push_line(&protocol::encode_request(&Request::Solve { id, spec }));
     lc.issued.push(at);
+    lc.spec_of.push(spec_idx);
+    lc.attempts.push(0);
     lc.sent += 1;
+}
+
+/// Re-issues a shed request under a fresh wire id: same spec, same latency
+/// origin (so shed-and-retry time shows up in the percentiles), attempt
+/// count carried forward.
+fn reissue(lc: &mut LoadConn, mix: &[SolveSpec], shed_id: usize) {
+    let id = lc.issued.len() as u64;
+    let spec = mix[lc.spec_of[shed_id]].clone();
+    lc.conn.push_line(&protocol::encode_request(&Request::Solve { id, spec }));
+    lc.issued.push(lc.issued[shed_id]);
+    lc.spec_of.push(lc.spec_of[shed_id]);
+    lc.attempts.push(lc.attempts[shed_id] + 1);
 }
 
 /// Renders a report as the line-oriented JSON written to
@@ -278,6 +335,7 @@ pub fn render_report_json(report: &LoadReport) -> String {
     format!(
         "{{\n  \"bench\": \"serve_load\",\n  \"connections\": {},\n  \"window\": {},\n  \
          \"requests\": {},\n  \"completed\": {},\n  \"errors\": {},\n  \
+         \"retries\": {},\n  \"shed\": {},\n  \
          \"duration_s\": {:.4},\n  \"rps\": {:.1},\n  \"p50_ms\": {:.3},\n  \
          \"p99_ms\": {:.3},\n  \"p999_ms\": {:.3},\n  \"max_ms\": {:.3}\n}}\n",
         report.connections,
@@ -285,6 +343,8 @@ pub fn render_report_json(report: &LoadReport) -> String {
         report.requests,
         report.completed,
         report.errors,
+        report.retries,
+        report.shed,
         report.duration_s,
         report.rps,
         report.p50_ms,
@@ -377,6 +437,8 @@ mod tests {
             requests: 10_000,
             completed: 10_000,
             errors: 0,
+            retries: 0,
+            shed: 0,
             duration_s: 1.25,
             rps: 8_000.0,
             p50_ms: 1.2,

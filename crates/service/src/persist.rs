@@ -66,6 +66,10 @@ impl Persister {
     /// stderr.  Never fails — a missing or corrupt snapshot is a cold
     /// start, not an error.
     pub fn boot_load(&self, engine: &Engine) {
+        if let Err(e) = chain2l_core::failpoint::fail_io("persist.boot") {
+            log_line(&self.config.identity, &format!("cold start: boot load skipped ({e})"));
+            return;
+        }
         let path = self.config.snapshot_path();
         let report = snapshot::load(engine, &path, self.config.identity);
         log_line(&self.config.identity, &report.detail);
@@ -79,6 +83,13 @@ impl Persister {
     pub fn snapshot_now(&self, engine: &Engine) {
         let _guard = self.write_lock.lock().unwrap_or_else(|e| e.into_inner());
         let path = self.config.snapshot_path();
+        if let Err(e) = chain2l_core::failpoint::fail_io("persist.write") {
+            log_line(
+                &self.config.identity,
+                &format!("snapshot write to {} failed: {e}", path.display()),
+            );
+            return;
+        }
         let start = Instant::now();
         match snapshot::save(engine, &path, self.config.identity) {
             Ok(bytes) => {

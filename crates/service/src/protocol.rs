@@ -6,11 +6,12 @@
 //! order) and an `op`:
 //!
 //! ```text
-//! {"v":1,"id":7,"op":"solve","platform":"hera","pattern":"uniform",
+//! {"v":2,"id":7,"op":"solve","platform":"hera","pattern":"uniform",
 //!  "tasks":20,"weight":25000.0,"algorithm":"admv"}
-//! {"v":1,"id":8,"op":"stats"}
-//! {"v":1,"id":9,"op":"ping"}
-//! {"v":1,"id":10,"op":"shutdown"}
+//! {"v":2,"id":8,"op":"stats"}
+//! {"v":2,"id":9,"op":"ping"}
+//! {"v":2,"id":10,"op":"health"}
+//! {"v":2,"id":11,"op":"shutdown"}
 //! ```
 //!
 //! Responses echo `v`, `id` and `op` and add `ok`; failed requests (unknown
@@ -19,9 +20,16 @@
 //! let alone the daemon.  Solve responses carry the optimum:
 //!
 //! ```text
-//! {"v":1,"id":7,"ok":true,"op":"solve","expected_makespan":25822.97…,
+//! {"v":2,"id":7,"ok":true,"op":"solve","expected_makespan":25822.97…,
 //!  "normalized_makespan":1.03…,"disk":1,"memory":3,"guaranteed":5,"partial":2}
 //! ```
+//!
+//! Version 2 (this build) added the `health` op — the daemon answers from
+//! its supervision state without touching workers — and overload shedding:
+//! when the global inflight cap is hit, a solve is refused immediately with
+//! `{"ok":false,"error":"overloaded"}` ([`OVERLOADED`]) rather than queued
+//! unboundedly.  Shed requests are safe to retry: solves are idempotent
+//! pure functions of the spec, and responses are keyed by `id`.
 //!
 //! Floats are encoded with Rust's shortest round-trip formatting, so the
 //! remote client re-materialises bit-identical `f64`s — that is what makes
@@ -36,7 +44,11 @@ use chain2l_model::{Scenario, WeightPattern};
 use std::collections::BTreeMap;
 
 /// The protocol version this build speaks.
-pub const VERSION: u64 = 1;
+pub const VERSION: u64 = 2;
+
+/// The error message of an overload-shed solve response.  Clients treat
+/// exactly this string as retryable; every other error is permanent.
+pub const OVERLOADED: &str = "overloaded";
 
 /// A protocol-level failure: malformed frame, version mismatch, unknown op
 /// or missing field.
@@ -125,11 +137,37 @@ pub enum Request {
         /// Caller-chosen id, echoed in the response.
         id: u64,
     },
+    /// Per-shard liveness/respawn/failed state, answered by the daemon
+    /// parent from its supervision bookkeeping (no worker round-trip).
+    Health {
+        /// Caller-chosen id, echoed in the response.
+        id: u64,
+    },
     /// Graceful shutdown of the daemon and its shards.
     Shutdown {
         /// Caller-chosen id, echoed in the response.
         id: u64,
     },
+}
+
+/// The daemon's supervision state, as reported by the `health` op.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Configured shard count.
+    pub shards: u64,
+    /// Shards currently live (worker running, link open).
+    pub live: u64,
+    /// Shards marked failed (respawn budget exhausted).
+    pub failed: u64,
+    /// Total worker respawns since boot.
+    pub respawns: u64,
+    /// Solve requests shed with [`OVERLOADED`] since boot.
+    pub shed: u64,
+    /// Solve requests currently inflight across all connections.
+    pub inflight: u64,
+    /// One human-readable line per shard
+    /// (`shard 0: live (respawns 1)`, `shard 2: failed`).
+    pub detail: String,
 }
 
 /// One response frame.
@@ -156,6 +194,13 @@ pub enum Response {
         /// Echo of the request id.
         id: u64,
     },
+    /// Supervision-state reply.
+    Health {
+        /// Echo of the request id.
+        id: u64,
+        /// The daemon's current supervision state.
+        report: HealthReport,
+    },
     /// Shutdown acknowledged; the daemon exits after sending this.
     ShuttingDown {
         /// Echo of the request id.
@@ -178,9 +223,21 @@ impl Response {
             Response::Solve { id, .. }
             | Response::Stats { id, .. }
             | Response::Pong { id }
+            | Response::Health { id, .. }
             | Response::ShuttingDown { id }
             | Response::Error { id, .. } => *id,
         }
+    }
+
+    /// True for an overload-shed refusal — the one error that is always
+    /// safe and sensible to retry.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, Response::Error { message, .. } if message == OVERLOADED)
+    }
+
+    /// The shed response for a solve refused by the inflight cap.
+    pub fn overloaded(id: u64) -> Self {
+        Response::Error { id, message: OVERLOADED.to_string() }
     }
 }
 
@@ -200,6 +257,7 @@ pub fn encode_request(request: &Request) -> String {
             .finish(),
         Request::Stats { id } => head("stats", *id).finish(),
         Request::Ping { id } => head("ping", *id).finish(),
+        Request::Health { id } => head("health", *id).finish(),
         Request::Shutdown { id } => head("shutdown", *id).finish(),
     }
 }
@@ -222,6 +280,16 @@ pub fn encode_response(response: &Response) -> String {
             .str("detail", detail)
             .finish(),
         Response::Pong { id } => head("ping", *id).bool("ok", true).finish(),
+        Response::Health { id, report } => head("health", *id)
+            .bool("ok", true)
+            .u64("shards", report.shards)
+            .u64("live", report.live)
+            .u64("failed", report.failed)
+            .u64("respawns", report.respawns)
+            .u64("shed", report.shed)
+            .u64("inflight", report.inflight)
+            .str("detail", &report.detail)
+            .finish(),
         Response::ShuttingDown { id } => head("shutdown", *id).bool("ok", true).finish(),
         Response::Error { id, message } => ObjectBuilder::new()
             .u64("v", VERSION)
@@ -304,6 +372,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         }
         "stats" => Ok(Request::Stats { id }),
         "ping" => Ok(Request::Ping { id }),
+        "health" => Ok(Request::Health { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
         other => Err(ProtocolError::new(format!("unknown op `{other}`"))),
     }
@@ -351,6 +420,25 @@ pub fn parse_response(line: &str) -> Result<Response, ProtocolError> {
             detail: str_field(&map, "detail")?,
         }),
         "ping" => Ok(Response::Pong { id }),
+        "health" => {
+            let count = |key: &str| -> Result<u64, ProtocolError> {
+                field(&map, key)?.as_u64().ok_or_else(|| {
+                    ProtocolError::new(format!("field `{key}` is not an unsigned integer"))
+                })
+            };
+            Ok(Response::Health {
+                id,
+                report: HealthReport {
+                    shards: count("shards")?,
+                    live: count("live")?,
+                    failed: count("failed")?,
+                    respawns: count("respawns")?,
+                    shed: count("shed")?,
+                    inflight: count("inflight")?,
+                    detail: str_field(&map, "detail")?,
+                },
+            })
+        }
         "shutdown" => Ok(Response::ShuttingDown { id }),
         other => Err(ProtocolError::new(format!("unknown response op `{other}`"))),
     }
@@ -394,6 +482,7 @@ mod tests {
             Request::Solve { id: 7, spec: spec() },
             Request::Stats { id: 8 },
             Request::Ping { id: 9 },
+            Request::Health { id: 10 },
             Request::Shutdown { id: u64::MAX },
         ] {
             let line = encode_request(&request);
@@ -428,18 +517,57 @@ mod tests {
 
     #[test]
     fn version_mismatch_is_rejected() {
-        let line = encode_request(&Request::Ping { id: 1 }).replace("\"v\":1", "\"v\":2");
+        // Both a future version and the retired v1 are hard errors: the
+        // protocol is versioned, not guessed.
+        let line = encode_request(&Request::Ping { id: 1 }).replace("\"v\":2", "\"v\":3");
         let err = parse_request(&line).unwrap_err();
-        assert!(err.to_string().contains("version 2"), "{err}");
+        assert!(err.to_string().contains("version 3"), "{err}");
+        let line = encode_request(&Request::Ping { id: 1 }).replace("\"v\":2", "\"v\":1");
+        let err = parse_request(&line).unwrap_err();
+        assert!(err.to_string().contains("version 1"), "{err}");
     }
 
     #[test]
     fn malformed_frames_error_with_best_effort_id() {
-        assert!(parse_request("{\"v\":1,\"id\":5}").is_err(), "missing op");
-        assert_eq!(best_effort_id("{\"v\":1,\"id\":5}"), 5);
+        assert!(parse_request("{\"v\":2,\"id\":5}").is_err(), "missing op");
+        assert_eq!(best_effort_id("{\"v\":2,\"id\":5}"), 5);
         assert_eq!(best_effort_id("garbage"), 0);
         assert!(parse_request("").is_err());
-        assert!(parse_response("{\"v\":1,\"id\":1,\"ok\":true,\"op\":\"solve\"}").is_err());
+        assert!(parse_response("{\"v\":2,\"id\":1,\"ok\":true,\"op\":\"solve\"}").is_err());
+    }
+
+    #[test]
+    fn health_frames_round_trip() {
+        let report = HealthReport {
+            shards: 4,
+            live: 3,
+            failed: 1,
+            respawns: 7,
+            shed: 42,
+            inflight: 5,
+            detail: "shard 0: live\nshard 1: failed".into(),
+        };
+        let line = encode_response(&Response::Health { id: 6, report: report.clone() });
+        match parse_response(&line).unwrap() {
+            Response::Health { id, report: back } => {
+                assert_eq!(id, 6);
+                assert_eq!(back, report);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overloaded_sheds_are_recognised_and_retryable() {
+        let line = encode_response(&Response::overloaded(9));
+        assert!(line.contains("\"ok\":false"), "{line}");
+        assert!(line.contains("\"error\":\"overloaded\""), "{line}");
+        let parsed = parse_response(&line).unwrap();
+        assert!(parsed.is_overloaded());
+        assert_eq!(parsed.id(), 9);
+        // Any other error is permanent.
+        let other = Response::Error { id: 9, message: "unknown platform `titan`".into() };
+        assert!(!other.is_overloaded());
     }
 
     #[test]
@@ -458,7 +586,7 @@ mod tests {
     #[test]
     fn hello_frames_round_trip() {
         assert_eq!(parse_hello(&encode_hello(43_210)).unwrap(), 43_210);
-        assert!(parse_hello("{\"v\":1,\"op\":\"ping\",\"id\":0}").is_err());
+        assert!(parse_hello("{\"v\":2,\"op\":\"ping\",\"id\":0}").is_err());
     }
 
     #[test]

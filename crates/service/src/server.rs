@@ -88,6 +88,14 @@ pub struct ServeConfig {
     /// Seconds between periodic shard snapshots (only meaningful with
     /// `state_dir`; clamped to ≥ 1 by the worker).
     pub snapshot_every_secs: u64,
+    /// Global admission cap: solve requests inflight across *all*
+    /// connections.  At the cap, further solves are refused immediately
+    /// with `ok:false, error:"overloaded"` instead of queueing without
+    /// bound.  `0` (the default) disables the cap.
+    pub max_inflight: u64,
+    /// Failpoint spec armed in the parent and exported to every shard
+    /// worker via `CHAIN2L_FAILPOINTS` (see [`chain2l_core::failpoint`]).
+    pub failpoints: Option<String>,
 }
 
 /// Default seconds between periodic shard snapshots (`--snapshot-every`).
@@ -105,6 +113,8 @@ impl ServeConfig {
             window: DEFAULT_WINDOW,
             state_dir: None,
             snapshot_every_secs: DEFAULT_SNAPSHOT_EVERY_SECS,
+            max_inflight: 0,
+            failpoints: None,
         }
     }
 
@@ -135,6 +145,8 @@ pub struct ServeSummary {
     pub connections: u64,
     /// Shard workers respawned after dying mid-service.
     pub respawns: u64,
+    /// Solve requests shed by the global inflight cap.
+    pub shed: u64,
 }
 
 struct ShardWorker {
@@ -162,6 +174,13 @@ impl Server {
     pub fn bind(config: &ServeConfig) -> io::Result<Server> {
         if config.shards == 0 {
             return Err(io::Error::new(io::ErrorKind::InvalidInput, "at least one shard required"));
+        }
+        // Arm the parent's failpoint registry before any shard spawns, so
+        // `shard.spawn` faults apply from the first worker on.  The spec is
+        // validated here once; workers inherit it via the environment.
+        if let Some(spec) = &config.failpoints {
+            chain2l_core::failpoint::configure(spec)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         }
         let mut workers = Vec::with_capacity(config.shards);
         for index in 0..config.shards {
@@ -193,6 +212,7 @@ impl Server {
             per_shard: event_loop.final_stats.clone(),
             connections: event_loop.accepted,
             respawns: event_loop.respawns,
+            shed: event_loop.shed,
         };
         // The shutdown path already asked every worker to exit; closing its
         // stdin pipe first covers a worker that missed the frame (its EOF
@@ -214,6 +234,10 @@ impl Server {
 }
 
 fn spawn_shard(config: &ServeConfig, index: usize) -> io::Result<ShardWorker> {
+    // `shard.spawn` covers both the initial spawn and every respawn: `err`
+    // makes a spawn attempt fail (exercising the retry/declare-dead
+    // ladder), `delay` widens the window in which the shard is absent.
+    chain2l_core::failpoint::fail_io("shard.spawn")?;
     // Persistence flags are per-worker (each owns one slice of the
     // partition), so they are appended here rather than in `shard_args` —
     // and a *respawned* worker gets the same flags, so it warm-boots from
@@ -231,13 +255,20 @@ fn spawn_shard(config: &ServeConfig, index: usize) -> io::Result<ShardWorker> {
             config.snapshot_every_secs.to_string(),
         ]);
     }
-    let mut child = Command::new(&config.shard_program)
+    let mut command = Command::new(&config.shard_program);
+    command
         .args(&config.shard_args)
         .args(&persist_args)
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
-        .stderr(Stdio::inherit())
-        .spawn()?;
+        .stderr(Stdio::inherit());
+    if let Some(spec) = &config.failpoints {
+        // Workers arm their own registries from the environment (see
+        // `run_shard_persistent`); passing the spec explicitly covers the
+        // `--failpoints` flag, which never touches the parent's own env.
+        command.env(chain2l_core::failpoint::ENV_FAILPOINTS, spec);
+    }
+    let mut child = command.spawn()?;
     // lint: allow(panic-expect: Stdio::piped() above guarantees the stdin handle; runs at startup before any connection is accepted)
     let stdin = child.stdin.take().expect("piped stdin");
     // lint: allow(panic-expect: Stdio::piped() above guarantees the stdout handle; runs at startup before any connection is accepted)
@@ -269,6 +300,8 @@ struct ShardState {
     dead: bool,
     /// Deaths since the last successful response (crash-loop breaker).
     consecutive_respawns: u32,
+    /// Lifetime respawns of this shard (reported by the `health` op).
+    respawns_total: u64,
 }
 
 enum PendingKind {
@@ -322,8 +355,10 @@ struct EventLoop<'a> {
     aggs: HashMap<u64, StatsAgg>,
     next_agg: u64,
     window: u64,
+    max_inflight: u64,
     accepted: u64,
     respawns: u64,
+    shed: u64,
     phase: Phase,
     /// Who asked for shutdown: (slot, gen, seq, client id).
     requester: Option<(usize, u64, u64, u64)>,
@@ -346,6 +381,7 @@ impl<'a> EventLoop<'a> {
                 link: None,
                 dead: false,
                 consecutive_respawns: 0,
+                respawns_total: 0,
             })
             .collect();
         let mut this = EventLoop {
@@ -361,8 +397,10 @@ impl<'a> EventLoop<'a> {
             aggs: HashMap::new(),
             next_agg: 0,
             window: config.window.max(1),
+            max_inflight: config.max_inflight,
             accepted: 0,
             respawns: 0,
+            shed: 0,
             phase: Phase::Running,
             requester: None,
             final_stats: Vec::new(),
@@ -561,6 +599,18 @@ impl<'a> EventLoop<'a> {
                 );
             }
             Ok(Request::Stats { id }) => self.start_stats(Some((slot, gen, seq, id))),
+            Ok(Request::Health { id }) => {
+                // Answered from the parent's supervision bookkeeping: no
+                // worker round-trip, so `health` works even when every
+                // shard is wedged.
+                let report = self.health_report();
+                self.complete_client(
+                    slot,
+                    gen,
+                    seq,
+                    &protocol::encode_response(&Response::Health { id, report }),
+                );
+            }
             Ok(Request::Shutdown { id }) => {
                 if matches!(self.phase, Phase::Running) {
                     self.requester = Some((slot, gen, seq, id));
@@ -575,41 +625,110 @@ impl<'a> EventLoop<'a> {
                     );
                 }
             }
-            Ok(Request::Solve { id, spec }) => match protocol::resolve_spec(&spec) {
-                Err(message) => {
-                    let response = Response::Error { id, message };
-                    self.complete_client(slot, gen, seq, &protocol::encode_response(&response));
-                }
-                Ok((scenario, algorithm)) => {
-                    let fingerprint = ScenarioFingerprint::new(&scenario, algorithm);
-                    let shard = (fingerprint.stable_hash() % self.shards.len() as u64) as usize;
-                    if self.shards[shard].dead || self.shards[shard].link.is_none() {
-                        let response = Response::Error {
-                            id,
-                            message: format!("shard {shard} failed and was not respawned"),
-                        };
-                        self.complete_client(slot, gen, seq, &protocol::encode_response(&response));
-                        return;
-                    }
-                    let internal = self.next_internal;
-                    self.next_internal += 1;
-                    let forwarded =
-                        protocol::encode_request(&Request::Solve { id: internal, spec });
-                    self.pending.insert(
-                        internal,
-                        Pending {
-                            shard,
-                            line: forwarded.clone(),
-                            kind: PendingKind::Solve { slot, gen, seq, client_id: id },
-                        },
+            Ok(Request::Solve { id, spec }) => {
+                // Global admission control: shed before doing any work for
+                // the request.  Shed responses release through the same
+                // sequence window as real ones, so ordering is preserved
+                // and the client can retry by id.
+                if self.max_inflight > 0 && self.solve_inflight as u64 >= self.max_inflight {
+                    self.shed += 1;
+                    self.complete_client(
+                        slot,
+                        gen,
+                        seq,
+                        &protocol::encode_response(&Response::overloaded(id)),
                     );
-                    self.solve_inflight += 1;
-                    if let Some(link) = self.shards[shard].link.as_mut() {
-                        link.push_line(&forwarded);
-                    }
+                    return;
                 }
-            },
+                self.dispatch_solve(slot, gen, seq, id, spec);
+            }
         }
+    }
+
+    fn dispatch_solve(
+        &mut self,
+        slot: usize,
+        gen: u64,
+        seq: u64,
+        id: u64,
+        spec: protocol::SolveSpec,
+    ) {
+        match protocol::resolve_spec(&spec) {
+            Err(message) => {
+                let response = Response::Error { id, message };
+                self.complete_client(slot, gen, seq, &protocol::encode_response(&response));
+            }
+            Ok((scenario, algorithm)) => {
+                let fingerprint = ScenarioFingerprint::new(&scenario, algorithm);
+                let shard = (fingerprint.stable_hash() % self.shards.len() as u64) as usize;
+                if self.shards[shard].dead || self.shards[shard].link.is_none() {
+                    let response = Response::Error {
+                        id,
+                        message: format!("shard {shard} failed and was not respawned"),
+                    };
+                    self.complete_client(slot, gen, seq, &protocol::encode_response(&response));
+                    return;
+                }
+                let internal = self.next_internal;
+                self.next_internal += 1;
+                let forwarded = protocol::encode_request(&Request::Solve { id: internal, spec });
+                self.pending.insert(
+                    internal,
+                    Pending {
+                        shard,
+                        line: forwarded.clone(),
+                        kind: PendingKind::Solve { slot, gen, seq, client_id: id },
+                    },
+                );
+                self.solve_inflight += 1;
+                if let Some(link) = self.shards[shard].link.as_mut() {
+                    link.push_line(&forwarded);
+                }
+            }
+        }
+    }
+
+    /// The `health` answer: per-shard liveness/respawn/failed state plus
+    /// the daemon's global counters, straight from supervision state.
+    fn health_report(&self) -> protocol::HealthReport {
+        let mut live = 0u64;
+        let mut failed = 0u64;
+        let mut lines = Vec::with_capacity(self.shards.len());
+        for (index, shard) in self.shards.iter().enumerate() {
+            if shard.dead {
+                failed += 1;
+                lines.push(format!("shard {index}: failed (respawns {})", shard.respawns_total));
+            } else if shard.link.is_some() {
+                live += 1;
+                lines.push(format!("shard {index}: live (respawns {})", shard.respawns_total));
+            } else {
+                failed += 1;
+                lines.push(format!("shard {index}: down (respawns {})", shard.respawns_total));
+            }
+        }
+        protocol::HealthReport {
+            shards: self.shards.len() as u64,
+            live,
+            failed,
+            respawns: self.respawns,
+            shed: self.shed,
+            inflight: self.solve_inflight as u64,
+            detail: lines.join("\n"),
+        }
+    }
+
+    /// The `daemon:` line prepended to every statistics fan-out, so the
+    /// admission/supervision counters are visible through `--stats`.
+    fn daemon_stats_line(&self) -> String {
+        let failed = self.shards.iter().filter(|s| s.dead).count();
+        format!(
+            "daemon: inflight {}, shed {}, respawns {}, failed shards {}/{}",
+            self.solve_inflight,
+            self.shed,
+            self.respawns,
+            failed,
+            self.shards.len()
+        )
     }
 
     /// Routes a completed response line into a client's sequence window.
@@ -674,11 +793,12 @@ impl<'a> EventLoop<'a> {
             .collect();
         match agg.target {
             Some((slot, gen, seq, client_id)) => {
-                let response = Response::Stats {
-                    id: client_id,
-                    shards: self.shards.len() as u64,
-                    detail: detail.join("\n"),
-                };
+                // Client-facing `stats` leads with the daemon's own line so
+                // shedding, respawn and failed-shard state are observable
+                // through `--stats`; the shutdown summary stays per-shard.
+                let detail = format!("{}\n{}", self.daemon_stats_line(), detail.join("\n"));
+                let response =
+                    Response::Stats { id: client_id, shards: self.shards.len() as u64, detail };
                 self.complete_client(slot, gen, seq, &protocol::encode_response(&response));
             }
             None => {
@@ -694,7 +814,8 @@ impl<'a> EventLoop<'a> {
         let mut failed = false;
         let mut lines: Vec<String> = Vec::new();
         if let Some(link) = self.shards[shard].link.as_mut() {
-            failed = link.fill().is_err();
+            failed =
+                chain2l_core::failpoint::fail_io("link.read").and_then(|()| link.fill()).is_err();
             while let Some(frame) = link.decoder.next_frame() {
                 if let Ok(line) = frame {
                     lines.push(line);
@@ -712,7 +833,9 @@ impl<'a> EventLoop<'a> {
 
     fn link_flush(&mut self, shard: usize) -> bool {
         match self.shards[shard].link.as_mut() {
-            Some(link) => link.flush_out().is_err(),
+            Some(link) => chain2l_core::failpoint::fail_io("link.write")
+                .and_then(|()| link.flush_out())
+                .is_err(),
             None => false,
         }
     }
@@ -780,6 +903,7 @@ impl<'a> EventLoop<'a> {
             self.shards[shard].worker = Some(worker);
             if self.connect_link(shard).is_ok() {
                 self.respawns += 1;
+                self.shards[shard].respawns_total += 1;
                 eprintln!(
                     "chain2l serve: shard {shard} worker died; respawned and replaying {} inflight request(s)",
                     self.pending.values().filter(|p| p.shard == shard).count()
@@ -936,6 +1060,7 @@ fn with_id(response: Response, id: u64) -> Response {
         Response::Stats { shards, detail, .. } => Response::Stats { id, shards, detail },
         Response::Pong { .. } => Response::Pong { id },
         Response::ShuttingDown { .. } => Response::ShuttingDown { id },
+        Response::Health { report, .. } => Response::Health { id, report },
         Response::Error { message, .. } => Response::Error { id, message },
     }
 }

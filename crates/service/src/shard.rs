@@ -58,6 +58,11 @@ pub fn respond(line: &str, engine: &Engine) -> Response {
             Response::Stats { id, shards: 1, detail: engine.stats().to_string() }
         }
         Ok(Request::Shutdown { id }) => Response::ShuttingDown { id },
+        // Health is answered by the daemon from its supervision state; a
+        // worker reached directly has no shard fleet to report on.
+        Ok(Request::Health { id }) => {
+            Response::Error { id, message: "health is a daemon-level op".into() }
+        }
         Ok(Request::Solve { id, spec }) => match protocol::resolve_spec(&spec) {
             Err(message) => Response::Error { id, message },
             Ok((scenario, algorithm)) => Response::Solve {
@@ -124,6 +129,11 @@ pub fn run_shard_persistent(
     limits: EngineLimits,
     persister: Option<Arc<Persister>>,
 ) -> std::io::Result<()> {
+    // Workers inherit the daemon's failpoint schedule through the
+    // environment (`spawn_shard` forwards `--failpoints`); each worker
+    // process arms its own independent per-site streams.
+    chain2l_core::failpoint::configure_from_env()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
     let listener = TcpListener::bind(("127.0.0.1", 0))?;
     listener.set_nonblocking(true)?;
     let port = listener.local_addr()?.port();

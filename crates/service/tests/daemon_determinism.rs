@@ -128,11 +128,24 @@ fn concurrent_clients_get_bit_identical_answers_at_every_shard_count() {
             assert_eq!(keys, reference, "{shards} shard(s): remote differs from local");
         }
 
-        // Per-shard statistics are reported for every worker.
+        // Per-shard statistics are reported for every worker, led by the
+        // daemon's own admission/supervision line.
         let (reported, detail) = client::stats(&addr_text).expect("stats");
         assert_eq!(reported as usize, shards);
-        assert_eq!(detail.lines().count(), shards, "{detail}");
+        assert_eq!(detail.lines().count(), shards + 1, "{detail}");
+        assert!(detail.starts_with("daemon: inflight 0, shed 0, respawns 0"), "{detail}");
+        assert!(detail.contains(&format!("failed shards 0/{shards}")), "{detail}");
         assert!(detail.contains("shard 0:"), "{detail}");
+
+        // The health verb reports the same supervision state, typed.
+        let health = client::health(&addr_text).expect("health");
+        assert_eq!(health.shards as usize, shards);
+        assert_eq!(health.live as usize, shards);
+        assert_eq!(health.failed, 0);
+        assert_eq!(health.respawns, 0);
+        assert_eq!(health.inflight, 0, "no solve may leak an inflight entry");
+        assert_eq!(health.detail.lines().count(), shards);
+        assert!(health.detail.contains("shard 0: live (respawns 0)"), "{}", health.detail);
 
         // Graceful shutdown returns the final per-shard statistics.
         client::shutdown(&addr_text).expect("shutdown");
@@ -270,7 +283,7 @@ fn restarted_daemon_serves_warm_from_snapshots_with_identical_bytes() {
     // Both shards really were warm: boot loads succeeded and not a single
     // request missed the restored cache.
     assert_eq!(detail.matches("load: warm").count(), 2, "{detail}");
-    for line in detail.lines() {
+    for line in detail.lines().filter(|l| l.starts_with("shard ")) {
         let misses = line.split(" misses").next().and_then(|s| s.split(", ").last());
         assert_eq!(misses.and_then(|m| m.parse::<u64>().ok()), Some(0), "{line}");
     }

@@ -1,0 +1,117 @@
+//! Property tests of the fault-tolerance primitives: the client's retry
+//! backoff schedule is a pure function of its seed (bit-identical across
+//! runs and thread counts), and the NDJSON frame decoder is insensitive to
+//! failpoint-injected short reads — a stream delivered through `short`
+//! truncations decodes to exactly the frames of a whole-stream push.
+
+use chain2l_core::failpoint;
+use chain2l_service::client::backoff_schedule;
+use chain2l_service::frame::FrameDecoder;
+use proptest::prelude::*;
+
+/// Frame payloads without the newline terminator (the vendored proptest
+/// stub has no regex strategies; build lines from printable-ASCII codes).
+fn frame_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        Just("{\"v\":2,\"id\":7,\"op\":\"ping\"}".to_string()),
+        proptest::collection::vec(0x20u32..0x7F, 0..40)
+            .prop_map(|codes| codes.into_iter().filter_map(char::from_u32).collect()),
+    ]
+}
+
+/// Decodes a byte stream in one push and collects every frame outcome.
+fn decode_whole(bytes: &[u8]) -> Vec<Result<String, String>> {
+    let mut decoder = FrameDecoder::new();
+    decoder.push(bytes);
+    let mut frames = Vec::new();
+    while let Some(frame) = decoder.next_frame() {
+        frames.push(frame.map_err(|e| e.to_string()));
+    }
+    frames
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(128))]
+
+    /// The schedule is pure: recomputing it (here, on 4 racing threads) is
+    /// bit-identical to computing it once, every delay respects the
+    /// equal-jitter envelope `[d/2, d]` of the capped exponential `d`, and
+    /// the jitter really depends on the seed.
+    #[test]
+    fn backoff_schedule_is_a_pure_function_of_the_seed(
+        seed in 0u64..u64::MAX,
+        attempts in 0u32..12,
+        base_ms in 1u64..500,
+        cap_ms in 1u64..10_000,
+    ) {
+        let reference = backoff_schedule(seed, attempts, base_ms, cap_ms);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || backoff_schedule(seed, attempts, base_ms, cap_ms))
+            })
+            .collect();
+        for handle in handles {
+            prop_assert_eq!(
+                handle.join().expect("thread"),
+                reference.clone(),
+                "schedule changed across threads"
+            );
+        }
+        prop_assert_eq!(reference.len(), attempts as usize);
+        for (k, &delay) in reference.iter().enumerate() {
+            let grown = if k >= 63 { u64::MAX } else { base_ms.saturating_mul(1u64 << k) };
+            let envelope = grown.clamp(1, cap_ms.max(1));
+            prop_assert!(
+                delay >= envelope - envelope / 2 && delay <= envelope,
+                "attempt {}: delay {} outside [{}, {}]",
+                k, delay, envelope - envelope / 2, envelope
+            );
+        }
+        if attempts >= 4 && base_ms >= 8 && cap_ms >= 64 {
+            // With a few attempts and a non-trivial jitter range, a
+            // different seed must diverge somewhere.
+            prop_assert_ne!(
+                backoff_schedule(seed ^ 0xDEAD_BEEF, attempts, base_ms, cap_ms),
+                reference,
+                "jitter ignores the seed"
+            );
+        }
+    }
+
+    /// Frame decoding under failpoint-injected short reads: the `short`
+    /// action repeatedly halves each delivered chunk, so frames arrive
+    /// split at failpoint-chosen boundaries — and decode identically to the
+    /// whole stream.  Uses the real registry (`configure` + `short_len`),
+    /// exactly the path `Conn::fill` takes when `frame.read=short` is armed.
+    #[test]
+    fn short_read_failpoints_never_change_decoded_frames(
+        lines in proptest::collection::vec(frame_line(), 1..12),
+        chunk_len in 1usize..64,
+        num in 1u64..8,
+        seed in 0u64..u64::MAX,
+    ) {
+        let stream: Vec<u8> =
+            lines.iter().flat_map(|l| l.bytes().chain(std::iter::once(b'\n'))).collect();
+        let expected = decode_whole(&stream);
+
+        failpoint::configure(&format!("frame.read=short@{num}/8;seed={seed}"))
+            .expect("valid failpoint spec");
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        let mut rest: &[u8] = &stream;
+        while !rest.is_empty() {
+            // One simulated read of up to `chunk_len` bytes, truncated by
+            // the armed failpoint exactly as Conn::fill would truncate it.
+            let n = chunk_len.min(rest.len());
+            let n = failpoint::short_len("frame.read", n).expect("short, never err");
+            decoder.push(&rest[..n]);
+            rest = &rest[n..];
+            while let Some(frame) = decoder.next_frame() {
+                decoded.push(frame.map_err(|e| e.to_string()));
+            }
+        }
+        failpoint::clear();
+        prop_assert_eq!(decoded, expected, "short reads changed the decoded frames");
+    }
+}
